@@ -1,0 +1,191 @@
+//! Criterion micro-benchmarks on the hot data structures and the simulated
+//! transports: merge throughput, packet cursors, cache operations, and
+//! socket-vs-verbs transfer costs inside the DES.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+/// Keep `cargo bench --workspace` snappy on small machines.
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.sample_size(20);
+}
+
+use rmr_core::merge::{Emit, StreamingMerge};
+use rmr_core::prefetch::{PrefetchCache, Priority};
+use rmr_core::record::SegmentCursor;
+use rmr_core::{Record, Segment};
+use rmr_des::prelude::*;
+use rmr_net::{FabricParams, Network};
+
+fn sorted_records(n: usize, seed: u64) -> Vec<Record> {
+    let mut x = seed;
+    let mut recs: Vec<Record> = (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Record::new((x >> 16).to_be_bytes().to_vec(), vec![b'v'; 90])
+        })
+        .collect();
+    recs.sort_by(|a, b| a.key.cmp(&b.key));
+    recs
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kway_merge");
+    tune(&mut g);
+    for k in [4usize, 16, 64] {
+        let per = 2_000;
+        let segs: Vec<Segment> = (0..k)
+            .map(|i| Segment::from_sorted(sorted_records(per, i as u64 + 1)))
+            .collect();
+        g.throughput(Throughput::Elements((k * per) as u64));
+        g.bench_function(format!("real_{k}way"), |b| {
+            b.iter_batched(
+                || segs.clone(),
+                |segs| Segment::merge(&segs),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_merge");
+    tune(&mut g);
+    let sources = 32usize;
+    let per = 1_000u64;
+    g.throughput(Throughput::Elements(sources as u64 * per));
+    g.bench_function("synthetic_32src", |b| {
+        b.iter(|| {
+            let mut m = StreamingMerge::new(vec![per; sources]);
+            let mut cursors: Vec<SegmentCursor> = (0..sources)
+                .map(|_| SegmentCursor::new(Segment::synthetic(per, per * 100)))
+                .collect();
+            let mut out = 0u64;
+            loop {
+                match m.emit(4_096) {
+                    Emit::Done => break,
+                    Emit::Data(seg) => out += seg.records,
+                    Emit::Stalled(dry) => {
+                        for d in dry {
+                            m.append(d, cursors[d].take_records(100));
+                        }
+                    }
+                }
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_packet_cursor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_cursor");
+    tune(&mut g);
+    let seg = Segment::from_sorted(sorted_records(50_000, 7));
+    g.throughput(Throughput::Bytes(seg.bytes));
+    g.bench_function("take_bytes_512k_real", |b| {
+        b.iter_batched(
+            || SegmentCursor::new(seg.clone()),
+            |mut cur| {
+                let mut n = 0;
+                while !cur.exhausted() {
+                    n += cur.take_bytes(512 << 10).records;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_prefetch_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetch_cache");
+    tune(&mut g);
+    g.bench_function("insert_lookup_churn", |b| {
+        b.iter(|| {
+            let cache = PrefetchCache::new(1 << 30);
+            let mut hits = 0u64;
+            for i in 0..1_000usize {
+                cache.insert(i % 64, 16 << 20, Priority::Prefetch);
+                if cache.lookup((i * 7) % 64) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end transfer cost through the DES: how expensive is it to move
+/// simulated bytes over each fabric (this measures the *simulator*, showing
+/// the event cost per transfer is flat across fabrics).
+fn bench_sim_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_transfer");
+    tune(&mut g);
+    for (name, fabric) in [
+        ("ipoib", FabricParams::ipoib_qdr()),
+        ("verbs", FabricParams::ib_verbs_qdr()),
+    ] {
+        g.bench_function(format!("1000x1MB_{name}"), |b| {
+            b.iter(|| {
+                let sim = Sim::new(1);
+                let net = Network::new(&sim, fabric.clone());
+                let cpu_a = Fluid::with_entry_cap(&sim, 8.0, 1.0);
+                let cpu_b = Fluid::with_entry_cap(&sim, 8.0, 1.0);
+                let a = net.add_node(Some(cpu_a));
+                let bnode = net.add_node(Some(cpu_b));
+                let net2 = net.clone();
+                sim.spawn(async move {
+                    for _ in 0..1_000 {
+                        net2.transfer(a, bnode, 1 << 20).await;
+                    }
+                })
+                .detach();
+                sim.run().as_nanos()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Whole-job benchmark: a small synthetic TeraSort through each engine
+/// (measures simulator throughput for the full pipeline).
+fn bench_small_job(c: &mut Criterion) {
+    use rmr_cluster::{run_experiment, Bench, Experiment, System, Testbed};
+    let mut g = c.benchmark_group("small_job");
+    tune(&mut g);
+    g.sample_size(10);
+    for system in [System::IpoIb, System::HadoopA, System::OsuIb] {
+        g.bench_function(format!("terasort_1gb_{:?}", system), |b| {
+            b.iter(|| {
+                run_experiment(&Experiment::new(
+                    "bench",
+                    Bench::TeraSort,
+                    system,
+                    Testbed::compute(2, 1),
+                    1.0,
+                    42,
+                ))
+                .duration_s
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kway_merge,
+    bench_streaming_merge,
+    bench_packet_cursor,
+    bench_prefetch_cache,
+    bench_sim_transfer,
+    bench_small_job
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates every figure in the paper's evaluation section in one go.
+
+fn main() {
+    let threads = rmr_bench::default_threads();
+    for fig in rmr_bench::all_figures() {
+        rmr_bench::run_figure(&fig, threads);
+    }
+}

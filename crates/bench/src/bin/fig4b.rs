@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4b (see rmr_bench::fig4b for the grid).
+
+fn main() {
+    let threads = rmr_bench::default_threads();
+    rmr_bench::run_figure(&rmr_bench::fig4b(), threads);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 (see rmr_bench::fig5 for the grid).
+
+fn main() {
+    let threads = rmr_bench::default_threads();
+    rmr_bench::run_figure(&rmr_bench::fig5(), threads);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 (see rmr_bench::fig7 for the grid).
+
+fn main() {
+    let threads = rmr_bench::default_threads();
+    rmr_bench::run_figure(&rmr_bench::fig7(), threads);
+}

@@ -1,0 +1,31 @@
+//! Calibration probe: one Fig 4(a)-style point per system.
+
+use rmr_cluster::{run_all, Bench, Experiment, System, Testbed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gb: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let disks: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let bench = if args.get(4).map(|s| s == "sort").unwrap_or(false) {
+        Bench::Sort
+    } else {
+        Bench::TeraSort
+    };
+    let systems = [System::GigE10, System::IpoIb, System::HadoopA, System::OsuIb];
+    let exps: Vec<Experiment> = systems
+        .iter()
+        .map(|&system| Experiment::new("probe", bench, system, Testbed::compute(nodes, disks), gb, 42))
+        .collect();
+    let recs = run_all(&exps, 4);
+    for r in &recs {
+        println!(
+            "{:28} {:6.0}s  (map_end {:5.0}s, shuffled {:.1} GB, cache {:.0}%)",
+            r.system,
+            r.duration_s,
+            r.map_phase_end_s,
+            r.shuffled_bytes as f64 / 1e9,
+            r.cache_hit_rate * 100.0
+        );
+    }
+}

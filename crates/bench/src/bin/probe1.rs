@@ -1,0 +1,20 @@
+use rmr_cluster::{run_experiment, Bench, Experiment, System, Testbed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gb: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+    let sysname = args.get(2).cloned().unwrap_or_else(|| "osu".into());
+    let system = match sysname.as_str() {
+        "g1" => System::GigE1,
+        "g10" => System::GigE10,
+        "ipoib" => System::IpoIb,
+        "ha" => System::HadoopA,
+        _ => System::OsuIb,
+    };
+    let nodes: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let disks: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let bench = if args.get(5).map(|s| s == "sort").unwrap_or(false) { Bench::Sort } else { Bench::TeraSort };
+    let t0 = std::time::Instant::now();
+    let rec = run_experiment(&Experiment::new("p1", bench, system, Testbed::compute(nodes, disks), gb, 42));
+    println!("{} {}GB: {:.0}s sim (map_end {:.0}s) in {:.1}s wall", rec.system, gb, rec.duration_s, rec.map_phase_end_s, t0.elapsed().as_secs_f64());
+}

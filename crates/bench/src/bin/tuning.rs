@@ -1,0 +1,86 @@
+//! Parameter-tuning sweeps (§III-C-3, §IV pre-amble): HDFS block size per
+//! system, and the OSU-IB shuffle packet size. These regenerate the tuning
+//! choices the paper reports (256 MB blocks for 10GigE/IPoIB/OSU-IB
+//! TeraSort, 128 MB for Hadoop-A, 64 MB for Sort) and demonstrate the
+//! configuration flexibility the paper contrasts against Hadoop-A.
+
+use rmr_cluster::{run_all, Bench, Experiment, System, Testbed};
+
+fn main() {
+    let threads = rmr_bench::default_threads();
+
+    // --- Block-size sweep: TeraSort 30 GB on 4 nodes, 1 HDD. ---
+    let mut exps = Vec::new();
+    for system in [System::IpoIb, System::HadoopA, System::OsuIb] {
+        for block_mb in [64u64, 128, 256, 512] {
+            let mut e = Experiment::new(
+                "tuning-block",
+                Bench::TeraSort,
+                system,
+                Testbed::compute(4, 1),
+                30.0,
+                42,
+            );
+            e.block_size_override = Some(block_mb << 20);
+            exps.push(e);
+        }
+    }
+    let records = run_all(&exps, threads);
+    println!("\nHDFS block-size sweep — TeraSort 30GB, 4 nodes, 1 HDD");
+    println!("{:>10} {:>24} {:>12}", "block(MB)", "system", "time(s)");
+    for (e, r) in exps.iter().zip(&records) {
+        println!(
+            "{:>10} {:>24} {:>12.0}",
+            e.block_size_override.unwrap() >> 20,
+            r.system,
+            r.duration_s
+        );
+    }
+    rmr_bench::write_results("tuning-block", &records);
+
+    // --- OSU-IB packet-size sweep: Sort 20 GB (large kv pairs). ---
+    let mut exps = Vec::new();
+    for packet_kb in [64u64, 128, 256, 512, 1024, 2048] {
+        let mut e = Experiment::new(
+            "tuning-packet",
+            Bench::Sort,
+            System::OsuIb,
+            Testbed::compute(4, 1),
+            20.0,
+            42,
+        );
+        e.osu_packet_override = Some(packet_kb << 10);
+        exps.push(e);
+    }
+    let records = run_all(&exps, threads);
+    println!("\nOSU-IB packet-size sweep — Sort 20GB, 4 nodes, 1 HDD");
+    println!("{:>12} {:>12}", "packet(KB)", "time(s)");
+    for (e, r) in exps.iter().zip(&records) {
+        println!(
+            "{:>12} {:>12.0}",
+            e.osu_packet_override.unwrap() >> 10,
+            r.duration_s
+        );
+    }
+    rmr_bench::write_results("tuning-packet", &records);
+
+    // --- Headline ablation: the three OSU mechanisms one by one. ---
+    let mut exps = Vec::new();
+    for system in [System::IpoIb, System::HadoopA, System::OsuIbNoCache, System::OsuIb] {
+        exps.push(Experiment::new(
+            "tuning-ablation",
+            Bench::TeraSort,
+            system,
+            Testbed::compute(4, 2),
+            30.0,
+            42,
+        ));
+    }
+    let records = run_all(&exps, threads);
+    println!("\nMechanism ablation — TeraSort 30GB, 4 nodes, 2 HDDs");
+    println!("  (vanilla barrier → +RDMA/pipeline [Hadoop-A] → +overlap+packets [OSU no-cache] → +PrefetchCache [OSU])");
+    for r in &records {
+        println!("  {:28} {:>8.0}s", r.system, r.duration_s);
+    }
+    rmr_bench::write_results("tuning-ablation", &records);
+}

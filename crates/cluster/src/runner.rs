@@ -1,0 +1,285 @@
+//! The experiment runner: one simulation per (system, size, testbed) point,
+//! run in parallel across OS threads (each `Sim` is single-threaded and
+//! `!Send`, so parallelism lives *across* runs).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use rmr_core::cluster::Cluster;
+use rmr_core::{run_job, JobResult};
+use rmr_hdfs::HdfsConfig;
+use rmr_workloads::{randomwriter, sort_spec, teragen, terasort_spec};
+
+use crate::testbed::{tuned_block_size, tuned_conf, Bench, System, Testbed};
+
+/// One experiment point.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Experiment/figure id (e.g. "fig4a"), echoed into the record.
+    pub id: String,
+    /// Which benchmark.
+    pub bench: Bench,
+    /// Which system.
+    pub system: System,
+    /// Cluster shape.
+    pub testbed: Testbed,
+    /// Dataset size in gigabytes (the x-axis of the paper's figures).
+    pub data_gb: f64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Override the tuned HDFS block size (tuning sweeps).
+    pub block_size_override: Option<u64>,
+    /// Override the OSU-IB packet byte budget (tuning sweeps).
+    pub osu_packet_override: Option<u64>,
+}
+
+impl Experiment {
+    /// A standard experiment point with no tuning overrides.
+    pub fn new(
+        id: impl Into<String>,
+        bench: Bench,
+        system: System,
+        testbed: Testbed,
+        data_gb: f64,
+        seed: u64,
+    ) -> Experiment {
+        Experiment {
+            id: id.into(),
+            bench,
+            system,
+            testbed,
+            data_gb,
+            seed,
+            block_size_override: None,
+            osu_packet_override: None,
+        }
+    }
+}
+
+/// One row of results, serialisable for EXPERIMENTS.md regeneration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Experiment id.
+    pub id: String,
+    /// Benchmark label.
+    pub bench: String,
+    /// System label.
+    pub system: String,
+    /// Worker count.
+    pub nodes: usize,
+    /// Disks per node.
+    pub disks: usize,
+    /// SSD data store?
+    pub ssd: bool,
+    /// Dataset size, GB.
+    pub data_gb: f64,
+    /// Job execution time, seconds — the paper's y-axis.
+    pub duration_s: f64,
+    /// Time the map wave finished.
+    pub map_phase_end_s: f64,
+    /// Map task count.
+    pub maps: usize,
+    /// Reduce task count.
+    pub reduces: usize,
+    /// Bytes shuffled.
+    pub shuffled_bytes: u64,
+    /// PrefetchCache hit rate (0 when caching disabled).
+    pub cache_hit_rate: f64,
+}
+
+impl RunRecord {
+    fn from_result(exp: &Experiment, res: &JobResult) -> RunRecord {
+        let lookups = res.cache_hits + res.cache_misses;
+        RunRecord {
+            id: exp.id.clone(),
+            bench: exp.bench.label().to_string(),
+            system: exp.system.label().to_string(),
+            nodes: exp.testbed.nodes,
+            disks: exp.testbed.disks,
+            ssd: exp.testbed.ssd,
+            data_gb: exp.data_gb,
+            duration_s: res.duration_s,
+            map_phase_end_s: res.map_phase_end_s,
+            maps: res.maps,
+            reduces: res.reduces,
+            shuffled_bytes: res.shuffled_bytes,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                res.cache_hits as f64 / lookups as f64
+            },
+        }
+    }
+}
+
+/// Runs one experiment point (synthetic data plane) to completion inside
+/// its own simulation.
+pub fn run_experiment(exp: &Experiment) -> RunRecord {
+    let sim = rmr_des::Sim::new(exp.seed);
+    let block_size = exp
+        .block_size_override
+        .unwrap_or_else(|| tuned_block_size(exp.system, exp.bench));
+    let cluster = Cluster::build(
+        &sim,
+        exp.system.fabric(),
+        &exp.testbed.node_specs(),
+        HdfsConfig {
+            block_size,
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let mut conf = tuned_conf(exp.system, exp.bench, &exp.testbed);
+    if let Some(p) = exp.osu_packet_override {
+        conf.osu_packet_bytes = p;
+    }
+    let bytes = (exp.data_gb * (1u64 << 30) as f64) as u64;
+    let result: Rc<RefCell<Option<JobResult>>> = Rc::new(RefCell::new(None));
+    let r2 = Rc::clone(&result);
+    let c2 = cluster.clone();
+    let bench = exp.bench;
+    sim.spawn(async move {
+        let spec = match bench {
+            Bench::TeraSort => {
+                teragen(&c2, "/bench/in", bytes, false).await;
+                terasort_spec("/bench/in", "/bench/out")
+            }
+            Bench::Sort => {
+                randomwriter(&c2, "/bench/in", bytes, false).await;
+                sort_spec("/bench/in", "/bench/out")
+            }
+        };
+        let res = run_job(&c2, conf, spec).await;
+        *r2.borrow_mut() = Some(res);
+    })
+    .detach();
+    sim.run();
+    let res = result
+        .borrow_mut()
+        .take()
+        .unwrap_or_else(|| panic!("experiment {} hung", exp.id));
+    RunRecord::from_result(exp, &res)
+}
+
+/// Runs experiments in parallel across `threads` OS threads, preserving
+/// input order in the output.
+pub fn run_all(experiments: &[Experiment], threads: usize) -> Vec<RunRecord> {
+    let threads = threads.max(1);
+    let n = experiments.len();
+    let results: Vec<parking_lot::Mutex<Option<RunRecord>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let rec = run_experiment(&experiments[i]);
+                eprintln!(
+                    "  [{}] {} {} {}GB n{} d{} → {:.0}s",
+                    experiments[i].id,
+                    rec.bench,
+                    rec.system,
+                    rec.data_gb,
+                    rec.nodes,
+                    rec.disks,
+                    rec.duration_s
+                );
+                *results[i].lock() = Some(rec);
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing result"))
+        .collect()
+}
+
+/// Formats records as an aligned text table grouped the way the paper's
+/// figures are (one row per size, one column per system).
+pub fn format_table(records: &[RunRecord]) -> String {
+    use std::collections::BTreeMap;
+    let mut systems: Vec<String> = Vec::new();
+    for r in records {
+        let key = format!("{} ({}d{})", r.system, if r.ssd { "ssd " } else { "" }, r.disks);
+        if !systems.contains(&key) {
+            systems.push(key);
+        }
+    }
+    let mut rows: BTreeMap<u64, BTreeMap<String, f64>> = BTreeMap::new();
+    for r in records {
+        let key = format!("{} ({}d{})", r.system, if r.ssd { "ssd " } else { "" }, r.disks);
+        rows.entry((r.data_gb * 1000.0) as u64)
+            .or_default()
+            .insert(key, r.duration_s);
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:>10}", "Size(GB)"));
+    for s in &systems {
+        out.push_str(&format!(" | {s:>28}"));
+    }
+    out.push('\n');
+    for (gb, cols) in rows {
+        out.push_str(&format!("{:>10.0}", gb as f64 / 1000.0));
+        for s in &systems {
+            match cols.get(s) {
+                Some(v) => out.push_str(&format!(" | {v:>26.0}s ")),
+                None => out.push_str(&format!(" | {:>28}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_exp(system: System) -> Experiment {
+        Experiment::new("test", Bench::TeraSort, system, Testbed::compute(2, 1), 0.5, 1)
+    }
+
+    #[test]
+    fn single_experiment_completes() {
+        let rec = run_experiment(&tiny_exp(System::OsuIb));
+        assert!(rec.duration_s > 0.0);
+        assert!(rec.maps > 0);
+        assert_eq!(rec.reduces, 8);
+        assert!(rec.cache_hit_rate > 0.0, "caching enabled → hits expected");
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let exps = vec![tiny_exp(System::IpoIb), tiny_exp(System::OsuIb)];
+        let recs = run_all(&exps, 2);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].system, System::IpoIb.label());
+        assert_eq!(recs[1].system, System::OsuIb.label());
+    }
+
+    #[test]
+    fn records_serialize_to_json() {
+        let rec = run_experiment(&tiny_exp(System::GigE1));
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.system, rec.system);
+        assert_eq!(back.duration_s, rec.duration_s);
+    }
+
+    #[test]
+    fn format_table_lists_all_systems() {
+        let recs = run_all(
+            &[tiny_exp(System::IpoIb), tiny_exp(System::OsuIb)],
+            2,
+        );
+        let table = format_table(&recs);
+        assert!(table.contains("IPoIB"));
+        assert!(table.contains("OSU-IB"));
+    }
+}

@@ -1,0 +1,422 @@
+//! The JobTracker: task scheduling and completion-event bookkeeping.
+//!
+//! A synchronous state machine; TaskTrackers drive it through heartbeats
+//! (the RPC timing is charged by the caller). Scheduling follows Hadoop
+//! 0.20: map tasks go preferentially to TaskTrackers holding a replica of
+//! their split (data locality); ReduceTasks launch once the completed-map
+//! fraction passes `mapred.reduce.slowstart.completed.maps`; reducers learn
+//! about completed maps through an append-only event log they poll with a
+//! cursor.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rmr_hdfs::BlockMeta;
+use rmr_net::NodeId;
+
+/// One map task to schedule: an input split plus its replica locations.
+#[derive(Debug, Clone)]
+pub struct MapTaskDesc {
+    /// Task index.
+    pub idx: usize,
+    /// The HDFS block it reads.
+    pub block: BlockMeta,
+    /// Hosts holding replicas (locality preference).
+    pub locations: Vec<NodeId>,
+}
+
+/// A map-completion event: (map index, TaskTracker index that ran it).
+pub type CompletionEvent = (usize, usize);
+
+/// The job's scheduling state.
+pub struct JobTracker {
+    maps_pending: VecDeque<MapTaskDesc>,
+    maps_running: usize,
+    maps_completed: usize,
+    total_maps: usize,
+    events: Vec<CompletionEvent>,
+    reduces_pending: VecDeque<usize>,
+    reduces_done: usize,
+    total_reduces: usize,
+    slowstart: f64,
+    /// Fault injection: this map index fails once, on its first attempt.
+    fail_map_once: Option<usize>,
+    /// Fault injection: this reduce index fails once.
+    fail_reduce_once: Option<usize>,
+    failures_seen: usize,
+    /// Speculative execution enabled?
+    speculative: bool,
+    /// Maps currently running: idx → (attempts in flight, descriptor,
+    /// start sequence for oldest-first speculation).
+    running: HashMap<usize, (usize, MapTaskDesc, u64)>,
+    launch_seq: u64,
+    /// Maps already completed (deduplicates speculative double-finishes).
+    completed_set: HashSet<usize>,
+    speculative_launched: usize,
+    speculative_wasted: usize,
+}
+
+impl JobTracker {
+    /// Creates a tracker for `maps` and `reduces` tasks.
+    pub fn new(
+        maps: Vec<MapTaskDesc>,
+        reduces: usize,
+        slowstart: f64,
+        fail_map_once: Option<usize>,
+    ) -> Self {
+        let total_maps = maps.len();
+        JobTracker {
+            maps_pending: maps.into(),
+            maps_running: 0,
+            maps_completed: 0,
+            total_maps,
+            events: Vec::new(),
+            reduces_pending: (0..reduces).collect(),
+            reduces_done: 0,
+            total_reduces: reduces,
+            slowstart,
+            fail_map_once,
+            fail_reduce_once: None,
+            failures_seen: 0,
+            speculative: false,
+            running: HashMap::new(),
+            launch_seq: 0,
+            completed_set: HashSet::new(),
+            speculative_launched: 0,
+            speculative_wasted: 0,
+        }
+    }
+
+    /// Enables speculative map execution.
+    pub fn set_speculative(&mut self, on: bool) {
+        self.speculative = on;
+    }
+
+    /// Arms the one-shot reduce failure injection.
+    pub fn set_fail_reduce_once(&mut self, r: Option<usize>) {
+        self.fail_reduce_once = r;
+    }
+
+    /// Attempts launched purely speculatively.
+    pub fn speculative_launched(&self) -> usize {
+        self.speculative_launched
+    }
+
+    /// Speculative attempts whose work was discarded (the original won, or
+    /// the duplicate finished second).
+    pub fn speculative_wasted(&self) -> usize {
+        self.speculative_wasted
+    }
+
+    /// Total map tasks.
+    pub fn total_maps(&self) -> usize {
+        self.total_maps
+    }
+
+    /// Total reduce tasks.
+    pub fn total_reduces(&self) -> usize {
+        self.total_reduces
+    }
+
+    /// Completed map count.
+    pub fn maps_completed(&self) -> usize {
+        self.maps_completed
+    }
+
+    /// Heartbeat from TaskTracker `tt` on `node` advertising free slots;
+    /// returns assignments. Data-local maps are preferred; remaining slots
+    /// take arbitrary pending maps (single-rack cluster: everything else is
+    /// equally remote).
+    pub fn heartbeat(
+        &mut self,
+        node: NodeId,
+        free_map_slots: usize,
+        free_reduce_slots: usize,
+    ) -> (Vec<MapTaskDesc>, Vec<usize>) {
+        let mut maps = Vec::new();
+        // Pass 1: data-local.
+        while maps.len() < free_map_slots {
+            let pos = self
+                .maps_pending
+                .iter()
+                .position(|m| m.locations.contains(&node));
+            match pos {
+                Some(p) => maps.push(self.maps_pending.remove(p).unwrap()),
+                None => break,
+            }
+        }
+        // Pass 2: any.
+        while maps.len() < free_map_slots {
+            match self.maps_pending.pop_front() {
+                Some(m) => maps.push(m),
+                None => break,
+            }
+        }
+        for m in &maps {
+            self.launch_seq += 1;
+            self.running.insert(m.idx, (1, m.clone(), self.launch_seq));
+        }
+        // Pass 3: speculation — pending queue drained, idle slots re-run the
+        // oldest single-attempt stragglers.
+        if self.speculative && self.maps_pending.is_empty() {
+            let mut stragglers: Vec<(u64, usize)> = self
+                .running
+                .iter()
+                .filter(|(idx, (attempts, _, _))| {
+                    *attempts == 1
+                        && !self.completed_set.contains(*idx)
+                        && !maps.iter().any(|m| m.idx == **idx)
+                })
+                .map(|(idx, (_, _, seq))| (*seq, *idx))
+                .collect();
+            stragglers.sort();
+            for (_, idx) in stragglers {
+                if maps.len() >= free_map_slots {
+                    break;
+                }
+                let entry = self.running.get_mut(&idx).unwrap();
+                entry.0 += 1;
+                self.speculative_launched += 1;
+                maps.push(entry.1.clone());
+            }
+        }
+        self.maps_running += maps.len();
+
+        let mut reduces = Vec::new();
+        if self.reduce_phase_open() {
+            for _ in 0..free_reduce_slots {
+                match self.reduces_pending.pop_front() {
+                    Some(r) => reduces.push(r),
+                    None => break,
+                }
+            }
+        }
+        (maps, reduces)
+    }
+
+    fn reduce_phase_open(&self) -> bool {
+        if self.total_maps == 0 {
+            return true;
+        }
+        self.maps_completed as f64 >= self.slowstart * self.total_maps as f64
+    }
+
+    /// Should this attempt of `map_idx` fail? (Consumes the injection.)
+    pub fn should_fail(&mut self, map_idx: usize) -> bool {
+        if self.fail_map_once == Some(map_idx) {
+            self.fail_map_once = None;
+            self.failures_seen += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of injected failures that fired.
+    pub fn failures_seen(&self) -> usize {
+        self.failures_seen
+    }
+
+    /// A map attempt finished on TaskTracker `tt_idx`. Returns `true` when
+    /// this is the *first* completion of the task (its output counts);
+    /// `false` for a speculative loser, whose output is discarded.
+    pub fn map_completed(&mut self, map_idx: usize, tt_idx: usize) -> bool {
+        if !self.completed_set.insert(map_idx) {
+            // A duplicate attempt finishing after the task is already done.
+            self.maps_running -= 1;
+            self.speculative_wasted += 1;
+            return false;
+        }
+        // Remaining in-flight duplicates report in later and are counted as
+        // wasted then; the task itself leaves the running table now (the
+        // completed_set guard keeps it out of future speculation).
+        self.running.remove(&map_idx);
+        self.maps_running -= 1;
+        self.maps_completed += 1;
+        self.events.push((map_idx, tt_idx));
+        true
+    }
+
+    /// A map attempt failed; the task is re-queued (front: re-execute soon).
+    pub fn map_failed(&mut self, desc: MapTaskDesc) {
+        self.maps_running -= 1;
+        if let Some(entry) = self.running.get_mut(&desc.idx) {
+            if entry.0 > 1 {
+                entry.0 -= 1;
+                return; // another attempt is still running
+            }
+            self.running.remove(&desc.idx);
+        }
+        self.maps_pending.push_front(desc);
+    }
+
+    /// Should this reduce attempt fail? (Consumes the injection.)
+    pub fn should_fail_reduce(&mut self, reduce_idx: usize) -> bool {
+        if self.fail_reduce_once == Some(reduce_idx) {
+            self.fail_reduce_once = None;
+            self.failures_seen += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A reduce attempt failed; re-queue it.
+    pub fn reduce_failed(&mut self, reduce_idx: usize) {
+        self.reduces_pending.push_front(reduce_idx);
+    }
+
+    /// All maps completed?
+    pub fn maps_done(&self) -> bool {
+        self.maps_completed == self.total_maps
+    }
+
+    /// Completion events after `cursor`; returns the new cursor.
+    pub fn events_since(&self, cursor: usize) -> (Vec<CompletionEvent>, usize) {
+        (self.events[cursor..].to_vec(), self.events.len())
+    }
+
+    /// A reducer finished.
+    pub fn reduce_completed(&mut self) {
+        self.reduces_done += 1;
+    }
+
+    /// The whole job done?
+    pub fn job_done(&self) -> bool {
+        self.maps_done() && self.reduces_done == self.total_reduces
+    }
+}
+
+#[cfg(test)]
+impl JobTracker {
+    /// Test helper: append a raw completion event without touching counters.
+    pub(crate) fn push_event_for_test(&mut self, map_idx: usize, tt_idx: usize) {
+        self.events.push((map_idx, tt_idx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmr_hdfs::BlockId;
+
+    fn desc(idx: usize, loc: u32) -> MapTaskDesc {
+        MapTaskDesc {
+            idx,
+            block: BlockMeta {
+                id: BlockId(idx as u64),
+                size: 100,
+                replicas: vec![0],
+            },
+            locations: vec![NodeId(loc)],
+        }
+    }
+
+    #[test]
+    fn locality_preferred() {
+        let mut jt = JobTracker::new(vec![desc(0, 1), desc(1, 2), desc(2, 1)], 0, 0.05, None);
+        let (maps, _) = jt.heartbeat(NodeId(1), 2, 0);
+        assert_eq!(maps.iter().map(|m| m.idx).collect::<Vec<_>>(), vec![0, 2]);
+        // Node 3 has no local splits → takes any.
+        let (maps, _) = jt.heartbeat(NodeId(3), 2, 0);
+        assert_eq!(maps.iter().map(|m| m.idx).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn slowstart_gates_reducers() {
+        let maps: Vec<_> = (0..10).map(|i| desc(i, 0)).collect();
+        let mut jt = JobTracker::new(maps, 2, 0.5, None);
+        let (m, r) = jt.heartbeat(NodeId(0), 10, 2);
+        assert_eq!(m.len(), 10);
+        assert!(r.is_empty(), "no reducers before slowstart");
+        for i in 0..5 {
+            jt.map_completed(i, 0);
+        }
+        let (_, r) = jt.heartbeat(NodeId(0), 0, 2);
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn events_cursor_protocol() {
+        let mut jt = JobTracker::new(vec![desc(0, 0), desc(1, 0)], 1, 0.0, None);
+        let _ = jt.heartbeat(NodeId(0), 2, 0);
+        assert!(jt.map_completed(0, 3));
+        let (ev, cur) = jt.events_since(0);
+        assert_eq!(ev, vec![(0, 3)]);
+        assert!(jt.map_completed(1, 4));
+        let (ev, cur2) = jt.events_since(cur);
+        assert_eq!(ev, vec![(1, 4)]);
+        let (ev, _) = jt.events_since(cur2);
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn failed_map_is_rescheduled() {
+        let mut jt = JobTracker::new(vec![desc(0, 0)], 0, 0.0, Some(0));
+        let (maps, _) = jt.heartbeat(NodeId(0), 1, 0);
+        assert!(jt.should_fail(0));
+        assert!(!jt.should_fail(0), "only fails once");
+        jt.map_failed(maps.into_iter().next().unwrap());
+        let (maps, _) = jt.heartbeat(NodeId(5), 1, 0);
+        assert_eq!(maps.len(), 1);
+        jt.map_completed(0, 1);
+        assert!(jt.maps_done());
+        assert_eq!(jt.failures_seen(), 1);
+    }
+
+    #[test]
+    fn speculation_duplicates_stragglers_when_queue_drains() {
+        let mut jt = JobTracker::new(vec![desc(0, 0), desc(1, 0)], 0, 0.0, None);
+        jt.set_speculative(true);
+        let (m, _) = jt.heartbeat(NodeId(0), 2, 0);
+        assert_eq!(m.len(), 2);
+        // Queue empty; a second TT's free slots re-run the oldest straggler.
+        let (m2, _) = jt.heartbeat(NodeId(1), 1, 0);
+        assert_eq!(m2.len(), 1);
+        assert_eq!(m2[0].idx, 0, "oldest straggler first");
+        assert_eq!(jt.speculative_launched(), 1);
+        // First finisher wins; the loser's completion is discarded.
+        assert!(jt.map_completed(0, 1));
+        assert!(!jt.map_completed(0, 0));
+        assert_eq!(jt.speculative_wasted(), 1);
+        assert!(jt.map_completed(1, 0));
+        assert!(jt.maps_done());
+        // A completed task is never speculated again.
+        let (m3, _) = jt.heartbeat(NodeId(2), 4, 0);
+        assert!(m3.is_empty());
+    }
+
+    #[test]
+    fn speculation_disabled_by_default() {
+        let mut jt = JobTracker::new(vec![desc(0, 0)], 0, 0.0, None);
+        let _ = jt.heartbeat(NodeId(0), 1, 0);
+        let (m, _) = jt.heartbeat(NodeId(1), 4, 0);
+        assert!(m.is_empty(), "no duplicates without speculation");
+    }
+
+    #[test]
+    fn failed_reduce_is_rescheduled() {
+        let mut jt = JobTracker::new(vec![], 2, 0.0, None);
+        jt.set_fail_reduce_once(Some(1));
+        let (_, r) = jt.heartbeat(NodeId(0), 0, 2);
+        assert_eq!(r, vec![0, 1]);
+        assert!(jt.should_fail_reduce(1));
+        assert!(!jt.should_fail_reduce(1), "fails only once");
+        jt.reduce_failed(1);
+        let (_, r) = jt.heartbeat(NodeId(1), 0, 2);
+        assert_eq!(r, vec![1]);
+        jt.reduce_completed();
+        jt.reduce_completed();
+        assert!(jt.job_done());
+    }
+
+    #[test]
+    fn job_done_requires_all_phases() {
+        let mut jt = JobTracker::new(vec![desc(0, 0)], 1, 0.0, None);
+        let _ = jt.heartbeat(NodeId(0), 1, 1);
+        assert!(!jt.job_done());
+        jt.map_completed(0, 0);
+        assert!(!jt.job_done());
+        jt.reduce_completed();
+        assert!(jt.job_done());
+    }
+}

@@ -1,0 +1,44 @@
+//! # rmr-core — RDMA-based Hadoop MapReduce (the paper's contribution)
+//!
+//! A complete MapReduce engine over the simulated substrates, with the three
+//! shuffle designs the paper evaluates:
+//!
+//! * **Vanilla Hadoop 0.20** — HTTP-over-sockets copiers, two-level disk
+//!   merge, and the shuffle→merge→reduce barrier ([`reduce::vanilla`]).
+//! * **Hadoop-A** (Wang et al., SC'11) — verbs transport, network-levitated
+//!   merge with fixed kv-count packets, no server-side cache
+//!   ([`reduce::rdma`]).
+//! * **OSU-IB** — the paper's design: UCR RDMA shuffle, TaskTracker-side
+//!   [`prefetch::PrefetchCache`] + `MapOutputPrefetcher`, byte-budgeted
+//!   packets, and full shuffle/merge/reduce overlap ([`reduce::rdma`]).
+//!
+//! Entry point: [`job::run_job`] on a [`cluster::Cluster`] with a
+//! [`config::JobConf`] and [`spec::JobSpec`].
+//!
+//! The data plane is dual: tests and examples run *real* records through
+//! sort/partition/merge/validate; paper-scale benchmarks run the same code
+//! paths with counts only ([`record::RunData`]).
+
+pub mod cluster;
+pub mod config;
+pub mod job;
+pub mod jobtracker;
+pub mod mapoutput;
+pub mod maptask;
+pub mod merge;
+pub mod prefetch;
+pub mod proto;
+pub mod record;
+pub mod reduce;
+pub mod spec;
+pub mod tasktracker;
+pub mod timeline;
+
+pub use cluster::{Cluster, NodeHandle, NodeSpec};
+pub use config::{CpuCosts, JobConf, ShuffleKind};
+pub use job::{run_job, JobResult};
+pub use record::{
+    decode_records, encode_records, HashPartitioner, Partitioner, Record, Segment,
+    TotalOrderPartitioner,
+};
+pub use spec::JobSpec;

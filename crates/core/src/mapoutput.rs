@@ -1,0 +1,107 @@
+//! Map-output bookkeeping: what each finished map produced, per reduce
+//! partition, and where it lives.
+//!
+//! The store is the simulation's omniscient view of the intermediate data
+//! directory (`mapred.local.dir`); serving that data still charges the
+//! owning TaskTracker's disks and network. Serving state (how far each
+//! reducer has consumed each segment) lives with the TaskTracker.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rmr_net::NodeId;
+
+use crate::record::Segment;
+
+/// One completed map's output.
+#[derive(Debug)]
+pub struct MapOutputInfo {
+    /// The map task index.
+    pub map_idx: usize,
+    /// The TaskTracker (worker index) holding the output.
+    pub tt_idx: usize,
+    /// The host.
+    pub node: NodeId,
+    /// File on the TaskTracker's local filesystem.
+    pub file: String,
+    /// Total bytes across all partitions.
+    pub total_bytes: u64,
+    /// Total records.
+    pub total_records: u64,
+    /// Per-reduce-partition sorted segments.
+    pub parts: Vec<Segment>,
+}
+
+/// Registry of completed map outputs.
+#[derive(Clone, Default)]
+pub struct MapOutputStore {
+    inner: Rc<RefCell<HashMap<usize, Rc<MapOutputInfo>>>>,
+}
+
+impl MapOutputStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a completed map output.
+    pub fn insert(&self, info: MapOutputInfo) {
+        self.inner.borrow_mut().insert(info.map_idx, Rc::new(info));
+    }
+
+    /// Fetches a map's output info.
+    pub fn get(&self, map_idx: usize) -> Option<Rc<MapOutputInfo>> {
+        self.inner.borrow().get(&map_idx).cloned()
+    }
+
+    /// Removes (job cleanup or failed-map invalidation).
+    pub fn remove(&self, map_idx: usize) -> Option<Rc<MapOutputInfo>> {
+        self.inner.borrow_mut().remove(&map_idx)
+    }
+
+    /// Number of registered outputs.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all output bytes (conservation checks).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.borrow().values().map(|i| i.total_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(idx: usize, bytes: u64) -> MapOutputInfo {
+        MapOutputInfo {
+            map_idx: idx,
+            tt_idx: 0,
+            node: NodeId(0),
+            file: format!("map_{idx}.out"),
+            total_bytes: bytes,
+            total_records: bytes / 10,
+            parts: vec![Segment::synthetic(bytes / 10, bytes)],
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let s = MapOutputStore::new();
+        s.insert(info(3, 100));
+        s.insert(info(5, 200));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(3).unwrap().total_bytes, 100);
+        assert_eq!(s.total_bytes(), 300);
+        assert!(s.remove(3).is_some());
+        assert!(s.get(3).is_none());
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! MapTask execution: split read, user map, sort & spill, final merge.
+//!
+//! Follows Hadoop 0.20's map side: the split is read from HDFS (local
+//! replica preferred), the map function emits intermediate records into a
+//! sort buffer of `io.sort.mb`; each buffer-full is sorted and spilled to
+//! the local disk as a partitioned, sorted run; multiple spills are merged
+//! into the single indexed map-output file the shuffle serves.
+
+use std::rc::Rc;
+
+use crate::cluster::Cluster;
+use crate::config::JobConf;
+use crate::jobtracker::MapTaskDesc;
+use crate::mapoutput::MapOutputInfo;
+use crate::record::{decode_records, Record, Segment};
+use crate::spec::JobSpec;
+use crate::tasktracker::TaskTracker;
+
+/// Runs one map attempt. When `abort_fraction` is set (fault injection),
+/// the attempt does that fraction of its input work and then dies, returning
+/// `None`.
+pub async fn run_map(
+    cluster: &Cluster,
+    conf: &JobConf,
+    spec: &JobSpec,
+    tt: &Rc<TaskTracker>,
+    desc: &MapTaskDesc,
+    abort_fraction: Option<f64>,
+) -> Option<MapOutputInfo> {
+    let node = tt.node.clone();
+    let sim = &cluster.sim;
+    let costs = &conf.costs;
+
+    // 1. Read the input split (locality-aware).
+    let block = cluster
+        .hdfs
+        .read_block(&desc.block, node.id)
+        .await
+        .expect("split read failed");
+    let in_bytes = block.size;
+
+    // 2. Decode input records.
+    let real_records: Option<Vec<Record>> = block.data.map(decode_records);
+    let in_records = match &real_records {
+        Some(v) => v.len() as u64,
+        None => (in_bytes / spec.avg_record_bytes.max(1)).max(1),
+    };
+    node.compute(costs.serde_per_byte * in_bytes as f64).await;
+
+    // 3. User map function.
+    let map_cpu =
+        costs.map_per_record * in_records as f64 + costs.map_per_byte * in_bytes as f64;
+    if let Some(frac) = abort_fraction {
+        // The attempt dies here after burning `frac` of its map work.
+        node.compute(map_cpu * frac).await;
+        sim.metrics().incr("map.failed_attempts");
+        return None;
+    }
+    node.compute(map_cpu).await;
+    let mut out_records_real: Option<Vec<Record>> = real_records.map(|recs| {
+        let mut out = Vec::with_capacity(recs.len());
+        match &spec.mapper {
+            Some(f) => {
+                for r in &recs {
+                    out.extend(f(r));
+                }
+            }
+            None => out = recs,
+        }
+        out
+    });
+
+    // Map-side combiner: group sorted intermediate records by key and fold
+    // each group (same key ⇒ same partition, so combining before the
+    // partition step is equivalent to Hadoop's per-spill combine).
+    if let Some(combine) = &spec.combiner {
+        if let Some(recs) = out_records_real.take() {
+            let mut sorted = recs;
+            sorted.sort_by(|a, b| a.key.cmp(&b.key));
+            node.compute(costs.reduce_per_record * sorted.len() as f64)
+                .await;
+            let mut combined = Vec::new();
+            let mut i = 0;
+            while i < sorted.len() {
+                let key = sorted[i].key.clone();
+                let mut values = Vec::new();
+                while i < sorted.len() && sorted[i].key == key {
+                    values.push(sorted[i].value.clone());
+                    i += 1;
+                }
+                combined.extend(combine(&key, &values));
+            }
+            out_records_real = Some(combined);
+        }
+    }
+
+    // 4. Sizing of the intermediate output.
+    let (out_records, out_bytes) = match &out_records_real {
+        Some(v) => (
+            v.len() as u64,
+            v.iter().map(Record::size).sum::<u64>(),
+        ),
+        None => {
+            let bytes =
+                (in_bytes as f64 * spec.map_output_ratio * spec.combine_ratio) as u64;
+            (
+                (bytes / spec.avg_record_bytes.max(1)).max(1),
+                bytes,
+            )
+        }
+    };
+
+    // 5. Sort + spill. Each buffer-full is sorted (n·log n) and written.
+    let n_spills = out_bytes.div_ceil(conf.io_sort_buffer.max(1)).max(1);
+    let per_spill_records = (out_records as f64 / n_spills as f64).max(1.0);
+    let sort_cpu = out_records as f64
+        * per_spill_records.log2().max(1.0)
+        * costs.sort_per_record_level
+        + costs.serde_per_byte * out_bytes as f64;
+    node.compute(sort_cpu).await;
+
+    let final_file = format!("map_{idx}.out", idx = desc.idx);
+    if n_spills == 1 {
+        let w = node.fs.writer(&final_file).expect("spill file");
+        w.append(out_bytes).await.expect("spill write");
+    } else {
+        // Write each spill, then merge them into the final file.
+        let mut spill_files = Vec::new();
+        for s in 0..n_spills {
+            let f = format!("map_{idx}_spill{s}", idx = desc.idx);
+            let w = node.fs.writer(&f).expect("spill file");
+            w.append(out_bytes / n_spills).await.expect("spill write");
+            spill_files.push(f);
+        }
+        // Merge: read every spill back, k-way merge CPU, write final.
+        for f in &spill_files {
+            let mut r = node.fs.reader(f).expect("spill readback");
+            let sz = node.fs.size(f).expect("spill size");
+            r.read_exact(sz).await.expect("spill read");
+        }
+        node.compute(
+            out_records as f64 * (n_spills as f64).log2().max(1.0) * costs.sort_per_record_level,
+        )
+        .await;
+        let w = node.fs.writer(&final_file).expect("final map output");
+        w.append(out_bytes).await.expect("final write");
+        for f in &spill_files {
+            let _ = node.fs.delete(f);
+        }
+    }
+
+    // 6. Partition the (sorted) output per reducer.
+    let parts = match out_records_real {
+        Some(recs) => {
+            let seg = Segment::from_records(recs);
+            seg.partition(conf.num_reduces, spec.partitioner.as_ref())
+        }
+        None => Segment::synthetic(out_records, out_bytes)
+            .partition(conf.num_reduces, spec.partitioner.as_ref()),
+    };
+
+    sim.metrics().add("map.output_bytes", out_bytes as f64);
+    sim.metrics().incr("map.completed");
+    Some(MapOutputInfo {
+        map_idx: desc.idx,
+        tt_idx: tt.idx,
+        node: node.id,
+        file: final_file,
+        total_bytes: out_bytes,
+        total_records: out_records,
+        parts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NodeSpec;
+    use crate::config::JobConf;
+    use crate::mapoutput::MapOutputStore;
+    use crate::record::encode_records;
+    use bytes::Bytes;
+    use rmr_des::prelude::*;
+    use rmr_hdfs::{Blob, HdfsConfig};
+    use rmr_net::FabricParams;
+
+    fn mk_cluster(sim: &Sim) -> Cluster {
+        Cluster::build(
+            sim,
+            FabricParams::ib_verbs_qdr(),
+            &[NodeSpec::westmere_compute(), NodeSpec::westmere_compute()],
+            HdfsConfig {
+                block_size: 1 << 20,
+                replication: 1,
+                packet_size: 256 << 10,
+            },
+        )
+    }
+
+    fn mk_tt(sim: &Sim, cluster: &Cluster, conf: &Rc<JobConf>) -> Rc<TaskTracker> {
+        TaskTracker::new(
+            sim,
+            0,
+            cluster.workers[0].clone(),
+            Rc::clone(conf),
+            MapOutputStore::new(),
+        )
+    }
+
+    #[test]
+    fn real_map_sorts_and_partitions() {
+        let sim = Sim::new(1);
+        let cluster = mk_cluster(&sim);
+        let mut conf = JobConf::default();
+        conf.num_reduces = 4;
+        let conf = Rc::new(conf);
+        let spec = JobSpec::sort("/in", "/out", 14);
+        let tt = mk_tt(&sim, &cluster, &conf);
+        let c2 = cluster.clone();
+        let done = Rc::new(std::cell::RefCell::new(None));
+        let d2 = Rc::clone(&done);
+        sim.spawn(async move {
+            // Write real input: 50 records with descending keys.
+            let recs: Vec<Record> = (0..50u32)
+                .rev()
+                .map(|i| Record::new(i.to_be_bytes().to_vec(), Bytes::from_static(b"valuedata")))
+                .collect();
+            let mut w = c2.hdfs.create("/in", c2.workers[0].id).await.unwrap();
+            w.write(Blob::real(encode_records(&recs))).await.unwrap();
+            w.close().await.unwrap();
+            let locs = c2.hdfs.split_locations("/in").unwrap();
+            let desc = MapTaskDesc {
+                idx: 0,
+                block: locs[0].0.clone(),
+                locations: locs[0].1.clone(),
+            };
+            let out = run_map(&c2, &conf, &spec, &tt, &desc, None).await.unwrap();
+            *d2.borrow_mut() = Some(out);
+        })
+        .detach();
+        sim.run();
+        let out = done.borrow_mut().take().unwrap();
+        assert_eq!(out.total_records, 50);
+        assert_eq!(out.parts.len(), 4);
+        assert_eq!(out.parts.iter().map(|p| p.records).sum::<u64>(), 50);
+        for p in &out.parts {
+            assert!(p.is_sorted());
+        }
+        // The map output file exists with the right size.
+        assert_eq!(
+            cluster.workers[0].fs.size(&out.file).unwrap(),
+            out.total_bytes
+        );
+    }
+
+    #[test]
+    fn synthetic_map_scales_with_ratio() {
+        let sim = Sim::new(2);
+        let cluster = mk_cluster(&sim);
+        let mut conf = JobConf::default();
+        conf.num_reduces = 2;
+        let conf = Rc::new(conf);
+        let spec = JobSpec::sort("/in", "/out", 100).with_ratios(0.5, 1.0);
+        let tt = mk_tt(&sim, &cluster, &conf);
+        let c2 = cluster.clone();
+        let done = Rc::new(std::cell::RefCell::new(None));
+        let d2 = Rc::clone(&done);
+        sim.spawn(async move {
+            let mut w = c2.hdfs.create("/in", c2.workers[0].id).await.unwrap();
+            w.write(Blob::synthetic(1 << 20)).await.unwrap();
+            w.close().await.unwrap();
+            let locs = c2.hdfs.split_locations("/in").unwrap();
+            let desc = MapTaskDesc {
+                idx: 0,
+                block: locs[0].0.clone(),
+                locations: locs[0].1.clone(),
+            };
+            let out = run_map(&c2, &conf, &spec, &tt, &desc, None).await.unwrap();
+            *d2.borrow_mut() = Some(out);
+        })
+        .detach();
+        sim.run();
+        let out = done.borrow_mut().take().unwrap();
+        assert_eq!(out.total_bytes, 1 << 19, "ratio 0.5 halves output");
+        assert_eq!(
+            out.parts.iter().map(|p| p.bytes).sum::<u64>(),
+            out.total_bytes
+        );
+    }
+
+    #[test]
+    fn multi_spill_charges_extra_io() {
+        // Same input, tiny sort buffer → spills + merge pass → more disk
+        // traffic and a later finish.
+        let mut times = Vec::new();
+        for sort_buffer in [u64::MAX, 128 << 10] {
+            let sim = Sim::new(3);
+            let cluster = mk_cluster(&sim);
+            let mut conf = JobConf::default();
+            conf.num_reduces = 1;
+            conf.io_sort_buffer = sort_buffer;
+            let conf = Rc::new(conf);
+            let spec = JobSpec::sort("/in", "/out", 100);
+            let tt = mk_tt(&sim, &cluster, &conf);
+            let c2 = cluster.clone();
+            let sim2 = sim.clone();
+            let t = Rc::new(std::cell::Cell::new(0u64));
+            let t2 = Rc::clone(&t);
+            sim.spawn(async move {
+                let mut w = c2.hdfs.create("/in", c2.workers[0].id).await.unwrap();
+                w.write(Blob::synthetic(1 << 20)).await.unwrap();
+                w.close().await.unwrap();
+                let locs = c2.hdfs.split_locations("/in").unwrap();
+                let desc = MapTaskDesc {
+                    idx: 0,
+                    block: locs[0].0.clone(),
+                    locations: locs[0].1.clone(),
+                };
+                let start = sim2.now();
+                run_map(&c2, &conf, &spec, &tt, &desc, None).await.unwrap();
+                t2.set((sim2.now() - start).as_nanos());
+            })
+            .detach();
+            sim.run();
+            times.push(t.get());
+        }
+        assert!(times[1] > times[0], "spilling must cost extra time");
+    }
+
+    #[test]
+    fn aborted_attempt_produces_nothing() {
+        let sim = Sim::new(4);
+        let cluster = mk_cluster(&sim);
+        let conf = Rc::new(JobConf::default());
+        let spec = JobSpec::sort("/in", "/out", 100);
+        let tt = mk_tt(&sim, &cluster, &conf);
+        let c2 = cluster.clone();
+        let got = Rc::new(std::cell::Cell::new(true));
+        let g2 = Rc::clone(&got);
+        sim.spawn(async move {
+            let mut w = c2.hdfs.create("/in", c2.workers[0].id).await.unwrap();
+            w.write(Blob::synthetic(1 << 20)).await.unwrap();
+            w.close().await.unwrap();
+            let locs = c2.hdfs.split_locations("/in").unwrap();
+            let desc = MapTaskDesc {
+                idx: 0,
+                block: locs[0].0.clone(),
+                locations: locs[0].1.clone(),
+            };
+            let out = run_map(&c2, &conf, &spec, &tt, &desc, Some(0.5)).await;
+            g2.set(out.is_some());
+        })
+        .detach();
+        sim.run();
+        assert!(!got.get());
+        assert_eq!(sim.metrics().get("map.failed_attempts"), 1.0);
+    }
+}

@@ -1,0 +1,487 @@
+//! The reduce-side streaming merge (§III-B-2, "Faster Merge").
+//!
+//! Both RDMA designs merge the heads of all map-output segments through a
+//! priority queue, emitting globally sorted key-value pairs into the
+//! `DataToReduceQueue` while later packets are still in flight. The
+//! correctness rule is the one the paper states: the merge may only extract
+//! while *every* non-exhausted source has data available — when "the number
+//! of key-value pairs from a particular map decreases to zero", extraction
+//! pauses until that map's next packet arrives.
+//!
+//! [`StreamingMerge`] is a plain synchronous data structure; the shuffle
+//! engines drive it and do the fetching/awaiting around it. It supports both
+//! data planes: real packets heap-merge by key; synthetic packets emit
+//! proportionally to each source's remaining share (the fluid limit of a
+//! merge over uniformly distributed keys — exactly TeraGen/RandomWriter
+//! key distributions).
+
+use std::collections::VecDeque;
+
+use crate::record::{Record, RunData, Segment};
+
+/// What [`StreamingMerge::emit`] produced.
+#[derive(Debug)]
+pub enum Emit {
+    /// Merged, globally sorted output.
+    Data(Segment),
+    /// No progress possible: these sources are dry but not exhausted.
+    Stalled(Vec<usize>),
+    /// Every source fully consumed and emitted.
+    Done,
+}
+
+struct Source {
+    expected_records: u64,
+    appended_records: u64,
+    consumed_records: u64,
+    consumed_bytes_in_head: u64,
+    /// FIFO of delivered, not-yet-fully-consumed packets.
+    packets: VecDeque<Segment>,
+    /// Index into the head packet (real mode).
+    head_idx: usize,
+}
+
+impl Source {
+    fn available(&self) -> u64 {
+        self.appended_records - self.consumed_records
+    }
+
+    fn exhausted(&self) -> bool {
+        self.consumed_records >= self.expected_records
+    }
+
+    /// The current head record (real mode; None if dry).
+    fn head(&self) -> Option<&Record> {
+        let pkt = self.packets.front()?;
+        match &pkt.data {
+            RunData::Real { recs, start, end } => {
+                let i = start + self.head_idx;
+                if i < *end {
+                    Some(&recs[i])
+                } else {
+                    None
+                }
+            }
+            RunData::Synthetic { .. } => None,
+        }
+    }
+
+    /// Consumes the head record (real mode), returning it.
+    fn pop_real(&mut self) -> Record {
+        let pkt = self.packets.front().expect("pop from dry source");
+        let rec = match &pkt.data {
+            RunData::Real { recs, start, .. } => recs[start + self.head_idx].clone(),
+            RunData::Synthetic { .. } => unreachable!("pop_real on synthetic"),
+        };
+        self.head_idx += 1;
+        self.consumed_records += 1;
+        if self.head_idx as u64 >= pkt.records {
+            self.packets.pop_front();
+            self.head_idx = 0;
+        }
+        rec
+    }
+
+    /// Consumes `n` records from the packet FIFO (synthetic mode), returning
+    /// bytes consumed (proportional within partially consumed packets).
+    fn pop_synthetic(&mut self, mut n: u64) -> u64 {
+        let mut bytes = 0u64;
+        while n > 0 {
+            let pkt = self.packets.front_mut().expect("pop from dry source");
+            let pkt_consumed = self.head_idx as u64;
+            let left_in_pkt = pkt.records - pkt_consumed;
+            let take = n.min(left_in_pkt);
+            let b = if take == left_in_pkt {
+                pkt.bytes - self.consumed_bytes_in_head
+            } else {
+                (pkt.bytes as u128 * take as u128 / pkt.records as u128) as u64
+            };
+            bytes += b;
+            self.consumed_bytes_in_head += b;
+            self.head_idx += take as usize;
+            self.consumed_records += take;
+            n -= take;
+            if self.head_idx as u64 >= pkt.records {
+                self.packets.pop_front();
+                self.head_idx = 0;
+                self.consumed_bytes_in_head = 0;
+            }
+        }
+        bytes
+    }
+}
+
+/// Priority-queue merge over incrementally delivered packet streams.
+pub struct StreamingMerge {
+    sources: Vec<Source>,
+    real: Option<bool>,
+    emitted_records: u64,
+    emitted_bytes: u64,
+}
+
+impl StreamingMerge {
+    /// Creates a merge expecting, per source, the given total record count.
+    pub fn new(expected_records: Vec<u64>) -> Self {
+        StreamingMerge {
+            sources: expected_records
+                .into_iter()
+                .map(|expected_records| Source {
+                    expected_records,
+                    appended_records: 0,
+                    consumed_records: 0,
+                    consumed_bytes_in_head: 0,
+                    packets: VecDeque::new(),
+                    head_idx: 0,
+                })
+                .collect(),
+            real: None,
+            emitted_records: 0,
+            emitted_bytes: 0,
+        }
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Records emitted so far.
+    pub fn emitted_records(&self) -> u64 {
+        self.emitted_records
+    }
+
+    /// Bytes emitted so far.
+    pub fn emitted_bytes(&self) -> u64 {
+        self.emitted_bytes
+    }
+
+    /// Delivers a shuffle packet for `source`.
+    pub fn append(&mut self, source: usize, packet: Segment) {
+        if packet.records == 0 {
+            return;
+        }
+        let is_real = packet.is_real();
+        match self.real {
+            None => self.real = Some(is_real),
+            Some(r) => assert_eq!(r, is_real, "mixed real/synthetic packets"),
+        }
+        let s = &mut self.sources[source];
+        s.appended_records += packet.records;
+        assert!(
+            s.appended_records <= s.expected_records,
+            "source {source} over-delivered: {} > {}",
+            s.appended_records,
+            s.expected_records
+        );
+        s.packets.push_back(packet);
+    }
+
+    /// Sources whose buffered (unconsumed) records are below `watermark` and
+    /// which still expect more data — the engine's refill set.
+    pub fn sources_below(&self, watermark: u64) -> Vec<usize> {
+        self.sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                !s.exhausted()
+                    && s.available() < watermark
+                    && s.appended_records < s.expected_records
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Debug view of one source: (expected, appended, consumed) records.
+    pub fn source_debug(&self, i: usize) -> (u64, u64, u64) {
+        let s = &self.sources[i];
+        (s.expected_records, s.appended_records, s.consumed_records)
+    }
+
+    /// True once everything expected has been emitted.
+    pub fn done(&self) -> bool {
+        self.sources.iter().all(Source::exhausted)
+    }
+
+    /// Extracts up to `max_records` merged records.
+    pub fn emit(&mut self, max_records: u64) -> Emit {
+        if self.done() {
+            return Emit::Done;
+        }
+        let dry: Vec<usize> = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.exhausted() && s.available() == 0)
+            .map(|(i, _)| i)
+            .collect();
+        if !dry.is_empty() {
+            return Emit::Stalled(dry);
+        }
+        let seg = match self.real {
+            Some(true) => self.emit_real(max_records),
+            // Synthetic (or nothing appended yet, which can't happen: dry
+            // check above would have fired).
+            _ => self.emit_synthetic(max_records),
+        };
+        if seg.records == 0 {
+            // All sources dry at zero-progress: report who needs data.
+            let dry: Vec<usize> = self
+                .sources
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.exhausted() && s.available() == 0)
+                .map(|(i, _)| i)
+                .collect();
+            return Emit::Stalled(dry);
+        }
+        self.emitted_records += seg.records;
+        self.emitted_bytes += seg.bytes;
+        Emit::Data(seg)
+    }
+
+    fn emit_real(&mut self, max_records: u64) -> Segment {
+        let mut out = Vec::new();
+        while (out.len() as u64) < max_records {
+            // Extraction is only safe while every non-exhausted source has a
+            // buffered head.
+            if self
+                .sources
+                .iter()
+                .any(|s| !s.exhausted() && s.available() == 0)
+            {
+                break;
+            }
+            // Pick the source with the minimum head key.
+            let mut best: Option<(usize, &Record)> = None;
+            for (i, s) in self.sources.iter().enumerate() {
+                if let Some(h) = s.head() {
+                    match best {
+                        Some((_, b)) if b.key <= h.key => {}
+                        _ => best = Some((i, h)),
+                    }
+                }
+            }
+            match best {
+                Some((i, _)) => out.push(self.sources[i].pop_real()),
+                None => break,
+            }
+        }
+        Segment::from_sorted(out)
+    }
+
+    fn emit_synthetic(&mut self, max_records: u64) -> Segment {
+        // Fluid limit: emission draws from each source proportionally to its
+        // remaining share; any source running dry caps the batch.
+        let total_remaining: u64 = self
+            .sources
+            .iter()
+            .map(|s| s.expected_records - s.consumed_records)
+            .sum();
+        if total_remaining == 0 {
+            return Segment::empty();
+        }
+        let mut feasible = max_records.min(total_remaining);
+        for s in &self.sources {
+            let rem = s.expected_records - s.consumed_records;
+            if rem == 0 {
+                continue;
+            }
+            // Largest E such that E * rem / total ≤ available.
+            let cap = (s.available() as u128 * total_remaining as u128 / rem as u128) as u64;
+            feasible = feasible.min(cap);
+        }
+        if feasible == 0 {
+            // Can't take a proportional slice, but per the stall rule we may
+            // still take single records from the fullest source(s) — emulate
+            // the PQ draining whichever head happens to be minimal. Take one
+            // record from the source with the most available.
+            let i = self
+                .sources
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.available() > 0)
+                .max_by_key(|(_, s)| s.available())
+                .map(|(i, _)| i);
+            return match i {
+                Some(i) => {
+                    let bytes = self.sources[i].pop_synthetic(1);
+                    Segment::synthetic(1, bytes)
+                }
+                None => Segment::empty(),
+            };
+        }
+        // Distribute `feasible` across sources by remaining share.
+        let mut taken_total = 0u64;
+        let mut bytes_total = 0u64;
+        let n = self.sources.len();
+        for idx in 0..n {
+            let rem = self.sources[idx].expected_records - self.sources[idx].consumed_records;
+            let mut take =
+                (feasible as u128 * rem as u128 / total_remaining as u128) as u64;
+            take = take.min(self.sources[idx].available());
+            if take > 0 {
+                bytes_total += self.sources[idx].pop_synthetic(take);
+                taken_total += take;
+            }
+        }
+        // Rounding residue: top up from sources with availability.
+        let mut residue = feasible - taken_total;
+        let mut idx = 0;
+        while residue > 0 && idx < n {
+            let avail = self.sources[idx].available();
+            if avail > 0 {
+                let take = avail.min(residue);
+                bytes_total += self.sources[idx].pop_synthetic(take);
+                taken_total += take;
+                residue -= take;
+            }
+            idx += 1;
+        }
+        Segment::synthetic(taken_total, bytes_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn rec(k: u32) -> Record {
+        Record::new(k.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+    }
+
+    fn real_packet(keys: &[u32]) -> Segment {
+        Segment::from_sorted(keys.iter().map(|&k| rec(k)).collect())
+    }
+
+    #[test]
+    fn real_merge_produces_global_order_across_packets() {
+        let mut m = StreamingMerge::new(vec![4, 4]);
+        m.append(0, real_packet(&[1, 5]));
+        m.append(1, real_packet(&[2, 3]));
+        let mut out = Vec::new();
+        // First emit: both sources have data; may emit until someone dries.
+        if let Emit::Data(seg) = m.emit(100) {
+            out.extend(seg.iter_real().map(|r| u32::from_be_bytes(r.key[..4].try_into().unwrap())));
+        }
+        // Source 1 dry after 2,3 consumed... emit stops when its buffer
+        // empties (5 can't be emitted before knowing source 1's next key).
+        assert_eq!(out, vec![1, 2, 3]);
+        match m.emit(100) {
+            Emit::Stalled(s) => assert_eq!(s, vec![1]),
+            other => panic!("expected stall, got {other:?}"),
+        }
+        m.append(1, real_packet(&[4, 9]));
+        m.append(0, real_packet(&[7, 8]));
+        let mut rest = Vec::new();
+        loop {
+            match m.emit(100) {
+                Emit::Data(seg) => rest.extend(
+                    seg.iter_real()
+                        .map(|r| u32::from_be_bytes(r.key[..4].try_into().unwrap())),
+                ),
+                Emit::Done => break,
+                Emit::Stalled(s) => panic!("unexpected stall on {s:?}"),
+            }
+        }
+        assert_eq!(rest, vec![4, 5, 7, 8, 9]);
+        assert_eq!(m.emitted_records(), 8);
+    }
+
+    #[test]
+    fn stall_until_first_packets_arrive() {
+        let mut m = StreamingMerge::new(vec![2, 2]);
+        match m.emit(10) {
+            Emit::Stalled(s) => assert_eq!(s, vec![0, 1]),
+            other => panic!("{other:?}"),
+        }
+        m.append(0, real_packet(&[1, 2]));
+        match m.emit(10) {
+            Emit::Stalled(s) => assert_eq!(s, vec![1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthetic_merge_emits_proportionally_and_stalls() {
+        let mut m = StreamingMerge::new(vec![100, 100]);
+        m.append(0, Segment::synthetic(10, 1_000));
+        m.append(1, Segment::synthetic(10, 1_000));
+        match m.emit(1_000) {
+            Emit::Data(seg) => {
+                // Proportional: both sources equally loaded → drains both.
+                assert_eq!(seg.records, 20);
+                assert_eq!(seg.bytes, 2_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        match m.emit(1_000) {
+            Emit::Stalled(s) => assert_eq!(s, vec![0, 1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthetic_merge_capped_by_lean_source() {
+        let mut m = StreamingMerge::new(vec![100, 100]);
+        m.append(0, Segment::synthetic(50, 5_000));
+        m.append(1, Segment::synthetic(2, 200));
+        match m.emit(1_000) {
+            Emit::Data(seg) => {
+                // Proportional draw: source 1 has 2 available of 100
+                // remaining → batch ≈ 4 total.
+                assert!(seg.records <= 4, "got {}", seg.records);
+                assert!(seg.records >= 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_delivery_then_done() {
+        let mut m = StreamingMerge::new(vec![3, 2]);
+        m.append(0, Segment::synthetic(3, 300));
+        m.append(1, Segment::synthetic(2, 200));
+        let mut recs = 0;
+        let mut bytes = 0;
+        loop {
+            match m.emit(2) {
+                Emit::Data(s) => {
+                    recs += s.records;
+                    bytes += s.bytes;
+                }
+                Emit::Done => break,
+                Emit::Stalled(s) => panic!("stall {s:?}"),
+            }
+        }
+        assert_eq!(recs, 5);
+        assert_eq!(bytes, 500);
+        assert!(m.done());
+    }
+
+    #[test]
+    fn sources_below_reports_refill_set() {
+        let mut m = StreamingMerge::new(vec![10, 10, 3]);
+        m.append(0, Segment::synthetic(8, 80));
+        m.append(1, Segment::synthetic(1, 10));
+        m.append(2, Segment::synthetic(3, 30)); // fully delivered
+        assert_eq!(m.sources_below(4), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-delivered")]
+    fn over_delivery_is_rejected() {
+        let mut m = StreamingMerge::new(vec![1]);
+        m.append(0, Segment::synthetic(2, 20));
+    }
+
+    #[test]
+    fn zero_record_packets_are_ignored() {
+        let mut m = StreamingMerge::new(vec![1]);
+        m.append(0, Segment::empty());
+        match m.emit(1) {
+            Emit::Stalled(s) => assert_eq!(s, vec![0]),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Intermediate-data pre-fetching and caching (§III-B-3) — the paper's
+//! headline mechanism.
+//!
+//! * [`PrefetchCache`] — a bounded in-heap cache of whole map-output files
+//!   on the TaskTracker. Eviction prefers low priority, then stale entries;
+//!   demand-missed outputs are re-cached with elevated priority so
+//!   "successive requests for this output file can be served from the
+//!   cache".
+//! * [`Prefetcher`] — the `MapOutputPrefetcher`: a daemon pool that pulls
+//!   (map, priority) requests from a queue and stages the file from local
+//!   disk into the cache. A request is enqueued the moment a map finishes,
+//!   so caching overlaps the map wave.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rmr_des::prelude::*;
+use rmr_des::sync::{channel, Receiver, Sender};
+use rmr_store::LocalFs;
+
+/// Caching priority; higher survives eviction longer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Proactively cached after map completion.
+    Prefetch = 0,
+    /// Re-cached after a demand miss (§III-B-3: "cache this particular map
+    /// output data with more priority").
+    Demand = 1,
+}
+
+struct Entry {
+    bytes: u64,
+    priority: Priority,
+    last_touch: u64,
+}
+
+struct CacheInner {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<usize, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The TaskTracker-side map-output cache.
+#[derive(Clone)]
+pub struct PrefetchCache {
+    inner: Rc<RefCell<CacheInner>>,
+}
+
+impl PrefetchCache {
+    /// Creates a cache of `capacity` bytes (0 = disabled).
+    pub fn new(capacity: u64) -> Self {
+        PrefetchCache {
+            inner: Rc::new(RefCell::new(CacheInner {
+                capacity,
+                used: 0,
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            })),
+        }
+    }
+
+    /// Bytes resident.
+    pub fn used(&self) -> u64 {
+        self.inner.borrow().used
+    }
+
+    /// (hits, misses) of `lookup` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let i = self.inner.borrow();
+        (i.hits, i.misses)
+    }
+
+    /// True if map `map_idx`'s output is resident (without counting a
+    /// hit/miss or touching recency).
+    pub fn contains(&self, map_idx: usize) -> bool {
+        self.inner.borrow().entries.contains_key(&map_idx)
+    }
+
+    /// Serve-path lookup: touches recency and counts hit/miss.
+    pub fn lookup(&self, map_idx: usize) -> bool {
+        let mut i = self.inner.borrow_mut();
+        i.tick += 1;
+        let tick = i.tick;
+        match i.entries.get_mut(&map_idx) {
+            Some(e) => {
+                e.last_touch = tick;
+                i.hits += 1;
+                true
+            }
+            None => {
+                i.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Would an insert of `bytes` at `priority` be admitted right now?
+    /// Used by the prefetcher to avoid wasting disk reads on data the cache
+    /// cannot hold (the paper's adaptive "limit the amount of data to be
+    /// cached" behaviour).
+    pub fn would_admit(&self, map_idx: usize, bytes: u64, priority: Priority) -> bool {
+        let i = self.inner.borrow();
+        if bytes > i.capacity {
+            return false;
+        }
+        if i.entries.contains_key(&map_idx) {
+            return true;
+        }
+        let evictable: u64 = i
+            .entries
+            .values()
+            .filter(|e| e.priority < priority)
+            .map(|e| e.bytes)
+            .sum();
+        i.used + bytes <= i.capacity + evictable
+    }
+
+    /// Inserts (or re-prioritises) a map output of `bytes`. Admission is
+    /// conservative to prevent thrash: an insert may evict only entries of
+    /// *strictly lower* priority; if space still doesn't suffice the insert
+    /// is rejected and the data keeps being served from disk. Returns
+    /// whether the entry is now resident.
+    pub fn insert(&self, map_idx: usize, bytes: u64, priority: Priority) -> bool {
+        if !self.would_admit(map_idx, bytes, priority) {
+            return false;
+        }
+        let mut i = self.inner.borrow_mut();
+        i.tick += 1;
+        let tick = i.tick;
+        if let Some(e) = i.entries.get_mut(&map_idx) {
+            e.priority = e.priority.max(priority);
+            e.last_touch = tick;
+            return true;
+        }
+        while i.used + bytes > i.capacity {
+            let victim = i
+                .entries
+                .iter()
+                .filter(|(_, e)| e.priority < priority)
+                .min_by_key(|(_, e)| (e.priority, e.last_touch))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = i.entries.remove(&k).unwrap();
+                    i.used -= e.bytes;
+                }
+                None => return false, // would_admit guarantees this is rare
+            }
+        }
+        i.used += bytes;
+        i.entries.insert(
+            map_idx,
+            Entry {
+                bytes,
+                priority,
+                last_touch: tick,
+            },
+        );
+        true
+    }
+
+    /// Drops an entry (map output deleted after job completion).
+    pub fn remove(&self, map_idx: usize) {
+        let mut i = self.inner.borrow_mut();
+        if let Some(e) = i.entries.remove(&map_idx) {
+            i.used -= e.bytes;
+        }
+    }
+}
+
+/// A prefetch request: stage this map's output file.
+#[derive(Debug, Clone)]
+pub struct PrefetchRequest {
+    /// Which map.
+    pub map_idx: usize,
+    /// The file to stage.
+    pub file: String,
+    /// Its size.
+    pub bytes: u64,
+    /// Requested priority.
+    pub priority: Priority,
+}
+
+/// Handle to a TaskTracker's `MapOutputPrefetcher` daemon pool.
+#[derive(Clone)]
+pub struct Prefetcher {
+    tx: Sender<PrefetchRequest>,
+    cache: PrefetchCache,
+    queued: Rc<RefCell<std::collections::HashSet<usize>>>,
+}
+
+impl Prefetcher {
+    /// Spawns `threads` staging daemons reading from `fs` into `cache`.
+    pub fn spawn(sim: &Sim, fs: &LocalFs, cache: &PrefetchCache, threads: usize) -> Self {
+        let (tx, rx): (Sender<PrefetchRequest>, Receiver<PrefetchRequest>) = channel();
+        let queued: Rc<RefCell<std::collections::HashSet<usize>>> =
+            Rc::new(RefCell::new(std::collections::HashSet::new()));
+        for _ in 0..threads.max(1) {
+            let rx = rx.clone();
+            let fs = fs.clone();
+            let cache = cache.clone();
+            let sim2 = sim.clone();
+            let queued = Rc::clone(&queued);
+            sim.spawn(async move {
+                while let Some(req) = rx.recv().await {
+                    queued.borrow_mut().remove(&req.map_idx);
+                    if cache.contains(req.map_idx) {
+                        continue;
+                    }
+                    // Don't burn disk bandwidth staging data the cache
+                    // cannot admit anyway.
+                    if !cache.would_admit(req.map_idx, req.bytes, req.priority) {
+                        sim2.metrics().incr("prefetch.rejected");
+                        continue;
+                    }
+                    // Stage the whole file from disk (page-cache aware).
+                    if fs.exists(&req.file) {
+                        let mut r = match fs.reader(&req.file) {
+                            Ok(r) => r,
+                            Err(_) => continue,
+                        };
+                        if r.read_exact(req.bytes).await.is_ok() {
+                            if cache.insert(req.map_idx, req.bytes, req.priority) {
+                                sim2.metrics().incr("prefetch.staged");
+                            }
+                        }
+                    }
+                }
+            })
+            .detach();
+        }
+        Prefetcher {
+            tx,
+            cache: cache.clone(),
+            queued,
+        }
+    }
+
+    /// Enqueues a staging request (non-blocking; daemons drain the queue).
+    /// Duplicate requests for an already-queued map are coalesced.
+    pub fn request(&self, req: PrefetchRequest) {
+        if self.cache.contains(req.map_idx) {
+            return;
+        }
+        if !self.queued.borrow_mut().insert(req.map_idx) {
+            return;
+        }
+        let _ = self.tx.send_now(req);
+    }
+
+    /// The cache daemons stage into.
+    pub fn cache(&self) -> &PrefetchCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmr_des::SimDuration;
+    use rmr_store::DiskParams;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let c = PrefetchCache::new(1_000);
+        assert!(!c.lookup(1));
+        assert!(c.insert(1, 100, Priority::Prefetch));
+        assert!(c.lookup(1));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn same_priority_insert_never_thrashes() {
+        let c = PrefetchCache::new(300);
+        c.insert(1, 100, Priority::Prefetch);
+        c.insert(2, 100, Priority::Demand);
+        c.insert(3, 100, Priority::Prefetch);
+        // Full; a same-priority insert must be rejected (no Prefetch-vs-
+        // Prefetch eviction churn).
+        assert!(!c.insert(4, 100, Priority::Prefetch));
+        assert!(c.contains(1) && c.contains(2) && c.contains(3));
+        // A Demand insert may evict the least-recent Prefetch entry.
+        assert!(c.insert(5, 100, Priority::Demand));
+        assert!(!c.contains(1), "oldest Prefetch entry evicted");
+        assert!(c.contains(2) && c.contains(3) && c.contains(5));
+    }
+
+    #[test]
+    fn would_admit_predicts_insert() {
+        let c = PrefetchCache::new(200);
+        assert!(c.would_admit(1, 150, Priority::Prefetch));
+        c.insert(1, 150, Priority::Prefetch);
+        assert!(!c.would_admit(2, 100, Priority::Prefetch));
+        assert!(c.would_admit(2, 100, Priority::Demand));
+        assert!(c.would_admit(1, 150, Priority::Prefetch), "resident is admitted");
+    }
+
+    #[test]
+    fn lower_priority_cannot_evict_higher() {
+        let c = PrefetchCache::new(200);
+        c.insert(1, 100, Priority::Demand);
+        c.insert(2, 100, Priority::Demand);
+        assert!(!c.insert(3, 100, Priority::Prefetch));
+        assert!(c.contains(1) && c.contains(2));
+    }
+
+    #[test]
+    fn demand_insert_evicts_prefetch() {
+        let c = PrefetchCache::new(200);
+        c.insert(1, 100, Priority::Prefetch);
+        c.insert(2, 100, Priority::Prefetch);
+        assert!(c.insert(3, 150, Priority::Demand));
+        assert!(c.contains(3));
+        assert_eq!(c.used(), 150);
+    }
+
+    #[test]
+    fn prefetcher_coalesces_duplicate_requests() {
+        use rmr_des::Sim;
+        let sim = Sim::new(1);
+        let fs = LocalFs::new(&sim, DiskParams::ssd_sata(), 1, 0, "t");
+        let cache = PrefetchCache::new(1 << 20);
+        let pf = Prefetcher::spawn(&sim, &fs, &cache, 1);
+        let fs2 = fs.clone();
+        let pf2 = pf.clone();
+        sim.spawn(async move {
+            let w = fs2.writer("f").unwrap();
+            w.append(1_000).await.unwrap();
+            for _ in 0..10 {
+                pf2.request(PrefetchRequest {
+                    map_idx: 0,
+                    file: "f".to_string(),
+                    bytes: 1_000,
+                    priority: Priority::Demand,
+                });
+            }
+        })
+        .detach();
+        sim.run();
+        assert!(cache.contains(0));
+        assert_eq!(sim.metrics().get("prefetch.staged"), 1.0);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let c = PrefetchCache::new(100);
+        assert!(!c.insert(1, 200, Priority::Demand));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn reinsert_upgrades_priority() {
+        let c = PrefetchCache::new(200);
+        c.insert(1, 100, Priority::Prefetch);
+        c.insert(1, 100, Priority::Demand);
+        assert_eq!(c.used(), 100, "no double counting");
+        // Now a Prefetch insert must not evict it.
+        assert!(!c.insert(2, 200, Priority::Prefetch));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn remove_releases_space() {
+        let c = PrefetchCache::new(100);
+        c.insert(1, 100, Priority::Demand);
+        c.remove(1);
+        assert_eq!(c.used(), 0);
+        assert!(c.insert(2, 100, Priority::Prefetch));
+    }
+
+    #[test]
+    fn prefetcher_daemon_stages_files() {
+        let sim = Sim::new(1);
+        let fs = LocalFs::new(&sim, DiskParams::ssd_sata(), 1, 0, "t");
+        let cache = PrefetchCache::new(1 << 20);
+        let pf = Prefetcher::spawn(&sim, &fs, &cache, 2);
+        let fs2 = fs.clone();
+        let pf2 = pf.clone();
+        sim.spawn(async move {
+            let w = fs2.writer("map_0.out").unwrap();
+            w.append(10_000).await.unwrap();
+            pf2.request(PrefetchRequest {
+                map_idx: 0,
+                file: "map_0.out".to_string(),
+                bytes: 10_000,
+                priority: Priority::Prefetch,
+            });
+        })
+        .detach();
+        sim.run();
+        assert!(cache.contains(0));
+        assert_eq!(cache.used(), 10_000);
+    }
+
+    #[test]
+    fn prefetcher_charges_disk_time() {
+        let sim = Sim::new(1);
+        // 0 cache budget on the fs page cache → staging must hit the disk.
+        let mut p = DiskParams::ssd_sata();
+        p.seq_bw = 1_000.0; // 1 kB/s for visibility
+        p.access_latency = SimDuration::ZERO;
+        let fs = LocalFs::new(&sim, p, 1, 0, "t");
+        let cache = PrefetchCache::new(1 << 20);
+        let pf = Prefetcher::spawn(&sim, &fs, &cache, 1);
+        let fs2 = fs.clone();
+        sim.spawn(async move {
+            let w = fs2.writer("f").unwrap();
+            w.append(1_000).await.unwrap(); // 1 s
+            pf.request(PrefetchRequest {
+                map_idx: 7,
+                file: "f".to_string(),
+                bytes: 1_000,
+                priority: Priority::Prefetch,
+            });
+        })
+        .detach();
+        let end = sim.run();
+        // 1 s write + 1 s staging read.
+        assert_eq!(end.as_nanos(), 2_000_000_000);
+        assert!(cache.contains(7));
+    }
+}

@@ -1,0 +1,673 @@
+//! The dual data plane: real records and synthetic (accounting-only) runs.
+//!
+//! Correctness runs (tests, examples) materialise every key-value pair and
+//! genuinely sort, partition, and merge them; paper-scale benchmark runs
+//! carry only record/byte counts through exactly the same code paths, so
+//! the *timing* model is identical in both modes. [`RunData::Real`] holds a
+//! shared, immutable, sorted record vector plus a slice window, which lets
+//! shuffle packets reference sub-ranges without copying.
+
+use std::rc::Rc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// One key-value pair. Keys and values are opaque byte strings, compared
+/// lexicographically (Hadoop's `BytesWritable` ordering, which is also
+/// TeraSort's ordering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The key.
+    pub key: Bytes,
+    /// The value.
+    pub value: Bytes,
+}
+
+impl Record {
+    /// Builds a record from owned byte vectors.
+    pub fn new(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
+        Record {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Bytes this record occupies in a shuffle stream / file.
+    pub fn size(&self) -> u64 {
+        (self.key.len() + self.value.len()) as u64
+    }
+}
+
+/// Length-prefixed serialisation of records (4-byte key length, 4-byte value
+/// length, then the bytes) — the on-HDFS representation used by the real
+/// data plane.
+pub fn encode_records(records: &[Record]) -> Bytes {
+    let total: usize = records
+        .iter()
+        .map(|r| 8 + r.key.len() + r.value.len())
+        .sum();
+    let mut buf = BytesMut::with_capacity(total);
+    for r in records {
+        buf.put_u32(r.key.len() as u32);
+        buf.put_u32(r.value.len() as u32);
+        buf.put_slice(&r.key);
+        buf.put_slice(&r.value);
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`encode_records`]. Panics on malformed input (the encoder is
+/// the only producer in this system).
+pub fn decode_records(mut data: Bytes) -> Vec<Record> {
+    use bytes::Buf;
+    let mut out = Vec::new();
+    while data.remaining() > 0 {
+        let klen = data.get_u32() as usize;
+        let vlen = data.get_u32() as usize;
+        let key = data.split_to(klen);
+        let value = data.split_to(vlen);
+        out.push(Record { key, value });
+    }
+    out
+}
+
+/// The contents of a sorted run: real records or synthetic counts.
+#[derive(Debug, Clone)]
+pub enum RunData {
+    /// A window `[start, end)` into a shared sorted record vector.
+    Real {
+        /// The backing records, sorted by key.
+        recs: Rc<Vec<Record>>,
+        /// Window start (inclusive).
+        start: usize,
+        /// Window end (exclusive).
+        end: usize,
+    },
+    /// Counts only.
+    Synthetic {
+        /// Number of records represented.
+        records: u64,
+        /// Total bytes represented.
+        bytes: u64,
+    },
+}
+
+/// A sorted run with its size metadata; the unit moved through spills,
+/// shuffles, and merges.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Record count.
+    pub records: u64,
+    /// Byte count.
+    pub bytes: u64,
+    /// Contents.
+    pub data: RunData,
+}
+
+impl Segment {
+    /// An empty segment (synthetic flavour).
+    pub fn empty() -> Self {
+        Segment {
+            records: 0,
+            bytes: 0,
+            data: RunData::Synthetic {
+                records: 0,
+                bytes: 0,
+            },
+        }
+    }
+
+    /// Builds a real segment by sorting `records` by key.
+    pub fn from_records(mut records: Vec<Record>) -> Self {
+        records.sort_by(|a, b| a.key.cmp(&b.key));
+        Self::from_sorted(records)
+    }
+
+    /// Builds a real segment from records already sorted by key.
+    pub fn from_sorted(records: Vec<Record>) -> Self {
+        debug_assert!(records.windows(2).all(|w| w[0].key <= w[1].key));
+        let bytes = records.iter().map(Record::size).sum();
+        let n = records.len();
+        Segment {
+            records: n as u64,
+            bytes,
+            data: RunData::Real {
+                recs: Rc::new(records),
+                start: 0,
+                end: n,
+            },
+        }
+    }
+
+    /// Builds a synthetic segment.
+    pub fn synthetic(records: u64, bytes: u64) -> Self {
+        Segment {
+            records,
+            bytes,
+            data: RunData::Synthetic { records, bytes },
+        }
+    }
+
+    /// True if this segment carries real records.
+    pub fn is_real(&self) -> bool {
+        matches!(self.data, RunData::Real { .. })
+    }
+
+    /// True if the segment holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0 && self.bytes == 0
+    }
+
+    /// Iterates the real records in the window (empty iterator for
+    /// synthetic data).
+    pub fn iter_real(&self) -> impl Iterator<Item = &Record> {
+        match &self.data {
+            RunData::Real { recs, start, end } => recs[*start..*end].iter(),
+            RunData::Synthetic { .. } => [].iter(),
+        }
+    }
+
+    /// Collects the real records (clones the window; None for synthetic).
+    pub fn to_records(&self) -> Option<Vec<Record>> {
+        match &self.data {
+            RunData::Real { recs, start, end } => Some(recs[*start..*end].to_vec()),
+            RunData::Synthetic { .. } => None,
+        }
+    }
+
+    /// First key in the window (real only).
+    pub fn first_key(&self) -> Option<&Bytes> {
+        match &self.data {
+            RunData::Real { recs, start, end } if start < end => Some(&recs[*start].key),
+            _ => None,
+        }
+    }
+
+    /// Last key in the window (real only).
+    pub fn last_key(&self) -> Option<&Bytes> {
+        match &self.data {
+            RunData::Real { recs, start, end } if start < end => Some(&recs[*end - 1].key),
+            _ => None,
+        }
+    }
+
+    /// Checks the sortedness invariant (vacuously true for synthetic).
+    pub fn is_sorted(&self) -> bool {
+        match &self.data {
+            RunData::Real { recs, start, end } => {
+                recs[*start..*end].windows(2).all(|w| w[0].key <= w[1].key)
+            }
+            RunData::Synthetic { .. } => true,
+        }
+    }
+
+    /// Partitions this segment's records into `n` partitions with `part`.
+    /// Real: by actual key. Synthetic: evenly, remainder spread over the
+    /// first partitions (uniform-key assumption — true for TeraGen and
+    /// RandomWriter data).
+    pub fn partition(&self, n: usize, part: &dyn Partitioner) -> Vec<Segment> {
+        assert!(n > 0);
+        match &self.data {
+            RunData::Real { recs, start, end } => {
+                let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); n];
+                for r in recs[*start..*end].iter() {
+                    buckets[part.partition(&r.key, n)].push(r.clone());
+                }
+                // Records were sorted; stable bucketing keeps each bucket
+                // sorted.
+                buckets.into_iter().map(Segment::from_sorted).collect()
+            }
+            RunData::Synthetic { records, bytes } => {
+                let mut out = Vec::with_capacity(n);
+                let (rq, rr) = (records / n as u64, records % n as u64);
+                let (bq, br) = (bytes / n as u64, bytes % n as u64);
+                for i in 0..n as u64 {
+                    let r = rq + u64::from(i < rr);
+                    let b = bq + u64::from(i < br);
+                    out.push(Segment::synthetic(r, b));
+                }
+                out
+            }
+        }
+    }
+
+    /// Concatenates packets that together form one sorted segment (the
+    /// windows a cursor produced, in order). Contiguous windows over the
+    /// same backing vector are rejoined without copying; anything else falls
+    /// back to a merge. Synthetic packets just sum.
+    pub fn concat(parts: Vec<Segment>) -> Segment {
+        if parts.is_empty() {
+            return Segment::empty();
+        }
+        if parts.iter().all(|p| !p.is_real()) {
+            let records = parts.iter().map(|p| p.records).sum();
+            let bytes = parts.iter().map(|p| p.bytes).sum();
+            return Segment::synthetic(records, bytes);
+        }
+        // Fast path: consecutive windows of one backing vector.
+        let contiguous = {
+            let mut ok = true;
+            let mut prev_end: Option<(*const Vec<Record>, usize)> = None;
+            for p in &parts {
+                match &p.data {
+                    RunData::Real { recs, start, end } => {
+                        let ptr = Rc::as_ptr(recs);
+                        if let Some((pp, pe)) = prev_end {
+                            if pp != ptr || pe != *start {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        prev_end = Some((ptr, *end));
+                    }
+                    RunData::Synthetic { .. } => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            ok
+        };
+        if contiguous {
+            let (first_recs, first_start) = match &parts[0].data {
+                RunData::Real { recs, start, .. } => (Rc::clone(recs), *start),
+                _ => unreachable!(),
+            };
+            let last_end = match &parts.last().unwrap().data {
+                RunData::Real { end, .. } => *end,
+                _ => unreachable!(),
+            };
+            let records = parts.iter().map(|p| p.records).sum();
+            let bytes = parts.iter().map(|p| p.bytes).sum();
+            return Segment {
+                records,
+                bytes,
+                data: RunData::Real {
+                    recs: first_recs,
+                    start: first_start,
+                    end: last_end,
+                },
+            };
+        }
+        Segment::merge(&parts)
+    }
+
+    /// K-way merges sorted segments into one sorted segment. All-real and
+    /// all-synthetic inputs are supported; mixing panics (a job runs in one
+    /// mode).
+    pub fn merge(segments: &[Segment]) -> Segment {
+        if segments.is_empty() {
+            return Segment::empty();
+        }
+        if segments.iter().all(|s| !s.is_real()) {
+            let records = segments.iter().map(|s| s.records).sum();
+            let bytes = segments.iter().map(|s| s.bytes).sum();
+            return Segment::synthetic(records, bytes);
+        }
+        assert!(
+            segments.iter().all(Segment::is_real),
+            "cannot merge mixed real/synthetic segments"
+        );
+        // Standard k-way heap merge over window iterators.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq, Eq)]
+        struct Head {
+            key: Bytes,
+            src: usize,
+            idx: usize,
+        }
+        impl Ord for Head {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                (&self.key, self.src, self.idx).cmp(&(&other.key, other.src, other.idx))
+            }
+        }
+        impl PartialOrd for Head {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let windows: Vec<(&Rc<Vec<Record>>, usize, usize)> = segments
+            .iter()
+            .map(|s| match &s.data {
+                RunData::Real { recs, start, end } => (recs, *start, *end),
+                RunData::Synthetic { .. } => unreachable!(),
+            })
+            .collect();
+        let mut heap = BinaryHeap::new();
+        for (src, (recs, start, end)) in windows.iter().enumerate() {
+            if start < end {
+                heap.push(Reverse(Head {
+                    key: recs[*start].key.clone(),
+                    src,
+                    idx: *start,
+                }));
+            }
+        }
+        let total: usize = segments.iter().map(|s| s.records as usize).sum();
+        let mut out = Vec::with_capacity(total);
+        while let Some(Reverse(h)) = heap.pop() {
+            let (recs, _, end) = windows[h.src];
+            out.push(recs[h.idx].clone());
+            let next = h.idx + 1;
+            if next < end {
+                heap.push(Reverse(Head {
+                    key: recs[next].key.clone(),
+                    src: h.src,
+                    idx: next,
+                }));
+            }
+        }
+        Segment::from_sorted(out)
+    }
+}
+
+/// A sequential cursor over a segment, yielding shuffle packets.
+#[derive(Debug, Clone)]
+pub struct SegmentCursor {
+    seg: Segment,
+    rec_pos: u64,
+    byte_pos: u64,
+}
+
+impl SegmentCursor {
+    /// Starts a cursor at the beginning of `seg`.
+    pub fn new(seg: Segment) -> Self {
+        SegmentCursor {
+            seg,
+            rec_pos: 0,
+            byte_pos: 0,
+        }
+    }
+
+    /// Records not yet taken.
+    pub fn remaining_records(&self) -> u64 {
+        self.seg.records - self.rec_pos
+    }
+
+    /// Bytes not yet taken.
+    pub fn remaining_bytes(&self) -> u64 {
+        self.seg.bytes - self.byte_pos
+    }
+
+    /// True when fully consumed.
+    pub fn exhausted(&self) -> bool {
+        self.rec_pos >= self.seg.records
+    }
+
+    /// Takes the next packet of at most `budget` bytes (always at least one
+    /// record if any remain, so oversized records still move).
+    pub fn take_bytes(&mut self, budget: u64) -> Segment {
+        match &self.seg.data {
+            RunData::Real { recs, start, .. } => {
+                let from = *start + self.rec_pos as usize;
+                let end = *start + self.seg.records as usize;
+                let mut idx = from;
+                let mut bytes = 0u64;
+                while idx < end {
+                    let sz = recs[idx].size();
+                    if idx > from && bytes + sz > budget {
+                        break;
+                    }
+                    bytes += sz;
+                    idx += 1;
+                }
+                let taken = Segment {
+                    records: (idx - from) as u64,
+                    bytes,
+                    data: RunData::Real {
+                        recs: Rc::clone(recs),
+                        start: from,
+                        end: idx,
+                    },
+                };
+                self.rec_pos += taken.records;
+                self.byte_pos += taken.bytes;
+                taken
+            }
+            RunData::Synthetic { .. } => {
+                let rem_bytes = self.remaining_bytes();
+                let rem_recs = self.remaining_records();
+                if rem_recs == 0 {
+                    return Segment::empty();
+                }
+                let avg = (rem_bytes / rem_recs).max(1);
+                let bytes = budget.min(rem_bytes);
+                let recs = (bytes / avg).clamp(1, rem_recs);
+                // Final packet flushes any rounding residue.
+                let (recs, bytes) = if recs == rem_recs {
+                    (rem_recs, rem_bytes)
+                } else {
+                    (recs, bytes.min(rem_bytes))
+                };
+                self.rec_pos += recs;
+                self.byte_pos += bytes;
+                Segment::synthetic(recs, bytes)
+            }
+        }
+    }
+
+    /// Takes the next packet of at most `n` records (Hadoop-A's fixed-count
+    /// packets).
+    pub fn take_records(&mut self, n: u64) -> Segment {
+        match &self.seg.data {
+            RunData::Real { recs, start, .. } => {
+                let from = *start + self.rec_pos as usize;
+                let end = *start + self.seg.records as usize;
+                let to = (from + n as usize).min(end);
+                let bytes = recs[from..to].iter().map(Record::size).sum();
+                let taken = Segment {
+                    records: (to - from) as u64,
+                    bytes,
+                    data: RunData::Real {
+                        recs: Rc::clone(recs),
+                        start: from,
+                        end: to,
+                    },
+                };
+                self.rec_pos += taken.records;
+                self.byte_pos += taken.bytes;
+                taken
+            }
+            RunData::Synthetic { .. } => {
+                let rem_recs = self.remaining_records();
+                let rem_bytes = self.remaining_bytes();
+                if rem_recs == 0 {
+                    return Segment::empty();
+                }
+                let recs = n.min(rem_recs);
+                let bytes = if recs == rem_recs {
+                    rem_bytes
+                } else {
+                    (rem_bytes as u128 * recs as u128 / rem_recs as u128) as u64
+                };
+                self.rec_pos += recs;
+                self.byte_pos += bytes;
+                Segment::synthetic(recs, bytes)
+            }
+        }
+    }
+}
+
+/// Assigns keys to reduce partitions.
+pub trait Partitioner {
+    /// Partition index for `key` among `n` partitions.
+    fn partition(&self, key: &[u8], n: usize) -> usize;
+}
+
+/// Hadoop's default: hash of the key modulo partitions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, key: &[u8], n: usize) -> usize {
+        // FNV-1a — stable across runs, unlike Java's String.hashCode, but
+        // serves the same role.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % n as u64) as usize
+    }
+}
+
+/// TeraSort's total-order partitioner: partitions by leading key bytes so
+/// partition `i`'s keys all precede partition `i+1`'s (global sort order).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TotalOrderPartitioner;
+
+impl Partitioner for TotalOrderPartitioner {
+    fn partition(&self, key: &[u8], n: usize) -> usize {
+        // Interpret the first 8 key bytes as a big-endian fraction of the
+        // key space.
+        let mut prefix = [0u8; 8];
+        for (i, b) in key.iter().take(8).enumerate() {
+            prefix[i] = *b;
+        }
+        let x = u64::from_be_bytes(prefix);
+        ((x as u128 * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: &[u8], v: &[u8]) -> Record {
+        Record::new(k.to_vec(), v.to_vec())
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let records = vec![rec(b"bb", b"2"), rec(b"a", b"111"), rec(b"", b"")];
+        let decoded = decode_records(encode_records(&records));
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let s = Segment::from_records(vec![rec(b"c", b"3"), rec(b"a", b"1"), rec(b"b", b"2")]);
+        assert!(s.is_sorted());
+        assert_eq!(s.records, 3);
+        assert_eq!(s.bytes, 6);
+        assert_eq!(s.first_key().unwrap().as_ref(), b"a");
+        assert_eq!(s.last_key().unwrap().as_ref(), b"c");
+    }
+
+    #[test]
+    fn real_partition_preserves_order_and_count() {
+        let recs: Vec<Record> = (0..100u32)
+            .map(|i| rec(&i.to_be_bytes(), b"v"))
+            .collect();
+        let s = Segment::from_records(recs);
+        let parts = s.partition(7, &HashPartitioner);
+        assert_eq!(parts.iter().map(|p| p.records).sum::<u64>(), 100);
+        for p in &parts {
+            assert!(p.is_sorted());
+        }
+    }
+
+    #[test]
+    fn synthetic_partition_spreads_remainder() {
+        let s = Segment::synthetic(10, 103);
+        let parts = s.partition(4, &HashPartitioner);
+        assert_eq!(parts.iter().map(|p| p.records).sum::<u64>(), 10);
+        assert_eq!(parts.iter().map(|p| p.bytes).sum::<u64>(), 103);
+        let recs: Vec<u64> = parts.iter().map(|p| p.records).collect();
+        assert_eq!(recs, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn total_order_partitioner_is_monotone() {
+        let p = TotalOrderPartitioner;
+        let lo = p.partition(&[0x10, 0, 0, 0, 0, 0, 0, 0, 0, 0], 8);
+        let hi = p.partition(&[0xF0, 0, 0, 0, 0, 0, 0, 0, 0, 0], 8);
+        assert!(lo < hi);
+        assert_eq!(p.partition(&[0; 10], 8), 0);
+        assert_eq!(p.partition(&[0xFF; 10], 8), 7);
+    }
+
+    #[test]
+    fn merge_real_produces_global_order() {
+        let a = Segment::from_records(vec![rec(b"a", b"1"), rec(b"d", b"4")]);
+        let b = Segment::from_records(vec![rec(b"b", b"2"), rec(b"c", b"3")]);
+        let m = Segment::merge(&[a, b]);
+        assert!(m.is_sorted());
+        assert_eq!(m.records, 4);
+        let keys: Vec<&[u8]> = m.iter_real().map(|r| r.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"d"]);
+    }
+
+    #[test]
+    fn merge_synthetic_sums() {
+        let m = Segment::merge(&[Segment::synthetic(5, 50), Segment::synthetic(7, 70)]);
+        assert_eq!((m.records, m.bytes), (12, 120));
+        assert!(!m.is_real());
+    }
+
+    #[test]
+    fn cursor_take_bytes_real() {
+        let recs: Vec<Record> = (0..10u8).map(|i| rec(&[i], &[0u8; 9])).collect(); // 10 B each
+        let mut c = SegmentCursor::new(Segment::from_records(recs));
+        let p1 = c.take_bytes(25);
+        assert_eq!(p1.records, 2); // 2 × 10 B fit, 3rd would exceed
+        assert_eq!(p1.bytes, 20);
+        let mut total = p1.records;
+        while !c.exhausted() {
+            total += c.take_bytes(25).records;
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn cursor_take_bytes_always_progresses_on_oversized_record() {
+        let mut c = SegmentCursor::new(Segment::from_records(vec![rec(b"k", &[0u8; 100])]));
+        let p = c.take_bytes(10); // record is 101 B but budget is 10 B
+        assert_eq!(p.records, 1);
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn cursor_take_records_synthetic_conserves_totals() {
+        let mut c = SegmentCursor::new(Segment::synthetic(10, 1_003));
+        let mut recs = 0;
+        let mut bytes = 0;
+        while !c.exhausted() {
+            let p = c.take_records(3);
+            recs += p.records;
+            bytes += p.bytes;
+        }
+        assert_eq!(recs, 10);
+        assert_eq!(bytes, 1_003, "final packet must flush rounding residue");
+    }
+
+    #[test]
+    fn cursor_take_bytes_synthetic_conserves_totals() {
+        let mut c = SegmentCursor::new(Segment::synthetic(1_000, 100_000));
+        let mut recs = 0;
+        let mut bytes = 0;
+        while !c.exhausted() {
+            let p = c.take_bytes(1_700);
+            recs += p.records;
+            bytes += p.bytes;
+            assert!(p.records > 0);
+        }
+        assert_eq!(recs, 1_000);
+        assert_eq!(bytes, 100_000);
+    }
+
+    #[test]
+    fn packet_windows_share_backing_storage() {
+        let recs: Vec<Record> = (0..4u8).map(|i| rec(&[i], b"v")).collect();
+        let seg = Segment::from_records(recs);
+        let rc = match &seg.data {
+            RunData::Real { recs, .. } => Rc::clone(recs),
+            _ => unreachable!(),
+        };
+        let mut c = SegmentCursor::new(seg);
+        let _p = c.take_records(2);
+        // 1 original + 1 in cursor's segment + 1 in packet = 3? The cursor
+        // consumed the original; count just proves sharing, not copying.
+        assert!(Rc::strong_count(&rc) >= 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! Reduce-side engines: vanilla (barrier), Hadoop-A and OSU-IB (pipelined
+//! priority-queue merge over RDMA).
+
+pub mod common;
+pub mod rdma;
+pub mod vanilla;
+
+pub use common::{ReduceCtx, ReduceSink, ReduceStats};

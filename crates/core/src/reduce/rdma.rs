@@ -1,0 +1,508 @@
+//! The RDMA reduce side, shared by Hadoop-A and OSU-IB (§III-B).
+//!
+//! An `RDMACopier` connects UCR endpoints to every TaskTracker up front.
+//! Packets stream into per-source buffers; a priority-queue
+//! [`StreamingMerge`] extracts globally sorted batches into the bounded
+//! `DataToReduceQueue`, which a concurrently running reduce consumer drains
+//! — reduce is pipelined with merge and shuffle (§III-B-4), unlike
+//! vanilla's barrier.
+//!
+//! Engine differences (§III-C):
+//! * **OSU-IB** — starts pulling data as soon as each map completes
+//!   (overlapping the map wave), uses byte-budgeted packets
+//!   (`osu_packet_bytes`), and its server serves from the PrefetchCache.
+//! * **Hadoop-A** — fetches only segment *headers* during the map wave (the
+//!   levitated-merge heap is built when all headers are in), then pulls
+//!   fixed kv-count packets (`hadoop_a_kv_per_packet`) that the DataEngine
+//!   reads from disk per request. With large kv-pairs (the Sort benchmark)
+//!   those packets are enormous, exhausting the shuffle buffer and
+//!   serialising fetches — the §IV-C pathology.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use rmr_des::prelude::*;
+use rmr_des::sync::bounded;
+use rmr_net::EndPoint;
+
+use crate::config::ShuffleKind;
+use crate::merge::{Emit, StreamingMerge};
+use crate::proto::{PacketBudget, ShufMsg};
+use crate::record::Segment;
+use crate::reduce::common::{poll_events, ReduceCtx, ReduceSink, ReduceStats};
+use crate::tasktracker::TtServerHandle;
+
+/// Records per emitted merge batch.
+const MERGE_BATCH_RECORDS: u64 = 16 * 1024;
+/// DataToReduceQueue depth, in batches.
+const REDUCE_QUEUE_DEPTH: usize = 8;
+
+struct SourceState {
+    tt_idx: usize,
+    total_records: Option<u64>,
+    total_bytes: Option<u64>,
+    /// (packet, spilled-to-disk flag).
+    buffered: Vec<(Segment, bool)>,
+    buffered_bytes: u64,
+    delivered_records: u64,
+    delivered_bytes: u64,
+    fully_delivered: bool,
+    inflight: bool,
+    /// Shuffle-buffer bytes reserved for the in-flight request.
+    reserved: u64,
+}
+
+struct ShufState {
+    sources: BTreeMap<usize, SourceState>,
+    shuffled_bytes: u64,
+    last_arrival_s: f64,
+    /// Unconsumed fetched bytes (buffered + inside the merge).
+    resident_bytes: u64,
+    /// Bytes spilled to local disk because the buffer overflowed.
+    spilled_bytes: u64,
+}
+
+/// Shuffle-buffer accounting: prefetch requests reserve space; requests that
+/// unblock a stalled merge may overdraft (deadlock avoidance), and releases
+/// never exceed what was reserved.
+struct MemBudget {
+    sem: Semaphore,
+    outstanding: Cell<u64>,
+}
+
+impl MemBudget {
+    fn new(bytes: u64) -> Self {
+        MemBudget {
+            sem: Semaphore::new(bytes),
+            outstanding: Cell::new(0),
+        }
+    }
+
+    fn try_reserve(&self, bytes: u64) -> bool {
+        match self.sem.try_acquire(bytes) {
+            Some(p) => {
+                p.forget();
+                self.outstanding.set(self.outstanding.get() + bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        let r = bytes.min(self.outstanding.get());
+        self.outstanding.set(self.outstanding.get() - r);
+        self.sem.release_raw(r);
+    }
+}
+
+/// Runs one Hadoop-A or OSU-IB ReduceTask to completion.
+pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
+    let sim = ctx.cluster.sim.clone();
+    let conf = Rc::clone(&ctx.conf);
+    let node = ctx.tt.node.clone();
+    let kind = conf.shuffle;
+    debug_assert!(kind.uses_rdma());
+
+    // Connect an endpoint to every TaskTracker up front (§III-B-1: "one
+    // RDMACopier sends such information to all available TaskTrackers").
+    let mut eps: Vec<Rc<EndPoint<ShufMsg>>> = Vec::with_capacity(ctx.servers.len());
+    for server in ctx.servers.iter() {
+        let TtServerHandle::Rdma(connector) = server else {
+            panic!("RDMA reducer needs RDMA servers");
+        };
+        eps.push(Rc::new(connector.connect(node.id).await));
+    }
+    let eps = Rc::new(eps);
+
+    let state = Rc::new(RefCell::new(ShufState {
+        sources: BTreeMap::new(),
+        shuffled_bytes: 0,
+        last_arrival_s: 0.0,
+        resident_bytes: 0,
+        spilled_bytes: 0,
+    }));
+    let arrived = Notify::new();
+    let mem = Rc::new(MemBudget::new(conf.shuffle_buffer));
+
+    // Receiver: one task per endpoint, buffering packets. A packet that
+    // lands when the shuffle buffer is already full cannot stay in memory:
+    // it is spilled to the reducer's local disk and read back when the
+    // merge consumes it — this is what breaks Hadoop-A's stage overlap when
+    // its fixed-count packets are huge (§IV-C).
+    for ep in eps.iter() {
+        let ep = Rc::clone(ep);
+        let state = Rc::clone(&state);
+        let arrived = arrived.clone();
+        let sim2 = sim.clone();
+        let mem = Rc::clone(&mem);
+        let node2 = node.clone();
+        let conf = Rc::clone(&conf);
+        let spill_file = format!("r{}_shufspill", ctx.reduce_idx);
+        sim.spawn(async move {
+            while let Some(msg) = ep.recv().await {
+                let ShufMsg::Response {
+                    map_idx,
+                    packet,
+                    remaining_records,
+                    total_records,
+                    total_bytes,
+                    ..
+                } = msg
+                else {
+                    continue;
+                };
+                let spill = {
+                    let mut st = state.borrow_mut();
+                    st.shuffled_bytes += packet.bytes;
+                    st.last_arrival_s = sim2.now().as_secs_f64();
+                    let src = st.sources.get_mut(&map_idx).expect("unknown source");
+                    src.total_records = Some(total_records);
+                    src.total_bytes = Some(total_bytes);
+                    src.delivered_records += packet.records;
+                    src.delivered_bytes += packet.bytes;
+                    src.fully_delivered = remaining_records == 0;
+                    // Reserved packets always fit (the budget was held for
+                    // them); only overdraft packets can overflow and spill.
+                    let covered = src.reserved >= packet.bytes;
+                    // Balance the reservation against what actually came.
+                    if src.reserved > packet.bytes {
+                        mem.release(src.reserved - packet.bytes);
+                    }
+                    src.reserved = 0;
+                    src.inflight = false;
+                    let over =
+                        !covered && st.resident_bytes + packet.bytes > conf.shuffle_buffer;
+                    if packet.records > 0 {
+                        st.resident_bytes += packet.bytes;
+                        if over {
+                            st.spilled_bytes += packet.bytes;
+                        }
+                        let src = st.sources.get_mut(&map_idx).unwrap();
+                        src.buffered_bytes += packet.bytes;
+                        src.buffered.push((packet.clone(), over));
+                        over.then_some(packet.bytes)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(bytes) = spill {
+                    sim2.metrics().add("reduce.shuffle_spill_bytes", bytes as f64);
+                    if conf.shuffle == ShuffleKind::OsuIb {
+                        // OSU-IB reuses Hadoop's local spill machinery
+                        // (§III-C-2: minimal changes to the existing merge).
+                        let w = node2.fs.writer(&spill_file).expect("shuffle spill file");
+                        w.append(bytes).await.expect("shuffle spill write");
+                    }
+                    // Hadoop-A's native-C merge has no reduce-side spill
+                    // path: the overflowing packet is dropped and later
+                    // refetched from the TaskTracker (charged at drain).
+                }
+                arrived.notify_all();
+            }
+        })
+        .detach();
+    }
+
+    let packet_budget = || match kind {
+        ShuffleKind::OsuIb => PacketBudget::Bytes(conf.osu_packet_bytes),
+        ShuffleKind::HadoopA => PacketBudget::Records(conf.hadoop_a_kv_per_packet),
+        ShuffleKind::Vanilla => unreachable!(),
+    };
+    let est_packet_bytes = match kind {
+        ShuffleKind::OsuIb => conf.osu_packet_bytes,
+        _ => conf.hadoop_a_kv_per_packet * ctx.spec.avg_record_bytes.max(1),
+    };
+
+    // Sends the next packet request for `map_idx`. `forced` bypasses the
+    // memory budget (stall recovery); otherwise the request is skipped when
+    // the buffer has no room.
+    let send_request = {
+        let state = Rc::clone(&state);
+        let eps = Rc::clone(&eps);
+        let mem = Rc::clone(&mem);
+        let reduce_idx = ctx.reduce_idx;
+        move |map_idx: usize, budget: PacketBudget, est: u64, forced: bool| -> bool {
+            let mut st = state.borrow_mut();
+            let src = st.sources.get_mut(&map_idx).expect("unknown source");
+            if src.inflight || src.fully_delivered {
+                return false;
+            }
+            // Refine the estimate with what the server already told us.
+            let est = match src.total_bytes {
+                Some(t) => est.min(t.saturating_sub(src.delivered_bytes)).max(1),
+                None => est,
+            };
+            let reserved = if mem.try_reserve(est) {
+                est
+            } else if forced {
+                0 // overdraft: the packet will spill on arrival if needed
+            } else {
+                return false;
+            };
+            src.reserved = reserved;
+            src.inflight = true;
+            let ep = Rc::clone(&eps[src.tt_idx]);
+            drop(st);
+            ep.send_nowait(ShufMsg::Request {
+                map_idx,
+                reduce: reduce_idx,
+                budget,
+            });
+            true
+        }
+    };
+
+    // ---- Phase A: discover map completions; OSU overlaps data shuffle
+    // with the map wave, Hadoop-A only pulls headers. ----
+    let mut cursor = 0usize;
+    let mut discovered = 0usize;
+    loop {
+        for (map_idx, tt_idx) in poll_events(&ctx.cluster, &ctx.jt, &node, &mut cursor).await {
+            discovered += 1;
+            state.borrow_mut().sources.insert(
+                map_idx,
+                SourceState {
+                    tt_idx,
+                    total_records: None,
+                    total_bytes: None,
+                    buffered: Vec::new(),
+                    buffered_bytes: 0,
+                    delivered_records: 0,
+                    delivered_bytes: 0,
+                    fully_delivered: false,
+                    inflight: false,
+                    reserved: 0,
+                },
+            );
+            match kind {
+                ShuffleKind::OsuIb => {
+                    send_request(map_idx, packet_budget(), est_packet_bytes, false);
+                }
+                ShuffleKind::HadoopA => {
+                    // Header only: first kv pair + segment metadata.
+                    send_request(
+                        map_idx,
+                        PacketBudget::Records(1),
+                        ctx.spec.avg_record_bytes,
+                        true,
+                    );
+                }
+                ShuffleKind::Vanilla => unreachable!(),
+            }
+        }
+        // Keep the pipeline fed while maps are still finishing (OSU): pull
+        // each discovered source up to its fair share of the shuffle buffer,
+        // overlapping the data movement with the map wave (§III-B-4).
+        if kind == ShuffleKind::OsuIb {
+            let idle: Vec<usize> = {
+                let st = state.borrow();
+                let target = conf.shuffle_buffer / (st.sources.len().max(8) as u64);
+                st.sources
+                    .iter()
+                    .filter(|(_, s)| {
+                        !s.inflight && !s.fully_delivered && s.buffered_bytes < target
+                    })
+                    .map(|(m, _)| *m)
+                    .collect()
+            };
+            for m in idle {
+                send_request(m, packet_budget(), est_packet_bytes, false);
+            }
+        }
+        // Done discovering once every map reported and every source has its
+        // totals (needed to build the merge).
+        if discovered == ctx.total_maps {
+            let missing: Vec<usize> = {
+                let st = state.borrow();
+                st.sources
+                    .iter()
+                    .filter(|(_, s)| s.total_records.is_none())
+                    .map(|(m, _)| *m)
+                    .collect()
+            };
+            if missing.is_empty() {
+                break;
+            }
+            for m in missing {
+                send_request(m, packet_budget(), est_packet_bytes, true);
+            }
+        }
+        // Wake on the next poll tick or on any packet arrival.
+        let n = arrived.notified();
+        rmr_des::sync::select2(sim.sleep(conf.event_poll), n).await;
+    }
+
+    // ---- Phase B: priority-queue merge pipelined with reduce. ----
+    let order: Vec<usize> = state.borrow().sources.keys().copied().collect();
+    let dense: BTreeMap<usize, usize> =
+        order.iter().enumerate().map(|(i, m)| (*m, i)).collect();
+    let expected: Vec<u64> = {
+        let st = state.borrow();
+        order
+            .iter()
+            .map(|m| st.sources[m].total_records.unwrap())
+            .collect()
+    };
+    let mut merge = StreamingMerge::new(expected);
+    let watermark = match kind {
+        ShuffleKind::OsuIb => {
+            (conf.osu_packet_bytes / ctx.spec.avg_record_bytes.max(1)).max(16)
+        }
+        _ => conf.hadoop_a_kv_per_packet.max(16),
+    };
+
+    // DataToReduceQueue + reduce consumer (overlap of merge and reduce).
+    let (out_tx, out_rx) = bounded::<Segment>(REDUCE_QUEUE_DEPTH);
+    let consumer = {
+        let ctx2 = ctx.clone();
+        let node2 = node.clone();
+        let conf2 = Rc::clone(&conf);
+        sim.spawn(async move {
+            let mut sink = ReduceSink::open(
+                &ctx2.cluster,
+                &conf2,
+                &ctx2.spec,
+                &node2,
+                ctx2.reduce_idx,
+            )
+            .await;
+            while let Some(seg) = out_rx.recv().await {
+                sink.consume(seg).await;
+            }
+            sink.finish().await
+        })
+    };
+
+    // Moves buffered packets into the merge. Returns the total spilled bytes
+    // drained plus, for Hadoop-A, the refetch charge list: (tt_idx, map_idx,
+    // bytes) per spilled packet.
+    let spill_readback = {
+        let state = Rc::clone(&state);
+        move |merge: &mut StreamingMerge| -> (u64, Vec<(usize, usize, u64)>) {
+            let mut st = state.borrow_mut();
+            let mut spilled = 0u64;
+            let mut refetch = Vec::new();
+            for (m, s) in st.sources.iter_mut() {
+                let di = dense[m];
+                s.buffered_bytes = 0;
+                for (pkt, was_spilled) in s.buffered.drain(..) {
+                    if was_spilled {
+                        spilled += pkt.bytes;
+                        refetch.push((s.tt_idx, *m, pkt.bytes));
+                    }
+                    merge.append(di, pkt);
+                }
+            }
+            (spilled, refetch)
+        }
+    };
+
+    let spill_file = format!("r{}_shufspill", ctx.reduce_idx);
+    let metrics = sim.metrics().clone();
+    loop {
+        metrics.incr("rdma.loop_iters");
+        let (spilled, refetch) = spill_readback(&mut merge);
+        if spilled > 0 {
+            match kind {
+                ShuffleKind::OsuIb => {
+                    // Read the spilled packets back from local disk.
+                    if node.fs.exists(&spill_file) {
+                        let mut r = node.fs.reader(&spill_file).expect("spill file");
+                        let want = spilled.min(r.remaining().unwrap_or(0));
+                        if want > 0 {
+                            r.read_exact(want).await.expect("spill readback");
+                        }
+                    }
+                }
+                ShuffleKind::HadoopA => {
+                    // Refetch each dropped packet from its TaskTracker: the
+                    // DataEngine reads the map output from disk again and the
+                    // bytes cross the wire again. A packet whose working set
+                    // exceeds the merge memory returns multiple times before
+                    // it is fully consumed (evict → refetch thrash): the
+                    // amplification is the ratio of the resident set the
+                    // priority queue needs (one packet per live source) to
+                    // the memory that can hold it.
+                    let live = merge.source_count() as u64;
+                    let amp = ((live * est_packet_bytes.min(4 << 20))
+                        / conf.shuffle_buffer.max(1))
+                    .clamp(1, 5);
+                    for (tt_idx, map_idx, bytes) in refetch {
+                        let bytes = bytes * amp;
+                        let tt_node = &ctx.cluster.workers[tt_idx];
+                        let file = format!("map_{map_idx}.out");
+                        if tt_node.fs.exists(&file) {
+                            let mut r = tt_node.fs.reader(&file).expect("map output");
+                            let want = bytes.min(r.remaining().unwrap_or(0));
+                            if want > 0 {
+                                r.read_exact(want).await.expect("refetch read");
+                            }
+                        }
+                        ctx.cluster.net.transfer(tt_node.id, node.id, bytes).await;
+                        metrics.add("rdma.refetch_bytes", bytes as f64);
+                    }
+                }
+                ShuffleKind::Vanilla => unreachable!(),
+            }
+        }
+        // Refill ahead of need.
+        for di in merge.sources_below(watermark) {
+            send_request(order[di], packet_budget(), est_packet_bytes, false);
+        }
+        match merge.emit(MERGE_BATCH_RECORDS) {
+            Emit::Data(seg) => {
+                metrics.incr("rdma.emits");
+                metrics.add("rdma.emit_records", seg.records as f64);
+                mem.release(seg.bytes);
+                {
+                    let mut st = state.borrow_mut();
+                    st.resident_bytes = st.resident_bytes.saturating_sub(seg.bytes);
+                }
+                let k = (merge.source_count().max(2)) as f64;
+                node.compute(
+                    seg.records as f64 * k.log2() * conf.costs.sort_per_record_level,
+                )
+                .await;
+                out_tx.send(seg).await.expect("reduce consumer died");
+            }
+            Emit::Stalled(dry) => {
+                metrics.incr("rdma.stalls");
+                // Arm the waiter BEFORE re-checking: packets can land during
+                // the awaits above (spill readback, CPU charges), and an
+                // edge-triggered notification created after the arrival
+                // would never fire (lost wakeup ⇒ deadlock).
+                let waiter = arrived.notified();
+                let has_undrained = state
+                    .borrow()
+                    .sources
+                    .values()
+                    .any(|s| !s.buffered.is_empty());
+                if has_undrained {
+                    continue; // drain them and retry
+                }
+                for di in dry {
+                    // Forced: a stalled merge must not deadlock on buffer
+                    // space held by other sources.
+                    send_request(order[di], packet_budget(), est_packet_bytes, true);
+                }
+                waiter.await;
+            }
+            Emit::Done => break,
+        }
+    }
+    drop(out_tx);
+    let merge_end_s = sim.now().as_secs_f64();
+    let (in_records, _in_bytes, out_bytes) = consumer.await;
+
+    let st = state.borrow();
+    ReduceStats {
+        shuffle_end_s: st.last_arrival_s,
+        merge_end_s,
+        reduce_end_s: sim.now().as_secs_f64(),
+        shuffled_bytes: st.shuffled_bytes,
+        reduced_records: in_records,
+        output_bytes: out_bytes,
+    }
+}

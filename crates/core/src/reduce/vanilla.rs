@@ -1,0 +1,349 @@
+//! The stock Hadoop 0.20 reduce side (§III-A): HTTP copiers, in-memory
+//! merger, local-FS merger, and the shuffle→merge→reduce *barrier*.
+//!
+//! Copier threads fetch whole map-output partitions over socket
+//! connections. Small segments land in the in-memory shuffle buffer; when
+//! it passes the threshold, the In-Memory Merger flushes a merged run to
+//! local disk. Oversized segments go straight to disk. The Local FS Merger
+//! keeps the number of on-disk runs bounded by `io.sort.factor`. Only after
+//! every map output has been fetched and merged down does the reduce
+//! function start — the implicit barrier the paper's design removes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rmr_des::prelude::*;
+use rmr_des::sync::channel;
+
+use crate::proto::{PacketBudget, ShufMsg};
+use crate::record::Segment;
+use crate::reduce::common::{poll_events, ReduceCtx, ReduceSink, ReduceStats};
+use crate::tasktracker::TtServerHandle;
+
+struct VanillaState {
+    /// In-memory segments with their buffer-space permits.
+    inmem: Vec<(Segment, Permit)>,
+    inmem_bytes: u64,
+    /// On-disk merged runs: (file name, contents).
+    disk_runs: Vec<(String, Segment)>,
+    run_seq: usize,
+    fetched: usize,
+    shuffled_bytes: u64,
+}
+
+/// Runs one vanilla ReduceTask to completion.
+pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
+    let sim = ctx.cluster.sim.clone();
+    let conf = Rc::clone(&ctx.conf);
+    let node = ctx.tt.node.clone();
+    let mem = Semaphore::new(conf.shuffle_buffer);
+    let state = Rc::new(RefCell::new(VanillaState {
+        inmem: Vec::new(),
+        inmem_bytes: 0,
+        disk_runs: Vec::new(),
+        run_seq: 0,
+        fetched: 0,
+        shuffled_bytes: 0,
+    }));
+
+    // Map Completion Fetcher: poll the JobTracker and feed the copiers.
+    let (map_tx, map_rx) = channel::<(usize, usize)>();
+    {
+        let ctx = ctx.clone();
+        let node = node.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let mut cursor = 0;
+            let mut seen = 0;
+            while seen < ctx.total_maps {
+                for ev in poll_events(&ctx.cluster, &ctx.jt, &node, &mut cursor).await {
+                    seen += 1;
+                    let _ = map_tx.send_now(ev);
+                }
+                sim2.sleep(ctx.conf.event_poll).await;
+            }
+        })
+        .detach();
+    }
+
+    // Copier pool.
+    let mut copiers = Vec::new();
+    for _ in 0..conf.parallel_copies.max(1) {
+        let ctx = ctx.clone();
+        let state = Rc::clone(&state);
+        let mem = mem.clone();
+        let map_rx = map_rx.clone();
+        copiers.push(sim.spawn(async move {
+            while let Some((map_idx, tt_idx)) = map_rx.recv().await {
+                fetch_one(&ctx, &state, &mem, map_idx, tt_idx).await;
+            }
+        }));
+    }
+    drop(map_rx);
+    for c in copiers {
+        c.await;
+    }
+    let shuffle_end_s = sim.now().as_secs_f64();
+
+    // ---- Barrier: final merge down to io.sort.factor streams. ----
+    let factor = conf.io_sort_factor.max(2);
+    loop {
+        let n_runs = {
+            let st = state.borrow();
+            st.disk_runs.len() + usize::from(!st.inmem.is_empty())
+        };
+        if n_runs <= factor {
+            break;
+        }
+        merge_smallest_disk_runs(&ctx, &state, factor).await;
+    }
+    let merge_end_s = sim.now().as_secs_f64();
+
+    // ---- Reduce pass: stream the final k-way merge into the sink. ----
+    let (disk_files, all_segs, disk_bytes): (Vec<String>, Vec<Segment>, u64) = {
+        let mut st = state.borrow_mut();
+        let mut files = Vec::new();
+        let mut segs = Vec::new();
+        let mut disk_bytes = 0;
+        for (f, s) in st.disk_runs.drain(..) {
+            disk_bytes += s.bytes;
+            files.push(f);
+            segs.push(s);
+        }
+        for (s, permit) in st.inmem.drain(..) {
+            segs.push(s);
+            drop(permit);
+        }
+        (files, segs, disk_bytes)
+    };
+    let total_records: u64 = all_segs.iter().map(|s| s.records).sum();
+    let total_bytes: u64 = all_segs.iter().map(|s| s.bytes).sum();
+    let k = all_segs.len().max(2) as f64;
+
+    let mut sink = ReduceSink::open(&ctx.cluster, &conf, &ctx.spec, &node, ctx.reduce_idx).await;
+    if total_records > 0 {
+        let merged = Segment::merge(&all_segs);
+        let mut readers: Vec<_> = disk_files
+            .iter()
+            .map(|f| node.fs.reader(f).expect("run file"))
+            .collect();
+        let mut cursor = crate::record::SegmentCursor::new(merged);
+        let disk_frac = if total_bytes > 0 {
+            disk_bytes as f64 / total_bytes as f64
+        } else {
+            0.0
+        };
+        let batch_bytes = conf.stream_chunk * readers.len().max(1) as u64;
+        let mut disk_read_budget = 0.0f64;
+        while !cursor.exhausted() {
+            let batch = cursor.take_bytes(batch_bytes);
+            // Charge the disk reads feeding this batch, spread across runs.
+            disk_read_budget += batch.bytes as f64 * disk_frac;
+            if !readers.is_empty() {
+                let per = (disk_read_budget / readers.len() as f64) as u64;
+                if per > 0 {
+                    let mut legs = Vec::new();
+                    for r in readers.iter_mut() {
+                        let want = per.min(r.remaining().unwrap_or(0));
+                        if want > 0 {
+                            legs.push(async move {
+                                r.read_exact(want).await.expect("run read");
+                            });
+                        }
+                    }
+                    disk_read_budget -= (per * disk_files.len() as u64) as f64;
+                    rmr_des::sync::join_all(legs).await;
+                }
+            }
+            // Final merge CPU for this batch.
+            node.compute(
+                batch.records as f64 * k.log2() * conf.costs.sort_per_record_level,
+            )
+            .await;
+            sink.consume(batch).await;
+        }
+    }
+    let (in_records, _in_bytes, out_bytes) = sink.finish().await;
+    // Clean up run files.
+    for f in &disk_files {
+        let _ = node.fs.delete(f);
+    }
+
+    let st = state.borrow();
+    ReduceStats {
+        shuffle_end_s,
+        merge_end_s,
+        reduce_end_s: sim.now().as_secs_f64(),
+        shuffled_bytes: st.shuffled_bytes,
+        reduced_records: in_records,
+        output_bytes: out_bytes,
+    }
+}
+
+/// Fetches one whole map-output partition over HTTP and routes it to memory
+/// or disk, running the mergers as thresholds trip.
+async fn fetch_one(
+    ctx: &ReduceCtx,
+    state: &Rc<RefCell<VanillaState>>,
+    mem: &Semaphore,
+    map_idx: usize,
+    tt_idx: usize,
+) {
+    let conf = &ctx.conf;
+    let node = &ctx.tt.node;
+    let TtServerHandle::Http(server) = &ctx.servers[tt_idx] else {
+        panic!("vanilla reducer needs HTTP servers");
+    };
+    // One HTTP connection per fetch (0.20 behaviour).
+    let conn = server.connect(node.id).await;
+    conn.send(ShufMsg::Request {
+        map_idx,
+        reduce: ctx.reduce_idx,
+        budget: PacketBudget::Full,
+    })
+    .await
+    .expect("server gone");
+    let mut packets = Vec::new();
+    let mut bytes = 0u64;
+    loop {
+        let Some(ShufMsg::Response {
+            packet,
+            remaining_records,
+            ..
+        }) = conn.recv().await
+        else {
+            panic!("connection closed mid-fetch");
+        };
+        bytes += packet.bytes;
+        if packet.records > 0 {
+            packets.push(packet);
+        }
+        if remaining_records == 0 {
+            break;
+        }
+    }
+    drop(conn);
+    let seg = Segment::concat(packets);
+    {
+        let mut st = state.borrow_mut();
+        st.fetched += 1;
+        st.shuffled_bytes += bytes;
+    }
+    ctx.cluster
+        .sim
+        .metrics()
+        .add("reduce.shuffled_bytes", bytes as f64);
+
+    // Memory or disk?
+    let seg_limit = (conf.shuffle_buffer as f64 * conf.inmem_segment_limit) as u64;
+    let to_memory = seg.bytes <= seg_limit;
+    let permit = if to_memory { mem.try_acquire(seg.bytes) } else { None };
+    match permit {
+        Some(p) => {
+            let mut st = state.borrow_mut();
+            st.inmem_bytes += seg.bytes;
+            st.inmem.push((seg, p));
+            let threshold = (conf.shuffle_buffer as f64 * conf.inmem_merge_threshold) as u64;
+            let over = st.inmem_bytes > threshold;
+            drop(st);
+            if over {
+                merge_inmem_to_disk(ctx, state).await;
+            }
+        }
+        None => {
+            // Straight to disk.
+            let file = {
+                let mut st = state.borrow_mut();
+                st.run_seq += 1;
+                format!("r{}_seg{}", ctx.reduce_idx, st.run_seq)
+            };
+            let w = node.fs.writer(&file).expect("run file");
+            w.append(seg.bytes).await.expect("run write");
+            node.compute(conf.costs.serde_per_byte * seg.bytes as f64)
+                .await;
+            state.borrow_mut().disk_runs.push((file, seg));
+            let too_many = state.borrow().disk_runs.len() >= 2 * conf.io_sort_factor - 1;
+            if too_many {
+                merge_smallest_disk_runs(ctx, state, conf.io_sort_factor).await;
+            }
+        }
+    }
+}
+
+/// The In-Memory Merger: merges every in-memory segment into one on-disk
+/// run, freeing the shuffle buffer.
+async fn merge_inmem_to_disk(ctx: &ReduceCtx, state: &Rc<RefCell<VanillaState>>) {
+    let node = &ctx.tt.node;
+    let conf = &ctx.conf;
+    let (segs, permits): (Vec<Segment>, Vec<Permit>) = {
+        let mut st = state.borrow_mut();
+        if st.inmem.is_empty() {
+            return;
+        }
+        st.inmem_bytes = 0;
+        st.inmem.drain(..).unzip()
+    };
+    let merged = Segment::merge(&segs);
+    let k = segs.len().max(2) as f64;
+    node.compute(merged.records as f64 * k.log2() * conf.costs.sort_per_record_level)
+        .await;
+    let file = {
+        let mut st = state.borrow_mut();
+        st.run_seq += 1;
+        format!("r{}_immerge{}", ctx.reduce_idx, st.run_seq)
+    };
+    let w = node.fs.writer(&file).expect("merge run");
+    w.append(merged.bytes).await.expect("merge write");
+    state.borrow_mut().disk_runs.push((file, merged));
+    drop(permits); // buffer space released only after the flush completes
+    ctx.cluster.sim.metrics().incr("reduce.inmem_merges");
+}
+
+/// The Local FS Merger: merges the `factor` smallest on-disk runs into one
+/// (read + merge CPU + write).
+async fn merge_smallest_disk_runs(
+    ctx: &ReduceCtx,
+    state: &Rc<RefCell<VanillaState>>,
+    factor: usize,
+) {
+    let node = &ctx.tt.node;
+    let conf = &ctx.conf;
+    let picked: Vec<(String, Segment)> = {
+        let mut st = state.borrow_mut();
+        if st.disk_runs.len() < 2 {
+            return;
+        }
+        st.disk_runs.sort_by_key(|(_, s)| s.bytes);
+        let take = factor.min(st.disk_runs.len());
+        st.disk_runs.drain(..take).collect()
+    };
+    // Read every picked run back (concurrently).
+    let mut legs = Vec::new();
+    for (f, s) in &picked {
+        let fs = node.fs.clone();
+        let f = f.clone();
+        let sz = s.bytes;
+        legs.push(async move {
+            let mut r = fs.reader(&f).expect("run file");
+            r.read_exact(sz).await.expect("run read");
+        });
+    }
+    rmr_des::sync::join_all(legs).await;
+    let segs: Vec<Segment> = picked.iter().map(|(_, s)| s.clone()).collect();
+    let merged = Segment::merge(&segs);
+    let k = segs.len().max(2) as f64;
+    node.compute(merged.records as f64 * k.log2() * conf.costs.sort_per_record_level)
+        .await;
+    let file = {
+        let mut st = state.borrow_mut();
+        st.run_seq += 1;
+        format!("r{}_fsmerge{}", ctx.reduce_idx, st.run_seq)
+    };
+    let w = node.fs.writer(&file).expect("merged run");
+    w.append(merged.bytes).await.expect("merged write");
+    for (f, _) in &picked {
+        let _ = node.fs.delete(f);
+    }
+    state.borrow_mut().disk_runs.push((file, merged));
+    ctx.cluster.sim.metrics().incr("reduce.disk_merges");
+}

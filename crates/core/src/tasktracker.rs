@@ -1,0 +1,515 @@
+//! The TaskTracker: task slots and the server side of all three shuffle
+//! engines.
+//!
+//! * Vanilla: an HTTP servlet pool (`tasktracker.http.threads`) streams whole
+//!   partitions over socket connections, reading from local disk through the
+//!   OS page cache.
+//! * Hadoop-A: verbs endpoints; each request pulls a fixed kv-count packet
+//!   that the DataEngine reads from disk — no cache of its own (§III-C-1).
+//! * OSU-IB: the paper's `RDMAListener` accepts UCR endpoints, an
+//!   `RDMAReceiver` per endpoint enqueues requests into the
+//!   `DataRequestQueue`, and a pool of light-weight `RDMAResponder`s serves
+//!   them — from the `PrefetchCache` on a hit, straight from disk on a miss
+//!   (then re-caching at demand priority).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rmr_des::prelude::*;
+use rmr_des::sync::channel;
+use rmr_net::{listen, ucr_listen, EndPoint, ListenerHandle, Network, UcrConnector};
+use rmr_store::FileReader;
+
+use crate::cluster::NodeHandle;
+use crate::config::{JobConf, ShuffleKind};
+use crate::mapoutput::MapOutputStore;
+use crate::prefetch::{PrefetchCache, Prefetcher, PrefetchRequest, Priority};
+use crate::proto::{PacketBudget, ShufMsg};
+use crate::record::SegmentCursor;
+
+/// Server address of one TaskTracker's shuffle service.
+#[derive(Clone)]
+pub enum TtServerHandle {
+    /// Vanilla: HTTP over sockets.
+    Http(ListenerHandle<ShufMsg>),
+    /// Hadoop-A and OSU-IB: UCR endpoints over verbs.
+    Rdma(UcrConnector<ShufMsg>),
+}
+
+/// One TaskTracker.
+pub struct TaskTracker {
+    /// Worker index.
+    pub idx: usize,
+    /// The host's resources.
+    pub node: NodeHandle,
+    /// Engine configuration.
+    pub conf: Rc<JobConf>,
+    /// Global map-output registry (this TT serves only its own entries).
+    pub outputs: MapOutputStore,
+    /// The PrefetchCache (OSU-IB).
+    pub cache: PrefetchCache,
+    /// The MapOutputPrefetcher daemon pool.
+    pub prefetcher: Prefetcher,
+    /// Map slots.
+    pub map_slots: Semaphore,
+    /// Reduce slots.
+    pub reduce_slots: Semaphore,
+    sim: Sim,
+    /// Per-(map, reduce) serve cursors.
+    cursors: RefCell<HashMap<(usize, usize), SegmentCursor>>,
+    /// Per-(map, reduce) sequential disk readers.
+    readers: RefCell<HashMap<(usize, usize), FileReader>>,
+    /// How many reduce partitions of each map have been fully served; at
+    /// `num_reduces` the cached copy is released (its useful life is over).
+    served_parts: RefCell<HashMap<usize, usize>>,
+}
+
+impl TaskTracker {
+    /// Creates a TaskTracker on `node`.
+    pub fn new(
+        sim: &Sim,
+        idx: usize,
+        node: NodeHandle,
+        conf: Rc<JobConf>,
+        outputs: MapOutputStore,
+    ) -> Rc<Self> {
+        let cache_bytes = if conf.shuffle == ShuffleKind::OsuIb && conf.caching_enabled {
+            conf.prefetch_cache_bytes
+        } else {
+            0
+        };
+        let cache = PrefetchCache::new(cache_bytes);
+        let prefetcher = Prefetcher::spawn(sim, &node.fs, &cache, conf.prefetcher_threads);
+        Rc::new(TaskTracker {
+            idx,
+            map_slots: Semaphore::new(conf.map_slots as u64),
+            reduce_slots: Semaphore::new(conf.reduce_slots as u64),
+            node,
+            conf,
+            outputs,
+            cache,
+            prefetcher,
+            sim: sim.clone(),
+            cursors: RefCell::new(HashMap::new()),
+            readers: RefCell::new(HashMap::new()),
+            served_parts: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Called when a map completes on this TT: kicks the prefetcher
+    /// (§III-B-3: "caches intermediate map output as soon as it gets
+    /// available").
+    pub fn on_map_output(&self, map_idx: usize) {
+        if self.conf.shuffle == ShuffleKind::OsuIb && self.conf.caching_enabled {
+            if let Some(info) = self.outputs.get(map_idx) {
+                self.prefetcher.request(PrefetchRequest {
+                    map_idx,
+                    file: info.file.clone(),
+                    bytes: info.total_bytes,
+                    priority: Priority::Prefetch,
+                });
+            }
+        }
+    }
+
+    /// Serves one shuffle request, charging disk/cache/CPU, and returns the
+    /// response message.
+    pub async fn serve(&self, map_idx: usize, reduce: usize, budget: PacketBudget) -> ShufMsg {
+        let info = self
+            .outputs
+            .get(map_idx)
+            .expect("request for unknown map output");
+        debug_assert_eq!(info.tt_idx, self.idx, "request routed to wrong TT");
+        let key = (map_idx, reduce);
+        let total = info.parts[reduce].clone();
+        let (total_records, total_bytes) = (total.records, total.bytes);
+        let packet = {
+            let mut cursors = self.cursors.borrow_mut();
+            let cur = cursors
+                .entry(key)
+                .or_insert_with(|| SegmentCursor::new(total));
+            match budget {
+                PacketBudget::Bytes(b) => cur.take_bytes(b),
+                PacketBudget::Records(n) => cur.take_records(n),
+                PacketBudget::Full => cur.take_bytes(u64::MAX),
+            }
+        };
+        let remaining_records = {
+            let cursors = self.cursors.borrow();
+            cursors[&key].remaining_records()
+        };
+        if remaining_records == 0 && packet.records > 0 {
+            // This partition is fully shipped; once every reducer has
+            // drained its partition the cached file has no future readers.
+            let done = {
+                let mut served = self.served_parts.borrow_mut();
+                let e = served.entry(map_idx).or_insert(0);
+                *e += 1;
+                *e >= self.conf.num_reduces
+            };
+            if done {
+                self.cache.remove(map_idx);
+                self.readers.borrow_mut().retain(|(m, _), _| *m != map_idx);
+            }
+        }
+
+        // Where do the bytes come from?
+        let use_cache = self.conf.shuffle == ShuffleKind::OsuIb && self.conf.caching_enabled;
+        let mut from_cache = false;
+        if packet.bytes > 0 {
+            if use_cache && self.cache.lookup(map_idx) {
+                from_cache = true;
+                self.sim.metrics().add("tt.cache_hit_bytes", packet.bytes as f64);
+            } else {
+                // Read from disk (through the page cache) with a sequential
+                // per-(map, reduce) stream. The reader is moved out for the
+                // await (the RefCell must not stay borrowed across it).
+                let taken = self.readers.borrow_mut().remove(&key);
+                let mut reader = taken
+                    .unwrap_or_else(|| self.node.fs.reader(&info.file).expect("map output file"));
+                reader
+                    .read_exact(packet.bytes)
+                    .await
+                    .expect("map output shorter than index");
+                self.readers.borrow_mut().insert(key, reader);
+                self.sim.metrics().add("tt.disk_serve_bytes", packet.bytes as f64);
+                if use_cache {
+                    // Demand miss: stage the whole file at high priority so
+                    // successive requests hit (§III-B-3).
+                    self.prefetcher.request(PrefetchRequest {
+                        map_idx,
+                        file: info.file.clone(),
+                        bytes: info.total_bytes,
+                        priority: Priority::Demand,
+                    });
+                }
+            }
+            // Response staging cost (building the packet buffers).
+            self.node
+                .compute(self.conf.costs.serde_per_byte * packet.bytes as f64)
+                .await;
+        }
+
+        ShufMsg::Response {
+            map_idx,
+            reduce,
+            packet,
+            remaining_records,
+            total_records,
+            total_bytes,
+            from_cache,
+        }
+    }
+
+    /// Resets serve state for a map output (failed-map invalidation).
+    pub fn invalidate(&self, map_idx: usize) {
+        self.cursors
+            .borrow_mut()
+            .retain(|(m, _), _| *m != map_idx);
+        self.readers
+            .borrow_mut()
+            .retain(|(m, _), _| *m != map_idx);
+        self.cache.remove(map_idx);
+    }
+}
+
+/// Starts the shuffle server for `tt` and returns its address handle.
+pub fn start_shuffle_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
+    match tt.conf.shuffle {
+        ShuffleKind::Vanilla => start_http_server(tt, net),
+        ShuffleKind::HadoopA | ShuffleKind::OsuIb => start_rdma_server(tt, net),
+    }
+}
+
+/// Vanilla: HTTP servlets. Each accepted connection is handled by a task;
+/// concurrency is bounded by the servlet thread pool. A `Full` request
+/// streams the whole partition in `stream_chunk` pieces, reading each piece
+/// from disk before sending it.
+fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
+    let listener = listen::<ShufMsg>(net, tt.node.id);
+    let handle = listener.handle();
+    let sim = tt.sim.clone();
+    let servlets = Semaphore::new(tt.conf.http_threads as u64);
+    let tt = Rc::clone(tt);
+    sim.clone().spawn(async move {
+        while let Some(conn) = listener.accept().await {
+            let tt = Rc::clone(&tt);
+            let servlets = servlets.clone();
+            sim.spawn(async move {
+                while let Some(msg) = conn.recv().await {
+                    let ShufMsg::Request {
+                        map_idx, reduce, ..
+                    } = msg
+                    else {
+                        continue;
+                    };
+                    let _permit = servlets.acquire(1).await;
+                    // Stream the partition in chunks: read, then send.
+                    loop {
+                        let resp = tt
+                            .serve(map_idx, reduce, PacketBudget::Bytes(tt.conf.stream_chunk))
+                            .await;
+                        let last = matches!(
+                            &resp,
+                            ShufMsg::Response {
+                                remaining_records: 0,
+                                ..
+                            }
+                        );
+                        if conn.send(resp).await.is_err() {
+                            return; // reducer hung up
+                        }
+                        if last {
+                            break;
+                        }
+                    }
+                }
+            })
+            .detach();
+        }
+    })
+    .detach();
+    TtServerHandle::Http(handle)
+}
+
+/// Hadoop-A and OSU-IB: `RDMAListener` + per-endpoint `RDMAReceiver`s +
+/// `DataRequestQueue` + `RDMAResponder` pool (§III-B-1).
+fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
+    let listener = ucr_listen::<ShufMsg>(net, tt.node.id);
+    let connector = listener.connector();
+    let sim = tt.sim.clone();
+
+    // DataRequestQueue: (endpoint, map, reduce, budget).
+    type Queued = (Rc<EndPoint<ShufMsg>>, usize, usize, PacketBudget);
+    let (req_tx, req_rx) = channel::<Queued>();
+
+    // RDMAResponder pool.
+    for _ in 0..tt.conf.responder_threads.max(1) {
+        let rx = req_rx.clone();
+        let tt = Rc::clone(tt);
+        sim.spawn(async move {
+            while let Some((ep, map_idx, reduce, budget)) = rx.recv().await {
+                let resp = tt.serve(map_idx, reduce, budget).await;
+                ep.send(resp).await;
+            }
+        })
+        .detach();
+    }
+
+    // RDMAListener + RDMAReceivers.
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        while let Some(ep) = listener.accept().await {
+            let ep = Rc::new(ep);
+            let req_tx = req_tx.clone();
+            sim2.spawn(async move {
+                while let Some(msg) = ep.recv().await {
+                    if let ShufMsg::Request {
+                        map_idx,
+                        reduce,
+                        budget,
+                    } = msg
+                    {
+                        let _ = req_tx.send_now((Rc::clone(&ep), map_idx, reduce, budget));
+                    }
+                }
+            })
+            .detach();
+        }
+    })
+    .detach();
+    TtServerHandle::Rdma(connector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, NodeSpec};
+    use crate::mapoutput::MapOutputInfo;
+    use crate::record::Segment;
+    use rmr_hdfs::HdfsConfig;
+    use rmr_net::FabricParams;
+
+    fn setup(kind: ShuffleKind, caching: bool) -> (Sim, Cluster, Rc<TaskTracker>, TtServerHandle) {
+        let sim = Sim::new(7);
+        let cluster = Cluster::build(
+            &sim,
+            if kind == ShuffleKind::Vanilla {
+                FabricParams::ipoib_qdr()
+            } else {
+                FabricParams::ib_verbs_qdr()
+            },
+            &[NodeSpec::westmere_compute(), NodeSpec::westmere_compute()],
+            HdfsConfig::default(),
+        );
+        let mut conf = JobConf::default();
+        conf.shuffle = kind;
+        conf.caching_enabled = caching;
+        let conf = Rc::new(conf);
+        let outputs = MapOutputStore::new();
+        let tt = TaskTracker::new(&sim, 0, cluster.workers[0].clone(), conf, outputs.clone());
+        let server = start_shuffle_server(&tt, &cluster.net);
+        (sim, cluster, tt, server)
+    }
+
+    fn register_output(sim: &Sim, tt: &Rc<TaskTracker>, map_idx: usize, part_bytes: u64) {
+        // Write the file so disk reads have something to charge.
+        let fs = tt.node.fs.clone();
+        let file = format!("map_{map_idx}.out");
+        let bytes_total = part_bytes * 2; // two partitions
+        let f2 = file.clone();
+        let fs2 = fs.clone();
+        sim.spawn(async move {
+            let w = fs2.writer(&f2).unwrap();
+            w.append(bytes_total).await.unwrap();
+        })
+        .detach();
+        sim.run(); // flush the write
+        tt.outputs.insert(MapOutputInfo {
+            map_idx,
+            tt_idx: 0,
+            node: tt.node.id,
+            file,
+            total_bytes: bytes_total,
+            total_records: bytes_total / 100,
+            parts: vec![
+                Segment::synthetic(part_bytes / 100, part_bytes),
+                Segment::synthetic(part_bytes / 100, part_bytes),
+            ],
+        });
+    }
+
+    #[test]
+    fn http_server_streams_full_partition() {
+        let (sim, cluster, tt, server) = setup(ShuffleKind::Vanilla, false);
+        register_output(&sim, &tt, 0, 4 << 20);
+        let TtServerHandle::Http(handle) = server else {
+            panic!("expected http")
+        };
+        let client_node = cluster.workers[1].id;
+        let got = Rc::new(std::cell::Cell::new((0u64, 0u64)));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            let conn = handle.connect(client_node).await;
+            conn.send(ShufMsg::Request {
+                map_idx: 0,
+                reduce: 1,
+                budget: PacketBudget::Full,
+            })
+            .await
+            .unwrap();
+            let mut bytes = 0;
+            let mut recs = 0;
+            loop {
+                let Some(ShufMsg::Response {
+                    packet,
+                    remaining_records,
+                    ..
+                }) = conn.recv().await
+                else {
+                    panic!("conn closed early")
+                };
+                bytes += packet.bytes;
+                recs += packet.records;
+                if remaining_records == 0 {
+                    break;
+                }
+            }
+            got2.set((recs, bytes));
+        })
+        .detach();
+        sim.run();
+        assert_eq!(got.get(), ((4 << 20) / 100, 4 << 20));
+    }
+
+    #[test]
+    fn rdma_server_serves_fixed_count_packets() {
+        let (sim, cluster, tt, server) = setup(ShuffleKind::HadoopA, false);
+        register_output(&sim, &tt, 3, 1 << 20);
+        let TtServerHandle::Rdma(connector) = server else {
+            panic!("expected rdma")
+        };
+        let client_node = cluster.workers[1].id;
+        let got = Rc::new(std::cell::Cell::new(0u64));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            let ep = connector.connect(client_node).await;
+            ep.send(ShufMsg::Request {
+                map_idx: 3,
+                reduce: 0,
+                budget: PacketBudget::Records(1000),
+            })
+            .await;
+            let Some(ShufMsg::Response { packet, .. }) = ep.recv().await else {
+                panic!("no response")
+            };
+            got2.set(packet.records);
+        })
+        .detach();
+        sim.run();
+        assert_eq!(got.get(), 1000);
+    }
+
+    #[test]
+    fn osu_cache_hits_after_prefetch() {
+        let (sim, cluster, tt, server) = setup(ShuffleKind::OsuIb, true);
+        register_output(&sim, &tt, 0, 1 << 20);
+        tt.on_map_output(0); // trigger prefetch
+        sim.run(); // let the prefetcher stage the file
+        assert!(tt.cache.contains(0), "prefetcher staged the output");
+        let TtServerHandle::Rdma(connector) = server else {
+            panic!("expected rdma")
+        };
+        let client_node = cluster.workers[1].id;
+        let hit = Rc::new(std::cell::Cell::new(false));
+        let hit2 = Rc::clone(&hit);
+        sim.spawn(async move {
+            let ep = connector.connect(client_node).await;
+            ep.send(ShufMsg::Request {
+                map_idx: 0,
+                reduce: 0,
+                budget: PacketBudget::Bytes(256 << 10),
+            })
+            .await;
+            let Some(ShufMsg::Response { from_cache, .. }) = ep.recv().await else {
+                panic!("no response")
+            };
+            hit2.set(from_cache);
+        })
+        .detach();
+        sim.run();
+        assert!(hit.get(), "served from PrefetchCache");
+    }
+
+    #[test]
+    fn osu_miss_reads_disk_and_recaches() {
+        let (sim, cluster, tt, server) = setup(ShuffleKind::OsuIb, true);
+        register_output(&sim, &tt, 0, 1 << 20);
+        // No on_map_output: cache cold.
+        let TtServerHandle::Rdma(connector) = server else {
+            panic!("expected rdma")
+        };
+        let client_node = cluster.workers[1].id;
+        let first_hit = Rc::new(std::cell::Cell::new(true));
+        let fh = Rc::clone(&first_hit);
+        sim.spawn(async move {
+            let ep = connector.connect(client_node).await;
+            ep.send(ShufMsg::Request {
+                map_idx: 0,
+                reduce: 0,
+                budget: PacketBudget::Bytes(64 << 10),
+            })
+            .await;
+            let Some(ShufMsg::Response { from_cache, .. }) = ep.recv().await else {
+                panic!()
+            };
+            fh.set(from_cache);
+        })
+        .detach();
+        sim.run();
+        assert!(!first_hit.get(), "cold cache misses");
+        // The demand request staged the file for future hits.
+        assert!(tt.cache.contains(0), "demand miss re-cached");
+    }
+}

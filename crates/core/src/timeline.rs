@@ -1,0 +1,190 @@
+//! Per-attempt task timelines.
+//!
+//! Every map/reduce attempt records when it started, where it ran, and how
+//! it ended. The timeline is the raw material for swimlane visualisations
+//! (one lane per task slot, as in the Hadoop job-history UI) and for
+//! computing slot-occupancy statistics; `JobResult` carries it out of
+//! `run_job`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Task flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A MapTask attempt.
+    Map,
+    /// A ReduceTask attempt.
+    Reduce,
+}
+
+/// How an attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Finished and its output was committed.
+    Completed,
+    /// Died (fault injection) and was re-scheduled.
+    Failed,
+    /// Finished but lost a speculative race; output discarded.
+    Discarded,
+}
+
+/// One task attempt's lifetime.
+#[derive(Debug, Clone)]
+pub struct TaskEvent {
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its phase.
+    pub idx: usize,
+    /// TaskTracker (worker) index it ran on.
+    pub tt: usize,
+    /// Virtual start time, seconds.
+    pub start_s: f64,
+    /// Virtual end time, seconds.
+    pub end_s: f64,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+impl TaskEvent {
+    /// Attempt duration in virtual seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// One JSON object (hand-rolled: the core crate stays serde-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"kind":"{}","idx":{},"tt":{},"start_s":{:.6},"end_s":{:.6},"outcome":"{}"}}"#,
+            match self.kind {
+                TaskKind::Map => "map",
+                TaskKind::Reduce => "reduce",
+            },
+            self.idx,
+            self.tt,
+            self.start_s,
+            self.end_s,
+            match self.outcome {
+                Outcome::Completed => "completed",
+                Outcome::Failed => "failed",
+                Outcome::Discarded => "discarded",
+            }
+        )
+    }
+}
+
+/// Shared, append-only attempt log.
+#[derive(Clone, Default)]
+pub struct Timeline {
+    events: Rc<RefCell<Vec<TaskEvent>>>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one finished attempt.
+    pub fn record(&self, ev: TaskEvent) {
+        self.events.borrow_mut().push(ev);
+    }
+
+    /// All attempts, in completion order.
+    pub fn events(&self) -> Vec<TaskEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// JSON-lines export.
+    pub fn to_json_lines(&self) -> String {
+        self.events
+            .borrow()
+            .iter()
+            .map(TaskEvent::to_json)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// (map attempts, reduce attempts) recorded.
+    pub fn counts(&self) -> (usize, usize) {
+        let ev = self.events.borrow();
+        (
+            ev.iter().filter(|e| e.kind == TaskKind::Map).count(),
+            ev.iter().filter(|e| e.kind == TaskKind::Reduce).count(),
+        )
+    }
+
+    /// Integral of concurrently running attempts of `kind` divided by the
+    /// job's makespan — average occupied slots (swimlane density).
+    pub fn mean_concurrency(&self, kind: TaskKind) -> f64 {
+        let ev = self.events.borrow();
+        let (lo, hi) = ev.iter().fold((f64::MAX, f64::MIN), |(lo, hi), e| {
+            (lo.min(e.start_s), hi.max(e.end_s))
+        });
+        if hi <= lo {
+            return 0.0;
+        }
+        let busy: f64 = ev
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(TaskEvent::duration_s)
+            .sum();
+        busy / (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TaskKind, idx: usize, start: f64, end: f64, outcome: Outcome) -> TaskEvent {
+        TaskEvent {
+            kind,
+            idx,
+            tt: 0,
+            start_s: start,
+            end_s: end,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let t = Timeline::new();
+        t.record(ev(TaskKind::Map, 0, 0.0, 2.0, Outcome::Completed));
+        t.record(ev(TaskKind::Map, 1, 0.0, 3.0, Outcome::Failed));
+        t.record(ev(TaskKind::Reduce, 0, 2.0, 6.0, Outcome::Completed));
+        assert_eq!(t.counts(), (2, 1));
+        assert_eq!(t.events()[1].outcome, Outcome::Failed);
+    }
+
+    #[test]
+    fn json_lines_round_trip_shape() {
+        let t = Timeline::new();
+        t.record(ev(TaskKind::Reduce, 7, 1.5, 2.5, Outcome::Discarded));
+        let json = t.to_json_lines();
+        assert!(json.contains(r#""kind":"reduce""#));
+        assert!(json.contains(r#""idx":7"#));
+        assert!(json.contains(r#""outcome":"discarded""#));
+        // Exactly one line per event.
+        assert_eq!(json.lines().count(), 1);
+    }
+
+    #[test]
+    fn mean_concurrency_integrates_busy_time() {
+        let t = Timeline::new();
+        // Two maps fully overlapping across the whole [0, 4] span → 2.0.
+        t.record(ev(TaskKind::Map, 0, 0.0, 4.0, Outcome::Completed));
+        t.record(ev(TaskKind::Map, 1, 0.0, 4.0, Outcome::Completed));
+        assert!((t.mean_concurrency(TaskKind::Map) - 2.0).abs() < 1e-9);
+        assert_eq!(t.mean_concurrency(TaskKind::Reduce), 0.0);
+    }
+
+    #[test]
+    fn empty_timeline_is_sane() {
+        let t = Timeline::new();
+        assert_eq!(t.counts(), (0, 0));
+        assert_eq!(t.mean_concurrency(TaskKind::Map), 0.0);
+        assert_eq!(t.to_json_lines(), "");
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests on the PrefetchCache invariants under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+
+use rmr_core::prefetch::{PrefetchCache, Priority};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, u64, bool), // (map, bytes, demand?)
+    Lookup(usize),
+    Remove(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..12, 1u64..400, any::<bool>()).prop_map(|(m, b, d)| Op::Insert(m, b, d)),
+        (0usize..12).prop_map(Op::Lookup),
+        (0usize..12).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_never_exceeds_capacity(
+        capacity in 0u64..1_000,
+        ops in proptest::collection::vec(arb_op(), 0..200),
+    ) {
+        let cache = PrefetchCache::new(capacity);
+        for op in ops {
+            match op {
+                Op::Insert(m, b, demand) => {
+                    let pri = if demand { Priority::Demand } else { Priority::Prefetch };
+                    let admitted_prediction = cache.would_admit(m, b, pri);
+                    let admitted = cache.insert(m, b, pri);
+                    prop_assert_eq!(admitted, admitted_prediction,
+                        "would_admit must predict insert");
+                    if admitted && !cache.contains(m) {
+                        prop_assert!(false, "admitted entry must be resident");
+                    }
+                }
+                Op::Lookup(m) => {
+                    let hit = cache.lookup(m);
+                    prop_assert_eq!(hit, cache.contains(m));
+                }
+                Op::Remove(m) => cache.remove(m),
+            }
+            prop_assert!(cache.used() <= capacity, "capacity invariant");
+        }
+        let (hits, misses) = cache.stats();
+        prop_assert!(hits + misses <= 200);
+    }
+
+    #[test]
+    fn demand_entries_survive_prefetch_pressure(
+        demand_bytes in 1u64..300,
+        pressure in proptest::collection::vec(1u64..300, 0..50),
+    ) {
+        let cache = PrefetchCache::new(600);
+        prop_assume!(cache.insert(0, demand_bytes, Priority::Demand));
+        for (i, b) in pressure.into_iter().enumerate() {
+            let _ = cache.insert(i + 1, b, Priority::Prefetch);
+            prop_assert!(cache.contains(0), "Prefetch inserts must never evict Demand data");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the streaming priority-queue merge: arbitrary
+//! packet delivery schedules must never lose, duplicate, or disorder
+//! records, and must stall exactly when a non-exhausted source is dry.
+
+use proptest::prelude::*;
+
+use rmr_core::merge::{Emit, StreamingMerge};
+use rmr_core::record::SegmentCursor;
+use rmr_core::{Record, Segment};
+
+/// One source's data plus a packetisation of it.
+fn arb_source() -> impl Strategy<Value = (Vec<Record>, u64)> {
+    (
+        proptest::collection::vec(
+            (any::<u32>(), 0usize..16).prop_map(|(k, vlen)| {
+                Record::new(k.to_be_bytes().to_vec(), vec![b'x'; vlen])
+            }),
+            0..32,
+        ),
+        1u64..64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn real_merge_with_arbitrary_delivery_is_lossless_and_sorted(
+        sources in proptest::collection::vec(arb_source(), 1..5),
+        batch in 1u64..64,
+        schedule_seed in any::<u64>(),
+    ) {
+        // Build per-source packet queues.
+        let mut queues: Vec<Vec<Segment>> = Vec::new();
+        let mut expected_counts = Vec::new();
+        let mut all_records: Vec<Record> = Vec::new();
+        for (records, budget) in &sources {
+            all_records.extend(records.iter().cloned());
+            let seg = Segment::from_records(records.clone());
+            expected_counts.push(seg.records);
+            let mut cursor = SegmentCursor::new(seg);
+            let mut packets = Vec::new();
+            while !cursor.exhausted() {
+                packets.push(cursor.take_bytes(*budget));
+            }
+            packets.reverse(); // pop from the back = delivery order
+            queues.push(packets);
+        }
+        let total: u64 = expected_counts.iter().sum();
+        let mut merge = StreamingMerge::new(expected_counts);
+
+        // Drive: whenever stalled, deliver the next packet of a stalled (or
+        // pseudo-random) source; collect emissions.
+        let mut rng = schedule_seed;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        let mut out: Vec<Record> = Vec::new();
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 10_000, "merge did not converge");
+            match merge.emit(batch) {
+                Emit::Done => break,
+                Emit::Data(seg) => {
+                    prop_assert!(seg.is_sorted());
+                    out.extend(seg.iter_real().cloned());
+                }
+                Emit::Stalled(dry) => {
+                    prop_assert!(!dry.is_empty());
+                    // Deliver one pending packet for a dry source (they must
+                    // all still have pending packets, else the merge lied).
+                    let pick = dry[next() % dry.len()];
+                    let pkt = queues[pick]
+                        .pop()
+                        .expect("stalled on a fully delivered source");
+                    merge.append(pick, pkt);
+                }
+            }
+        }
+        prop_assert_eq!(out.len() as u64, total);
+        prop_assert!(out.windows(2).all(|w| w[0].key <= w[1].key), "global order");
+        // Permutation check.
+        let mut expect: Vec<(Vec<u8>, usize)> =
+            all_records.iter().map(|r| (r.key.to_vec(), r.value.len())).collect();
+        expect.sort();
+        let mut got: Vec<(Vec<u8>, usize)> =
+            out.iter().map(|r| (r.key.to_vec(), r.value.len())).collect();
+        got.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn synthetic_merge_conserves_under_arbitrary_delivery(
+        sizes in proptest::collection::vec((0u64..500, 0u64..50_000), 1..6),
+        packet_records in 1u64..64,
+        batch in 1u64..256,
+    ) {
+        let expected: Vec<u64> = sizes.iter().map(|(r, _)| *r).collect();
+        let total_records: u64 = expected.iter().sum();
+        let total_bytes: u64 = sizes.iter().map(|(_, b)| *b).sum();
+        let mut cursors: Vec<SegmentCursor> = sizes
+            .iter()
+            .map(|(r, b)| SegmentCursor::new(Segment::synthetic(*r, if *r == 0 { 0 } else { *b })))
+            .collect();
+        // Zero-record sources carry zero bytes.
+        let total_bytes: u64 = cursors
+            .iter()
+            .map(|c| c.remaining_bytes())
+            .sum::<u64>()
+            .min(total_bytes.max(0));
+        let mut merge = StreamingMerge::new(expected);
+        let mut got = (0u64, 0u64);
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 100_000);
+            match merge.emit(batch) {
+                Emit::Done => break,
+                Emit::Data(seg) => {
+                    got.0 += seg.records;
+                    got.1 += seg.bytes;
+                }
+                Emit::Stalled(dry) => {
+                    for d in dry {
+                        let pkt = cursors[d].take_records(packet_records);
+                        prop_assert!(pkt.records > 0, "stalled on exhausted source");
+                        merge.append(d, pkt);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got.0, total_records);
+        prop_assert_eq!(got.1, total_bytes);
+    }
+}

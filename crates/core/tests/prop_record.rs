@@ -1,0 +1,157 @@
+//! Property-based tests for the data plane: serialisation, partitioning,
+//! merging, and packet cursors.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use rmr_core::record::SegmentCursor;
+use rmr_core::{
+    decode_records, encode_records, HashPartitioner, Partitioner, Record, Segment,
+    TotalOrderPartitioner,
+};
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..24),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(k, v)| Record::new(k, v))
+}
+
+fn arb_records(max: usize) -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(arb_record(), 0..max)
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(records in arb_records(64)) {
+        let decoded = decode_records(encode_records(&records));
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn from_records_sorts_and_conserves(records in arb_records(64)) {
+        let n = records.len() as u64;
+        let bytes: u64 = records.iter().map(Record::size).sum();
+        let seg = Segment::from_records(records);
+        prop_assert!(seg.is_sorted());
+        prop_assert_eq!(seg.records, n);
+        prop_assert_eq!(seg.bytes, bytes);
+    }
+
+    #[test]
+    fn partition_conserves_and_respects_partitioner(
+        records in arb_records(48),
+        n in 1usize..9,
+        total_order in any::<bool>(),
+    ) {
+        let part: Box<dyn Partitioner> = if total_order {
+            Box::new(TotalOrderPartitioner)
+        } else {
+            Box::new(HashPartitioner)
+        };
+        let seg = Segment::from_records(records);
+        let (recs, bytes) = (seg.records, seg.bytes);
+        let parts = seg.partition(n, part.as_ref());
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts.iter().map(|p| p.records).sum::<u64>(), recs);
+        prop_assert_eq!(parts.iter().map(|p| p.bytes).sum::<u64>(), bytes);
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(p.is_sorted());
+            for r in p.iter_real() {
+                prop_assert_eq!(part.partition(&r.key, n), i);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_partition_conserves(records in 0u64..10_000, bytes in 0u64..1_000_000, n in 1usize..17) {
+        let parts = Segment::synthetic(records, bytes).partition(n, &HashPartitioner);
+        prop_assert_eq!(parts.iter().map(|p| p.records).sum::<u64>(), records);
+        prop_assert_eq!(parts.iter().map(|p| p.bytes).sum::<u64>(), bytes);
+        // Even spread: no partition differs from another by more than 1.
+        let max = parts.iter().map(|p| p.records).max().unwrap();
+        let min = parts.iter().map(|p| p.records).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn merge_is_sorted_and_conserves(groups in proptest::collection::vec(arb_records(24), 0..6)) {
+        let segs: Vec<Segment> = groups.into_iter().map(Segment::from_records).collect();
+        let recs: u64 = segs.iter().map(|s| s.records).sum();
+        let bytes: u64 = segs.iter().map(|s| s.bytes).sum();
+        let merged = Segment::merge(&segs);
+        prop_assert!(merged.is_sorted());
+        prop_assert_eq!(merged.records, recs);
+        prop_assert_eq!(merged.bytes, bytes);
+    }
+
+    #[test]
+    fn merge_is_a_permutation(a in arb_records(24), b in arb_records(24)) {
+        let sa = Segment::from_records(a.clone());
+        let sb = Segment::from_records(b.clone());
+        let merged = Segment::merge(&[sa, sb]);
+        let mut expect: Vec<(Bytes, Bytes)> =
+            a.iter().chain(b.iter()).map(|r| (r.key.clone(), r.value.clone())).collect();
+        expect.sort();
+        let mut got: Vec<(Bytes, Bytes)> =
+            merged.iter_real().map(|r| (r.key.clone(), r.value.clone())).collect();
+        got.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cursor_take_bytes_covers_everything(records in arb_records(48), budget in 1u64..256) {
+        let seg = Segment::from_records(records);
+        let (recs, bytes) = (seg.records, seg.bytes);
+        let mut cursor = SegmentCursor::new(seg);
+        let mut got_recs = 0;
+        let mut got_bytes = 0;
+        let mut guard = 0;
+        while !cursor.exhausted() {
+            let p = cursor.take_bytes(budget);
+            prop_assert!(p.records > 0, "progress guaranteed");
+            prop_assert!(p.is_sorted());
+            got_recs += p.records;
+            got_bytes += p.bytes;
+            guard += 1;
+            prop_assert!(guard <= recs + 1);
+        }
+        prop_assert_eq!(got_recs, recs);
+        prop_assert_eq!(got_bytes, bytes);
+    }
+
+    #[test]
+    fn cursor_synthetic_conserves(records in 1u64..5_000, bytes in 0u64..500_000, n in 1u64..64) {
+        let mut cursor = SegmentCursor::new(Segment::synthetic(records, bytes));
+        let mut got = (0u64, 0u64);
+        while !cursor.exhausted() {
+            let p = cursor.take_records(n);
+            got.0 += p.records;
+            got.1 += p.bytes;
+        }
+        prop_assert_eq!(got, (records, bytes));
+    }
+
+    #[test]
+    fn concat_of_cursor_windows_rebuilds_the_segment(records in arb_records(48), budget in 1u64..128) {
+        let seg = Segment::from_records(records);
+        let (recs, bytes) = (seg.records, seg.bytes);
+        let mut cursor = SegmentCursor::new(seg);
+        let mut packets = Vec::new();
+        while !cursor.exhausted() {
+            packets.push(cursor.take_bytes(budget));
+        }
+        let rebuilt = Segment::concat(packets);
+        prop_assert_eq!(rebuilt.records, recs);
+        prop_assert_eq!(rebuilt.bytes, bytes);
+        prop_assert!(rebuilt.is_sorted());
+    }
+
+    #[test]
+    fn total_order_partitioner_is_monotone_in_key(a in proptest::collection::vec(any::<u8>(), 1..12), b in proptest::collection::vec(any::<u8>(), 1..12), n in 1usize..32) {
+        let p = TotalOrderPartitioner;
+        let (lo, hi) = if a <= b { (&a, &b) } else { (&b, &a) };
+        prop_assert!(p.partition(lo, n) <= p.partition(hi, n));
+    }
+}

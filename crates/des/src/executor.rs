@@ -1,0 +1,715 @@
+//! A deterministic single-threaded async executor driven by a virtual clock.
+//!
+//! Simulated processes are ordinary `async` blocks spawned onto a [`Sim`].
+//! The event loop alternates two phases:
+//!
+//! 1. drain the ready queue, polling every runnable task at the current
+//!    virtual instant;
+//! 2. when no task is runnable, pop the earliest scheduled event, advance the
+//!    clock to its timestamp, and fire it (waking tasks or running a closure).
+//!
+//! All state lives behind a single `Rc<RefCell<Core>>`; user code is never
+//! invoked while the core is borrowed, so re-entrant calls into the [`Sim`]
+//! handle from inside tasks and event closures are always safe.
+//!
+//! Determinism: ties in the event heap break on a monotonically increasing
+//! sequence number, the ready queue is FIFO, and nothing consults wall-clock
+//! time or OS entropy (randomness comes from the seeded [`rand`] generator on
+//! the [`Sim`] handle).
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task. Carries a generation so stale wakers for a
+/// recycled slot are ignored instead of waking an unrelated task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId {
+    index: u32,
+    gen: u32,
+}
+
+/// Identifier of a scheduled event; cancellable until it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId {
+    index: u32,
+    gen: u32,
+}
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+type EventFn = Box<dyn FnOnce(&Sim) + 'static>;
+
+enum EventAction {
+    Wake(Waker),
+    Call(EventFn),
+}
+
+struct EventSlot {
+    gen: u32,
+    /// `None` when the slot is vacant or the event was cancelled.
+    action: Option<EventAction>,
+}
+
+struct TaskSlot {
+    gen: u32,
+    /// Taken out of the slot while the future is being polled.
+    future: Option<LocalFuture>,
+    live: bool,
+}
+
+/// The shared FIFO of tasks made runnable by wakers. `Waker` must be
+/// `Send + Sync`, hence the `Arc<Mutex<..>>` even though the executor itself
+/// is single-threaded (the mutex is never contended).
+type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+
+struct WakeEntry {
+    task: TaskId,
+    ready: ReadyQueue,
+}
+
+impl Wake for WakeEntry {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().unwrap().push_back(self.task);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.lock().unwrap().push_back(self.task);
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    event: EventId,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Core {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    events: Vec<EventSlot>,
+    free_events: Vec<u32>,
+    tasks: Vec<TaskSlot>,
+    free_tasks: Vec<u32>,
+    live_tasks: usize,
+    ready: ReadyQueue,
+    rng: SmallRng,
+    events_fired: u64,
+    polls: u64,
+}
+
+impl Core {
+    fn alloc_event(&mut self, action: EventAction) -> EventId {
+        if let Some(index) = self.free_events.pop() {
+            let slot = &mut self.events[index as usize];
+            slot.action = Some(action);
+            EventId {
+                index,
+                gen: slot.gen,
+            }
+        } else {
+            let index = self.events.len() as u32;
+            self.events.push(EventSlot {
+                gen: 0,
+                action: Some(action),
+            });
+            EventId { index, gen: 0 }
+        }
+    }
+
+    fn release_event(&mut self, id: EventId) {
+        let slot = &mut self.events[id.index as usize];
+        debug_assert_eq!(slot.gen, id.gen);
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.action = None;
+        self.free_events.push(id.index);
+    }
+}
+
+/// Cloneable handle to a running simulation. All simulation primitives
+/// (timers, channels, resources) are built on this handle.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+    metrics: Metrics,
+}
+
+impl Sim {
+    /// Creates a fresh simulation whose random generator is seeded with
+    /// `seed`. Equal seeds (and equal programs) produce identical runs.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                events: Vec::new(),
+                free_events: Vec::new(),
+                tasks: Vec::new(),
+                free_tasks: Vec::new(),
+                live_tasks: 0,
+                ready: Arc::new(Mutex::new(VecDeque::new())),
+                rng: SmallRng::seed_from_u64(seed),
+                events_fired: 0,
+                polls: 0,
+            })),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// The metrics registry shared by every component of this simulation.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Runs `f` with the simulation's deterministic random generator.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SmallRng) -> T) -> T {
+        f(&mut self.core.borrow_mut().rng)
+    }
+
+    /// Number of events fired so far (diagnostic).
+    pub fn events_fired(&self) -> u64 {
+        self.core.borrow().events_fired
+    }
+
+    /// Number of task polls so far (diagnostic).
+    pub fn polls(&self) -> u64 {
+        self.core.borrow().polls
+    }
+
+    /// Schedules `action` to run at absolute time `at` (clamped to now if in
+    /// the past). Returns an id that can cancel the event before it fires.
+    pub fn schedule_fn(&self, at: SimTime, action: impl FnOnce(&Sim) + 'static) -> EventId {
+        self.schedule(at, EventAction::Call(Box::new(action)))
+    }
+
+    /// Schedules `waker` to be woken at absolute time `at`.
+    pub fn schedule_wake(&self, at: SimTime, waker: Waker) -> EventId {
+        self.schedule(at, EventAction::Wake(waker))
+    }
+
+    fn schedule(&self, at: SimTime, action: EventAction) -> EventId {
+        let mut core = self.core.borrow_mut();
+        let at = at.max(core.now);
+        let id = core.alloc_event(action);
+        let seq = core.seq;
+        core.seq += 1;
+        core.heap.push(Reverse(HeapEntry {
+            time: at,
+            seq,
+            event: id,
+        }));
+        id
+    }
+
+    /// Cancels a pending event. Harmless if the event already fired (the
+    /// generation check rejects stale ids).
+    pub fn cancel(&self, id: EventId) {
+        let mut core = self.core.borrow_mut();
+        let slot = &mut core.events[id.index as usize];
+        if slot.gen == id.gen {
+            // Leave the heap entry in place; it is skipped when popped.
+            slot.action = None;
+        }
+    }
+
+    /// Replaces the waker of a pending timer event (used when a timer future
+    /// is polled again with a different waker).
+    pub(crate) fn reset_wake(&self, id: EventId, waker: Waker) {
+        let mut core = self.core.borrow_mut();
+        let slot = &mut core.events[id.index as usize];
+        if slot.gen == id.gen && slot.action.is_some() {
+            slot.action = Some(EventAction::Wake(waker));
+        }
+    }
+
+    pub(crate) fn event_is_pending(&self, id: EventId) -> bool {
+        let core = self.core.borrow();
+        let slot = &core.events[id.index as usize];
+        slot.gen == id.gen && slot.action.is_some()
+    }
+
+    /// Spawns a task and returns a [`JoinHandle`] yielding its output.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+            detached: false,
+        }));
+        let state2 = Rc::clone(&state);
+        self.spawn_unit(async move {
+            let out = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        JoinHandle { state }
+    }
+
+    fn spawn_unit(&self, fut: impl Future<Output = ()> + 'static) {
+        let mut core = self.core.borrow_mut();
+        let future: LocalFuture = Box::pin(fut);
+        let id = if let Some(index) = core.free_tasks.pop() {
+            let slot = &mut core.tasks[index as usize];
+            slot.future = Some(future);
+            slot.live = true;
+            TaskId {
+                index,
+                gen: slot.gen,
+            }
+        } else {
+            let index = core.tasks.len() as u32;
+            core.tasks.push(TaskSlot {
+                gen: 0,
+                future: Some(future),
+                live: true,
+            });
+            TaskId { index, gen: 0 }
+        };
+        core.live_tasks += 1;
+        core.ready.lock().unwrap().push_back(id);
+    }
+
+    /// Sleeps for `d` of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Timer {
+        Timer {
+            sim: self.clone(),
+            deadline: self.now() + d,
+            event: None,
+        }
+    }
+
+    /// Sleeps until the absolute instant `at`.
+    pub fn sleep_until(&self, at: SimTime) -> Timer {
+        Timer {
+            sim: self.clone(),
+            deadline: at,
+            event: None,
+        }
+    }
+
+    /// Yields once, letting every other currently-runnable task proceed
+    /// before this one resumes (still at the same virtual instant).
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let (future, ready) = {
+            let mut core = self.core.borrow_mut();
+            core.polls += 1;
+            let slot = match core.tasks.get_mut(id.index as usize) {
+                Some(s) if s.gen == id.gen && s.live => s,
+                _ => return, // stale waker
+            };
+            match slot.future.take() {
+                Some(f) => (f, Arc::clone(&core.ready)),
+                // Already being polled higher up the stack (a waker fired
+                // synchronously during poll); the re-queued id handles it.
+                None => return,
+            }
+        };
+        let waker = Waker::from(Arc::new(WakeEntry { task: id, ready }));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = future;
+        let poll = future.as_mut().poll(&mut cx);
+        let mut core = self.core.borrow_mut();
+        let slot = &mut core.tasks[id.index as usize];
+        match poll {
+            Poll::Ready(()) => {
+                slot.live = false;
+                slot.gen = slot.gen.wrapping_add(1);
+                core.free_tasks.push(id.index);
+                core.live_tasks -= 1;
+            }
+            Poll::Pending => {
+                slot.future = Some(future);
+            }
+        }
+    }
+
+    /// Runs the event loop until no runnable task and no pending event
+    /// remains, or until `limit` (if given) — whichever comes first.
+    /// Returns the final virtual time.
+    pub fn run(&self) -> SimTime {
+        self.run_with_limit(None)
+    }
+
+    /// [`Sim::run`] with a hard virtual-time limit; events scheduled past the
+    /// limit are left unfired.
+    pub fn run_until(&self, limit: SimTime) -> SimTime {
+        self.run_with_limit(Some(limit))
+    }
+
+    fn run_with_limit(&self, limit: Option<SimTime>) -> SimTime {
+        // Diagnostic heartbeat: RMR_TRACE=<N> prints progress every N polls
+        // (any non-numeric value selects 10M).
+        let trace: Option<u64> = std::env::var("RMR_TRACE")
+            .ok()
+            .map(|v| v.parse().unwrap_or(10_000_000));
+        let mut last_trace: u64 = 0;
+        loop {
+            if let Some(every) = trace {
+                let (polls, fired, now) = {
+                    let core = self.core.borrow();
+                    (core.polls, core.events_fired, core.now)
+                };
+                if polls / every > last_trace {
+                    last_trace = polls / every;
+                    eprintln!("[sim-trace] polls={polls} events={fired} t={now}");
+                }
+            }
+            // Phase 1: drain runnable tasks at the current instant.
+            loop {
+                let next = self.core.borrow().ready.lock().unwrap().pop_front();
+                match next {
+                    Some(id) => self.poll_task(id),
+                    None => break,
+                }
+            }
+            // Phase 2: advance to the next event.
+            let fired = {
+                let mut core = self.core.borrow_mut();
+                loop {
+                    match core.heap.pop() {
+                        Some(Reverse(entry)) => {
+                            {
+                                let slot = &core.events[entry.event.index as usize];
+                                if slot.gen != entry.event.gen || slot.action.is_none() {
+                                    continue; // cancelled or stale
+                                }
+                            }
+                            if let Some(limit) = limit {
+                                if entry.time > limit {
+                                    // Push back and stop at the limit.
+                                    core.heap.push(Reverse(entry));
+                                    core.now = limit;
+                                    return limit;
+                                }
+                            }
+                            core.now = entry.time;
+                            core.events_fired += 1;
+                            let id = entry.event;
+                            let action = core.events[id.index as usize].action.take();
+                            // Release after take so the id can be reused.
+                            core.release_event(id);
+                            break action;
+                        }
+                        None => break None,
+                    }
+                }
+            };
+            match fired {
+                Some(EventAction::Wake(w)) => w.wake(),
+                Some(EventAction::Call(f)) => f(self),
+                None => {
+                    let core = self.core.borrow();
+                    debug_assert!(
+                        core.ready.lock().unwrap().is_empty(),
+                        "ready queue must be empty at quiescence"
+                    );
+                    return core.now;
+                }
+            }
+        }
+    }
+
+    /// Number of tasks that have been spawned but not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.borrow().live_tasks
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    detached: bool,
+}
+
+/// Awaitable completion of a spawned task.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Drops the handle without cancelling the task (tasks are never
+    /// cancelled by handle drop in this executor; `detach` just documents
+    /// intent).
+    pub fn detach(self) {
+        self.state.borrow_mut().detached = true;
+    }
+
+    /// True once the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        match st.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Timer {
+    sim: Sim,
+    deadline: SimTime,
+    event: Option<EventId>,
+}
+
+impl Future for Timer {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            if let Some(ev) = self.event.take() {
+                self.sim.cancel(ev);
+            }
+            return Poll::Ready(());
+        }
+        match self.event {
+            Some(ev) if self.sim.event_is_pending(ev) => {
+                self.sim.reset_wake(ev, cx.waker().clone());
+            }
+            _ => {
+                let ev = self.sim.schedule_wake(self.deadline, cx.waker().clone());
+                self.event = Some(ev);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(ev) = self.event.take() {
+            self.sim.cancel(ev);
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances_with_sleep() {
+        let sim = Sim::new(1);
+        let sim2 = sim.clone();
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(5)).await;
+            done2.set(sim2.now());
+        })
+        .detach();
+        let end = sim.run();
+        assert_eq!(done.get(), SimTime::from_nanos(5_000_000));
+        assert_eq!(end, SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b", "c"] {
+            let sim2 = sim.clone();
+            let log2 = Rc::clone(&log);
+            sim.spawn(async move {
+                for i in 0..3u32 {
+                    sim2.sleep(SimDuration::from_millis(1)).await;
+                    log2.borrow_mut().push(format!("{name}{i}"));
+                }
+            })
+            .detach();
+        }
+        sim.run();
+        let got = log.borrow().join(",");
+        // FIFO spawn order is preserved at every shared instant.
+        assert_eq!(got, "a0,b0,c0,a1,b1,c1,a2,b2,c2");
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new(1);
+        let sim2 = sim.clone();
+        let sim3 = sim.clone();
+        let out = Rc::new(Cell::new(0u64));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            let h = sim2.spawn(async move {
+                sim3.sleep(SimDuration::from_secs(1)).await;
+                42u64
+            });
+            out2.set(h.await);
+        })
+        .detach();
+        sim.run();
+        assert_eq!(out.get(), 42);
+    }
+
+    #[test]
+    fn schedule_fn_runs_at_requested_time() {
+        let sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for ms in [30u64, 10, 20] {
+            let hits2 = Rc::clone(&hits);
+            sim.schedule_fn(SimTime::from_nanos(ms * 1_000_000), move |s| {
+                hits2.borrow_mut().push((ms, s.now()));
+            });
+        }
+        sim.run();
+        let hits = hits.borrow();
+        assert_eq!(
+            hits.iter().map(|(ms, _)| *ms).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        for (ms, t) in hits.iter() {
+            assert_eq!(t.as_nanos(), ms * 1_000_000);
+        }
+    }
+
+    #[test]
+    fn cancelled_event_does_not_fire() {
+        let sim = Sim::new(1);
+        let fired = Rc::new(Cell::new(false));
+        let fired2 = Rc::clone(&fired);
+        let id = sim.schedule_fn(SimTime::from_nanos(100), move |_| fired2.set(true));
+        sim.cancel(id);
+        sim.run();
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let sim = Sim::new(1);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            loop {
+                sim2.sleep(SimDuration::from_secs(1)).await;
+            }
+        })
+        .detach();
+        let end = sim.run_until(SimTime::from_nanos(3_500_000_000));
+        assert_eq!(end.as_nanos(), 3_500_000_000);
+        assert_eq!(sim.now().as_nanos(), 3_500_000_000);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run_first() {
+        let sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = Rc::clone(&log);
+        let s1 = sim.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push(1);
+            s1.yield_now().await;
+            l1.borrow_mut().push(3);
+        })
+        .detach();
+        let l2 = Rc::clone(&log);
+        sim.spawn(async move {
+            l2.borrow_mut().push(2);
+        })
+        .detach();
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_rng_streams() {
+        use rand::Rng;
+        let a = Sim::new(7);
+        let b = Sim::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.with_rng(|r| r.gen())).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.with_rng(|r| r.gen())).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn timer_drop_cancels_event() {
+        let sim = Sim::new(1);
+        {
+            let _t = sim.sleep(SimDuration::from_secs(10));
+            // dropped immediately without being polled — no event scheduled
+        }
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            // Poll a timer once, then drop it via select-like abandonment:
+            // emulate by polling manually inside a wrapper future.
+            struct PollOnce(Timer);
+            impl Future for PollOnce {
+                type Output = ();
+                fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                    // SAFETY: structural pinning of the only field.
+                    let timer = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+                    let _ = timer.poll(cx);
+                    Poll::Ready(())
+                }
+            }
+            PollOnce(sim2.sleep(SimDuration::from_secs(100))).await;
+        })
+        .detach();
+        let end = sim.run();
+        // The abandoned 100 s timer must not hold the clock hostage.
+        assert_eq!(end, SimTime::ZERO);
+    }
+}

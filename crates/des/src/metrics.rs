@@ -1,0 +1,147 @@
+//! A tiny metrics registry shared by every component of a simulation.
+//!
+//! Components record named counters (bytes shuffled, cache hits, …) and
+//! busy-time accumulators (disk busy seconds, CPU busy core-seconds). The
+//! benchmark harness reads these out after a run to report utilisation and
+//! to sanity-check conservation properties (e.g. bytes leaving TaskTrackers
+//! equal bytes arriving at ReduceTasks).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::time::SimDuration;
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, f64>,
+}
+
+/// Cloneable handle to a simulation's metrics registry.
+///
+/// Keys are free-form dotted strings (`"disk.node3.busy_s"`). A `BTreeMap`
+/// keeps report ordering stable across runs.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<Registry>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to counter `key` (creating it at zero).
+    pub fn add(&self, key: &str, v: f64) {
+        *self
+            .inner
+            .borrow_mut()
+            .counters
+            .entry(key.to_string())
+            .or_insert(0.0) += v;
+    }
+
+    /// Increments counter `key` by one.
+    pub fn incr(&self, key: &str) {
+        self.add(key, 1.0);
+    }
+
+    /// Adds a duration (in seconds) to counter `key`; used for busy-time
+    /// accounting.
+    pub fn add_duration(&self, key: &str, d: SimDuration) {
+        self.add(key, d.as_secs_f64());
+    }
+
+    /// Records `v` only if it exceeds the stored maximum.
+    pub fn record_max(&self, key: &str, v: f64) {
+        let mut reg = self.inner.borrow_mut();
+        let slot = reg.counters.entry(key.to_string()).or_insert(f64::MIN);
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    /// Current value of `key`, or 0 if never written.
+    pub fn get(&self, key: &str) -> f64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(key)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Snapshot of every counter, sorted by key.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Sum of all counters whose key starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> f64 {
+        self.inner
+            .borrow()
+            .counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add("bytes", 10.0);
+        m.add("bytes", 5.0);
+        m.incr("ops");
+        assert_eq!(m.get("bytes"), 15.0);
+        assert_eq!(m.get("ops"), 1.0);
+        assert_eq!(m.get("missing"), 0.0);
+    }
+
+    #[test]
+    fn record_max_keeps_peak() {
+        let m = Metrics::new();
+        m.record_max("peak", 3.0);
+        m.record_max("peak", 1.0);
+        m.record_max("peak", 9.0);
+        assert_eq!(m.get("peak"), 9.0);
+    }
+
+    #[test]
+    fn sum_prefix_covers_exactly_the_prefix() {
+        let m = Metrics::new();
+        m.add("disk.n0.busy", 1.0);
+        m.add("disk.n1.busy", 2.0);
+        m.add("diskette", 100.0);
+        m.add("net.n0.tx", 7.0);
+        assert_eq!(m.sum_prefix("disk."), 3.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let m = Metrics::new();
+        m.add("b", 1.0);
+        m.add("a", 1.0);
+        let snap = m.snapshot();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "b");
+    }
+
+    #[test]
+    fn add_duration_converts_to_seconds() {
+        let m = Metrics::new();
+        m.add_duration("busy", SimDuration::from_millis(1500));
+        assert!((m.get("busy") - 1.5).abs() < 1e-12);
+    }
+}

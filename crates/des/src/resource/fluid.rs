@@ -1,0 +1,602 @@
+//! Fluid-flow (processor-sharing) resources.
+//!
+//! A [`Fluid`] models a capacity that concurrent consumers share fairly:
+//! a NIC direction (bytes/s split across active transfers), a node's CPU
+//! (core-seconds/s split across runnable workers, each capped at one core),
+//! or an SSD's internal bandwidth. Each consumer asks to move `amount` units;
+//! while `n` consumers are active each progresses at
+//! `min(entry_cap, capacity * weight / total_weight)` units per second.
+//!
+//! The implementation keeps per-entry remaining work and schedules exactly
+//! one kernel event — the earliest completion — recomputing it whenever a
+//! consumer arrives, departs, or completes. This is the standard fluid
+//! approximation used by packet-level-accurate-enough network simulators;
+//! it reproduces bandwidth contention without per-packet events.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::executor::{EventId, Sim};
+use crate::time::{SimDuration, SimTime};
+
+/// Residual work below this many units counts as complete (sub-microbyte /
+/// sub-pico-core-second — far below anything the models can observe).
+const EPS: f64 = 1e-6;
+
+thread_local! {
+    /// Diagnostic: total entry-visits in `advance` (O(n-squared) detector).
+    pub static FLUID_ADVANCE_WORK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+struct Entry {
+    remaining: f64,
+    weight: f64,
+    waker: Option<Waker>,
+    done: bool,
+    gen: u32,
+}
+
+struct Inner {
+    capacity: f64,
+    entry_cap: f64,
+    entries: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    active: usize,
+    total_weight: f64,
+    last: SimTime,
+    next_event: Option<EventId>,
+    served: f64,
+    busy: f64,
+    metrics_key: Option<String>,
+}
+
+impl Inner {
+    fn rate_of(&self, e: &Entry) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        (self.capacity * e.weight / self.total_weight).min(self.entry_cap * e.weight)
+    }
+
+    /// Applies progress from `self.last` to `now` to every active entry.
+    fn advance(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last).as_secs_f64();
+        self.last = now;
+        if elapsed <= 0.0 || self.active == 0 {
+            return;
+        }
+        FLUID_ADVANCE_WORK.with(|w| w.set(w.get() + self.entries.len() as u64));
+        self.busy += elapsed;
+        let total_weight = self.total_weight;
+        let capacity = self.capacity;
+        let entry_cap = self.entry_cap;
+        for slot in self.entries.iter_mut() {
+            if let Some(e) = slot {
+                if e.done {
+                    continue;
+                }
+                let rate = (capacity * e.weight / total_weight).min(entry_cap * e.weight);
+                let progress = rate * elapsed;
+                self.served += progress.min(e.remaining);
+                e.remaining = (e.remaining - progress).max(0.0);
+            }
+        }
+    }
+
+    /// Marks entries that have finished and wakes their consumers. Returns
+    /// whether any entry completed (membership changed).
+    fn complete_finished(&mut self) -> bool {
+        let mut changed = false;
+        for slot in self.entries.iter_mut() {
+            if let Some(e) = slot {
+                if !e.done && e.remaining <= EPS {
+                    e.done = true;
+                    e.remaining = 0.0;
+                    self.active -= 1;
+                    self.total_weight -= e.weight;
+                    changed = true;
+                    if let Some(w) = e.waker.take() {
+                        w.wake();
+                    }
+                }
+            }
+        }
+        if self.active == 0 {
+            self.total_weight = 0.0; // kill accumulated float error
+        }
+        changed
+    }
+
+    /// Seconds until the earliest active entry finishes at current rates.
+    fn time_to_next_completion(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for slot in self.entries.iter() {
+            if let Some(e) = slot {
+                if e.done {
+                    continue;
+                }
+                let rate = self.rate_of(e);
+                if rate <= 0.0 {
+                    continue;
+                }
+                let t = e.remaining / rate;
+                best = Some(match best {
+                    Some(b) => b.min(t),
+                    None => t,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// A shared-capacity resource. Cheap to clone (handle).
+#[derive(Clone)]
+pub struct Fluid {
+    sim: Sim,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Fluid {
+    /// Creates a resource with `capacity` units/second and no per-consumer
+    /// cap (a transfer alone gets the whole capacity).
+    pub fn new(sim: &Sim, capacity: f64) -> Self {
+        Self::with_entry_cap(sim, capacity, f64::INFINITY)
+    }
+
+    /// Creates a resource where a single consumer of weight 1 can progress at
+    /// most `entry_cap` units/second even when the resource is idle. Used for
+    /// CPUs: capacity = cores, entry_cap = 1 core.
+    pub fn with_entry_cap(sim: &Sim, capacity: f64, entry_cap: f64) -> Self {
+        assert!(capacity > 0.0, "fluid capacity must be positive");
+        Fluid {
+            sim: sim.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                capacity,
+                entry_cap,
+                entries: Vec::new(),
+                free: Vec::new(),
+                active: 0,
+                total_weight: 0.0,
+                last: sim.now(),
+                next_event: None,
+                served: 0.0,
+                busy: 0.0,
+                metrics_key: None,
+            })),
+        }
+    }
+
+    /// Tags the resource so that, on demand, busy time and served units are
+    /// published to the simulation metrics under `<key>.busy_s` and
+    /// `<key>.served`.
+    pub fn with_metrics_key(self, key: impl Into<String>) -> Self {
+        self.inner.borrow_mut().metrics_key = Some(key.into());
+        self
+    }
+
+    /// The configured capacity in units/second.
+    pub fn capacity(&self) -> f64 {
+        self.inner.borrow().capacity
+    }
+
+    /// Number of in-flight consumers.
+    pub fn active(&self) -> usize {
+        self.inner.borrow().active
+    }
+
+    /// Total units served so far (progressed to `sim.now()`).
+    pub fn served(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.sim.now();
+        inner.advance(now);
+        inner.served
+    }
+
+    /// Seconds during which at least one consumer was active.
+    pub fn busy_seconds(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.sim.now();
+        inner.advance(now);
+        inner.busy
+    }
+
+    /// Publishes `busy_s` / `served` to the metrics registry (if a key was
+    /// set with [`Fluid::with_metrics_key`]).
+    pub fn publish_metrics(&self) {
+        let key = self.inner.borrow().metrics_key.clone();
+        if let Some(key) = key {
+            let busy = self.busy_seconds();
+            let served = self.inner.borrow().served;
+            let m = self.sim.metrics();
+            m.add(&format!("{key}.busy_s"), busy - m.get(&format!("{key}.busy_s")));
+            m.add(
+                &format!("{key}.served"),
+                served - m.get(&format!("{key}.served")),
+            );
+        }
+    }
+
+    /// Consumes `amount` units with weight 1.
+    pub fn consume(&self, amount: f64) -> ConsumeFuture {
+        self.consume_weighted(amount, 1.0)
+    }
+
+    /// Consumes `amount` units with the given fair-share `weight`.
+    ///
+    /// The consumer starts progressing immediately (at call time), even
+    /// before the returned future is first polled; dropping the future
+    /// cancels the remaining work.
+    pub fn consume_weighted(&self, amount: f64, weight: f64) -> ConsumeFuture {
+        assert!(weight > 0.0, "weight must be positive");
+        assert!(amount.is_finite() && amount >= 0.0, "bad amount {amount}");
+        let now = self.sim.now();
+        let mut inner = self.inner.borrow_mut();
+        inner.advance(now);
+        inner.complete_finished();
+        let entry = Entry {
+            remaining: amount,
+            weight,
+            waker: None,
+            done: amount <= EPS,
+            gen: 0,
+        };
+        let idx = if let Some(idx) = inner.free.pop() {
+            let gen = inner.entries[idx]
+                .as_ref()
+                .map(|e| e.gen)
+                .unwrap_or(0)
+                .wrapping_add(1);
+            inner.entries[idx] = Some(Entry { gen, ..entry });
+            idx
+        } else {
+            inner.entries.push(Some(entry));
+            inner.entries.len() - 1
+        };
+        let gen = inner.entries[idx].as_ref().unwrap().gen;
+        let instant_done = inner.entries[idx].as_ref().unwrap().done;
+        if !instant_done {
+            inner.active += 1;
+            inner.total_weight += weight;
+        }
+        drop(inner);
+        self.reschedule();
+        ConsumeFuture {
+            fluid: self.clone(),
+            idx,
+            gen,
+            finished: false,
+        }
+    }
+
+    /// Recomputes and reschedules the next-completion event.
+    fn reschedule(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(ev) = inner.next_event.take() {
+            drop(inner);
+            self.sim.cancel(ev);
+            inner = self.inner.borrow_mut();
+        }
+        if let Some(dt) = inner.time_to_next_completion() {
+            let at = self.sim.now() + SimDuration::from_secs_f64(dt);
+            let handle = self.clone();
+            drop(inner);
+            let ev = self.sim.schedule_fn(at, move |_| handle.tick());
+            self.inner.borrow_mut().next_event = Some(ev);
+        }
+    }
+
+    /// Event callback: advance, complete, reschedule.
+    fn tick(&self) {
+        let now = self.sim.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_event = None;
+            inner.advance(now);
+            inner.complete_finished();
+        }
+        self.reschedule();
+    }
+
+    fn release_slot(&self, idx: usize) {
+        let now = self.sim.now();
+        let mut inner = self.inner.borrow_mut();
+        // Settle progress up to `now` before changing membership, otherwise
+        // the departing consumer's share is retroactively handed to the
+        // survivors.
+        inner.advance(now);
+        inner.complete_finished();
+        if let Some(e) = inner.entries[idx].take() {
+            // Keep generation alive in a tombstone for ABA protection.
+            inner.entries[idx] = None;
+            inner.free.push(idx);
+            if !e.done {
+                // Cancelled mid-flight.
+                inner.active -= 1;
+                inner.total_weight -= e.weight;
+                if inner.active == 0 {
+                    inner.total_weight = 0.0;
+                }
+                drop(inner);
+                self.reschedule();
+                return;
+            }
+        }
+    }
+}
+
+/// Future returned by [`Fluid::consume`]; resolves when the requested amount
+/// has been transferred.
+pub struct ConsumeFuture {
+    fluid: Fluid,
+    idx: usize,
+    gen: u32,
+    finished: bool,
+}
+
+impl Future for ConsumeFuture {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.fluid.inner.borrow_mut();
+        let entry = inner.entries[self.idx]
+            .as_mut()
+            .filter(|e| e.gen == self.gen)
+            .expect("ConsumeFuture entry vanished");
+        if entry.done {
+            drop(inner);
+            self.finished = true;
+            let idx = self.idx;
+            self.fluid.release_slot(idx);
+            Poll::Ready(())
+        } else {
+            entry.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for ConsumeFuture {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Verify generation before releasing (slot may have been reused
+            // after normal completion path already released it).
+            let matches = {
+                let inner = self.fluid.inner.borrow();
+                inner.entries[self.idx]
+                    .as_ref()
+                    .map(|e| e.gen == self.gen)
+                    .unwrap_or(false)
+            };
+            if matches {
+                self.fluid.release_slot(self.idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use std::cell::Cell;
+
+    fn at_secs(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns * 1_000_000_000)
+    }
+
+    #[test]
+    fn lone_consumer_gets_full_capacity() {
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 100.0); // 100 units/s
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d2 = Rc::clone(&done);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            f.consume(200.0).await;
+            d2.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), at_secs(2));
+    }
+
+    #[test]
+    fn two_consumers_share_fairly() {
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 100.0);
+        let t_small = Rc::new(Cell::new(SimTime::ZERO));
+        let t_big = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            let f = f.clone();
+            let t = Rc::clone(&t_small);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                f.consume(100.0).await;
+                t.set(sim2.now());
+            })
+            .detach();
+        }
+        {
+            let f = f.clone();
+            let t = Rc::clone(&t_big);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                f.consume(300.0).await;
+                t.set(sim2.now());
+            })
+            .detach();
+        }
+        sim.run();
+        // Shared 50/50 until small (100u) finishes at t=2s; big then has
+        // 200u left alone at 100u/s → finishes at t=4s.
+        assert_eq!(t_small.get(), at_secs(2));
+        assert_eq!(t_big.get(), at_secs(4));
+    }
+
+    #[test]
+    fn late_arrival_slows_first_consumer() {
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 100.0);
+        let t_first = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            let f = f.clone();
+            let t = Rc::clone(&t_first);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                f.consume(150.0).await;
+                t.set(sim2.now());
+            })
+            .detach();
+        }
+        {
+            let f = f.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_secs(1)).await;
+                f.consume(1000.0).await;
+            })
+            .detach();
+        }
+        sim.run();
+        // First mover does 100u in [0,1), then shares: 50u left at 50u/s →
+        // finishes at t=2s.
+        assert_eq!(t_first.get(), at_secs(2));
+    }
+
+    #[test]
+    fn entry_cap_limits_lone_consumer() {
+        let sim = Sim::new(1);
+        // 8 "cores", each consumer capped at 1 core.
+        let f = Fluid::with_entry_cap(&sim, 8.0, 1.0);
+        let t = Rc::new(Cell::new(SimTime::ZERO));
+        let t2 = Rc::clone(&t);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            f.consume(3.0).await; // 3 core-seconds at 1 core
+            t2.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(t.get(), at_secs(3));
+    }
+
+    #[test]
+    fn oversubscribed_cpu_shares() {
+        let sim = Sim::new(1);
+        let f = Fluid::with_entry_cap(&sim, 2.0, 1.0); // 2 cores
+        let finishes = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..4 {
+            let f = f.clone();
+            let sim2 = sim.clone();
+            let fin = Rc::clone(&finishes);
+            sim.spawn(async move {
+                f.consume(1.0).await; // 1 core-second each
+                fin.borrow_mut().push(sim2.now());
+            })
+            .detach();
+        }
+        sim.run();
+        // 4 consumers on 2 cores → each runs at 0.5 core → all done at 2s.
+        for t in finishes.borrow().iter() {
+            assert_eq!(*t, at_secs(2));
+        }
+    }
+
+    #[test]
+    fn zero_amount_completes_immediately() {
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 10.0);
+        let hit = Rc::new(Cell::new(false));
+        let h2 = Rc::clone(&hit);
+        sim.spawn(async move {
+            f.consume(0.0).await;
+            h2.set(true);
+        })
+        .detach();
+        let end = sim.run();
+        assert!(hit.get());
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn cancelled_consumer_frees_bandwidth() {
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 100.0);
+        let t = Rc::new(Cell::new(SimTime::ZERO));
+        // Consumer A: 100u, will race a 0.5s timer and lose, cancelling.
+        {
+            let f = f.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                use crate::sync::select::{select2, Either};
+                let r = select2(f.consume(1_000.0), sim2.sleep(SimDuration::from_millis(500))).await;
+                assert!(matches!(r, Either::Right(())));
+            })
+            .detach();
+        }
+        // Consumer B: 100u, should finish at 0.5s(shared)+0.5s... compute:
+        // [0,0.5]: both share 50u/s → B has 75u left; A cancels at 0.5s;
+        // B alone: 75u at 100u/s → done at 1.25s.
+        {
+            let f = f.clone();
+            let sim2 = sim.clone();
+            let t2 = Rc::clone(&t);
+            sim.spawn(async move {
+                f.consume(100.0).await;
+                t2.set(sim2.now());
+            })
+            .detach();
+        }
+        sim.run();
+        assert_eq!(t.get().as_nanos(), 1_250_000_000);
+    }
+
+    #[test]
+    fn weighted_sharing_splits_proportionally() {
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 100.0);
+        let t = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            // weight 3 → 75 u/s while both active
+            let f = f.clone();
+            let sim2 = sim.clone();
+            let t2 = Rc::clone(&t);
+            sim.spawn(async move {
+                f.consume_weighted(150.0, 3.0).await;
+                t2.set(sim2.now());
+            })
+            .detach();
+        }
+        {
+            let f = f.clone();
+            sim.spawn(async move {
+                f.consume_weighted(1_000.0, 1.0).await;
+            })
+            .detach();
+        }
+        sim.run();
+        assert_eq!(t.get(), at_secs(2)); // 150u at 75u/s
+    }
+
+    #[test]
+    fn served_and_busy_account_correctly() {
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 10.0);
+        {
+            let f = f.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                f.consume(10.0).await; // busy [0,1]
+                sim2.sleep(SimDuration::from_secs(1)).await; // idle [1,2]
+                f.consume(20.0).await; // busy [2,4]
+            })
+            .detach();
+        }
+        sim.run();
+        assert!((f.served() - 30.0).abs() < 1e-3);
+        assert!((f.busy_seconds() - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,5 @@
+//! Shared-capacity resource models.
+
+pub mod fluid;
+
+pub use fluid::{ConsumeFuture, Fluid};

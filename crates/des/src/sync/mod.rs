@@ -1,0 +1,11 @@
+//! Synchronisation primitives for simulated processes.
+
+pub mod channel;
+pub mod notify;
+pub mod select;
+pub mod semaphore;
+
+pub use channel::{bounded, channel, Receiver, SendError, Sender};
+pub use notify::{Notified, Notify};
+pub use select::{join_all, select2, Either, Select2};
+pub use semaphore::{Permit, Semaphore};

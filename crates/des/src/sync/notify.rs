@@ -1,0 +1,168 @@
+//! Edge-triggered notification, the building block for condition-variable
+//! style waiting inside the simulation.
+//!
+//! A waiter snapshots the notify epoch when the [`Notified`] future is
+//! *created*; the future resolves once the epoch moves past the snapshot.
+//! This gives the usual "no lost wakeups between check and wait" guarantee:
+//! create the future while the predicate is false, re-check, then await.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Default)]
+struct Inner {
+    epoch: u64,
+    waiters: Vec<Waker>,
+}
+
+/// A cloneable, edge-triggered event.
+#[derive(Clone, Default)]
+pub struct Notify {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Notify {
+    /// Creates a new notifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes every waiter whose [`Notified`] future was created before this
+    /// call.
+    pub fn notify_all(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.epoch += 1;
+        let waiters = std::mem::take(&mut inner.waiters);
+        drop(inner);
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Returns a future that resolves at the next `notify_all` after this
+    /// call.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            inner: Rc::clone(&self.inner),
+            seen: self.inner.borrow().epoch,
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    inner: Rc<RefCell<Inner>>,
+    seen: u64,
+}
+
+impl Future for Notified {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.epoch > self.seen {
+            Poll::Ready(())
+        } else {
+            inner.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn notified_wakes_waiter() {
+        let sim = Sim::new(1);
+        let n = Notify::new();
+        let hit = Rc::new(Cell::new(false));
+
+        let n2 = n.clone();
+        let hit2 = Rc::clone(&hit);
+        sim.spawn(async move {
+            n2.notified().await;
+            hit2.set(true);
+        })
+        .detach();
+
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_secs(1)).await;
+            n.notify_all();
+        })
+        .detach();
+
+        let end = sim.run();
+        assert!(hit.get());
+        assert_eq!(end.as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn notification_before_creation_is_missed() {
+        // Edge semantics: a notify_all that happened before the future was
+        // created must not satisfy it.
+        let sim = Sim::new(1);
+        let n = Notify::new();
+        n.notify_all();
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = Rc::clone(&hit);
+        let fut = n.notified(); // created AFTER the notify above
+        sim.spawn(async move {
+            fut.await;
+            hit2.set(true);
+        })
+        .detach();
+        sim.run();
+        assert!(!hit.get());
+    }
+
+    #[test]
+    fn notification_between_creation_and_await_is_caught() {
+        // The "check-then-wait" pattern: future created first, notify fires,
+        // then the await must complete immediately.
+        let sim = Sim::new(1);
+        let n = Notify::new();
+        let fut = n.notified();
+        n.notify_all();
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = Rc::clone(&hit);
+        sim.spawn(async move {
+            fut.await;
+            hit2.set(true);
+        })
+        .detach();
+        sim.run();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn notify_all_wakes_every_waiter() {
+        let sim = Sim::new(1);
+        let n = Notify::new();
+        let count = Rc::new(Cell::new(0u32));
+        for _ in 0..5 {
+            let n2 = n.clone();
+            let c = Rc::clone(&count);
+            sim.spawn(async move {
+                n2.notified().await;
+                c.set(c.get() + 1);
+            })
+            .detach();
+        }
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(1)).await;
+            n.notify_all();
+        })
+        .detach();
+        sim.run();
+        assert_eq!(count.get(), 5);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal future combinators: `select2` (first of two) and `join_all`.
+//!
+//! The kernel deliberately avoids pulling in a futures library; simulated
+//! components need only these two shapes — racing a timer against a
+//! notification, and waiting for a batch of spawned children.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Outcome of [`select2`]: which future finished first, with its output.
+/// The losing future is dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future won.
+    Left(A),
+    /// The second future won.
+    Right(B),
+}
+
+/// Races two futures, resolving with the first to finish. If both are ready
+/// on the same poll, the left future wins (deterministic tie-break).
+pub fn select2<A: Future, B: Future>(a: A, b: B) -> Select2<A, B> {
+    Select2 { a, b }
+}
+
+/// Future returned by [`select2`].
+pub struct Select2<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Future, B: Future> Future for Select2<A, B> {
+    type Output = Either<A::Output, B::Output>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning; `a` and `b` are never moved out of
+        // `self` while pinned, only polled in place or dropped with the whole.
+        let this = unsafe { self.get_unchecked_mut() };
+        let a = unsafe { Pin::new_unchecked(&mut this.a) };
+        if let Poll::Ready(v) = a.poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        let b = unsafe { Pin::new_unchecked(&mut this.b) };
+        if let Poll::Ready(v) = b.poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+/// Awaits every future in `futs`, returning outputs in input order.
+pub async fn join_all<F: Future>(futs: Vec<F>) -> Vec<F::Output> {
+    let mut futs: Vec<Pin<Box<F>>> = futs.into_iter().map(Box::pin).collect();
+    let mut out: Vec<Option<F::Output>> = futs.iter().map(|_| None).collect();
+    JoinAll {
+        futs: &mut futs,
+        out: &mut out,
+    }
+    .await;
+    out.into_iter().map(|v| v.expect("join_all slot")).collect()
+}
+
+struct JoinAll<'a, F: Future> {
+    futs: &'a mut Vec<Pin<Box<F>>>,
+    out: &'a mut Vec<Option<F::Output>>,
+}
+
+impl<F: Future> Future for JoinAll<'_, F> {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        let mut all_done = true;
+        for (i, fut) in this.futs.iter_mut().enumerate() {
+            if this.out[i].is_some() {
+                continue;
+            }
+            match fut.as_mut().poll(cx) {
+                Poll::Ready(v) => this.out[i] = Some(v),
+                Poll::Pending => all_done = false,
+            }
+        }
+        if all_done {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn select_picks_earlier_timer() {
+        let sim = Sim::new(1);
+        let sim2 = sim.clone();
+        let won = Rc::new(Cell::new(' '));
+        let won2 = Rc::clone(&won);
+        sim.spawn(async move {
+            let r = select2(
+                sim2.sleep(SimDuration::from_secs(2)),
+                sim2.sleep(SimDuration::from_secs(1)),
+            )
+            .await;
+            won2.set(match r {
+                Either::Left(()) => 'L',
+                Either::Right(()) => 'R',
+            });
+        })
+        .detach();
+        let end = sim.run();
+        assert_eq!(won.get(), 'R');
+        // The losing 2 s timer must have been cancelled: sim ends at 1 s.
+        assert_eq!(end.as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn select_tie_breaks_left() {
+        let sim = Sim::new(1);
+        let sim2 = sim.clone();
+        let won = Rc::new(Cell::new(' '));
+        let won2 = Rc::clone(&won);
+        sim.spawn(async move {
+            let d = SimDuration::from_secs(1);
+            let r = select2(sim2.sleep(d), sim2.sleep(d)).await;
+            won2.set(if matches!(r, Either::Left(())) { 'L' } else { 'R' });
+        })
+        .detach();
+        sim.run();
+        assert_eq!(won.get(), 'L');
+    }
+
+    #[test]
+    fn join_all_preserves_order() {
+        let sim = Sim::new(1);
+        let sim2 = sim.clone();
+        let out = Rc::new(Cell::new(0u64));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            let mut futs = Vec::new();
+            for i in [3u64, 1, 2] {
+                let s = sim2.clone();
+                futs.push(async move {
+                    s.sleep(SimDuration::from_secs(i)).await;
+                    i * 10
+                });
+            }
+            let results = join_all(futs).await;
+            assert_eq!(results, vec![30, 10, 20]);
+            out2.set(1);
+        })
+        .detach();
+        let end = sim.run();
+        assert_eq!(out.get(), 1);
+        assert_eq!(end.as_nanos(), 3_000_000_000);
+    }
+
+    #[test]
+    fn join_all_empty_is_immediate() {
+        let sim = Sim::new(1);
+        sim.spawn(async move {
+            let v: Vec<u32> = join_all(Vec::<std::future::Ready<u32>>::new()).await;
+            assert!(v.is_empty());
+        })
+        .detach();
+        assert_eq!(sim.run(), crate::time::SimTime::ZERO);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the DES kernel: fluid conservation, semaphore
+//! bounds, channel FIFO order — under randomly generated programs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use rmr_des::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every unit asked of a fluid resource is eventually served, exactly
+    /// once, no matter how consumers arrive.
+    #[test]
+    fn fluid_conserves_work(
+        jobs in proptest::collection::vec((1u64..5_000, 0u64..2_000), 1..24),
+        capacity in 1u64..1_000,
+    ) {
+        let sim = Sim::new(1);
+        let fluid = Fluid::new(&sim, capacity as f64);
+        let total: u64 = jobs.iter().map(|(amount, _)| *amount).sum();
+        let done = Rc::new(RefCell::new(0u64));
+        for (amount, delay_ms) in jobs {
+            let sim2 = sim.clone();
+            let fluid = fluid.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(delay_ms)).await;
+                fluid.consume(amount as f64).await;
+                *done.borrow_mut() += amount;
+            })
+            .detach();
+        }
+        sim.run();
+        prop_assert_eq!(*done.borrow(), total, "all consumers complete");
+        prop_assert!((fluid.served() - total as f64).abs() < 1.0, "served ≈ requested");
+        // Work conservation: busy time is at least total/capacity.
+        let lower = total as f64 / capacity as f64;
+        prop_assert!(fluid.busy_seconds() + 1e-6 >= lower * 0.999,
+            "busy {} < lower bound {}", fluid.busy_seconds(), lower);
+    }
+
+    /// Semaphore-guarded critical sections never exceed the permit count.
+    #[test]
+    fn semaphore_bounds_concurrency(
+        permits in 1u64..6,
+        tasks in proptest::collection::vec((1u64..4, 0u64..50), 1..32),
+    ) {
+        let sim = Sim::new(2);
+        let sem = Semaphore::new(permits);
+        let state = Rc::new(RefCell::new((0u64, 0u64))); // (current, peak)
+        let mut expected_done = 0usize;
+        for (need, delay_ms) in tasks {
+            let need = need.min(permits);
+            expected_done += 1;
+            let sim2 = sim.clone();
+            let sem = sem.clone();
+            let state = Rc::clone(&state);
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(delay_ms)).await;
+                let _p = sem.acquire(need).await;
+                {
+                    let mut s = state.borrow_mut();
+                    s.0 += need;
+                    s.1 = s.1.max(s.0);
+                }
+                sim2.sleep(SimDuration::from_millis(1)).await;
+                state.borrow_mut().0 -= need;
+            })
+            .detach();
+        }
+        sim.run();
+        let (current, peak) = *state.borrow();
+        prop_assert_eq!(current, 0);
+        prop_assert!(peak <= permits, "peak {} > permits {}", peak, permits);
+        prop_assert_eq!(sem.available(), permits, "all permits returned");
+        let _ = expected_done;
+    }
+
+    /// Channels deliver every message exactly once, in order per sender.
+    #[test]
+    fn channel_is_fifo_per_sender(
+        counts in proptest::collection::vec(0usize..40, 1..5),
+    ) {
+        let sim = Sim::new(3);
+        let (tx, rx) = rmr_des::sync::channel::<(usize, usize)>();
+        for (sender, n) in counts.clone().into_iter().enumerate() {
+            let tx = tx.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                for i in 0..n {
+                    sim2.sleep(SimDuration::from_micros(1)).await;
+                    tx.send_now((sender, i)).unwrap();
+                }
+            })
+            .detach();
+        }
+        drop(tx);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            while let Some(m) = rx.recv().await {
+                got2.borrow_mut().push(m);
+            }
+        })
+        .detach();
+        sim.run();
+        let got = got.borrow();
+        let total: usize = counts.iter().sum();
+        prop_assert_eq!(got.len(), total);
+        // Per-sender order preserved.
+        for (sender, n) in counts.iter().enumerate() {
+            let seq: Vec<usize> = got.iter().filter(|(s, _)| *s == sender).map(|(_, i)| *i).collect();
+            prop_assert_eq!(seq, (0..*n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Timers fire in timestamp order regardless of creation order.
+    #[test]
+    fn timers_fire_in_order(delays in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let sim = Sim::new(4);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for d in delays {
+            let sim2 = sim.clone();
+            let fired = Rc::clone(&fired);
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_micros(d)).await;
+                fired.borrow_mut().push(sim2.now().as_nanos());
+            })
+            .detach();
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

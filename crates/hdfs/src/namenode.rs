@@ -1,0 +1,233 @@
+//! The NameNode: file-system namespace and block placement.
+//!
+//! Keeps the file → blocks → replica-locations mapping and implements the
+//! default placement policy of the era: first replica on the writer's own
+//! DataNode (if it is one), the rest on distinct randomly-chosen nodes.
+//! Rack awareness is omitted — the paper's testbed is a single QDR switch.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use rmr_net::NodeId;
+
+use crate::types::{BlockId, HdfsError};
+
+/// One block's metadata.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// The block id.
+    pub id: BlockId,
+    /// Bytes stored.
+    pub size: u64,
+    /// DataNode indices (into the cluster's datanode table) holding replicas,
+    /// pipeline order.
+    pub replicas: Vec<usize>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FileMeta {
+    blocks: Vec<BlockMeta>,
+    complete: bool,
+}
+
+/// The namespace. Owned by [`crate::HdfsCluster`]; not a public entry point
+/// on its own, but exposed for white-box tests and tools.
+#[derive(Default)]
+pub struct NameNode {
+    files: HashMap<String, FileMeta>,
+    next_block: u64,
+}
+
+impl NameNode {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new, empty, in-flight file.
+    pub fn create(&mut self, path: &str) -> Result<(), HdfsError> {
+        if self.files.contains_key(path) {
+            return Err(HdfsError::Exists(path.to_string()));
+        }
+        self.files.insert(path.to_string(), FileMeta::default());
+        Ok(())
+    }
+
+    /// True if the path exists (complete or in flight).
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Removes a file, returning its blocks for DataNode-side cleanup.
+    pub fn delete(&mut self, path: &str) -> Result<Vec<BlockMeta>, HdfsError> {
+        self.files
+            .remove(path)
+            .map(|f| f.blocks)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))
+    }
+
+    /// Allocates the next block of `path`, choosing `replication` pipeline
+    /// targets among `n_datanodes` with the writer-local-first policy.
+    pub fn add_block(
+        &mut self,
+        path: &str,
+        writer_dn: Option<usize>,
+        n_datanodes: usize,
+        replication: u32,
+        rng: &mut impl Rng,
+    ) -> Result<BlockMeta, HdfsError> {
+        if n_datanodes == 0 {
+            return Err(HdfsError::NoDataNodes);
+        }
+        let file = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
+        let want = (replication as usize).min(n_datanodes);
+        let mut replicas = Vec::with_capacity(want);
+        if let Some(local) = writer_dn {
+            replicas.push(local);
+        }
+        while replicas.len() < want {
+            let cand = rng.gen_range(0..n_datanodes);
+            if !replicas.contains(&cand) {
+                replicas.push(cand);
+            }
+        }
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        let meta = BlockMeta {
+            id,
+            size: 0,
+            replicas,
+        };
+        file.blocks.push(meta.clone());
+        Ok(meta)
+    }
+
+    /// Records the final size of a block after its pipeline closes.
+    pub fn seal_block(&mut self, path: &str, id: BlockId, size: u64) -> Result<(), HdfsError> {
+        let file = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
+        let b = file
+            .blocks
+            .iter_mut()
+            .find(|b| b.id == id)
+            .ok_or_else(|| HdfsError::NotFound(format!("{path}/{id}")))?;
+        b.size = size;
+        Ok(())
+    }
+
+    /// Marks a file complete (visible with final length).
+    pub fn complete(&mut self, path: &str) -> Result<(), HdfsError> {
+        self.files
+            .get_mut(path)
+            .map(|f| f.complete = true)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))
+    }
+
+    /// Block list with replica locations (the input-split query MapReduce
+    /// uses for locality scheduling).
+    pub fn blocks(&self, path: &str) -> Result<Vec<BlockMeta>, HdfsError> {
+        self.files
+            .get(path)
+            .map(|f| f.blocks.clone())
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))
+    }
+
+    /// Total file length.
+    pub fn file_size(&self, path: &str) -> Result<u64, HdfsError> {
+        self.files
+            .get(path)
+            .map(|f| f.blocks.iter().map(|b| b.size).sum())
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))
+    }
+
+    /// All paths, sorted (deterministic listings).
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Translates placement onto `NodeId`s given the datanode table.
+    pub fn locate(replicas: &[usize], datanode_nodes: &[NodeId]) -> Vec<NodeId> {
+        replicas.iter().map(|&i| datanode_nodes[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn create_and_duplicate() {
+        let mut nn = NameNode::new();
+        nn.create("/a").unwrap();
+        assert!(matches!(nn.create("/a"), Err(HdfsError::Exists(_))));
+        assert!(nn.exists("/a"));
+        assert!(!nn.exists("/b"));
+    }
+
+    #[test]
+    fn local_first_placement() {
+        let mut nn = NameNode::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        nn.create("/f").unwrap();
+        let b = nn.add_block("/f", Some(3), 8, 3, &mut rng).unwrap();
+        assert_eq!(b.replicas[0], 3);
+        assert_eq!(b.replicas.len(), 3);
+        let unique: std::collections::HashSet<_> = b.replicas.iter().collect();
+        assert_eq!(unique.len(), 3, "replicas must be distinct");
+    }
+
+    #[test]
+    fn replication_clamps_to_cluster_size() {
+        let mut nn = NameNode::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        nn.create("/f").unwrap();
+        let b = nn.add_block("/f", None, 2, 3, &mut rng).unwrap();
+        assert_eq!(b.replicas.len(), 2);
+    }
+
+    #[test]
+    fn file_size_sums_sealed_blocks() {
+        let mut nn = NameNode::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        nn.create("/f").unwrap();
+        let b1 = nn.add_block("/f", None, 4, 1, &mut rng).unwrap();
+        nn.seal_block("/f", b1.id, 100).unwrap();
+        let b2 = nn.add_block("/f", None, 4, 1, &mut rng).unwrap();
+        nn.seal_block("/f", b2.id, 50).unwrap();
+        nn.complete("/f").unwrap();
+        assert_eq!(nn.file_size("/f").unwrap(), 150);
+        assert_eq!(nn.blocks("/f").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn delete_returns_blocks() {
+        let mut nn = NameNode::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        nn.create("/f").unwrap();
+        nn.add_block("/f", None, 4, 1, &mut rng).unwrap();
+        let blocks = nn.delete("/f").unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert!(!nn.exists("/f"));
+    }
+
+    #[test]
+    fn no_datanodes_is_an_error() {
+        let mut nn = NameNode::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        nn.create("/f").unwrap();
+        assert!(matches!(
+            nn.add_block("/f", None, 0, 3, &mut rng),
+            Err(HdfsError::NoDataNodes)
+        ));
+    }
+}

@@ -1,0 +1,310 @@
+//! The cluster network: per-node NICs joined by a non-blocking switch.
+//!
+//! Every node owns a full-duplex NIC modelled as two [`Fluid`] resources
+//! (tx and rx) at the fabric's link rate. The switch is non-blocking (the
+//! paper's Mellanox QDR switch and the small Ethernet fabrics are nowhere
+//! near saturation for these node counts), so a transfer contends only at
+//! the sender's tx port, the receiver's rx port, and — on socket fabrics —
+//! both hosts' CPUs.
+//!
+//! A message transfer completes when all four legs complete, plus one wire
+//! latency. This fluid approximation captures the contention that drives
+//! the paper's results (many reducers pulling from one TaskTracker, shuffle
+//! competing with HDFS replication traffic) without per-packet events.
+
+use rmr_des::prelude::*;
+use rmr_des::sync::join_all;
+
+use crate::fabric::FabricParams;
+
+/// Identifies a simulated host. Dense indices, assigned by
+/// [`Network::add_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+struct NodeNet {
+    tx: Fluid,
+    rx: Fluid,
+    /// Host CPU; `None` models an infinitely fast host (useful in unit
+    /// tests that isolate wire behaviour).
+    cpu: Option<Fluid>,
+}
+
+/// The shared network of one simulated cluster.
+#[derive(Clone)]
+pub struct Network {
+    sim: Sim,
+    fabric: std::rc::Rc<FabricParams>,
+    nodes: std::rc::Rc<std::cell::RefCell<Vec<NodeNet>>>,
+}
+
+impl Network {
+    /// Creates an empty network over the given fabric.
+    pub fn new(sim: &Sim, fabric: FabricParams) -> Self {
+        Network {
+            sim: sim.clone(),
+            fabric: std::rc::Rc::new(fabric),
+            nodes: std::rc::Rc::new(std::cell::RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Adds a host. `cpu` is the host's compute resource; socket fabrics
+    /// charge protocol work to it, coupling communication and computation.
+    pub fn add_node(&self, cpu: Option<Fluid>) -> NodeId {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(NodeNet {
+            tx: Fluid::new(&self.sim, self.fabric.link_bw)
+                .with_metrics_key(format!("net.{id}.tx")),
+            rx: Fluid::new(&self.sim, self.fabric.link_bw)
+                .with_metrics_key(format!("net.{id}.rx")),
+            cpu,
+        });
+        id
+    }
+
+    /// The fabric this network runs on.
+    pub fn fabric(&self) -> &FabricParams {
+        &self.fabric
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no hosts were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn leg_futures(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Vec<rmr_des::resource::fluid::ConsumeFuture> {
+        let nodes = self.nodes.borrow();
+        let s = &nodes[src.0 as usize];
+        let d = &nodes[dst.0 as usize];
+        let mut legs = Vec::with_capacity(4);
+        if src != dst {
+            legs.push(s.tx.consume(bytes as f64));
+            legs.push(d.rx.consume(bytes as f64));
+        }
+        let send_cpu = self.fabric.send_cpu(bytes);
+        let recv_cpu = self.fabric.recv_cpu(bytes);
+        if let Some(cpu) = &s.cpu {
+            if send_cpu > 0.0 {
+                legs.push(cpu.consume(send_cpu));
+            }
+        }
+        if src != dst {
+            if let Some(cpu) = &d.cpu {
+                if recv_cpu > 0.0 {
+                    legs.push(cpu.consume(recv_cpu));
+                }
+            }
+        }
+        legs
+    }
+
+    /// Moves one `bytes`-sized message from `src` to `dst`, resolving when
+    /// the last byte lands. Loopback (src == dst) skips the wire but still
+    /// pays the protocol CPU cost on socket fabrics (local HTTP fetches in
+    /// vanilla Hadoop are real socket traffic through loopback).
+    pub async fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        let legs = self.leg_futures(src, dst, bytes);
+        join_all(legs).await;
+        if src != dst {
+            self.sim.sleep(self.fabric.latency).await;
+        }
+        self.sim
+            .metrics()
+            .add("net.bytes_transferred", bytes as f64);
+    }
+
+    /// Connection-establishment delay between two hosts (handshake RTT plus
+    /// fabric-specific setup).
+    pub async fn connect_delay(&self, src: NodeId, dst: NodeId) {
+        if src != dst {
+            let rtt = self.fabric.latency * 2;
+            self.sim.sleep(rtt).await;
+        }
+        self.sim.sleep(self.fabric.connect_cost).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmr_des::SimTime;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
+    }
+
+    #[test]
+    fn lone_transfer_runs_at_link_rate() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 100.0; // 100 B/s for easy arithmetic
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer(a, b, 200).await;
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(2.0));
+    }
+
+    #[test]
+    fn incast_shares_receiver_port() {
+        // Two senders into one receiver: rx port is the bottleneck, so each
+        // 100 B message takes 2 s instead of 1 s.
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let s1 = net.add_node(None);
+        let s2 = net.add_node(None);
+        let r = net.add_node(None);
+        let t = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for s in [s1, s2] {
+            let net = net.clone();
+            let sim2 = sim.clone();
+            let t2 = Rc::clone(&t);
+            sim.spawn(async move {
+                net.transfer(s, r, 100).await;
+                t2.borrow_mut().push(sim2.now());
+            })
+            .detach();
+        }
+        sim.run();
+        for done in t.borrow().iter() {
+            assert_eq!(*done, secs(2.0));
+        }
+    }
+
+    #[test]
+    fn socket_fabric_charges_host_cpu() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ipoib_qdr();
+        f.link_bw = 1e12; // wire "free" so CPU dominates
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_send_per_byte = 1e-3; // 1 ms per byte: absurd but measurable
+        f.cpu_recv_per_byte = 0.0;
+        f.cpu_per_packet = 0.0;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let cpu_a = Fluid::with_entry_cap(&sim, 1.0, 1.0);
+        let a = net.add_node(Some(cpu_a.clone()));
+        let b = net.add_node(None);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer(a, b, 1000).await; // 1000 B * 1 ms/B = 1 s of CPU
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(1.0));
+        assert!((cpu_a.served() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rdma_fabric_leaves_cpu_idle() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 1000.0;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let cpu_a = Fluid::with_entry_cap(&sim, 1.0, 1.0);
+        let a = net.add_node(Some(cpu_a.clone()));
+        let b = net.add_node(None);
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer(a, b, 5000).await;
+        })
+        .detach();
+        sim.run();
+        assert_eq!(cpu_a.served(), 0.0);
+    }
+
+    #[test]
+    fn loopback_skips_wire_but_pays_cpu() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::gige_1();
+        f.cpu_send_per_byte = 1e-6;
+        f.cpu_recv_per_byte = 1e-6;
+        f.cpu_per_packet = 0.0;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let cpu = Fluid::with_entry_cap(&sim, 4.0, 1.0);
+        let a = net.add_node(Some(cpu.clone()));
+        let net2 = net.clone();
+        let sim2 = sim.clone();
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            net2.transfer(a, a, 1_000_000).await; // only send-side CPU: 1 s
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(1.0));
+    }
+
+    #[test]
+    fn latency_adds_once_per_message() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 1e15;
+        f.latency = rmr_des::SimDuration::from_micros(7);
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        let net2 = net.clone();
+        let sim2 = sim.clone();
+        let done = Rc::new(Cell::new(0u64));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            for _ in 0..3 {
+                net2.transfer(a, b, 10).await;
+            }
+            d.set(sim2.now().as_nanos());
+        })
+        .detach();
+        sim.run();
+        // Each fluid leg rounds up to a whole nanosecond, so allow that.
+        let got = done.get();
+        assert!((3 * 7_000..3 * 7_000 + 10).contains(&got), "got {got}");
+    }
+}

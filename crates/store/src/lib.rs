@@ -1,0 +1,17 @@
+//! # rmr-store — simulated storage for the RDMA-MapReduce reproduction
+//!
+//! * [`disk`] — device models: HDD spindles (seek-on-stream-switch, single
+//!   queue) and SSDs (low latency, internal parallelism). The paper's
+//!   1-vs-2-HDD and SSD experiments (Fig 4, 7, 8) exercise these.
+//! * [`pagecache`] — an OS page-cache model so the socket baselines are not
+//!   unrealistically cold-cached.
+//! * [`localfs`] — a node-local filesystem striping files round-robin over a
+//!   JBOD disk set; every access charged through the cache to the disks.
+
+pub mod disk;
+pub mod localfs;
+pub mod pagecache;
+
+pub use disk::{Disk, DiskParams, StreamId};
+pub use localfs::{FileReader, FileWriter, FsError, LocalFs};
+pub use pagecache::PageCache;

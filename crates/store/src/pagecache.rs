@@ -1,0 +1,209 @@
+//! An OS page-cache model.
+//!
+//! Vanilla Hadoop and Hadoop-A have no explicit intermediate-data cache, but
+//! they are not reading cold disks either: recently written map outputs are
+//! often still in the OS page cache. Omitting this would hand the paper's
+//! PrefetchCache an unrealistically large win, so the model includes it.
+//!
+//! Granularity is per-file byte counts with LRU eviction across files. A
+//! read's hit fraction is the cached share of the file at read time; the
+//! miss fraction is charged to the disk. Reads and writes both populate the
+//! cache (Linux behaviour for buffered I/O).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A per-node page cache with a fixed byte budget.
+#[derive(Clone)]
+pub struct PageCache {
+    inner: Rc<RefCell<Inner>>,
+}
+
+struct Inner {
+    budget: u64,
+    used: u64,
+    /// file id → (cached bytes, last-touch tick)
+    files: HashMap<u64, (u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    /// Creates a cache with `budget` bytes (0 disables caching entirely).
+    pub fn new(budget: u64) -> Self {
+        PageCache {
+            inner: Rc::new(RefCell::new(Inner {
+                budget,
+                used: 0,
+                files: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            })),
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.inner.borrow().used
+    }
+
+    /// Configured budget.
+    pub fn budget(&self) -> u64 {
+        self.inner.borrow().budget
+    }
+
+    /// (hit bytes, miss bytes) observed so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let i = self.inner.borrow();
+        (i.hits, i.misses)
+    }
+
+    /// Records `bytes` of file `file` entering the cache (on write or on
+    /// read fill), evicting least-recently-used files as needed. The touched
+    /// file itself is never evicted by its own insertion.
+    pub fn insert(&self, file: u64, bytes: u64, file_size: u64) {
+        let mut i = self.inner.borrow_mut();
+        if i.budget == 0 {
+            return;
+        }
+        i.tick += 1;
+        let tick = i.tick;
+        let entry = i.files.entry(file).or_insert((0, tick));
+        let new_cached = (entry.0 + bytes).min(file_size.max(entry.0 + bytes));
+        let delta = new_cached - entry.0;
+        entry.0 = new_cached;
+        entry.1 = tick;
+        i.used += delta;
+        // Evict LRU files (never the one just touched) until within budget.
+        while i.used > i.budget {
+            let victim = i
+                .files
+                .iter()
+                .filter(|(id, _)| **id != file)
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(v) => {
+                    let (b, _) = i.files.remove(&v).unwrap();
+                    i.used -= b;
+                }
+                None => {
+                    // Only the touched file remains; clamp it to the budget.
+                    let over = i.used - i.budget;
+                    let e = i.files.get_mut(&file).unwrap();
+                    e.0 -= over.min(e.0);
+                    i.used = i.budget.min(i.used - over);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A read of `bytes` from `file` (whose total size is `file_size`):
+    /// returns how many bytes must come from disk. The read bytes are
+    /// (re-)inserted, refreshing recency.
+    pub fn read(&self, file: u64, bytes: u64, file_size: u64) -> u64 {
+        let frac = {
+            let mut i = self.inner.borrow_mut();
+            i.tick += 1;
+            let tick = i.tick;
+            match i.files.get_mut(&file) {
+                Some((cached, t)) => {
+                    *t = tick;
+                    if file_size == 0 {
+                        1.0
+                    } else {
+                        (*cached as f64 / file_size as f64).min(1.0)
+                    }
+                }
+                None => 0.0,
+            }
+        };
+        let hit = (bytes as f64 * frac) as u64;
+        let miss = bytes - hit;
+        {
+            let mut i = self.inner.borrow_mut();
+            i.hits += hit;
+            i.misses += miss;
+        }
+        if miss > 0 {
+            self.insert(file, miss, file_size);
+        }
+        miss
+    }
+
+    /// Drops a file's pages (file deleted).
+    pub fn forget(&self, file: u64) {
+        let mut i = self.inner.borrow_mut();
+        if let Some((b, _)) = i.files.remove(&file) {
+            i.used -= b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let c = PageCache::new(1_000);
+        let miss = c.read(1, 100, 100);
+        assert_eq!(miss, 100);
+        let miss2 = c.read(1, 100, 100);
+        assert_eq!(miss2, 0);
+    }
+
+    #[test]
+    fn write_populates_cache() {
+        let c = PageCache::new(1_000);
+        c.insert(7, 500, 500);
+        assert_eq!(c.read(7, 500, 500), 0);
+    }
+
+    #[test]
+    fn partial_residency_gives_partial_hits() {
+        let c = PageCache::new(1_000);
+        c.insert(3, 250, 1_000); // quarter of the file cached
+        let miss = c.read(3, 400, 1_000);
+        assert_eq!(miss, 300); // 25% hit
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let c = PageCache::new(300);
+        c.insert(1, 200, 200);
+        c.insert(2, 200, 200); // evicts 1
+        assert_eq!(c.used(), 200);
+        assert_eq!(c.read(1, 200, 200), 200, "file 1 must be cold");
+        // Reading 1 re-filled it, evicting 2.
+        assert_eq!(c.read(2, 200, 200), 200, "file 2 must be cold now");
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let c = PageCache::new(0);
+        c.insert(1, 100, 100);
+        assert_eq!(c.read(1, 100, 100), 100);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn oversized_file_clamps_to_budget() {
+        let c = PageCache::new(100);
+        c.insert(1, 500, 500);
+        assert!(c.used() <= 100);
+    }
+
+    #[test]
+    fn forget_releases_space() {
+        let c = PageCache::new(1_000);
+        c.insert(1, 400, 400);
+        c.forget(1);
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.read(1, 100, 400), 100);
+    }
+}

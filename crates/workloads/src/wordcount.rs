@@ -1,0 +1,141 @@
+//! WordCount — a non-identity map/reduce pair exercising the public API
+//! beyond the sort benchmarks (grouping reducers, shrinking ratios).
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use rand::Rng;
+
+use rmr_core::cluster::Cluster;
+use rmr_core::{encode_records, HashPartitioner, JobSpec, Record};
+use rmr_hdfs::Blob;
+
+/// A small vocabulary so counts aggregate meaningfully.
+const WORDS: &[&str] = &[
+    "rdma", "verbs", "shuffle", "merge", "reduce", "hadoop", "infiniband",
+    "cache", "prefetch", "queue", "packet", "socket", "cluster", "disk",
+];
+
+/// Generates text-like input: each record is one "line" of `words_per_line`
+/// space-separated words.
+pub async fn textgen(cluster: &Cluster, path: &str, lines: usize, words_per_line: usize) {
+    let node = cluster.workers[0].id;
+    let sim = cluster.sim.clone();
+    let mut w = cluster.hdfs.create(path, node).await.expect("textgen create");
+    let records: Vec<Record> = sim.with_rng(|rng| {
+        (0..lines)
+            .map(|i| {
+                let line: Vec<&str> = (0..words_per_line)
+                    .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+                    .collect();
+                Record::new(
+                    format!("line{i:08}").into_bytes(),
+                    Bytes::from(line.join(" ")),
+                )
+            })
+            .collect()
+    });
+    w.write(Blob::real(encode_records(&records)))
+        .await
+        .expect("textgen write");
+    w.close().await.expect("textgen close");
+}
+
+/// The WordCount job: map splits lines into (word, 1); reduce sums counts.
+pub fn wordcount_spec(input: &str, output: &str) -> JobSpec {
+    let mapper = Rc::new(|r: &Record| -> Vec<Record> {
+        let line = String::from_utf8_lossy(&r.value);
+        line.split_whitespace()
+            .map(|w| Record::new(w.as_bytes().to_vec(), Bytes::from_static(b"1")))
+            .collect()
+    });
+    let reducer = Rc::new(|key: &Bytes, values: &[Bytes]| -> Vec<Record> {
+        let sum: u64 = values
+            .iter()
+            .map(|v| String::from_utf8_lossy(v).parse::<u64>().unwrap_or(0))
+            .sum();
+        vec![Record::new(key.clone(), Bytes::from(sum.to_string()))]
+    });
+    let mut spec = JobSpec::sort(input, output, 8)
+        .with_partitioner(Rc::new(HashPartitioner))
+        .with_mapper(mapper)
+        .with_reducer(reducer.clone())
+        // Hadoop's WordCount sets the reducer as combiner: per-map partial
+        // sums collapse the shuffle to at most |vocabulary| records per map.
+        .with_combiner(reducer, 0.05)
+        .with_ratios(0.6, 0.05);
+    spec.name = format!("WordCount({input})");
+    spec
+}
+
+/// WordCount without the map-side combiner (for measuring its effect).
+pub fn wordcount_spec_no_combiner(input: &str, output: &str) -> JobSpec {
+    let mut spec = wordcount_spec(input, output);
+    spec.combiner = None;
+    spec.combine_ratio = 1.0;
+    spec.name = format!("WordCount-nocombine({input})");
+    spec
+}
+
+/// Reads back a real-mode WordCount output into (word, count) pairs.
+pub async fn read_counts(
+    cluster: &Cluster,
+    output: &str,
+    reduces: usize,
+) -> Result<std::collections::BTreeMap<String, u64>, String> {
+    let client = cluster.workers[0].id;
+    let mut counts = std::collections::BTreeMap::new();
+    for r in 0..reduces {
+        let path = format!("{output}/part-{r:05}");
+        let mut reader = cluster
+            .hdfs
+            .open(&path, client)
+            .await
+            .map_err(|e| e.to_string())?;
+        while let Some(block) = reader.next_block().await.map_err(|e| e.to_string())? {
+            let data = block.data.ok_or_else(|| format!("{path}: no content"))?;
+            for rec in rmr_core::decode_records(data) {
+                let word = String::from_utf8_lossy(&rec.key).to_string();
+                let count: u64 = String::from_utf8_lossy(&rec.value)
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+                *counts.entry(word).or_insert(0) += count;
+            }
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapper_splits_lines() {
+        let spec = wordcount_spec("/in", "/out");
+        let mapper = spec.mapper.unwrap();
+        let out = mapper(&Record::new(
+            b"line1".to_vec(),
+            Bytes::from_static(b"rdma verbs rdma"),
+        ));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].key.as_ref(), b"rdma");
+        assert_eq!(out[1].key.as_ref(), b"verbs");
+    }
+
+    #[test]
+    fn reducer_sums_values() {
+        let spec = wordcount_spec("/in", "/out");
+        let reducer = spec.reducer.unwrap();
+        let out = reducer(
+            &Bytes::from_static(b"rdma"),
+            &[
+                Bytes::from_static(b"1"),
+                Bytes::from_static(b"1"),
+                Bytes::from_static(b"3"),
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value.as_ref(), b"5");
+    }
+}

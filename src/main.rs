@@ -1,0 +1,194 @@
+//! `rdma-mapred` — command-line driver for the reproduction.
+//!
+//! ```text
+//! rdma-mapred run      --bench terasort --system osu --gb 30 --nodes 4 --disks 1
+//! rdma-mapred figure   fig4a | fig4b | fig5 | fig6a | fig6b | fig7 | fig8 | all
+//! rdma-mapred validate --gb-mb 64 --nodes 4
+//! rdma-mapred systems
+//! ```
+
+use std::cell::RefCell;
+use std::process::exit;
+use std::rc::Rc;
+
+use rdma_mapred::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         rdma-mapred run [--bench terasort|sort] [--system g1|g10|ipoib|ha|osu|osunc]\n              \
+         [--gb N] [--nodes N] [--disks N] [--ssd] [--storage] [--seed N]\n              \
+         [--block-mb N] [--packet-kb N]\n  \
+         rdma-mapred figure <fig4a|fig4b|fig5|fig6a|fig6b|fig7|fig8|all>\n  \
+         rdma-mapred validate [--mb N] [--nodes N] [--system osu|ha|ipoib]\n  \
+         rdma-mapred systems"
+    );
+    exit(2)
+}
+
+fn parse_system(s: &str) -> System {
+    match s {
+        "g1" | "1gige" => System::GigE1,
+        "g10" | "10gige" => System::GigE10,
+        "ipoib" => System::IpoIb,
+        "ha" | "hadoop-a" => System::HadoopA,
+        "osu" | "osu-ib" => System::OsuIb,
+        "osunc" | "osu-nocache" => System::OsuIbNoCache,
+        other => {
+            eprintln!("unknown system: {other}");
+            usage()
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_run(args: &[String]) {
+    let bench = match flag_value(args, "--bench").as_deref() {
+        Some("sort") => Bench::Sort,
+        _ => Bench::TeraSort,
+    };
+    let system = parse_system(&flag_value(args, "--system").unwrap_or_else(|| "osu".into()));
+    let gb: f64 = flag_value(args, "--gb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let nodes: usize = flag_value(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let disks: usize = flag_value(args, "--disks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let testbed = if flag_present(args, "--ssd") {
+        Testbed::ssd(nodes)
+    } else if flag_present(args, "--storage") {
+        Testbed::storage(nodes, disks)
+    } else {
+        Testbed::compute(nodes, disks)
+    };
+    let mut exp = Experiment::new("cli", bench, system, testbed, gb, seed);
+    exp.block_size_override = flag_value(args, "--block-mb")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|mb| mb << 20);
+    exp.osu_packet_override = flag_value(args, "--packet-kb")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|kb| kb << 10);
+    let rec = run_experiment(&exp);
+    println!(
+        "{} {} {:.0}GB on {} nodes ({} disk{}{}):",
+        rec.bench,
+        rec.system,
+        rec.data_gb,
+        rec.nodes,
+        rec.disks,
+        if rec.disks == 1 { "" } else { "s" },
+        if rec.ssd { ", SSD" } else { "" }
+    );
+    println!("  job execution time  {:.1} s (virtual)", rec.duration_s);
+    println!("  map phase end       {:.1} s", rec.map_phase_end_s);
+    println!("  maps / reduces      {} / {}", rec.maps, rec.reduces);
+    println!(
+        "  shuffled            {:.2} GB",
+        rec.shuffled_bytes as f64 / 1e9
+    );
+    println!(
+        "  cache hit rate      {:.0}%",
+        rec.cache_hit_rate * 100.0
+    );
+}
+
+fn cmd_figure(args: &[String]) {
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let threads = rmr_bench::default_threads();
+    let figs = rmr_bench::all_figures();
+    let mut ran = false;
+    for fig in figs {
+        if which == "all" || which == fig.id {
+            rmr_bench::run_figure(&fig, threads);
+            ran = true;
+        }
+    }
+    if !ran {
+        eprintln!("unknown figure: {which}");
+        usage();
+    }
+}
+
+fn cmd_validate(args: &[String]) {
+    let mb: u64 = flag_value(args, "--mb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let nodes: usize = flag_value(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let system = parse_system(&flag_value(args, "--system").unwrap_or_else(|| "osu".into()));
+    let sim = Sim::new(42);
+    let mut spec = NodeSpec::westmere_compute();
+    spec.page_cache = 512 << 20;
+    let cluster = Cluster::build(
+        &sim,
+        system.fabric(),
+        &vec![spec; nodes],
+        HdfsConfig {
+            block_size: 8 << 20,
+            replication: 2,
+            packet_size: 1 << 20,
+        },
+    );
+    let reduces = nodes * 2;
+    let mut conf = rmr_cluster::tuned_conf(system, Bench::TeraSort, &Testbed::compute(nodes, 1));
+    conf.num_reduces = reduces;
+    conf.io_sort_buffer = 64 << 20;
+    let done = Rc::new(RefCell::new(None));
+    let d = Rc::clone(&done);
+    let c = cluster.clone();
+    sim.spawn(async move {
+        let records = teragen(&c, "/v/in", mb << 20, true).await;
+        let res = run_job(&c, conf, terasort_spec("/v/in", "/v/out")).await;
+        let report = teravalidate(&c, "/v/out", reduces, records).await;
+        *d.borrow_mut() = Some((res, report));
+    })
+    .detach();
+    sim.run();
+    let (res, report) = done.borrow_mut().take().expect("job did not finish");
+    match report {
+        Ok(r) => println!(
+            "VALID: {} records globally sorted across {} partitions \
+             ({} in {:.1}s virtual on {})",
+            r.records,
+            r.partitions,
+            res.name,
+            res.duration_s,
+            res.shuffle.label()
+        ),
+        Err(e) => {
+            eprintln!("INVALID: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("figure") => cmd_figure(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("systems") => {
+            for s in System::ALL {
+                println!("{:12} {}", format!("{s:?}"), s.label());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,99 @@
+//! Regression tests locking in the paper's evaluation *shapes*: who wins,
+//! and where the crossovers fall. These run the synthetic data plane at
+//! moderate scale; exact seconds are free to drift, orderings are not.
+
+use rmr_cluster::{run_experiment, Bench, Experiment, System, Testbed};
+
+fn run(bench: Bench, system: System, tb: Testbed, gb: f64) -> f64 {
+    run_experiment(&Experiment::new("shape", bench, system, tb, gb, 42)).duration_s
+}
+
+#[test]
+fn terasort_osu_beats_every_baseline() {
+    // Fig 4(a) @ 30 GB, 4 nodes, 1 HDD: OSU < Hadoop-A < IPoIB ≤ 10GigE.
+    let osu = run(Bench::TeraSort, System::OsuIb, Testbed::compute(4, 1), 30.0);
+    let ha = run(Bench::TeraSort, System::HadoopA, Testbed::compute(4, 1), 30.0);
+    let ipoib = run(Bench::TeraSort, System::IpoIb, Testbed::compute(4, 1), 30.0);
+    let g10 = run(Bench::TeraSort, System::GigE10, Testbed::compute(4, 1), 30.0);
+    assert!(osu < ha, "OSU {osu} !< Hadoop-A {ha}");
+    assert!(ha < ipoib, "Hadoop-A {ha} !< IPoIB {ipoib}");
+    // IPoIB and 10GigE trade places within ~15% in the model (the paper has
+    // them within ~9%); only gross inversions fail.
+    assert!(ipoib <= g10 * 1.15, "IPoIB {ipoib} !<= 10GigE {g10} * 1.15");
+    // §IV-B: vs IPoIB ≈ 35%; accept a generous band.
+    let imp = (ipoib - osu) / ipoib * 100.0;
+    assert!((20.0..=50.0).contains(&imp), "OSU vs IPoIB improvement {imp}%");
+}
+
+#[test]
+fn terasort_multiple_disks_help_everyone_and_osu_most_vs_ha() {
+    let tb1 = Testbed::compute(4, 1);
+    let tb2 = Testbed::compute(4, 2);
+    let osu1 = run(Bench::TeraSort, System::OsuIb, tb1.clone(), 30.0);
+    let osu2 = run(Bench::TeraSort, System::OsuIb, tb2.clone(), 30.0);
+    let ha1 = run(Bench::TeraSort, System::HadoopA, tb1, 30.0);
+    let ha2 = run(Bench::TeraSort, System::HadoopA, tb2, 30.0);
+    assert!(osu2 < osu1, "2 disks must speed OSU up");
+    assert!(ha2 < ha1, "2 disks must speed Hadoop-A up");
+    let gain1 = (ha1 - osu1) / ha1;
+    let gain2 = (ha2 - osu2) / ha2;
+    // §IV-B: 9% (1 disk) grows to 13% (2 disks) at 30 GB; require the trend
+    // to hold approximately (within 3 points of monotone).
+    assert!(
+        gain2 > gain1 - 0.03,
+        "OSU's margin over Hadoop-A should not shrink with more disks: {gain1} → {gain2}"
+    );
+}
+
+#[test]
+fn sort_hadoop_a_loses_to_ipoib_at_scale() {
+    // §IV-C: the fixed kv-count packets make Hadoop-A *worse* than IPoIB on
+    // the Sort benchmark (large variable kv pairs).
+    let ha = run(Bench::Sort, System::HadoopA, Testbed::compute(4, 1), 20.0);
+    let ipoib = run(Bench::Sort, System::IpoIb, Testbed::compute(4, 1), 20.0);
+    let osu = run(Bench::Sort, System::OsuIb, Testbed::compute(4, 1), 20.0);
+    assert!(ha > ipoib, "Hadoop-A {ha} must lose to IPoIB {ipoib} on Sort");
+    assert!(osu < ipoib, "OSU {osu} must beat IPoIB {ipoib} on Sort");
+    assert!(osu < ha, "OSU {osu} must beat Hadoop-A {ha} on Sort");
+}
+
+#[test]
+fn caching_helps_on_terasort() {
+    // Fig 8's mechanism: same engine, caching on vs off. The effect is
+    // clearest where serving competes with other disk traffic.
+    let on = run(Bench::TeraSort, System::OsuIb, Testbed::compute(4, 1), 20.0);
+    let off = run(
+        Bench::TeraSort,
+        System::OsuIbNoCache,
+        Testbed::compute(4, 1),
+        20.0,
+    );
+    assert!(
+        on <= off,
+        "caching enabled ({on}) must not be slower than disabled ({off})"
+    );
+}
+
+#[test]
+fn job_time_grows_with_data_size() {
+    let mut prev = 0.0;
+    for gb in [10.0, 20.0, 30.0] {
+        let t = run(Bench::TeraSort, System::OsuIb, Testbed::compute(4, 1), gb);
+        assert!(t > prev, "{gb} GB ({t}s) must take longer than smaller runs");
+        prev = t;
+    }
+}
+
+#[test]
+fn more_nodes_make_the_same_job_faster() {
+    let t4 = run(Bench::TeraSort, System::OsuIb, Testbed::compute(4, 1), 20.0);
+    let t8 = run(Bench::TeraSort, System::OsuIb, Testbed::compute(8, 1), 20.0);
+    assert!(t8 < t4, "8 nodes ({t8}s) must beat 4 nodes ({t4}s)");
+}
+
+#[test]
+fn ssd_beats_hdd() {
+    let hdd = run(Bench::Sort, System::OsuIb, Testbed::compute(4, 1), 10.0);
+    let ssd = run(Bench::Sort, System::OsuIb, Testbed::ssd(4), 10.0);
+    assert!(ssd < hdd, "SSD ({ssd}s) must beat HDD ({hdd}s)");
+}
