@@ -12,10 +12,24 @@ fn main() {
     } else {
         Bench::TeraSort
     };
-    let systems = [System::GigE10, System::IpoIb, System::HadoopA, System::OsuIb];
+    let systems = [
+        System::GigE10,
+        System::IpoIb,
+        System::HadoopA,
+        System::OsuIb,
+    ];
     let exps: Vec<Experiment> = systems
         .iter()
-        .map(|&system| Experiment::new("probe", bench, system, Testbed::compute(nodes, disks), gb, 42))
+        .map(|&system| {
+            Experiment::new(
+                "probe",
+                bench,
+                system,
+                Testbed::compute(nodes, disks),
+                gb,
+                42,
+            )
+        })
         .collect();
     let recs = run_all(&exps, 4);
     for r in &recs {

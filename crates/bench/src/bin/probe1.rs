@@ -13,8 +13,26 @@ fn main() {
     };
     let nodes: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
     let disks: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let bench = if args.get(5).map(|s| s == "sort").unwrap_or(false) { Bench::Sort } else { Bench::TeraSort };
+    let bench = if args.get(5).map(|s| s == "sort").unwrap_or(false) {
+        Bench::Sort
+    } else {
+        Bench::TeraSort
+    };
     let t0 = std::time::Instant::now();
-    let rec = run_experiment(&Experiment::new("p1", bench, system, Testbed::compute(nodes, disks), gb, 42));
-    println!("{} {}GB: {:.0}s sim (map_end {:.0}s) in {:.1}s wall", rec.system, gb, rec.duration_s, rec.map_phase_end_s, t0.elapsed().as_secs_f64());
+    let rec = run_experiment(&Experiment::new(
+        "p1",
+        bench,
+        system,
+        Testbed::compute(nodes, disks),
+        gb,
+        42,
+    ));
+    println!(
+        "{} {}GB: {:.0}s sim (map_end {:.0}s) in {:.1}s wall",
+        rec.system,
+        gb,
+        rec.duration_s,
+        rec.map_phase_end_s,
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -23,17 +23,32 @@ fn main() {
     };
     let nodes: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
     let disks: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let bench = if args.get(5).map(|s| s.as_str() == "sort").unwrap_or(false) { Bench::Sort } else { Bench::TeraSort };
-    let ssd = args.get(5).map(|s| s.as_str() == "ssdsort").unwrap_or(false);
+    let bench = if args.get(5).map(|s| s.as_str() == "sort").unwrap_or(false) {
+        Bench::Sort
+    } else {
+        Bench::TeraSort
+    };
+    let ssd = args
+        .get(5)
+        .map(|s| s.as_str() == "ssdsort")
+        .unwrap_or(false);
 
     let sim = rmr_des::Sim::new(42);
-    let testbed = if ssd { Testbed::ssd(nodes) } else { Testbed::compute(nodes, disks) };
+    let testbed = if ssd {
+        Testbed::ssd(nodes)
+    } else {
+        Testbed::compute(nodes, disks)
+    };
     let bench = if ssd { Bench::Sort } else { bench };
     let cluster = Cluster::build(
         &sim,
         system.fabric(),
         &testbed.node_specs(),
-        HdfsConfig { block_size: tuned_block_size(system, bench), replication: 1, packet_size: 4 << 20 },
+        HdfsConfig {
+            block_size: tuned_block_size(system, bench),
+            replication: 1,
+            packet_size: 4 << 20,
+        },
     );
     let conf = tuned_conf(system, bench, &testbed);
     let bytes = (gb * (1u64 << 30) as f64) as u64;
@@ -41,16 +56,26 @@ fn main() {
     let o2 = Rc::clone(&out);
     let c2 = cluster.clone();
     let t_wall = std::time::Instant::now();
-    sim.spawn(async move {
+    sim.spawn_named("probe-driver", async move {
         let spec = match bench {
-            Bench::TeraSort => { teragen(&c2, "/in", bytes, false).await; terasort_spec("/in", "/out") }
-            Bench::Sort => { randomwriter(&c2, "/in", bytes, false).await; sort_spec("/in", "/out") }
+            Bench::TeraSort => {
+                teragen(&c2, "/in", bytes, false).await;
+                terasort_spec("/in", "/out")
+            }
+            Bench::Sort => {
+                randomwriter(&c2, "/in", bytes, false).await;
+                sort_spec("/in", "/out")
+            }
         };
         let gen_end = c2.sim.now().as_secs_f64();
         eprintln!("  datagen done at {gen_end:.0}s");
         *o2.borrow_mut() = Some(run_job(&c2, conf, spec).await);
-    }).detach();
-    match std::env::var("RMR_LIMIT").ok().and_then(|v| v.parse::<u64>().ok()) {
+    })
+    .detach();
+    match std::env::var("RMR_LIMIT")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
         Some(secs) => {
             sim.run_until(rmr_des::SimTime::from_nanos(secs * 1_000_000_000));
         }
@@ -68,18 +93,54 @@ fn main() {
         std::process::exit(2);
     }
     let res = out.borrow_mut().take().expect("hung");
-    println!("== {} {} {}GB n{} d{} ssd={} ==", res.name, system.label(), gb, nodes, disks, ssd);
-    println!("duration {:.0}s  start {:.0} map_end {:.0} end {:.0}", res.duration_s, res.start_s, res.map_phase_end_s, res.end_s);
+    println!(
+        "== {} {} {}GB n{} d{} ssd={} ==",
+        res.name,
+        system.label(),
+        gb,
+        nodes,
+        disks,
+        ssd
+    );
+    println!(
+        "duration {:.0}s  start {:.0} map_end {:.0} end {:.0}",
+        res.duration_s, res.start_s, res.map_phase_end_s, res.end_s
+    );
     let n = res.reduce_stats.len() as f64;
-    let avg = |f: &dyn Fn(&rmr_core::reduce::ReduceStats) -> f64| res.reduce_stats.iter().map(|s| f(s)).sum::<f64>() / n;
-    let max = |f: &dyn Fn(&rmr_core::reduce::ReduceStats) -> f64| res.reduce_stats.iter().map(|s| f(s)).fold(0.0f64, f64::max);
+    let avg = |f: &dyn Fn(&rmr_core::reduce::ReduceStats) -> f64| {
+        res.reduce_stats.iter().map(f).sum::<f64>() / n
+    };
+    let max = |f: &dyn Fn(&rmr_core::reduce::ReduceStats) -> f64| {
+        res.reduce_stats.iter().map(f).fold(0.0f64, f64::max)
+    };
     println!("reduce phases (avg/max): shuffle_end {:.0}/{:.0}  merge_end {:.0}/{:.0}  reduce_end {:.0}/{:.0}",
         avg(&|s| s.shuffle_end_s), max(&|s| s.shuffle_end_s),
         avg(&|s| s.merge_end_s), max(&|s| s.merge_end_s),
         avg(&|s| s.reduce_end_s), max(&|s| s.reduce_end_s));
-    println!("cache: {} hits / {} misses", res.cache_hits, res.cache_misses);
+    println!(
+        "cache: {} hits / {} misses",
+        res.cache_hits, res.cache_misses
+    );
     let m = sim.metrics();
-    for key in ["fs.bytes_written", "fs.bytes_read", "fs.bytes_read_disk", "tt.disk_serve_bytes", "tt.cache_hit_bytes", "net.bytes_transferred", "hdfs.bytes_written", "disk.seeks", "prefetch.staged", "reduce.inmem_merges", "reduce.disk_merges", "reduce.shuffle_spill_bytes", "rdma.loop_iters", "rdma.emits", "rdma.emit_records", "rdma.stalls", "rdma.stall_dry"] {
+    for key in [
+        "fs.bytes_written",
+        "fs.bytes_read",
+        "fs.bytes_read_disk",
+        "tt.disk_serve_bytes",
+        "tt.cache_hit_bytes",
+        "net.bytes_transferred",
+        "hdfs.bytes_written",
+        "disk.seeks",
+        "prefetch.staged",
+        "reduce.inmem_merges",
+        "reduce.disk_merges",
+        "reduce.shuffle_spill_bytes",
+        "rdma.loop_iters",
+        "rdma.emits",
+        "rdma.emit_records",
+        "rdma.stalls",
+        "rdma.stall_dry",
+    ] {
         println!("  {key:24} {:.2e}", m.get(key));
     }
     let mut disk_busy = 0.0;
@@ -92,7 +153,10 @@ fn main() {
     println!("  cpu busy total         {cpu_busy:.0}s");
     println!("  events fired           {:.2e}", sim.events_fired() as f64);
     println!("  polls                  {:.2e}", sim.polls() as f64);
-    println!("  wall                   {:.1}s", t_wall.elapsed().as_secs_f64());
+    println!(
+        "  wall                   {:.1}s",
+        t_wall.elapsed().as_secs_f64()
+    );
     rmr_des::resource::fluid::FLUID_ADVANCE_WORK
         .with(|w| println!("  fluid advance work     {:.2e}", w.get() as f64));
 }

@@ -66,7 +66,12 @@ fn main() {
 
     // --- Headline ablation: the three OSU mechanisms one by one. ---
     let mut exps = Vec::new();
-    for system in [System::IpoIb, System::HadoopA, System::OsuIbNoCache, System::OsuIb] {
+    for system in [
+        System::IpoIb,
+        System::HadoopA,
+        System::OsuIbNoCache,
+        System::OsuIb,
+    ] {
         exps.push(Experiment::new(
             "tuning-ablation",
             Bench::TeraSort,

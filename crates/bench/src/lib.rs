@@ -60,7 +60,12 @@ fn grid(
 
 /// Fig 4(a): TeraSort on four DataNodes, single and dual HDD.
 pub fn fig4a() -> Figure {
-    let systems = [System::GigE10, System::IpoIb, System::HadoopA, System::OsuIb];
+    let systems = [
+        System::GigE10,
+        System::IpoIb,
+        System::HadoopA,
+        System::OsuIb,
+    ];
     Figure {
         id: "fig4a",
         title: "TeraSort job execution time, 4-node cluster, 1 vs 2 HDDs",
@@ -409,7 +414,7 @@ pub fn write_results(id: &str, records: &[RunRecord]) {
     match std::fs::File::create(&path) {
         Ok(mut f) => {
             for r in records {
-                let _ = writeln!(f, "{}", serde_json::to_string(r).unwrap());
+                let _ = writeln!(f, "{}", r.to_json());
             }
             eprintln!("wrote {path}");
         }

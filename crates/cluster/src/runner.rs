@@ -5,8 +5,6 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use serde::{Deserialize, Serialize};
-
 use rmr_core::cluster::Cluster;
 use rmr_core::{run_job, JobResult};
 use rmr_hdfs::HdfsConfig;
@@ -59,7 +57,7 @@ impl Experiment {
 }
 
 /// One row of results, serialisable for EXPERIMENTS.md regeneration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Experiment id.
     pub id: String,
@@ -90,6 +88,68 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
+    /// One JSON object (hand-rolled: the workspace stays serde-free, same
+    /// convention as `rmr_core::timeline`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"bench\":{},\"system\":{},\"nodes\":{},\"disks\":{},\
+             \"ssd\":{},\"data_gb\":{},\"duration_s\":{},\"map_phase_end_s\":{},\
+             \"maps\":{},\"reduces\":{},\"shuffled_bytes\":{},\"cache_hit_rate\":{}}}",
+            json_str(&self.id),
+            json_str(&self.bench),
+            json_str(&self.system),
+            self.nodes,
+            self.disks,
+            self.ssd,
+            self.data_gb,
+            self.duration_s,
+            self.map_phase_end_s,
+            self.maps,
+            self.reduces,
+            self.shuffled_bytes,
+            self.cache_hit_rate,
+        )
+    }
+
+    /// Parses a record produced by [`RunRecord::to_json`]. Field order is
+    /// free; unknown keys are ignored; missing keys fall back to defaults.
+    pub fn from_json(json: &str) -> Result<RunRecord, String> {
+        let mut rec = RunRecord {
+            id: String::new(),
+            bench: String::new(),
+            system: String::new(),
+            nodes: 0,
+            disks: 0,
+            ssd: false,
+            data_gb: 0.0,
+            duration_s: 0.0,
+            map_phase_end_s: 0.0,
+            maps: 0,
+            reduces: 0,
+            shuffled_bytes: 0,
+            cache_hit_rate: 0.0,
+        };
+        for (key, value) in json_fields(json)? {
+            match key.as_str() {
+                "id" => rec.id = value.into_string()?,
+                "bench" => rec.bench = value.into_string()?,
+                "system" => rec.system = value.into_string()?,
+                "nodes" => rec.nodes = value.into_number()? as usize,
+                "disks" => rec.disks = value.into_number()? as usize,
+                "ssd" => rec.ssd = value.into_bool()?,
+                "data_gb" => rec.data_gb = value.into_number()?,
+                "duration_s" => rec.duration_s = value.into_number()?,
+                "map_phase_end_s" => rec.map_phase_end_s = value.into_number()?,
+                "maps" => rec.maps = value.into_number()? as usize,
+                "reduces" => rec.reduces = value.into_number()? as usize,
+                "shuffled_bytes" => rec.shuffled_bytes = value.into_number()? as u64,
+                "cache_hit_rate" => rec.cache_hit_rate = value.into_number()?,
+                _ => {}
+            }
+        }
+        Ok(rec)
+    }
+
     fn from_result(exp: &Experiment, res: &JobResult) -> RunRecord {
         let lookups = res.cache_hits + res.cache_misses;
         RunRecord {
@@ -112,6 +172,140 @@ impl RunRecord {
             },
         }
     }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A scalar value from a flat JSON object.
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl JsonValue {
+    fn into_string(self) -> Result<String, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            _ => Err("expected string".into()),
+        }
+    }
+    fn into_number(self) -> Result<f64, String> {
+        match self {
+            JsonValue::Num(n) => Ok(n),
+            _ => Err("expected number".into()),
+        }
+    }
+    fn into_bool(self) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(b),
+            _ => Err("expected bool".into()),
+        }
+    }
+}
+
+/// Parses a flat `{"key":scalar,...}` object into (key, value) pairs.
+fn json_fields(json: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = json.chars().peekable();
+    let mut fields = Vec::new();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    let parse_string =
+        |chars: &mut std::iter::Peekable<std::str::Chars>| -> Result<String, String> {
+            if chars.next() != Some('"') {
+                return Err("expected '\"'".into());
+            }
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => return Ok(s),
+                    Some('\\') => match chars.next() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('u') => {
+                            let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            s.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    Some(c) => s.push(c),
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        };
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => break,
+            Some('"') => {}
+            other => return Err(format!("expected key, found {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err("expected ':'".into());
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some('t') | Some('f') => {
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    w => return Err(format!("bad literal {w:?}")),
+                }
+            }
+            _ => {
+                let num: String = std::iter::from_fn(|| {
+                    chars.next_if(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+                })
+                .collect();
+                JsonValue::Num(
+                    num.parse()
+                        .map_err(|e| format!("bad number {num:?}: {e}"))?,
+                )
+            }
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some(',') => {
+                chars.next();
+            }
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    Ok(fields)
 }
 
 /// Runs one experiment point (synthetic data plane) to completion inside
@@ -140,7 +334,7 @@ pub fn run_experiment(exp: &Experiment) -> RunRecord {
     let r2 = Rc::clone(&result);
     let c2 = cluster.clone();
     let bench = exp.bench;
-    sim.spawn(async move {
+    sim.spawn_named("experiment-driver", async move {
         let spec = match bench {
             Bench::TeraSort => {
                 teragen(&c2, "/bench/in", bytes, false).await;
@@ -168,12 +362,12 @@ pub fn run_experiment(exp: &Experiment) -> RunRecord {
 pub fn run_all(experiments: &[Experiment], threads: usize) -> Vec<RunRecord> {
     let threads = threads.max(1);
     let n = experiments.len();
-    let results: Vec<parking_lot::Mutex<Option<RunRecord>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<RunRecord>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if i >= n {
                     break;
@@ -189,14 +383,13 @@ pub fn run_all(experiments: &[Experiment], threads: usize) -> Vec<RunRecord> {
                     rec.disks,
                     rec.duration_s
                 );
-                *results[i].lock() = Some(rec);
+                *results[i].lock().unwrap() = Some(rec);
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("missing result"))
+        .map(|m| m.into_inner().unwrap().expect("missing result"))
         .collect()
 }
 
@@ -206,14 +399,24 @@ pub fn format_table(records: &[RunRecord]) -> String {
     use std::collections::BTreeMap;
     let mut systems: Vec<String> = Vec::new();
     for r in records {
-        let key = format!("{} ({}d{})", r.system, if r.ssd { "ssd " } else { "" }, r.disks);
+        let key = format!(
+            "{} ({}d{})",
+            r.system,
+            if r.ssd { "ssd " } else { "" },
+            r.disks
+        );
         if !systems.contains(&key) {
             systems.push(key);
         }
     }
     let mut rows: BTreeMap<u64, BTreeMap<String, f64>> = BTreeMap::new();
     for r in records {
-        let key = format!("{} ({}d{})", r.system, if r.ssd { "ssd " } else { "" }, r.disks);
+        let key = format!(
+            "{} ({}d{})",
+            r.system,
+            if r.ssd { "ssd " } else { "" },
+            r.disks
+        );
         rows.entry((r.data_gb * 1000.0) as u64)
             .or_default()
             .insert(key, r.duration_s);
@@ -242,7 +445,14 @@ mod tests {
     use super::*;
 
     fn tiny_exp(system: System) -> Experiment {
-        Experiment::new("test", Bench::TeraSort, system, Testbed::compute(2, 1), 0.5, 1)
+        Experiment::new(
+            "test",
+            Bench::TeraSort,
+            system,
+            Testbed::compute(2, 1),
+            0.5,
+            1,
+        )
     }
 
     #[test]
@@ -266,18 +476,39 @@ mod tests {
     #[test]
     fn records_serialize_to_json() {
         let rec = run_experiment(&tiny_exp(System::GigE1));
-        let json = serde_json::to_string(&rec).unwrap();
-        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        let json = rec.to_json();
+        let back = RunRecord::from_json(&json).unwrap();
         assert_eq!(back.system, rec.system);
         assert_eq!(back.duration_s, rec.duration_s);
     }
 
     #[test]
+    fn json_round_trips_escapes_and_fields() {
+        let rec = RunRecord {
+            id: "fig\"4a\"\n".to_string(),
+            bench: "TeraSort".to_string(),
+            system: "OSU-IB".to_string(),
+            nodes: 8,
+            disks: 2,
+            ssd: true,
+            data_gb: 12.5,
+            duration_s: 98.25,
+            map_phase_end_s: 40.5,
+            maps: 160,
+            reduces: 64,
+            shuffled_bytes: 1 << 33,
+            cache_hit_rate: 0.75,
+        };
+        let back = RunRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back.id, rec.id);
+        assert_eq!(back.ssd, rec.ssd);
+        assert_eq!(back.shuffled_bytes, rec.shuffled_bytes);
+        assert_eq!(back.cache_hit_rate, rec.cache_hit_rate);
+    }
+
+    #[test]
     fn format_table_lists_all_systems() {
-        let recs = run_all(
-            &[tiny_exp(System::IpoIb), tiny_exp(System::OsuIb)],
-            2,
-        );
+        let recs = run_all(&[tiny_exp(System::IpoIb), tiny_exp(System::OsuIb)], 2);
         let table = format_table(&recs);
         assert!(table.contains("IPoIB"));
         assert!(table.contains("OSU-IB"));

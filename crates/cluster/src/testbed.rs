@@ -49,9 +49,7 @@ impl System {
             System::GigE1 => FabricParams::gige_1(),
             System::GigE10 => FabricParams::gige_10_toe(),
             System::IpoIb => FabricParams::ipoib_qdr(),
-            System::HadoopA | System::OsuIb | System::OsuIbNoCache => {
-                FabricParams::ib_verbs_qdr()
-            }
+            System::HadoopA | System::OsuIb | System::OsuIbNoCache => FabricParams::ib_verbs_qdr(),
         }
     }
 
@@ -151,10 +149,18 @@ impl Testbed {
 
     /// Expands into per-node specs.
     pub fn node_specs(&self) -> Vec<NodeSpec> {
-        let mem: u64 = if self.storage_class { 24 << 30 } else { 12 << 30 };
+        let mem: u64 = if self.storage_class {
+            24 << 30
+        } else {
+            12 << 30
+        };
         // JVM heaps (8 task slots + TT + DN) eat most of a compute node;
         // what's left backs the OS page cache.
-        let page_cache = if self.storage_class { 10 << 30 } else { 3 << 30 };
+        let page_cache = if self.storage_class {
+            10 << 30
+        } else {
+            3 << 30
+        };
         let disk = if self.ssd {
             DiskParams::ssd_sata()
         } else {
@@ -195,7 +201,11 @@ pub fn tuned_conf(system: System, _bench: Bench, testbed: &Testbed) -> JobConf {
     // "all the tunable parameters with optimum values").
     conf.io_sort_buffer = 320 << 20;
     conf.num_reduces = testbed.nodes * conf.reduce_slots;
-    conf.prefetch_cache_bytes = if testbed.storage_class { 8 << 30 } else { 3 << 30 };
+    conf.prefetch_cache_bytes = if testbed.storage_class {
+        8 << 30
+    } else {
+        3 << 30
+    };
     conf
 }
 
@@ -207,7 +217,10 @@ mod tests {
     fn block_size_tuning_matches_the_paper() {
         assert_eq!(tuned_block_size(System::IpoIb, Bench::TeraSort), 256 << 20);
         assert_eq!(tuned_block_size(System::OsuIb, Bench::TeraSort), 256 << 20);
-        assert_eq!(tuned_block_size(System::HadoopA, Bench::TeraSort), 128 << 20);
+        assert_eq!(
+            tuned_block_size(System::HadoopA, Bench::TeraSort),
+            128 << 20
+        );
         for s in System::ALL {
             assert_eq!(tuned_block_size(s, Bench::Sort), 64 << 20);
         }

@@ -105,8 +105,8 @@ impl Cluster {
         let hdfs = HdfsCluster::new(sim, &net, master, hdfs_cfg);
         let mut workers = Vec::with_capacity(worker_specs.len());
         for (i, spec) in worker_specs.iter().enumerate() {
-            let cpu = Fluid::with_entry_cap(sim, spec.cores, 1.0)
-                .with_metrics_key(format!("cpu.n{i}"));
+            let cpu =
+                Fluid::with_entry_cap(sim, spec.cores, 1.0).with_metrics_key(format!("cpu.n{i}"));
             let id = net.add_node(Some(cpu.clone()));
             let fs = LocalFs::new(
                 sim,

@@ -249,7 +249,7 @@ mod tests {
             ShuffleKind::HadoopA.label(),
             ShuffleKind::OsuIb.label(),
         ];
-        let set: std::collections::HashSet<_> = labels.iter().collect();
+        let set: std::collections::BTreeSet<_> = labels.iter().collect();
         assert_eq!(set.len(), 3);
     }
 }

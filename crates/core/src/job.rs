@@ -94,12 +94,7 @@ pub async fn run_job(cluster: &Cluster, conf: JobConf, spec: JobSpec) -> JobResu
     };
     let mut splits = Vec::new();
     for f in &input_files {
-        splits.extend(
-            cluster
-                .hdfs
-                .split_locations(f)
-                .expect("job input missing"),
-        );
+        splits.extend(cluster.hdfs.split_locations(f).expect("job input missing"));
     }
     let input_bytes: u64 = splits.iter().map(|(b, _)| b.size).sum();
     let descs: Vec<MapTaskDesc> = splits
@@ -142,6 +137,7 @@ pub async fn run_job(cluster: &Cluster, conf: JobConf, spec: JobSpec) -> JobResu
 
     // Heartbeat loop per TaskTracker.
     for tt in &tts {
+        let hb_name = format!("tt{}-heartbeat", tt.idx);
         let tt = Rc::clone(tt);
         let cluster2 = cluster.clone();
         let conf2 = Rc::clone(&conf);
@@ -152,7 +148,7 @@ pub async fn run_job(cluster: &Cluster, conf: JobConf, spec: JobSpec) -> JobResu
         let progress2 = Rc::clone(&progress);
         let timeline2 = timeline.clone();
         let sim2 = sim.clone();
-        sim.spawn(async move {
+        sim.spawn_named(hb_name, async move {
             loop {
                 if jt2.borrow().job_done() {
                     break;
@@ -164,9 +160,7 @@ pub async fn run_job(cluster: &Cluster, conf: JobConf, spec: JobSpec) -> JobResu
                     .await;
                 let free_m = tt.map_slots.available() as usize;
                 let free_r = tt.reduce_slots.available() as usize;
-                let (maps, reduces) =
-                    jt2.borrow_mut()
-                        .heartbeat(tt.node.id, free_m, free_r);
+                let (maps, reduces) = jt2.borrow_mut().heartbeat(tt.node.id, free_m, free_r);
                 cluster2
                     .net
                     .transfer(cluster2.master, tt.node.id, HEARTBEAT_BYTES)
@@ -188,8 +182,8 @@ pub async fn run_job(cluster: &Cluster, conf: JobConf, spec: JobSpec) -> JobResu
                         .try_acquire(1)
                         .expect("slot advertised but unavailable");
                     spawn_reduce_attempt(
-                        &sim2, &cluster2, &conf2, &spec2, &jt2, &servers2, &tt, reduce_idx,
-                        permit, &progress2, total_maps, &timeline2,
+                        &sim2, &cluster2, &conf2, &spec2, &jt2, &servers2, &tt, reduce_idx, permit,
+                        &progress2, total_maps, &timeline2,
                     );
                 }
                 sim2.sleep(conf2.heartbeat).await;
@@ -266,7 +260,7 @@ fn spawn_map_attempt(
     let tt = Rc::clone(tt);
     let progress = Rc::clone(progress);
     let sim2c = sim.clone();
-    sim.spawn(async move {
+    sim.spawn_named(format!("map-task-{}", desc.idx), async move {
         let sim2 = sim2c;
         let attempt_start = sim2.now().as_secs_f64();
         // JVM spawn + task localisation.
@@ -302,8 +296,7 @@ fn spawn_map_attempt(
                     let jtb = jt.borrow();
                     if jtb.maps_done() {
                         drop(jtb);
-                        progress.borrow_mut().map_phase_end_s =
-                            sim2.now().as_secs_f64();
+                        progress.borrow_mut().map_phase_end_s = sim2.now().as_secs_f64();
                     }
                 }
             }
@@ -357,7 +350,7 @@ fn spawn_reduce_attempt(
     let launch = conf.task_launch_overhead;
     let sim2 = sim.clone();
     let tt_idx = tt.idx;
-    sim.spawn(async move {
+    sim.spawn_named(format!("reduce-task-{reduce_idx}"), async move {
         let attempt_start = sim2.now().as_secs_f64();
         sim2.sleep(launch).await;
         // Fault injection: this attempt dies before shuffling and the task

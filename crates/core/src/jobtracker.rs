@@ -8,7 +8,7 @@
 //! about completed maps through an append-only event log they poll with a
 //! cursor.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rmr_hdfs::BlockMeta;
 use rmr_net::NodeId;
@@ -47,10 +47,10 @@ pub struct JobTracker {
     speculative: bool,
     /// Maps currently running: idx → (attempts in flight, descriptor,
     /// start sequence for oldest-first speculation).
-    running: HashMap<usize, (usize, MapTaskDesc, u64)>,
+    running: BTreeMap<usize, (usize, MapTaskDesc, u64)>,
     launch_seq: u64,
     /// Maps already completed (deduplicates speculative double-finishes).
-    completed_set: HashSet<usize>,
+    completed_set: BTreeSet<usize>,
     speculative_launched: usize,
     speculative_wasted: usize,
 }
@@ -78,9 +78,9 @@ impl JobTracker {
             fail_reduce_once: None,
             failures_seen: 0,
             speculative: false,
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             launch_seq: 0,
-            completed_set: HashSet::new(),
+            completed_set: BTreeSet::new(),
             speculative_launched: 0,
             speculative_wasted: 0,
         }

@@ -7,7 +7,7 @@
 //! reducer has consumed each segment) lives with the TaskTracker.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rmr_net::NodeId;
@@ -36,7 +36,7 @@ pub struct MapOutputInfo {
 /// Registry of completed map outputs.
 #[derive(Clone, Default)]
 pub struct MapOutputStore {
-    inner: Rc<RefCell<HashMap<usize, Rc<MapOutputInfo>>>>,
+    inner: Rc<RefCell<BTreeMap<usize, Rc<MapOutputInfo>>>>,
 }
 
 impl MapOutputStore {

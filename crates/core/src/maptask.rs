@@ -48,8 +48,7 @@ pub async fn run_map(
     node.compute(costs.serde_per_byte * in_bytes as f64).await;
 
     // 3. User map function.
-    let map_cpu =
-        costs.map_per_record * in_records as f64 + costs.map_per_byte * in_bytes as f64;
+    let map_cpu = costs.map_per_record * in_records as f64 + costs.map_per_byte * in_bytes as f64;
     if let Some(frac) = abort_fraction {
         // The attempt dies here after burning `frac` of its map work.
         node.compute(map_cpu * frac).await;
@@ -96,27 +95,19 @@ pub async fn run_map(
 
     // 4. Sizing of the intermediate output.
     let (out_records, out_bytes) = match &out_records_real {
-        Some(v) => (
-            v.len() as u64,
-            v.iter().map(Record::size).sum::<u64>(),
-        ),
+        Some(v) => (v.len() as u64, v.iter().map(Record::size).sum::<u64>()),
         None => {
-            let bytes =
-                (in_bytes as f64 * spec.map_output_ratio * spec.combine_ratio) as u64;
-            (
-                (bytes / spec.avg_record_bytes.max(1)).max(1),
-                bytes,
-            )
+            let bytes = (in_bytes as f64 * spec.map_output_ratio * spec.combine_ratio) as u64;
+            ((bytes / spec.avg_record_bytes.max(1)).max(1), bytes)
         }
     };
 
     // 5. Sort + spill. Each buffer-full is sorted (n·log n) and written.
     let n_spills = out_bytes.div_ceil(conf.io_sort_buffer.max(1)).max(1);
     let per_spill_records = (out_records as f64 / n_spills as f64).max(1.0);
-    let sort_cpu = out_records as f64
-        * per_spill_records.log2().max(1.0)
-        * costs.sort_per_record_level
-        + costs.serde_per_byte * out_bytes as f64;
+    let sort_cpu =
+        out_records as f64 * per_spill_records.log2().max(1.0) * costs.sort_per_record_level
+            + costs.serde_per_byte * out_bytes as f64;
     node.compute(sort_cpu).await;
 
     let final_file = format!("map_{idx}.out", idx = desc.idx);
@@ -211,9 +202,10 @@ mod tests {
     fn real_map_sorts_and_partitions() {
         let sim = Sim::new(1);
         let cluster = mk_cluster(&sim);
-        let mut conf = JobConf::default();
-        conf.num_reduces = 4;
-        let conf = Rc::new(conf);
+        let conf = Rc::new(JobConf {
+            num_reduces: 4,
+            ..JobConf::default()
+        });
         let spec = JobSpec::sort("/in", "/out", 14);
         let tt = mk_tt(&sim, &cluster, &conf);
         let c2 = cluster.clone();
@@ -257,9 +249,10 @@ mod tests {
     fn synthetic_map_scales_with_ratio() {
         let sim = Sim::new(2);
         let cluster = mk_cluster(&sim);
-        let mut conf = JobConf::default();
-        conf.num_reduces = 2;
-        let conf = Rc::new(conf);
+        let conf = Rc::new(JobConf {
+            num_reduces: 2,
+            ..JobConf::default()
+        });
         let spec = JobSpec::sort("/in", "/out", 100).with_ratios(0.5, 1.0);
         let tt = mk_tt(&sim, &cluster, &conf);
         let c2 = cluster.clone();
@@ -296,10 +289,11 @@ mod tests {
         for sort_buffer in [u64::MAX, 128 << 10] {
             let sim = Sim::new(3);
             let cluster = mk_cluster(&sim);
-            let mut conf = JobConf::default();
-            conf.num_reduces = 1;
-            conf.io_sort_buffer = sort_buffer;
-            let conf = Rc::new(conf);
+            let conf = Rc::new(JobConf {
+                num_reduces: 1,
+                io_sort_buffer: sort_buffer,
+                ..JobConf::default()
+            });
             let spec = JobSpec::sort("/in", "/out", 100);
             let tt = mk_tt(&sim, &cluster, &conf);
             let c2 = cluster.clone();

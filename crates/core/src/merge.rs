@@ -316,8 +316,7 @@ impl StreamingMerge {
         let n = self.sources.len();
         for idx in 0..n {
             let rem = self.sources[idx].expected_records - self.sources[idx].consumed_records;
-            let mut take =
-                (feasible as u128 * rem as u128 / total_remaining as u128) as u64;
+            let mut take = (feasible as u128 * rem as u128 / total_remaining as u128) as u64;
             take = take.min(self.sources[idx].available());
             if take > 0 {
                 bytes_total += self.sources[idx].pop_synthetic(take);
@@ -362,7 +361,10 @@ mod tests {
         let mut out = Vec::new();
         // First emit: both sources have data; may emit until someone dries.
         if let Emit::Data(seg) = m.emit(100) {
-            out.extend(seg.iter_real().map(|r| u32::from_be_bytes(r.key[..4].try_into().unwrap())));
+            out.extend(
+                seg.iter_real()
+                    .map(|r| u32::from_be_bytes(r.key[..4].try_into().unwrap())),
+            );
         }
         // Source 1 dry after 2,3 consumed... emit stops when its buffer
         // empties (5 can't be emitted before knowing source 1's next key).

@@ -12,7 +12,7 @@
 //!   so caching overlaps the map wave.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
@@ -38,7 +38,7 @@ struct Entry {
 struct CacheInner {
     capacity: u64,
     used: u64,
-    entries: HashMap<usize, Entry>,
+    entries: BTreeMap<usize, Entry>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -57,7 +57,7 @@ impl PrefetchCache {
             inner: Rc::new(RefCell::new(CacheInner {
                 capacity,
                 used: 0,
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
                 tick: 0,
                 hits: 0,
                 misses: 0,
@@ -192,22 +192,22 @@ pub struct PrefetchRequest {
 pub struct Prefetcher {
     tx: Sender<PrefetchRequest>,
     cache: PrefetchCache,
-    queued: Rc<RefCell<std::collections::HashSet<usize>>>,
+    queued: Rc<RefCell<std::collections::BTreeSet<usize>>>,
 }
 
 impl Prefetcher {
     /// Spawns `threads` staging daemons reading from `fs` into `cache`.
     pub fn spawn(sim: &Sim, fs: &LocalFs, cache: &PrefetchCache, threads: usize) -> Self {
         let (tx, rx): (Sender<PrefetchRequest>, Receiver<PrefetchRequest>) = channel();
-        let queued: Rc<RefCell<std::collections::HashSet<usize>>> =
-            Rc::new(RefCell::new(std::collections::HashSet::new()));
-        for _ in 0..threads.max(1) {
+        let queued: Rc<RefCell<std::collections::BTreeSet<usize>>> =
+            Rc::new(RefCell::new(std::collections::BTreeSet::new()));
+        for i in 0..threads.max(1) {
             let rx = rx.clone();
             let fs = fs.clone();
             let cache = cache.clone();
             let sim2 = sim.clone();
             let queued = Rc::clone(&queued);
-            sim.spawn(async move {
+            sim.spawn_daemon(format!("prefetch-daemon-{i}"), async move {
                 while let Some(req) = rx.recv().await {
                     queued.borrow_mut().remove(&req.map_idx);
                     if cache.contains(req.map_idx) {
@@ -225,10 +225,10 @@ impl Prefetcher {
                             Ok(r) => r,
                             Err(_) => continue,
                         };
-                        if r.read_exact(req.bytes).await.is_ok() {
-                            if cache.insert(req.map_idx, req.bytes, req.priority) {
-                                sim2.metrics().incr("prefetch.staged");
-                            }
+                        if r.read_exact(req.bytes).await.is_ok()
+                            && cache.insert(req.map_idx, req.bytes, req.priority)
+                        {
+                            sim2.metrics().incr("prefetch.staged");
                         }
                     }
                 }
@@ -298,7 +298,10 @@ mod tests {
         c.insert(1, 150, Priority::Prefetch);
         assert!(!c.would_admit(2, 100, Priority::Prefetch));
         assert!(c.would_admit(2, 100, Priority::Demand));
-        assert!(c.would_admit(1, 150, Priority::Prefetch), "resident is admitted");
+        assert!(
+            c.would_admit(1, 150, Priority::Prefetch),
+            "resident is admitted"
+        );
     }
 
     #[test]

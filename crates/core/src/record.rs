@@ -556,9 +556,7 @@ mod tests {
 
     #[test]
     fn real_partition_preserves_order_and_count() {
-        let recs: Vec<Record> = (0..100u32)
-            .map(|i| rec(&i.to_be_bytes(), b"v"))
-            .collect();
+        let recs: Vec<Record> = (0..100u32).map(|i| rec(&i.to_be_bytes(), b"v")).collect();
         let s = Segment::from_records(recs);
         let parts = s.partition(7, &HashPartitioner);
         assert_eq!(parts.iter().map(|p| p.records).sum::<u64>(), 100);

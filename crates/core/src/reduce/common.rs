@@ -207,6 +207,15 @@ impl ReduceSink {
 }
 
 #[cfg(test)]
+impl JobTracker {
+    /// Test helper: fabricate one completion event.
+    pub fn map_completed_raw_for_test(&mut self) {
+        // total_maps is 0 in the test; bypass the counters and just append.
+        self.push_event_for_test(0, 0);
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::NodeSpec;
@@ -242,10 +251,16 @@ mod tests {
         sim.spawn(async move {
             let node = c2.workers[0].clone();
             let mut sink = ReduceSink::open(&c2, &conf, &spec, &node, 0).await;
-            sink.consume(Segment::from_records(vec![rec(b"a", b"1"), rec(b"b", b"2")]))
-                .await;
-            sink.consume(Segment::from_records(vec![rec(b"b", b"3"), rec(b"c", b"4")]))
-                .await;
+            sink.consume(Segment::from_records(vec![
+                rec(b"a", b"1"),
+                rec(b"b", b"2"),
+            ]))
+            .await;
+            sink.consume(Segment::from_records(vec![
+                rec(b"b", b"3"),
+                rec(b"c", b"4"),
+            ]))
+            .await;
             let (in_recs, _, out_bytes) = sink.finish().await;
             assert_eq!(in_recs, 4);
             assert!(out_bytes > 0);
@@ -266,7 +281,7 @@ mod tests {
     fn grouping_reducer_sees_whole_groups_across_batches() {
         let (sim, cluster) = mk();
         let conf = Rc::new(JobConf::default());
-        let seen: Rc<RefCell<Vec<(Vec<u8>, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen = Rc::new(RefCell::new(Vec::<(Vec<u8>, usize)>::new()));
         let seen2 = Rc::clone(&seen);
         let spec = JobSpec::sort("/in", "/out", 10).with_reducer(Rc::new(move |k, vs| {
             seen2.borrow_mut().push((k.to_vec(), vs.len()));
@@ -278,11 +293,18 @@ mod tests {
             let mut sink = ReduceSink::open(&c2, &conf, &spec, &node, 0).await;
             // Group "b" straddles the batch boundary: must be seen ONCE with
             // 3 values.
-            sink.consume(Segment::from_records(vec![rec(b"a", b"1"), rec(b"b", b"2")]))
+            sink.consume(Segment::from_records(vec![
+                rec(b"a", b"1"),
+                rec(b"b", b"2"),
+            ]))
+            .await;
+            sink.consume(Segment::from_records(vec![
+                rec(b"b", b"3"),
+                rec(b"b", b"4"),
+            ]))
+            .await;
+            sink.consume(Segment::from_records(vec![rec(b"c", b"5")]))
                 .await;
-            sink.consume(Segment::from_records(vec![rec(b"b", b"3"), rec(b"b", b"4")]))
-                .await;
-            sink.consume(Segment::from_records(vec![rec(b"c", b"5")])).await;
             sink.finish().await;
         })
         .detach();
@@ -290,11 +312,7 @@ mod tests {
         let seen = seen.borrow();
         assert_eq!(
             *seen,
-            vec![
-                (b"a".to_vec(), 1),
-                (b"b".to_vec(), 3),
-                (b"c".to_vec(), 1)
-            ]
+            vec![(b"a".to_vec(), 1), (b"b".to_vec(), 3), (b"c".to_vec(), 1)]
         );
     }
 
@@ -334,14 +352,5 @@ mod tests {
         })
         .detach();
         sim.run();
-    }
-}
-
-#[cfg(test)]
-impl JobTracker {
-    /// Test helper: fabricate one completion event.
-    pub fn map_completed_raw_for_test(&mut self) {
-        // total_maps is 0 in the test; bypass the counters and just append.
-        self.push_event_for_test(0, 0);
     }
 }

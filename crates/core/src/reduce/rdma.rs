@@ -23,7 +23,6 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
-use rmr_des::sync::bounded;
 use rmr_net::EndPoint;
 
 use crate::config::ShuffleKind;
@@ -123,7 +122,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         resident_bytes: 0,
         spilled_bytes: 0,
     }));
-    let arrived = Notify::new();
+    let arrived = Notify::new_named(&format!("r{}-packet-arrived", ctx.reduce_idx));
     let mem = Rc::new(MemBudget::new(conf.shuffle_buffer));
 
     // Receiver: one task per endpoint, buffering packets. A packet that
@@ -131,7 +130,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
     // it is spilled to the reducer's local disk and read back when the
     // merge consumes it — this is what breaks Hadoop-A's stage overlap when
     // its fixed-count packets are huge (§IV-C).
-    for ep in eps.iter() {
+    for (tt_i, ep) in eps.iter().enumerate() {
         let ep = Rc::clone(ep);
         let state = Rc::clone(&state);
         let arrived = arrived.clone();
@@ -140,7 +139,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         let node2 = node.clone();
         let conf = Rc::clone(&conf);
         let spill_file = format!("r{}_shufspill", ctx.reduce_idx);
-        sim.spawn(async move {
+        let copier_name = format!("r{}-rdma-copier-tt{tt_i}", ctx.reduce_idx);
+        sim.spawn_daemon(copier_name, async move {
             while let Some(msg) = ep.recv().await {
                 let ShufMsg::Response {
                     map_idx,
@@ -172,8 +172,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                     }
                     src.reserved = 0;
                     src.inflight = false;
-                    let over =
-                        !covered && st.resident_bytes + packet.bytes > conf.shuffle_buffer;
+                    let over = !covered && st.resident_bytes + packet.bytes > conf.shuffle_buffer;
                     if packet.records > 0 {
                         st.resident_bytes += packet.bytes;
                         if over {
@@ -188,7 +187,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                     }
                 };
                 if let Some(bytes) = spill {
-                    sim2.metrics().add("reduce.shuffle_spill_bytes", bytes as f64);
+                    sim2.metrics()
+                        .add("reduce.shuffle_spill_bytes", bytes as f64);
                     if conf.shuffle == ShuffleKind::OsuIb {
                         // OSU-IB reuses Hadoop's local spill machinery
                         // (§III-C-2: minimal changes to the existing merge).
@@ -301,9 +301,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                 let target = conf.shuffle_buffer / (st.sources.len().max(8) as u64);
                 st.sources
                     .iter()
-                    .filter(|(_, s)| {
-                        !s.inflight && !s.fully_delivered && s.buffered_bytes < target
-                    })
+                    .filter(|(_, s)| !s.inflight && !s.fully_delivered && s.buffered_bytes < target)
                     .map(|(m, _)| *m)
                     .collect()
             };
@@ -336,8 +334,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
 
     // ---- Phase B: priority-queue merge pipelined with reduce. ----
     let order: Vec<usize> = state.borrow().sources.keys().copied().collect();
-    let dense: BTreeMap<usize, usize> =
-        order.iter().enumerate().map(|(i, m)| (*m, i)).collect();
+    let dense: BTreeMap<usize, usize> = order.iter().enumerate().map(|(i, m)| (*m, i)).collect();
     let expected: Vec<u64> = {
         let st = state.borrow();
         order
@@ -347,27 +344,22 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
     };
     let mut merge = StreamingMerge::new(expected);
     let watermark = match kind {
-        ShuffleKind::OsuIb => {
-            (conf.osu_packet_bytes / ctx.spec.avg_record_bytes.max(1)).max(16)
-        }
+        ShuffleKind::OsuIb => (conf.osu_packet_bytes / ctx.spec.avg_record_bytes.max(1)).max(16),
         _ => conf.hadoop_a_kv_per_packet.max(16),
     };
 
     // DataToReduceQueue + reduce consumer (overlap of merge and reduce).
-    let (out_tx, out_rx) = bounded::<Segment>(REDUCE_QUEUE_DEPTH);
+    let (out_tx, out_rx) = bounded_named::<Segment>(
+        &format!("r{}-data-to-reduce-queue", ctx.reduce_idx),
+        REDUCE_QUEUE_DEPTH,
+    );
     let consumer = {
         let ctx2 = ctx.clone();
         let node2 = node.clone();
         let conf2 = Rc::clone(&conf);
-        sim.spawn(async move {
-            let mut sink = ReduceSink::open(
-                &ctx2.cluster,
-                &conf2,
-                &ctx2.spec,
-                &node2,
-                ctx2.reduce_idx,
-            )
-            .await;
+        sim.spawn_named(format!("r{}-reduce-consumer", ctx.reduce_idx), async move {
+            let mut sink =
+                ReduceSink::open(&ctx2.cluster, &conf2, &ctx2.spec, &node2, ctx2.reduce_idx).await;
             while let Some(seg) = out_rx.recv().await {
                 sink.consume(seg).await;
             }
@@ -426,9 +418,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                     // priority queue needs (one packet per live source) to
                     // the memory that can hold it.
                     let live = merge.source_count() as u64;
-                    let amp = ((live * est_packet_bytes.min(4 << 20))
-                        / conf.shuffle_buffer.max(1))
-                    .clamp(1, 5);
+                    let amp = ((live * est_packet_bytes.min(4 << 20)) / conf.shuffle_buffer.max(1))
+                        .clamp(1, 5);
                     for (tt_idx, map_idx, bytes) in refetch {
                         let bytes = bytes * amp;
                         let tt_node = &ctx.cluster.workers[tt_idx];
@@ -461,10 +452,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                     st.resident_bytes = st.resident_bytes.saturating_sub(seg.bytes);
                 }
                 let k = (merge.source_count().max(2)) as f64;
-                node.compute(
-                    seg.records as f64 * k.log2() * conf.costs.sort_per_record_level,
-                )
-                .await;
+                node.compute(seg.records as f64 * k.log2() * conf.costs.sort_per_record_level)
+                    .await;
                 out_tx.send(seg).await.expect("reduce consumer died");
             }
             Emit::Stalled(dry) => {

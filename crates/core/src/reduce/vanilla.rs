@@ -13,7 +13,6 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
-use rmr_des::sync::channel;
 
 use crate::proto::{PacketBudget, ShufMsg};
 use crate::record::Segment;
@@ -36,7 +35,8 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
     let sim = ctx.cluster.sim.clone();
     let conf = Rc::clone(&ctx.conf);
     let node = ctx.tt.node.clone();
-    let mem = Semaphore::new(conf.shuffle_buffer);
+    let r_idx = ctx.reduce_idx;
+    let mem = Semaphore::new_named(&format!("r{r_idx}-shuffle-buffer"), conf.shuffle_buffer);
     let state = Rc::new(RefCell::new(VanillaState {
         inmem: Vec::new(),
         inmem_bytes: 0,
@@ -47,12 +47,12 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
     }));
 
     // Map Completion Fetcher: poll the JobTracker and feed the copiers.
-    let (map_tx, map_rx) = channel::<(usize, usize)>();
+    let (map_tx, map_rx) = channel_named::<(usize, usize)>(&format!("r{r_idx}-map-events"));
     {
         let ctx = ctx.clone();
         let node = node.clone();
         let sim2 = sim.clone();
-        sim.spawn(async move {
+        sim.spawn_named(format!("r{r_idx}-event-fetcher"), async move {
             let mut cursor = 0;
             let mut seen = 0;
             while seen < ctx.total_maps {
@@ -68,12 +68,12 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
 
     // Copier pool.
     let mut copiers = Vec::new();
-    for _ in 0..conf.parallel_copies.max(1) {
+    for i in 0..conf.parallel_copies.max(1) {
         let ctx = ctx.clone();
         let state = Rc::clone(&state);
         let mem = mem.clone();
         let map_rx = map_rx.clone();
-        copiers.push(sim.spawn(async move {
+        copiers.push(sim.spawn_named(format!("r{r_idx}-copier-{i}"), async move {
             while let Some((map_idx, tt_idx)) = map_rx.recv().await {
                 fetch_one(&ctx, &state, &mem, map_idx, tt_idx).await;
             }
@@ -156,10 +156,8 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
                 }
             }
             // Final merge CPU for this batch.
-            node.compute(
-                batch.records as f64 * k.log2() * conf.costs.sort_per_record_level,
-            )
-            .await;
+            node.compute(batch.records as f64 * k.log2() * conf.costs.sort_per_record_level)
+                .await;
             sink.consume(batch).await;
         }
     }
@@ -237,15 +235,20 @@ async fn fetch_one(
     // Memory or disk?
     let seg_limit = (conf.shuffle_buffer as f64 * conf.inmem_segment_limit) as u64;
     let to_memory = seg.bytes <= seg_limit;
-    let permit = if to_memory { mem.try_acquire(seg.bytes) } else { None };
+    let permit = if to_memory {
+        mem.try_acquire(seg.bytes)
+    } else {
+        None
+    };
     match permit {
         Some(p) => {
-            let mut st = state.borrow_mut();
-            st.inmem_bytes += seg.bytes;
-            st.inmem.push((seg, p));
-            let threshold = (conf.shuffle_buffer as f64 * conf.inmem_merge_threshold) as u64;
-            let over = st.inmem_bytes > threshold;
-            drop(st);
+            let over = {
+                let mut st = state.borrow_mut();
+                st.inmem_bytes += seg.bytes;
+                st.inmem.push((seg, p));
+                let threshold = (conf.shuffle_buffer as f64 * conf.inmem_merge_threshold) as u64;
+                st.inmem_bytes > threshold
+            };
             if over {
                 merge_inmem_to_disk(ctx, state).await;
             }

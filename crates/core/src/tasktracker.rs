@@ -13,18 +13,17 @@
 //!   (then re-caching at demand priority).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
-use rmr_des::sync::channel;
 use rmr_net::{listen, ucr_listen, EndPoint, ListenerHandle, Network, UcrConnector};
 use rmr_store::FileReader;
 
 use crate::cluster::NodeHandle;
 use crate::config::{JobConf, ShuffleKind};
 use crate::mapoutput::MapOutputStore;
-use crate::prefetch::{PrefetchCache, Prefetcher, PrefetchRequest, Priority};
+use crate::prefetch::{PrefetchCache, PrefetchRequest, Prefetcher, Priority};
 use crate::proto::{PacketBudget, ShufMsg};
 use crate::record::SegmentCursor;
 
@@ -57,12 +56,12 @@ pub struct TaskTracker {
     pub reduce_slots: Semaphore,
     sim: Sim,
     /// Per-(map, reduce) serve cursors.
-    cursors: RefCell<HashMap<(usize, usize), SegmentCursor>>,
+    cursors: RefCell<BTreeMap<(usize, usize), SegmentCursor>>,
     /// Per-(map, reduce) sequential disk readers.
-    readers: RefCell<HashMap<(usize, usize), FileReader>>,
+    readers: RefCell<BTreeMap<(usize, usize), FileReader>>,
     /// How many reduce partitions of each map have been fully served; at
     /// `num_reduces` the cached copy is released (its useful life is over).
-    served_parts: RefCell<HashMap<usize, usize>>,
+    served_parts: RefCell<BTreeMap<usize, usize>>,
 }
 
 impl TaskTracker {
@@ -91,9 +90,9 @@ impl TaskTracker {
             cache,
             prefetcher,
             sim: sim.clone(),
-            cursors: RefCell::new(HashMap::new()),
-            readers: RefCell::new(HashMap::new()),
-            served_parts: RefCell::new(HashMap::new()),
+            cursors: RefCell::new(BTreeMap::new()),
+            readers: RefCell::new(BTreeMap::new()),
+            served_parts: RefCell::new(BTreeMap::new()),
         })
     }
 
@@ -160,7 +159,9 @@ impl TaskTracker {
         if packet.bytes > 0 {
             if use_cache && self.cache.lookup(map_idx) {
                 from_cache = true;
-                self.sim.metrics().add("tt.cache_hit_bytes", packet.bytes as f64);
+                self.sim
+                    .metrics()
+                    .add("tt.cache_hit_bytes", packet.bytes as f64);
             } else {
                 // Read from disk (through the page cache) with a sequential
                 // per-(map, reduce) stream. The reader is moved out for the
@@ -173,7 +174,9 @@ impl TaskTracker {
                     .await
                     .expect("map output shorter than index");
                 self.readers.borrow_mut().insert(key, reader);
-                self.sim.metrics().add("tt.disk_serve_bytes", packet.bytes as f64);
+                self.sim
+                    .metrics()
+                    .add("tt.disk_serve_bytes", packet.bytes as f64);
                 if use_cache {
                     // Demand miss: stage the whole file at high priority so
                     // successive requests hit (§III-B-3).
@@ -204,12 +207,8 @@ impl TaskTracker {
 
     /// Resets serve state for a map output (failed-map invalidation).
     pub fn invalidate(&self, map_idx: usize) {
-        self.cursors
-            .borrow_mut()
-            .retain(|(m, _), _| *m != map_idx);
-        self.readers
-            .borrow_mut()
-            .retain(|(m, _), _| *m != map_idx);
+        self.cursors.borrow_mut().retain(|(m, _), _| *m != map_idx);
+        self.readers.borrow_mut().retain(|(m, _), _| *m != map_idx);
         self.cache.remove(map_idx);
     }
 }
@@ -230,46 +229,51 @@ fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
     let listener = listen::<ShufMsg>(net, tt.node.id);
     let handle = listener.handle();
     let sim = tt.sim.clone();
-    let servlets = Semaphore::new(tt.conf.http_threads as u64);
+    let tt_id = tt.node.id.0;
+    let servlets = Semaphore::new_named(
+        &format!("tt{tt_id}-http-servlets"),
+        tt.conf.http_threads as u64,
+    );
     let tt = Rc::clone(tt);
-    sim.clone().spawn(async move {
-        while let Some(conn) = listener.accept().await {
-            let tt = Rc::clone(&tt);
-            let servlets = servlets.clone();
-            sim.spawn(async move {
-                while let Some(msg) = conn.recv().await {
-                    let ShufMsg::Request {
-                        map_idx, reduce, ..
-                    } = msg
-                    else {
-                        continue;
-                    };
-                    let _permit = servlets.acquire(1).await;
-                    // Stream the partition in chunks: read, then send.
-                    loop {
-                        let resp = tt
-                            .serve(map_idx, reduce, PacketBudget::Bytes(tt.conf.stream_chunk))
-                            .await;
-                        let last = matches!(
-                            &resp,
-                            ShufMsg::Response {
-                                remaining_records: 0,
-                                ..
+    sim.clone()
+        .spawn_daemon(format!("tt{tt_id}-http-listener"), async move {
+            while let Some(conn) = listener.accept().await {
+                let tt = Rc::clone(&tt);
+                let servlets = servlets.clone();
+                sim.spawn_daemon(format!("tt{tt_id}-http-conn"), async move {
+                    while let Some(msg) = conn.recv().await {
+                        let ShufMsg::Request {
+                            map_idx, reduce, ..
+                        } = msg
+                        else {
+                            continue;
+                        };
+                        let _permit = servlets.acquire(1).await;
+                        // Stream the partition in chunks: read, then send.
+                        loop {
+                            let resp = tt
+                                .serve(map_idx, reduce, PacketBudget::Bytes(tt.conf.stream_chunk))
+                                .await;
+                            let last = matches!(
+                                &resp,
+                                ShufMsg::Response {
+                                    remaining_records: 0,
+                                    ..
+                                }
+                            );
+                            if conn.send(resp).await.is_err() {
+                                return; // reducer hung up
                             }
-                        );
-                        if conn.send(resp).await.is_err() {
-                            return; // reducer hung up
-                        }
-                        if last {
-                            break;
+                            if last {
+                                break;
+                            }
                         }
                     }
-                }
-            })
-            .detach();
-        }
-    })
-    .detach();
+                })
+                .detach();
+            }
+        })
+        .detach();
     TtServerHandle::Http(handle)
 }
 
@@ -279,16 +283,17 @@ fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
     let listener = ucr_listen::<ShufMsg>(net, tt.node.id);
     let connector = listener.connector();
     let sim = tt.sim.clone();
+    let tt_id = tt.node.id.0;
 
     // DataRequestQueue: (endpoint, map, reduce, budget).
     type Queued = (Rc<EndPoint<ShufMsg>>, usize, usize, PacketBudget);
-    let (req_tx, req_rx) = channel::<Queued>();
+    let (req_tx, req_rx) = channel_named::<Queued>(&format!("tt{tt_id}-data-request-queue"));
 
     // RDMAResponder pool.
-    for _ in 0..tt.conf.responder_threads.max(1) {
+    for i in 0..tt.conf.responder_threads.max(1) {
         let rx = req_rx.clone();
         let tt = Rc::clone(tt);
-        sim.spawn(async move {
+        sim.spawn_daemon(format!("tt{tt_id}-rdma-responder-{i}"), async move {
             while let Some((ep, map_idx, reduce, budget)) = rx.recv().await {
                 let resp = tt.serve(map_idx, reduce, budget).await;
                 ep.send(resp).await;
@@ -299,11 +304,11 @@ fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
 
     // RDMAListener + RDMAReceivers.
     let sim2 = sim.clone();
-    sim.spawn(async move {
+    sim.spawn_daemon(format!("tt{tt_id}-rdma-listener"), async move {
         while let Some(ep) = listener.accept().await {
             let ep = Rc::new(ep);
             let req_tx = req_tx.clone();
-            sim2.spawn(async move {
+            sim2.spawn_daemon(format!("tt{tt_id}-rdma-receiver"), async move {
                 while let Some(msg) = ep.recv().await {
                     if let ShufMsg::Request {
                         map_idx,
@@ -343,10 +348,11 @@ mod tests {
             &[NodeSpec::westmere_compute(), NodeSpec::westmere_compute()],
             HdfsConfig::default(),
         );
-        let mut conf = JobConf::default();
-        conf.shuffle = kind;
-        conf.caching_enabled = caching;
-        let conf = Rc::new(conf);
+        let conf = Rc::new(JobConf {
+            shuffle: kind,
+            caching_enabled: caching,
+            ..JobConf::default()
+        });
         let outputs = MapOutputStore::new();
         let tt = TaskTracker::new(&sim, 0, cluster.workers[0].clone(), conf, outputs.clone());
         let server = start_shuffle_server(&tt, &cluster.net);

@@ -12,9 +12,8 @@ use rmr_core::{Record, Segment};
 fn arb_source() -> impl Strategy<Value = (Vec<Record>, u64)> {
     (
         proptest::collection::vec(
-            (any::<u32>(), 0usize..16).prop_map(|(k, vlen)| {
-                Record::new(k.to_be_bytes().to_vec(), vec![b'x'; vlen])
-            }),
+            (any::<u32>(), 0usize..16)
+                .prop_map(|(k, vlen)| Record::new(k.to_be_bytes().to_vec(), vec![b'x'; vlen])),
             0..32,
         ),
         1u64..64,
@@ -109,7 +108,7 @@ proptest! {
             .iter()
             .map(|c| c.remaining_bytes())
             .sum::<u64>()
-            .min(total_bytes.max(0));
+            .min(total_bytes);
         let mut merge = StreamingMerge::new(expected);
         let mut got = (0u64, 0u64);
         let mut guard = 0;

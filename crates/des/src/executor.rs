@@ -16,6 +16,14 @@
 //! sequence number, the ready queue is FIFO, and nothing consults wall-clock
 //! time or OS entropy (randomness comes from the seeded [`rand`] generator on
 //! the [`Sim`] handle).
+//!
+//! Runtime checkers: every task carries a name ([`Sim::spawn_named`]); sync
+//! primitives record what a pending task is blocked on
+//! ([`note_current_blocked`]); the executor folds every event firing and task
+//! poll into a running trace hash ([`Sim::trace_hash`]), which
+//! [`assert_deterministic`] uses to diff two runs of the same seed; and
+//! [`Sim::step_until_no_events`] reports tasks that are still live when the
+//! event heap drains — the lost-waker/deadlock detector.
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -66,6 +74,14 @@ struct TaskSlot {
     /// Taken out of the slot while the future is being polled.
     future: Option<LocalFuture>,
     live: bool,
+    /// Diagnostic name; defaults to `task-<n>` in spawn order.
+    name: Rc<str>,
+    /// What the task reported waiting on at its last `Pending` poll
+    /// (set by sync primitives via [`note_current_blocked`]).
+    blocked_on: Option<String>,
+    /// Daemon tasks (server loops that live as long as the sim) are
+    /// excluded from quiescence stall reports, like Java daemon threads.
+    daemon: bool,
 }
 
 /// The shared FIFO of tasks made runnable by wakers. `Waker` must be
@@ -120,6 +136,46 @@ struct Core {
     rng: SmallRng,
     events_fired: u64,
     polls: u64,
+    spawns: u64,
+    /// FNV-1a fold of every (time, seq) event firing and every
+    /// (time, poll-seq, task) poll. Identical programs on identical seeds
+    /// must produce identical hashes — `assert_deterministic` diffs them.
+    trace_hash: u64,
+}
+
+/// FNV-1a fold of `bytes` into `hash`.
+fn fold_hash(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+thread_local! {
+    /// The task currently being polled by the executor on this thread, so
+    /// sync primitives can attribute their `Pending` to it without holding
+    /// a reference into the core.
+    static CURRENT_TASK: RefCell<Option<(std::rc::Weak<RefCell<Core>>, TaskId)>> =
+        const { RefCell::new(None) };
+}
+
+/// Records what the currently-polled task is blocked on. Called by the sync
+/// primitives (channels, semaphores, notify, join handles) on their
+/// `Pending` path; a no-op outside a task poll. The label surfaces in
+/// [`Sim::step_until_no_events`]'s stall report.
+pub fn note_current_blocked(label: impl Into<String>) {
+    CURRENT_TASK.with(|c| {
+        if let Some((core, id)) = c.borrow().as_ref() {
+            if let Some(core) = core.upgrade() {
+                let mut core = core.borrow_mut();
+                if let Some(slot) = core.tasks.get_mut(id.index as usize) {
+                    if slot.gen == id.gen && slot.live {
+                        slot.blocked_on = Some(label.into());
+                    }
+                }
+            }
+        }
+    });
 }
 
 impl Core {
@@ -176,6 +232,8 @@ impl Sim {
                 rng: SmallRng::seed_from_u64(seed),
                 events_fired: 0,
                 polls: 0,
+                spawns: 0,
+                trace_hash: 0xcbf2_9ce4_8422_2325,
             })),
             metrics: Metrics::new(),
         }
@@ -204,6 +262,14 @@ impl Sim {
     /// Number of task polls so far (diagnostic).
     pub fn polls(&self) -> u64 {
         self.core.borrow().polls
+    }
+
+    /// Running hash of the event trace: every event firing folds its
+    /// `(time, seq)` and every task poll folds `(time, poll-seq, task)`.
+    /// Two runs of the same program on the same seed must agree; see
+    /// [`assert_deterministic`].
+    pub fn trace_hash(&self) -> u64 {
+        self.core.borrow().trace_hash
     }
 
     /// Schedules `action` to run at absolute time `at` (clamped to now if in
@@ -258,15 +324,51 @@ impl Sim {
         slot.gen == id.gen && slot.action.is_some()
     }
 
-    /// Spawns a task and returns a [`JoinHandle`] yielding its output.
+    /// Spawns an anonymous task (named `task-<n>` in spawn order) and
+    /// returns a [`JoinHandle`] yielding its output. Prefer
+    /// [`Sim::spawn_named`]: names are what the deadlock detector and stall
+    /// reports print.
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        self.spawn_inner(None, false, fut)
+    }
+
+    /// Spawns a task under a diagnostic name. The name surfaces in
+    /// [`Sim::step_until_no_events`]'s stall report when the task is still
+    /// live after the event heap drains.
+    pub fn spawn_named<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.spawn_inner(Some(name.into()), false, fut)
+    }
+
+    /// Spawns a named daemon task: a server loop meant to stay alive (and
+    /// blocked) for the whole simulation — accept loops, responder pools,
+    /// prefetcher threads. Daemons are excluded from
+    /// [`Sim::step_until_no_events`] stall reports, exactly like Java's
+    /// daemon threads don't block JVM exit.
+    pub fn spawn_daemon<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.spawn_inner(Some(name.into()), true, fut)
+    }
+
+    fn spawn_inner<T: 'static>(
+        &self,
+        name: Option<String>,
+        daemon: bool,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
         let state = Rc::new(RefCell::new(JoinState {
             result: None,
             waker: None,
             detached: false,
         }));
         let state2 = Rc::clone(&state);
-        self.spawn_unit(async move {
+        self.spawn_unit(name, daemon, async move {
             let out = fut.await;
             let mut st = state2.borrow_mut();
             st.result = Some(out);
@@ -277,13 +379,31 @@ impl Sim {
         JoinHandle { state }
     }
 
-    fn spawn_unit(&self, fut: impl Future<Output = ()> + 'static) {
+    fn spawn_unit(
+        &self,
+        name: Option<String>,
+        daemon: bool,
+        fut: impl Future<Output = ()> + 'static,
+    ) {
         let mut core = self.core.borrow_mut();
+        let name: Rc<str> = match name {
+            Some(n) => Rc::from(n.as_str()),
+            None => Rc::from(format!("task-{}", core.spawns).as_str()),
+        };
+        core.spawns += 1;
+        // Spawn order and names are part of the program shape: fold them so
+        // a renamed or reordered task set changes the trace hash.
+        let mut h = core.trace_hash;
+        fold_hash(&mut h, name.as_bytes());
+        core.trace_hash = h;
         let future: LocalFuture = Box::pin(fut);
         let id = if let Some(index) = core.free_tasks.pop() {
             let slot = &mut core.tasks[index as usize];
             slot.future = Some(future);
             slot.live = true;
+            slot.name = name;
+            slot.blocked_on = None;
+            slot.daemon = daemon;
             TaskId {
                 index,
                 gen: slot.gen,
@@ -294,6 +414,9 @@ impl Sim {
                 gen: 0,
                 future: Some(future),
                 live: true,
+                name,
+                blocked_on: None,
+                daemon,
             });
             TaskId { index, gen: 0 }
         };
@@ -329,10 +452,20 @@ impl Sim {
         let (future, ready) = {
             let mut core = self.core.borrow_mut();
             core.polls += 1;
+            let (polls, now) = (core.polls, core.now);
+            let mut h = core.trace_hash;
+            fold_hash(&mut h, &now.as_nanos().to_le_bytes());
+            fold_hash(&mut h, &polls.to_le_bytes());
+            fold_hash(&mut h, &id.index.to_le_bytes());
+            fold_hash(&mut h, &id.gen.to_le_bytes());
+            core.trace_hash = h;
             let slot = match core.tasks.get_mut(id.index as usize) {
                 Some(s) if s.gen == id.gen && s.live => s,
                 _ => return, // stale waker
             };
+            // Cleared before every poll; a primitive that suspends the task
+            // again will re-record the reason.
+            slot.blocked_on = None;
             match slot.future.take() {
                 Some(f) => (f, Arc::clone(&core.ready)),
                 // Already being polled higher up the stack (a waker fired
@@ -343,7 +476,9 @@ impl Sim {
         let waker = Waker::from(Arc::new(WakeEntry { task: id, ready }));
         let mut cx = Context::from_waker(&waker);
         let mut future = future;
+        let prev = CURRENT_TASK.with(|c| c.borrow_mut().replace((Rc::downgrade(&self.core), id)));
         let poll = future.as_mut().poll(&mut cx);
+        CURRENT_TASK.with(|c| *c.borrow_mut() = prev);
         let mut core = self.core.borrow_mut();
         let slot = &mut core.tasks[id.index as usize];
         match poll {
@@ -420,6 +555,10 @@ impl Sim {
                             }
                             core.now = entry.time;
                             core.events_fired += 1;
+                            let mut h = core.trace_hash;
+                            fold_hash(&mut h, &entry.time.as_nanos().to_le_bytes());
+                            fold_hash(&mut h, &entry.seq.to_le_bytes());
+                            core.trace_hash = h;
                             let id = entry.event;
                             let action = core.events[id.index as usize].action.take();
                             // Release after take so the id can be reused.
@@ -449,6 +588,111 @@ impl Sim {
     pub fn live_tasks(&self) -> usize {
         self.core.borrow().live_tasks
     }
+
+    /// Runs until the ready queue and the event heap are both empty, then
+    /// reports quiescence. Any task still live at that point can never run
+    /// again — no event will wake it — so a non-empty `stalled` list is a
+    /// deadlock or a lost waker, named task by task.
+    pub fn step_until_no_events(&self) -> QuiescenceReport {
+        let time = self.run_with_limit(None);
+        let core = self.core.borrow();
+        let stalled = core
+            .tasks
+            .iter()
+            .filter(|t| t.live && !t.daemon)
+            .map(|t| StalledTask {
+                name: t.name.to_string(),
+                blocked_on: t.blocked_on.clone(),
+            })
+            .collect();
+        QuiescenceReport {
+            time,
+            stalled,
+            daemons: core.tasks.iter().filter(|t| t.live && t.daemon).count(),
+            trace_hash: core.trace_hash,
+        }
+    }
+}
+
+/// A task that is still live after the event heap drained: nothing can ever
+/// wake it again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalledTask {
+    /// The task's spawn name.
+    pub name: String,
+    /// What the task last reported blocking on, if a sync primitive told us.
+    pub blocked_on: Option<String>,
+}
+
+/// Result of [`Sim::step_until_no_events`].
+#[derive(Debug, Clone)]
+pub struct QuiescenceReport {
+    /// Virtual time at quiescence.
+    pub time: SimTime,
+    /// Live-but-unrunnable tasks (deadlocked or lost their waker).
+    /// Daemons ([`Sim::spawn_daemon`]) are not counted here.
+    pub stalled: Vec<StalledTask>,
+    /// Daemon tasks still parked at quiescence (expected for server loops).
+    pub daemons: usize,
+    /// The trace hash at quiescence (see [`Sim::trace_hash`]).
+    pub trace_hash: u64,
+}
+
+impl QuiescenceReport {
+    /// True when every spawned task ran to completion.
+    pub fn is_clean(&self) -> bool {
+        self.stalled.is_empty()
+    }
+
+    /// Panics with the stall list unless the run was clean.
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "{self}");
+    }
+}
+
+impl std::fmt::Display for QuiescenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.stalled.is_empty() {
+            return write!(f, "quiescent at {} with no stalled tasks", self.time);
+        }
+        write!(
+            f,
+            "deadlock at {}: {} task(s) live but unrunnable:",
+            self.time,
+            self.stalled.len()
+        )?;
+        for t in &self.stalled {
+            match &t.blocked_on {
+                Some(b) => write!(f, "\n  - {} (blocked on {})", t.name, b)?,
+                None => write!(f, "\n  - {} (no blocking reason recorded)", t.name)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `build` twice on fresh sims with the same `seed` and panics unless
+/// both runs fire the same events and polls in the same order (trace-hash
+/// equality), finishing at the same virtual time. This is the workspace's
+/// replay-determinism harness: any wall-clock read, entropy draw, or
+/// unordered iteration feeding the schedule shows up as a hash diff.
+pub fn assert_deterministic(seed: u64, build: impl Fn(&Sim)) {
+    let run_once = || {
+        let sim = Sim::new(seed);
+        build(&sim);
+        let end = sim.run();
+        (sim.trace_hash(), end, sim.events_fired(), sim.polls())
+    };
+    let (hash_a, end_a, events_a, polls_a) = run_once();
+    let (hash_b, end_b, events_b, polls_b) = run_once();
+    assert_eq!(
+        (hash_a, end_a, events_a, polls_a),
+        (hash_b, end_b, events_b, polls_b),
+        "two runs with seed {seed} diverged: \
+         trace {hash_a:#018x} vs {hash_b:#018x}, \
+         end {end_a} vs {end_b}, \
+         events {events_a} vs {events_b}, polls {polls_a} vs {polls_b}",
+    );
 }
 
 struct JoinState<T> {
@@ -484,6 +728,7 @@ impl<T> Future for JoinHandle<T> {
             Some(v) => Poll::Ready(v),
             None => {
                 st.waker = Some(cx.waker().clone());
+                note_current_blocked("join on spawned task");
                 Poll::Pending
             }
         }
@@ -711,5 +956,153 @@ mod tests {
         let end = sim.run();
         // The abandoned 100 s timer must not hold the clock hostage.
         assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn quiescence_report_is_clean_when_all_tasks_finish() {
+        let sim = Sim::new(1);
+        let sim2 = sim.clone();
+        sim.spawn_named("sleeper", async move {
+            sim2.sleep(SimDuration::from_secs(1)).await;
+        })
+        .detach();
+        let report = sim.step_until_no_events();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.time.as_nanos(), 1_000_000_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn deadlock_detector_names_both_stuck_tasks() {
+        // Two tasks each waiting on a channel only the other could feed:
+        // a classic lost-progress cycle. Once the event heap drains, both
+        // must be reported by name with their blocking reason.
+        let sim = Sim::new(1);
+        let (tx_a, rx_a) = crate::sync::channel_named::<u32>("a-to-b");
+        let (tx_b, rx_b) = crate::sync::channel_named::<u32>("b-to-a");
+        sim.spawn_named("task-alpha", async move {
+            let _keep = tx_b; // held, never used: rx_b can never resolve
+            rx_a.recv().await;
+        })
+        .detach();
+        sim.spawn_named("task-beta", async move {
+            let _keep = tx_a;
+            rx_b.recv().await;
+        })
+        .detach();
+        let report = sim.step_until_no_events();
+        assert_eq!(report.stalled.len(), 2, "{report}");
+        let names: Vec<&str> = report.stalled.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&"task-alpha"), "{names:?}");
+        assert!(names.contains(&"task-beta"), "{names:?}");
+        let alpha = report
+            .stalled
+            .iter()
+            .find(|t| t.name == "task-alpha")
+            .unwrap();
+        assert_eq!(alpha.blocked_on.as_deref(), Some("recv on a-to-b"));
+        let rendered = report.to_string();
+        assert!(rendered.contains("deadlock"), "{rendered}");
+        assert!(rendered.contains("recv on b-to-a"), "{rendered}");
+    }
+
+    #[test]
+    fn anonymous_tasks_get_sequential_names() {
+        let sim = Sim::new(1);
+        let (_tx, rx) = crate::sync::channel::<u32>();
+        sim.spawn(async move {
+            rx.recv().await;
+        })
+        .detach();
+        let report = sim.step_until_no_events();
+        assert_eq!(report.stalled.len(), 1);
+        assert_eq!(report.stalled[0].name, "task-0");
+        assert_eq!(
+            report.stalled[0].blocked_on.as_deref(),
+            Some("recv on channel")
+        );
+    }
+
+    #[test]
+    fn stalled_join_on_spawned_task_is_reported() {
+        let sim = Sim::new(1);
+        let (_tx, rx) = crate::sync::channel::<u32>();
+        let inner = sim.spawn_named("stuck-inner", async move {
+            rx.recv().await;
+        });
+        sim.spawn_named("waiter", async move {
+            inner.await;
+        })
+        .detach();
+        let report = sim.step_until_no_events();
+        let waiter = report.stalled.iter().find(|t| t.name == "waiter").unwrap();
+        assert_eq!(waiter.blocked_on.as_deref(), Some("join on spawned task"));
+    }
+
+    #[test]
+    fn trace_hash_is_stable_across_identical_runs() {
+        let run = || {
+            let sim = Sim::new(99);
+            for i in 0..4 {
+                let sim2 = sim.clone();
+                sim.spawn_named(format!("worker-{i}"), async move {
+                    sim2.sleep(SimDuration::from_millis(i + 1)).await;
+                })
+                .detach();
+            }
+            sim.run();
+            sim.trace_hash()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_hash_distinguishes_different_schedules() {
+        let run = |delay_ms: u64| {
+            let sim = Sim::new(99);
+            let sim2 = sim.clone();
+            sim.spawn_named("only", async move {
+                sim2.sleep(SimDuration::from_millis(delay_ms)).await;
+            })
+            .detach();
+            sim.run();
+            sim.trace_hash()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn assert_deterministic_accepts_a_deterministic_sim() {
+        assert_deterministic(7, |sim| {
+            for i in 0..3 {
+                let sim2 = sim.clone();
+                sim.spawn_named(format!("t{i}"), async move {
+                    let jitter = sim2.with_rng(|r| rand::Rng::gen_range(r, 1..10u64));
+                    sim2.sleep(SimDuration::from_millis(jitter)).await;
+                })
+                .detach();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn assert_deterministic_catches_run_to_run_divergence() {
+        // Smuggle cross-run mutable state through a thread-local — the moral
+        // equivalent of reading the wall clock inside a sim.
+        thread_local! {
+            static RUNS: Cell<u64> = const { Cell::new(0) };
+        }
+        assert_deterministic(7, |sim| {
+            let n = RUNS.with(|r| {
+                r.set(r.get() + 1);
+                r.get()
+            });
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(n)).await;
+            })
+            .detach();
+        });
     }
 }

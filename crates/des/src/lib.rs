@@ -38,15 +38,21 @@ pub mod resource;
 pub mod sync;
 pub mod time;
 
-pub use executor::{EventId, JoinHandle, Sim, TaskId, Timer};
+pub use executor::{
+    assert_deterministic, note_current_blocked, EventId, JoinHandle, QuiescenceReport, Sim,
+    StalledTask, TaskId, Timer,
+};
 pub use metrics::Metrics;
 pub use time::{SimDuration, SimTime};
 
 /// One-stop imports for simulation code.
 pub mod prelude {
-    pub use crate::executor::{JoinHandle, Sim};
+    pub use crate::executor::{assert_deterministic, JoinHandle, QuiescenceReport, Sim};
     pub use crate::metrics::Metrics;
     pub use crate::resource::Fluid;
-    pub use crate::sync::{bounded, channel, join_all, select2, Either, Notify, Permit, Semaphore};
+    pub use crate::sync::{
+        bounded, bounded_named, channel, channel_named, join_all, select2, Either, Notify, Permit,
+        Semaphore,
+    };
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -73,16 +73,14 @@ impl Inner {
         let total_weight = self.total_weight;
         let capacity = self.capacity;
         let entry_cap = self.entry_cap;
-        for slot in self.entries.iter_mut() {
-            if let Some(e) = slot {
-                if e.done {
-                    continue;
-                }
-                let rate = (capacity * e.weight / total_weight).min(entry_cap * e.weight);
-                let progress = rate * elapsed;
-                self.served += progress.min(e.remaining);
-                e.remaining = (e.remaining - progress).max(0.0);
+        for e in self.entries.iter_mut().flatten() {
+            if e.done {
+                continue;
             }
+            let rate = (capacity * e.weight / total_weight).min(entry_cap * e.weight);
+            let progress = rate * elapsed;
+            self.served += progress.min(e.remaining);
+            e.remaining = (e.remaining - progress).max(0.0);
         }
     }
 
@@ -90,17 +88,15 @@ impl Inner {
     /// whether any entry completed (membership changed).
     fn complete_finished(&mut self) -> bool {
         let mut changed = false;
-        for slot in self.entries.iter_mut() {
-            if let Some(e) = slot {
-                if !e.done && e.remaining <= EPS {
-                    e.done = true;
-                    e.remaining = 0.0;
-                    self.active -= 1;
-                    self.total_weight -= e.weight;
-                    changed = true;
-                    if let Some(w) = e.waker.take() {
-                        w.wake();
-                    }
+        for e in self.entries.iter_mut().flatten() {
+            if !e.done && e.remaining <= EPS {
+                e.done = true;
+                e.remaining = 0.0;
+                self.active -= 1;
+                self.total_weight -= e.weight;
+                changed = true;
+                if let Some(w) = e.waker.take() {
+                    w.wake();
                 }
             }
         }
@@ -113,21 +109,19 @@ impl Inner {
     /// Seconds until the earliest active entry finishes at current rates.
     fn time_to_next_completion(&self) -> Option<f64> {
         let mut best: Option<f64> = None;
-        for slot in self.entries.iter() {
-            if let Some(e) = slot {
-                if e.done {
-                    continue;
-                }
-                let rate = self.rate_of(e);
-                if rate <= 0.0 {
-                    continue;
-                }
-                let t = e.remaining / rate;
-                best = Some(match best {
-                    Some(b) => b.min(t),
-                    None => t,
-                });
+        for e in self.entries.iter().flatten() {
+            if e.done {
+                continue;
             }
+            let rate = self.rate_of(e);
+            if rate <= 0.0 {
+                continue;
+            }
+            let t = e.remaining / rate;
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
         }
         best
     }
@@ -212,7 +206,10 @@ impl Fluid {
             let busy = self.busy_seconds();
             let served = self.inner.borrow().served;
             let m = self.sim.metrics();
-            m.add(&format!("{key}.busy_s"), busy - m.get(&format!("{key}.busy_s")));
+            m.add(
+                &format!("{key}.busy_s"),
+                busy - m.get(&format!("{key}.busy_s")),
+            );
             m.add(
                 &format!("{key}.served"),
                 served - m.get(&format!("{key}.served")),
@@ -322,7 +319,6 @@ impl Fluid {
                 }
                 drop(inner);
                 self.reschedule();
-                return;
             }
         }
     }
@@ -532,7 +528,11 @@ mod tests {
             let sim2 = sim.clone();
             sim.spawn(async move {
                 use crate::sync::select::{select2, Either};
-                let r = select2(f.consume(1_000.0), sim2.sleep(SimDuration::from_millis(500))).await;
+                let r = select2(
+                    f.consume(1_000.0),
+                    sim2.sleep(SimDuration::from_millis(500)),
+                )
+                .await;
                 assert!(matches!(r, Either::Right(())));
             })
             .detach();

@@ -14,6 +14,8 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use crate::executor::note_current_blocked;
+
 struct Inner<T> {
     queue: VecDeque<T>,
     capacity: Option<usize>,
@@ -21,6 +23,8 @@ struct Inner<T> {
     receivers: usize,
     recv_wakers: VecDeque<Waker>,
     send_wakers: VecDeque<Waker>,
+    /// Diagnostic name; shows up in deadlock reports as "recv on <name>".
+    name: Rc<str>,
 }
 
 impl<T> Inner<T> {
@@ -46,17 +50,31 @@ impl<T> Inner<T> {
 
 /// Creates an unbounded FIFO channel.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-    with_capacity_opt(None)
+    with_capacity_opt(None, "channel")
+}
+
+/// Creates an unbounded FIFO channel with a diagnostic name. Tasks stalled
+/// on this channel appear as "recv on <name>" / "send on <name>" in
+/// [`crate::executor::Sim::step_until_no_events`] reports.
+pub fn channel_named<T>(name: &str) -> (Sender<T>, Receiver<T>) {
+    with_capacity_opt(None, name)
 }
 
 /// Creates a bounded FIFO channel; `send` suspends while `cap` items are
 /// queued.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     assert!(cap > 0, "bounded channel capacity must be positive");
-    with_capacity_opt(Some(cap))
+    with_capacity_opt(Some(cap), "channel")
 }
 
-fn with_capacity_opt<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+/// Creates a bounded FIFO channel with a diagnostic name (see
+/// [`channel_named`]).
+pub fn bounded_named<T>(name: &str, cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded channel capacity must be positive");
+    with_capacity_opt(Some(cap), name)
+}
+
+fn with_capacity_opt<T>(capacity: Option<usize>, name: &str) -> (Sender<T>, Receiver<T>) {
     let inner = Rc::new(RefCell::new(Inner {
         queue: VecDeque::new(),
         capacity,
@@ -64,6 +82,7 @@ fn with_capacity_opt<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         receivers: 1,
         recv_wakers: VecDeque::new(),
         send_wakers: VecDeque::new(),
+        name: Rc::from(name),
     }));
     (
         Sender {
@@ -215,7 +234,9 @@ impl<T> Future for SendFuture<'_, T> {
         match inner.capacity {
             Some(cap) if inner.queue.len() >= cap => {
                 inner.send_wakers.push_back(cx.waker().clone());
+                let name = Rc::clone(&inner.name);
                 drop(inner);
+                note_current_blocked(format!("send on {name}"));
                 self.value = Some(value);
                 Poll::Pending
             }
@@ -245,6 +266,9 @@ impl<T> Future for RecvFuture<'_, T> {
             return Poll::Ready(None);
         }
         inner.recv_wakers.push_back(cx.waker().clone());
+        let name = Rc::clone(&inner.name);
+        drop(inner);
+        note_current_blocked(format!("recv on {name}"));
         Poll::Pending
     }
 }

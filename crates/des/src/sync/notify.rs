@@ -12,22 +12,44 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-#[derive(Default)]
+use crate::executor::note_current_blocked;
+
 struct Inner {
     epoch: u64,
     waiters: Vec<Waker>,
+    /// Diagnostic name; shows up in deadlock reports as "notified on <name>".
+    name: Rc<str>,
 }
 
 /// A cloneable, edge-triggered event.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Notify {
     inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Notify {
     /// Creates a new notifier.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_named("notify")
+    }
+
+    /// Creates a named notifier. Tasks stalled waiting on it appear as
+    /// "notified on <name>" in
+    /// [`crate::executor::Sim::step_until_no_events`] reports.
+    pub fn new_named(name: &str) -> Self {
+        Notify {
+            inner: Rc::new(RefCell::new(Inner {
+                epoch: 0,
+                waiters: Vec::new(),
+                name: Rc::from(name),
+            })),
+        }
     }
 
     /// Wakes every waiter whose [`Notified`] future was created before this
@@ -66,6 +88,9 @@ impl Future for Notified {
             Poll::Ready(())
         } else {
             inner.waiters.push(cx.waker().clone());
+            let name = Rc::clone(&inner.name);
+            drop(inner);
+            note_current_blocked(format!("notified on {name}"));
             Poll::Pending
         }
     }

@@ -128,7 +128,11 @@ mod tests {
         sim.spawn(async move {
             let d = SimDuration::from_secs(1);
             let r = select2(sim2.sleep(d), sim2.sleep(d)).await;
-            won2.set(if matches!(r, Either::Left(())) { 'L' } else { 'R' });
+            won2.set(if matches!(r, Either::Left(())) {
+                'L'
+            } else {
+                'R'
+            });
         })
         .detach();
         sim.run();

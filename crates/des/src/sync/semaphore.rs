@@ -13,6 +13,8 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use crate::executor::note_current_blocked;
+
 struct Waiter {
     id: u64,
     need: u64,
@@ -24,6 +26,9 @@ struct Inner {
     permits: u64,
     next_id: u64,
     waiters: VecDeque<Waiter>,
+    /// Diagnostic name; shows up in deadlock reports as
+    /// "acquire(n) on <name>".
+    name: Rc<str>,
 }
 
 impl Inner {
@@ -65,11 +70,19 @@ pub struct Semaphore {
 impl Semaphore {
     /// Creates a semaphore holding `permits` permits.
     pub fn new(permits: u64) -> Self {
+        Self::new_named("semaphore", permits)
+    }
+
+    /// Creates a named semaphore. Tasks stalled acquiring it appear as
+    /// "acquire(n) on <name>" in
+    /// [`crate::executor::Sim::step_until_no_events`] reports.
+    pub fn new_named(name: &str, permits: u64) -> Self {
         Semaphore {
             inner: Rc::new(RefCell::new(Inner {
                 permits,
                 next_id: 0,
                 waiters: VecDeque::new(),
+                name: Rc::from(name),
             })),
         }
     }
@@ -202,7 +215,9 @@ impl Future for AcquireFuture {
                         n,
                     });
                 }
+                let name = Rc::clone(&inner.name);
                 drop(inner);
+                note_current_blocked(format!("acquire({}) on {name}", self.need));
                 self.id = Some(id);
                 Poll::Pending
             }
@@ -227,6 +242,9 @@ impl Future for AcquireFuture {
                     if let Some(w) = inner.waiters.iter_mut().find(|w| w.id == id) {
                         w.waker = Some(cx.waker().clone());
                     }
+                    let name = Rc::clone(&inner.name);
+                    drop(inner);
+                    note_current_blocked(format!("acquire({}) on {name}", self.need));
                     Poll::Pending
                 }
             }
@@ -332,7 +350,10 @@ mod tests {
         }
         // Poll the waiter into the queue.
         sim.run_until(crate::time::SimTime::from_nanos(1));
-        assert!(sem.try_acquire(1).is_none(), "queue is empty but waiter exists");
+        assert!(
+            sem.try_acquire(1).is_none(),
+            "queue is empty but waiter exists"
+        );
         drop(p);
         sim.run();
         assert_eq!(sem.available(), 1);

@@ -83,7 +83,7 @@ impl SimDuration {
     /// (a zero-length "transfer" would complete instantaneously and can mask
     /// ordering bugs). Negative and NaN inputs clamp to zero.
     pub fn from_secs_f64(s: f64) -> Self {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return SimDuration::ZERO;
         }
         let ns = (s * 1e9).ceil();

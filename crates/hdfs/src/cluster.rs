@@ -13,7 +13,7 @@
 //! injected at the MapReduce layer instead.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -46,7 +46,7 @@ pub struct HdfsCluster {
     cfg: Rc<HdfsConfig>,
     nn: Rc<RefCell<NameNode>>,
     dns: Rc<RefCell<Vec<DataNode>>>,
-    contents: Rc<RefCell<HashMap<BlockId, Bytes>>>,
+    contents: Rc<RefCell<BTreeMap<BlockId, Bytes>>>,
 }
 
 /// Size of a NameNode RPC on the wire.
@@ -62,7 +62,7 @@ impl HdfsCluster {
             cfg: Rc::new(cfg),
             nn: Rc::new(RefCell::new(NameNode::new())),
             dns: Rc::new(RefCell::new(Vec::new())),
-            contents: Rc::new(RefCell::new(HashMap::new())),
+            contents: Rc::new(RefCell::new(BTreeMap::new())),
         }
     }
 
@@ -152,7 +152,8 @@ impl HdfsCluster {
     /// Opens `path` for writing from `client` at the configured replication.
     pub async fn create(&self, path: &str, client: NodeId) -> Result<HdfsWriter, HdfsError> {
         let replication = self.cfg.replication;
-        self.create_with_replication(path, client, replication).await
+        self.create_with_replication(path, client, replication)
+            .await
     }
 
     /// Opens `path` for writing with an explicit per-file replication factor
@@ -213,7 +214,9 @@ impl HdfsCluster {
                 .read_exact(block.size)
                 .await
                 .map_err(|e| HdfsError::Storage(e.to_string()))?;
-            self.sim.metrics().add("hdfs.local_read_bytes", block.size as f64);
+            self.sim
+                .metrics()
+                .add("hdfs.local_read_bytes", block.size as f64);
         } else {
             // Remote: overlap the DataNode's disk read with the transfer.
             let size = block.size;
@@ -385,7 +388,9 @@ impl HdfsWriter {
         }
         cur.written += len;
         if let Some(d) = data {
-            cur.data.get_or_insert_with(BytesMut::new).extend_from_slice(&d);
+            cur.data
+                .get_or_insert_with(BytesMut::new)
+                .extend_from_slice(&d);
         }
         c.sim.metrics().add("hdfs.bytes_written", len as f64);
         Ok(())
@@ -395,8 +400,7 @@ impl HdfsWriter {
         if let Some(cur) = self.cur.take() {
             let c = &self.cluster;
             c.nn_rpc(self.client).await;
-            c.nn
-                .borrow_mut()
+            c.nn.borrow_mut()
                 .seal_block(&self.path, cur.meta.id, cur.written)?;
             if let Some(d) = cur.data {
                 c.contents.borrow_mut().insert(cur.meta.id, d.freeze());
@@ -551,8 +555,7 @@ mod tests {
             );
             for i in 0..2 {
                 let node = net.add_node(None);
-                let fs =
-                    LocalFs::new(&sim, DiskParams::ssd_sata(), 1, 1 << 30, &format!("dn{i}"));
+                let fs = LocalFs::new(&sim, DiskParams::ssd_sata(), 1, 1 << 30, &format!("dn{i}"));
                 hdfs.add_datanode(node, fs);
             }
             let h2 = hdfs.clone();
@@ -593,7 +596,9 @@ mod tests {
         sim.spawn(async move {
             let client = h2.dn_node(0);
             let mut w = h2.create("/f", client).await.unwrap();
-            w.write(Blob::real(Bytes::from_static(b"abcdef"))).await.unwrap();
+            w.write(Blob::real(Bytes::from_static(b"abcdef")))
+                .await
+                .unwrap();
             w.close().await.unwrap();
             let blocks = h2.nn.borrow().blocks("/f").unwrap();
             h2.delete("/f", client).await.unwrap();

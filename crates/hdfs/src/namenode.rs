@@ -5,7 +5,7 @@
 //! DataNode (if it is one), the rest on distinct randomly-chosen nodes.
 //! Rack awareness is omitted — the paper's testbed is a single QDR switch.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -35,7 +35,7 @@ struct FileMeta {
 /// on its own, but exposed for white-box tests and tools.
 #[derive(Default)]
 pub struct NameNode {
-    files: HashMap<String, FileMeta>,
+    files: BTreeMap<String, FileMeta>,
     next_block: u64,
 }
 
@@ -182,7 +182,7 @@ mod tests {
         let b = nn.add_block("/f", Some(3), 8, 3, &mut rng).unwrap();
         assert_eq!(b.replicas[0], 3);
         assert_eq!(b.replicas.len(), 3);
-        let unique: std::collections::HashSet<_> = b.replicas.iter().collect();
+        let unique: std::collections::BTreeSet<_> = b.replicas.iter().collect();
         assert_eq!(unique.len(), 3, "replicas must be distinct");
     }
 

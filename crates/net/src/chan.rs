@@ -50,7 +50,9 @@ impl<M: Wire> Conn<M> {
     /// Transmits `m`, resolving when the last byte has landed at the peer.
     /// Returns `Err(m)` if the peer end was dropped.
     pub async fn send(&self, m: M) -> Result<(), M> {
-        self.net.transfer(self.local, self.peer, m.wire_size()).await;
+        self.net
+            .transfer(self.local, self.peer, m.wire_size())
+            .await;
         self.out.send_now(m).map_err(|e| e.0)
     }
 
@@ -170,8 +172,8 @@ impl<M: Wire> ListenerHandle<M> {
 mod tests {
     use super::*;
     use crate::fabric::FabricParams;
-    use rmr_des::{Sim, SimDuration};
     use rmr_des::SimTime;
+    use rmr_des::{Sim, SimDuration};
     use std::cell::{Cell, RefCell};
     use std::rc::Rc;
 

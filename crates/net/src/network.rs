@@ -60,10 +60,8 @@ impl Network {
         let mut nodes = self.nodes.borrow_mut();
         let id = NodeId(nodes.len() as u32);
         nodes.push(NodeNet {
-            tx: Fluid::new(&self.sim, self.fabric.link_bw)
-                .with_metrics_key(format!("net.{id}.tx")),
-            rx: Fluid::new(&self.sim, self.fabric.link_bw)
-                .with_metrics_key(format!("net.{id}.rx")),
+            tx: Fluid::new(&self.sim, self.fabric.link_bw).with_metrics_key(format!("net.{id}.tx")),
+            rx: Fluid::new(&self.sim, self.fabric.link_bw).with_metrics_key(format!("net.{id}.rx")),
             cpu,
         });
         id

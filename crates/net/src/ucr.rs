@@ -313,11 +313,7 @@ mod tests {
             let connector = connector.clone();
             sim.spawn(async move {
                 let ep = connector.connect(c).await;
-                ep.send(Msg {
-                    size: 64,
-                    tag: i,
-                })
-                .await;
+                ep.send(Msg { size: 64, tag: i }).await;
             })
             .detach();
         }

@@ -153,7 +153,7 @@ fn build_qp<P: 'static>(
     // The QP engine: drains the work queue strictly in order, modelling the
     // HCA's in-order WQE processing on an RC QP.
     net.sim()
-        .spawn(async move {
+        .spawn_daemon(format!("qp-engine {}->{}", local.0, peer.0), async move {
             while let Some(wr) = wq_rx.recv().await {
                 match wr {
                     WorkRequest::Send {
@@ -251,7 +251,11 @@ impl<P: 'static> Qp<P> {
     /// Posts a one-sided RDMA write of `bytes` into the peer's registered
     /// memory.
     pub fn post_rdma_write(&self, wr_id: u64, bytes: u64) {
-        if self.wq.send_now(WorkRequest::Write { wr_id, bytes }).is_err() {
+        if self
+            .wq
+            .send_now(WorkRequest::Write { wr_id, bytes })
+            .is_err()
+        {
             panic!("QP engine gone");
         }
     }
@@ -259,7 +263,11 @@ impl<P: 'static> Qp<P> {
     /// Posts a one-sided RDMA read of `bytes` from the peer's registered
     /// memory.
     pub fn post_rdma_read(&self, wr_id: u64, bytes: u64) {
-        if self.wq.send_now(WorkRequest::Read { wr_id, bytes }).is_err() {
+        if self
+            .wq
+            .send_now(WorkRequest::Read { wr_id, bytes })
+            .is_err()
+        {
             panic!("QP engine gone");
         }
     }

@@ -1,0 +1,663 @@
+//! Static determinism lints for the simulation workspace.
+//!
+//! The DES promises bit-identical replays from a seed. That promise is easy
+//! to break from anywhere in the tree: one `Instant::now()` in a hot path,
+//! one `HashMap` iteration feeding task scheduling, one OS thread racing the
+//! virtual clock. `simcheck` walks the sim-visible crates token-by-token
+//! (line-oriented scanner, no parser dependencies — the build container is
+//! offline) and reports constructs that let wall-clock time, OS entropy, or
+//! unordered iteration leak into simulation results:
+//!
+//! | rule            | flags                                              |
+//! |-----------------|----------------------------------------------------|
+//! | `wall-clock`    | `std::time::Instant` / `SystemTime` (incl. `::now`)|
+//! | `os-entropy`    | `thread_rng`, `OsRng`, `from_entropy`              |
+//! | `thread-spawn`  | `thread::spawn` / `thread::scope` / `thread::Builder` |
+//! | `unordered-map` | `HashMap` / `HashSet` in sim-visible modules       |
+//! | `refcell-await` | `RefCell` borrow guards held across an `.await`    |
+//!
+//! A finding on line N is suppressed by `// simcheck: allow(<rule>)` either
+//! on line N itself or alone on line N-1. Suppressions are per-line and
+//! per-rule on purpose: a blanket opt-out would rot.
+//!
+//! The scanner strips comments and string/char literals before matching, so
+//! prose about `HashMap` never trips the lint; the `refcell-await` rule is a
+//! brace-depth heuristic (a `let` whose initializer *ends* in `borrow()` /
+//! `borrow_mut()` is treated as a live guard until its block closes, `drop`
+//! of the binding, or end of scan).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock time reached from simulation code.
+    WallClock,
+    /// OS entropy reached from simulation code.
+    OsEntropy,
+    /// OS threads spawned from simulation code.
+    ThreadSpawn,
+    /// Iteration-order-unstable containers in sim-visible modules.
+    UnorderedMap,
+    /// `RefCell` borrow guard held across an `.await`.
+    RefcellAwait,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::WallClock,
+        Rule::OsEntropy,
+        Rule::ThreadSpawn,
+        Rule::UnorderedMap,
+        Rule::RefcellAwait,
+    ];
+
+    /// The kebab-case name used in reports and `allow(..)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::OsEntropy => "os-entropy",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::UnorderedMap => "unordered-map",
+            Rule::RefcellAwait => "refcell-await",
+        }
+    }
+
+    /// Why the construct is hazardous in this workspace.
+    pub fn why(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "wall-clock time varies run to run; use the virtual clock (sim.now())"
+            }
+            Rule::OsEntropy => {
+                "OS entropy breaks seeded replay; use SmallRng::seed_from_u64 via the Sim"
+            }
+            Rule::ThreadSpawn => {
+                "OS threads race the single-threaded executor; use sim.spawn_named(..)"
+            }
+            Rule::UnorderedMap => {
+                "HashMap/HashSet iteration order is unstable; use BTreeMap/BTreeSet"
+            }
+            Rule::RefcellAwait => {
+                "a RefCell guard held across .await panics when another task borrows"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported hazard.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path as given to the scanner.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Specifics (what matched, and where it started for multi-line rules).
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// A source line after comment/string stripping.
+struct ScannedLine {
+    /// Identifier / punctuation tokens of the code portion.
+    tokens: Vec<String>,
+    /// Rules allowed by `// simcheck: allow(..)` in this line's comments.
+    allows: Vec<String>,
+    /// True when the line held no code at all (comment/blank only).
+    comment_only: bool,
+}
+
+/// Splits source into per-line token streams, stripping comments and
+/// string/char literals but harvesting `simcheck: allow(..)` directives.
+fn scan_lines(source: &str) -> Vec<ScannedLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = 0usize; // nesting depth of /* */
+    for raw in source.lines() {
+        let mut tokens: Vec<String> = Vec::new();
+        let mut allows = Vec::new();
+        let mut ident = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        let flush = |ident: &mut String, tokens: &mut Vec<String>| {
+            if !ident.is_empty() {
+                tokens.push(std::mem::take(ident));
+            }
+        };
+        while i < bytes.len() {
+            let c = bytes[i];
+            if in_block_comment > 0 {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block_comment -= 1;
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    in_block_comment += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    let comment: String = bytes[i..].iter().collect();
+                    harvest_allows(&comment, &mut allows);
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    flush(&mut ident, &mut tokens);
+                    in_block_comment += 1;
+                    i += 2;
+                }
+                '"' => {
+                    flush(&mut ident, &mut tokens);
+                    tokens.push("\"\"".to_string());
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                'r' if bytes.get(i + 1) == Some(&'"') || bytes.get(i + 1) == Some(&'#') => {
+                    // Raw string: r"..." or r#"..."# (single # level is
+                    // enough for this workspace).
+                    flush(&mut ident, &mut tokens);
+                    let hashed = bytes.get(i + 1) == Some(&'#');
+                    let close: &[char] = if hashed { &['"', '#'] } else { &['"'] };
+                    i += if hashed { 3 } else { 2 };
+                    while i < bytes.len() {
+                        if bytes[i..].starts_with(close) {
+                            i += close.len();
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal ('x', '\n') vs lifetime ('a). A literal
+                    // has a closing quote within a few chars.
+                    let rest: String = bytes[i + 1..].iter().take(4).collect();
+                    let is_char = rest.starts_with('\\')
+                        || rest.chars().nth(1) == Some('\'')
+                        || rest.starts_with('\'');
+                    if is_char {
+                        flush(&mut ident, &mut tokens);
+                        i += 1;
+                        if bytes.get(i) == Some(&'\\') {
+                            i += 1;
+                        }
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        // Lifetime: skip the quote, keep the identifier out
+                        // of the token stream by consuming it here.
+                        i += 1;
+                        while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    ident.push(c);
+                    i += 1;
+                }
+                ':' if bytes.get(i + 1) == Some(&':') => {
+                    flush(&mut ident, &mut tokens);
+                    tokens.push("::".to_string());
+                    i += 2;
+                }
+                c if c.is_whitespace() => {
+                    flush(&mut ident, &mut tokens);
+                    i += 1;
+                }
+                c => {
+                    flush(&mut ident, &mut tokens);
+                    tokens.push(c.to_string());
+                    i += 1;
+                }
+            }
+        }
+        if !ident.is_empty() {
+            tokens.push(ident);
+        }
+        let comment_only = tokens.is_empty();
+        out.push(ScannedLine {
+            tokens,
+            allows,
+            comment_only,
+        });
+    }
+    out
+}
+
+/// Extracts rule names from `simcheck: allow(rule)` occurrences in `text`.
+fn harvest_allows(text: &str, allows: &mut Vec<String>) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("simcheck: allow(") {
+        let after = &rest[pos + "simcheck: allow(".len()..];
+        if let Some(end) = after.find(')') {
+            for rule in after[..end].split(',') {
+                allows.push(rule.trim().to_string());
+            }
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// A `let` binding whose initializer ended in `borrow()` / `borrow_mut()`.
+struct OpenBorrow {
+    name: String,
+    depth: i32,
+    line: usize,
+    mutable_borrow: bool,
+}
+
+/// Scans one file's source and returns its findings (suppressions applied).
+pub fn scan_source(file: &str, source: &str) -> Vec<Finding> {
+    let lines = scan_lines(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut open_borrows: Vec<OpenBorrow> = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let t = &line.tokens;
+        let mut emit = |rule: Rule, message: String| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule,
+                message,
+                snippet: raw_lines.get(idx).map_or("", |s| s.trim()).to_string(),
+            });
+        };
+
+        // --- single-line token rules ------------------------------------
+        for (i, tok) in t.iter().enumerate() {
+            let prev2 = i.checked_sub(2).map(|j| (t[j].as_str(), t[i - 1].as_str()));
+            let next2 = (
+                t.get(i + 1).map(String::as_str),
+                t.get(i + 2).map(String::as_str),
+            );
+            match tok.as_str() {
+                "Instant" | "SystemTime" => {
+                    let in_std_time = prev2 == Some(("time", "::"));
+                    let called_now = next2 == (Some("::"), Some("now"));
+                    if in_std_time || called_now {
+                        emit(Rule::WallClock, format!("`{tok}` reads the OS clock"));
+                    }
+                }
+                "thread_rng" | "OsRng" | "from_entropy" => {
+                    emit(Rule::OsEntropy, format!("`{tok}` draws OS entropy"));
+                }
+                "spawn" | "scope" | "Builder" if prev2 == Some(("thread", "::")) => {
+                    emit(
+                        Rule::ThreadSpawn,
+                        format!("`thread::{tok}` starts an OS thread"),
+                    );
+                }
+                "HashMap" | "HashSet" => {
+                    emit(
+                        Rule::UnorderedMap,
+                        format!("`{tok}` has unstable iteration order"),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // --- refcell-await: track guards across lines -------------------
+        // (a) `let [mut] NAME = ... borrow[_mut]();` with nothing chained
+        //     after the call → NAME is a live guard.
+        if t.first().map(String::as_str) == Some("let") {
+            let mut j = 1;
+            if t.get(j).map(String::as_str) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = t.get(j) {
+                if let Some(bpos) = t.iter().rposition(|x| x == "borrow" || x == "borrow_mut") {
+                    // `borrow ( )` then `;` (or nothing else on the line):
+                    // a chained `.` means the guard is a dropped temporary.
+                    let after: Vec<&str> = t[bpos + 1..].iter().map(String::as_str).collect();
+                    let guard_binding = matches!(after.as_slice(), ["(", ")", ";"] | ["(", ")"]);
+                    if guard_binding {
+                        open_borrows.push(OpenBorrow {
+                            name: name.clone(),
+                            depth,
+                            line: lineno,
+                            mutable_borrow: t[bpos] == "borrow_mut",
+                        });
+                    }
+                }
+            }
+        } else if let Some(bpos) = t.iter().position(|x| x == "borrow" || x == "borrow_mut") {
+            // (b) a temporary guard and an `.await` in the same statement.
+            let has_await_after = t[bpos..].windows(2).any(|w| w[0] == "." && w[1] == "await");
+            if has_await_after {
+                emit(
+                    Rule::RefcellAwait,
+                    format!("`{}()` temporary is live across `.await`", t[bpos]),
+                );
+            }
+        }
+
+        // (c) `.await` while a guard from (a) is still in scope.
+        let awaits_here = t.windows(2).any(|w| w[0] == "." && w[1] == "await");
+        if awaits_here {
+            for b in &open_borrows {
+                let call = if b.mutable_borrow {
+                    "borrow_mut"
+                } else {
+                    "borrow"
+                };
+                emit(
+                    Rule::RefcellAwait,
+                    format!(
+                        "guard `{}` ({}() on line {}) is held across this `.await`",
+                        b.name, call, b.line
+                    ),
+                );
+            }
+        }
+
+        // (d) scope/drop bookkeeping.
+        for tok in t {
+            match tok.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    open_borrows.retain(|b| b.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+        for w in t.windows(3) {
+            if w[0] == "drop" && w[1] == "(" {
+                open_borrows.retain(|b| b.name != w[2]);
+            }
+        }
+    }
+
+    // --- apply suppressions ---------------------------------------------
+    findings.retain(|f| {
+        let here = &lines[f.line - 1];
+        if here.allows.iter().any(|a| a == f.rule.name()) {
+            return false;
+        }
+        if f.line >= 2 {
+            let above = &lines[f.line - 2];
+            if above.comment_only && above.allows.iter().any(|a| a == f.rule.name()) {
+                return false;
+            }
+        }
+        true
+    });
+    findings
+}
+
+/// Recursively collects `.rs` files under `root`, sorted for determinism.
+fn rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under the given roots (files or directories).
+pub fn scan_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for root in roots {
+        rs_files(root, &mut files)?;
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(scan_source(&file.display().to_string(), &source));
+    }
+    Ok(findings)
+}
+
+/// The sim-visible source roots scanned by default, relative to the
+/// workspace root. `cluster` and `bench` are deliberately absent: they
+/// parallelize whole (single-threaded) `Sim`s across OS threads and time
+/// real benchmarks, which is exactly what the lints forbid *inside* a sim.
+pub const DEFAULT_ROOTS: [&str; 6] = [
+    "crates/des/src",
+    "crates/net/src",
+    "crates/store/src",
+    "crates/hdfs/src",
+    "crates/core/src",
+    "crates/workloads/src",
+];
+
+/// Renders findings as human-readable text, one block per finding.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n    note: {}\n",
+            f.file,
+            f.line,
+            f.rule.name(),
+            f.message,
+            f.snippet,
+            f.rule.why(),
+        ));
+    }
+    let per_rule: Vec<String> = Rule::ALL
+        .iter()
+        .map(|r| (r, findings.iter().filter(|f| f.rule == *r).count()))
+        .filter(|(_, n)| *n > 0)
+        .map(|(r, n)| format!("{} {}", n, r.name()))
+        .collect();
+    if findings.is_empty() {
+        out.push_str("simcheck: no determinism hazards found\n");
+    } else {
+        out.push_str(&format!(
+            "simcheck: {} finding(s): {}\n",
+            findings.len(),
+            per_rule.join(", ")
+        ));
+    }
+    out
+}
+
+/// Escapes a JSON string literal body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a machine-readable JSON report (hand-rolled, matching
+/// the workspace's serde-free convention).
+pub fn render_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.rule.name(),
+                json_escape(&f.message),
+                json_escape(&f.snippet),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"findings\":[{}],\"count\":{}}}\n",
+        items.join(","),
+        findings.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        scan_source("t.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_flags_now_and_paths() {
+        assert_eq!(rules_of("let t = Instant::now();"), vec![Rule::WallClock]);
+        assert_eq!(
+            rules_of("use std::time::SystemTime;"),
+            vec![Rule::WallClock]
+        );
+        // A sim-local type named SimInstant must not trip the rule.
+        assert!(rules_of("let t: SimInstant = sim.now();").is_empty());
+    }
+
+    #[test]
+    fn os_entropy_and_thread_spawn_flag() {
+        assert_eq!(
+            rules_of("let mut r = rand::thread_rng();"),
+            vec![Rule::OsEntropy]
+        );
+        assert_eq!(
+            rules_of("std::thread::spawn(move || work());"),
+            vec![Rule::ThreadSpawn]
+        );
+        // A sim spawn is fine.
+        assert!(rules_of("sim.spawn(async move {});").is_empty());
+    }
+
+    #[test]
+    fn unordered_map_flags_types_not_strings() {
+        assert_eq!(
+            rules_of("let m: HashMap<u32, u32> = HashMap::new();"),
+            vec![Rule::UnorderedMap, Rule::UnorderedMap]
+        );
+        assert!(rules_of("println!(\"HashMap is unordered\");").is_empty());
+        assert!(rules_of("// HashMap would be wrong here").is_empty());
+    }
+
+    #[test]
+    fn refcell_guard_across_await_flags() {
+        let src = "async fn f(x: &RefCell<u32>) {\n\
+                   let g = x.borrow_mut();\n\
+                   tick().await;\n\
+                   }\n";
+        assert_eq!(rules_of(src), vec![Rule::RefcellAwait]);
+    }
+
+    #[test]
+    fn refcell_guard_dropped_before_await_is_clean() {
+        let src = "async fn f(x: &RefCell<u32>) {\n\
+                   let g = x.borrow_mut();\n\
+                   drop(g);\n\
+                   tick().await;\n\
+                   }\n";
+        assert!(rules_of(src).is_empty());
+        let scoped = "async fn f(x: &RefCell<u32>) {\n\
+                      {\n let g = x.borrow_mut();\n }\n\
+                      tick().await;\n\
+                      }\n";
+        assert!(rules_of(scoped).is_empty());
+    }
+
+    #[test]
+    fn refcell_temporary_copy_is_clean() {
+        // `.clone()` / field reads drop the guard at statement end.
+        let src = "async fn f(x: &RefCell<Vec<u32>>) {\n\
+                   let v = x.borrow().clone();\n\
+                   tick().await;\n\
+                   }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn refcell_same_statement_await_flags() {
+        assert_eq!(
+            rules_of("ch.borrow_mut().send(v).await;"),
+            vec![Rule::RefcellAwait]
+        );
+    }
+
+    #[test]
+    fn same_line_suppression_applies() {
+        assert!(rules_of("let m = HashMap::new(); // simcheck: allow(unordered-map)").is_empty());
+    }
+
+    #[test]
+    fn preceding_line_suppression_applies() {
+        let src = "// not iterated, key order irrelevant: simcheck: allow(unordered-map)\n\
+                   let m = HashMap::new();\n";
+        assert!(rules_of(src).is_empty());
+        // ...but only for the named rule.
+        let wrong = "// simcheck: allow(wall-clock)\nlet m = HashMap::new();\n";
+        assert_eq!(rules_of(wrong), vec![Rule::UnorderedMap]);
+    }
+
+    #[test]
+    fn suppression_does_not_leak_past_one_line() {
+        let src = "// simcheck: allow(unordered-map)\n\
+                   let a = 1;\n\
+                   let m = HashMap::new();\n";
+        assert_eq!(rules_of(src), vec![Rule::UnorderedMap]);
+    }
+
+    #[test]
+    fn block_comments_and_strings_are_ignored() {
+        let src = "/* thread::spawn(|| {}) */\nlet s = \"Instant::now()\";\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let findings = scan_source("a.rs", "let t = Instant::now();\n");
+        let json = render_json(&findings);
+        assert!(json.contains("\"rule\":\"wall-clock\""));
+        assert!(json.contains("\"count\":1"));
+    }
+}

@@ -1,0 +1,56 @@
+//! CLI for the workspace determinism lints.
+//!
+//! ```text
+//! cargo run -p simcheck                # scan the sim-visible crates
+//! cargo run -p simcheck -- --json      # machine-readable report
+//! cargo run -p simcheck -- path1 ...   # scan specific files/dirs
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut json = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: simcheck [--json] [paths...]");
+                return;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("simcheck: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        // Resolve the workspace root relative to this crate's manifest so
+        // `cargo run -p simcheck` works from any working directory.
+        let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("simcheck crate lives two levels under the workspace root")
+            .to_path_buf();
+        roots = simcheck::DEFAULT_ROOTS
+            .iter()
+            .map(|r| workspace.join(r))
+            .collect();
+    }
+    let findings = match simcheck::scan_paths(&roots) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("simcheck: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json {
+        print!("{}", simcheck::render_json(&findings));
+    } else {
+        print!("{}", simcheck::render_text(&findings));
+    }
+    std::process::exit(if findings.is_empty() { 0 } else { 1 });
+}

@@ -1,0 +1,130 @@
+//! End-to-end checks of the simcheck scanner and binary over the fixture
+//! files in `tests/fixtures/` (one positive file per rule, one fully
+//! suppressed file, one clean file).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use simcheck::{scan_paths, scan_source, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_in(name: &str) -> Vec<Rule> {
+    let path = fixture(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    scan_source(&path.display().to_string(), &src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn wall_clock_fixture_fires() {
+    let rules = rules_in("wall_clock.rs");
+    assert!(!rules.is_empty());
+    assert!(rules.iter().all(|r| *r == Rule::WallClock), "{rules:?}");
+}
+
+#[test]
+fn os_entropy_fixture_fires() {
+    let rules = rules_in("os_entropy.rs");
+    assert!(!rules.is_empty());
+    assert!(rules.iter().all(|r| *r == Rule::OsEntropy), "{rules:?}");
+}
+
+#[test]
+fn thread_spawn_fixture_fires() {
+    let rules = rules_in("thread_spawn.rs");
+    // spawn, scope, and the nested scoped-spawn inside `thread::scope` —
+    // at least the two `std::thread::` entry points must fire.
+    assert!(rules.len() >= 2);
+    assert!(rules.iter().all(|r| *r == Rule::ThreadSpawn), "{rules:?}");
+}
+
+#[test]
+fn unordered_map_fixture_fires() {
+    let rules = rules_in("unordered_map.rs");
+    assert!(rules.len() >= 3, "{rules:?}"); // import + two signatures
+    assert!(rules.iter().all(|r| *r == Rule::UnorderedMap), "{rules:?}");
+}
+
+#[test]
+fn refcell_await_fixture_fires() {
+    let rules = rules_in("refcell_await.rs");
+    assert_eq!(rules, vec![Rule::RefcellAwait, Rule::RefcellAwait]);
+}
+
+#[test]
+fn suppressed_fixture_is_silent() {
+    assert!(rules_in("suppressed.rs").is_empty());
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    assert!(rules_in("clean.rs").is_empty());
+}
+
+#[test]
+fn scan_paths_walks_directories() {
+    let findings = scan_paths(&[fixture("")]).unwrap();
+    // Everything except the suppressed and clean fixtures contributes.
+    assert!(findings.len() >= 8, "found {}", findings.len());
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
+        .arg(fixture("wall_clock.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("wall-clock"), "{stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_input() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
+        .arg(fixture("clean.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn binary_json_mode_emits_report() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
+        .arg("--json")
+        .arg(fixture("os_entropy.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"findings\":["), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"os-entropy\""), "{stdout}");
+}
+
+#[test]
+fn default_roots_of_the_workspace_are_clean() {
+    // The acceptance bar for the whole PR: the sim-visible crates carry no
+    // unsuppressed determinism hazards.
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .unwrap()
+        .to_path_buf();
+    let roots: Vec<PathBuf> = simcheck::DEFAULT_ROOTS
+        .iter()
+        .map(|r| workspace.join(r))
+        .collect();
+    let findings = scan_paths(&roots).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace has determinism hazards:\n{}",
+        simcheck::render_text(&findings)
+    );
+}

@@ -1,0 +1,15 @@
+// Fixture: determinism-respecting sim code — zero findings expected.
+use std::collections::BTreeMap;
+
+pub async fn orderly(sim: &Sim, m: &RefCell<BTreeMap<u32, u32>>) {
+    let first = m.borrow().keys().next().copied();
+    sim.sleep(SimDuration::from_millis(1)).await;
+    if let Some(k) = first {
+        m.borrow_mut().remove(&k);
+    }
+}
+
+pub fn seeded(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen()
+}

@@ -1,0 +1,10 @@
+// Fixture: OS entropy sources that must trip the `os-entropy` rule.
+pub fn unseeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn also_unseeded() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    rng.gen()
+}

@@ -1,0 +1,15 @@
+// Fixture: RefCell guards held across .await that must trip the
+// `refcell-await` rule.
+use std::cell::RefCell;
+
+pub async fn guard_across_await(state: &RefCell<u64>) {
+    let mut st = state.borrow_mut();
+    tick().await;
+    *st += 1;
+}
+
+pub async fn temporary_across_await(ch: &RefCell<Chan>) {
+    ch.borrow_mut().send(1).await;
+}
+
+async fn tick() {}

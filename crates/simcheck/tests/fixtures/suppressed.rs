@@ -1,0 +1,30 @@
+// Fixture: every rule violated once, every violation suppressed with a
+// `simcheck: allow(..)` directive — the scanner must report nothing.
+use std::time::Instant; // simcheck: allow(wall-clock)
+
+pub fn timed() -> Instant {
+    // harness-only timing, never inside a sim: simcheck: allow(wall-clock)
+    Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng(); // simcheck: allow(os-entropy)
+    rng.gen()
+}
+
+pub fn threads() {
+    // parallelises whole sims, not tasks within one: simcheck: allow(thread-spawn)
+    std::thread::spawn(|| {});
+}
+
+pub fn map() {
+    // never iterated: simcheck: allow(unordered-map)
+    let _m: HashMap<u32, u32> = HashMap::new(); // simcheck: allow(unordered-map)
+}
+
+pub async fn guarded(state: &RefCell<u64>) {
+    let st = state.borrow(); // simcheck: allow(refcell-await)
+    // single-task sim, no concurrent borrowers: simcheck: allow(refcell-await)
+    tick().await;
+    drop(st);
+}

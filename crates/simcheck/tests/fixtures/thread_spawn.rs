@@ -1,0 +1,11 @@
+// Fixture: OS-thread creation that must trip the `thread-spawn` rule.
+pub fn racy() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}
+
+pub fn scoped() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}

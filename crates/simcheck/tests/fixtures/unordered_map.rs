@@ -1,0 +1,11 @@
+// Fixture: iteration-order-unstable containers that must trip the
+// `unordered-map` rule.
+use std::collections::{HashMap, HashSet};
+
+pub fn first_key(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.iter().next().map(|(k, _)| *k)
+}
+
+pub fn any_member(s: &HashSet<u32>) -> Option<u32> {
+    s.iter().next().copied()
+}

@@ -1,0 +1,14 @@
+// Fixture: wall-clock reads that must trip the `wall-clock` rule.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_wall() -> u128 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_nanos()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn work() {}

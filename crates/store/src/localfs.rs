@@ -11,7 +11,7 @@
 //! does in real Hadoop (the paper's multi-HDD experiments, Fig 4).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
@@ -36,7 +36,7 @@ struct FileMeta {
 }
 
 struct FsInner {
-    files: HashMap<String, FileMeta>,
+    files: BTreeMap<String, FileMeta>,
     next_id: u64,
     next_disk: usize,
 }
@@ -98,7 +98,7 @@ impl LocalFs {
             disks: Rc::new(disks),
             cache: PageCache::new(cache_budget),
             inner: Rc::new(RefCell::new(FsInner {
-                files: HashMap::new(),
+                files: BTreeMap::new(),
                 next_id: 0,
                 next_disk: 0,
             })),
@@ -115,7 +115,8 @@ impl LocalFs {
 
     async fn charge_io_cpu(&self, bytes: u64) {
         if let Some(cpu) = &self.cpu {
-            cpu.consume(IO_CPU_PER_OP + IO_CPU_PER_BYTE * bytes as f64).await;
+            cpu.consume(IO_CPU_PER_OP + IO_CPU_PER_BYTE * bytes as f64)
+                .await;
         }
     }
 
@@ -164,7 +165,9 @@ impl LocalFs {
         inner.next_id += 1;
         let disk = inner.next_disk % self.disks.len();
         inner.next_disk += 1;
-        inner.files.insert(path.to_string(), FileMeta { id, size: 0, disk });
+        inner
+            .files
+            .insert(path.to_string(), FileMeta { id, size: 0, disk });
         Ok(())
     }
 

@@ -11,7 +11,7 @@
 //! cache (Linux behaviour for buffered I/O).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A per-node page cache with a fixed byte budget.
@@ -24,7 +24,7 @@ struct Inner {
     budget: u64,
     used: u64,
     /// file id → (cached bytes, last-touch tick)
-    files: HashMap<u64, (u64, u64)>,
+    files: BTreeMap<u64, (u64, u64)>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -37,7 +37,7 @@ impl PageCache {
             inner: Rc::new(RefCell::new(Inner {
                 budget,
                 used: 0,
-                files: HashMap::new(),
+                files: BTreeMap::new(),
                 tick: 0,
                 hits: 0,
                 misses: 0,

@@ -23,8 +23,7 @@ pub const VALUE_MIN: usize = 0;
 pub const VALUE_MAX: usize = 20_000;
 
 /// Mean record size (uniform distributions over the ranges above).
-pub const AVG_RECORD_BYTES: u64 =
-    ((KEY_MIN + KEY_MAX) / 2 + (VALUE_MIN + VALUE_MAX) / 2) as u64;
+pub const AVG_RECORD_BYTES: u64 = ((KEY_MIN + KEY_MAX) / 2 + (VALUE_MIN + VALUE_MAX) / 2) as u64;
 
 /// Generates `total_bytes` of Sort input under `path`, one file per worker,
 /// in parallel. Returns the number of records generated (real mode; the
@@ -40,45 +39,51 @@ pub async fn randomwriter(cluster: &Cluster, path: &str, total_bytes: u64, real:
         let path = format!("{path}/part-{i:05}");
         let node = cluster.workers[i].id;
         let sim = cluster.sim.clone();
-        writers.push(cluster.sim.spawn(async move {
-            let mut w = cluster
-                .hdfs
-                .create(&path, node)
-                .await
-                .expect("randomwriter create");
-            let mut written = 0u64;
-            let mut n_records = 0u64;
-            // Real blobs must fit one HDFS block (blocks never tear
-            // records); leave headroom for the largest record + framing.
-            let stride = if real {
-                block_size.saturating_sub((KEY_MAX + VALUE_MAX + 16) as u64).max(1 << 16)
-            } else {
-                16 << 20
-            };
-            while written < per_worker {
-                let chunk = stride.min(per_worker - written);
-                let blob = if real {
-                    let mut records = Vec::new();
-                    let mut bytes = 0u64;
-                    sim.with_rng(|rng| {
-                        while bytes < chunk {
-                            let r = random_record(rng);
-                            bytes += r.size();
-                            records.push(r);
-                        }
-                    });
-                    n_records += records.len() as u64;
-                    Blob::real(encode_records(&records))
-                } else {
-                    n_records += chunk / AVG_RECORD_BYTES;
-                    Blob::synthetic(chunk)
-                };
-                written += blob.len.max(chunk);
-                w.write(blob).await.expect("randomwriter write");
-            }
-            w.close().await.expect("randomwriter close");
-            n_records
-        }));
+        writers.push(
+            cluster
+                .sim
+                .spawn_named(format!("randomwriter-{i}"), async move {
+                    let mut w = cluster
+                        .hdfs
+                        .create(&path, node)
+                        .await
+                        .expect("randomwriter create");
+                    let mut written = 0u64;
+                    let mut n_records = 0u64;
+                    // Real blobs must fit one HDFS block (blocks never tear
+                    // records); leave headroom for the largest record + framing.
+                    let stride = if real {
+                        block_size
+                            .saturating_sub((KEY_MAX + VALUE_MAX + 16) as u64)
+                            .max(1 << 16)
+                    } else {
+                        16 << 20
+                    };
+                    while written < per_worker {
+                        let chunk = stride.min(per_worker - written);
+                        let blob = if real {
+                            let mut records = Vec::new();
+                            let mut bytes = 0u64;
+                            sim.with_rng(|rng| {
+                                while bytes < chunk {
+                                    let r = random_record(rng);
+                                    bytes += r.size();
+                                    records.push(r);
+                                }
+                            });
+                            n_records += records.len() as u64;
+                            Blob::real(encode_records(&records))
+                        } else {
+                            n_records += chunk / AVG_RECORD_BYTES;
+                            Blob::synthetic(chunk)
+                        };
+                        written += blob.len.max(chunk);
+                        w.write(blob).await.expect("randomwriter write");
+                    }
+                    w.close().await.expect("randomwriter close");
+                    n_records
+                }),
+        );
     }
     let mut total = 0;
     for w in writers {
@@ -125,9 +130,7 @@ pub async fn validate_sort(
             .map_err(|e| e.to_string())?;
         let mut records: Vec<Record> = Vec::new();
         while let Some(block) = reader.next_block().await.map_err(|e| e.to_string())? {
-            let data = block
-                .data
-                .ok_or_else(|| format!("{path}: no content"))?;
+            let data = block.data.ok_or_else(|| format!("{path}: no content"))?;
             records.extend(rmr_core::decode_records(data));
         }
         if !records.windows(2).all(|w| w[0].key <= w[1].key) {
@@ -172,7 +175,11 @@ mod tests {
         let c2 = cluster.clone();
         sim.spawn(async move {
             randomwriter(&c2, "/rw", 1 << 20, true).await;
-            let mut r = c2.hdfs.open("/rw/part-00000", c2.workers[0].id).await.unwrap();
+            let mut r = c2
+                .hdfs
+                .open("/rw/part-00000", c2.workers[0].id)
+                .await
+                .unwrap();
             let mut sizes = Vec::new();
             while let Some(b) = r.next_block().await.unwrap() {
                 for rec in rmr_core::decode_records(b.data.unwrap()) {
@@ -182,7 +189,7 @@ mod tests {
                 }
             }
             assert!(sizes.len() > 20);
-            let distinct: std::collections::HashSet<_> = sizes.iter().collect();
+            let distinct: std::collections::BTreeSet<_> = sizes.iter().collect();
             assert!(distinct.len() > 5, "sizes should vary");
         })
         .detach();

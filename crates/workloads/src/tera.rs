@@ -11,8 +11,8 @@
 use bytes::Bytes;
 use rand::Rng;
 
-use rmr_core::{encode_records, JobSpec, Record};
 use rmr_core::cluster::Cluster;
+use rmr_core::{encode_records, JobSpec, Record};
 use rmr_hdfs::Blob;
 
 /// Key bytes per record.
@@ -42,8 +42,12 @@ pub async fn teragen(cluster: &Cluster, path: &str, total_bytes: u64, real: bool
         let path = format!("{path}/part-{i:05}");
         let node = cluster.workers[i].id;
         let sim = cluster.sim.clone();
-        writers.push(cluster.sim.spawn(async move {
-            let mut w = cluster.hdfs.create(&path, node).await.expect("teragen create");
+        writers.push(cluster.sim.spawn_named(format!("teragen-{i}"), async move {
+            let mut w = cluster
+                .hdfs
+                .create(&path, node)
+                .await
+                .expect("teragen create");
             let mut records_left = per_worker / RECORD_BYTES;
             let written = records_left;
             let stride_records = if real {
@@ -54,9 +58,8 @@ pub async fn teragen(cluster: &Cluster, path: &str, total_bytes: u64, real: bool
             while records_left > 0 {
                 let n = stride_records.min(records_left);
                 let blob = if real {
-                    let records = sim.with_rng(|rng| {
-                        (0..n).map(|_| random_record(rng)).collect::<Vec<_>>()
-                    });
+                    let records =
+                        sim.with_rng(|rng| (0..n).map(|_| random_record(rng)).collect::<Vec<_>>());
                     Blob::real(encode_records(&records))
                 } else {
                     Blob::synthetic(n * RECORD_BYTES)
@@ -199,7 +202,11 @@ mod tests {
         let c2 = cluster.clone();
         sim.spawn(async move {
             teragen(&c2, "/in", 200_000, true).await;
-            let mut r = c2.hdfs.open("/in/part-00000", c2.workers[0].id).await.unwrap();
+            let mut r = c2
+                .hdfs
+                .open("/in/part-00000", c2.workers[0].id)
+                .await
+                .unwrap();
             let mut records = Vec::new();
             while let Some(b) = r.next_block().await.unwrap() {
                 records.extend(rmr_core::decode_records(b.data.unwrap()));

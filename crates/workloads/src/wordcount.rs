@@ -12,8 +12,20 @@ use rmr_hdfs::Blob;
 
 /// A small vocabulary so counts aggregate meaningfully.
 const WORDS: &[&str] = &[
-    "rdma", "verbs", "shuffle", "merge", "reduce", "hadoop", "infiniband",
-    "cache", "prefetch", "queue", "packet", "socket", "cluster", "disk",
+    "rdma",
+    "verbs",
+    "shuffle",
+    "merge",
+    "reduce",
+    "hadoop",
+    "infiniband",
+    "cache",
+    "prefetch",
+    "queue",
+    "packet",
+    "socket",
+    "cluster",
+    "disk",
 ];
 
 /// Generates text-like input: each record is one "line" of `words_per_line`
@@ -21,7 +33,11 @@ const WORDS: &[&str] = &[
 pub async fn textgen(cluster: &Cluster, path: &str, lines: usize, words_per_line: usize) {
     let node = cluster.workers[0].id;
     let sim = cluster.sim.clone();
-    let mut w = cluster.hdfs.create(path, node).await.expect("textgen create");
+    let mut w = cluster
+        .hdfs
+        .create(path, node)
+        .await
+        .expect("textgen create");
     let records: Vec<Record> = sim.with_rng(|rng| {
         (0..lines)
             .map(|i| {

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the workspace uses: [`Bytes`] (cheaply cloneable,
+//! immutable, sliceable), [`BytesMut`] (growable builder), and the [`Buf`] /
+//! [`BufMut`] cursor traits. `Bytes` keeps an `Arc<[u8]>` plus a window, so
+//! `clone` and `split_to` are O(1) and never copy payload — the same
+//! performance contract the real crate gives the shuffle data plane.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte string (window into a shared buffer).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty byte string.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice without copying semantics concerns.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(bytes)
+    }
+
+    /// Copies a slice into a fresh buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        let data: Arc<[u8]> = Arc::from(bytes);
+        Bytes {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+
+    /// Length of the window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// O(1) sub-window `[at.start, at.end)` relative to this window.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest (O(1)).
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Copies the window out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        Bytes {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read-cursor operations (implemented by [`Bytes`]).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes and returns a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let head = self.split_to(4);
+        u32::from_be_bytes(head.as_ref().try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let head = self.split_to(8);
+        u64::from_be_bytes(head.as_ref().try_into().unwrap())
+    }
+}
+
+/// Write-cursor operations (implemented by [`BytesMut`]).
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_bufmut() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(7);
+        b.put_slice(b"abc");
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 7);
+        assert_eq!(frozen.get_u32(), 7);
+        assert_eq!(frozen.as_ref(), b"abc");
+    }
+
+    #[test]
+    fn split_to_is_a_window() {
+        let mut b = Bytes::from(b"hello world".to_vec());
+        let head = b.split_to(5);
+        assert_eq!(head.as_ref(), b"hello");
+        assert_eq!(b.as_ref(), b" world");
+        assert_eq!(head.slice(1..3).as_ref(), b"el");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from_static(b"abd");
+        assert!(a < b);
+        assert_eq!(a, Bytes::from(b"abc".to_vec()));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8; 1024]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+}

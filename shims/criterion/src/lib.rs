@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `benchmark_group`, `Throughput`,
+//! `BatchSize`, and `Bencher::{iter, iter_batched}` — as a plain wall-clock
+//! loop that prints mean ns/iteration (plus derived throughput) per
+//! benchmark. No statistics, plots, or saved baselines: just enough to keep
+//! `cargo bench` runnable and comparable release-to-release without network
+//! access to crates.io.
+
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement marker types (only wall-clock here).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+}
+
+/// Declared work-per-iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Hint for how batched setup output should be buffered (ignored here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget (the shim always warms up with one iteration).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the target number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            max_iters: self.sample_size as u64,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        let mut line = format!(
+            "bench {}/{}: {:.0} ns/iter ({} iters)",
+            self.name, id, mean_ns, b.iters
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let _ = write!(line, ", {:.1} Melem/s", n as f64 / mean_ns * 1e3);
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let _ = write!(
+                    line,
+                    ", {:.1} MiB/s",
+                    n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                );
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the closure a benchmark hands it.
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over up to `sample_size` iterations or the time budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        while self.iters < self.max_iters && start.elapsed() < self.budget {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter`], with untimed per-iteration setup.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(f(setup())); // warm-up, untimed
+        let start = Instant::now();
+        while self.iters < self.max_iters && start.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a function running the given benchmarks against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5)
+            .measurement_time(Duration::from_millis(200));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        // warm-up + up to 5 measured iterations
+        assert!((2..=6).contains(&ran), "ran {ran}");
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Bytes(1024));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

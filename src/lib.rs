@@ -60,13 +60,9 @@ pub use rmr_workloads as workloads;
 
 /// Everything needed to build and run jobs.
 pub mod prelude {
-    pub use rmr_cluster::{
-        run_all, run_experiment, Bench, Experiment, RunRecord, System, Testbed,
-    };
+    pub use rmr_cluster::{run_all, run_experiment, Bench, Experiment, RunRecord, System, Testbed};
     pub use rmr_core::cluster::{Cluster, NodeSpec};
-    pub use rmr_core::{
-        run_job, CpuCosts, JobConf, JobResult, JobSpec, Record, ShuffleKind,
-    };
+    pub use rmr_core::{run_job, CpuCosts, JobConf, JobResult, JobSpec, Record, ShuffleKind};
     pub use rmr_des::prelude::*;
     pub use rmr_hdfs::{Blob, HdfsConfig};
     pub use rmr_net::FabricParams;

@@ -101,10 +101,7 @@ fn cmd_run(args: &[String]) {
         "  shuffled            {:.2} GB",
         rec.shuffled_bytes as f64 / 1e9
     );
-    println!(
-        "  cache hit rate      {:.0}%",
-        rec.cache_hit_rate * 100.0
-    );
+    println!("  cache hit rate      {:.0}%", rec.cache_hit_rate * 100.0);
 }
 
 fn cmd_figure(args: &[String]) {

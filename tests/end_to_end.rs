@@ -99,7 +99,11 @@ fn osu_ib_real_terasort_validates() {
 
 #[test]
 fn synthetic_terasort_runs_all_engines() {
-    for kind in [ShuffleKind::Vanilla, ShuffleKind::HadoopA, ShuffleKind::OsuIb] {
+    for kind in [
+        ShuffleKind::Vanilla,
+        ShuffleKind::HadoopA,
+        ShuffleKind::OsuIb,
+    ] {
         let sim = Sim::new(200);
         let cluster = small_cluster(&sim, 4, fabric_for(kind));
         let conf = small_conf(kind, 4);

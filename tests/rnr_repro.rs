@@ -6,7 +6,7 @@ use rmr_core::{run_job, JobConf, ShuffleKind};
 use rmr_des::{Sim, SimTime};
 use rmr_hdfs::HdfsConfig;
 use rmr_net::FabricParams;
-use rmr_workloads::{sort_spec, randomwriter};
+use rmr_workloads::{randomwriter, sort_spec};
 
 #[test]
 fn hadoop_a_many_sources_completes() {
@@ -17,7 +17,11 @@ fn hadoop_a_many_sources_completes() {
         &sim,
         FabricParams::ib_verbs_qdr(),
         &vec![spec; 2],
-        HdfsConfig { block_size: 1 << 20, replication: 1, packet_size: 256 << 10 },
+        HdfsConfig {
+            block_size: 1 << 20,
+            replication: 1,
+            packet_size: 256 << 10,
+        },
     );
     let mut conf = JobConf::hadoop_a();
     conf.num_reduces = 4;

@@ -12,9 +12,19 @@ fn run(bench: Bench, system: System, tb: Testbed, gb: f64) -> f64 {
 fn terasort_osu_beats_every_baseline() {
     // Fig 4(a) @ 30 GB, 4 nodes, 1 HDD: OSU < Hadoop-A < IPoIB ≤ 10GigE.
     let osu = run(Bench::TeraSort, System::OsuIb, Testbed::compute(4, 1), 30.0);
-    let ha = run(Bench::TeraSort, System::HadoopA, Testbed::compute(4, 1), 30.0);
+    let ha = run(
+        Bench::TeraSort,
+        System::HadoopA,
+        Testbed::compute(4, 1),
+        30.0,
+    );
     let ipoib = run(Bench::TeraSort, System::IpoIb, Testbed::compute(4, 1), 30.0);
-    let g10 = run(Bench::TeraSort, System::GigE10, Testbed::compute(4, 1), 30.0);
+    let g10 = run(
+        Bench::TeraSort,
+        System::GigE10,
+        Testbed::compute(4, 1),
+        30.0,
+    );
     assert!(osu < ha, "OSU {osu} !< Hadoop-A {ha}");
     assert!(ha < ipoib, "Hadoop-A {ha} !< IPoIB {ipoib}");
     // IPoIB and 10GigE trade places within ~15% in the model (the paper has
@@ -22,7 +32,10 @@ fn terasort_osu_beats_every_baseline() {
     assert!(ipoib <= g10 * 1.15, "IPoIB {ipoib} !<= 10GigE {g10} * 1.15");
     // §IV-B: vs IPoIB ≈ 35%; accept a generous band.
     let imp = (ipoib - osu) / ipoib * 100.0;
-    assert!((20.0..=50.0).contains(&imp), "OSU vs IPoIB improvement {imp}%");
+    assert!(
+        (20.0..=50.0).contains(&imp),
+        "OSU vs IPoIB improvement {imp}%"
+    );
 }
 
 #[test]
@@ -52,7 +65,10 @@ fn sort_hadoop_a_loses_to_ipoib_at_scale() {
     let ha = run(Bench::Sort, System::HadoopA, Testbed::compute(4, 1), 20.0);
     let ipoib = run(Bench::Sort, System::IpoIb, Testbed::compute(4, 1), 20.0);
     let osu = run(Bench::Sort, System::OsuIb, Testbed::compute(4, 1), 20.0);
-    assert!(ha > ipoib, "Hadoop-A {ha} must lose to IPoIB {ipoib} on Sort");
+    assert!(
+        ha > ipoib,
+        "Hadoop-A {ha} must lose to IPoIB {ipoib} on Sort"
+    );
     assert!(osu < ipoib, "OSU {osu} must beat IPoIB {ipoib} on Sort");
     assert!(osu < ha, "OSU {osu} must beat Hadoop-A {ha} on Sort");
 }
@@ -79,7 +95,10 @@ fn job_time_grows_with_data_size() {
     let mut prev = 0.0;
     for gb in [10.0, 20.0, 30.0] {
         let t = run(Bench::TeraSort, System::OsuIb, Testbed::compute(4, 1), gb);
-        assert!(t > prev, "{gb} GB ({t}s) must take longer than smaller runs");
+        assert!(
+            t > prev,
+            "{gb} GB ({t}s) must take longer than smaller runs"
+        );
         prev = t;
     }
 }
