@@ -1,13 +1,94 @@
-//! Calibration probe: one Fig 4(a)-style point per system.
+//! Calibration probe (consolidated): ad-hoc single-simulation runs for
+//! calibrating the models against the paper's tables.
+//!
+//! Subcommands:
+//!   probe grid   [gb] [nodes] [disks] [sort]            — one Fig 4(a)-style
+//!                point per system (GigE10/IPoIB/HA/OSU), run in parallel
+//!   probe one    [gb] [system] [nodes] [disks] [sort] [seed] — a single point,
+//!                printing sim duration and wall time
+//!   probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]
+//!                — a single point with a full phase/metrics breakdown
+//!                (honours RMR_LIMIT=<sim-seconds> to bound hung runs)
+//!   probe fluidcmp — exact completion times for a canned fluid-contention
+//!                scenario; diff the output across two builds to compare
+//!                solver implementations (see DESIGN.md §8 on schedule
+//!                sensitivity)
+//!
+//! System names: g1, g10, ipoib, ha, osu, osunc.
 
-use rmr_cluster::{run_all, Bench, Experiment, System, Testbed};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rmr_cluster::{
+    run_all, run_experiment, tuned_block_size, tuned_conf, Bench, Experiment, System, Testbed,
+};
+use rmr_core::cluster::Cluster;
+use rmr_core::run_job;
+use rmr_hdfs::HdfsConfig;
+use rmr_workloads::{randomwriter, sort_spec, teragen, terasort_spec};
+
+fn parse_system(name: &str) -> System {
+    match name {
+        "g1" => System::GigE1,
+        "g10" => System::GigE10,
+        "ipoib" => System::IpoIb,
+        "ha" => System::HadoopA,
+        "osunc" => System::OsuIbNoCache,
+        _ => System::OsuIb,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: probe <grid|one|phases> [args]");
+    eprintln!("  probe grid   [gb] [nodes] [disks] [sort]");
+    eprintln!("  probe one    [gb] [system] [nodes] [disks] [sort] [seed]");
+    eprintln!("  probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]");
+    eprintln!("  probe fluidcmp                               — solver differential dump");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let gb: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
-    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let disks: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let bench = if args.get(4).map(|s| s == "sort").unwrap_or(false) {
+    match args.get(1).map(String::as_str) {
+        Some("grid") => grid(&args[2..]),
+        Some("one") => one(&args[2..]),
+        Some("phases") => phases(&args[2..]),
+        Some("fluidcmp") => fluidcmp(),
+        _ => usage(),
+    }
+}
+
+/// Prints exact completion times for a canned fluid-contention scenario —
+/// a differential harness for comparing solver implementations.
+fn fluidcmp() {
+    let sim = rmr_des::Sim::new(5);
+    let f = rmr_des::resource::Fluid::new(&sim, 4.0e9);
+    let cpu = rmr_des::resource::Fluid::with_entry_cap(&sim, 8.0, 1.0);
+    for i in 0..64usize {
+        let f = f.clone();
+        let cpu = cpu.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(rmr_des::SimDuration::from_micros((i * 131) as u64))
+                .await;
+            for r in 0..20usize {
+                let amount = 65_536.0 + ((i * 7919 + r * 104729) % 4_000_000) as f64;
+                f.consume(amount).await;
+                cpu.consume(1e-4).await;
+                println!("{i} {r} {}", s.now().as_nanos());
+            }
+        })
+        .detach();
+    }
+    sim.run();
+}
+
+/// One Fig 4(a)-style point per system, in parallel.
+fn grid(args: &[String]) {
+    let gb: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let disks: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let bench = if args.get(3).map(|s| s == "sort").unwrap_or(false) {
         Bench::Sort
     } else {
         Bench::TeraSort
@@ -42,4 +123,179 @@ fn main() {
             r.cache_hit_rate * 100.0
         );
     }
+}
+
+/// A single point; prints sim duration and wall time.
+fn one(args: &[String]) {
+    let gb: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4.0);
+    let system = parse_system(args.get(1).map(String::as_str).unwrap_or("osu"));
+    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let disks: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let bench = if args.get(4).map(|s| s == "sort").unwrap_or(false) {
+        Bench::Sort
+    } else {
+        Bench::TeraSort
+    };
+    let seed: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let t0 = std::time::Instant::now();
+    let rec = run_experiment(&Experiment::new(
+        "p1",
+        bench,
+        system,
+        Testbed::compute(nodes, disks),
+        gb,
+        seed,
+    ));
+    println!(
+        "{} {}GB: {:.0}s sim (map_end {:.0}s) in {:.1}s wall",
+        rec.system,
+        gb,
+        rec.duration_s,
+        rec.map_phase_end_s,
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+/// A single point with a full phase/metrics breakdown.
+fn phases(args: &[String]) {
+    let gb: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let system = parse_system(args.get(1).map(String::as_str).unwrap_or("osu"));
+    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let disks: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let bench = if args.get(4).map(|s| s.as_str() == "sort").unwrap_or(false) {
+        Bench::Sort
+    } else {
+        Bench::TeraSort
+    };
+    let ssd = args
+        .get(4)
+        .map(|s| s.as_str() == "ssdsort")
+        .unwrap_or(false);
+
+    let sim = rmr_des::Sim::new(42);
+    let testbed = if ssd {
+        Testbed::ssd(nodes)
+    } else {
+        Testbed::compute(nodes, disks)
+    };
+    let bench = if ssd { Bench::Sort } else { bench };
+    let cluster = Cluster::build(
+        &sim,
+        system.fabric(),
+        &testbed.node_specs(),
+        HdfsConfig {
+            block_size: tuned_block_size(system, bench),
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let conf = tuned_conf(system, bench, &testbed);
+    let bytes = (gb * (1u64 << 30) as f64) as u64;
+    let out: Rc<RefCell<Option<rmr_core::JobResult>>> = Rc::new(RefCell::new(None));
+    let o2 = Rc::clone(&out);
+    let c2 = cluster.clone();
+    let t_wall = std::time::Instant::now();
+    sim.spawn_named("probe-driver", async move {
+        let spec = match bench {
+            Bench::TeraSort => {
+                teragen(&c2, "/in", bytes, false).await;
+                terasort_spec("/in", "/out")
+            }
+            Bench::Sort => {
+                randomwriter(&c2, "/in", bytes, false).await;
+                sort_spec("/in", "/out")
+            }
+        };
+        let gen_end = c2.sim.now().as_secs_f64();
+        eprintln!("  datagen done at {gen_end:.0}s");
+        *o2.borrow_mut() = Some(run_job(&c2, conf, spec).await);
+    })
+    .detach();
+    match std::env::var("RMR_LIMIT")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(secs) => {
+            sim.run_until(rmr_des::SimTime::from_nanos(secs * 1_000_000_000));
+        }
+        None => {
+            sim.run();
+        }
+    }
+    if out.borrow().is_none() {
+        eprintln!("JOB DID NOT FINISH by limit; dumping metrics:");
+        for (k, v) in sim.metrics().snapshot() {
+            if v.abs() > 0.0 {
+                eprintln!("  {k} = {v:.3e}");
+            }
+        }
+        std::process::exit(2);
+    }
+    let res = out.borrow_mut().take().expect("hung");
+    println!(
+        "== {} {} {}GB n{} d{} ssd={} ==",
+        res.name,
+        system.label(),
+        gb,
+        nodes,
+        disks,
+        ssd
+    );
+    println!(
+        "duration {:.0}s  start {:.0} map_end {:.0} end {:.0}",
+        res.duration_s, res.start_s, res.map_phase_end_s, res.end_s
+    );
+    let n = res.reduce_stats.len() as f64;
+    let avg = |f: &dyn Fn(&rmr_core::reduce::ReduceStats) -> f64| {
+        res.reduce_stats.iter().map(f).sum::<f64>() / n
+    };
+    let max = |f: &dyn Fn(&rmr_core::reduce::ReduceStats) -> f64| {
+        res.reduce_stats.iter().map(f).fold(0.0f64, f64::max)
+    };
+    println!("reduce phases (avg/max): shuffle_end {:.0}/{:.0}  merge_end {:.0}/{:.0}  reduce_end {:.0}/{:.0}",
+        avg(&|s| s.shuffle_end_s), max(&|s| s.shuffle_end_s),
+        avg(&|s| s.merge_end_s), max(&|s| s.merge_end_s),
+        avg(&|s| s.reduce_end_s), max(&|s| s.reduce_end_s));
+    println!(
+        "cache: {} hits / {} misses",
+        res.cache_hits, res.cache_misses
+    );
+    let m = sim.metrics();
+    for key in [
+        "fs.bytes_written",
+        "fs.bytes_read",
+        "fs.bytes_read_disk",
+        "tt.disk_serve_bytes",
+        "tt.cache_hit_bytes",
+        "net.bytes_transferred",
+        "hdfs.bytes_written",
+        "disk.seeks",
+        "prefetch.staged",
+        "reduce.inmem_merges",
+        "reduce.disk_merges",
+        "reduce.shuffle_spill_bytes",
+        "rdma.loop_iters",
+        "rdma.emits",
+        "rdma.emit_records",
+        "rdma.stalls",
+        "rdma.stall_dry",
+    ] {
+        println!("  {key:24} {:.2e}", m.get(key));
+    }
+    let mut disk_busy = 0.0;
+    let mut cpu_busy = 0.0;
+    for w in cluster.workers.iter() {
+        disk_busy += w.fs.disks_busy_seconds();
+        cpu_busy += w.cpu.busy_seconds();
+    }
+    println!("  disks busy total       {disk_busy:.0}s");
+    println!("  cpu busy total         {cpu_busy:.0}s");
+    println!("  events fired           {:.2e}", sim.events_fired() as f64);
+    println!("  polls                  {:.2e}", sim.polls() as f64);
+    println!(
+        "  wall                   {:.1}s",
+        t_wall.elapsed().as_secs_f64()
+    );
+    rmr_des::resource::fluid::FLUID_ADVANCE_WORK
+        .with(|w| println!("  fluid advance work     {:.2e}", w.get() as f64));
 }

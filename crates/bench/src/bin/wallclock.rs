@@ -1,0 +1,465 @@
+//! Wall-clock benchmark harness: times a fixed scenario set and maintains
+//! `BENCH_wallclock.json` at the repo root — the simulator's host-performance
+//! trajectory across PRs.
+//!
+//! Usage:
+//!   wallclock [--quick] [--label NAME] [--out PATH]
+//!
+//! Scenarios (full mode):
+//!   fig4a_30gb   — TeraSort 30 GB, 4 nodes × 1 HDD, all four Fig 4(a) systems
+//!   fig4b_100gb  — TeraSort 100 GB, 8 nodes × 1 HDD, all four Fig 4(b) systems
+//!   micro        — fluid-churn (three sizes, for the sub-quadratic check),
+//!                  event-heap, and merge-PQ (real + synthetic) kernels
+//!
+//! `--quick` shrinks every scenario for CI smoke runs (~seconds): the numbers
+//! are only good for "did it regress by 10x", not for the trajectory.
+//!
+//! The output file holds one flat JSON object per run, one per line, tagged
+//! with `--label` (default "current"). Re-running with the same label
+//! replaces that label's runs and keeps the others, so a before/after pair
+//! lives in one committed file. When both the current label and "before" are
+//! present, a speedup table is printed.
+//!
+//! Wall-clock timing is inherently host-specific; compare labels only within
+//! one machine. Simulated results (`sim_s`) must NOT move between labels
+//! beyond EXPERIMENTS.md tolerances — that is the correctness cross-check.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use rmr_cluster::{tuned_block_size, tuned_conf, Bench, System, Testbed};
+use rmr_core::cluster::Cluster;
+use rmr_core::merge::{Emit, StreamingMerge};
+use rmr_core::record::{Record, Segment};
+use rmr_core::run_job;
+use rmr_des::resource::fluid::{Fluid, FLUID_ADVANCE_WORK};
+use rmr_des::{Sim, SimDuration};
+use rmr_hdfs::HdfsConfig;
+use rmr_workloads::{teragen, terasort_spec};
+
+/// One benchmark run, serialised as a flat JSON object.
+struct Run {
+    scenario: &'static str,
+    case: String,
+    wall_s: f64,
+    /// Simulated job duration (macro runs; 0 for micro kernels).
+    sim_s: f64,
+    events: u64,
+    polls: u64,
+    fluid_work: u64,
+    /// Work items processed by the kernel under test (micro runs; for the
+    /// macro runs, the record count is not the interesting denominator).
+    items: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut label = "current".to_string();
+    let mut out_path = "BENCH_wallclock.json".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs a value").clone();
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a value").clone();
+            }
+            other => {
+                eprintln!(
+                    "unknown arg {other}; usage: wallclock [--quick] [--label NAME] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut runs: Vec<Run> = Vec::new();
+
+    // -- Macro scenarios: the paper's headline figure points. Sequential on
+    // one thread so wall times and the thread-local fluid counter are clean.
+    let (gb_a, gb_b, nodes_a, nodes_b) = if quick {
+        (2.0, 2.0, 2, 2)
+    } else {
+        (30.0, 100.0, 4, 8)
+    };
+    let fig4a = [
+        System::GigE10,
+        System::IpoIb,
+        System::HadoopA,
+        System::OsuIb,
+    ];
+    let fig4b = [System::GigE1, System::IpoIb, System::HadoopA, System::OsuIb];
+    for sys in fig4a {
+        runs.push(run_macro("fig4a_30gb", sys, gb_a, nodes_a));
+    }
+    for sys in fig4b {
+        runs.push(run_macro("fig4b_100gb", sys, gb_b, nodes_b));
+    }
+
+    // -- Micro kernels.
+    let churn_sizes: &[usize] = if quick {
+        &[100, 200]
+    } else {
+        &[500, 1000, 2000]
+    };
+    for &n in churn_sizes {
+        runs.push(micro_fluid_churn(n));
+    }
+    runs.push(if quick {
+        micro_event_heap(200, 20)
+    } else {
+        micro_event_heap(2000, 100)
+    });
+    let (k, per) = if quick { (32, 2_000) } else { (128, 20_000) };
+    runs.push(micro_merge_pq(k, per, true));
+    runs.push(micro_merge_pq(k, per, false));
+
+    write_results(&out_path, &label, quick, &runs);
+    println!(
+        "\nwrote {} runs (label {label:?}) to {out_path}",
+        runs.len()
+    );
+}
+
+/// Runs one figure point in-process and captures host-side counters.
+fn run_macro(scenario: &'static str, system: System, gb: f64, nodes: usize) -> Run {
+    let bench = Bench::TeraSort;
+    let testbed = Testbed::compute(nodes, 1);
+    let sim = Sim::new(42);
+    let cluster = Cluster::build(
+        &sim,
+        system.fabric(),
+        &testbed.node_specs(),
+        HdfsConfig {
+            block_size: tuned_block_size(system, bench),
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let conf = tuned_conf(system, bench, &testbed);
+    let bytes = (gb * (1u64 << 30) as f64) as u64;
+    let out: Rc<RefCell<Option<rmr_core::JobResult>>> = Rc::new(RefCell::new(None));
+    let o2 = Rc::clone(&out);
+    let c2 = cluster.clone();
+    sim.spawn_named("wallclock-driver", async move {
+        teragen(&c2, "/in", bytes, false).await;
+        let spec = terasort_spec("/in", "/out");
+        *o2.borrow_mut() = Some(run_job(&c2, conf, spec).await);
+    })
+    .detach();
+    let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
+    let t0 = Instant::now();
+    sim.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
+    let res = out
+        .borrow_mut()
+        .take()
+        .unwrap_or_else(|| panic!("{scenario}/{} hung", system.label()));
+    let run = Run {
+        scenario,
+        case: system.label().to_string(),
+        wall_s,
+        sim_s: res.duration_s,
+        events: sim.events_fired(),
+        polls: sim.polls(),
+        fluid_work,
+        items: 0,
+    };
+    eprintln!(
+        "  {scenario:12} {:12} sim {:6.0}s  wall {:6.2}s  events {:.2e}  fluid_work {:.2e}",
+        run.case, run.sim_s, run.wall_s, run.events as f64, run.fluid_work as f64
+    );
+    run
+}
+
+/// Fluid-solver churn: `n` consumers with staggered arrivals each run
+/// `ROUNDS` transfers on one shared resource, so arrivals/completions happen
+/// under persistently high concurrency. `fluid_work` per completion is the
+/// quadratic-vs-linear tell: it must grow ~linearly with `n`.
+fn micro_fluid_churn(n: usize) -> Run {
+    const ROUNDS: usize = 4;
+    let sim = Sim::new(7);
+    let f = Fluid::new(&sim, 1e6);
+    for i in 0..n {
+        let f = f.clone();
+        let s = sim.clone();
+        sim.spawn_named(format!("churn-{i}"), async move {
+            s.sleep(SimDuration::from_millis((i % 97) as u64)).await;
+            for r in 0..ROUNDS {
+                f.consume(1_000.0 + ((i * 31 + r * 7) % 500) as f64).await;
+            }
+        })
+        .detach();
+    }
+    let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
+    let t0 = Instant::now();
+    sim.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
+    let run = Run {
+        scenario: "micro",
+        case: format!("fluid_churn_n{n}"),
+        wall_s,
+        sim_s: 0.0,
+        events: sim.events_fired(),
+        polls: sim.polls(),
+        fluid_work,
+        items: (n * ROUNDS) as u64,
+    };
+    eprintln!(
+        "  {:12} {:16} wall {:6.3}s  completions {}  fluid_work {}  (work/completion {:.1})",
+        "micro",
+        run.case,
+        run.wall_s,
+        run.items,
+        run.fluid_work,
+        run.fluid_work as f64 / run.items as f64
+    );
+    run
+}
+
+/// Event-heap churn: many concurrent timers exercise schedule/fire/poll.
+fn micro_event_heap(tasks: usize, rounds: usize) -> Run {
+    let sim = Sim::new(11);
+    for i in 0..tasks {
+        let s = sim.clone();
+        sim.spawn_named(format!("timer-{i}"), async move {
+            for r in 0..rounds {
+                let us = ((i * 37 + r * 11) % 1_000 + 1) as u64;
+                s.sleep(SimDuration::from_micros(us)).await;
+            }
+        })
+        .detach();
+    }
+    let t0 = Instant::now();
+    sim.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let run = Run {
+        scenario: "micro",
+        case: "event_heap".to_string(),
+        wall_s,
+        sim_s: 0.0,
+        events: sim.events_fired(),
+        polls: sim.polls(),
+        fluid_work: 0,
+        items: (tasks * rounds) as u64,
+    };
+    eprintln!(
+        "  {:12} {:16} wall {:6.3}s  events {}  polls {}",
+        "micro", run.case, run.wall_s, run.events, run.polls
+    );
+    run
+}
+
+/// Merge-PQ kernel: a k-way [`StreamingMerge`] fed packet-by-packet, drained
+/// through `emit`. Real mode heap-merges records by key; synthetic mode
+/// exercises the proportional-draw path the paper-scale runs use.
+fn micro_merge_pq(k: usize, per_source: u64, real: bool) -> Run {
+    const PKT_RECORDS: u64 = 1_024;
+    let mut packets: Vec<VecPackets> = (0..k)
+        .map(|i| VecPackets::build(i, k, per_source, PKT_RECORDS, real))
+        .collect();
+    let mut m = StreamingMerge::new(vec![per_source; k]);
+    for (i, p) in packets.iter_mut().enumerate() {
+        if let Some(seg) = p.next() {
+            m.append(i, seg);
+        }
+    }
+    let mut emitted = 0u64;
+    let t0 = Instant::now();
+    loop {
+        match m.emit(4_096) {
+            Emit::Data(seg) => emitted += seg.records,
+            Emit::Stalled(dry) => {
+                for i in dry {
+                    let seg = packets[i].next().expect("stalled source has no more data");
+                    m.append(i, seg);
+                }
+            }
+            Emit::Done => break,
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(emitted, per_source * k as u64);
+    let run = Run {
+        scenario: "micro",
+        case: format!("merge_pq_{}", if real { "real" } else { "synth" }),
+        wall_s,
+        sim_s: 0.0,
+        events: 0,
+        polls: 0,
+        fluid_work: 0,
+        items: emitted,
+    };
+    eprintln!(
+        "  {:12} {:16} wall {:6.3}s  records {}",
+        "micro", run.case, run.wall_s, run.items
+    );
+    run
+}
+
+/// Per-source packet generator for the merge kernel. Real keys interleave
+/// globally (source i holds keys i, i+k, i+2k, …) so the PQ switches source
+/// on every record — the worst case for the head-selection scan.
+struct VecPackets {
+    source: usize,
+    stride: usize,
+    next_j: u64,
+    remaining: u64,
+    pkt_records: u64,
+    real: bool,
+}
+
+impl VecPackets {
+    fn build(source: usize, stride: usize, total: u64, pkt_records: u64, real: bool) -> Self {
+        VecPackets {
+            source,
+            stride,
+            next_j: 0,
+            remaining: total,
+            pkt_records,
+            real,
+        }
+    }
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let n = self.remaining.min(self.pkt_records);
+        self.remaining -= n;
+        if self.real {
+            let recs: Vec<Record> = (0..n)
+                .map(|d| {
+                    let key = (self.source as u64 + (self.next_j + d) * self.stride as u64)
+                        .to_be_bytes()
+                        .to_vec();
+                    Record::new(key, b"valuevalue".to_vec())
+                })
+                .collect();
+            self.next_j += n;
+            Some(Segment::from_sorted(recs))
+        } else {
+            self.next_j += n;
+            Some(Segment::synthetic(n, n * 100))
+        }
+    }
+}
+
+// --- JSON output ---------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn run_line(label: &str, quick: bool, r: &Run) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"scenario\":\"{}\",\"case\":\"{}\",\"quick\":{},\
+         \"wall_s\":{:.4},\"sim_s\":{:.2},\"events\":{},\"polls\":{},\
+         \"fluid_work\":{},\"items\":{}}}",
+        json_escape(label),
+        json_escape(r.scenario),
+        json_escape(&r.case),
+        quick,
+        r.wall_s,
+        r.sim_s,
+        r.events,
+        r.polls,
+        r.fluid_work,
+        r.items,
+    )
+}
+
+/// Pulls a numeric field out of a flat run line (good enough for our own
+/// serialisation format).
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Writes the trajectory file: keeps run lines from other labels, replaces
+/// this label's, and prints a speedup table against "before" if present.
+fn write_results(path: &str, label: &str, quick: bool, runs: &[Run]) {
+    let kept: Vec<String> = std::fs::read_to_string(path)
+        .map(|text| {
+            text.lines()
+                .map(str::trim)
+                .filter(|l| l.starts_with("{\"label\""))
+                .map(|l| l.trim_end_matches(',').to_string())
+                .filter(|l| field_str(l, "label") != Some(label))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut lines = kept.clone();
+    for r in runs {
+        lines.push(run_line(label, quick, r));
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"generated_by\": \"rmr-bench wallclock\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(l);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write trajectory file");
+
+    // Speedup table vs "before" (same scenario/case, same machine assumed).
+    if label != "before" {
+        let mut printed_header = false;
+        for r in runs {
+            let before = kept.iter().find(|l| {
+                field_str(l, "label") == Some("before")
+                    && field_str(l, "scenario") == Some(r.scenario)
+                    && field_str(l, "case").map(str::to_string) == Some(r.case.clone())
+            });
+            if let Some(b) = before {
+                let (Some(bw), w) = (field_f64(b, "wall_s"), r.wall_s) else {
+                    continue;
+                };
+                if !printed_header {
+                    println!(
+                        "\n{:12} {:16} {:>9} {:>9} {:>8}",
+                        "scenario", "case", "before", label, "speedup"
+                    );
+                    printed_header = true;
+                }
+                println!(
+                    "{:12} {:16} {:8.2}s {:8.2}s {:7.2}x",
+                    r.scenario,
+                    r.case,
+                    bw,
+                    w,
+                    bw / w.max(1e-9)
+                );
+            }
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //! merge over uniformly distributed keys — exactly TeraGen/RandomWriter
 //! key distributions).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use bytes::Bytes;
 
 use crate::record::{Record, RunData, Segment};
 
@@ -111,32 +114,70 @@ impl Source {
     }
 }
 
+/// Head-of-source entry in the real-mode merge heap: the minimum buffered
+/// key of one source. Ties break on source index, matching the scan order
+/// the merge used before it was heap-based.
+#[derive(PartialEq, Eq)]
+struct HeadKey {
+    key: Bytes,
+    src: usize,
+}
+
+impl Ord for HeadKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.key, self.src).cmp(&(&other.key, other.src))
+    }
+}
+
+impl PartialOrd for HeadKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Priority-queue merge over incrementally delivered packet streams.
+///
+/// The extraction stall rule ("pause while any non-exhausted source is
+/// dry") is tracked incrementally in `dry_count`, and real-mode extraction
+/// pops a min-heap of buffered head keys — both O(log k) per record instead
+/// of a scan over all k sources per record.
 pub struct StreamingMerge {
     sources: Vec<Source>,
     real: Option<bool>,
     emitted_records: u64,
     emitted_bytes: u64,
+    /// Number of sources that are dry (not exhausted, nothing buffered).
+    /// Invariant: equals the count the scan in [`Self::dry_sources`] finds.
+    dry_count: usize,
+    /// Real mode only: one entry per source that has a buffered head.
+    heads: BinaryHeap<Reverse<HeadKey>>,
 }
 
 impl StreamingMerge {
     /// Creates a merge expecting, per source, the given total record count.
     pub fn new(expected_records: Vec<u64>) -> Self {
+        let sources: Vec<Source> = expected_records
+            .into_iter()
+            .map(|expected_records| Source {
+                expected_records,
+                appended_records: 0,
+                consumed_records: 0,
+                consumed_bytes_in_head: 0,
+                packets: VecDeque::new(),
+                head_idx: 0,
+            })
+            .collect();
+        // Every source expecting data starts dry; zero-record sources are
+        // born exhausted.
+        let dry_count = sources.iter().filter(|s| !s.exhausted()).count();
+        let heads = BinaryHeap::with_capacity(sources.len());
         StreamingMerge {
-            sources: expected_records
-                .into_iter()
-                .map(|expected_records| Source {
-                    expected_records,
-                    appended_records: 0,
-                    consumed_records: 0,
-                    consumed_bytes_in_head: 0,
-                    packets: VecDeque::new(),
-                    head_idx: 0,
-                })
-                .collect(),
+            sources,
             real: None,
             emitted_records: 0,
             emitted_bytes: 0,
+            dry_count,
+            heads,
         }
     }
 
@@ -166,6 +207,8 @@ impl StreamingMerge {
             Some(r) => assert_eq!(r, is_real, "mixed real/synthetic packets"),
         }
         let s = &mut self.sources[source];
+        let was_dry = !s.exhausted() && s.available() == 0;
+        let had_head = !s.packets.is_empty();
         s.appended_records += packet.records;
         assert!(
             s.appended_records <= s.expected_records,
@@ -174,6 +217,17 @@ impl StreamingMerge {
             s.expected_records
         );
         s.packets.push_back(packet);
+        if was_dry {
+            self.dry_count -= 1;
+        }
+        if is_real && !had_head {
+            let key = self.sources[source]
+                .head()
+                .expect("appended head")
+                .key
+                .clone();
+            self.heads.push(Reverse(HeadKey { key, src: source }));
+        }
     }
 
     /// Sources whose buffered (unconsumed) records are below `watermark` and
@@ -202,20 +256,24 @@ impl StreamingMerge {
         self.sources.iter().all(Source::exhausted)
     }
 
+    /// The sources currently blocking extraction (dry but not exhausted).
+    /// Only built when a stall is actually reported.
+    fn dry_sources(&self) -> Vec<usize> {
+        self.sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.exhausted() && s.available() == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Extracts up to `max_records` merged records.
     pub fn emit(&mut self, max_records: u64) -> Emit {
         if self.done() {
             return Emit::Done;
         }
-        let dry: Vec<usize> = self
-            .sources
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.exhausted() && s.available() == 0)
-            .map(|(i, _)| i)
-            .collect();
-        if !dry.is_empty() {
-            return Emit::Stalled(dry);
+        if self.dry_count > 0 {
+            return Emit::Stalled(self.dry_sources());
         }
         let seg = match self.real {
             Some(true) => self.emit_real(max_records),
@@ -225,14 +283,7 @@ impl StreamingMerge {
         };
         if seg.records == 0 {
             // All sources dry at zero-progress: report who needs data.
-            let dry: Vec<usize> = self
-                .sources
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.exhausted() && s.available() == 0)
-                .map(|(i, _)| i)
-                .collect();
-            return Emit::Stalled(dry);
+            return Emit::Stalled(self.dry_sources());
         }
         self.emitted_records += seg.records;
         self.emitted_bytes += seg.bytes;
@@ -244,32 +295,45 @@ impl StreamingMerge {
         while (out.len() as u64) < max_records {
             // Extraction is only safe while every non-exhausted source has a
             // buffered head.
-            if self
-                .sources
-                .iter()
-                .any(|s| !s.exhausted() && s.available() == 0)
-            {
+            if self.dry_count > 0 {
                 break;
             }
-            // Pick the source with the minimum head key.
-            let mut best: Option<(usize, &Record)> = None;
-            for (i, s) in self.sources.iter().enumerate() {
-                if let Some(h) = s.head() {
-                    match best {
-                        Some((_, b)) if b.key <= h.key => {}
-                        _ => best = Some((i, h)),
+            // The heap holds exactly one entry per source with a buffered
+            // head, so its minimum is the global minimum head key.
+            let Some(Reverse(top)) = self.heads.pop() else {
+                break;
+            };
+            let src = top.src;
+            out.push(self.sources[src].pop_real());
+            let s = &self.sources[src];
+            match s.head() {
+                Some(h) => {
+                    let key = h.key.clone();
+                    self.heads.push(Reverse(HeadKey { key, src }));
+                }
+                None => {
+                    if !s.exhausted() {
+                        self.dry_count += 1;
                     }
                 }
-            }
-            match best {
-                Some((i, _)) => out.push(self.sources[i].pop_real()),
-                None => break,
             }
         }
         Segment::from_sorted(out)
     }
 
     fn emit_synthetic(&mut self, max_records: u64) -> Segment {
+        let seg = self.emit_synthetic_inner(max_records);
+        // A synthetic draw touches many sources per batch; recount dryness
+        // once per batch instead of tracking every pop.
+        self.dry_count = self
+            .sources
+            .iter()
+            .filter(|s| !s.exhausted() && s.available() == 0)
+            .count();
+        seg
+    }
+
+    fn emit_synthetic_inner(&mut self, max_records: u64) -> Segment {
         // Fluid limit: emission draws from each source proportionally to its
         // remaining share; any source running dry caps the batch.
         let total_remaining: u64 = self

@@ -208,6 +208,30 @@ impl Segment {
         assert!(n > 0);
         match &self.data {
             RunData::Real { recs, start, end } => {
+                if part.is_monotone() {
+                    // Sorted input + monotone partitioner ⇒ each partition
+                    // is a contiguous window of the backing vector. Emit
+                    // shared windows: no record clones, no bucket vectors.
+                    let window = &recs[*start..*end];
+                    let mut out = Vec::with_capacity(n);
+                    let mut lo = 0usize;
+                    for p in 0..n {
+                        let hi =
+                            lo + window[lo..].partition_point(|r| part.partition(&r.key, n) <= p);
+                        let bytes = window[lo..hi].iter().map(Record::size).sum();
+                        out.push(Segment {
+                            records: (hi - lo) as u64,
+                            bytes,
+                            data: RunData::Real {
+                                recs: Rc::clone(recs),
+                                start: *start + lo,
+                                end: *start + hi,
+                            },
+                        });
+                        lo = hi;
+                    }
+                    return out;
+                }
                 let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); n];
                 for r in recs[*start..*end].iter() {
                     buckets[part.partition(&r.key, n)].push(r.clone());
@@ -307,21 +331,22 @@ impl Segment {
             segments.iter().all(Segment::is_real),
             "cannot merge mixed real/synthetic segments"
         );
-        // Standard k-way heap merge over window iterators.
+        // Standard k-way heap merge over window iterators. Heads borrow
+        // their keys from the backing vectors — no per-record key clones.
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
         #[derive(PartialEq, Eq)]
-        struct Head {
-            key: Bytes,
+        struct Head<'a> {
+            key: &'a Bytes,
             src: usize,
             idx: usize,
         }
-        impl Ord for Head {
+        impl Ord for Head<'_> {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                (&self.key, self.src, self.idx).cmp(&(&other.key, other.src, other.idx))
+                (self.key, self.src, self.idx).cmp(&(other.key, other.src, other.idx))
             }
         }
-        impl PartialOrd for Head {
+        impl PartialOrd for Head<'_> {
             fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
                 Some(self.cmp(other))
             }
@@ -333,11 +358,11 @@ impl Segment {
                 RunData::Synthetic { .. } => unreachable!(),
             })
             .collect();
-        let mut heap = BinaryHeap::new();
+        let mut heap = BinaryHeap::with_capacity(windows.len());
         for (src, (recs, start, end)) in windows.iter().enumerate() {
             if start < end {
                 heap.push(Reverse(Head {
-                    key: recs[*start].key.clone(),
+                    key: &recs[*start].key,
                     src,
                     idx: *start,
                 }));
@@ -351,7 +376,7 @@ impl Segment {
             let next = h.idx + 1;
             if next < end {
                 heap.push(Reverse(Head {
-                    key: recs[next].key.clone(),
+                    key: &recs[next].key,
                     src: h.src,
                     idx: next,
                 }));
@@ -492,6 +517,13 @@ impl SegmentCursor {
 pub trait Partitioner {
     /// Partition index for `key` among `n` partitions.
     fn partition(&self, key: &[u8], n: usize) -> usize;
+
+    /// True when partition indices are non-decreasing in key order, so
+    /// partitioning a sorted run yields contiguous windows.
+    /// [`Segment::partition`] then shares slices instead of cloning records.
+    fn is_monotone(&self) -> bool {
+        false
+    }
 }
 
 /// Hadoop's default: hash of the key modulo partitions.
@@ -526,6 +558,12 @@ impl Partitioner for TotalOrderPartitioner {
         }
         let x = u64::from_be_bytes(prefix);
         ((x as u128 * n as u128) >> 64) as usize
+    }
+
+    fn is_monotone(&self) -> bool {
+        // The partition index is a non-decreasing function of the 8-byte
+        // big-endian key prefix, which orders like the key itself.
+        true
     }
 }
 

@@ -19,7 +19,7 @@
 //!   serialising fetches — the §IV-C pathology.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
@@ -41,8 +41,7 @@ struct SourceState {
     tt_idx: usize,
     total_records: Option<u64>,
     total_bytes: Option<u64>,
-    /// (packet, spilled-to-disk flag).
-    buffered: Vec<(Segment, bool)>,
+    /// Bytes sitting in [`ShufState::pending`] for this source.
     buffered_bytes: u64,
     delivered_records: u64,
     delivered_bytes: u64,
@@ -54,6 +53,11 @@ struct SourceState {
 
 struct ShufState {
     sources: BTreeMap<usize, SourceState>,
+    /// Arrived-but-not-yet-merged packets in arrival order:
+    /// (map_idx, packet, spilled-to-disk flag). Draining pops from the
+    /// front, so the merge feed is O(packets) instead of a scan over every
+    /// source per drain.
+    pending: VecDeque<(usize, Segment, bool)>,
     shuffled_bytes: u64,
     last_arrival_s: f64,
     /// Unconsumed fetched bytes (buffered + inside the merge).
@@ -117,6 +121,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
 
     let state = Rc::new(RefCell::new(ShufState {
         sources: BTreeMap::new(),
+        pending: VecDeque::new(),
         shuffled_bytes: 0,
         last_arrival_s: 0.0,
         resident_bytes: 0,
@@ -180,8 +185,9 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                         }
                         let src = st.sources.get_mut(&map_idx).unwrap();
                         src.buffered_bytes += packet.bytes;
-                        src.buffered.push((packet.clone(), over));
-                        over.then_some(packet.bytes)
+                        let bytes = packet.bytes;
+                        st.pending.push_back((map_idx, packet, over));
+                        over.then_some(bytes)
                     } else {
                         None
                     }
@@ -267,7 +273,6 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                     tt_idx,
                     total_records: None,
                     total_bytes: None,
-                    buffered: Vec::new(),
                     buffered_bytes: 0,
                     delivered_records: 0,
                     delivered_bytes: 0,
@@ -367,25 +372,25 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         })
     };
 
-    // Moves buffered packets into the merge. Returns the total spilled bytes
-    // drained plus, for Hadoop-A, the refetch charge list: (tt_idx, map_idx,
-    // bytes) per spilled packet.
+    // Moves pending packets into the merge in arrival order (per-source
+    // FIFO order is preserved, and cross-source append order does not affect
+    // the merge result). Returns the total spilled bytes drained plus, for
+    // Hadoop-A, the refetch charge list: (tt_idx, map_idx, bytes) per
+    // spilled packet.
     let spill_readback = {
         let state = Rc::clone(&state);
         move |merge: &mut StreamingMerge| -> (u64, Vec<(usize, usize, u64)>) {
             let mut st = state.borrow_mut();
             let mut spilled = 0u64;
             let mut refetch = Vec::new();
-            for (m, s) in st.sources.iter_mut() {
-                let di = dense[m];
-                s.buffered_bytes = 0;
-                for (pkt, was_spilled) in s.buffered.drain(..) {
-                    if was_spilled {
-                        spilled += pkt.bytes;
-                        refetch.push((s.tt_idx, *m, pkt.bytes));
-                    }
-                    merge.append(di, pkt);
+            while let Some((m, pkt, was_spilled)) = st.pending.pop_front() {
+                let s = st.sources.get_mut(&m).expect("pending from unknown source");
+                s.buffered_bytes = s.buffered_bytes.saturating_sub(pkt.bytes);
+                if was_spilled {
+                    spilled += pkt.bytes;
+                    refetch.push((s.tt_idx, m, pkt.bytes));
                 }
+                merge.append(dense[&m], pkt);
             }
             (spilled, refetch)
         }
@@ -393,8 +398,14 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
 
     let spill_file = format!("r{}_shufspill", ctx.reduce_idx);
     let metrics = sim.metrics().clone();
+    // Cached counter handles: the loop body runs per batch/stall, and a
+    // handle bump skips the registry lookup entirely.
+    let c_loop_iters = metrics.counter("rdma.loop_iters");
+    let c_emits = metrics.counter("rdma.emits");
+    let c_emit_records = metrics.counter("rdma.emit_records");
+    let c_stalls = metrics.counter("rdma.stalls");
     loop {
-        metrics.incr("rdma.loop_iters");
+        c_loop_iters.incr();
         let (spilled, refetch) = spill_readback(&mut merge);
         if spilled > 0 {
             match kind {
@@ -444,8 +455,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         }
         match merge.emit(MERGE_BATCH_RECORDS) {
             Emit::Data(seg) => {
-                metrics.incr("rdma.emits");
-                metrics.add("rdma.emit_records", seg.records as f64);
+                c_emits.incr();
+                c_emit_records.add(seg.records as f64);
                 mem.release(seg.bytes);
                 {
                     let mut st = state.borrow_mut();
@@ -457,17 +468,13 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                 out_tx.send(seg).await.expect("reduce consumer died");
             }
             Emit::Stalled(dry) => {
-                metrics.incr("rdma.stalls");
+                c_stalls.incr();
                 // Arm the waiter BEFORE re-checking: packets can land during
                 // the awaits above (spill readback, CPU charges), and an
                 // edge-triggered notification created after the arrival
                 // would never fire (lost wakeup ⇒ deadlock).
                 let waiter = arrived.notified();
-                let has_undrained = state
-                    .borrow()
-                    .sources
-                    .values()
-                    .any(|s| !s.buffered.is_empty());
+                let has_undrained = !state.borrow().pending.is_empty();
                 if has_undrained {
                     continue; // drain them and retry
                 }

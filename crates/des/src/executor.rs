@@ -78,10 +78,14 @@ struct TaskSlot {
     name: Rc<str>,
     /// What the task reported waiting on at its last `Pending` poll
     /// (set by sync primitives via [`note_current_blocked`]).
-    blocked_on: Option<String>,
+    blocked_on: Option<BlockedLabel>,
     /// Daemon tasks (server loops that live as long as the sim) are
     /// excluded from quiescence stall reports, like Java daemon threads.
     daemon: bool,
+    /// Waker for this (slot, generation), built once at spawn and cloned
+    /// (an `Arc` bump) on every poll instead of allocating a fresh
+    /// `WakeEntry` per poll.
+    waker: Waker,
 }
 
 /// The shared FIFO of tasks made runnable by wakers. `Waker` must be
@@ -159,11 +163,57 @@ thread_local! {
         const { RefCell::new(None) };
 }
 
+/// A blocking-reason label: either a static description or a shared,
+/// pre-formatted string owned by the sync primitive that records it. Sync
+/// primitives format their label once at construction and hand out `Rc`
+/// clones on every `Pending` poll, so the per-poll cost is a refcount bump
+/// rather than a `format!` allocation.
+#[derive(Clone)]
+pub enum BlockedLabel {
+    /// A compile-time constant reason (e.g. `"join on spawned task"`).
+    Static(&'static str),
+    /// A shared, pre-formatted reason (e.g. `"recv on map-output"`).
+    Shared(Rc<str>),
+}
+
+impl BlockedLabel {
+    fn as_str(&self) -> &str {
+        match self {
+            BlockedLabel::Static(s) => s,
+            BlockedLabel::Shared(s) => s,
+        }
+    }
+}
+
+impl From<&'static str> for BlockedLabel {
+    fn from(s: &'static str) -> Self {
+        BlockedLabel::Static(s)
+    }
+}
+
+impl From<Rc<str>> for BlockedLabel {
+    fn from(s: Rc<str>) -> Self {
+        BlockedLabel::Shared(s)
+    }
+}
+
+impl From<&Rc<str>> for BlockedLabel {
+    fn from(s: &Rc<str>) -> Self {
+        BlockedLabel::Shared(Rc::clone(s))
+    }
+}
+
+impl From<String> for BlockedLabel {
+    fn from(s: String) -> Self {
+        BlockedLabel::Shared(Rc::from(s.as_str()))
+    }
+}
+
 /// Records what the currently-polled task is blocked on. Called by the sync
 /// primitives (channels, semaphores, notify, join handles) on their
 /// `Pending` path; a no-op outside a task poll. The label surfaces in
 /// [`Sim::step_until_no_events`]'s stall report.
-pub fn note_current_blocked(label: impl Into<String>) {
+pub fn note_current_blocked(label: impl Into<BlockedLabel>) {
     CURRENT_TASK.with(|c| {
         if let Some((core, id)) = c.borrow().as_ref() {
             if let Some(core) = core.upgrade() {
@@ -222,13 +272,13 @@ impl Sim {
             core: Rc::new(RefCell::new(Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                heap: BinaryHeap::new(),
-                events: Vec::new(),
-                free_events: Vec::new(),
-                tasks: Vec::new(),
-                free_tasks: Vec::new(),
+                heap: BinaryHeap::with_capacity(1024),
+                events: Vec::with_capacity(1024),
+                free_events: Vec::with_capacity(1024),
+                tasks: Vec::with_capacity(256),
+                free_tasks: Vec::with_capacity(256),
                 live_tasks: 0,
-                ready: Arc::new(Mutex::new(VecDeque::new())),
+                ready: Arc::new(Mutex::new(VecDeque::with_capacity(256))),
                 rng: SmallRng::seed_from_u64(seed),
                 events_fired: 0,
                 polls: 0,
@@ -397,19 +447,25 @@ impl Sim {
         fold_hash(&mut h, name.as_bytes());
         core.trace_hash = h;
         let future: LocalFuture = Box::pin(fut);
+        let ready = Arc::clone(&core.ready);
         let id = if let Some(index) = core.free_tasks.pop() {
             let slot = &mut core.tasks[index as usize];
+            let id = TaskId {
+                index,
+                gen: slot.gen,
+            };
             slot.future = Some(future);
             slot.live = true;
             slot.name = name;
             slot.blocked_on = None;
             slot.daemon = daemon;
-            TaskId {
-                index,
-                gen: slot.gen,
-            }
+            // The slot's generation changed since it was last occupied, so
+            // the cached waker must be rebuilt for the new id.
+            slot.waker = Waker::from(Arc::new(WakeEntry { task: id, ready }));
+            id
         } else {
             let index = core.tasks.len() as u32;
+            let id = TaskId { index, gen: 0 };
             core.tasks.push(TaskSlot {
                 gen: 0,
                 future: Some(future),
@@ -417,8 +473,9 @@ impl Sim {
                 name,
                 blocked_on: None,
                 daemon,
+                waker: Waker::from(Arc::new(WakeEntry { task: id, ready })),
             });
-            TaskId { index, gen: 0 }
+            id
         };
         core.live_tasks += 1;
         core.ready.lock().unwrap().push_back(id);
@@ -449,7 +506,7 @@ impl Sim {
     }
 
     fn poll_task(&self, id: TaskId) {
-        let (future, ready) = {
+        let (future, waker) = {
             let mut core = self.core.borrow_mut();
             core.polls += 1;
             let (polls, now) = (core.polls, core.now);
@@ -467,13 +524,12 @@ impl Sim {
             // again will re-record the reason.
             slot.blocked_on = None;
             match slot.future.take() {
-                Some(f) => (f, Arc::clone(&core.ready)),
+                Some(f) => (f, slot.waker.clone()),
                 // Already being polled higher up the stack (a waker fired
                 // synchronously during poll); the re-queued id handles it.
                 None => return,
             }
         };
-        let waker = Waker::from(Arc::new(WakeEntry { task: id, ready }));
         let mut cx = Context::from_waker(&waker);
         let mut future = future;
         let prev = CURRENT_TASK.with(|c| c.borrow_mut().replace((Rc::downgrade(&self.core), id)));
@@ -602,7 +658,7 @@ impl Sim {
             .filter(|t| t.live && !t.daemon)
             .map(|t| StalledTask {
                 name: t.name.to_string(),
-                blocked_on: t.blocked_on.clone(),
+                blocked_on: t.blocked_on.as_ref().map(|b| b.as_str().to_string()),
             })
             .collect();
         QuiescenceReport {

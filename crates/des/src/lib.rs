@@ -39,10 +39,10 @@ pub mod sync;
 pub mod time;
 
 pub use executor::{
-    assert_deterministic, note_current_blocked, EventId, JoinHandle, QuiescenceReport, Sim,
-    StalledTask, TaskId, Timer,
+    assert_deterministic, note_current_blocked, BlockedLabel, EventId, JoinHandle,
+    QuiescenceReport, Sim, StalledTask, TaskId, Timer,
 };
-pub use metrics::Metrics;
+pub use metrics::{Counter, Metrics};
 pub use time::{SimDuration, SimTime};
 
 /// One-stop imports for simulation code.

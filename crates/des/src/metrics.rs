@@ -5,8 +5,14 @@
 //! benchmark harness reads these out after a run to report utilisation and
 //! to sanity-check conservation properties (e.g. bytes leaving TaskTrackers
 //! equal bytes arriving at ReduceTasks).
+//!
+//! Counters are `Rc<Cell<f64>>` slots behind shared `Rc<str>` keys, so
+//! neither updating an existing counter nor snapshotting allocates per key.
+//! Hot paths (per-I/O, per-packet updates) should grab a [`Counter`] handle
+//! once via [`Metrics::counter`] and bump it directly — that skips even the
+//! map lookup.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -14,7 +20,18 @@ use crate::time::SimDuration;
 
 #[derive(Default)]
 struct Registry {
-    counters: BTreeMap<String, f64>,
+    counters: BTreeMap<Rc<str>, Rc<Cell<f64>>>,
+}
+
+impl Registry {
+    fn slot(&mut self, key: &str) -> Rc<Cell<f64>> {
+        if let Some(c) = self.counters.get(key) {
+            return Rc::clone(c);
+        }
+        let c = Rc::new(Cell::new(0.0));
+        self.counters.insert(Rc::from(key), Rc::clone(&c));
+        c
+    }
 }
 
 /// Cloneable handle to a simulation's metrics registry.
@@ -26,20 +43,52 @@ pub struct Metrics {
     inner: Rc<RefCell<Registry>>,
 }
 
+/// A cached handle to one counter: updates are a `Cell` bump — no key
+/// hashing, lookup, or allocation. Obtain via [`Metrics::counter`].
+#[derive(Clone)]
+pub struct Counter {
+    cell: Rc<Cell<f64>>,
+}
+
+impl Counter {
+    /// Adds `v` to the counter.
+    pub fn add(&self, v: f64) {
+        self.cell.set(self.cell.get() + v);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1.0);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.cell.get()
+    }
+}
+
 impl Metrics {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds `v` to counter `key` (creating it at zero).
+    /// Returns a cached handle to counter `key` (creating it at zero). The
+    /// handle stays live even if the registry is dropped.
+    pub fn counter(&self, key: &str) -> Counter {
+        Counter {
+            cell: self.inner.borrow_mut().slot(key),
+        }
+    }
+
+    /// Adds `v` to counter `key` (creating it at zero). Allocates only on
+    /// the first sighting of a key.
     pub fn add(&self, key: &str, v: f64) {
-        *self
-            .inner
-            .borrow_mut()
-            .counters
-            .entry(key.to_string())
-            .or_insert(0.0) += v;
+        if let Some(c) = self.inner.borrow().counters.get(key) {
+            c.set(c.get() + v);
+            return;
+        }
+        self.inner.borrow_mut().slot(key).set(v);
     }
 
     /// Increments counter `key` by one.
@@ -55,10 +104,16 @@ impl Metrics {
 
     /// Records `v` only if it exceeds the stored maximum.
     pub fn record_max(&self, key: &str, v: f64) {
-        let mut reg = self.inner.borrow_mut();
-        let slot = reg.counters.entry(key.to_string()).or_insert(f64::MIN);
-        if v > *slot {
-            *slot = v;
+        let slot = {
+            let mut reg = self.inner.borrow_mut();
+            if !reg.counters.contains_key(key) {
+                reg.counters
+                    .insert(Rc::from(key), Rc::new(Cell::new(f64::MIN)));
+            }
+            Rc::clone(reg.counters.get(key).unwrap())
+        };
+        if v > slot.get() {
+            slot.set(v);
         }
     }
 
@@ -68,17 +123,18 @@ impl Metrics {
             .borrow()
             .counters
             .get(key)
-            .copied()
+            .map(|c| c.get())
             .unwrap_or(0.0)
     }
 
-    /// Snapshot of every counter, sorted by key.
-    pub fn snapshot(&self) -> Vec<(String, f64)> {
+    /// Snapshot of every counter, sorted by key. Keys are shared (`Rc`), so
+    /// the snapshot does not copy the key strings.
+    pub fn snapshot(&self) -> Vec<(Rc<str>, f64)> {
         self.inner
             .borrow()
             .counters
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, v)| (Rc::clone(k), v.get()))
             .collect()
     }
 
@@ -87,9 +143,12 @@ impl Metrics {
         self.inner
             .borrow()
             .counters
-            .range(prefix.to_string()..)
+            .range::<str, _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
             .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v.get())
             .sum()
     }
 }
@@ -134,8 +193,8 @@ mod tests {
         m.add("b", 1.0);
         m.add("a", 1.0);
         let snap = m.snapshot();
-        assert_eq!(snap[0].0, "a");
-        assert_eq!(snap[1].0, "b");
+        assert_eq!(snap[0].0.as_ref(), "a");
+        assert_eq!(snap[1].0.as_ref(), "b");
     }
 
     #[test]
@@ -143,5 +202,16 @@ mod tests {
         let m = Metrics::new();
         m.add_duration("busy", SimDuration::from_millis(1500));
         assert!((m.get("busy") - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_handle_tracks_shared_slot() {
+        let m = Metrics::new();
+        let c = m.counter("hot.path");
+        c.add(2.0);
+        c.incr();
+        m.add("hot.path", 1.0);
+        assert_eq!(c.get(), 4.0);
+        assert_eq!(m.get("hot.path"), 4.0);
     }
 }

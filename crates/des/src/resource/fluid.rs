@@ -5,15 +5,39 @@
 //! (core-seconds/s split across runnable workers, each capped at one core),
 //! or an SSD's internal bandwidth. Each consumer asks to move `amount` units;
 //! while `n` consumers are active each progresses at
-//! `min(entry_cap, capacity * weight / total_weight)` units per second.
+//! `min(entry_cap * weight, capacity * weight / total_weight)` units per
+//! second.
 //!
-//! The implementation keeps per-entry remaining work and schedules exactly
-//! one kernel event — the earliest completion — recomputing it whenever a
-//! consumer arrives, departs, or completes. This is the standard fluid
-//! approximation used by packet-level-accurate-enough network simulators;
-//! it reproduces bandwidth contention without per-packet events.
+//! # Virtual-service-time formulation
+//!
+//! The solver does *not* store per-entry remaining work. Because both the
+//! fair share (`capacity * w / W`) and the per-entry cap (`entry_cap * w`)
+//! scale linearly with the entry's weight, every active entry progresses at
+//! the *same per-unit-weight rate* `r = min(capacity / W, entry_cap)` — in
+//! both the contended and the cap-bound regime. So a single global virtual
+//! clock `vt` with `dvt/dt = r` describes everyone: an entry arriving at
+//! virtual time `v0` with `amount` units and weight `w` finishes exactly when
+//! `vt` reaches `F = v0 + amount / w`, no matter how membership (and hence
+//! `r`) changes in between. This is the classic fair-queuing virtual-time
+//! argument, and here it is *exact* — no fallback is needed when `entry_cap`
+//! binds, because the cap is also weight-proportional.
+//!
+//! Finish tags `F` live in a lazy-deletion min-heap. An arrival, departure,
+//! or completion is O(log n); advancing the clock between events is O(1).
+//! The previous implementation re-scanned every active entry on every event
+//! (O(n) per event, O(n^2) per batch of n transfers); [`FLUID_ADVANCE_WORK`]
+//! counts solver work (one per advance, one per heap pop) and is kept as the
+//! regression oracle for that behaviour.
+//!
+//! The implementation schedules exactly one kernel event — the earliest
+//! completion — recomputing it whenever a consumer arrives, departs, or
+//! completes. This is the standard fluid approximation used by
+//! packet-level-accurate-enough network simulators; it reproduces bandwidth
+//! contention without per-packet events.
 
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -26,26 +50,70 @@ use crate::time::{SimDuration, SimTime};
 /// sub-pico-core-second — far below anything the models can observe).
 const EPS: f64 = 1e-6;
 
+/// Relative slack on the virtual clock: residuals below `vt * VT_REL_EPS`
+/// are float noise from accumulating `vt` over a long busy period (the tags
+/// are absolute, so `F - vt` cancels catastrophically near completion) and
+/// count as complete. ~4500 ulps; at `vt = 1e11` bytes this is 0.1 byte.
+const VT_REL_EPS: f64 = 1e-12;
+
 thread_local! {
-    /// Diagnostic: total entry-visits in `advance` (O(n-squared) detector).
+    /// Diagnostic: units of solver work — one per clock advance plus one per
+    /// heap pop. Scans linearly with completed transfers for the O(log n)
+    /// solver; the old per-entry scan made it quadratic (see the
+    /// `fluid_work_grows_linearly` regression test).
     pub static FLUID_ADVANCE_WORK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 struct Entry {
-    remaining: f64,
+    /// Virtual finish tag: completes when `vt` reaches this.
+    finish_v: f64,
     weight: f64,
     waker: Option<Waker>,
     done: bool,
     gen: u32,
 }
 
+/// Min-heap item (via `Reverse`): earliest finish tag first, slot index as
+/// the deterministic tie-break (matching the old scan's slot-order wakes).
+struct HeapItem {
+    finish_v: f64,
+    idx: u32,
+    gen: u32,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish_v
+            .total_cmp(&other.finish_v)
+            .then(self.idx.cmp(&other.idx))
+            .then(self.gen.cmp(&other.gen))
+    }
+}
+
 struct Inner {
     capacity: f64,
     entry_cap: f64,
     entries: Vec<Option<Entry>>,
+    /// Per-slot generation, monotonically bumped on release so stale heap
+    /// items (from cancelled consumers) never match a reused slot.
+    slot_gens: Vec<u32>,
     free: Vec<usize>,
+    heap: BinaryHeap<Reverse<HeapItem>>,
     active: usize,
     total_weight: f64,
+    /// The virtual clock: per-unit-weight service since the last idle period.
+    vt: f64,
     last: SimTime,
     next_event: Option<EventId>,
     served: f64,
@@ -54,76 +122,115 @@ struct Inner {
 }
 
 impl Inner {
-    fn rate_of(&self, e: &Entry) -> f64 {
+    /// Per-unit-weight service rate while `active > 0`.
+    fn unit_rate(&self) -> f64 {
         if self.total_weight <= 0.0 {
             return 0.0;
         }
-        (self.capacity * e.weight / self.total_weight).min(self.entry_cap * e.weight)
+        (self.capacity / self.total_weight).min(self.entry_cap)
     }
 
-    /// Applies progress from `self.last` to `now` to every active entry.
+    /// Advances the virtual clock from `self.last` to `now`. O(1).
     fn advance(&mut self, now: SimTime) {
         let elapsed = now.saturating_since(self.last).as_secs_f64();
         self.last = now;
         if elapsed <= 0.0 || self.active == 0 {
             return;
         }
-        FLUID_ADVANCE_WORK.with(|w| w.set(w.get() + self.entries.len() as u64));
+        FLUID_ADVANCE_WORK.with(|w| w.set(w.get() + 1));
         self.busy += elapsed;
-        let total_weight = self.total_weight;
-        let capacity = self.capacity;
-        let entry_cap = self.entry_cap;
-        for e in self.entries.iter_mut().flatten() {
-            if e.done {
-                continue;
-            }
-            let rate = (capacity * e.weight / total_weight).min(entry_cap * e.weight);
-            let progress = rate * elapsed;
-            self.served += progress.min(e.remaining);
-            e.remaining = (e.remaining - progress).max(0.0);
+        let r = self.unit_rate();
+        self.vt += r * elapsed;
+        self.served += r * elapsed * self.total_weight;
+    }
+
+    fn is_stale(&self, item: &HeapItem) -> bool {
+        match &self.entries[item.idx as usize] {
+            Some(e) => e.gen != item.gen || e.done,
+            None => true,
         }
     }
 
-    /// Marks entries that have finished and wakes their consumers. Returns
-    /// whether any entry completed (membership changed).
+    /// An entry's residual counts as complete once it is below the absolute
+    /// EPS or below the virtual clock's float-noise floor.
+    fn finished(&self, finish_v: f64, weight: f64) -> bool {
+        let residual_v = finish_v - self.vt;
+        residual_v * weight <= EPS || residual_v <= self.vt * VT_REL_EPS
+    }
+
+    /// Pops and wakes every entry whose finish tag the clock has reached.
+    /// Returns whether any entry completed (membership changed).
+    ///
+    /// Wakes are issued in slot order within the batch, matching the old
+    /// per-entry scan's wake order exactly — downstream models (spill
+    /// thresholds, disk stream interleaving) are sensitive to it.
     fn complete_finished(&mut self) -> bool {
-        let mut changed = false;
-        for e in self.entries.iter_mut().flatten() {
-            if !e.done && e.remaining <= EPS {
-                e.done = true;
-                e.remaining = 0.0;
-                self.active -= 1;
-                self.total_weight -= e.weight;
-                changed = true;
-                if let Some(w) = e.waker.take() {
-                    w.wake();
-                }
+        let mut batch: Vec<usize> = Vec::new();
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.is_stale(top) {
+                FLUID_ADVANCE_WORK.with(|w| w.set(w.get() + 1));
+                self.heap.pop();
+                continue;
+            }
+            let idx = top.idx as usize;
+            let (finish_v, weight) = {
+                let e = self.entries[idx].as_ref().unwrap();
+                (e.finish_v, e.weight)
+            };
+            if !self.finished(finish_v, weight) {
+                break;
+            }
+            FLUID_ADVANCE_WORK.with(|w| w.set(w.get() + 1));
+            self.heap.pop();
+            // `advance` billed this entry through `vt`; refund the overshoot
+            // past its own finish tag so `served` stays exact.
+            self.served -= (self.vt - finish_v).max(0.0) * weight;
+            self.active -= 1;
+            self.total_weight -= weight;
+            self.entries[idx].as_mut().unwrap().done = true;
+            batch.push(idx);
+        }
+        let changed = !batch.is_empty();
+        batch.sort_unstable();
+        for idx in batch {
+            let e = self.entries[idx].as_mut().unwrap();
+            if let Some(w) = e.waker.take() {
+                w.wake();
             }
         }
         if self.active == 0 {
-            self.total_weight = 0.0; // kill accumulated float error
+            self.reset_clock();
         }
         changed
     }
 
+    /// With no active entries, rebase the virtual clock (kills accumulated
+    /// float error) and drop stale heap leftovers from cancellations.
+    fn reset_clock(&mut self) {
+        self.total_weight = 0.0;
+        self.vt = 0.0;
+        self.heap.clear();
+    }
+
     /// Seconds until the earliest active entry finishes at current rates.
-    fn time_to_next_completion(&self) -> Option<f64> {
-        let mut best: Option<f64> = None;
-        for e in self.entries.iter().flatten() {
-            if e.done {
-                continue;
-            }
-            let rate = self.rate_of(e);
-            if rate <= 0.0 {
-                continue;
-            }
-            let t = e.remaining / rate;
-            best = Some(match best {
-                Some(b) => b.min(t),
-                None => t,
-            });
+    fn time_to_next_completion(&mut self) -> Option<f64> {
+        if self.active == 0 {
+            return None;
         }
-        best
+        let r = self.unit_rate();
+        if r <= 0.0 {
+            return None;
+        }
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.is_stale(top) {
+                FLUID_ADVANCE_WORK.with(|w| w.set(w.get() + 1));
+                self.heap.pop();
+                continue;
+            }
+            let residual_v = (top.finish_v - self.vt).max(0.0);
+            return Some(residual_v / r);
+        }
+        None
     }
 }
 
@@ -152,9 +259,12 @@ impl Fluid {
                 capacity,
                 entry_cap,
                 entries: Vec::new(),
+                slot_gens: Vec::new(),
                 free: Vec::new(),
+                heap: BinaryHeap::new(),
                 active: 0,
                 total_weight: 0.0,
+                vt: 0.0,
                 last: sim.now(),
                 next_event: None,
                 served: 0.0,
@@ -234,30 +344,31 @@ impl Fluid {
         let mut inner = self.inner.borrow_mut();
         inner.advance(now);
         inner.complete_finished();
-        let entry = Entry {
-            remaining: amount,
-            weight,
-            waker: None,
-            done: amount <= EPS,
-            gen: 0,
-        };
+        let done = amount <= EPS;
+        let finish_v = inner.vt + amount / weight;
         let idx = if let Some(idx) = inner.free.pop() {
-            let gen = inner.entries[idx]
-                .as_ref()
-                .map(|e| e.gen)
-                .unwrap_or(0)
-                .wrapping_add(1);
-            inner.entries[idx] = Some(Entry { gen, ..entry });
             idx
         } else {
-            inner.entries.push(Some(entry));
+            inner.entries.push(None);
+            inner.slot_gens.push(0);
             inner.entries.len() - 1
         };
-        let gen = inner.entries[idx].as_ref().unwrap().gen;
-        let instant_done = inner.entries[idx].as_ref().unwrap().done;
-        if !instant_done {
+        let gen = inner.slot_gens[idx];
+        inner.entries[idx] = Some(Entry {
+            finish_v,
+            weight,
+            waker: None,
+            done,
+            gen,
+        });
+        if !done {
             inner.active += 1;
             inner.total_weight += weight;
+            inner.heap.push(Reverse(HeapItem {
+                finish_v,
+                idx: idx as u32,
+                gen,
+            }));
         }
         drop(inner);
         self.reschedule();
@@ -307,15 +418,15 @@ impl Fluid {
         inner.advance(now);
         inner.complete_finished();
         if let Some(e) = inner.entries[idx].take() {
-            // Keep generation alive in a tombstone for ABA protection.
-            inner.entries[idx] = None;
+            // Bump the slot generation so this entry's heap item goes stale.
+            inner.slot_gens[idx] = inner.slot_gens[idx].wrapping_add(1);
             inner.free.push(idx);
             if !e.done {
                 // Cancelled mid-flight.
                 inner.active -= 1;
                 inner.total_weight -= e.weight;
                 if inner.active == 0 {
-                    inner.total_weight = 0.0;
+                    inner.reset_clock();
                 }
                 drop(inner);
                 self.reschedule();
@@ -598,5 +709,44 @@ mod tests {
         sim.run();
         assert!((f.served() - 30.0).abs() < 1e-3);
         assert!((f.busy_seconds() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slot_reuse_after_cancel_ignores_stale_heap_items() {
+        // A cancelled consumer leaves a stale heap item behind; a new
+        // consumer reusing the slot must not be completed by it.
+        let sim = Sim::new(1);
+        let f = Fluid::new(&sim, 100.0);
+        let t = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            // Cancels at 0.1s with ~990u left → stale tag far in the future.
+            let f = f.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                use crate::sync::select::{select2, Either};
+                let r = select2(
+                    f.consume(1_000.0),
+                    sim2.sleep(SimDuration::from_millis(100)),
+                )
+                .await;
+                assert!(matches!(r, Either::Right(())));
+            })
+            .detach();
+        }
+        {
+            // Starts after the cancel, reuses the freed slot.
+            let f = f.clone();
+            let sim2 = sim.clone();
+            let t2 = Rc::clone(&t);
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(200)).await;
+                f.consume(100.0).await;
+                t2.set(sim2.now());
+            })
+            .detach();
+        }
+        sim.run();
+        // Sole consumer of 100u at 100u/s from t=0.2 → done at 1.2s.
+        assert_eq!(t.get().as_nanos(), 1_200_000_000);
     }
 }

@@ -23,8 +23,11 @@ struct Inner<T> {
     receivers: usize,
     recv_wakers: VecDeque<Waker>,
     send_wakers: VecDeque<Waker>,
-    /// Diagnostic name; shows up in deadlock reports as "recv on <name>".
-    name: Rc<str>,
+    /// Pre-formatted blocking labels ("send on <name>" / "recv on <name>"),
+    /// built once at construction so `Pending` polls record them with an
+    /// `Rc` clone instead of a `format!` allocation.
+    send_label: Rc<str>,
+    recv_label: Rc<str>,
 }
 
 impl<T> Inner<T> {
@@ -82,7 +85,8 @@ fn with_capacity_opt<T>(capacity: Option<usize>, name: &str) -> (Sender<T>, Rece
         receivers: 1,
         recv_wakers: VecDeque::new(),
         send_wakers: VecDeque::new(),
-        name: Rc::from(name),
+        send_label: Rc::from(format!("send on {name}").as_str()),
+        recv_label: Rc::from(format!("recv on {name}").as_str()),
     }));
     (
         Sender {
@@ -234,9 +238,9 @@ impl<T> Future for SendFuture<'_, T> {
         match inner.capacity {
             Some(cap) if inner.queue.len() >= cap => {
                 inner.send_wakers.push_back(cx.waker().clone());
-                let name = Rc::clone(&inner.name);
+                let label = Rc::clone(&inner.send_label);
                 drop(inner);
-                note_current_blocked(format!("send on {name}"));
+                note_current_blocked(label);
                 self.value = Some(value);
                 Poll::Pending
             }
@@ -266,9 +270,9 @@ impl<T> Future for RecvFuture<'_, T> {
             return Poll::Ready(None);
         }
         inner.recv_wakers.push_back(cx.waker().clone());
-        let name = Rc::clone(&inner.name);
+        let label = Rc::clone(&inner.recv_label);
         drop(inner);
-        note_current_blocked(format!("recv on {name}"));
+        note_current_blocked(label);
         Poll::Pending
     }
 }

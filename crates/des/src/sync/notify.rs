@@ -17,8 +17,10 @@ use crate::executor::note_current_blocked;
 struct Inner {
     epoch: u64,
     waiters: Vec<Waker>,
-    /// Diagnostic name; shows up in deadlock reports as "notified on <name>".
-    name: Rc<str>,
+    /// Pre-formatted blocking label ("notified on <name>"), built once at
+    /// construction so `Pending` polls record it with an `Rc` clone instead
+    /// of a `format!` allocation.
+    label: Rc<str>,
 }
 
 /// A cloneable, edge-triggered event.
@@ -47,7 +49,7 @@ impl Notify {
             inner: Rc::new(RefCell::new(Inner {
                 epoch: 0,
                 waiters: Vec::new(),
-                name: Rc::from(name),
+                label: Rc::from(format!("notified on {name}").as_str()),
             })),
         }
     }
@@ -88,9 +90,9 @@ impl Future for Notified {
             Poll::Ready(())
         } else {
             inner.waiters.push(cx.waker().clone());
-            let name = Rc::clone(&inner.name);
+            let label = Rc::clone(&inner.label);
             drop(inner);
-            note_current_blocked(format!("notified on {name}"));
+            note_current_blocked(label);
             Poll::Pending
         }
     }

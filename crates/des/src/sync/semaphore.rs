@@ -105,6 +105,7 @@ impl Semaphore {
             sem: self.clone(),
             need: n,
             id: None,
+            label: None,
         }
     }
 
@@ -171,6 +172,20 @@ pub struct AcquireFuture {
     sem: Semaphore,
     need: u64,
     id: Option<u64>,
+    /// Blocking label ("acquire(n) on <name>"), formatted lazily on the
+    /// first `Pending` poll and reused (an `Rc` clone) on every later one.
+    label: Option<Rc<str>>,
+}
+
+impl AcquireFuture {
+    fn blocked_label(&mut self, name: &Rc<str>) -> Rc<str> {
+        if self.label.is_none() {
+            self.label = Some(Rc::from(
+                format!("acquire({}) on {name}", self.need).as_str(),
+            ));
+        }
+        Rc::clone(self.label.as_ref().unwrap())
+    }
 }
 
 impl Future for AcquireFuture {
@@ -217,7 +232,8 @@ impl Future for AcquireFuture {
                 }
                 let name = Rc::clone(&inner.name);
                 drop(inner);
-                note_current_blocked(format!("acquire({}) on {name}", self.need));
+                let label = self.blocked_label(&name);
+                note_current_blocked(label);
                 self.id = Some(id);
                 Poll::Pending
             }
@@ -244,7 +260,8 @@ impl Future for AcquireFuture {
                     }
                     let name = Rc::clone(&inner.name);
                     drop(inner);
-                    note_current_blocked(format!("acquire({}) on {name}", self.need));
+                    let label = self.blocked_label(&name);
+                    note_current_blocked(label);
                     Poll::Pending
                 }
             }

@@ -84,6 +84,9 @@ pub struct Disk {
     slots: Semaphore,
     bw: Fluid,
     inner: Rc<RefCell<DiskInner>>,
+    /// Cached `disk.seeks` handle: stream switches are per-request, so the
+    /// counter bump must not pay a registry lookup.
+    c_seeks: rmr_des::Counter,
 }
 
 impl Disk {
@@ -99,6 +102,7 @@ impl Disk {
                 last_stream: None,
                 next_stream: 0,
             })),
+            c_seeks: sim.metrics().counter("disk.seeks"),
         }
     }
 
@@ -140,7 +144,7 @@ impl Disk {
             };
             if switched {
                 self.sim.sleep(self.params.access_latency).await;
-                self.sim.metrics().incr("disk.seeks");
+                self.c_seeks.incr();
             }
             if slice > 0 {
                 self.bw.consume(slice as f64).await;
