@@ -16,6 +16,7 @@ fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>)
 use rmr_core::merge::{Emit, StreamingMerge};
 use rmr_core::prefetch::{PrefetchCache, Priority};
 use rmr_core::record::SegmentCursor;
+use rmr_core::JobId;
 use rmr_core::{Record, Segment};
 use rmr_des::prelude::*;
 use rmr_net::{FabricParams, Network};
@@ -111,8 +112,8 @@ fn bench_prefetch_cache(c: &mut Criterion) {
             let cache = PrefetchCache::new(1 << 30);
             let mut hits = 0u64;
             for i in 0..1_000usize {
-                cache.insert(i % 64, 16 << 20, Priority::Prefetch);
-                if cache.lookup((i * 7) % 64) {
+                cache.insert((JobId(0), i % 64), 16 << 20, Priority::Prefetch);
+                if cache.lookup((JobId(0), (i * 7) % 64)) {
                     hits += 1;
                 }
             }

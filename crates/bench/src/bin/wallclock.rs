@@ -8,6 +8,9 @@
 //! Scenarios (full mode):
 //!   fig4a_30gb   — TeraSort 30 GB, 4 nodes × 1 HDD, all four Fig 4(a) systems
 //!   fig4b_100gb  — TeraSort 100 GB, 8 nodes × 1 HDD, all four Fig 4(b) systems
+//!   multijob     — 4 × 2 GB TeraSorts through one persistent OSU-IB runtime:
+//!                  sequential joins ("seq", the old one-job-at-a-time shape)
+//!                  vs a single concurrent FIFO submission ("fifo")
 //!   micro        — fluid-churn (three sizes, for the sub-quadratic check),
 //!                  event-heap, and merge-PQ (real + synthetic) kernels
 //!
@@ -28,11 +31,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
-use rmr_cluster::{tuned_block_size, tuned_conf, Bench, System, Testbed};
+use rmr_cluster::{
+    run_multijob, tuned_block_size, tuned_conf, Bench, MultiJobExperiment, System, Testbed,
+};
 use rmr_core::cluster::Cluster;
 use rmr_core::merge::{Emit, StreamingMerge};
 use rmr_core::record::{Record, Segment};
 use rmr_core::run_job;
+use rmr_core::SchedulePolicy;
 use rmr_des::resource::fluid::{Fluid, FLUID_ADVANCE_WORK};
 use rmr_des::{Sim, SimDuration};
 use rmr_hdfs::HdfsConfig;
@@ -101,6 +107,12 @@ fn main() {
     }
     for sys in fig4b {
         runs.push(run_macro("fig4b_100gb", sys, gb_b, nodes_b));
+    }
+
+    // -- Multi-job runtime: the same job mix joined one at a time vs
+    // submitted concurrently onto shared slots.
+    for concurrent in [false, true] {
+        runs.push(run_multijob_case(quick, concurrent));
     }
 
     // -- Micro kernels.
@@ -176,6 +188,53 @@ fn run_macro(scenario: &'static str, system: System, gb: f64, nodes: usize) -> R
     eprintln!(
         "  {scenario:12} {:12} sim {:6.0}s  wall {:6.2}s  events {:.2e}  fluid_work {:.2e}",
         run.case, run.sim_s, run.wall_s, run.events as f64, run.fluid_work as f64
+    );
+    run
+}
+
+/// Runs the multi-job mix through the persistent runtime and reports the
+/// makespan: summed job durations when joined sequentially, the slowest
+/// job's duration when everything is submitted at once.
+fn run_multijob_case(quick: bool, concurrent: bool) -> Run {
+    let (jobs, gb, nodes) = if quick { (2, 0.25, 2) } else { (4, 2.0, 4) };
+    let exp = MultiJobExperiment {
+        id: "wallclock-mj".to_string(),
+        system: System::OsuIb,
+        testbed: Testbed::compute(nodes, 1),
+        jobs,
+        data_gb_per_job: gb,
+        policy: SchedulePolicy::Fifo,
+        concurrent,
+        seed: 42,
+    };
+    let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
+    let t0 = Instant::now();
+    let recs = run_multijob(&exp);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
+    let sim_s = if concurrent {
+        recs.iter().map(|r| r.duration_s).fold(0.0, f64::max)
+    } else {
+        recs.iter().map(|r| r.duration_s).sum()
+    };
+    let run = Run {
+        scenario: "multijob",
+        case: format!(
+            "{}x{}gb_{}",
+            jobs,
+            gb,
+            if concurrent { "fifo" } else { "seq" }
+        ),
+        wall_s,
+        sim_s,
+        events: 0,
+        polls: 0,
+        fluid_work,
+        items: jobs as u64,
+    };
+    eprintln!(
+        "  {:12} {:16} sim {:6.0}s  wall {:6.2}s  jobs {}",
+        "multijob", run.case, run.sim_s, run.wall_s, run.items
     );
     run
 }

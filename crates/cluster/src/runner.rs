@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rmr_core::cluster::Cluster;
-use rmr_core::{run_job, JobResult};
+use rmr_core::{run_job, JobResult, Runtime, SchedulePolicy};
 use rmr_hdfs::HdfsConfig;
 use rmr_workloads::{randomwriter, sort_spec, teragen, terasort_spec};
 
@@ -85,6 +85,14 @@ pub struct RunRecord {
     pub shuffled_bytes: u64,
     /// PrefetchCache hit rate (0 when caching disabled).
     pub cache_hit_rate: f64,
+    /// Map attempts that failed and were re-executed.
+    pub failed_maps: usize,
+    /// Reduce attempts that failed and were re-executed.
+    pub failed_reduces: usize,
+    /// Seconds between job submission and its first launched attempt.
+    pub queue_wait_s: f64,
+    /// Fraction of the cluster's slot-seconds this job occupied while active.
+    pub slot_occupancy: f64,
 }
 
 impl RunRecord {
@@ -94,7 +102,9 @@ impl RunRecord {
         format!(
             "{{\"id\":{},\"bench\":{},\"system\":{},\"nodes\":{},\"disks\":{},\
              \"ssd\":{},\"data_gb\":{},\"duration_s\":{},\"map_phase_end_s\":{},\
-             \"maps\":{},\"reduces\":{},\"shuffled_bytes\":{},\"cache_hit_rate\":{}}}",
+             \"maps\":{},\"reduces\":{},\"shuffled_bytes\":{},\"cache_hit_rate\":{},\
+             \"failed_maps\":{},\"failed_reduces\":{},\"queue_wait_s\":{},\
+             \"slot_occupancy\":{}}}",
             json_str(&self.id),
             json_str(&self.bench),
             json_str(&self.system),
@@ -108,6 +118,10 @@ impl RunRecord {
             self.reduces,
             self.shuffled_bytes,
             self.cache_hit_rate,
+            self.failed_maps,
+            self.failed_reduces,
+            self.queue_wait_s,
+            self.slot_occupancy,
         )
     }
 
@@ -128,6 +142,10 @@ impl RunRecord {
             reduces: 0,
             shuffled_bytes: 0,
             cache_hit_rate: 0.0,
+            failed_maps: 0,
+            failed_reduces: 0,
+            queue_wait_s: 0.0,
+            slot_occupancy: 0.0,
         };
         for (key, value) in json_fields(json)? {
             match key.as_str() {
@@ -144,6 +162,10 @@ impl RunRecord {
                 "reduces" => rec.reduces = value.into_number()? as usize,
                 "shuffled_bytes" => rec.shuffled_bytes = value.into_number()? as u64,
                 "cache_hit_rate" => rec.cache_hit_rate = value.into_number()?,
+                "failed_maps" => rec.failed_maps = value.into_number()? as usize,
+                "failed_reduces" => rec.failed_reduces = value.into_number()? as usize,
+                "queue_wait_s" => rec.queue_wait_s = value.into_number()?,
+                "slot_occupancy" => rec.slot_occupancy = value.into_number()?,
                 _ => {}
             }
         }
@@ -170,6 +192,10 @@ impl RunRecord {
             } else {
                 res.cache_hits as f64 / lookups as f64
             },
+            failed_maps: res.failed_map_attempts,
+            failed_reduces: res.failed_reduce_attempts,
+            queue_wait_s: res.queue_wait_s,
+            slot_occupancy: res.slot_occupancy,
         }
     }
 }
@@ -357,6 +383,101 @@ pub fn run_experiment(exp: &Experiment) -> RunRecord {
     RunRecord::from_result(exp, &res)
 }
 
+/// A multi-job experiment point: `jobs` identical TeraSort jobs through one
+/// persistent runtime, either submitted all at once (concurrent, the slots
+/// are shared) or joined one after another (sequential baseline).
+#[derive(Debug, Clone)]
+pub struct MultiJobExperiment {
+    /// Experiment id, echoed into each per-job record as `{id}-j{n}`.
+    pub id: String,
+    /// Which system.
+    pub system: System,
+    /// Cluster shape.
+    pub testbed: Testbed,
+    /// How many jobs to submit.
+    pub jobs: usize,
+    /// Dataset size per job, GB.
+    pub data_gb_per_job: f64,
+    /// How the control plane orders jobs competing for slots.
+    pub policy: SchedulePolicy,
+    /// Submit everything up front (true) or join each job before the next.
+    pub concurrent: bool,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// Runs a multi-job experiment; returns one record per job, in submission
+/// order, with per-job queue wait and slot occupancy filled in.
+pub fn run_multijob(exp: &MultiJobExperiment) -> Vec<RunRecord> {
+    let sim = rmr_des::Sim::new(exp.seed);
+    let cluster = Cluster::build(
+        &sim,
+        exp.system.fabric(),
+        &exp.testbed.node_specs(),
+        HdfsConfig {
+            block_size: tuned_block_size(exp.system, Bench::TeraSort),
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let conf = tuned_conf(exp.system, Bench::TeraSort, &exp.testbed);
+    let bytes = (exp.data_gb_per_job * (1u64 << 30) as f64) as u64;
+    let results: Rc<RefCell<Vec<JobResult>>> = Rc::new(RefCell::new(Vec::new()));
+    let r2 = Rc::clone(&results);
+    let c2 = cluster.clone();
+    let jobs = exp.jobs;
+    let concurrent = exp.concurrent;
+    let policy = exp.policy;
+    sim.spawn_named("multijob-driver", async move {
+        for i in 0..jobs {
+            teragen(&c2, &format!("/mj/in{i}"), bytes, false).await;
+        }
+        let rt = Runtime::with_policy(&c2, conf.clone(), policy);
+        if concurrent {
+            let ids: Vec<_> = (0..jobs)
+                .map(|i| {
+                    rt.submit(
+                        conf.clone(),
+                        terasort_spec(&format!("/mj/in{i}"), &format!("/mj/out{i}")),
+                    )
+                })
+                .collect();
+            for id in ids {
+                let res = rt.join(id).await;
+                r2.borrow_mut().push(res);
+            }
+        } else {
+            for i in 0..jobs {
+                let id = rt.submit(
+                    conf.clone(),
+                    terasort_spec(&format!("/mj/in{i}"), &format!("/mj/out{i}")),
+                );
+                let res = rt.join(id).await;
+                r2.borrow_mut().push(res);
+            }
+        }
+    })
+    .detach();
+    sim.run();
+    let results = results.borrow();
+    assert_eq!(results.len(), exp.jobs, "multijob {} hung", exp.id);
+    results
+        .iter()
+        .enumerate()
+        .map(|(i, res)| {
+            let point = Experiment::new(
+                format!("{}-j{i}", exp.id),
+                Bench::TeraSort,
+                exp.system,
+                exp.testbed.clone(),
+                exp.data_gb_per_job,
+                exp.seed,
+            );
+            RunRecord::from_result(&point, res)
+        })
+        .collect()
+}
+
 /// Runs experiments in parallel across `threads` OS threads, preserving
 /// input order in the output.
 pub fn run_all(experiments: &[Experiment], threads: usize) -> Vec<RunRecord> {
@@ -498,12 +619,55 @@ mod tests {
             reduces: 64,
             shuffled_bytes: 1 << 33,
             cache_hit_rate: 0.75,
+            failed_maps: 2,
+            failed_reduces: 1,
+            queue_wait_s: 3.25,
+            slot_occupancy: 0.625,
         };
         let back = RunRecord::from_json(&rec.to_json()).unwrap();
         assert_eq!(back.id, rec.id);
         assert_eq!(back.ssd, rec.ssd);
         assert_eq!(back.shuffled_bytes, rec.shuffled_bytes);
         assert_eq!(back.cache_hit_rate, rec.cache_hit_rate);
+        assert_eq!(back.failed_maps, 2);
+        assert_eq!(back.failed_reduces, 1);
+        assert_eq!(back.queue_wait_s, rec.queue_wait_s);
+        assert_eq!(back.slot_occupancy, rec.slot_occupancy);
+    }
+
+    #[test]
+    fn concurrent_multijob_shares_the_cluster() {
+        let exp = MultiJobExperiment {
+            id: "mj".to_string(),
+            system: System::OsuIb,
+            testbed: Testbed::compute(2, 1),
+            jobs: 2,
+            data_gb_per_job: 0.25,
+            policy: SchedulePolicy::Fifo,
+            concurrent: true,
+            seed: 7,
+        };
+        let recs = run_multijob(&exp);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "mj-j0");
+        assert_eq!(recs[1].id, "mj-j1");
+        for r in &recs {
+            assert!(r.duration_s > 0.0);
+            assert!(r.queue_wait_s >= 0.0);
+            assert!(r.slot_occupancy > 0.0 && r.slot_occupancy <= 1.0);
+        }
+        // The sequential variant of the same point must take at least as
+        // long end to end as the concurrent one (no slot sharing).
+        let seq = run_multijob(&MultiJobExperiment {
+            concurrent: false,
+            ..exp
+        });
+        let seq_end: f64 = seq.iter().map(|r| r.duration_s).sum();
+        let conc_last = recs.last().unwrap().duration_s;
+        assert!(
+            conc_last <= seq_end + 1e-6,
+            "concurrent makespan {conc_last} vs sequential {seq_end}"
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! — RDMA packet size, caching toggle, kv-pairs per packet — as a
 //! contribution over Hadoop-A, so all of those are first-class here.
 
+use std::rc::Rc;
+
 use rmr_des::SimDuration;
+
+use crate::engine::{HadoopAEngine, OsuIbEngine, ShuffleEngine, VanillaEngine};
 
 /// Which shuffle engine a job runs (the paper's three systems).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +31,17 @@ impl ShuffleKind {
     /// Whether the engine runs over IB verbs (vs sockets).
     pub fn uses_rdma(self) -> bool {
         !matches!(self, ShuffleKind::Vanilla)
+    }
+
+    /// Constructs the engine implementation for this kind. This factory is
+    /// the one place that branches on the kind — everything downstream
+    /// dispatches through the [`ShuffleEngine`] trait.
+    pub fn engine(self) -> Rc<dyn ShuffleEngine> {
+        match self {
+            ShuffleKind::Vanilla => Rc::new(VanillaEngine),
+            ShuffleKind::HadoopA => Rc::new(HadoopAEngine),
+            ShuffleKind::OsuIb => Rc::new(OsuIbEngine),
+        }
     }
 
     /// Display name used in experiment tables.
@@ -218,6 +233,16 @@ impl JobConf {
     /// Stock Hadoop 0.20.2.
     pub fn vanilla() -> Self {
         JobConf::default()
+    }
+
+    /// The paper's preset for `kind` (caching on only where the design
+    /// has a cache).
+    pub fn for_kind(kind: ShuffleKind) -> Self {
+        JobConf {
+            shuffle: kind,
+            caching_enabled: kind == ShuffleKind::OsuIb,
+            ..Default::default()
+        }
     }
 }
 

@@ -1,407 +1,20 @@
-//! Job orchestration: drives a complete MapReduce job on a [`Cluster`].
+//! Single-job convenience wrapper over the persistent cluster runtime.
 //!
-//! `run_job` computes input splits, builds the JobTracker, starts a
-//! TaskTracker (with its shuffle server) on every worker, and runs the
-//! heartbeat-driven scheduling loop until every ReduceTask has committed
-//! its output. The returned [`JobResult`] carries the phase timings and
-//! volume counters the benchmark harness reports.
-
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use rmr_des::prelude::*;
+//! `run_job` spins up a fresh [`Runtime`] on the cluster, submits the one
+//! job, and waits for it — exactly what the figure benchmarks need. The
+//! scheduling loop, task-attempt spawning, and result assembly all live in
+//! [`crate::runtime`].
 
 use crate::cluster::Cluster;
-use crate::config::{JobConf, ShuffleKind};
-use crate::jobtracker::{JobTracker, MapTaskDesc};
-use crate::mapoutput::MapOutputStore;
-use crate::maptask::run_map;
-use crate::reduce::common::{ReduceCtx, ReduceStats};
-use crate::reduce::rdma::run_reduce_rdma;
-use crate::reduce::vanilla::run_reduce_vanilla;
+use crate::config::JobConf;
+use crate::runtime::Runtime;
 use crate::spec::JobSpec;
-use crate::tasktracker::{start_shuffle_server, TaskTracker, TtServerHandle};
-use crate::timeline::{Outcome, TaskEvent, TaskKind, Timeline};
 
-/// Heartbeat RPC payload size on the wire.
-const HEARTBEAT_BYTES: u64 = 1024;
-
-/// Results of one job run.
-#[derive(Debug, Clone)]
-pub struct JobResult {
-    /// Job name.
-    pub name: String,
-    /// The engine that ran it.
-    pub shuffle: ShuffleKind,
-    /// Job execution time, seconds (submission at t=start to last reduce
-    /// commit).
-    pub duration_s: f64,
-    /// Virtual time the job started.
-    pub start_s: f64,
-    /// Virtual time the last map finished.
-    pub map_phase_end_s: f64,
-    /// Virtual time the job finished.
-    pub end_s: f64,
-    /// Map task count.
-    pub maps: usize,
-    /// Reduce task count.
-    pub reduces: usize,
-    /// Input bytes read from HDFS.
-    pub input_bytes: u64,
-    /// Intermediate bytes shuffled.
-    pub shuffled_bytes: u64,
-    /// Output bytes written to HDFS.
-    pub output_bytes: u64,
-    /// PrefetchCache hits and misses across TaskTrackers (OSU-IB).
-    pub cache_hits: u64,
-    /// PrefetchCache misses.
-    pub cache_misses: u64,
-    /// Map attempts that failed (fault injection) and were re-executed.
-    pub failed_map_attempts: usize,
-    /// Per-reducer phase stats.
-    pub reduce_stats: Vec<ReduceStats>,
-    /// Every task attempt's lifetime (swimlane data).
-    pub timeline: Vec<TaskEvent>,
-}
-
-struct JobProgress {
-    map_phase_end_s: f64,
-    reduce_stats: Vec<Option<ReduceStats>>,
-    done: Notify,
-}
+pub use crate::runtime::JobResult;
 
 /// Runs `spec` on `cluster` under `conf`, returning when the job commits.
 pub async fn run_job(cluster: &Cluster, conf: JobConf, spec: JobSpec) -> JobResult {
-    let sim = cluster.sim.clone();
-    let start = sim.now();
-    let conf = Rc::new(conf);
-
-    // Input splits with locality info. The input names either a single file
-    // or a directory prefix whose files are all scanned (TeraGen and
-    // RandomWriter write one part file per worker).
-    let input_files: Vec<String> = if cluster.hdfs.exists(&spec.input) {
-        vec![spec.input.clone()]
-    } else {
-        let prefix = format!("{}/", spec.input.trim_end_matches('/'));
-        let files: Vec<String> = cluster
-            .hdfs
-            .list()
-            .into_iter()
-            .filter(|p| p.starts_with(&prefix))
-            .collect();
-        assert!(!files.is_empty(), "job input missing: {}", spec.input);
-        files
-    };
-    let mut splits = Vec::new();
-    for f in &input_files {
-        splits.extend(cluster.hdfs.split_locations(f).expect("job input missing"));
-    }
-    let input_bytes: u64 = splits.iter().map(|(b, _)| b.size).sum();
-    let descs: Vec<MapTaskDesc> = splits
-        .into_iter()
-        .enumerate()
-        .map(|(idx, (block, locations))| MapTaskDesc {
-            idx,
-            block,
-            locations,
-        })
-        .collect();
-    let total_maps = descs.len();
-
-    let jt = Rc::new(RefCell::new(JobTracker::new(
-        descs,
-        conf.num_reduces,
-        conf.reduce_slowstart,
-        conf.fail_map_once,
-    )));
-    jt.borrow_mut().set_speculative(conf.speculative_maps);
-    jt.borrow_mut().set_fail_reduce_once(conf.fail_reduce_once);
-    let outputs = MapOutputStore::new();
-
-    // TaskTrackers + shuffle servers on every worker.
-    let mut tts = Vec::new();
-    let mut servers = Vec::new();
-    for (i, w) in cluster.workers.iter().enumerate() {
-        let tt = TaskTracker::new(&sim, i, w.clone(), Rc::clone(&conf), outputs.clone());
-        servers.push(start_shuffle_server(&tt, &cluster.net));
-        tts.push(tt);
-    }
-    let servers: Rc<Vec<TtServerHandle>> = Rc::new(servers);
-
-    let timeline = Timeline::new();
-    let progress = Rc::new(RefCell::new(JobProgress {
-        map_phase_end_s: 0.0,
-        reduce_stats: vec![None; conf.num_reduces],
-        done: Notify::new(),
-    }));
-
-    // Heartbeat loop per TaskTracker.
-    for tt in &tts {
-        let hb_name = format!("tt{}-heartbeat", tt.idx);
-        let tt = Rc::clone(tt);
-        let cluster2 = cluster.clone();
-        let conf2 = Rc::clone(&conf);
-        let spec2 = spec.clone();
-        let jt2 = Rc::clone(&jt);
-        let outputs2 = outputs.clone();
-        let servers2 = Rc::clone(&servers);
-        let progress2 = Rc::clone(&progress);
-        let timeline2 = timeline.clone();
-        let sim2 = sim.clone();
-        sim.spawn_named(hb_name, async move {
-            loop {
-                if jt2.borrow().job_done() {
-                    break;
-                }
-                // Heartbeat RPC to the JobTracker.
-                cluster2
-                    .net
-                    .transfer(tt.node.id, cluster2.master, HEARTBEAT_BYTES)
-                    .await;
-                let free_m = tt.map_slots.available() as usize;
-                let free_r = tt.reduce_slots.available() as usize;
-                let (maps, reduces) = jt2.borrow_mut().heartbeat(tt.node.id, free_m, free_r);
-                cluster2
-                    .net
-                    .transfer(cluster2.master, tt.node.id, HEARTBEAT_BYTES)
-                    .await;
-
-                for desc in maps {
-                    let permit = tt
-                        .map_slots
-                        .try_acquire(1)
-                        .expect("slot advertised but unavailable");
-                    spawn_map_attempt(
-                        &sim2, &cluster2, &conf2, &spec2, &jt2, &outputs2, &tt, desc, permit,
-                        &progress2, &timeline2,
-                    );
-                }
-                for reduce_idx in reduces {
-                    let permit = tt
-                        .reduce_slots
-                        .try_acquire(1)
-                        .expect("slot advertised but unavailable");
-                    spawn_reduce_attempt(
-                        &sim2, &cluster2, &conf2, &spec2, &jt2, &servers2, &tt, reduce_idx, permit,
-                        &progress2, total_maps, &timeline2,
-                    );
-                }
-                sim2.sleep(conf2.heartbeat).await;
-            }
-        })
-        .detach();
-    }
-
-    // Wait for completion.
-    loop {
-        if jt.borrow().job_done() {
-            break;
-        }
-        let waiter = progress.borrow().done.notified();
-        waiter.await;
-    }
-
-    let end = sim.now();
-    let (mut hits, mut misses) = (0u64, 0u64);
-    for tt in &tts {
-        let (h, m) = tt.cache.stats();
-        hits += h;
-        misses += m;
-    }
-    let failed_map_attempts = jt.borrow().failures_seen();
-    let prog = progress.borrow();
-    let reduce_stats: Vec<ReduceStats> = prog
-        .reduce_stats
-        .iter()
-        .map(|s| s.clone().expect("reducer finished without stats"))
-        .collect();
-    let shuffled_bytes = reduce_stats.iter().map(|s| s.shuffled_bytes).sum();
-    let output_bytes = reduce_stats.iter().map(|s| s.output_bytes).sum();
-    JobResult {
-        name: spec.name.clone(),
-        shuffle: conf.shuffle,
-        duration_s: (end - start).as_secs_f64(),
-        start_s: start.as_secs_f64(),
-        map_phase_end_s: prog.map_phase_end_s,
-        end_s: end.as_secs_f64(),
-        maps: total_maps,
-        reduces: conf.num_reduces,
-        input_bytes,
-        shuffled_bytes,
-        output_bytes,
-        cache_hits: hits,
-        cache_misses: misses,
-        failed_map_attempts,
-        reduce_stats,
-        timeline: timeline.events(),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn spawn_map_attempt(
-    sim: &Sim,
-    cluster: &Cluster,
-    conf: &Rc<JobConf>,
-    spec: &JobSpec,
-    jt: &Rc<RefCell<JobTracker>>,
-    outputs: &MapOutputStore,
-    tt: &Rc<TaskTracker>,
-    desc: MapTaskDesc,
-    permit: Permit,
-    progress: &Rc<RefCell<JobProgress>>,
-    timeline: &Timeline,
-) {
-    let timeline = timeline.clone();
-    let cluster = cluster.clone();
-    let conf = Rc::clone(conf);
-    let spec = spec.clone();
-    let jt = Rc::clone(jt);
-    let outputs = outputs.clone();
-    let tt = Rc::clone(tt);
-    let progress = Rc::clone(progress);
-    let sim2c = sim.clone();
-    sim.spawn_named(format!("map-task-{}", desc.idx), async move {
-        let sim2 = sim2c;
-        let attempt_start = sim2.now().as_secs_f64();
-        // JVM spawn + task localisation.
-        sim2.sleep(conf.task_launch_overhead).await;
-        let fail = jt.borrow_mut().should_fail(desc.idx);
-        let abort = fail.then_some(0.5);
-        let out = run_map(&cluster, &conf, &spec, &tt, &desc, abort).await;
-        // Status notification to the JobTracker.
-        cluster.net.transfer(tt.node.id, cluster.master, 256).await;
-        let idx = desc.idx;
-        match out {
-            Some(info) => {
-                let map_idx = info.map_idx;
-                let first = jt.borrow_mut().map_completed(map_idx, tt.idx);
-                timeline.record(TaskEvent {
-                    kind: TaskKind::Map,
-                    idx,
-                    tt: tt.idx,
-                    start_s: attempt_start,
-                    end_s: sim2.now().as_secs_f64(),
-                    outcome: if first {
-                        Outcome::Completed
-                    } else {
-                        Outcome::Discarded
-                    },
-                });
-                if first {
-                    // Only the winning attempt's output is committed;
-                    // speculative losers are discarded (their file stays on
-                    // disk until job cleanup, as in Hadoop).
-                    outputs.insert(info);
-                    tt.on_map_output(map_idx);
-                    let jtb = jt.borrow();
-                    if jtb.maps_done() {
-                        drop(jtb);
-                        progress.borrow_mut().map_phase_end_s = sim2.now().as_secs_f64();
-                    }
-                }
-            }
-            None => {
-                timeline.record(TaskEvent {
-                    kind: TaskKind::Map,
-                    idx,
-                    tt: tt.idx,
-                    start_s: attempt_start,
-                    end_s: sim2.now().as_secs_f64(),
-                    outcome: Outcome::Failed,
-                });
-                jt.borrow_mut().map_failed(desc);
-            }
-        }
-        drop(permit);
-    })
-    .detach();
-}
-
-#[allow(clippy::too_many_arguments)]
-fn spawn_reduce_attempt(
-    sim: &Sim,
-    cluster: &Cluster,
-    conf: &Rc<JobConf>,
-    spec: &JobSpec,
-    jt: &Rc<RefCell<JobTracker>>,
-    servers: &Rc<Vec<TtServerHandle>>,
-    tt: &Rc<TaskTracker>,
-    reduce_idx: usize,
-    permit: Permit,
-    progress: &Rc<RefCell<JobProgress>>,
-    total_maps: usize,
-    timeline: &Timeline,
-) {
-    let timeline = timeline.clone();
-    let ctx = ReduceCtx {
-        cluster: cluster.clone(),
-        conf: Rc::clone(conf),
-        spec: spec.clone(),
-        jt: Rc::clone(jt),
-        servers: Rc::clone(servers),
-        tt: Rc::clone(tt),
-        reduce_idx,
-        total_maps,
-    };
-    let cluster = cluster.clone();
-    let jt = Rc::clone(jt);
-    let progress = Rc::clone(progress);
-    let kind = conf.shuffle;
-    let launch = conf.task_launch_overhead;
-    let sim2 = sim.clone();
-    let tt_idx = tt.idx;
-    sim.spawn_named(format!("reduce-task-{reduce_idx}"), async move {
-        let attempt_start = sim2.now().as_secs_f64();
-        sim2.sleep(launch).await;
-        // Fault injection: this attempt dies before shuffling and the task
-        // goes back to the queue (detected at the next status interval).
-        if jt.borrow_mut().should_fail_reduce(reduce_idx) {
-            sim2.sleep(SimDuration::from_secs(10)).await;
-            cluster
-                .net
-                .transfer(ctx.tt.node.id, cluster.master, 256)
-                .await;
-            timeline.record(TaskEvent {
-                kind: TaskKind::Reduce,
-                idx: reduce_idx,
-                tt: tt_idx,
-                start_s: attempt_start,
-                end_s: sim2.now().as_secs_f64(),
-                outcome: Outcome::Failed,
-            });
-            jt.borrow_mut().reduce_failed(reduce_idx);
-            drop(permit);
-            return;
-        }
-        let stats = match kind {
-            ShuffleKind::Vanilla => run_reduce_vanilla(ctx).await,
-            ShuffleKind::HadoopA | ShuffleKind::OsuIb => run_reduce_rdma(ctx).await,
-        };
-        // Commit notification.
-        cluster
-            .net
-            .transfer(cluster.workers[0].id, cluster.master, 256)
-            .await;
-        timeline.record(TaskEvent {
-            kind: TaskKind::Reduce,
-            idx: reduce_idx,
-            tt: tt_idx,
-            start_s: attempt_start,
-            end_s: sim2.now().as_secs_f64(),
-            outcome: Outcome::Completed,
-        });
-        {
-            let mut prog = progress.borrow_mut();
-            prog.reduce_stats[reduce_idx] = Some(stats);
-        }
-        let mut jtb = jt.borrow_mut();
-        jtb.reduce_completed();
-        let finished = jtb.job_done();
-        drop(jtb);
-        if finished {
-            progress.borrow().done.notify_all();
-        }
-        drop(permit);
-    })
-    .detach();
+    let rt = Runtime::start(cluster, conf.clone());
+    let id = rt.submit(conf, spec);
+    rt.join(id).await
 }

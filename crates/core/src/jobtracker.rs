@@ -42,7 +42,8 @@ pub struct JobTracker {
     fail_map_once: Option<usize>,
     /// Fault injection: this reduce index fails once.
     fail_reduce_once: Option<usize>,
-    failures_seen: usize,
+    map_failures: usize,
+    reduce_failures: usize,
     /// Speculative execution enabled?
     speculative: bool,
     /// Maps currently running: idx → (attempts in flight, descriptor,
@@ -76,7 +77,8 @@ impl JobTracker {
             slowstart,
             fail_map_once,
             fail_reduce_once: None,
-            failures_seen: 0,
+            map_failures: 0,
+            reduce_failures: 0,
             speculative: false,
             running: BTreeMap::new(),
             launch_seq: 0,
@@ -204,16 +206,21 @@ impl JobTracker {
     pub fn should_fail(&mut self, map_idx: usize) -> bool {
         if self.fail_map_once == Some(map_idx) {
             self.fail_map_once = None;
-            self.failures_seen += 1;
+            self.map_failures += 1;
             true
         } else {
             false
         }
     }
 
-    /// Number of injected failures that fired.
-    pub fn failures_seen(&self) -> usize {
-        self.failures_seen
+    /// Map attempts that failed and were re-executed.
+    pub fn map_failures_seen(&self) -> usize {
+        self.map_failures
+    }
+
+    /// Reduce attempts that failed and were re-executed.
+    pub fn reduce_failures_seen(&self) -> usize {
+        self.reduce_failures
     }
 
     /// A map attempt finished on TaskTracker `tt_idx`. Returns `true` when
@@ -253,7 +260,7 @@ impl JobTracker {
     pub fn should_fail_reduce(&mut self, reduce_idx: usize) -> bool {
         if self.fail_reduce_once == Some(reduce_idx) {
             self.fail_reduce_once = None;
-            self.failures_seen += 1;
+            self.reduce_failures += 1;
             true
         } else {
             false
@@ -360,7 +367,8 @@ mod tests {
         assert_eq!(maps.len(), 1);
         jt.map_completed(0, 1);
         assert!(jt.maps_done());
-        assert_eq!(jt.failures_seen(), 1);
+        assert_eq!(jt.map_failures_seen(), 1);
+        assert_eq!(jt.reduce_failures_seen(), 0);
     }
 
     #[test]
@@ -407,6 +415,12 @@ mod tests {
         jt.reduce_completed();
         jt.reduce_completed();
         assert!(jt.job_done());
+        assert_eq!(jt.reduce_failures_seen(), 1);
+        assert_eq!(
+            jt.map_failures_seen(),
+            0,
+            "reduce failure is not a map failure"
+        );
     }
 
     #[test]

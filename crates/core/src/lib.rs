@@ -12,8 +12,10 @@
 //!   [`prefetch::PrefetchCache`] + `MapOutputPrefetcher`, byte-budgeted
 //!   packets, and full shuffle/merge/reduce overlap ([`reduce::rdma`]).
 //!
-//! Entry point: [`job::run_job`] on a [`cluster::Cluster`] with a
-//! [`config::JobConf`] and [`spec::JobSpec`].
+//! Entry points: [`runtime::Runtime`] for a persistent multi-job cluster
+//! (submit/poll/join over shared TaskTrackers and task slots), or the
+//! single-job wrapper [`job::run_job`], both on a [`cluster::Cluster`]
+//! with a [`config::JobConf`] and [`spec::JobSpec`].
 //!
 //! The data plane is dual: tests and examples run *real* records through
 //! sort/partition/merge/validate; paper-scale benchmarks run the same code
@@ -21,6 +23,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod engine;
 pub mod job;
 pub mod jobtracker;
 pub mod mapoutput;
@@ -30,15 +33,18 @@ pub mod prefetch;
 pub mod proto;
 pub mod record;
 pub mod reduce;
+pub mod runtime;
 pub mod spec;
 pub mod tasktracker;
 pub mod timeline;
 
 pub use cluster::{Cluster, NodeHandle, NodeSpec};
 pub use config::{CpuCosts, JobConf, ShuffleKind};
+pub use engine::ShuffleEngine;
 pub use job::{run_job, JobResult};
 pub use record::{
     decode_records, encode_records, HashPartitioner, Partitioner, Record, Segment,
     TotalOrderPartitioner,
 };
+pub use runtime::{JobId, Runtime, SchedulePolicy};
 pub use spec::JobSpec;

@@ -3,8 +3,10 @@
 //!
 //! The store is the simulation's omniscient view of the intermediate data
 //! directory (`mapred.local.dir`); serving that data still charges the
-//! owning TaskTracker's disks and network. Serving state (how far each
-//! reducer has consumed each segment) lives with the TaskTracker.
+//! owning TaskTracker's disks and network. The store is cluster-lifetime
+//! and serves every job on the runtime, so entries are keyed by
+//! `(JobId, map_idx)`. Serving state (how far each reducer has consumed
+//! each segment) lives with the TaskTracker.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -13,10 +15,13 @@ use std::rc::Rc;
 use rmr_net::NodeId;
 
 use crate::record::Segment;
+use crate::runtime::JobId;
 
 /// One completed map's output.
 #[derive(Debug)]
 pub struct MapOutputInfo {
+    /// The job this output belongs to.
+    pub job: JobId,
     /// The map task index.
     pub map_idx: usize,
     /// The TaskTracker (worker index) holding the output.
@@ -33,10 +38,12 @@ pub struct MapOutputInfo {
     pub parts: Vec<Segment>,
 }
 
-/// Registry of completed map outputs.
+type OutputsByJobAndMap = BTreeMap<(JobId, usize), Rc<MapOutputInfo>>;
+
+/// Registry of completed map outputs across all jobs on the runtime.
 #[derive(Clone, Default)]
 pub struct MapOutputStore {
-    inner: Rc<RefCell<BTreeMap<usize, Rc<MapOutputInfo>>>>,
+    inner: Rc<RefCell<OutputsByJobAndMap>>,
 }
 
 impl MapOutputStore {
@@ -47,20 +54,27 @@ impl MapOutputStore {
 
     /// Registers a completed map output.
     pub fn insert(&self, info: MapOutputInfo) {
-        self.inner.borrow_mut().insert(info.map_idx, Rc::new(info));
+        self.inner
+            .borrow_mut()
+            .insert((info.job, info.map_idx), Rc::new(info));
     }
 
     /// Fetches a map's output info.
-    pub fn get(&self, map_idx: usize) -> Option<Rc<MapOutputInfo>> {
-        self.inner.borrow().get(&map_idx).cloned()
+    pub fn get(&self, job: JobId, map_idx: usize) -> Option<Rc<MapOutputInfo>> {
+        self.inner.borrow().get(&(job, map_idx)).cloned()
     }
 
-    /// Removes (job cleanup or failed-map invalidation).
-    pub fn remove(&self, map_idx: usize) -> Option<Rc<MapOutputInfo>> {
-        self.inner.borrow_mut().remove(&map_idx)
+    /// Removes (failed-map invalidation).
+    pub fn remove(&self, job: JobId, map_idx: usize) -> Option<Rc<MapOutputInfo>> {
+        self.inner.borrow_mut().remove(&(job, map_idx))
     }
 
-    /// Number of registered outputs.
+    /// Drops every output of `job` (job cleanup at commit).
+    pub fn remove_job(&self, job: JobId) {
+        self.inner.borrow_mut().retain(|(j, _), _| *j != job);
+    }
+
+    /// Number of registered outputs (all jobs).
     pub fn len(&self) -> usize {
         self.inner.borrow().len()
     }
@@ -80,12 +94,13 @@ impl MapOutputStore {
 mod tests {
     use super::*;
 
-    fn info(idx: usize, bytes: u64) -> MapOutputInfo {
+    fn info(job: u32, idx: usize, bytes: u64) -> MapOutputInfo {
         MapOutputInfo {
+            job: JobId(job),
             map_idx: idx,
             tt_idx: 0,
             node: NodeId(0),
-            file: format!("map_{idx}.out"),
+            file: format!("j{job}_map_{idx}.out"),
             total_bytes: bytes,
             total_records: bytes / 10,
             parts: vec![Segment::synthetic(bytes / 10, bytes)],
@@ -95,13 +110,26 @@ mod tests {
     #[test]
     fn insert_get_remove() {
         let s = MapOutputStore::new();
-        s.insert(info(3, 100));
-        s.insert(info(5, 200));
+        s.insert(info(0, 3, 100));
+        s.insert(info(0, 5, 200));
         assert_eq!(s.len(), 2);
-        assert_eq!(s.get(3).unwrap().total_bytes, 100);
+        assert_eq!(s.get(JobId(0), 3).unwrap().total_bytes, 100);
         assert_eq!(s.total_bytes(), 300);
-        assert!(s.remove(3).is_some());
-        assert!(s.get(3).is_none());
+        assert!(s.remove(JobId(0), 3).is_some());
+        assert!(s.get(JobId(0), 3).is_none());
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn jobs_are_isolated() {
+        let s = MapOutputStore::new();
+        s.insert(info(0, 1, 100));
+        s.insert(info(1, 1, 200));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(JobId(0), 1).unwrap().total_bytes, 100);
+        assert_eq!(s.get(JobId(1), 1).unwrap().total_bytes, 200);
+        s.remove_job(JobId(0));
+        assert!(s.get(JobId(0), 1).is_none());
+        assert_eq!(s.get(JobId(1), 1).unwrap().total_bytes, 200);
     }
 }

@@ -13,17 +13,19 @@ use crate::config::JobConf;
 use crate::jobtracker::MapTaskDesc;
 use crate::mapoutput::MapOutputInfo;
 use crate::record::{decode_records, Record, Segment};
+use crate::runtime::JobId;
 use crate::spec::JobSpec;
 use crate::tasktracker::TaskTracker;
 
-/// Runs one map attempt. When `abort_fraction` is set (fault injection),
-/// the attempt does that fraction of its input work and then dies, returning
-/// `None`.
+/// Runs one map attempt of `job`. When `abort_fraction` is set (fault
+/// injection), the attempt does that fraction of its input work and then
+/// dies, returning `None`.
 pub async fn run_map(
     cluster: &Cluster,
     conf: &JobConf,
     spec: &JobSpec,
     tt: &Rc<TaskTracker>,
+    job: JobId,
     desc: &MapTaskDesc,
     abort_fraction: Option<f64>,
 ) -> Option<MapOutputInfo> {
@@ -110,7 +112,7 @@ pub async fn run_map(
             + costs.serde_per_byte * out_bytes as f64;
     node.compute(sort_cpu).await;
 
-    let final_file = format!("map_{idx}.out", idx = desc.idx);
+    let final_file = format!("{job}_map_{idx}.out", idx = desc.idx);
     if n_spills == 1 {
         let w = node.fs.writer(&final_file).expect("spill file");
         w.append(out_bytes).await.expect("spill write");
@@ -118,7 +120,7 @@ pub async fn run_map(
         // Write each spill, then merge them into the final file.
         let mut spill_files = Vec::new();
         for s in 0..n_spills {
-            let f = format!("map_{idx}_spill{s}", idx = desc.idx);
+            let f = format!("{job}_map_{idx}_spill{s}", idx = desc.idx);
             let w = node.fs.writer(&f).expect("spill file");
             w.append(out_bytes / n_spills).await.expect("spill write");
             spill_files.push(f);
@@ -153,6 +155,7 @@ pub async fn run_map(
     sim.metrics().add("map.output_bytes", out_bytes as f64);
     sim.metrics().incr("map.completed");
     Some(MapOutputInfo {
+        job,
         map_idx: desc.idx,
         tt_idx: tt.idx,
         node: node.id,
@@ -195,6 +198,7 @@ mod tests {
             cluster.workers[0].clone(),
             Rc::clone(conf),
             MapOutputStore::new(),
+            false,
         )
     }
 
@@ -226,7 +230,9 @@ mod tests {
                 block: locs[0].0.clone(),
                 locations: locs[0].1.clone(),
             };
-            let out = run_map(&c2, &conf, &spec, &tt, &desc, None).await.unwrap();
+            let out = run_map(&c2, &conf, &spec, &tt, JobId(0), &desc, None)
+                .await
+                .unwrap();
             *d2.borrow_mut() = Some(out);
         })
         .detach();
@@ -268,7 +274,9 @@ mod tests {
                 block: locs[0].0.clone(),
                 locations: locs[0].1.clone(),
             };
-            let out = run_map(&c2, &conf, &spec, &tt, &desc, None).await.unwrap();
+            let out = run_map(&c2, &conf, &spec, &tt, JobId(0), &desc, None)
+                .await
+                .unwrap();
             *d2.borrow_mut() = Some(out);
         })
         .detach();
@@ -311,7 +319,9 @@ mod tests {
                     locations: locs[0].1.clone(),
                 };
                 let start = sim2.now();
-                run_map(&c2, &conf, &spec, &tt, &desc, None).await.unwrap();
+                run_map(&c2, &conf, &spec, &tt, JobId(0), &desc, None)
+                    .await
+                    .unwrap();
                 t2.set((sim2.now() - start).as_nanos());
             })
             .detach();
@@ -341,7 +351,7 @@ mod tests {
                 block: locs[0].0.clone(),
                 locations: locs[0].1.clone(),
             };
-            let out = run_map(&c2, &conf, &spec, &tt, &desc, Some(0.5)).await;
+            let out = run_map(&c2, &conf, &spec, &tt, JobId(0), &desc, Some(0.5)).await;
             g2.set(out.is_some());
         })
         .detach();

@@ -5,7 +5,9 @@
 //!   on the TaskTracker. Eviction prefers low priority, then stale entries;
 //!   demand-missed outputs are re-cached with elevated priority so
 //!   "successive requests for this output file can be served from the
-//!   cache".
+//!   cache". The cache is cluster-lifetime: entries are keyed by
+//!   `(JobId, map_idx)`, so outputs of concurrent jobs compete for the same
+//!   capacity and the priority logic sees cross-job pressure.
 //! * [`Prefetcher`] — the `MapOutputPrefetcher`: a daemon pool that pulls
 //!   (map, priority) requests from a queue and stages the file from local
 //!   disk into the cache. A request is enqueued the moment a map finishes,
@@ -18,6 +20,11 @@ use std::rc::Rc;
 use rmr_des::prelude::*;
 use rmr_des::sync::{channel, Receiver, Sender};
 use rmr_store::LocalFs;
+
+use crate::runtime::JobId;
+
+/// Cache key: which job's map output.
+pub type CacheKey = (JobId, usize);
 
 /// Caching priority; higher survives eviction longer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -38,10 +45,13 @@ struct Entry {
 struct CacheInner {
     capacity: u64,
     used: u64,
-    entries: BTreeMap<usize, Entry>,
+    entries: BTreeMap<CacheKey, Entry>,
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Per-job (hits, misses) so a shared cache still reports per-job
+    /// effectiveness in each `JobResult`.
+    by_job: BTreeMap<JobId, (u64, u64)>,
 }
 
 /// The TaskTracker-side map-output cache.
@@ -61,6 +71,7 @@ impl PrefetchCache {
                 tick: 0,
                 hits: 0,
                 misses: 0,
+                by_job: BTreeMap::new(),
             })),
         }
     }
@@ -70,46 +81,64 @@ impl PrefetchCache {
         self.inner.borrow().used
     }
 
-    /// (hits, misses) of `lookup` so far.
+    /// (hits, misses) of `lookup` so far, across all jobs.
     pub fn stats(&self) -> (u64, u64) {
         let i = self.inner.borrow();
         (i.hits, i.misses)
     }
 
-    /// True if map `map_idx`'s output is resident (without counting a
+    /// (hits, misses) of `lookup` attributed to `job`.
+    pub fn job_stats(&self, job: JobId) -> (u64, u64) {
+        self.inner
+            .borrow()
+            .by_job
+            .get(&job)
+            .copied()
+            .unwrap_or((0, 0))
+    }
+
+    /// True if the keyed map output is resident (without counting a
     /// hit/miss or touching recency).
-    pub fn contains(&self, map_idx: usize) -> bool {
-        self.inner.borrow().entries.contains_key(&map_idx)
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.inner.borrow().entries.contains_key(&key)
     }
 
     /// Serve-path lookup: touches recency and counts hit/miss.
-    pub fn lookup(&self, map_idx: usize) -> bool {
+    pub fn lookup(&self, key: CacheKey) -> bool {
         let mut i = self.inner.borrow_mut();
         i.tick += 1;
         let tick = i.tick;
-        match i.entries.get_mut(&map_idx) {
+        let hit = match i.entries.get_mut(&key) {
             Some(e) => {
                 e.last_touch = tick;
-                i.hits += 1;
                 true
             }
-            None => {
-                i.misses += 1;
-                false
-            }
+            None => false,
+        };
+        if hit {
+            i.hits += 1;
+        } else {
+            i.misses += 1;
         }
+        let per = i.by_job.entry(key.0).or_insert((0, 0));
+        if hit {
+            per.0 += 1;
+        } else {
+            per.1 += 1;
+        }
+        hit
     }
 
     /// Would an insert of `bytes` at `priority` be admitted right now?
     /// Used by the prefetcher to avoid wasting disk reads on data the cache
     /// cannot hold (the paper's adaptive "limit the amount of data to be
     /// cached" behaviour).
-    pub fn would_admit(&self, map_idx: usize, bytes: u64, priority: Priority) -> bool {
+    pub fn would_admit(&self, key: CacheKey, bytes: u64, priority: Priority) -> bool {
         let i = self.inner.borrow();
         if bytes > i.capacity {
             return false;
         }
-        if i.entries.contains_key(&map_idx) {
+        if i.entries.contains_key(&key) {
             return true;
         }
         let evictable: u64 = i
@@ -126,14 +155,14 @@ impl PrefetchCache {
     /// *strictly lower* priority; if space still doesn't suffice the insert
     /// is rejected and the data keeps being served from disk. Returns
     /// whether the entry is now resident.
-    pub fn insert(&self, map_idx: usize, bytes: u64, priority: Priority) -> bool {
-        if !self.would_admit(map_idx, bytes, priority) {
+    pub fn insert(&self, key: CacheKey, bytes: u64, priority: Priority) -> bool {
+        if !self.would_admit(key, bytes, priority) {
             return false;
         }
         let mut i = self.inner.borrow_mut();
         i.tick += 1;
         let tick = i.tick;
-        if let Some(e) = i.entries.get_mut(&map_idx) {
+        if let Some(e) = i.entries.get_mut(&key) {
             e.priority = e.priority.max(priority);
             e.last_touch = tick;
             return true;
@@ -155,7 +184,7 @@ impl PrefetchCache {
         }
         i.used += bytes;
         i.entries.insert(
-            map_idx,
+            key,
             Entry {
                 bytes,
                 priority,
@@ -165,18 +194,36 @@ impl PrefetchCache {
         true
     }
 
-    /// Drops an entry (map output deleted after job completion).
-    pub fn remove(&self, map_idx: usize) {
+    /// Drops an entry (map output deleted or invalidated).
+    pub fn remove(&self, key: CacheKey) {
         let mut i = self.inner.borrow_mut();
-        if let Some(e) = i.entries.remove(&map_idx) {
+        if let Some(e) = i.entries.remove(&key) {
             i.used -= e.bytes;
         }
+    }
+
+    /// Drops every entry of `job` (job cleanup at commit). The job's
+    /// hit/miss counters are kept so late stat reads stay correct.
+    pub fn remove_job(&self, job: JobId) {
+        let mut i = self.inner.borrow_mut();
+        let mut freed = 0;
+        i.entries.retain(|(j, _), e| {
+            if *j == job {
+                freed += e.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        i.used -= freed;
     }
 }
 
 /// A prefetch request: stage this map's output file.
 #[derive(Debug, Clone)]
 pub struct PrefetchRequest {
+    /// Which job.
+    pub job: JobId,
     /// Which map.
     pub map_idx: usize,
     /// The file to stage.
@@ -187,19 +234,25 @@ pub struct PrefetchRequest {
     pub priority: Priority,
 }
 
+impl PrefetchRequest {
+    fn key(&self) -> CacheKey {
+        (self.job, self.map_idx)
+    }
+}
+
 /// Handle to a TaskTracker's `MapOutputPrefetcher` daemon pool.
 #[derive(Clone)]
 pub struct Prefetcher {
     tx: Sender<PrefetchRequest>,
     cache: PrefetchCache,
-    queued: Rc<RefCell<std::collections::BTreeSet<usize>>>,
+    queued: Rc<RefCell<std::collections::BTreeSet<CacheKey>>>,
 }
 
 impl Prefetcher {
     /// Spawns `threads` staging daemons reading from `fs` into `cache`.
     pub fn spawn(sim: &Sim, fs: &LocalFs, cache: &PrefetchCache, threads: usize) -> Self {
         let (tx, rx): (Sender<PrefetchRequest>, Receiver<PrefetchRequest>) = channel();
-        let queued: Rc<RefCell<std::collections::BTreeSet<usize>>> =
+        let queued: Rc<RefCell<std::collections::BTreeSet<CacheKey>>> =
             Rc::new(RefCell::new(std::collections::BTreeSet::new()));
         for i in 0..threads.max(1) {
             let rx = rx.clone();
@@ -209,13 +262,13 @@ impl Prefetcher {
             let queued = Rc::clone(&queued);
             sim.spawn_daemon(format!("prefetch-daemon-{i}"), async move {
                 while let Some(req) = rx.recv().await {
-                    queued.borrow_mut().remove(&req.map_idx);
-                    if cache.contains(req.map_idx) {
+                    queued.borrow_mut().remove(&req.key());
+                    if cache.contains(req.key()) {
                         continue;
                     }
                     // Don't burn disk bandwidth staging data the cache
                     // cannot admit anyway.
-                    if !cache.would_admit(req.map_idx, req.bytes, req.priority) {
+                    if !cache.would_admit(req.key(), req.bytes, req.priority) {
                         sim2.metrics().incr("prefetch.rejected");
                         continue;
                     }
@@ -226,7 +279,7 @@ impl Prefetcher {
                             Err(_) => continue,
                         };
                         if r.read_exact(req.bytes).await.is_ok()
-                            && cache.insert(req.map_idx, req.bytes, req.priority)
+                            && cache.insert(req.key(), req.bytes, req.priority)
                         {
                             sim2.metrics().incr("prefetch.staged");
                         }
@@ -245,10 +298,10 @@ impl Prefetcher {
     /// Enqueues a staging request (non-blocking; daemons drain the queue).
     /// Duplicate requests for an already-queued map are coalesced.
     pub fn request(&self, req: PrefetchRequest) {
-        if self.cache.contains(req.map_idx) {
+        if self.cache.contains(req.key()) {
             return;
         }
-        if !self.queued.borrow_mut().insert(req.map_idx) {
+        if !self.queued.borrow_mut().insert(req.key()) {
             return;
         }
         let _ = self.tx.send_now(req);
@@ -266,40 +319,47 @@ mod tests {
     use rmr_des::SimDuration;
     use rmr_store::DiskParams;
 
+    /// All single-job cache tests run under job 0.
+    fn k(idx: usize) -> CacheKey {
+        (JobId(0), idx)
+    }
+
     #[test]
     fn lookup_counts_hits_and_misses() {
         let c = PrefetchCache::new(1_000);
-        assert!(!c.lookup(1));
-        assert!(c.insert(1, 100, Priority::Prefetch));
-        assert!(c.lookup(1));
+        assert!(!c.lookup(k(1)));
+        assert!(c.insert(k(1), 100, Priority::Prefetch));
+        assert!(c.lookup(k(1)));
         assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.job_stats(JobId(0)), (1, 1));
+        assert_eq!(c.job_stats(JobId(9)), (0, 0));
     }
 
     #[test]
     fn same_priority_insert_never_thrashes() {
         let c = PrefetchCache::new(300);
-        c.insert(1, 100, Priority::Prefetch);
-        c.insert(2, 100, Priority::Demand);
-        c.insert(3, 100, Priority::Prefetch);
+        c.insert(k(1), 100, Priority::Prefetch);
+        c.insert(k(2), 100, Priority::Demand);
+        c.insert(k(3), 100, Priority::Prefetch);
         // Full; a same-priority insert must be rejected (no Prefetch-vs-
         // Prefetch eviction churn).
-        assert!(!c.insert(4, 100, Priority::Prefetch));
-        assert!(c.contains(1) && c.contains(2) && c.contains(3));
+        assert!(!c.insert(k(4), 100, Priority::Prefetch));
+        assert!(c.contains(k(1)) && c.contains(k(2)) && c.contains(k(3)));
         // A Demand insert may evict the least-recent Prefetch entry.
-        assert!(c.insert(5, 100, Priority::Demand));
-        assert!(!c.contains(1), "oldest Prefetch entry evicted");
-        assert!(c.contains(2) && c.contains(3) && c.contains(5));
+        assert!(c.insert(k(5), 100, Priority::Demand));
+        assert!(!c.contains(k(1)), "oldest Prefetch entry evicted");
+        assert!(c.contains(k(2)) && c.contains(k(3)) && c.contains(k(5)));
     }
 
     #[test]
     fn would_admit_predicts_insert() {
         let c = PrefetchCache::new(200);
-        assert!(c.would_admit(1, 150, Priority::Prefetch));
-        c.insert(1, 150, Priority::Prefetch);
-        assert!(!c.would_admit(2, 100, Priority::Prefetch));
-        assert!(c.would_admit(2, 100, Priority::Demand));
+        assert!(c.would_admit(k(1), 150, Priority::Prefetch));
+        c.insert(k(1), 150, Priority::Prefetch);
+        assert!(!c.would_admit(k(2), 100, Priority::Prefetch));
+        assert!(c.would_admit(k(2), 100, Priority::Demand));
         assert!(
-            c.would_admit(1, 150, Priority::Prefetch),
+            c.would_admit(k(1), 150, Priority::Prefetch),
             "resident is admitted"
         );
     }
@@ -307,20 +367,45 @@ mod tests {
     #[test]
     fn lower_priority_cannot_evict_higher() {
         let c = PrefetchCache::new(200);
-        c.insert(1, 100, Priority::Demand);
-        c.insert(2, 100, Priority::Demand);
-        assert!(!c.insert(3, 100, Priority::Prefetch));
-        assert!(c.contains(1) && c.contains(2));
+        c.insert(k(1), 100, Priority::Demand);
+        c.insert(k(2), 100, Priority::Demand);
+        assert!(!c.insert(k(3), 100, Priority::Prefetch));
+        assert!(c.contains(k(1)) && c.contains(k(2)));
     }
 
     #[test]
     fn demand_insert_evicts_prefetch() {
         let c = PrefetchCache::new(200);
-        c.insert(1, 100, Priority::Prefetch);
-        c.insert(2, 100, Priority::Prefetch);
-        assert!(c.insert(3, 150, Priority::Demand));
-        assert!(c.contains(3));
+        c.insert(k(1), 100, Priority::Prefetch);
+        c.insert(k(2), 100, Priority::Prefetch);
+        assert!(c.insert(k(3), 150, Priority::Demand));
+        assert!(c.contains(k(3)));
         assert_eq!(c.used(), 150);
+    }
+
+    #[test]
+    fn cross_job_demand_pressure_evicts_prefetch_entries() {
+        // Two jobs share the cache: job 1's demand traffic may push out
+        // job 0's prefetched (not-yet-demanded) outputs, but not its
+        // demand-priority ones.
+        let c = PrefetchCache::new(300);
+        c.insert((JobId(0), 1), 100, Priority::Prefetch);
+        c.insert((JobId(0), 2), 100, Priority::Demand);
+        assert!(c.insert((JobId(1), 1), 200, Priority::Demand));
+        assert!(!c.contains((JobId(0), 1)), "cross-job eviction");
+        assert!(c.contains((JobId(0), 2)), "demand entry survives");
+        assert!(c.contains((JobId(1), 1)));
+    }
+
+    #[test]
+    fn remove_job_frees_only_that_job() {
+        let c = PrefetchCache::new(1_000);
+        c.insert((JobId(0), 1), 100, Priority::Prefetch);
+        c.insert((JobId(1), 1), 200, Priority::Prefetch);
+        c.remove_job(JobId(0));
+        assert_eq!(c.used(), 200);
+        assert!(!c.contains((JobId(0), 1)));
+        assert!(c.contains((JobId(1), 1)));
     }
 
     #[test]
@@ -337,6 +422,7 @@ mod tests {
             w.append(1_000).await.unwrap();
             for _ in 0..10 {
                 pf2.request(PrefetchRequest {
+                    job: JobId(0),
                     map_idx: 0,
                     file: "f".to_string(),
                     bytes: 1_000,
@@ -346,35 +432,35 @@ mod tests {
         })
         .detach();
         sim.run();
-        assert!(cache.contains(0));
+        assert!(cache.contains(k(0)));
         assert_eq!(sim.metrics().get("prefetch.staged"), 1.0);
     }
 
     #[test]
     fn oversized_entry_rejected() {
         let c = PrefetchCache::new(100);
-        assert!(!c.insert(1, 200, Priority::Demand));
+        assert!(!c.insert(k(1), 200, Priority::Demand));
         assert_eq!(c.used(), 0);
     }
 
     #[test]
     fn reinsert_upgrades_priority() {
         let c = PrefetchCache::new(200);
-        c.insert(1, 100, Priority::Prefetch);
-        c.insert(1, 100, Priority::Demand);
+        c.insert(k(1), 100, Priority::Prefetch);
+        c.insert(k(1), 100, Priority::Demand);
         assert_eq!(c.used(), 100, "no double counting");
         // Now a Prefetch insert must not evict it.
-        assert!(!c.insert(2, 200, Priority::Prefetch));
-        assert!(c.contains(1));
+        assert!(!c.insert(k(2), 200, Priority::Prefetch));
+        assert!(c.contains(k(1)));
     }
 
     #[test]
     fn remove_releases_space() {
         let c = PrefetchCache::new(100);
-        c.insert(1, 100, Priority::Demand);
-        c.remove(1);
+        c.insert(k(1), 100, Priority::Demand);
+        c.remove(k(1));
         assert_eq!(c.used(), 0);
-        assert!(c.insert(2, 100, Priority::Prefetch));
+        assert!(c.insert(k(2), 100, Priority::Prefetch));
     }
 
     #[test]
@@ -389,6 +475,7 @@ mod tests {
             let w = fs2.writer("map_0.out").unwrap();
             w.append(10_000).await.unwrap();
             pf2.request(PrefetchRequest {
+                job: JobId(0),
                 map_idx: 0,
                 file: "map_0.out".to_string(),
                 bytes: 10_000,
@@ -397,7 +484,7 @@ mod tests {
         })
         .detach();
         sim.run();
-        assert!(cache.contains(0));
+        assert!(cache.contains(k(0)));
         assert_eq!(cache.used(), 10_000);
     }
 
@@ -416,6 +503,7 @@ mod tests {
             let w = fs2.writer("f").unwrap();
             w.append(1_000).await.unwrap(); // 1 s
             pf.request(PrefetchRequest {
+                job: JobId(0),
                 map_idx: 7,
                 file: "f".to_string(),
                 bytes: 1_000,
@@ -426,6 +514,6 @@ mod tests {
         let end = sim.run();
         // 1 s write + 1 s staging read.
         assert_eq!(end.as_nanos(), 2_000_000_000);
-        assert!(cache.contains(7));
+        assert!(cache.contains(k(7)));
     }
 }

@@ -7,6 +7,7 @@
 //! size); the RDMA engines move them over UCR endpoints.
 
 use crate::record::Segment;
+use crate::runtime::JobId;
 use rmr_net::Wire;
 
 /// Fixed per-message framing/header bytes (HTTP headers or the RDMA
@@ -30,6 +31,9 @@ pub enum ShufMsg {
     /// Reducer → TaskTracker: send me data of map `map_idx` for partition
     /// `reduce`.
     Request {
+        /// Which job the map output belongs to (the server is shared by
+        /// every job on the cluster runtime).
+        job: JobId,
         /// Which map output.
         map_idx: usize,
         /// Which reduce partition.
@@ -72,6 +76,7 @@ mod tests {
     #[test]
     fn wire_sizes() {
         let req = ShufMsg::Request {
+            job: JobId(0),
             map_idx: 0,
             reduce: 0,
             budget: PacketBudget::Full,

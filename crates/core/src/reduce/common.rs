@@ -12,6 +12,7 @@ use crate::cluster::{Cluster, NodeHandle};
 use crate::config::JobConf;
 use crate::jobtracker::{CompletionEvent, JobTracker};
 use crate::record::{encode_records, Record, Segment};
+use crate::runtime::JobId;
 use crate::spec::JobSpec;
 use crate::tasktracker::{TaskTracker, TtServerHandle};
 
@@ -30,6 +31,8 @@ pub struct ReduceCtx {
     pub servers: Rc<Vec<TtServerHandle>>,
     /// The TaskTracker this reducer runs on.
     pub tt: Rc<TaskTracker>,
+    /// The job this reducer belongs to.
+    pub job: JobId,
     /// This reducer's partition index.
     pub reduce_idx: usize,
     /// Total maps in the job.

@@ -25,7 +25,6 @@ use std::rc::Rc;
 use rmr_des::prelude::*;
 use rmr_net::EndPoint;
 
-use crate::config::ShuffleKind;
 use crate::merge::{Emit, StreamingMerge};
 use crate::proto::{PacketBudget, ShufMsg};
 use crate::record::Segment;
@@ -36,6 +35,43 @@ use crate::tasktracker::TtServerHandle;
 const MERGE_BATCH_RECORDS: u64 = 16 * 1024;
 /// DataToReduceQueue depth, in batches.
 const REDUCE_QUEUE_DEPTH: usize = 8;
+
+/// The capability knobs that distinguish the two RDMA designs. The engine
+/// implementations pick a preset; the pipeline below branches on these
+/// capabilities, never on an engine identity.
+#[derive(Debug, Clone, Copy)]
+pub struct RdmaVariant {
+    /// Packets are byte-budgeted (`osu_packet_bytes`) rather than fixed
+    /// kv-count (`hadoop_a_kv_per_packet`).
+    pub byte_packets: bool,
+    /// Pull data eagerly during the map wave (vs headers only, building the
+    /// levitated-merge heap when all headers are in).
+    pub eager_fetch: bool,
+    /// Overflowing packets spill to the reducer's local disk (vs dropped
+    /// and refetched from the TaskTracker).
+    pub local_spill: bool,
+}
+
+impl RdmaVariant {
+    /// OSU-IB: byte-budgeted packets, eager overlap, local spill.
+    pub fn osu_ib() -> Self {
+        RdmaVariant {
+            byte_packets: true,
+            eager_fetch: true,
+            local_spill: true,
+        }
+    }
+
+    /// Hadoop-A: fixed kv-count packets, header-first merge, drop-and-
+    /// refetch on overflow.
+    pub fn hadoop_a() -> Self {
+        RdmaVariant {
+            byte_packets: false,
+            eager_fetch: false,
+            local_spill: false,
+        }
+    }
+}
 
 struct SourceState {
     tt_idx: usize,
@@ -100,13 +136,12 @@ impl MemBudget {
     }
 }
 
-/// Runs one Hadoop-A or OSU-IB ReduceTask to completion.
-pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
+/// Runs one Hadoop-A or OSU-IB ReduceTask to completion, branching on
+/// `variant`'s capabilities.
+pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStats {
     let sim = ctx.cluster.sim.clone();
     let conf = Rc::clone(&ctx.conf);
     let node = ctx.tt.node.clone();
-    let kind = conf.shuffle;
-    debug_assert!(kind.uses_rdma());
 
     // Connect an endpoint to every TaskTracker up front (§III-B-1: "one
     // RDMACopier sends such information to all available TaskTrackers").
@@ -143,7 +178,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         let mem = Rc::clone(&mem);
         let node2 = node.clone();
         let conf = Rc::clone(&conf);
-        let spill_file = format!("r{}_shufspill", ctx.reduce_idx);
+        let spill_file = format!("{}_r{}_shufspill", ctx.job, ctx.reduce_idx);
         let copier_name = format!("r{}-rdma-copier-tt{tt_i}", ctx.reduce_idx);
         sim.spawn_daemon(copier_name, async move {
             while let Some(msg) = ep.recv().await {
@@ -195,7 +230,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                 if let Some(bytes) = spill {
                     sim2.metrics()
                         .add("reduce.shuffle_spill_bytes", bytes as f64);
-                    if conf.shuffle == ShuffleKind::OsuIb {
+                    if variant.local_spill {
                         // OSU-IB reuses Hadoop's local spill machinery
                         // (§III-C-2: minimal changes to the existing merge).
                         let w = node2.fs.writer(&spill_file).expect("shuffle spill file");
@@ -211,14 +246,17 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         .detach();
     }
 
-    let packet_budget = || match kind {
-        ShuffleKind::OsuIb => PacketBudget::Bytes(conf.osu_packet_bytes),
-        ShuffleKind::HadoopA => PacketBudget::Records(conf.hadoop_a_kv_per_packet),
-        ShuffleKind::Vanilla => unreachable!(),
+    let packet_budget = || {
+        if variant.byte_packets {
+            PacketBudget::Bytes(conf.osu_packet_bytes)
+        } else {
+            PacketBudget::Records(conf.hadoop_a_kv_per_packet)
+        }
     };
-    let est_packet_bytes = match kind {
-        ShuffleKind::OsuIb => conf.osu_packet_bytes,
-        _ => conf.hadoop_a_kv_per_packet * ctx.spec.avg_record_bytes.max(1),
+    let est_packet_bytes = if variant.byte_packets {
+        conf.osu_packet_bytes
+    } else {
+        conf.hadoop_a_kv_per_packet * ctx.spec.avg_record_bytes.max(1)
     };
 
     // Sends the next packet request for `map_idx`. `forced` bypasses the
@@ -228,6 +266,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         let state = Rc::clone(&state);
         let eps = Rc::clone(&eps);
         let mem = Rc::clone(&mem);
+        let job = ctx.job;
         let reduce_idx = ctx.reduce_idx;
         move |map_idx: usize, budget: PacketBudget, est: u64, forced: bool| -> bool {
             let mut st = state.borrow_mut();
@@ -252,6 +291,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
             let ep = Rc::clone(&eps[src.tt_idx]);
             drop(st);
             ep.send_nowait(ShufMsg::Request {
+                job,
                 map_idx,
                 reduce: reduce_idx,
                 budget,
@@ -281,26 +321,22 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
                     reserved: 0,
                 },
             );
-            match kind {
-                ShuffleKind::OsuIb => {
-                    send_request(map_idx, packet_budget(), est_packet_bytes, false);
-                }
-                ShuffleKind::HadoopA => {
-                    // Header only: first kv pair + segment metadata.
-                    send_request(
-                        map_idx,
-                        PacketBudget::Records(1),
-                        ctx.spec.avg_record_bytes,
-                        true,
-                    );
-                }
-                ShuffleKind::Vanilla => unreachable!(),
+            if variant.eager_fetch {
+                send_request(map_idx, packet_budget(), est_packet_bytes, false);
+            } else {
+                // Header only: first kv pair + segment metadata.
+                send_request(
+                    map_idx,
+                    PacketBudget::Records(1),
+                    ctx.spec.avg_record_bytes,
+                    true,
+                );
             }
         }
         // Keep the pipeline fed while maps are still finishing (OSU): pull
         // each discovered source up to its fair share of the shuffle buffer,
         // overlapping the data movement with the map wave (§III-B-4).
-        if kind == ShuffleKind::OsuIb {
+        if variant.eager_fetch {
             let idle: Vec<usize> = {
                 let st = state.borrow();
                 let target = conf.shuffle_buffer / (st.sources.len().max(8) as u64);
@@ -348,9 +384,10 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
             .collect()
     };
     let mut merge = StreamingMerge::new(expected);
-    let watermark = match kind {
-        ShuffleKind::OsuIb => (conf.osu_packet_bytes / ctx.spec.avg_record_bytes.max(1)).max(16),
-        _ => conf.hadoop_a_kv_per_packet.max(16),
+    let watermark = if variant.byte_packets {
+        (conf.osu_packet_bytes / ctx.spec.avg_record_bytes.max(1)).max(16)
+    } else {
+        conf.hadoop_a_kv_per_packet.max(16)
     };
 
     // DataToReduceQueue + reduce consumer (overlap of merge and reduce).
@@ -396,7 +433,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         }
     };
 
-    let spill_file = format!("r{}_shufspill", ctx.reduce_idx);
+    let spill_file = format!("{}_r{}_shufspill", ctx.job, ctx.reduce_idx);
     let metrics = sim.metrics().clone();
     // Cached counter handles: the loop body runs per batch/stall, and a
     // handle bump skips the registry lookup entirely.
@@ -408,45 +445,41 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx) -> ReduceStats {
         c_loop_iters.incr();
         let (spilled, refetch) = spill_readback(&mut merge);
         if spilled > 0 {
-            match kind {
-                ShuffleKind::OsuIb => {
-                    // Read the spilled packets back from local disk.
-                    if node.fs.exists(&spill_file) {
-                        let mut r = node.fs.reader(&spill_file).expect("spill file");
-                        let want = spilled.min(r.remaining().unwrap_or(0));
+            if variant.local_spill {
+                // Read the spilled packets back from local disk.
+                if node.fs.exists(&spill_file) {
+                    let mut r = node.fs.reader(&spill_file).expect("spill file");
+                    let want = spilled.min(r.remaining().unwrap_or(0));
+                    if want > 0 {
+                        r.read_exact(want).await.expect("spill readback");
+                    }
+                }
+            } else {
+                // Refetch each dropped packet from its TaskTracker: the
+                // DataEngine reads the map output from disk again and the
+                // bytes cross the wire again. A packet whose working set
+                // exceeds the merge memory returns multiple times before
+                // it is fully consumed (evict → refetch thrash): the
+                // amplification is the ratio of the resident set the
+                // priority queue needs (one packet per live source) to
+                // the memory that can hold it.
+                let live = merge.source_count() as u64;
+                let amp = ((live * est_packet_bytes.min(4 << 20)) / conf.shuffle_buffer.max(1))
+                    .clamp(1, 5);
+                for (tt_idx, map_idx, bytes) in refetch {
+                    let bytes = bytes * amp;
+                    let tt_node = &ctx.cluster.workers[tt_idx];
+                    let file = format!("{}_map_{map_idx}.out", ctx.job);
+                    if tt_node.fs.exists(&file) {
+                        let mut r = tt_node.fs.reader(&file).expect("map output");
+                        let want = bytes.min(r.remaining().unwrap_or(0));
                         if want > 0 {
-                            r.read_exact(want).await.expect("spill readback");
+                            r.read_exact(want).await.expect("refetch read");
                         }
                     }
+                    ctx.cluster.net.transfer(tt_node.id, node.id, bytes).await;
+                    metrics.add("rdma.refetch_bytes", bytes as f64);
                 }
-                ShuffleKind::HadoopA => {
-                    // Refetch each dropped packet from its TaskTracker: the
-                    // DataEngine reads the map output from disk again and the
-                    // bytes cross the wire again. A packet whose working set
-                    // exceeds the merge memory returns multiple times before
-                    // it is fully consumed (evict → refetch thrash): the
-                    // amplification is the ratio of the resident set the
-                    // priority queue needs (one packet per live source) to
-                    // the memory that can hold it.
-                    let live = merge.source_count() as u64;
-                    let amp = ((live * est_packet_bytes.min(4 << 20)) / conf.shuffle_buffer.max(1))
-                        .clamp(1, 5);
-                    for (tt_idx, map_idx, bytes) in refetch {
-                        let bytes = bytes * amp;
-                        let tt_node = &ctx.cluster.workers[tt_idx];
-                        let file = format!("map_{map_idx}.out");
-                        if tt_node.fs.exists(&file) {
-                            let mut r = tt_node.fs.reader(&file).expect("map output");
-                            let want = bytes.min(r.remaining().unwrap_or(0));
-                            if want > 0 {
-                                r.read_exact(want).await.expect("refetch read");
-                            }
-                        }
-                        ctx.cluster.net.transfer(tt_node.id, node.id, bytes).await;
-                        metrics.add("rdma.refetch_bytes", bytes as f64);
-                    }
-                }
-                ShuffleKind::Vanilla => unreachable!(),
             }
         }
         // Refill ahead of need.

@@ -195,6 +195,7 @@ async fn fetch_one(
     // One HTTP connection per fetch (0.20 behaviour).
     let conn = server.connect(node.id).await;
     conn.send(ShufMsg::Request {
+        job: ctx.job,
         map_idx,
         reduce: ctx.reduce_idx,
         budget: PacketBudget::Full,
@@ -258,7 +259,7 @@ async fn fetch_one(
             let file = {
                 let mut st = state.borrow_mut();
                 st.run_seq += 1;
-                format!("r{}_seg{}", ctx.reduce_idx, st.run_seq)
+                format!("{}_r{}_seg{}", ctx.job, ctx.reduce_idx, st.run_seq)
             };
             let w = node.fs.writer(&file).expect("run file");
             w.append(seg.bytes).await.expect("run write");
@@ -293,7 +294,7 @@ async fn merge_inmem_to_disk(ctx: &ReduceCtx, state: &Rc<RefCell<VanillaState>>)
     let file = {
         let mut st = state.borrow_mut();
         st.run_seq += 1;
-        format!("r{}_immerge{}", ctx.reduce_idx, st.run_seq)
+        format!("{}_r{}_immerge{}", ctx.job, ctx.reduce_idx, st.run_seq)
     };
     let w = node.fs.writer(&file).expect("merge run");
     w.append(merged.bytes).await.expect("merge write");
@@ -340,7 +341,7 @@ async fn merge_smallest_disk_runs(
     let file = {
         let mut st = state.borrow_mut();
         st.run_seq += 1;
-        format!("r{}_fsmerge{}", ctx.reduce_idx, st.run_seq)
+        format!("{}_r{}_fsmerge{}", ctx.job, ctx.reduce_idx, st.run_seq)
     };
     let w = node.fs.writer(&file).expect("merged run");
     w.append(merged.bytes).await.expect("merged write");

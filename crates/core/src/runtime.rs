@@ -1,0 +1,664 @@
+//! The persistent cluster runtime: a long-lived JobTracker-side control
+//! plane that schedules task attempts from *multiple concurrent jobs* onto
+//! shared per-node task slots.
+//!
+//! [`Runtime::start`] brings the cluster services up once — a TaskTracker
+//! and its shuffle server on every worker, a heartbeat daemon per
+//! TaskTracker — and they then serve every job submitted over the runtime's
+//! lifetime. [`Runtime::submit`] enqueues a job (splits computed, a
+//! per-job `JobTracker` created); each heartbeat walks the active-job queue
+//! in [`SchedulePolicy`] order, handing the node's free slots to jobs until
+//! slots or work run out. [`crate::job::run_job`] survives as a thin
+//! single-job wrapper over this module.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use rmr_des::prelude::*;
+use rmr_net::NodeId;
+
+use crate::cluster::Cluster;
+use crate::config::{JobConf, ShuffleKind};
+use crate::engine::ShuffleEngine;
+use crate::jobtracker::{JobTracker, MapTaskDesc};
+use crate::mapoutput::MapOutputStore;
+use crate::maptask::run_map;
+use crate::reduce::common::{ReduceCtx, ReduceStats};
+use crate::spec::JobSpec;
+use crate::tasktracker::{TaskTracker, TtServerHandle};
+use crate::timeline::{Outcome, TaskEvent, TaskKind, Timeline};
+
+/// Heartbeat RPC payload size on the wire.
+const HEARTBEAT_BYTES: u64 = 1024;
+
+/// Identifier of one submitted job, unique within a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// How heartbeats divide a node's free slots among concurrent jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Oldest job first: a job ahead in the queue takes every slot it can
+    /// use before the next job sees any (Hadoop's default JobQueue).
+    #[default]
+    Fifo,
+    /// Round-robin over active jobs: each heartbeat starts the walk one
+    /// job later, so slots spread across jobs over time.
+    Fair,
+}
+
+/// Results of one job run.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Job name.
+    pub name: String,
+    /// The engine that ran it.
+    pub shuffle: ShuffleKind,
+    /// Job execution time, seconds (submission to last reduce commit).
+    pub duration_s: f64,
+    /// Virtual time the job was submitted.
+    pub start_s: f64,
+    /// Virtual time the last map finished.
+    pub map_phase_end_s: f64,
+    /// Virtual time the job finished.
+    pub end_s: f64,
+    /// Map task count.
+    pub maps: usize,
+    /// Reduce task count.
+    pub reduces: usize,
+    /// Input bytes read from HDFS.
+    pub input_bytes: u64,
+    /// Intermediate bytes shuffled.
+    pub shuffled_bytes: u64,
+    /// Output bytes written to HDFS.
+    pub output_bytes: u64,
+    /// PrefetchCache hits this job saw across TaskTrackers (OSU-IB).
+    pub cache_hits: u64,
+    /// PrefetchCache misses.
+    pub cache_misses: u64,
+    /// Map attempts that failed (fault injection) and were re-executed.
+    pub failed_map_attempts: usize,
+    /// Reduce attempts that failed and were re-executed.
+    pub failed_reduce_attempts: usize,
+    /// Seconds between submission and the first task attempt launching
+    /// (time spent queued behind other jobs).
+    pub queue_wait_s: f64,
+    /// Fraction of the cluster's slot-seconds this job's attempts occupied
+    /// while it was in the system (slot-seconds used / (duration × workers ×
+    /// slots per worker)).
+    pub slot_occupancy: f64,
+    /// Per-reducer phase stats.
+    pub reduce_stats: Vec<ReduceStats>,
+    /// Every task attempt's lifetime (swimlane data).
+    pub timeline: Vec<TaskEvent>,
+}
+
+/// One job in the system: its scheduler, progress counters, and result slot.
+struct ActiveJob {
+    id: JobId,
+    conf: Rc<JobConf>,
+    spec: JobSpec,
+    jt: Rc<RefCell<JobTracker>>,
+    timeline: Timeline,
+    total_maps: usize,
+    input_bytes: u64,
+    submit_s: f64,
+    first_launch_s: Cell<Option<f64>>,
+    map_phase_end_s: Cell<f64>,
+    /// Slot-seconds consumed by every attempt (including failed and
+    /// speculative ones).
+    slot_secs: Cell<f64>,
+    reduce_stats: RefCell<Vec<Option<ReduceStats>>>,
+    done: Notify,
+    result: RefCell<Option<JobResult>>,
+}
+
+struct RtInner {
+    sim: Sim,
+    cluster: Cluster,
+    /// Cluster-wide configuration (`tasktracker.*` keys: slots, server
+    /// pools, cache sizing, heartbeat cadence).
+    conf: Rc<JobConf>,
+    engine: Rc<dyn ShuffleEngine>,
+    policy: SchedulePolicy,
+    tts: Vec<Rc<TaskTracker>>,
+    servers: Rc<Vec<TtServerHandle>>,
+    outputs: MapOutputStore,
+    /// Every job ever submitted (results stay retrievable after finish).
+    jobs: RefCell<BTreeMap<u32, Rc<ActiveJob>>>,
+    /// Submission-ordered queue of unfinished jobs.
+    active: RefCell<VecDeque<u32>>,
+    next_id: Cell<u32>,
+    /// Fair policy's rotating walk offset.
+    rr: Cell<usize>,
+    /// Wakes parked heartbeat daemons when work arrives.
+    work: Notify,
+}
+
+/// The persistent cluster runtime. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Rc<RtInner>,
+}
+
+impl Runtime {
+    /// Starts cluster services (TaskTrackers, shuffle servers, heartbeat
+    /// daemons) under `conf`'s cluster-wide keys, scheduling FIFO. The
+    /// engine is `conf.shuffle`'s.
+    pub fn start(cluster: &Cluster, conf: JobConf) -> Runtime {
+        Runtime::with_policy(cluster, conf, SchedulePolicy::Fifo)
+    }
+
+    /// [`Runtime::start`] with an explicit scheduling policy.
+    pub fn with_policy(cluster: &Cluster, conf: JobConf, policy: SchedulePolicy) -> Runtime {
+        let sim = cluster.sim.clone();
+        let conf = Rc::new(conf);
+        let engine = conf.shuffle.engine();
+        let outputs = MapOutputStore::new();
+        let cache_on = engine.server_cache() && conf.caching_enabled;
+        let mut tts = Vec::new();
+        let mut servers = Vec::new();
+        for (i, w) in cluster.workers.iter().enumerate() {
+            let tt = TaskTracker::new(
+                &sim,
+                i,
+                w.clone(),
+                Rc::clone(&conf),
+                outputs.clone(),
+                cache_on,
+            );
+            servers.push(engine.start_server(&tt, &cluster.net));
+            tts.push(tt);
+        }
+        let inner = Rc::new(RtInner {
+            sim: sim.clone(),
+            cluster: cluster.clone(),
+            conf,
+            engine,
+            policy,
+            tts,
+            servers: Rc::new(servers),
+            outputs,
+            jobs: RefCell::new(BTreeMap::new()),
+            active: RefCell::new(VecDeque::new()),
+            next_id: Cell::new(0),
+            rr: Cell::new(0),
+            work: Notify::new(),
+        });
+        for tt in &inner.tts {
+            spawn_heartbeat(&inner, tt);
+        }
+        Runtime { inner }
+    }
+
+    /// Submits a job: computes its input splits, creates its JobTracker,
+    /// and queues it for scheduling at the next heartbeats. Returns
+    /// immediately with the job's id.
+    pub fn submit(&self, conf: JobConf, spec: JobSpec) -> JobId {
+        let inner = &self.inner;
+        assert_eq!(
+            conf.shuffle,
+            inner.engine.kind(),
+            "job's shuffle engine must match the runtime's"
+        );
+        let id = JobId(inner.next_id.get());
+        inner.next_id.set(id.0 + 1);
+        let conf = Rc::new(conf);
+
+        // Input splits with locality info. The input names either a single
+        // file or a directory prefix whose files are all scanned (TeraGen
+        // and RandomWriter write one part file per worker).
+        let input_files: Vec<String> = if inner.cluster.hdfs.exists(&spec.input) {
+            vec![spec.input.clone()]
+        } else {
+            let prefix = format!("{}/", spec.input.trim_end_matches('/'));
+            let files: Vec<String> = inner
+                .cluster
+                .hdfs
+                .list()
+                .into_iter()
+                .filter(|p| p.starts_with(&prefix))
+                .collect();
+            assert!(!files.is_empty(), "job input missing: {}", spec.input);
+            files
+        };
+        let mut splits = Vec::new();
+        for f in &input_files {
+            splits.extend(
+                inner
+                    .cluster
+                    .hdfs
+                    .split_locations(f)
+                    .expect("job input missing"),
+            );
+        }
+        let input_bytes: u64 = splits.iter().map(|(b, _)| b.size).sum();
+        let descs: Vec<MapTaskDesc> = splits
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (block, locations))| MapTaskDesc {
+                idx,
+                block,
+                locations,
+            })
+            .collect();
+        let total_maps = descs.len();
+
+        let jt = Rc::new(RefCell::new(JobTracker::new(
+            descs,
+            conf.num_reduces,
+            conf.reduce_slowstart,
+            conf.fail_map_once,
+        )));
+        jt.borrow_mut().set_speculative(conf.speculative_maps);
+        jt.borrow_mut().set_fail_reduce_once(conf.fail_reduce_once);
+
+        let job = Rc::new(ActiveJob {
+            id,
+            conf: Rc::clone(&conf),
+            spec,
+            jt,
+            timeline: Timeline::new(),
+            total_maps,
+            input_bytes,
+            submit_s: inner.sim.now().as_secs_f64(),
+            first_launch_s: Cell::new(None),
+            map_phase_end_s: Cell::new(0.0),
+            slot_secs: Cell::new(0.0),
+            reduce_stats: RefCell::new(vec![None; conf.num_reduces]),
+            done: Notify::new(),
+            result: RefCell::new(None),
+        });
+        inner.jobs.borrow_mut().insert(id.0, Rc::clone(&job));
+        inner.active.borrow_mut().push_back(id.0);
+        if job.jt.borrow().job_done() {
+            // Degenerate empty job (no maps, no reduces): no heartbeat will
+            // ever touch it, so commit it here.
+            inner.finalize(&job);
+        }
+        inner.work.notify_all();
+        id
+    }
+
+    /// Returns `id`'s result if the job has finished.
+    pub fn poll(&self, id: JobId) -> Option<JobResult> {
+        let jobs = self.inner.jobs.borrow();
+        let job = jobs.get(&id.0).expect("unknown job id");
+        let res = job.result.borrow().clone();
+        res
+    }
+
+    /// Waits until `id` finishes and returns its result.
+    pub async fn join(&self, id: JobId) -> JobResult {
+        let job = {
+            let jobs = self.inner.jobs.borrow();
+            Rc::clone(jobs.get(&id.0).expect("unknown job id"))
+        };
+        loop {
+            // Arm before checking: `Notify` is edge-triggered.
+            let waiter = job.done.notified();
+            if let Some(res) = job.result.borrow().as_ref() {
+                return res.clone();
+            }
+            waiter.await;
+        }
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn active_jobs(&self) -> usize {
+        self.inner.active.borrow().len()
+    }
+}
+
+impl RtInner {
+    /// One heartbeat's slot assignment: walks the active-job queue in
+    /// policy order, offering each job the node's still-free slots.
+    #[allow(clippy::type_complexity)]
+    fn schedule(
+        &self,
+        node: NodeId,
+        free_m: &mut usize,
+        free_r: &mut usize,
+    ) -> Vec<(Rc<ActiveJob>, Vec<MapTaskDesc>, Vec<usize>)> {
+        let order: Vec<u32> = {
+            let active = self.active.borrow();
+            match self.policy {
+                SchedulePolicy::Fifo => active.iter().copied().collect(),
+                SchedulePolicy::Fair => {
+                    if active.is_empty() {
+                        Vec::new()
+                    } else {
+                        let n = active.len();
+                        let start = self.rr.get() % n;
+                        self.rr.set(self.rr.get().wrapping_add(1));
+                        (0..n).map(|i| active[(start + i) % n]).collect()
+                    }
+                }
+            }
+        };
+        let mut out = Vec::new();
+        for id in order {
+            if *free_m == 0 && *free_r == 0 {
+                break;
+            }
+            let job = {
+                let jobs = self.jobs.borrow();
+                match jobs.get(&id) {
+                    Some(j) => Rc::clone(j),
+                    None => continue,
+                }
+            };
+            let (maps, reduces) = job.jt.borrow_mut().heartbeat(node, *free_m, *free_r);
+            *free_m = free_m.saturating_sub(maps.len());
+            *free_r = free_r.saturating_sub(reduces.len());
+            if !maps.is_empty() || !reduces.is_empty() {
+                out.push((job, maps, reduces));
+            }
+        }
+        out
+    }
+
+    /// Commits a finished job: per-job cache stats, cluster-wide cleanup of
+    /// its serving state, result assembly, and waking joiners.
+    fn finalize(self: &Rc<Self>, job: &Rc<ActiveJob>) {
+        let end = self.sim.now().as_secs_f64();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for tt in &self.tts {
+            let (h, m) = tt.cache.job_stats(job.id);
+            hits += h;
+            misses += m;
+            tt.cleanup_job(job.id);
+        }
+        self.outputs.remove_job(job.id);
+        self.active.borrow_mut().retain(|&j| j != job.id.0);
+
+        let (failed_map_attempts, failed_reduce_attempts) = {
+            let jtb = job.jt.borrow();
+            (jtb.map_failures_seen(), jtb.reduce_failures_seen())
+        };
+        let reduce_stats: Vec<ReduceStats> = job
+            .reduce_stats
+            .borrow()
+            .iter()
+            .map(|s| s.clone().expect("reducer finished without stats"))
+            .collect();
+        let shuffled_bytes = reduce_stats.iter().map(|s| s.shuffled_bytes).sum();
+        let output_bytes = reduce_stats.iter().map(|s| s.output_bytes).sum();
+        let duration_s = end - job.submit_s;
+        let queue_wait_s = job
+            .first_launch_s
+            .get()
+            .map(|t| t - job.submit_s)
+            .unwrap_or(0.0);
+        let slot_pool = self.cluster.workers.len() as f64
+            * (self.conf.map_slots + self.conf.reduce_slots) as f64;
+        let slot_occupancy = if duration_s > 0.0 && slot_pool > 0.0 {
+            job.slot_secs.get() / (duration_s * slot_pool)
+        } else {
+            0.0
+        };
+        let result = JobResult {
+            name: job.spec.name.clone(),
+            shuffle: job.conf.shuffle,
+            duration_s,
+            start_s: job.submit_s,
+            map_phase_end_s: job.map_phase_end_s.get(),
+            end_s: end,
+            maps: job.total_maps,
+            reduces: job.conf.num_reduces,
+            input_bytes: job.input_bytes,
+            shuffled_bytes,
+            output_bytes,
+            cache_hits: hits,
+            cache_misses: misses,
+            failed_map_attempts,
+            failed_reduce_attempts,
+            queue_wait_s,
+            slot_occupancy,
+            reduce_stats,
+            timeline: job.timeline.events(),
+        };
+        *job.result.borrow_mut() = Some(result);
+        job.done.notify_all();
+    }
+}
+
+/// The per-TaskTracker heartbeat daemon: parks while the cluster is idle,
+/// otherwise heartbeats the JobTracker every `tasktracker.heartbeat`
+/// interval, launching whatever attempts the schedule hands this node.
+fn spawn_heartbeat(inner: &Rc<RtInner>, tt: &Rc<TaskTracker>) {
+    let inner = Rc::clone(inner);
+    let tt = Rc::clone(tt);
+    let sim = inner.sim.clone();
+    sim.clone()
+        .spawn_daemon(format!("tt{}-heartbeat", tt.idx), async move {
+            loop {
+                // Park until a job is in the system. Arm the waiter before
+                // re-checking (edge-triggered Notify; single-threaded, so
+                // check-then-await without an intervening await is safe).
+                let waiter = inner.work.notified();
+                if inner.active.borrow().is_empty() {
+                    waiter.await;
+                    continue;
+                }
+                drop(waiter);
+
+                // Heartbeat RPC to the JobTracker.
+                inner
+                    .cluster
+                    .net
+                    .transfer(tt.node.id, inner.cluster.master, HEARTBEAT_BYTES)
+                    .await;
+                let mut free_m = tt.map_slots.available() as usize;
+                let mut free_r = tt.reduce_slots.available() as usize;
+                let assignments = inner.schedule(tt.node.id, &mut free_m, &mut free_r);
+                inner
+                    .cluster
+                    .net
+                    .transfer(inner.cluster.master, tt.node.id, HEARTBEAT_BYTES)
+                    .await;
+
+                for (job, maps, reduces) in assignments {
+                    for desc in maps {
+                        let permit = tt
+                            .map_slots
+                            .try_acquire(1)
+                            .expect("slot advertised but unavailable");
+                        spawn_map_attempt(&inner, &job, &tt, desc, permit);
+                    }
+                    for reduce_idx in reduces {
+                        let permit = tt
+                            .reduce_slots
+                            .try_acquire(1)
+                            .expect("slot advertised but unavailable");
+                        spawn_reduce_attempt(&inner, &job, &tt, reduce_idx, permit);
+                    }
+                }
+                sim.sleep(inner.conf.heartbeat).await;
+            }
+        })
+        .detach();
+}
+
+fn note_launch(job: &ActiveJob, now_s: f64) {
+    if job.first_launch_s.get().is_none() {
+        job.first_launch_s.set(Some(now_s));
+    }
+}
+
+fn spawn_map_attempt(
+    inner: &Rc<RtInner>,
+    job: &Rc<ActiveJob>,
+    tt: &Rc<TaskTracker>,
+    desc: MapTaskDesc,
+    permit: Permit,
+) {
+    let inner = Rc::clone(inner);
+    let job = Rc::clone(job);
+    let tt = Rc::clone(tt);
+    let sim = inner.sim.clone();
+    note_launch(&job, sim.now().as_secs_f64());
+    sim.clone()
+        .spawn_named(format!("{}-map-{}", job.id, desc.idx), async move {
+            let attempt_start = sim.now().as_secs_f64();
+            // JVM spawn + task localisation.
+            sim.sleep(job.conf.task_launch_overhead).await;
+            let fail = job.jt.borrow_mut().should_fail(desc.idx);
+            let abort = fail.then_some(0.5);
+            let out = run_map(
+                &inner.cluster,
+                &job.conf,
+                &job.spec,
+                &tt,
+                job.id,
+                &desc,
+                abort,
+            )
+            .await;
+            // Status notification to the JobTracker.
+            inner
+                .cluster
+                .net
+                .transfer(tt.node.id, inner.cluster.master, 256)
+                .await;
+            let idx = desc.idx;
+            let end_s = sim.now().as_secs_f64();
+            job.slot_secs
+                .set(job.slot_secs.get() + (end_s - attempt_start));
+            match out {
+                Some(info) => {
+                    let map_idx = info.map_idx;
+                    let first = job.jt.borrow_mut().map_completed(map_idx, tt.idx);
+                    job.timeline.record(TaskEvent {
+                        kind: TaskKind::Map,
+                        idx,
+                        tt: tt.idx,
+                        start_s: attempt_start,
+                        end_s,
+                        outcome: if first {
+                            Outcome::Completed
+                        } else {
+                            Outcome::Discarded
+                        },
+                    });
+                    if first {
+                        // Only the winning attempt's output is committed;
+                        // speculative losers are discarded (their file stays
+                        // on disk until job cleanup, as in Hadoop).
+                        inner.outputs.insert(info);
+                        tt.on_map_output(job.id, map_idx);
+                        let jtb = job.jt.borrow();
+                        if jtb.maps_done() {
+                            drop(jtb);
+                            job.map_phase_end_s.set(sim.now().as_secs_f64());
+                        }
+                    }
+                }
+                None => {
+                    job.timeline.record(TaskEvent {
+                        kind: TaskKind::Map,
+                        idx,
+                        tt: tt.idx,
+                        start_s: attempt_start,
+                        end_s,
+                        outcome: Outcome::Failed,
+                    });
+                    job.jt.borrow_mut().map_failed(desc);
+                }
+            }
+            drop(permit);
+        })
+        .detach();
+}
+
+fn spawn_reduce_attempt(
+    inner: &Rc<RtInner>,
+    job: &Rc<ActiveJob>,
+    tt: &Rc<TaskTracker>,
+    reduce_idx: usize,
+    permit: Permit,
+) {
+    let inner = Rc::clone(inner);
+    let job = Rc::clone(job);
+    let sim = inner.sim.clone();
+    note_launch(&job, sim.now().as_secs_f64());
+    let ctx = ReduceCtx {
+        cluster: inner.cluster.clone(),
+        conf: Rc::clone(&job.conf),
+        spec: job.spec.clone(),
+        jt: Rc::clone(&job.jt),
+        servers: Rc::clone(&inner.servers),
+        tt: Rc::clone(tt),
+        job: job.id,
+        reduce_idx,
+        total_maps: job.total_maps,
+    };
+    let tt_idx = tt.idx;
+    sim.clone()
+        .spawn_named(format!("{}-reduce-{reduce_idx}", job.id), async move {
+            let attempt_start = sim.now().as_secs_f64();
+            sim.sleep(job.conf.task_launch_overhead).await;
+            // Fault injection: this attempt dies before shuffling and the
+            // task goes back to the queue (detected at the next status
+            // interval).
+            if job.jt.borrow_mut().should_fail_reduce(reduce_idx) {
+                sim.sleep(SimDuration::from_secs(10)).await;
+                inner
+                    .cluster
+                    .net
+                    .transfer(ctx.tt.node.id, inner.cluster.master, 256)
+                    .await;
+                let end_s = sim.now().as_secs_f64();
+                job.slot_secs
+                    .set(job.slot_secs.get() + (end_s - attempt_start));
+                job.timeline.record(TaskEvent {
+                    kind: TaskKind::Reduce,
+                    idx: reduce_idx,
+                    tt: tt_idx,
+                    start_s: attempt_start,
+                    end_s,
+                    outcome: Outcome::Failed,
+                });
+                job.jt.borrow_mut().reduce_failed(reduce_idx);
+                drop(permit);
+                return;
+            }
+            let stats = inner.engine.run_reduce(ctx).await;
+            // Commit notification.
+            inner
+                .cluster
+                .net
+                .transfer(inner.cluster.workers[0].id, inner.cluster.master, 256)
+                .await;
+            let end_s = sim.now().as_secs_f64();
+            job.slot_secs
+                .set(job.slot_secs.get() + (end_s - attempt_start));
+            job.timeline.record(TaskEvent {
+                kind: TaskKind::Reduce,
+                idx: reduce_idx,
+                tt: tt_idx,
+                start_s: attempt_start,
+                end_s,
+                outcome: Outcome::Completed,
+            });
+            job.reduce_stats.borrow_mut()[reduce_idx] = Some(stats);
+            let finished = {
+                let mut jtb = job.jt.borrow_mut();
+                jtb.reduce_completed();
+                jtb.job_done()
+            };
+            if finished {
+                inner.finalize(&job);
+            }
+            drop(permit);
+        })
+        .detach();
+}

@@ -1,6 +1,11 @@
 //! The TaskTracker: task slots and the server side of all three shuffle
 //! engines.
 //!
+//! TaskTrackers are cluster-lifetime services: one starts per worker when
+//! the [`crate::runtime::Runtime`] comes up and it serves the map outputs
+//! of *every* job submitted to that runtime, so all serving state is keyed
+//! by [`JobId`].
+//!
 //! * Vanilla: an HTTP servlet pool (`tasktracker.http.threads`) streams whole
 //!   partitions over socket connections, reading from local disk through the
 //!   OS page cache.
@@ -11,6 +16,9 @@
 //!   `DataRequestQueue`, and a pool of light-weight `RDMAResponder`s serves
 //!   them — from the `PrefetchCache` on a hit, straight from disk on a miss
 //!   (then re-caching at demand priority).
+//!
+//! Which flavour of server runs (and whether the cache is live) is decided
+//! by the [`crate::engine::ShuffleEngine`] the runtime was built with.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -21,11 +29,12 @@ use rmr_net::{listen, ucr_listen, EndPoint, ListenerHandle, Network, UcrConnecto
 use rmr_store::FileReader;
 
 use crate::cluster::NodeHandle;
-use crate::config::{JobConf, ShuffleKind};
+use crate::config::JobConf;
 use crate::mapoutput::MapOutputStore;
 use crate::prefetch::{PrefetchCache, PrefetchRequest, Prefetcher, Priority};
 use crate::proto::{PacketBudget, ShufMsg};
 use crate::record::SegmentCursor;
+use crate::runtime::JobId;
 
 /// Server address of one TaskTracker's shuffle service.
 #[derive(Clone)]
@@ -42,38 +51,45 @@ pub struct TaskTracker {
     pub idx: usize,
     /// The host's resources.
     pub node: NodeHandle,
-    /// Engine configuration.
+    /// Cluster-wide configuration (`tasktracker.*` keys: slots, server
+    /// pools, cache sizing).
     pub conf: Rc<JobConf>,
     /// Global map-output registry (this TT serves only its own entries).
     pub outputs: MapOutputStore,
-    /// The PrefetchCache (OSU-IB).
+    /// The PrefetchCache (OSU-IB), shared by every job on the runtime.
     pub cache: PrefetchCache,
     /// The MapOutputPrefetcher daemon pool.
     pub prefetcher: Prefetcher,
-    /// Map slots.
+    /// Map slots (shared by all concurrent jobs).
     pub map_slots: Semaphore,
-    /// Reduce slots.
+    /// Reduce slots (shared by all concurrent jobs).
     pub reduce_slots: Semaphore,
     sim: Sim,
-    /// Per-(map, reduce) serve cursors.
-    cursors: RefCell<BTreeMap<(usize, usize), SegmentCursor>>,
-    /// Per-(map, reduce) sequential disk readers.
-    readers: RefCell<BTreeMap<(usize, usize), FileReader>>,
+    /// Whether the serve path consults the PrefetchCache (engine decides).
+    cache_enabled: bool,
+    /// Per-(job, map, reduce) serve cursors.
+    cursors: RefCell<BTreeMap<(JobId, usize, usize), SegmentCursor>>,
+    /// Per-(job, map, reduce) sequential disk readers.
+    readers: RefCell<BTreeMap<(JobId, usize, usize), FileReader>>,
     /// How many reduce partitions of each map have been fully served; at
-    /// `num_reduces` the cached copy is released (its useful life is over).
-    served_parts: RefCell<BTreeMap<usize, usize>>,
+    /// the map's partition count the cached copy is released (its useful
+    /// life is over).
+    served_parts: RefCell<BTreeMap<(JobId, usize), usize>>,
 }
 
 impl TaskTracker {
-    /// Creates a TaskTracker on `node`.
+    /// Creates a TaskTracker on `node`. `cache_enabled` turns the serve
+    /// path's PrefetchCache on (the engine's `server_cache()` ANDed with
+    /// `mapred.local.caching.enabled`).
     pub fn new(
         sim: &Sim,
         idx: usize,
         node: NodeHandle,
         conf: Rc<JobConf>,
         outputs: MapOutputStore,
+        cache_enabled: bool,
     ) -> Rc<Self> {
-        let cache_bytes = if conf.shuffle == ShuffleKind::OsuIb && conf.caching_enabled {
+        let cache_bytes = if cache_enabled {
             conf.prefetch_cache_bytes
         } else {
             0
@@ -90,6 +106,7 @@ impl TaskTracker {
             cache,
             prefetcher,
             sim: sim.clone(),
+            cache_enabled,
             cursors: RefCell::new(BTreeMap::new()),
             readers: RefCell::new(BTreeMap::new()),
             served_parts: RefCell::new(BTreeMap::new()),
@@ -99,10 +116,11 @@ impl TaskTracker {
     /// Called when a map completes on this TT: kicks the prefetcher
     /// (§III-B-3: "caches intermediate map output as soon as it gets
     /// available").
-    pub fn on_map_output(&self, map_idx: usize) {
-        if self.conf.shuffle == ShuffleKind::OsuIb && self.conf.caching_enabled {
-            if let Some(info) = self.outputs.get(map_idx) {
+    pub fn on_map_output(&self, job: JobId, map_idx: usize) {
+        if self.cache_enabled {
+            if let Some(info) = self.outputs.get(job, map_idx) {
                 self.prefetcher.request(PrefetchRequest {
+                    job,
                     map_idx,
                     file: info.file.clone(),
                     bytes: info.total_bytes,
@@ -114,13 +132,19 @@ impl TaskTracker {
 
     /// Serves one shuffle request, charging disk/cache/CPU, and returns the
     /// response message.
-    pub async fn serve(&self, map_idx: usize, reduce: usize, budget: PacketBudget) -> ShufMsg {
+    pub async fn serve(
+        &self,
+        job: JobId,
+        map_idx: usize,
+        reduce: usize,
+        budget: PacketBudget,
+    ) -> ShufMsg {
         let info = self
             .outputs
-            .get(map_idx)
+            .get(job, map_idx)
             .expect("request for unknown map output");
         debug_assert_eq!(info.tt_idx, self.idx, "request routed to wrong TT");
-        let key = (map_idx, reduce);
+        let key = (job, map_idx, reduce);
         let total = info.parts[reduce].clone();
         let (total_records, total_bytes) = (total.records, total.bytes);
         let packet = {
@@ -143,29 +167,30 @@ impl TaskTracker {
             // drained its partition the cached file has no future readers.
             let done = {
                 let mut served = self.served_parts.borrow_mut();
-                let e = served.entry(map_idx).or_insert(0);
+                let e = served.entry((job, map_idx)).or_insert(0);
                 *e += 1;
-                *e >= self.conf.num_reduces
+                *e >= info.parts.len()
             };
             if done {
-                self.cache.remove(map_idx);
-                self.readers.borrow_mut().retain(|(m, _), _| *m != map_idx);
+                self.cache.remove((job, map_idx));
+                self.readers
+                    .borrow_mut()
+                    .retain(|(j, m, _), _| (*j, *m) != (job, map_idx));
             }
         }
 
         // Where do the bytes come from?
-        let use_cache = self.conf.shuffle == ShuffleKind::OsuIb && self.conf.caching_enabled;
         let mut from_cache = false;
         if packet.bytes > 0 {
-            if use_cache && self.cache.lookup(map_idx) {
+            if self.cache_enabled && self.cache.lookup((job, map_idx)) {
                 from_cache = true;
                 self.sim
                     .metrics()
                     .add("tt.cache_hit_bytes", packet.bytes as f64);
             } else {
                 // Read from disk (through the page cache) with a sequential
-                // per-(map, reduce) stream. The reader is moved out for the
-                // await (the RefCell must not stay borrowed across it).
+                // per-(job, map, reduce) stream. The reader is moved out for
+                // the await (the RefCell must not stay borrowed across it).
                 let taken = self.readers.borrow_mut().remove(&key);
                 let mut reader = taken
                     .unwrap_or_else(|| self.node.fs.reader(&info.file).expect("map output file"));
@@ -177,10 +202,11 @@ impl TaskTracker {
                 self.sim
                     .metrics()
                     .add("tt.disk_serve_bytes", packet.bytes as f64);
-                if use_cache {
+                if self.cache_enabled {
                     // Demand miss: stage the whole file at high priority so
                     // successive requests hit (§III-B-3).
                     self.prefetcher.request(PrefetchRequest {
+                        job,
                         map_idx,
                         file: info.file.clone(),
                         bytes: info.total_bytes,
@@ -206,18 +232,22 @@ impl TaskTracker {
     }
 
     /// Resets serve state for a map output (failed-map invalidation).
-    pub fn invalidate(&self, map_idx: usize) {
-        self.cursors.borrow_mut().retain(|(m, _), _| *m != map_idx);
-        self.readers.borrow_mut().retain(|(m, _), _| *m != map_idx);
-        self.cache.remove(map_idx);
+    pub fn invalidate(&self, job: JobId, map_idx: usize) {
+        self.cursors
+            .borrow_mut()
+            .retain(|(j, m, _), _| (*j, *m) != (job, map_idx));
+        self.readers
+            .borrow_mut()
+            .retain(|(j, m, _), _| (*j, *m) != (job, map_idx));
+        self.cache.remove((job, map_idx));
     }
-}
 
-/// Starts the shuffle server for `tt` and returns its address handle.
-pub fn start_shuffle_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
-    match tt.conf.shuffle {
-        ShuffleKind::Vanilla => start_http_server(tt, net),
-        ShuffleKind::HadoopA | ShuffleKind::OsuIb => start_rdma_server(tt, net),
+    /// Drops all serve state of a finished job (commit-time cleanup).
+    pub fn cleanup_job(&self, job: JobId) {
+        self.cursors.borrow_mut().retain(|(j, _, _), _| *j != job);
+        self.readers.borrow_mut().retain(|(j, _, _), _| *j != job);
+        self.served_parts.borrow_mut().retain(|(j, _), _| *j != job);
+        self.cache.remove_job(job);
     }
 }
 
@@ -225,7 +255,7 @@ pub fn start_shuffle_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHand
 /// concurrency is bounded by the servlet thread pool. A `Full` request
 /// streams the whole partition in `stream_chunk` pieces, reading each piece
 /// from disk before sending it.
-fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
+pub(crate) fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
     let listener = listen::<ShufMsg>(net, tt.node.id);
     let handle = listener.handle();
     let sim = tt.sim.clone();
@@ -243,7 +273,10 @@ fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
                 sim.spawn_daemon(format!("tt{tt_id}-http-conn"), async move {
                     while let Some(msg) = conn.recv().await {
                         let ShufMsg::Request {
-                            map_idx, reduce, ..
+                            job,
+                            map_idx,
+                            reduce,
+                            ..
                         } = msg
                         else {
                             continue;
@@ -252,7 +285,12 @@ fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
                         // Stream the partition in chunks: read, then send.
                         loop {
                             let resp = tt
-                                .serve(map_idx, reduce, PacketBudget::Bytes(tt.conf.stream_chunk))
+                                .serve(
+                                    job,
+                                    map_idx,
+                                    reduce,
+                                    PacketBudget::Bytes(tt.conf.stream_chunk),
+                                )
                                 .await;
                             let last = matches!(
                                 &resp,
@@ -279,14 +317,14 @@ fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
 
 /// Hadoop-A and OSU-IB: `RDMAListener` + per-endpoint `RDMAReceiver`s +
 /// `DataRequestQueue` + `RDMAResponder` pool (§III-B-1).
-fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
+pub(crate) fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
     let listener = ucr_listen::<ShufMsg>(net, tt.node.id);
     let connector = listener.connector();
     let sim = tt.sim.clone();
     let tt_id = tt.node.id.0;
 
-    // DataRequestQueue: (endpoint, map, reduce, budget).
-    type Queued = (Rc<EndPoint<ShufMsg>>, usize, usize, PacketBudget);
+    // DataRequestQueue: (endpoint, job, map, reduce, budget).
+    type Queued = (Rc<EndPoint<ShufMsg>>, JobId, usize, usize, PacketBudget);
     let (req_tx, req_rx) = channel_named::<Queued>(&format!("tt{tt_id}-data-request-queue"));
 
     // RDMAResponder pool.
@@ -294,8 +332,8 @@ fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
         let rx = req_rx.clone();
         let tt = Rc::clone(tt);
         sim.spawn_daemon(format!("tt{tt_id}-rdma-responder-{i}"), async move {
-            while let Some((ep, map_idx, reduce, budget)) = rx.recv().await {
-                let resp = tt.serve(map_idx, reduce, budget).await;
+            while let Some((ep, job, map_idx, reduce, budget)) = rx.recv().await {
+                let resp = tt.serve(job, map_idx, reduce, budget).await;
                 ep.send(resp).await;
             }
         })
@@ -311,12 +349,13 @@ fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
             sim2.spawn_daemon(format!("tt{tt_id}-rdma-receiver"), async move {
                 while let Some(msg) = ep.recv().await {
                     if let ShufMsg::Request {
+                        job,
                         map_idx,
                         reduce,
                         budget,
                     } = msg
                     {
-                        let _ = req_tx.send_now((Rc::clone(&ep), map_idx, reduce, budget));
+                        let _ = req_tx.send_now((Rc::clone(&ep), job, map_idx, reduce, budget));
                     }
                 }
             })
@@ -331,19 +370,22 @@ fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
 mod tests {
     use super::*;
     use crate::cluster::{Cluster, NodeSpec};
+    use crate::config::ShuffleKind;
     use crate::mapoutput::MapOutputInfo;
     use crate::record::Segment;
     use rmr_hdfs::HdfsConfig;
     use rmr_net::FabricParams;
 
+    const J: JobId = JobId(0);
+
     fn setup(kind: ShuffleKind, caching: bool) -> (Sim, Cluster, Rc<TaskTracker>, TtServerHandle) {
         let sim = Sim::new(7);
         let cluster = Cluster::build(
             &sim,
-            if kind == ShuffleKind::Vanilla {
-                FabricParams::ipoib_qdr()
-            } else {
+            if kind.uses_rdma() {
                 FabricParams::ib_verbs_qdr()
+            } else {
+                FabricParams::ipoib_qdr()
             },
             &[NodeSpec::westmere_compute(), NodeSpec::westmere_compute()],
             HdfsConfig::default(),
@@ -353,16 +395,24 @@ mod tests {
             caching_enabled: caching,
             ..JobConf::default()
         });
+        let engine = kind.engine();
         let outputs = MapOutputStore::new();
-        let tt = TaskTracker::new(&sim, 0, cluster.workers[0].clone(), conf, outputs.clone());
-        let server = start_shuffle_server(&tt, &cluster.net);
+        let tt = TaskTracker::new(
+            &sim,
+            0,
+            cluster.workers[0].clone(),
+            conf,
+            outputs.clone(),
+            engine.server_cache() && caching,
+        );
+        let server = engine.start_server(&tt, &cluster.net);
         (sim, cluster, tt, server)
     }
 
     fn register_output(sim: &Sim, tt: &Rc<TaskTracker>, map_idx: usize, part_bytes: u64) {
         // Write the file so disk reads have something to charge.
         let fs = tt.node.fs.clone();
-        let file = format!("map_{map_idx}.out");
+        let file = format!("j0_map_{map_idx}.out");
         let bytes_total = part_bytes * 2; // two partitions
         let f2 = file.clone();
         let fs2 = fs.clone();
@@ -373,6 +423,7 @@ mod tests {
         .detach();
         sim.run(); // flush the write
         tt.outputs.insert(MapOutputInfo {
+            job: J,
             map_idx,
             tt_idx: 0,
             node: tt.node.id,
@@ -399,6 +450,7 @@ mod tests {
         sim.spawn(async move {
             let conn = handle.connect(client_node).await;
             conn.send(ShufMsg::Request {
+                job: J,
                 map_idx: 0,
                 reduce: 1,
                 budget: PacketBudget::Full,
@@ -442,6 +494,7 @@ mod tests {
         sim.spawn(async move {
             let ep = connector.connect(client_node).await;
             ep.send(ShufMsg::Request {
+                job: J,
                 map_idx: 3,
                 reduce: 0,
                 budget: PacketBudget::Records(1000),
@@ -461,9 +514,9 @@ mod tests {
     fn osu_cache_hits_after_prefetch() {
         let (sim, cluster, tt, server) = setup(ShuffleKind::OsuIb, true);
         register_output(&sim, &tt, 0, 1 << 20);
-        tt.on_map_output(0); // trigger prefetch
+        tt.on_map_output(J, 0); // trigger prefetch
         sim.run(); // let the prefetcher stage the file
-        assert!(tt.cache.contains(0), "prefetcher staged the output");
+        assert!(tt.cache.contains((J, 0)), "prefetcher staged the output");
         let TtServerHandle::Rdma(connector) = server else {
             panic!("expected rdma")
         };
@@ -473,6 +526,7 @@ mod tests {
         sim.spawn(async move {
             let ep = connector.connect(client_node).await;
             ep.send(ShufMsg::Request {
+                job: J,
                 map_idx: 0,
                 reduce: 0,
                 budget: PacketBudget::Bytes(256 << 10),
@@ -502,6 +556,7 @@ mod tests {
         sim.spawn(async move {
             let ep = connector.connect(client_node).await;
             ep.send(ShufMsg::Request {
+                job: J,
                 map_idx: 0,
                 reduce: 0,
                 budget: PacketBudget::Bytes(64 << 10),
@@ -516,6 +571,6 @@ mod tests {
         sim.run();
         assert!(!first_hit.get(), "cold cache misses");
         // The demand request staged the file for future hits.
-        assert!(tt.cache.contains(0), "demand miss re-cached");
+        assert!(tt.cache.contains((J, 0)), "demand miss re-cached");
     }
 }

@@ -1,22 +1,29 @@
 //! Property-based tests on the PrefetchCache invariants under arbitrary
-//! operation sequences.
+//! operation sequences, with entries spread across concurrent jobs.
 
 use proptest::prelude::*;
 
-use rmr_core::prefetch::{PrefetchCache, Priority};
+use rmr_core::prefetch::{CacheKey, PrefetchCache, Priority};
+use rmr_core::JobId;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert(usize, u64, bool), // (map, bytes, demand?)
-    Lookup(usize),
-    Remove(usize),
+    Insert(CacheKey, u64, bool), // (key, bytes, demand?)
+    Lookup(CacheKey),
+    Remove(CacheKey),
+    RemoveJob(u32),
+}
+
+fn arb_key() -> impl Strategy<Value = CacheKey> {
+    (0u32..3, 0usize..12).prop_map(|(j, m)| (JobId(j), m))
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..12, 1u64..400, any::<bool>()).prop_map(|(m, b, d)| Op::Insert(m, b, d)),
-        (0usize..12).prop_map(Op::Lookup),
-        (0usize..12).prop_map(Op::Remove),
+        (arb_key(), 1u64..400, any::<bool>()).prop_map(|(k, b, d)| Op::Insert(k, b, d)),
+        arb_key().prop_map(Op::Lookup),
+        arb_key().prop_map(Op::Remove),
+        (0u32..3).prop_map(Op::RemoveJob),
     ]
 }
 
@@ -29,21 +36,28 @@ proptest! {
         let cache = PrefetchCache::new(capacity);
         for op in ops {
             match op {
-                Op::Insert(m, b, demand) => {
+                Op::Insert(k, b, demand) => {
                     let pri = if demand { Priority::Demand } else { Priority::Prefetch };
-                    let admitted_prediction = cache.would_admit(m, b, pri);
-                    let admitted = cache.insert(m, b, pri);
+                    let admitted_prediction = cache.would_admit(k, b, pri);
+                    let admitted = cache.insert(k, b, pri);
                     prop_assert_eq!(admitted, admitted_prediction,
                         "would_admit must predict insert");
-                    if admitted && !cache.contains(m) {
+                    if admitted && !cache.contains(k) {
                         prop_assert!(false, "admitted entry must be resident");
                     }
                 }
-                Op::Lookup(m) => {
-                    let hit = cache.lookup(m);
-                    prop_assert_eq!(hit, cache.contains(m));
+                Op::Lookup(k) => {
+                    let hit = cache.lookup(k);
+                    prop_assert_eq!(hit, cache.contains(k));
                 }
-                Op::Remove(m) => cache.remove(m),
+                Op::Remove(k) => cache.remove(k),
+                Op::RemoveJob(j) => {
+                    cache.remove_job(JobId(j));
+                    for m in 0..12 {
+                        prop_assert!(!cache.contains((JobId(j), m)),
+                            "remove_job must drop every entry of the job");
+                    }
+                }
             }
             prop_assert!(cache.used() <= capacity, "capacity invariant");
         }
@@ -57,10 +71,14 @@ proptest! {
         pressure in proptest::collection::vec(1u64..300, 0..50),
     ) {
         let cache = PrefetchCache::new(600);
-        prop_assume!(cache.insert(0, demand_bytes, Priority::Demand));
+        let demand_key = (JobId(0), 0);
+        prop_assume!(cache.insert(demand_key, demand_bytes, Priority::Demand));
         for (i, b) in pressure.into_iter().enumerate() {
-            let _ = cache.insert(i + 1, b, Priority::Prefetch);
-            prop_assert!(cache.contains(0), "Prefetch inserts must never evict Demand data");
+            // Pressure alternates between the demand entry's own job and a
+            // competing one: cross-job prefetch pressure must not evict
+            // another job's demand-priority data either.
+            let _ = cache.insert((JobId((i % 2) as u32 + 1), i + 1), b, Priority::Prefetch);
+            prop_assert!(cache.contains(demand_key), "Prefetch inserts must never evict Demand data");
         }
     }
 }

@@ -1,0 +1,191 @@
+//! Property-based tests on the JobTracker scheduler: locality preference,
+//! slowstart gating, and no-double-completion must hold under arbitrary
+//! interleavings of heartbeats, completions, and failures — the interleaving
+//! a multi-job runtime produces when several jobs share the same trackers.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use rmr_core::jobtracker::{JobTracker, MapTaskDesc};
+use rmr_hdfs::{BlockId, BlockMeta};
+use rmr_net::NodeId;
+
+fn desc(idx: usize, loc: u32) -> MapTaskDesc {
+    MapTaskDesc {
+        idx,
+        block: BlockMeta {
+            id: BlockId(idx as u64),
+            size: 4 << 20,
+            replicas: vec![0],
+        },
+        locations: vec![NodeId(loc)],
+    }
+}
+
+/// One step of the random schedule: a heartbeat from some node with some
+/// free slots, or completing / failing one of the currently running
+/// attempts (picked by the `u8` selector modulo the running count).
+fn arb_step() -> impl Strategy<Value = (u32, usize, usize, u8, u8)> {
+    (0u32..4, 0usize..4, 0usize..3, any::<u8>(), any::<u8>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Without speculation every launched attempt is unique, locality is
+    /// honoured within each heartbeat batch, unfilled slots imply an empty
+    /// pending queue, and the slowstart threshold gates every reduce launch.
+    #[test]
+    fn scheduler_invariants_under_random_interleavings(
+        total_maps in 1usize..12,
+        total_reduces in 0usize..5,
+        slowstart_pct in 0u32..101,
+        steps in proptest::collection::vec(arb_step(), 1..100),
+    ) {
+        let slowstart = slowstart_pct as f64 / 100.0;
+        let descs: Vec<MapTaskDesc> =
+            (0..total_maps).map(|i| desc(i, (i % 4) as u32)).collect();
+        let mut jt = JobTracker::new(descs, total_reduces, slowstart, None);
+
+        // Shadow model of the scheduler's visible state.
+        let mut pending: BTreeSet<usize> = (0..total_maps).collect();
+        let mut running: Vec<MapTaskDesc> = Vec::new();
+        let mut completed: BTreeSet<usize> = BTreeSet::new();
+        let mut reduces_launched: BTreeSet<usize> = BTreeSet::new();
+
+        for (node, mslots, rslots, action, pick) in steps {
+            match action % 3 {
+                0 => {
+                    let gate_open = jt.maps_completed() as f64
+                        >= slowstart * total_maps as f64;
+                    let (maps, reduces) = jt.heartbeat(NodeId(node), mslots, rslots);
+                    prop_assert!(maps.len() <= mslots, "over-assignment");
+                    prop_assert!(reduces.len() <= rslots, "over-assignment");
+                    // Pass 1 drains data-local maps before pass 2 touches the
+                    // rest, so locals must precede non-locals in the batch.
+                    let mut seen_nonlocal = false;
+                    for m in &maps {
+                        if m.locations.contains(&NodeId(node)) {
+                            prop_assert!(
+                                !seen_nonlocal,
+                                "data-local map scheduled after a remote one"
+                            );
+                        } else {
+                            seen_nonlocal = true;
+                        }
+                    }
+                    for m in &maps {
+                        prop_assert!(
+                            pending.remove(&m.idx),
+                            "map {} launched while not pending", m.idx
+                        );
+                        running.push(m.clone());
+                    }
+                    if maps.len() < mslots {
+                        prop_assert!(
+                            pending.is_empty(),
+                            "slots left idle while maps were pending"
+                        );
+                    }
+                    if !reduces.is_empty() {
+                        prop_assert!(
+                            gate_open,
+                            "reduce launched below the slowstart threshold \
+                             ({} of {} maps done, slowstart {slowstart})",
+                            jt.maps_completed(), total_maps
+                        );
+                    }
+                    for r in reduces {
+                        prop_assert!(r < total_reduces);
+                        prop_assert!(
+                            reduces_launched.insert(r),
+                            "reduce {r} launched twice without failing"
+                        );
+                    }
+                }
+                1 => {
+                    if running.is_empty() {
+                        continue;
+                    }
+                    let d = running.remove(pick as usize % running.len());
+                    let before = jt.maps_completed();
+                    prop_assert!(
+                        jt.map_completed(d.idx, node as usize),
+                        "without speculation every completion is the first"
+                    );
+                    prop_assert!(completed.insert(d.idx), "double completion");
+                    prop_assert_eq!(jt.maps_completed(), before + 1);
+                }
+                _ => {
+                    if running.is_empty() {
+                        continue;
+                    }
+                    let d = running.remove(pick as usize % running.len());
+                    pending.insert(d.idx);
+                    jt.map_failed(d);
+                }
+            }
+            prop_assert!(jt.maps_completed() <= total_maps);
+            prop_assert_eq!(jt.maps_completed(), completed.len());
+        }
+    }
+
+    /// With speculation on, duplicate attempts exist but `map_completed`
+    /// returns `true` exactly once per task, and the completed count stays
+    /// monotonic and bounded by the task count.
+    #[test]
+    fn speculative_completions_count_once(
+        total_maps in 1usize..10,
+        steps in proptest::collection::vec(arb_step(), 1..100),
+    ) {
+        let descs: Vec<MapTaskDesc> =
+            (0..total_maps).map(|i| desc(i, (i % 4) as u32)).collect();
+        let mut jt = JobTracker::new(descs, 0, 0.05, None);
+        jt.set_speculative(true);
+
+        let mut attempts: Vec<usize> = Vec::new();
+        let mut completed: BTreeSet<usize> = BTreeSet::new();
+
+        for (node, mslots, _, action, pick) in steps {
+            if action % 2 == 0 {
+                let (maps, _) = jt.heartbeat(NodeId(node), mslots, 0);
+                prop_assert!(maps.len() <= mslots);
+                for m in maps {
+                    prop_assert!(
+                        !completed.contains(&m.idx),
+                        "completed map {} speculated again", m.idx
+                    );
+                    attempts.push(m.idx);
+                }
+            } else {
+                if attempts.is_empty() {
+                    continue;
+                }
+                let idx = attempts.remove(pick as usize % attempts.len());
+                let before = jt.maps_completed();
+                let first = jt.map_completed(idx, node as usize);
+                prop_assert_eq!(
+                    first,
+                    completed.insert(idx),
+                    "map_completed must return true exactly once per task"
+                );
+                prop_assert_eq!(
+                    jt.maps_completed(),
+                    before + usize::from(first),
+                    "only first completions advance the counter"
+                );
+            }
+            prop_assert!(jt.maps_completed() <= total_maps);
+            prop_assert_eq!(jt.maps_completed(), completed.len());
+        }
+
+        // Drain: finish every remaining attempt; the tracker must converge
+        // to exactly one counted completion per task regardless of losers.
+        while let Some(idx) = attempts.pop() {
+            let first = jt.map_completed(idx, 0);
+            prop_assert_eq!(first, completed.insert(idx));
+        }
+        prop_assert_eq!(jt.maps_completed(), completed.len());
+    }
+}

@@ -1,25 +1,30 @@
 //! Replay-determinism gates: the same seed must reproduce the exact event
 //! schedule (checked via the executor's trace hash), and a full job run must
-//! leave no live-but-unrunnable task behind.
+//! leave no live-but-unrunnable task behind. The multi-job tests drive the
+//! persistent cluster runtime with concurrent submissions.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use rmr_core::cluster::{Cluster, NodeSpec};
-use rmr_core::{run_job, JobConf, ShuffleKind};
+use rmr_core::{run_job, JobConf, JobResult, Runtime, ShuffleKind};
 use rmr_des::{assert_deterministic, Sim};
 use rmr_hdfs::HdfsConfig;
 use rmr_net::FabricParams;
-use rmr_workloads::{teragen, terasort_spec};
+use rmr_workloads::{teragen, terasort_spec, textgen, wordcount_spec};
 
-fn tiny_cluster(sim: &Sim, kind: ShuffleKind) -> Cluster {
-    let fabric = match kind {
-        ShuffleKind::Vanilla => FabricParams::ipoib_qdr(),
-        _ => FabricParams::ib_verbs_qdr(),
+fn tiny_cluster(sim: &Sim, kind: ShuffleKind, workers: usize) -> Cluster {
+    let fabric = if kind.uses_rdma() {
+        FabricParams::ib_verbs_qdr()
+    } else {
+        FabricParams::ipoib_qdr()
     };
     let mut spec = NodeSpec::westmere_compute();
     spec.page_cache = 64 << 20;
     Cluster::build(
         sim,
         fabric,
-        &vec![spec; 3],
+        &vec![spec; workers],
         HdfsConfig {
             block_size: 4 << 20,
             replication: 1,
@@ -29,11 +34,7 @@ fn tiny_cluster(sim: &Sim, kind: ShuffleKind) -> Cluster {
 }
 
 fn tiny_conf(kind: ShuffleKind) -> JobConf {
-    let mut conf = match kind {
-        ShuffleKind::Vanilla => JobConf::vanilla(),
-        ShuffleKind::HadoopA => JobConf::hadoop_a(),
-        ShuffleKind::OsuIb => JobConf::osu_ib(),
-    };
+    let mut conf = JobConf::for_kind(kind);
     conf.num_reduces = 2;
     conf.map_slots = 2;
     conf.reduce_slots = 2;
@@ -46,12 +47,32 @@ fn tiny_conf(kind: ShuffleKind) -> JobConf {
 }
 
 fn spawn_terasort(sim: &Sim, kind: ShuffleKind, total_bytes: u64) {
-    let cluster = tiny_cluster(sim, kind);
+    let cluster = tiny_cluster(sim, kind, 3);
     let conf = tiny_conf(kind);
     sim.spawn_named("terasort-driver", async move {
         teragen(&cluster, "/in", total_bytes, false).await;
         let res = run_job(&cluster, conf, terasort_spec("/in", "/out")).await;
         assert!(res.duration_s > 0.0);
+    })
+    .detach();
+}
+
+/// Two jobs — a TeraSort and a WordCount — submitted back-to-back onto one
+/// runtime, shuffling through the same TaskTrackers concurrently.
+fn spawn_two_concurrent_jobs(sim: &Sim) {
+    let cluster = tiny_cluster(sim, ShuffleKind::OsuIb, 3);
+    let conf = tiny_conf(ShuffleKind::OsuIb);
+    sim.spawn_named("multijob-driver", async move {
+        teragen(&cluster, "/tera", 12 << 20, false).await;
+        textgen(&cluster, "/text", 400, 12).await;
+        let rt = Runtime::start(&cluster, conf.clone());
+        let a = rt.submit(conf.clone(), terasort_spec("/tera", "/out-a"));
+        let b = rt.submit(conf.clone(), wordcount_spec("/text", "/out-b"));
+        let ra = rt.join(a).await;
+        let rb = rt.join(b).await;
+        assert!(ra.duration_s > 0.0);
+        assert!(rb.duration_s > 0.0);
+        assert_eq!(rt.active_jobs(), 0);
     })
     .detach();
 }
@@ -64,6 +85,63 @@ fn terasort_replays_identically_per_engine() {
         ShuffleKind::OsuIb,
     ] {
         assert_deterministic(41, |sim| spawn_terasort(sim, kind, 16 << 20));
+    }
+}
+
+#[test]
+fn concurrent_terasort_and_wordcount_replay_identically() {
+    assert_deterministic(43, spawn_two_concurrent_jobs);
+}
+
+#[test]
+fn four_concurrent_jobs_on_eight_nodes_are_deterministic() {
+    let run = || -> (u64, Vec<JobResult>) {
+        let sim = Sim::new(91);
+        let cluster = tiny_cluster(&sim, ShuffleKind::OsuIb, 8);
+        let conf = tiny_conf(ShuffleKind::OsuIb);
+        let results: Rc<RefCell<Vec<JobResult>>> = Rc::new(RefCell::new(Vec::new()));
+        let r2 = Rc::clone(&results);
+        sim.spawn_named("multijob-driver", async move {
+            for i in 0..4 {
+                teragen(&cluster, &format!("/in{i}"), 8 << 20, false).await;
+            }
+            let rt = Runtime::start(&cluster, conf.clone());
+            let ids: Vec<_> = (0..4)
+                .map(|i| {
+                    rt.submit(
+                        conf.clone(),
+                        terasort_spec(&format!("/in{i}"), &format!("/out{i}")),
+                    )
+                })
+                .collect();
+            for id in ids {
+                let res = rt.join(id).await;
+                r2.borrow_mut().push(res);
+            }
+        })
+        .detach();
+        sim.run();
+        let hash = sim.trace_hash();
+        let results = results.borrow().clone();
+        (hash, results)
+    };
+    let (h1, res1) = run();
+    let (h2, res2) = run();
+    assert_eq!(h1, h2, "same seed must reproduce the event trace exactly");
+    assert_eq!(res1.len(), 4, "all four jobs must complete");
+    for (a, b) in res1.iter().zip(&res2) {
+        assert_eq!(a.duration_s, b.duration_s);
+        assert_eq!(a.queue_wait_s, b.queue_wait_s);
+        assert_eq!(a.slot_occupancy, b.slot_occupancy);
+    }
+    for r in &res1 {
+        assert!(r.queue_wait_s >= 0.0);
+        assert!(
+            r.slot_occupancy > 0.0 && r.slot_occupancy <= 1.0,
+            "slot occupancy must be a fraction of the cluster's slot-seconds, got {}",
+            r.slot_occupancy
+        );
+        assert_eq!(r.shuffled_bytes, r.input_bytes, "per-job conservation");
     }
 }
 
@@ -83,12 +161,21 @@ fn different_workloads_follow_different_schedules() {
 
 #[test]
 fn terasort_quiesces_with_no_stalled_tasks() {
-    // Server loops (responder pools, listeners, prefetchers) are daemons
-    // and expected to park forever; everything else must have finished.
+    // Server loops (responder pools, listeners, prefetchers, parked
+    // heartbeat daemons) are daemons and expected to park forever;
+    // everything else must have finished.
     let sim = Sim::new(77);
     spawn_terasort(&sim, ShuffleKind::OsuIb, 16 << 20);
     let report = sim.step_until_no_events();
     report.assert_clean();
     assert!(report.daemons > 0, "OSU-IB runs spawn daemon server loops");
     assert!(report.time.as_nanos() > 0);
+}
+
+#[test]
+fn multijob_quiesces_with_no_stalled_tasks() {
+    let sim = Sim::new(78);
+    spawn_two_concurrent_jobs(&sim);
+    let report = sim.step_until_no_events();
+    report.assert_clean();
 }

@@ -24,11 +24,7 @@ fn small_cluster(sim: &Sim, workers: usize, fabric: FabricParams) -> Cluster {
 }
 
 fn small_conf(kind: ShuffleKind, reduces: usize) -> JobConf {
-    let mut conf = match kind {
-        ShuffleKind::Vanilla => JobConf::vanilla(),
-        ShuffleKind::HadoopA => JobConf::hadoop_a(),
-        ShuffleKind::OsuIb => JobConf::osu_ib(),
-    };
+    let mut conf = JobConf::for_kind(kind);
     conf.num_reduces = reduces;
     conf.map_slots = 2;
     conf.reduce_slots = 2;
@@ -41,9 +37,10 @@ fn small_conf(kind: ShuffleKind, reduces: usize) -> JobConf {
 }
 
 fn fabric_for(kind: ShuffleKind) -> FabricParams {
-    match kind {
-        ShuffleKind::Vanilla => FabricParams::ipoib_qdr(),
-        _ => FabricParams::ib_verbs_qdr(),
+    if kind.uses_rdma() {
+        FabricParams::ib_verbs_qdr()
+    } else {
+        FabricParams::ipoib_qdr()
     }
 }
 
@@ -159,6 +156,7 @@ fn failed_map_is_reexecuted_and_job_still_validates() {
     sim.run();
     let (res, _report) = result.borrow_mut().take().expect("job hung");
     assert_eq!(res.failed_map_attempts, 1);
+    assert_eq!(res.failed_reduce_attempts, 0);
 }
 
 #[test]
@@ -202,7 +200,14 @@ fn failed_reduce_is_reexecuted_and_job_still_validates() {
     .detach();
     sim.run();
     let (res, _report) = result.borrow_mut().take().expect("job hung");
-    assert_eq!(res.failed_map_attempts, 1, "the reduce failure counts once");
+    assert_eq!(
+        res.failed_reduce_attempts, 1,
+        "the reduce failure counts once, as a reduce failure"
+    );
+    assert_eq!(
+        res.failed_map_attempts, 0,
+        "a reduce re-execution is not a map failure"
+    );
 }
 
 #[test]

@@ -33,11 +33,7 @@ fn sort_with_variable_records_validates_on_all_engines() {
         let sim = Sim::new(31);
         let c = cluster(&sim, 3, fabric, 2 << 20);
         let reduces = 3;
-        let mut conf = match kind {
-            ShuffleKind::Vanilla => JobConf::vanilla(),
-            ShuffleKind::HadoopA => JobConf::hadoop_a(),
-            ShuffleKind::OsuIb => JobConf::osu_ib(),
-        };
+        let mut conf = JobConf::for_kind(kind);
         conf.num_reduces = reduces;
         conf.shuffle_buffer = 8 << 20;
         conf.io_sort_buffer = 8 << 20;
@@ -128,8 +124,9 @@ fn hdfs_replication_survives_job_load() {
 
 #[test]
 fn back_to_back_jobs_on_one_cluster() {
-    // Two jobs sharing a cluster (fresh TaskTrackers per job, shared disks
-    // and HDFS): the second must still validate.
+    // Two jobs run back to back through the thin `run_job` wrapper (each
+    // standing up its own runtime over the shared disks and HDFS): the
+    // second must still validate.
     let sim = Sim::new(34);
     let c = cluster(&sim, 3, FabricParams::ib_verbs_qdr(), 2 << 20);
     let done = Rc::new(RefCell::new(None));
