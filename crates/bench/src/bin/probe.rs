@@ -13,6 +13,14 @@
 //!                scenario; diff the output across two builds to compare
 //!                solver implementations (see DESIGN.md §8 on schedule
 //!                sensitivity)
+//!   probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]
+//!                — a concurrent multi-job OSU-IB mix with the observability
+//!                recorder on; writes every rmr_obs artifact (events.jsonl,
+//!                Chrome trace, heatmap, queue-depth / cache-pressure /
+//!                shuffle-throughput series, runtime snapshots) to outdir
+//!                and self-validates the Chrome trace (non-zero exit on a
+//!                schema violation). See DESIGN.md §12 and README
+//!                "Inspecting a run".
 //!
 //! System names: g1, g10, ipoib, ha, osu, osunc.
 
@@ -23,7 +31,7 @@ use rmr_cluster::{
     run_all, run_experiment, tuned_block_size, tuned_conf, Bench, Experiment, System, Testbed,
 };
 use rmr_core::cluster::Cluster;
-use rmr_core::run_job;
+use rmr_core::{run_job, Runtime, SchedulePolicy};
 use rmr_hdfs::HdfsConfig;
 use rmr_workloads::{randomwriter, sort_spec, teragen, terasort_spec};
 
@@ -44,6 +52,7 @@ fn usage() -> ! {
     eprintln!("  probe one    [gb] [system] [nodes] [disks] [sort] [seed]");
     eprintln!("  probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]");
     eprintln!("  probe fluidcmp                               — solver differential dump");
+    eprintln!("  probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]");
     std::process::exit(2);
 }
 
@@ -54,6 +63,7 @@ fn main() {
         Some("one") => one(&args[2..]),
         Some("phases") => phases(&args[2..]),
         Some("fluidcmp") => fluidcmp(),
+        Some("obs") => obs(&args[2..]),
         _ => usage(),
     }
 }
@@ -298,4 +308,167 @@ fn phases(args: &[String]) {
     );
     rmr_des::resource::fluid::FLUID_ADVANCE_WORK
         .with(|w| println!("  fluid advance work     {:.2e}", w.get() as f64));
+}
+
+/// A concurrent multi-job OSU-IB mix with the observability recorder on.
+/// Writes every `rmr_obs` artifact to `outdir` and self-validates the
+/// Chrome trace — a schema violation exits non-zero (the CI smoke job
+/// relies on that).
+fn obs(args: &[String]) {
+    let jobs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let gb: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let outdir = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| "obs-out".to_string());
+    let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(91);
+
+    let system = System::OsuIb;
+    let testbed = Testbed::compute(nodes, 1);
+    let sim = rmr_des::Sim::new(seed);
+    let cluster = Cluster::build(
+        &sim,
+        system.fabric(),
+        &testbed.node_specs(),
+        HdfsConfig {
+            block_size: tuned_block_size(system, Bench::TeraSort),
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let conf = tuned_conf(system, Bench::TeraSort, &testbed);
+    let bytes = (gb * (1u64 << 30) as f64) as u64;
+
+    let recorder = rmr_obs::Recorder::on(&sim);
+    let snapshots: Rc<RefCell<Vec<rmr_obs::RuntimeSnapshot>>> = Rc::new(RefCell::new(Vec::new()));
+    let c2 = cluster.clone();
+    let rec2 = recorder.clone();
+    let snaps2 = Rc::clone(&snapshots);
+    let conf2 = conf.clone();
+    sim.spawn_named("obs-driver", async move {
+        for i in 0..jobs {
+            teragen(&c2, &format!("/obs/in{i}"), bytes, false).await;
+        }
+        let rt = Runtime::with_obs(&c2, conf2.clone(), SchedulePolicy::Fifo, rec2);
+        let mut ids = (0..jobs)
+            .map(|i| {
+                rt.submit(
+                    conf2.clone(),
+                    terasort_spec(&format!("/obs/in{i}"), &format!("/obs/out{i}")),
+                )
+            })
+            .collect::<Vec<_>>()
+            .into_iter();
+        if let Some(first) = ids.next() {
+            rt.join(first).await;
+            // Mid-run snapshot: the remaining jobs are still in flight.
+            snaps2.borrow_mut().push(rt.dump());
+        }
+        for id in ids {
+            rt.join(id).await;
+        }
+        snaps2.borrow_mut().push(rt.dump());
+    })
+    .detach();
+    sim.run();
+
+    std::fs::create_dir_all(&outdir).expect("create outdir");
+    let path = |name: &str| format!("{outdir}/{name}");
+    let events = recorder.events();
+    std::fs::write(path("events.jsonl"), recorder.to_jsonl()).expect("write events.jsonl");
+
+    let trace = rmr_obs::chrome_trace(&events);
+    std::fs::write(path("trace.json"), &trace).expect("write trace.json");
+    match rmr_obs::validate_chrome_trace(&trace) {
+        Ok(c) => println!(
+            "trace.json: {} events ({} spans, {} counter samples, {} instants, {} processes)",
+            c.n_events, c.n_spans, c.n_counters, c.n_instants, c.n_processes
+        ),
+        Err(e) => {
+            eprintln!("Chrome trace FAILED validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let spans = rmr_obs::spans_from_events(&events);
+    let heatmap = rmr_obs::slot_heatmap(&spans, nodes, 64);
+    std::fs::write(path("heatmap.txt"), heatmap.to_ascii()).expect("write heatmap.txt");
+    std::fs::write(path("heatmap.json"), heatmap.to_json()).expect("write heatmap.json");
+
+    let mut lines = String::new();
+    for pts in rmr_obs::queue_depth_traces(&events).values() {
+        for pt in pts {
+            lines.push_str(&pt.to_json());
+            lines.push('\n');
+        }
+    }
+    std::fs::write(path("queue_depth.jsonl"), lines).expect("write queue_depth.jsonl");
+
+    let mut lines = String::new();
+    for pts in rmr_obs::cache_pressure(&events).values() {
+        for pt in pts {
+            lines.push_str(&pt.to_json());
+            lines.push('\n');
+        }
+    }
+    std::fs::write(path("cache_pressure.jsonl"), lines).expect("write cache_pressure.jsonl");
+
+    let mut lines = String::new();
+    for pts in rmr_obs::shuffle_throughput(&events, 5.0).values() {
+        for pt in pts {
+            lines.push_str(&pt.to_json());
+            lines.push('\n');
+        }
+    }
+    std::fs::write(path("shuffle_throughput.jsonl"), lines)
+        .expect("write shuffle_throughput.jsonl");
+
+    let snaps = snapshots.borrow();
+    let mut txt = String::new();
+    let mut json = String::from("[");
+    for (i, s) in snaps.iter().enumerate() {
+        let label = if i + 1 == snaps.len() {
+            "final"
+        } else {
+            "mid-run"
+        };
+        txt.push_str(&format!("== snapshot {} (t={:.1}s) ==\n", label, s.t_s));
+        txt.push_str(&s.render());
+        txt.push('\n');
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&s.to_json());
+    }
+    json.push(']');
+    std::fs::write(path("snapshot.txt"), txt).expect("write snapshot.txt");
+    std::fs::write(path("snapshot.json"), json).expect("write snapshot.json");
+
+    let hb = rmr_obs::heartbeat_intervals(&events);
+    let lat = rmr_obs::shuffle_latencies(&events);
+    println!(
+        "{} jobs x {} nodes ({} GB/job, seed {}): {} obs events -> {}/",
+        jobs,
+        nodes,
+        gb,
+        seed,
+        events.len(),
+        outdir
+    );
+    println!(
+        "heartbeat interval: p50 {:.3}s p95 {:.3}s p99 {:.3}s (n={})",
+        hb.p50(),
+        hb.p95(),
+        hb.p99(),
+        hb.count()
+    );
+    println!(
+        "shuffle serve time: p50 {:.6}s p95 {:.6}s p99 {:.6}s (n={})",
+        lat.p50(),
+        lat.p95(),
+        lat.p99(),
+        lat.count()
+    );
+    println!("trace_hash: {:016x}", sim.trace_hash());
 }

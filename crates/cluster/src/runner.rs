@@ -56,9 +56,16 @@ impl Experiment {
     }
 }
 
+/// Current [`RunRecord`] wire-format version, emitted as the `schema`
+/// field. Records without the field (pre-versioning) parse as schema 1.
+/// The full field catalogue lives in DESIGN.md §"RunRecord schema".
+pub const RUN_RECORD_SCHEMA: u32 = 2;
+
 /// One row of results, serialisable for EXPERIMENTS.md regeneration.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
+    /// Wire-format version of this record (see [`RUN_RECORD_SCHEMA`]).
+    pub schema: u32,
     /// Experiment id.
     pub id: String,
     /// Benchmark label.
@@ -100,11 +107,12 @@ impl RunRecord {
     /// convention as `rmr_core::timeline`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"id\":{},\"bench\":{},\"system\":{},\"nodes\":{},\"disks\":{},\
+            "{{\"schema\":{},\"id\":{},\"bench\":{},\"system\":{},\"nodes\":{},\"disks\":{},\
              \"ssd\":{},\"data_gb\":{},\"duration_s\":{},\"map_phase_end_s\":{},\
              \"maps\":{},\"reduces\":{},\"shuffled_bytes\":{},\"cache_hit_rate\":{},\
              \"failed_maps\":{},\"failed_reduces\":{},\"queue_wait_s\":{},\
              \"slot_occupancy\":{}}}",
+            self.schema,
             json_str(&self.id),
             json_str(&self.bench),
             json_str(&self.system),
@@ -129,6 +137,7 @@ impl RunRecord {
     /// free; unknown keys are ignored; missing keys fall back to defaults.
     pub fn from_json(json: &str) -> Result<RunRecord, String> {
         let mut rec = RunRecord {
+            schema: 1, // pre-versioning records carry no field
             id: String::new(),
             bench: String::new(),
             system: String::new(),
@@ -149,6 +158,7 @@ impl RunRecord {
         };
         for (key, value) in json_fields(json)? {
             match key.as_str() {
+                "schema" => rec.schema = value.into_number()? as u32,
                 "id" => rec.id = value.into_string()?,
                 "bench" => rec.bench = value.into_string()?,
                 "system" => rec.system = value.into_string()?,
@@ -175,6 +185,7 @@ impl RunRecord {
     fn from_result(exp: &Experiment, res: &JobResult) -> RunRecord {
         let lookups = res.cache_hits + res.cache_misses;
         RunRecord {
+            schema: RUN_RECORD_SCHEMA,
             id: exp.id.clone(),
             bench: exp.bench.label().to_string(),
             system: exp.system.label().to_string(),
@@ -606,6 +617,7 @@ mod tests {
     #[test]
     fn json_round_trips_escapes_and_fields() {
         let rec = RunRecord {
+            schema: RUN_RECORD_SCHEMA,
             id: "fig\"4a\"\n".to_string(),
             bench: "TeraSort".to_string(),
             system: "OSU-IB".to_string(),
@@ -625,6 +637,7 @@ mod tests {
             slot_occupancy: 0.625,
         };
         let back = RunRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back.schema, RUN_RECORD_SCHEMA);
         assert_eq!(back.id, rec.id);
         assert_eq!(back.ssd, rec.ssd);
         assert_eq!(back.shuffled_bytes, rec.shuffled_bytes);
@@ -633,6 +646,15 @@ mod tests {
         assert_eq!(back.failed_reduces, 1);
         assert_eq!(back.queue_wait_s, rec.queue_wait_s);
         assert_eq!(back.slot_occupancy, rec.slot_occupancy);
+    }
+
+    #[test]
+    fn records_without_schema_field_parse_as_v1() {
+        let legacy = r#"{"id":"old","bench":"Sort","system":"IPoIB","duration_s":42}"#;
+        let rec = RunRecord::from_json(legacy).unwrap();
+        assert_eq!(rec.schema, 1);
+        assert_eq!(rec.id, "old");
+        assert_eq!(rec.duration_s, 42.0);
     }
 
     #[test]

@@ -124,6 +124,26 @@ impl JobTracker {
         self.maps_completed
     }
 
+    /// Map tasks waiting to be assigned.
+    pub fn pending_maps(&self) -> usize {
+        self.maps_pending.len()
+    }
+
+    /// Map attempts currently running (speculative duplicates included).
+    pub fn running_maps(&self) -> usize {
+        self.maps_running
+    }
+
+    /// Reduce tasks waiting to be assigned.
+    pub fn pending_reduces(&self) -> usize {
+        self.reduces_pending.len()
+    }
+
+    /// Completed reduce count.
+    pub fn reduces_completed(&self) -> usize {
+        self.reduces_done
+    }
+
     /// Heartbeat from TaskTracker `tt` on `node` advertising free slots;
     /// returns assignments. Data-local maps are preferred; remaining slots
     /// take arbitrary pending maps (single-rack cluster: everything else is

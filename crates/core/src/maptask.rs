@@ -199,6 +199,7 @@ mod tests {
             Rc::clone(conf),
             MapOutputStore::new(),
             false,
+            rmr_obs::Recorder::off(),
         )
     }
 

@@ -19,6 +19,7 @@ use std::rc::Rc;
 
 use rmr_des::prelude::*;
 use rmr_des::sync::{channel, Receiver, Sender};
+use rmr_obs::{Ev, Recorder};
 use rmr_store::LocalFs;
 
 use crate::runtime::JobId;
@@ -52,6 +53,10 @@ struct CacheInner {
     /// Per-job (hits, misses) so a shared cache still reports per-job
     /// effectiveness in each `JobResult`.
     by_job: BTreeMap<JobId, (u64, u64)>,
+    /// Observability bus (off unless the owning TaskTracker enables it) and
+    /// the node index stamped on emitted cache events.
+    obs: Recorder,
+    obs_node: usize,
 }
 
 /// The TaskTracker-side map-output cache.
@@ -72,13 +77,28 @@ impl PrefetchCache {
                 hits: 0,
                 misses: 0,
                 by_job: BTreeMap::new(),
+                obs: Recorder::off(),
+                obs_node: 0,
             })),
         }
+    }
+
+    /// Attaches the observability bus; insert/evict events are stamped with
+    /// `node`. Tests constructing caches directly skip this (bus stays off).
+    pub fn set_obs(&self, obs: &Recorder, node: usize) {
+        let mut i = self.inner.borrow_mut();
+        i.obs = obs.clone();
+        i.obs_node = node;
     }
 
     /// Bytes resident.
     pub fn used(&self) -> u64 {
         self.inner.borrow().used
+    }
+
+    /// Configured capacity in bytes (0 = disabled).
+    pub fn capacity(&self) -> u64 {
+        self.inner.borrow().capacity
     }
 
     /// (hits, misses) of `lookup` so far, across all jobs.
@@ -178,6 +198,12 @@ impl PrefetchCache {
                 Some(k) => {
                     let e = i.entries.remove(&k).unwrap();
                     i.used -= e.bytes;
+                    i.obs.emit(|| Ev::CacheEvict {
+                        node: i.obs_node,
+                        job: k.0 .0,
+                        map_idx: k.1,
+                        bytes: e.bytes,
+                    });
                 }
                 None => return false, // would_admit guarantees this is rare
             }
@@ -191,6 +217,13 @@ impl PrefetchCache {
                 last_touch: tick,
             },
         );
+        i.obs.emit(|| Ev::CacheInsert {
+            node: i.obs_node,
+            job: key.0 .0,
+            map_idx: key.1,
+            bytes,
+            demand: priority == Priority::Demand,
+        });
         true
     }
 

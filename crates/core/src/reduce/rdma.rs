@@ -24,6 +24,7 @@ use std::rc::Rc;
 
 use rmr_des::prelude::*;
 use rmr_net::EndPoint;
+use rmr_obs::Ev;
 
 use crate::merge::{Emit, StreamingMerge};
 use crate::proto::{PacketBudget, ShufMsg};
@@ -142,6 +143,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
     let sim = ctx.cluster.sim.clone();
     let conf = Rc::clone(&ctx.conf);
     let node = ctx.tt.node.clone();
+    let obs = ctx.tt.obs().clone();
+    let my_idx = ctx.tt.idx;
 
     // Connect an endpoint to every TaskTracker up front (§III-B-1: "one
     // RDMACopier sends such information to all available TaskTrackers").
@@ -178,6 +181,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
         let mem = Rc::clone(&mem);
         let node2 = node.clone();
         let conf = Rc::clone(&conf);
+        let obs2 = obs.clone();
+        let (job_id, reduce_idx) = (ctx.job, ctx.reduce_idx);
         let spill_file = format!("{}_r{}_shufspill", ctx.job, ctx.reduce_idx);
         let copier_name = format!("r{}-rdma-copier-tt{tt_i}", ctx.reduce_idx);
         sim.spawn_daemon(copier_name, async move {
@@ -230,6 +235,12 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
                 if let Some(bytes) = spill {
                     sim2.metrics()
                         .add("reduce.shuffle_spill_bytes", bytes as f64);
+                    obs2.emit(|| Ev::Spill {
+                        node: my_idx,
+                        job: job_id.0,
+                        reduce: reduce_idx,
+                        bytes,
+                    });
                     if variant.local_spill {
                         // OSU-IB reuses Hadoop's local spill machinery
                         // (§III-C-2: minimal changes to the existing merge).
@@ -266,6 +277,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
         let state = Rc::clone(&state);
         let eps = Rc::clone(&eps);
         let mem = Rc::clone(&mem);
+        let obs = obs.clone();
         let job = ctx.job;
         let reduce_idx = ctx.reduce_idx;
         move |map_idx: usize, budget: PacketBudget, est: u64, forced: bool| -> bool {
@@ -288,8 +300,16 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
             };
             src.reserved = reserved;
             src.inflight = true;
-            let ep = Rc::clone(&eps[src.tt_idx]);
+            let server = src.tt_idx;
+            let ep = Rc::clone(&eps[server]);
             drop(st);
+            obs.emit(|| Ev::ShuffleRequest {
+                node: my_idx,
+                server,
+                job: job.0,
+                map_idx,
+                reduce: reduce_idx,
+            });
             ep.send_nowait(ShufMsg::Request {
                 job,
                 map_idx,
@@ -490,6 +510,13 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
             Emit::Data(seg) => {
                 c_emits.incr();
                 c_emit_records.add(seg.records as f64);
+                obs.emit(|| Ev::MergeBatch {
+                    node: my_idx,
+                    job: ctx.job.0,
+                    reduce: ctx.reduce_idx,
+                    records: seg.records,
+                    bytes: seg.bytes,
+                });
                 mem.release(seg.bytes);
                 {
                     let mut st = state.borrow_mut();

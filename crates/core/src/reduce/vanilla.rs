@@ -13,6 +13,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
+use rmr_obs::Ev;
 
 use crate::proto::{PacketBudget, ShufMsg};
 use crate::record::Segment;
@@ -158,6 +159,13 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
             // Final merge CPU for this batch.
             node.compute(batch.records as f64 * k.log2() * conf.costs.sort_per_record_level)
                 .await;
+            ctx.tt.obs().emit(|| Ev::MergeBatch {
+                node: ctx.tt.idx,
+                job: ctx.job.0,
+                reduce: ctx.reduce_idx,
+                records: batch.records,
+                bytes: batch.bytes,
+            });
             sink.consume(batch).await;
         }
     }
@@ -192,6 +200,13 @@ async fn fetch_one(
     let TtServerHandle::Http(server) = &ctx.servers[tt_idx] else {
         panic!("vanilla reducer needs HTTP servers");
     };
+    ctx.tt.obs().emit(|| Ev::ShuffleRequest {
+        node: ctx.tt.idx,
+        server: tt_idx,
+        job: ctx.job.0,
+        map_idx,
+        reduce: ctx.reduce_idx,
+    });
     // One HTTP connection per fetch (0.20 behaviour).
     let conn = server.connect(node.id).await;
     conn.send(ShufMsg::Request {
@@ -263,6 +278,12 @@ async fn fetch_one(
             };
             let w = node.fs.writer(&file).expect("run file");
             w.append(seg.bytes).await.expect("run write");
+            ctx.tt.obs().emit(|| Ev::Spill {
+                node: ctx.tt.idx,
+                job: ctx.job.0,
+                reduce: ctx.reduce_idx,
+                bytes: seg.bytes,
+            });
             node.compute(conf.costs.serde_per_byte * seg.bytes as f64)
                 .await;
             state.borrow_mut().disk_runs.push((file, seg));
@@ -298,6 +319,12 @@ async fn merge_inmem_to_disk(ctx: &ReduceCtx, state: &Rc<RefCell<VanillaState>>)
     };
     let w = node.fs.writer(&file).expect("merge run");
     w.append(merged.bytes).await.expect("merge write");
+    ctx.tt.obs().emit(|| Ev::Spill {
+        node: ctx.tt.idx,
+        job: ctx.job.0,
+        reduce: ctx.reduce_idx,
+        bytes: merged.bytes,
+    });
     state.borrow_mut().disk_runs.push((file, merged));
     drop(permits); // buffer space released only after the flush completes
     ctx.cluster.sim.metrics().incr("reduce.inmem_merges");

@@ -18,6 +18,9 @@ use std::rc::Rc;
 
 use rmr_des::prelude::*;
 use rmr_net::NodeId;
+use rmr_obs::{
+    AttemptOutcome, Ev, JobSnapshot, JobState, NodeSnapshot, Recorder, RuntimeSnapshot, TaskFlavor,
+};
 
 use crate::cluster::Cluster;
 use crate::config::{JobConf, ShuffleKind};
@@ -141,6 +144,8 @@ struct RtInner {
     rr: Cell<usize>,
     /// Wakes parked heartbeat daemons when work arrives.
     work: Notify,
+    /// Observability bus (off unless built via [`Runtime::with_obs`]).
+    obs: Recorder,
 }
 
 /// The persistent cluster runtime. Cheap to clone (shared handle).
@@ -159,6 +164,19 @@ impl Runtime {
 
     /// [`Runtime::start`] with an explicit scheduling policy.
     pub fn with_policy(cluster: &Cluster, conf: JobConf, policy: SchedulePolicy) -> Runtime {
+        Runtime::with_obs(cluster, conf, policy, Recorder::off())
+    }
+
+    /// [`Runtime::with_policy`] with an observability recorder attached.
+    /// Every layer (runtime scheduling, TaskTracker serving, prefetch cache,
+    /// reduce engines) emits to `obs`; pass [`Recorder::off`] for the
+    /// zero-overhead default.
+    pub fn with_obs(
+        cluster: &Cluster,
+        conf: JobConf,
+        policy: SchedulePolicy,
+        obs: Recorder,
+    ) -> Runtime {
         let sim = cluster.sim.clone();
         let conf = Rc::new(conf);
         let engine = conf.shuffle.engine();
@@ -174,6 +192,7 @@ impl Runtime {
                 Rc::clone(&conf),
                 outputs.clone(),
                 cache_on,
+                obs.clone(),
             );
             servers.push(engine.start_server(&tt, &cluster.net));
             tts.push(tt);
@@ -192,6 +211,7 @@ impl Runtime {
             next_id: Cell::new(0),
             rr: Cell::new(0),
             work: Notify::new(),
+            obs,
         });
         for tt in &inner.tts {
             spawn_heartbeat(&inner, tt);
@@ -279,6 +299,10 @@ impl Runtime {
         });
         inner.jobs.borrow_mut().insert(id.0, Rc::clone(&job));
         inner.active.borrow_mut().push_back(id.0);
+        inner.obs.emit(|| Ev::JobState {
+            job: id.0,
+            state: JobState::Submitted,
+        });
         if job.jt.borrow().job_done() {
             // Degenerate empty job (no maps, no reduces): no heartbeat will
             // ever touch it, so commit it here.
@@ -315,6 +339,76 @@ impl Runtime {
     /// Jobs submitted but not yet finished.
     pub fn active_jobs(&self) -> usize {
         self.inner.active.borrow().len()
+    }
+
+    /// The observability bus this runtime emits to ([`Recorder::off`] unless
+    /// built via [`Runtime::with_obs`]).
+    pub fn obs(&self) -> &Recorder {
+        &self.inner.obs
+    }
+
+    /// Captures a debugging snapshot of the whole runtime: every job's
+    /// scheduling state and every TaskTracker's slot, cache, and
+    /// serving-cursor state. Works with the recorder on or off.
+    pub fn dump(&self) -> RuntimeSnapshot {
+        let inner = &self.inner;
+        let jobs = inner
+            .jobs
+            .borrow()
+            .values()
+            .map(|job| {
+                let jtb = job.jt.borrow();
+                let state = if job.result.borrow().is_some() {
+                    JobState::Finished
+                } else if jtb.maps_done() {
+                    JobState::MapsDone
+                } else if job.first_launch_s.get().is_some() {
+                    JobState::FirstLaunch
+                } else {
+                    JobState::Submitted
+                };
+                JobSnapshot {
+                    id: job.id.0,
+                    name: job.spec.name.clone(),
+                    state: state.as_str().to_string(),
+                    total_maps: jtb.total_maps(),
+                    maps_completed: jtb.maps_completed(),
+                    pending_maps: jtb.pending_maps(),
+                    running_maps: jtb.running_maps(),
+                    total_reduces: jtb.total_reduces(),
+                    reduces_completed: jtb.reduces_completed(),
+                    pending_reduces: jtb.pending_reduces(),
+                    submit_s: job.submit_s,
+                    first_launch_s: job.first_launch_s.get(),
+                }
+            })
+            .collect();
+        let nodes = inner
+            .tts
+            .iter()
+            .map(|tt| {
+                let (cursors, readers) = tt.serve_state_counts();
+                let (hits, misses) = tt.cache.stats();
+                NodeSnapshot {
+                    node: tt.idx,
+                    free_map_slots: tt.map_slots.available(),
+                    total_map_slots: inner.conf.map_slots as u64,
+                    free_reduce_slots: tt.reduce_slots.available(),
+                    total_reduce_slots: inner.conf.reduce_slots as u64,
+                    cache_used: tt.cache.used(),
+                    cache_capacity: tt.cache.capacity(),
+                    cache_hits: hits,
+                    cache_misses: misses,
+                    serve_cursors: cursors,
+                    serve_readers: readers,
+                }
+            })
+            .collect();
+        RuntimeSnapshot {
+            t_s: inner.sim.now().as_secs_f64(),
+            jobs,
+            nodes,
+        }
     }
 }
 
@@ -427,6 +521,10 @@ impl RtInner {
             timeline: job.timeline.events(),
         };
         *job.result.borrow_mut() = Some(result);
+        self.obs.emit(|| Ev::JobState {
+            job: job.id.0,
+            state: JobState::Finished,
+        });
         job.done.notify_all();
     }
 }
@@ -482,15 +580,41 @@ fn spawn_heartbeat(inner: &Rc<RtInner>, tt: &Rc<TaskTracker>) {
                         spawn_reduce_attempt(&inner, &job, &tt, reduce_idx, permit);
                     }
                 }
+                // Observe the post-assignment picture: remaining free slots
+                // and queue depth summed over every active job.
+                inner.obs.emit(|| {
+                    let jobs = inner.jobs.borrow();
+                    let (mut pm, mut pr) = (0u64, 0u64);
+                    let active = inner.active.borrow();
+                    for id in active.iter() {
+                        if let Some(job) = jobs.get(id) {
+                            let jtb = job.jt.borrow();
+                            pm += jtb.pending_maps() as u64;
+                            pr += jtb.pending_reduces() as u64;
+                        }
+                    }
+                    Ev::Heartbeat {
+                        node: tt.idx,
+                        active_jobs: active.len(),
+                        pending_maps: pm,
+                        pending_reduces: pr,
+                        free_map_slots: tt.map_slots.available(),
+                        free_reduce_slots: tt.reduce_slots.available(),
+                    }
+                });
                 sim.sleep(inner.conf.heartbeat).await;
             }
         })
         .detach();
 }
 
-fn note_launch(job: &ActiveJob, now_s: f64) {
+fn note_launch(inner: &RtInner, job: &ActiveJob, now_s: f64) {
     if job.first_launch_s.get().is_none() {
         job.first_launch_s.set(Some(now_s));
+        inner.obs.emit(|| Ev::JobState {
+            job: job.id.0,
+            state: JobState::FirstLaunch,
+        });
     }
 }
 
@@ -505,10 +629,22 @@ fn spawn_map_attempt(
     let job = Rc::clone(job);
     let tt = Rc::clone(tt);
     let sim = inner.sim.clone();
-    note_launch(&job, sim.now().as_secs_f64());
+    note_launch(&inner, &job, sim.now().as_secs_f64());
+    inner.obs.emit(|| Ev::SlotAcquire {
+        node: tt.idx,
+        job: job.id.0,
+        kind: TaskFlavor::Map,
+        idx: desc.idx,
+    });
     sim.clone()
         .spawn_named(format!("{}-map-{}", job.id, desc.idx), async move {
             let attempt_start = sim.now().as_secs_f64();
+            inner.obs.emit(|| Ev::AttemptStart {
+                node: tt.idx,
+                job: job.id.0,
+                kind: TaskFlavor::Map,
+                idx: desc.idx,
+            });
             // JVM spawn + task localisation.
             sim.sleep(job.conf.task_launch_overhead).await;
             let fail = job.jt.borrow_mut().should_fail(desc.idx);
@@ -549,6 +685,17 @@ fn spawn_map_attempt(
                             Outcome::Discarded
                         },
                     });
+                    inner.obs.emit(|| Ev::AttemptFinish {
+                        node: tt.idx,
+                        job: job.id.0,
+                        kind: TaskFlavor::Map,
+                        idx,
+                        outcome: if first {
+                            AttemptOutcome::Completed
+                        } else {
+                            AttemptOutcome::Discarded
+                        },
+                    });
                     if first {
                         // Only the winning attempt's output is committed;
                         // speculative losers are discarded (their file stays
@@ -559,6 +706,10 @@ fn spawn_map_attempt(
                         if jtb.maps_done() {
                             drop(jtb);
                             job.map_phase_end_s.set(sim.now().as_secs_f64());
+                            inner.obs.emit(|| Ev::JobState {
+                                job: job.id.0,
+                                state: JobState::MapsDone,
+                            });
                         }
                     }
                 }
@@ -571,9 +722,22 @@ fn spawn_map_attempt(
                         end_s,
                         outcome: Outcome::Failed,
                     });
+                    inner.obs.emit(|| Ev::AttemptFinish {
+                        node: tt.idx,
+                        job: job.id.0,
+                        kind: TaskFlavor::Map,
+                        idx,
+                        outcome: AttemptOutcome::Failed,
+                    });
                     job.jt.borrow_mut().map_failed(desc);
                 }
             }
+            inner.obs.emit(|| Ev::SlotRelease {
+                node: tt.idx,
+                job: job.id.0,
+                kind: TaskFlavor::Map,
+                idx,
+            });
             drop(permit);
         })
         .detach();
@@ -589,7 +753,13 @@ fn spawn_reduce_attempt(
     let inner = Rc::clone(inner);
     let job = Rc::clone(job);
     let sim = inner.sim.clone();
-    note_launch(&job, sim.now().as_secs_f64());
+    note_launch(&inner, &job, sim.now().as_secs_f64());
+    inner.obs.emit(|| Ev::SlotAcquire {
+        node: tt.idx,
+        job: job.id.0,
+        kind: TaskFlavor::Reduce,
+        idx: reduce_idx,
+    });
     let ctx = ReduceCtx {
         cluster: inner.cluster.clone(),
         conf: Rc::clone(&job.conf),
@@ -605,6 +775,12 @@ fn spawn_reduce_attempt(
     sim.clone()
         .spawn_named(format!("{}-reduce-{reduce_idx}", job.id), async move {
             let attempt_start = sim.now().as_secs_f64();
+            inner.obs.emit(|| Ev::AttemptStart {
+                node: tt_idx,
+                job: job.id.0,
+                kind: TaskFlavor::Reduce,
+                idx: reduce_idx,
+            });
             sim.sleep(job.conf.task_launch_overhead).await;
             // Fault injection: this attempt dies before shuffling and the
             // task goes back to the queue (detected at the next status
@@ -627,7 +803,20 @@ fn spawn_reduce_attempt(
                     end_s,
                     outcome: Outcome::Failed,
                 });
+                inner.obs.emit(|| Ev::AttemptFinish {
+                    node: tt_idx,
+                    job: job.id.0,
+                    kind: TaskFlavor::Reduce,
+                    idx: reduce_idx,
+                    outcome: AttemptOutcome::Failed,
+                });
                 job.jt.borrow_mut().reduce_failed(reduce_idx);
+                inner.obs.emit(|| Ev::SlotRelease {
+                    node: tt_idx,
+                    job: job.id.0,
+                    kind: TaskFlavor::Reduce,
+                    idx: reduce_idx,
+                });
                 drop(permit);
                 return;
             }
@@ -649,6 +838,13 @@ fn spawn_reduce_attempt(
                 end_s,
                 outcome: Outcome::Completed,
             });
+            inner.obs.emit(|| Ev::AttemptFinish {
+                node: tt_idx,
+                job: job.id.0,
+                kind: TaskFlavor::Reduce,
+                idx: reduce_idx,
+                outcome: AttemptOutcome::Completed,
+            });
             job.reduce_stats.borrow_mut()[reduce_idx] = Some(stats);
             let finished = {
                 let mut jtb = job.jt.borrow_mut();
@@ -658,6 +854,12 @@ fn spawn_reduce_attempt(
             if finished {
                 inner.finalize(&job);
             }
+            inner.obs.emit(|| Ev::SlotRelease {
+                node: tt_idx,
+                job: job.id.0,
+                kind: TaskFlavor::Reduce,
+                idx: reduce_idx,
+            });
             drop(permit);
         })
         .detach();

@@ -26,6 +26,7 @@ use std::rc::Rc;
 
 use rmr_des::prelude::*;
 use rmr_net::{listen, ucr_listen, EndPoint, ListenerHandle, Network, UcrConnector};
+use rmr_obs::{Ev, Recorder};
 use rmr_store::FileReader;
 
 use crate::cluster::NodeHandle;
@@ -65,6 +66,8 @@ pub struct TaskTracker {
     /// Reduce slots (shared by all concurrent jobs).
     pub reduce_slots: Semaphore,
     sim: Sim,
+    /// Observability bus handle (off by default; near-zero cost when off).
+    obs: Recorder,
     /// Whether the serve path consults the PrefetchCache (engine decides).
     cache_enabled: bool,
     /// Per-(job, map, reduce) serve cursors.
@@ -88,6 +91,7 @@ impl TaskTracker {
         conf: Rc<JobConf>,
         outputs: MapOutputStore,
         cache_enabled: bool,
+        obs: Recorder,
     ) -> Rc<Self> {
         let cache_bytes = if cache_enabled {
             conf.prefetch_cache_bytes
@@ -95,6 +99,7 @@ impl TaskTracker {
             0
         };
         let cache = PrefetchCache::new(cache_bytes);
+        cache.set_obs(&obs, idx);
         let prefetcher = Prefetcher::spawn(sim, &node.fs, &cache, conf.prefetcher_threads);
         Rc::new(TaskTracker {
             idx,
@@ -106,11 +111,24 @@ impl TaskTracker {
             cache,
             prefetcher,
             sim: sim.clone(),
+            obs,
             cache_enabled,
             cursors: RefCell::new(BTreeMap::new()),
             readers: RefCell::new(BTreeMap::new()),
             served_parts: RefCell::new(BTreeMap::new()),
         })
+    }
+
+    /// The observability bus handle this TaskTracker (and code running on
+    /// it, e.g. reduce attempts) emits to.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Open serving-side state: `(segment cursors, disk readers)` — exposed
+    /// for `Runtime::dump()` snapshots.
+    pub fn serve_state_counts(&self) -> (usize, usize) {
+        (self.cursors.borrow().len(), self.readers.borrow().len())
     }
 
     /// Called when a map completes on this TT: kicks the prefetcher
@@ -139,6 +157,7 @@ impl TaskTracker {
         reduce: usize,
         budget: PacketBudget,
     ) -> ShufMsg {
+        let serve_t0_ns = self.obs.now_ns();
         let info = self
             .outputs
             .get(job, map_idx)
@@ -187,7 +206,21 @@ impl TaskTracker {
                 self.sim
                     .metrics()
                     .add("tt.cache_hit_bytes", packet.bytes as f64);
+                self.obs.emit(|| Ev::CacheHit {
+                    node: self.idx,
+                    job: job.0,
+                    map_idx,
+                    bytes: packet.bytes,
+                });
             } else {
+                if self.cache_enabled {
+                    self.obs.emit(|| Ev::CacheMiss {
+                        node: self.idx,
+                        job: job.0,
+                        map_idx,
+                        bytes: packet.bytes,
+                    });
+                }
                 // Read from disk (through the page cache) with a sequential
                 // per-(job, map, reduce) stream. The reader is moved out for
                 // the await (the RefCell must not stay borrowed across it).
@@ -219,6 +252,21 @@ impl TaskTracker {
                 .compute(self.conf.costs.serde_per_byte * packet.bytes as f64)
                 .await;
         }
+
+        self.obs.emit(|| Ev::ShuffleResponse {
+            node: self.idx,
+            job: job.0,
+            map_idx,
+            reduce,
+            bytes: packet.bytes,
+            records: packet.records,
+            from_cache,
+            serve_ns: self
+                .obs
+                .now_ns()
+                .unwrap_or(0)
+                .saturating_sub(serve_t0_ns.unwrap_or(0)),
+        });
 
         ShufMsg::Response {
             map_idx,
@@ -404,6 +452,7 @@ mod tests {
             conf,
             outputs.clone(),
             engine.server_cache() && caching,
+            Recorder::off(),
         );
         let server = engine.start_server(&tt, &cluster.net);
         (sim, cluster, tt, server)

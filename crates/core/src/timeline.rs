@@ -52,6 +52,26 @@ impl TaskEvent {
         self.end_s - self.start_s
     }
 
+    /// The obs-layer view of this attempt (shared renderer input).
+    pub fn to_span(&self, job: u32) -> rmr_obs::Span {
+        rmr_obs::Span {
+            node: self.tt,
+            job,
+            kind: match self.kind {
+                TaskKind::Map => rmr_obs::TaskFlavor::Map,
+                TaskKind::Reduce => rmr_obs::TaskFlavor::Reduce,
+            },
+            idx: self.idx,
+            start_s: self.start_s,
+            end_s: self.end_s,
+            outcome: match self.outcome {
+                Outcome::Completed => rmr_obs::AttemptOutcome::Completed,
+                Outcome::Failed => rmr_obs::AttemptOutcome::Failed,
+                Outcome::Discarded => rmr_obs::AttemptOutcome::Discarded,
+            },
+        }
+    }
+
     /// One JSON object (hand-rolled: the core crate stays serde-free).
     pub fn to_json(&self) -> String {
         format!(
@@ -116,20 +136,16 @@ impl Timeline {
 
     /// Integral of concurrently running attempts of `kind` divided by the
     /// job's makespan — average occupied slots (swimlane density).
+    ///
+    /// Delegates to [`rmr_obs::mean_concurrency`], the single implementation
+    /// of this figure (the obs renderers use it on event-derived spans).
     pub fn mean_concurrency(&self, kind: TaskKind) -> f64 {
-        let ev = self.events.borrow();
-        let (lo, hi) = ev.iter().fold((f64::MAX, f64::MIN), |(lo, hi), e| {
-            (lo.min(e.start_s), hi.max(e.end_s))
-        });
-        if hi <= lo {
-            return 0.0;
-        }
-        let busy: f64 = ev
-            .iter()
-            .filter(|e| e.kind == kind)
-            .map(TaskEvent::duration_s)
-            .sum();
-        busy / (hi - lo)
+        let spans: Vec<rmr_obs::Span> = self.events.borrow().iter().map(|e| e.to_span(0)).collect();
+        let flavor = match kind {
+            TaskKind::Map => rmr_obs::TaskFlavor::Map,
+            TaskKind::Reduce => rmr_obs::TaskFlavor::Reduce,
+        };
+        rmr_obs::mean_concurrency(&spans, Some(flavor))
     }
 }
 

@@ -42,13 +42,13 @@ pub use executor::{
     assert_deterministic, note_current_blocked, BlockedLabel, EventId, JoinHandle,
     QuiescenceReport, Sim, StalledTask, TaskId, Timer,
 };
-pub use metrics::{Counter, Metrics};
+pub use metrics::{Counter, Histogram, Metrics};
 pub use time::{SimDuration, SimTime};
 
 /// One-stop imports for simulation code.
 pub mod prelude {
     pub use crate::executor::{assert_deterministic, JoinHandle, QuiescenceReport, Sim};
-    pub use crate::metrics::Metrics;
+    pub use crate::metrics::{Histogram, Metrics};
     pub use crate::resource::Fluid;
     pub use crate::sync::{
         bounded, bounded_named, channel, channel_named, join_all, select2, Either, Notify, Permit,

@@ -1,0 +1,569 @@
+//! Aggregators: turn the raw event stream into per-node / per-job series.
+//!
+//! All functions are pure over `&[ObsEvent]` (plus span inputs where noted)
+//! so they can run post-hoc on an exported stream as well as in-process.
+
+use std::collections::BTreeMap;
+
+use rmr_des::Histogram;
+
+use crate::event::{Ev, ObsEvent};
+use crate::span::Span;
+
+/// Slot-occupancy heatmap: rows are nodes, columns are time buckets, cells
+/// are mean occupied slots (map + reduce) during the bucket.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    pub t0_s: f64,
+    pub bucket_s: f64,
+    /// `rows[node][bucket]` = mean occupied slots.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    pub fn n_buckets(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// ASCII rendering: one row per node, one char per bucket, shaded by
+    /// occupancy relative to the hottest cell.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.rows.iter().flatten().fold(0.0f64, |m, &v| m.max(v));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "slot occupancy — {} nodes x {} buckets of {:.2}s (max {:.2} slots)\n",
+            self.rows.len(),
+            self.n_buckets(),
+            self.bucket_s,
+            max
+        ));
+        for (node, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!("node{node:>3} |"));
+            for &v in row {
+                let shade = if max > 0.0 {
+                    ((v / max) * (RAMP.len() - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                out.push(RAMP[shade.min(RAMP.len() - 1)] as char);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"t0_s\":{:.6},\"bucket_s\":{:.6},\"nodes\":{},\"buckets\":{},\"rows\":[{}]}}",
+            self.t0_s,
+            self.bucket_s,
+            self.rows.len(),
+            self.n_buckets(),
+            rows.join(",")
+        )
+    }
+}
+
+/// Build the occupancy heatmap from attempt spans (`n_nodes` fixes the row
+/// count so idle nodes still show). `n_buckets` caps resolution; bucket width
+/// stretches to cover the span envelope.
+pub fn slot_heatmap(spans: &[Span], n_nodes: usize, n_buckets: usize) -> Heatmap {
+    let (lo, hi) = spans.iter().fold((f64::MAX, f64::MIN), |(lo, hi), s| {
+        (lo.min(s.start_s), hi.max(s.end_s))
+    });
+    if spans.is_empty() || hi <= lo || n_buckets == 0 {
+        return Heatmap {
+            t0_s: 0.0,
+            bucket_s: 1.0,
+            rows: vec![Vec::new(); n_nodes],
+        };
+    }
+    let bucket_s = (hi - lo) / n_buckets as f64;
+    let mut rows = vec![vec![0.0f64; n_buckets]; n_nodes];
+    for s in spans {
+        if s.node >= n_nodes {
+            continue;
+        }
+        // Distribute the span's busy time over the buckets it crosses.
+        let b0 = (((s.start_s - lo) / bucket_s) as usize).min(n_buckets - 1);
+        let b1 = (((s.end_s - lo) / bucket_s) as usize).min(n_buckets - 1);
+        for (b, cell) in rows[s.node].iter_mut().enumerate().take(b1 + 1).skip(b0) {
+            let bl = lo + b as f64 * bucket_s;
+            let bh = bl + bucket_s;
+            let overlap = (s.end_s.min(bh) - s.start_s.max(bl)).max(0.0);
+            *cell += overlap / bucket_s;
+        }
+    }
+    Heatmap {
+        t0_s: lo,
+        bucket_s,
+        rows,
+    }
+}
+
+/// One heartbeat observation on a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuePoint {
+    pub t_s: f64,
+    pub node: usize,
+    pub active_jobs: usize,
+    pub pending_maps: u64,
+    pub pending_reduces: u64,
+    pub free_map_slots: u64,
+    pub free_reduce_slots: u64,
+}
+
+impl QueuePoint {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_s\":{:.6},\"node\":{},\"active_jobs\":{},\"pending_maps\":{},\"pending_reduces\":{},\"free_map_slots\":{},\"free_reduce_slots\":{}}}",
+            self.t_s,
+            self.node,
+            self.active_jobs,
+            self.pending_maps,
+            self.pending_reduces,
+            self.free_map_slots,
+            self.free_reduce_slots
+        )
+    }
+}
+
+/// Per-node heartbeat/queue-depth traces, keyed by node index.
+pub fn queue_depth_traces(events: &[ObsEvent]) -> BTreeMap<usize, Vec<QueuePoint>> {
+    let mut out: BTreeMap<usize, Vec<QueuePoint>> = BTreeMap::new();
+    for e in events {
+        if let Ev::Heartbeat {
+            node,
+            active_jobs,
+            pending_maps,
+            pending_reduces,
+            free_map_slots,
+            free_reduce_slots,
+        } = &e.ev
+        {
+            out.entry(*node).or_default().push(QueuePoint {
+                t_s: e.t_s(),
+                node: *node,
+                active_jobs: *active_jobs,
+                pending_maps: *pending_maps,
+                pending_reduces: *pending_reduces,
+                free_map_slots: *free_map_slots,
+                free_reduce_slots: *free_reduce_slots,
+            });
+        }
+    }
+    out
+}
+
+/// Cache-pressure gauge sample for one job: cumulative counters at `t_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePoint {
+    pub t_s: f64,
+    pub job: u32,
+    pub hits: u64,
+    pub misses: u64,
+    pub hit_bytes: u64,
+    pub miss_bytes: u64,
+    pub prefetch_insert_bytes: u64,
+    pub demand_insert_bytes: u64,
+    pub evicted_bytes: u64,
+}
+
+impl CachePoint {
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_s\":{:.6},\"job\":{},\"hits\":{},\"misses\":{},\"hit_ratio\":{:.4},\"hit_bytes\":{},\"miss_bytes\":{},\"prefetch_insert_bytes\":{},\"demand_insert_bytes\":{},\"evicted_bytes\":{}}}",
+            self.t_s,
+            self.job,
+            self.hits,
+            self.misses,
+            self.hit_ratio(),
+            self.hit_bytes,
+            self.miss_bytes,
+            self.prefetch_insert_bytes,
+            self.demand_insert_bytes,
+            self.evicted_bytes
+        )
+    }
+}
+
+/// How one cache event folds into a job's cumulative [`CachePoint`].
+type CacheUpdate = Box<dyn FnOnce(&mut CachePoint)>;
+
+/// Per-job cache-pressure series: one cumulative sample per cache event that
+/// touches the job (hit/miss/insert/evict), cluster-wide.
+pub fn cache_pressure(events: &[ObsEvent]) -> BTreeMap<u32, Vec<CachePoint>> {
+    let mut out: BTreeMap<u32, Vec<CachePoint>> = BTreeMap::new();
+    let mut acc: BTreeMap<u32, CachePoint> = BTreeMap::new();
+    for e in events {
+        let (job, update): (u32, CacheUpdate) = match &e.ev {
+            Ev::CacheHit { job, bytes, .. } => {
+                let b = *bytes;
+                (
+                    *job,
+                    Box::new(move |p| {
+                        p.hits += 1;
+                        p.hit_bytes += b;
+                    }),
+                )
+            }
+            Ev::CacheMiss { job, bytes, .. } => {
+                let b = *bytes;
+                (
+                    *job,
+                    Box::new(move |p| {
+                        p.misses += 1;
+                        p.miss_bytes += b;
+                    }),
+                )
+            }
+            Ev::CacheInsert {
+                job, bytes, demand, ..
+            } => {
+                let b = *bytes;
+                let d = *demand;
+                (
+                    *job,
+                    Box::new(move |p| {
+                        if d {
+                            p.demand_insert_bytes += b;
+                        } else {
+                            p.prefetch_insert_bytes += b;
+                        }
+                    }),
+                )
+            }
+            Ev::CacheEvict { job, bytes, .. } => {
+                let b = *bytes;
+                (*job, Box::new(move |p| p.evicted_bytes += b))
+            }
+            _ => continue,
+        };
+        let p = acc.entry(job).or_insert_with(|| CachePoint {
+            t_s: 0.0,
+            job,
+            hits: 0,
+            misses: 0,
+            hit_bytes: 0,
+            miss_bytes: 0,
+            prefetch_insert_bytes: 0,
+            demand_insert_bytes: 0,
+            evicted_bytes: 0,
+        });
+        update(p);
+        p.t_s = e.t_s();
+        out.entry(job).or_default().push(p.clone());
+    }
+    out
+}
+
+/// One shuffle-serving throughput bucket on a server node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputPoint {
+    pub t_s: f64,
+    pub node: usize,
+    pub bytes: u64,
+    pub responses: u64,
+    pub cache_hits: u64,
+}
+
+impl ThroughputPoint {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_s\":{:.6},\"node\":{},\"bytes\":{},\"responses\":{},\"cache_hits\":{}}}",
+            self.t_s, self.node, self.bytes, self.responses, self.cache_hits
+        )
+    }
+}
+
+/// Shuffle-throughput timeline per serving node: `ShuffleResponse` bytes
+/// bucketed into `bucket_s`-wide bins.
+pub fn shuffle_throughput(
+    events: &[ObsEvent],
+    bucket_s: f64,
+) -> BTreeMap<usize, Vec<ThroughputPoint>> {
+    let mut out: BTreeMap<usize, BTreeMap<u64, ThroughputPoint>> = BTreeMap::new();
+    for e in events {
+        if let Ev::ShuffleResponse {
+            node,
+            bytes,
+            from_cache,
+            ..
+        } = &e.ev
+        {
+            let bucket = (e.t_s() / bucket_s) as u64;
+            let p = out
+                .entry(*node)
+                .or_default()
+                .entry(bucket)
+                .or_insert_with(|| ThroughputPoint {
+                    t_s: bucket as f64 * bucket_s,
+                    node: *node,
+                    bytes: 0,
+                    responses: 0,
+                    cache_hits: 0,
+                });
+            p.bytes += bytes;
+            p.responses += 1;
+            if *from_cache {
+                p.cache_hits += 1;
+            }
+        }
+    }
+    out.into_iter()
+        .map(|(node, buckets)| (node, buckets.into_values().collect()))
+        .collect()
+}
+
+/// Heartbeat-interval histogram (seconds between consecutive heartbeats,
+/// pooled over all nodes).
+pub fn heartbeat_intervals(events: &[ObsEvent]) -> Histogram {
+    let mut last: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut h = Histogram::new();
+    for e in events {
+        if let Ev::Heartbeat { node, .. } = &e.ev {
+            let t = e.t_s();
+            if let Some(prev) = last.insert(*node, t) {
+                h.record(t - prev);
+            }
+        }
+    }
+    h
+}
+
+/// Server-side shuffle-serve latency histogram (seconds per `serve()` call).
+pub fn shuffle_latencies(events: &[ObsEvent]) -> Histogram {
+    let mut h = Histogram::new();
+    for e in events {
+        if let Ev::ShuffleResponse { serve_ns, .. } = &e.ev {
+            h.record(*serve_ns as f64 / 1e9);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AttemptOutcome, TaskFlavor};
+
+    fn span(node: usize, start_s: f64, end_s: f64) -> Span {
+        Span {
+            node,
+            job: 0,
+            kind: TaskFlavor::Map,
+            idx: 0,
+            start_s,
+            end_s,
+            outcome: AttemptOutcome::Completed,
+        }
+    }
+
+    fn at(t_s: f64, ev: Ev) -> ObsEvent {
+        ObsEvent {
+            t_ns: (t_s * 1e9) as u64,
+            ev,
+        }
+    }
+
+    #[test]
+    fn heatmap_distributes_span_time_across_buckets() {
+        // One span covering [0, 10) on node 0 of 2; 5 buckets of 2s.
+        let hm = slot_heatmap(&[span(0, 0.0, 10.0)], 2, 5);
+        assert_eq!(hm.rows.len(), 2);
+        assert_eq!(hm.n_buckets(), 5);
+        for b in 0..5 {
+            assert!((hm.rows[0][b] - 1.0).abs() < 1e-9, "bucket {b}");
+            assert_eq!(hm.rows[1][b], 0.0);
+        }
+        let ascii = hm.to_ascii();
+        assert!(ascii.contains("node  0"));
+        assert!(ascii.lines().count() >= 3);
+        let json = hm.to_json();
+        assert!(json.contains("\"nodes\":2"));
+        assert!(json.contains("\"buckets\":5"));
+    }
+
+    #[test]
+    fn heatmap_partial_overlap_is_fractional() {
+        // Span [0, 1) in a 2s bucket → 0.5 mean occupancy; envelope [0,4).
+        let hm = slot_heatmap(&[span(0, 0.0, 1.0), span(0, 3.9, 4.0)], 1, 2);
+        assert!((hm.rows[0][0] - 0.5).abs() < 1e-9);
+        assert!((hm.rows[0][1] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_heatmap_is_harmless() {
+        let hm = slot_heatmap(&[], 3, 10);
+        assert_eq!(hm.rows.len(), 3);
+        assert_eq!(hm.n_buckets(), 0);
+        assert!(!hm.to_ascii().is_empty());
+        assert!(hm.to_json().starts_with('{'));
+    }
+
+    #[test]
+    fn queue_traces_group_by_node() {
+        let events = vec![
+            at(
+                1.0,
+                Ev::Heartbeat {
+                    node: 0,
+                    active_jobs: 1,
+                    pending_maps: 5,
+                    pending_reduces: 2,
+                    free_map_slots: 0,
+                    free_reduce_slots: 2,
+                },
+            ),
+            at(
+                1.5,
+                Ev::Heartbeat {
+                    node: 1,
+                    active_jobs: 1,
+                    pending_maps: 3,
+                    pending_reduces: 2,
+                    free_map_slots: 1,
+                    free_reduce_slots: 2,
+                },
+            ),
+            at(
+                2.0,
+                Ev::Heartbeat {
+                    node: 0,
+                    active_jobs: 1,
+                    pending_maps: 1,
+                    pending_reduces: 2,
+                    free_map_slots: 0,
+                    free_reduce_slots: 2,
+                },
+            ),
+        ];
+        let traces = queue_depth_traces(&events);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[&0].len(), 2);
+        assert_eq!(traces[&1].len(), 1);
+        assert_eq!(traces[&0][1].pending_maps, 1);
+        assert!(traces[&0][0].to_json().contains("\"pending_maps\":5"));
+
+        let h = heartbeat_intervals(&events);
+        assert_eq!(h.count(), 1); // only node 0 has two beats
+        assert!((h.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_pressure_accumulates_per_job() {
+        let events = vec![
+            at(
+                1.0,
+                Ev::CacheInsert {
+                    node: 0,
+                    job: 7,
+                    map_idx: 0,
+                    bytes: 100,
+                    demand: false,
+                },
+            ),
+            at(
+                2.0,
+                Ev::CacheHit {
+                    node: 0,
+                    job: 7,
+                    map_idx: 0,
+                    bytes: 100,
+                },
+            ),
+            at(
+                3.0,
+                Ev::CacheMiss {
+                    node: 0,
+                    job: 7,
+                    map_idx: 1,
+                    bytes: 50,
+                },
+            ),
+            at(
+                4.0,
+                Ev::CacheInsert {
+                    node: 0,
+                    job: 7,
+                    map_idx: 1,
+                    bytes: 50,
+                    demand: true,
+                },
+            ),
+            at(
+                5.0,
+                Ev::CacheEvict {
+                    node: 0,
+                    job: 7,
+                    map_idx: 0,
+                    bytes: 100,
+                },
+            ),
+        ];
+        let series = cache_pressure(&events);
+        let pts = &series[&7];
+        assert_eq!(pts.len(), 5);
+        let last = pts.last().unwrap();
+        assert_eq!(last.hits, 1);
+        assert_eq!(last.misses, 1);
+        assert_eq!(last.prefetch_insert_bytes, 100);
+        assert_eq!(last.demand_insert_bytes, 50);
+        assert_eq!(last.evicted_bytes, 100);
+        assert!((last.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_buckets_responses_per_server() {
+        let resp = |t_s: f64, node: usize, bytes: u64, from_cache: bool| {
+            at(
+                t_s,
+                Ev::ShuffleResponse {
+                    node,
+                    job: 0,
+                    map_idx: 0,
+                    reduce: 0,
+                    bytes,
+                    records: 1,
+                    from_cache,
+                    serve_ns: 2_000_000,
+                },
+            )
+        };
+        let events = vec![
+            resp(0.1, 0, 1000, true),
+            resp(0.9, 0, 1000, false),
+            resp(1.5, 0, 500, false),
+            resp(0.2, 1, 300, false),
+        ];
+        let tl = shuffle_throughput(&events, 1.0);
+        assert_eq!(tl[&0].len(), 2);
+        assert_eq!(tl[&0][0].bytes, 2000);
+        assert_eq!(tl[&0][0].responses, 2);
+        assert_eq!(tl[&0][0].cache_hits, 1);
+        assert_eq!(tl[&0][1].bytes, 500);
+        assert_eq!(tl[&1][0].bytes, 300);
+
+        let lat = shuffle_latencies(&events);
+        assert_eq!(lat.count(), 4);
+        assert!((lat.mean() - 0.002).abs() < 1e-9);
+    }
+}

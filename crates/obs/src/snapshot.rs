@@ -1,0 +1,219 @@
+//! The `Runtime::dump()` snapshot contract.
+//!
+//! `rmr_core` fills these plain-data structs from its live state; obs owns
+//! rendering (ASCII for terminals, JSON for tooling) so the debugging view of
+//! a multi-job schedule has one stable shape. Everything is copied out at
+//! capture time — a snapshot stays valid after the runtime moves on.
+
+/// Per-job scheduling state at capture time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSnapshot {
+    pub id: u32,
+    pub name: String,
+    /// Coarse state string (matches `JobState` tags, e.g. "maps_done").
+    pub state: String,
+    pub total_maps: usize,
+    pub maps_completed: usize,
+    pub pending_maps: usize,
+    pub running_maps: usize,
+    pub total_reduces: usize,
+    pub reduces_completed: usize,
+    pub pending_reduces: usize,
+    pub submit_s: f64,
+    /// `None` while the job is still queue-waiting.
+    pub first_launch_s: Option<f64>,
+}
+
+impl JobSnapshot {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"name\":\"{}\",\"state\":\"{}\",\"total_maps\":{},\"maps_completed\":{},\"pending_maps\":{},\"running_maps\":{},\"total_reduces\":{},\"reduces_completed\":{},\"pending_reduces\":{},\"submit_s\":{:.6},\"first_launch_s\":{}}}",
+            self.id,
+            self.name,
+            self.state,
+            self.total_maps,
+            self.maps_completed,
+            self.pending_maps,
+            self.running_maps,
+            self.total_reduces,
+            self.reduces_completed,
+            self.pending_reduces,
+            self.submit_s,
+            match self.first_launch_s {
+                Some(t) => format!("{t:.6}"),
+                None => "null".to_string(),
+            }
+        )
+    }
+}
+
+/// Per-TaskTracker state at capture time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    pub node: usize,
+    pub free_map_slots: u64,
+    pub total_map_slots: u64,
+    pub free_reduce_slots: u64,
+    pub total_reduce_slots: u64,
+    /// Prefetch-cache occupancy in bytes.
+    pub cache_used: u64,
+    pub cache_capacity: u64,
+    /// Cumulative cache hits/misses served by this node.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Open serving-side segment cursors (partially-served map outputs).
+    pub serve_cursors: usize,
+    /// Open serving-side disk readers.
+    pub serve_readers: usize,
+}
+
+impl NodeSnapshot {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"node\":{},\"free_map_slots\":{},\"total_map_slots\":{},\"free_reduce_slots\":{},\"total_reduce_slots\":{},\"cache_used\":{},\"cache_capacity\":{},\"cache_hits\":{},\"cache_misses\":{},\"serve_cursors\":{},\"serve_readers\":{}}}",
+            self.node,
+            self.free_map_slots,
+            self.total_map_slots,
+            self.free_reduce_slots,
+            self.total_reduce_slots,
+            self.cache_used,
+            self.cache_capacity,
+            self.cache_hits,
+            self.cache_misses,
+            self.serve_cursors,
+            self.serve_readers
+        )
+    }
+}
+
+/// A full cluster snapshot: what every job and node looked like at `t_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSnapshot {
+    pub t_s: f64,
+    pub jobs: Vec<JobSnapshot>,
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+impl RuntimeSnapshot {
+    pub fn to_json(&self) -> String {
+        let jobs: Vec<String> = self.jobs.iter().map(JobSnapshot::to_json).collect();
+        let nodes: Vec<String> = self.nodes.iter().map(NodeSnapshot::to_json).collect();
+        format!(
+            "{{\"t_s\":{:.6},\"jobs\":[{}],\"nodes\":[{}]}}",
+            self.t_s,
+            jobs.join(","),
+            nodes.join(",")
+        )
+    }
+
+    /// Human-readable rendering for terminals and debug logs.
+    pub fn render(&self) -> String {
+        let mut out = format!("runtime snapshot @ {:.3}s\n", self.t_s);
+        out.push_str(&format!("  jobs ({}):\n", self.jobs.len()));
+        for j in &self.jobs {
+            let wait = match j.first_launch_s {
+                Some(t) => format!("launched @ {t:.3}s"),
+                None => "queued".to_string(),
+            };
+            out.push_str(&format!(
+                "    j{} {:<12} [{}] maps {}/{} (pend {}, run {})  reduces {}/{} (pend {})  submitted @ {:.3}s, {}\n",
+                j.id,
+                j.name,
+                j.state,
+                j.maps_completed,
+                j.total_maps,
+                j.pending_maps,
+                j.running_maps,
+                j.reduces_completed,
+                j.total_reduces,
+                j.pending_reduces,
+                j.submit_s,
+                wait
+            ));
+        }
+        out.push_str(&format!("  nodes ({}):\n", self.nodes.len()));
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "    node{:<3} slots m {}/{} r {}/{}  cache {}/{} B ({} hit / {} miss)  cursors {} readers {}\n",
+                n.node,
+                n.total_map_slots - n.free_map_slots,
+                n.total_map_slots,
+                n.total_reduce_slots - n.free_reduce_slots,
+                n.total_reduce_slots,
+                n.cache_used,
+                n.cache_capacity,
+                n.cache_hits,
+                n.cache_misses,
+                n.serve_cursors,
+                n.serve_readers
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            t_s: 12.5,
+            jobs: vec![JobSnapshot {
+                id: 1,
+                name: "terasort".into(),
+                state: "maps_done".into(),
+                total_maps: 8,
+                maps_completed: 8,
+                pending_maps: 0,
+                running_maps: 0,
+                total_reduces: 2,
+                reduces_completed: 1,
+                pending_reduces: 0,
+                submit_s: 0.0,
+                first_launch_s: Some(0.25),
+            }],
+            nodes: vec![NodeSnapshot {
+                node: 0,
+                free_map_slots: 2,
+                total_map_slots: 2,
+                free_reduce_slots: 1,
+                total_reduce_slots: 2,
+                cache_used: 4096,
+                cache_capacity: 1 << 20,
+                cache_hits: 10,
+                cache_misses: 2,
+                serve_cursors: 1,
+                serve_readers: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_contains_every_field() {
+        let json = sample().to_json();
+        for key in [
+            "\"t_s\":12.500000",
+            "\"name\":\"terasort\"",
+            "\"state\":\"maps_done\"",
+            "\"first_launch_s\":0.250000",
+            "\"cache_used\":4096",
+            "\"serve_cursors\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // A queued job serializes first_launch_s as null.
+        let mut s = sample();
+        s.jobs[0].first_launch_s = None;
+        assert!(s.to_json().contains("\"first_launch_s\":null"));
+    }
+
+    #[test]
+    fn render_mentions_jobs_and_nodes() {
+        let text = sample().render();
+        assert!(text.contains("j1 terasort"));
+        assert!(text.contains("maps 8/8"));
+        assert!(text.contains("node0"));
+        assert!(text.contains("cursors 1"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Attempt spans: pairing start/finish events and the swimlane/occupancy
+//! arithmetic shared with `rmr_core::timeline`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::event::{AttemptOutcome, Ev, ObsEvent, TaskFlavor};
+
+/// One task attempt rendered as a closed interval on a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub node: usize,
+    pub job: u32,
+    pub kind: TaskFlavor,
+    pub idx: usize,
+    pub start_s: f64,
+    pub end_s: f64,
+    pub outcome: AttemptOutcome,
+}
+
+impl Span {
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+/// Pair `AttemptStart`/`AttemptFinish` events into spans.
+///
+/// Attempts are matched FIFO per `(node, job, kind, idx)` key (speculative
+/// re-execution can start a second attempt with the same key before the
+/// first finishes). Unfinished attempts are dropped — callers working from a
+/// completed run never see any.
+pub fn spans_from_events(events: &[ObsEvent]) -> Vec<Span> {
+    let mut open: BTreeMap<(usize, u32, TaskFlavor, usize), VecDeque<f64>> = BTreeMap::new();
+    let mut spans = Vec::new();
+    for e in events {
+        match &e.ev {
+            Ev::AttemptStart {
+                node,
+                job,
+                kind,
+                idx,
+            } => {
+                open.entry((*node, *job, *kind, *idx))
+                    .or_default()
+                    .push_back(e.t_s());
+            }
+            Ev::AttemptFinish {
+                node,
+                job,
+                kind,
+                idx,
+                outcome,
+            } => {
+                if let Some(start_s) = open
+                    .get_mut(&(*node, *job, *kind, *idx))
+                    .and_then(|q| q.pop_front())
+                {
+                    spans.push(Span {
+                        node: *node,
+                        job: *job,
+                        kind: *kind,
+                        idx: *idx,
+                        start_s,
+                        end_s: e.t_s(),
+                        outcome: *outcome,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+/// Mean number of concurrently-running attempts of `kind` (all kinds when
+/// `None`), averaged over the envelope of *all* spans.
+///
+/// This is the single implementation of the swimlane-occupancy figure: the
+/// envelope `[lo, hi]` spans every attempt regardless of kind, while busy
+/// time sums only the filtered ones — so `mean_concurrency(spans, Reduce)`
+/// on a map-only window is 0, not NaN. Degenerate envelopes return 0.
+pub fn mean_concurrency(spans: &[Span], kind: Option<TaskFlavor>) -> f64 {
+    let (lo, hi) = spans.iter().fold((f64::MAX, f64::MIN), |(lo, hi), s| {
+        (lo.min(s.start_s), hi.max(s.end_s))
+    });
+    if hi <= lo {
+        return 0.0;
+    }
+    let busy: f64 = spans
+        .iter()
+        .filter(|s| kind.is_none_or(|k| s.kind == k))
+        .map(Span::duration_s)
+        .sum();
+    busy / (hi - lo)
+}
+
+/// Assign each span a lane (per node and flavor) such that overlapping spans
+/// on the same node never share a lane — the Chrome-trace "thread" layout.
+/// Returns lane indices parallel to `spans`; lanes are reused greedily in
+/// first-fit order so the track count equals peak concurrency.
+pub fn assign_lanes(spans: &[Span]) -> Vec<usize> {
+    // Sort indices by (node, kind, start) so first-fit packing is stable.
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa = &spans[a];
+        let sb = &spans[b];
+        (sa.node, sa.kind, sa.start_s, sa.idx, a)
+            .partial_cmp(&(sb.node, sb.kind, sb.start_s, sb.idx, b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut lanes = vec![0usize; spans.len()];
+    // Per (node, kind): the end time of the last span placed in each lane.
+    let mut free_at: BTreeMap<(usize, TaskFlavor), Vec<f64>> = BTreeMap::new();
+    for i in order {
+        let s = &spans[i];
+        let ends = free_at.entry((s.node, s.kind)).or_default();
+        let lane = ends
+            .iter()
+            .position(|&end| end <= s.start_s)
+            .unwrap_or(ends.len());
+        if lane == ends.len() {
+            ends.push(s.end_s);
+        } else {
+            ends[lane] = s.end_s;
+        }
+        lanes[i] = lane;
+    }
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_s: f64, ev: Ev) -> ObsEvent {
+        ObsEvent {
+            t_ns: (t_s * 1e9) as u64,
+            ev,
+        }
+    }
+
+    fn start(t_s: f64, node: usize, idx: usize, kind: TaskFlavor) -> ObsEvent {
+        ev(
+            t_s,
+            Ev::AttemptStart {
+                node,
+                job: 0,
+                kind,
+                idx,
+            },
+        )
+    }
+
+    fn finish(t_s: f64, node: usize, idx: usize, kind: TaskFlavor) -> ObsEvent {
+        ev(
+            t_s,
+            Ev::AttemptFinish {
+                node,
+                job: 0,
+                kind,
+                idx,
+                outcome: AttemptOutcome::Completed,
+            },
+        )
+    }
+
+    #[test]
+    fn pairs_starts_and_finishes_fifo() {
+        let events = vec![
+            start(0.0, 0, 0, TaskFlavor::Map),
+            start(1.0, 0, 0, TaskFlavor::Map), // speculative second attempt, same key
+            finish(2.0, 0, 0, TaskFlavor::Map),
+            finish(5.0, 0, 0, TaskFlavor::Map),
+            start(9.0, 1, 1, TaskFlavor::Map), // never finishes → dropped
+        ];
+        let spans = spans_from_events(&events);
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].start_s, spans[0].end_s), (0.0, 2.0));
+        assert_eq!((spans[1].start_s, spans[1].end_s), (1.0, 5.0));
+    }
+
+    #[test]
+    fn mean_concurrency_matches_timeline_semantics() {
+        // Two fully-overlapping 10s maps → concurrency 2 over a 10s envelope.
+        let spans = spans_from_events(&[
+            start(0.0, 0, 0, TaskFlavor::Map),
+            start(0.0, 1, 1, TaskFlavor::Map),
+            finish(10.0, 0, 0, TaskFlavor::Map),
+            finish(10.0, 1, 1, TaskFlavor::Map),
+        ]);
+        assert!((mean_concurrency(&spans, Some(TaskFlavor::Map)) - 2.0).abs() < 1e-12);
+        // No reduce spans at all → 0.0, not NaN.
+        assert_eq!(mean_concurrency(&spans, Some(TaskFlavor::Reduce)), 0.0);
+        assert_eq!(mean_concurrency(&[], None), 0.0);
+    }
+
+    #[test]
+    fn lanes_never_overlap_within_a_node() {
+        let spans = spans_from_events(&[
+            start(0.0, 0, 0, TaskFlavor::Map),
+            start(1.0, 0, 1, TaskFlavor::Map),
+            finish(2.0, 0, 0, TaskFlavor::Map),
+            start(2.0, 0, 2, TaskFlavor::Map), // reuses lane 0 (ends at exactly 2.0)
+            finish(3.0, 0, 1, TaskFlavor::Map),
+            finish(4.0, 0, 2, TaskFlavor::Map),
+        ]);
+        let lanes = assign_lanes(&spans);
+        assert_eq!(lanes.len(), 3);
+        // Overlapping spans get distinct lanes.
+        for i in 0..spans.len() {
+            for j in (i + 1)..spans.len() {
+                let (a, b) = (&spans[i], &spans[j]);
+                let overlap = a.start_s < b.end_s && b.start_s < a.end_s;
+                if overlap && a.node == b.node && a.kind == b.kind {
+                    assert_ne!(lanes[i], lanes[j], "spans {i} and {j} share a lane");
+                }
+            }
+        }
+        // Peak concurrency is 2, so only lanes {0, 1} are used.
+        assert!(lanes.iter().all(|&l| l < 2));
+    }
+}

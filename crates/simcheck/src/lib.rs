@@ -456,12 +456,13 @@ pub fn scan_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
 /// workspace root. `cluster` and `bench` are deliberately absent: they
 /// parallelize whole (single-threaded) `Sim`s across OS threads and time
 /// real benchmarks, which is exactly what the lints forbid *inside* a sim.
-pub const DEFAULT_ROOTS: [&str; 6] = [
+pub const DEFAULT_ROOTS: [&str; 7] = [
     "crates/des/src",
     "crates/net/src",
     "crates/store/src",
     "crates/hdfs/src",
     "crates/core/src",
+    "crates/obs/src",
     "crates/workloads/src",
 ];
 

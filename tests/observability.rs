@@ -1,0 +1,132 @@
+//! Observability gates: the recorder must be a pure *observer* — turning it
+//! on may not perturb the simulated schedule (same trace hash, same job
+//! outcomes), and the event stream itself must replay byte-identically from
+//! the same seed. The exported Chrome trace must pass schema validation on
+//! a real multi-job run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rmr_core::cluster::{Cluster, NodeSpec};
+use rmr_core::{JobConf, JobResult, Runtime, SchedulePolicy, ShuffleKind};
+use rmr_des::Sim;
+use rmr_hdfs::HdfsConfig;
+use rmr_net::FabricParams;
+use rmr_obs::Recorder;
+use rmr_workloads::{teragen, terasort_spec, textgen, wordcount_spec};
+
+fn tiny_cluster(sim: &Sim, kind: ShuffleKind, workers: usize) -> Cluster {
+    let fabric = if kind.uses_rdma() {
+        FabricParams::ib_verbs_qdr()
+    } else {
+        FabricParams::ipoib_qdr()
+    };
+    let mut spec = NodeSpec::westmere_compute();
+    spec.page_cache = 64 << 20;
+    Cluster::build(
+        sim,
+        fabric,
+        &vec![spec; workers],
+        HdfsConfig {
+            block_size: 4 << 20,
+            replication: 1,
+            packet_size: 1 << 20,
+        },
+    )
+}
+
+fn tiny_conf(kind: ShuffleKind) -> JobConf {
+    let mut conf = JobConf::for_kind(kind);
+    conf.num_reduces = 2;
+    conf.map_slots = 2;
+    conf.reduce_slots = 2;
+    conf.shuffle_buffer = 16 << 20;
+    conf.io_sort_buffer = 8 << 20;
+    conf.prefetch_cache_bytes = 32 << 20;
+    conf.osu_packet_bytes = 256 << 10;
+    conf.hadoop_a_kv_per_packet = 2_000;
+    conf
+}
+
+/// The two-job concurrent mix from the determinism gates (TeraSort +
+/// WordCount through one runtime), with an explicit recorder. Returns the
+/// trace hash and both job results.
+fn run_two_job_mix(seed: u64, record: bool) -> (u64, Vec<JobResult>, Recorder) {
+    let sim = Sim::new(seed);
+    let obs = if record {
+        Recorder::on(&sim)
+    } else {
+        Recorder::off()
+    };
+    let cluster = tiny_cluster(&sim, ShuffleKind::OsuIb, 3);
+    let conf = tiny_conf(ShuffleKind::OsuIb);
+    let results: Rc<RefCell<Vec<JobResult>>> = Rc::new(RefCell::new(Vec::new()));
+    let r2 = Rc::clone(&results);
+    let obs2 = obs.clone();
+    sim.spawn_named("multijob-driver", async move {
+        teragen(&cluster, "/tera", 12 << 20, false).await;
+        textgen(&cluster, "/text", 400, 12).await;
+        let rt = Runtime::with_obs(&cluster, conf.clone(), SchedulePolicy::Fifo, obs2);
+        let a = rt.submit(conf.clone(), terasort_spec("/tera", "/out-a"));
+        let b = rt.submit(conf.clone(), wordcount_spec("/text", "/out-b"));
+        let ra = rt.join(a).await;
+        let rb = rt.join(b).await;
+        r2.borrow_mut().push(ra);
+        r2.borrow_mut().push(rb);
+    })
+    .detach();
+    sim.run();
+    let results = Rc::try_unwrap(results)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    assert_eq!(results.len(), 2, "mix hung");
+    (sim.trace_hash(), results, obs)
+}
+
+#[test]
+fn recorder_does_not_perturb_the_simulation() {
+    let (hash_off, res_off, rec_off) = run_two_job_mix(43, false);
+    let (hash_on, res_on, rec_on) = run_two_job_mix(43, true);
+    assert!(rec_off.is_empty(), "off recorder captured events");
+    assert!(!rec_on.is_empty(), "on recorder captured nothing");
+    assert_eq!(
+        hash_off, hash_on,
+        "recorder-on changed the event schedule (trace hash)"
+    );
+    for (a, b) in res_off.iter().zip(&res_on) {
+        assert_eq!(a.duration_s, b.duration_s);
+        assert_eq!(a.shuffled_bytes, b.shuffled_bytes);
+        assert_eq!(a.maps, b.maps);
+        assert_eq!(a.reduces, b.reduces);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cache_misses, b.cache_misses);
+    }
+}
+
+#[test]
+fn obs_stream_replays_byte_identically() {
+    let (hash_a, _, rec_a) = run_two_job_mix(77, true);
+    let (hash_b, _, rec_b) = run_two_job_mix(77, true);
+    assert_eq!(hash_a, hash_b);
+    let jsonl_a = rec_a.to_jsonl();
+    assert_eq!(jsonl_a, rec_b.to_jsonl(), "obs streams diverged");
+    assert!(jsonl_a.contains("\"ev\":\"heartbeat\""));
+    assert!(jsonl_a.contains("\"ev\":\"shuffle_response\""));
+    assert!(jsonl_a.contains("\"ev\":\"attempt_finish\""));
+}
+
+#[test]
+fn chrome_trace_from_a_real_run_validates() {
+    let (_, results, rec) = run_two_job_mix(43, true);
+    let events = rec.events();
+    let doc = rmr_obs::chrome_trace(&events);
+    let check = rmr_obs::validate_chrome_trace(&doc).expect("trace must validate");
+    let attempts: usize = results.iter().map(|r| r.maps + r.reduces).sum();
+    assert!(
+        check.n_spans >= attempts,
+        "expected >= {attempts} spans, got {}",
+        check.n_spans
+    );
+    assert!(check.n_counters > 0, "no heartbeat counter samples");
+    assert!(check.n_instants > 0, "no job-state instants");
+}
