@@ -147,6 +147,7 @@ fn one(args: &[String]) {
         Bench::TeraSort
     };
     let seed: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(42);
+    // simcheck: allow(wall-clock) -- reports host-side run time to stderr only
     let t0 = std::time::Instant::now();
     let rec = run_experiment(&Experiment::new(
         "p1",
@@ -204,6 +205,7 @@ fn phases(args: &[String]) {
     let out: Rc<RefCell<Option<rmr_core::JobResult>>> = Rc::new(RefCell::new(None));
     let o2 = Rc::clone(&out);
     let c2 = cluster.clone();
+    // simcheck: allow(wall-clock) -- reports host-side run time to stderr only
     let t_wall = std::time::Instant::now();
     sim.spawn_named("probe-driver", async move {
         let spec = match bench {
@@ -218,7 +220,8 @@ fn phases(args: &[String]) {
         };
         let gen_end = c2.sim.now().as_secs_f64();
         eprintln!("  datagen done at {gen_end:.0}s");
-        *o2.borrow_mut() = Some(run_job(&c2, conf, spec).await);
+        let res = run_job(&c2, conf, spec).await;
+        *o2.borrow_mut() = Some(res);
     })
     .detach();
     match std::env::var("RMR_LIMIT")

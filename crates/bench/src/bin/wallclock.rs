@@ -29,7 +29,9 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::time::Instant;
+// This harness exists to time the simulator itself on the host machine;
+// wall-clock reads are its whole point and never feed sim state.
+use std::time::Instant; // simcheck: allow(wall-clock)
 
 use rmr_cluster::{
     run_multijob, tuned_block_size, tuned_conf, Bench, MultiJobExperiment, System, Testbed,
@@ -163,11 +165,12 @@ fn run_macro(scenario: &'static str, system: System, gb: f64, nodes: usize) -> R
     sim.spawn_named("wallclock-driver", async move {
         teragen(&c2, "/in", bytes, false).await;
         let spec = terasort_spec("/in", "/out");
-        *o2.borrow_mut() = Some(run_job(&c2, conf, spec).await);
+        let res = run_job(&c2, conf, spec).await;
+        *o2.borrow_mut() = Some(res);
     })
     .detach();
     let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // simcheck: allow(wall-clock) host-side timing
     sim.run();
     let wall_s = t0.elapsed().as_secs_f64();
     let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
@@ -208,7 +211,7 @@ fn run_multijob_case(quick: bool, concurrent: bool) -> Run {
         seed: 42,
     };
     let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // simcheck: allow(wall-clock) host-side timing
     let recs = run_multijob(&exp);
     let wall_s = t0.elapsed().as_secs_f64();
     let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
@@ -259,7 +262,7 @@ fn micro_fluid_churn(n: usize) -> Run {
         .detach();
     }
     let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // simcheck: allow(wall-clock) host-side timing
     sim.run();
     let wall_s = t0.elapsed().as_secs_f64();
     let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
@@ -298,7 +301,7 @@ fn micro_event_heap(tasks: usize, rounds: usize) -> Run {
         })
         .detach();
     }
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // simcheck: allow(wall-clock) host-side timing
     sim.run();
     let wall_s = t0.elapsed().as_secs_f64();
     let run = Run {
@@ -333,7 +336,7 @@ fn micro_merge_pq(k: usize, per_source: u64, real: bool) -> Run {
         }
     }
     let mut emitted = 0u64;
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // simcheck: allow(wall-clock) host-side timing
     loop {
         match m.emit(4_096) {
             Emit::Data(seg) => emitted += seg.records,

@@ -497,6 +497,10 @@ pub fn run_all(experiments: &[Experiment], threads: usize) -> Vec<RunRecord> {
     let results: Vec<std::sync::Mutex<Option<RunRecord>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // Each worker owns a whole single-threaded Sim; threads never share sim
+    // state, and results are written to per-experiment slots, so replay
+    // stays bit-identical at any thread count.
+    // simcheck: allow(thread-spawn)
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
             scope.spawn(|| loop {

@@ -234,7 +234,7 @@ pub fn validate_chrome_trace(doc: &str) -> Result<TraceCheck, String> {
         }
     }
     for ((pid, tid), mut iv) in tracks {
-        iv.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         for w in iv.windows(2) {
             if w[1].0 < w[0].1 {
                 return Err(format!(

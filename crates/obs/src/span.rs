@@ -104,9 +104,10 @@ pub fn assign_lanes(spans: &[Span]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let sa = &spans[a];
         let sb = &spans[b];
-        (sa.node, sa.kind, sa.start_s, sa.idx, a)
-            .partial_cmp(&(sb.node, sb.kind, sb.start_s, sb.idx, b))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        (sa.node, sa.kind)
+            .cmp(&(sb.node, sb.kind))
+            .then(sa.start_s.total_cmp(&sb.start_s))
+            .then((sa.idx, a).cmp(&(sb.idx, b)))
     });
     let mut lanes = vec![0usize; spans.len()];
     // Per (node, kind): the end time of the last span placed in each lane.

@@ -1,0 +1,439 @@
+//! Workspace symbol index: a name-resolution-lite pass over lexed files.
+//!
+//! For every scanned file the index records which crate it belongs to, its
+//! `use` renames (`use std::time::Instant as Clock;` maps `Clock` back to
+//! the full path), and every `fn` definition with its enclosing `impl` /
+//! `trait` type and the token range of its body. The taint pass
+//! ([`crate::taint`]) builds its call graph on top of this: calls resolve by
+//! name — same `impl` first, then same file, then same crate, then a
+//! workspace-unique match — which is deliberately "lite" (no type
+//! inference) but catches the wrapper-function shapes that hide
+//! nondeterminism sources from per-file token rules.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::lexer::{lex, Lexed};
+use crate::Severity;
+
+/// One source file under analysis.
+pub struct FileEntry {
+    /// Display path (workspace-relative where possible, `/`-separated).
+    pub path: String,
+    /// Severity tier of the root this file came from.
+    pub tier: Severity,
+    /// Coarse crate key: `crates/<name>/...` → `<name>`, else the parent
+    /// directory — files sharing a key are "same crate" for resolution.
+    pub crate_key: String,
+    /// Token stream, allow directives, and line classification.
+    pub lexed: Lexed,
+    /// Raw source lines for snippets.
+    pub raw_lines: Vec<String>,
+    /// `use` renames: visible name → full path segments.
+    pub aliases: BTreeMap<String, Vec<String>>,
+}
+
+/// One `fn` definition with a body.
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub impl_type: Option<String>,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body (between the braces, exclusive).
+    pub body: Range<usize>,
+    /// 1-based line range covered by the body braces, inclusive.
+    pub body_lines: (u32, u32),
+}
+
+impl FnDef {
+    /// Display name: `Type::name` for methods, `name` for free functions.
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The whole-workspace symbol index.
+pub struct Workspace {
+    /// All scanned files.
+    pub files: Vec<FileEntry>,
+    /// All function definitions, in (file, token) order.
+    pub fns: Vec<FnDef>,
+    /// Function name → indices into [`Workspace::fns`].
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    /// Builds the index from `(path, tier, source)` triples.
+    pub fn build(sources: Vec<(String, Severity, String)>) -> Workspace {
+        let mut files = Vec::new();
+        let mut fns: Vec<FnDef> = Vec::new();
+        for (path, tier, source) in sources {
+            let lexed = lex(&source);
+            let file_idx = files.len();
+            let aliases = parse_uses(&lexed);
+            parse_fns(&lexed, file_idx, &mut fns);
+            files.push(FileEntry {
+                crate_key: crate_key(&path),
+                raw_lines: source.lines().map(str::to_string).collect(),
+                path,
+                tier,
+                lexed,
+                aliases,
+            });
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        Workspace {
+            files,
+            fns,
+            by_name,
+        }
+    }
+
+    /// The innermost fn whose body covers the 1-based `line` of `file`.
+    pub fn enclosing_fn(&self, file: usize, line: u32) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.file == file && f.body_lines.0 <= line && line <= f.body_lines.1)
+            .min_by_key(|(_, f)| f.body_lines.1 - f.body_lines.0)
+            .map(|(i, _)| i)
+    }
+
+    /// Resolves an identifier through the file's `use` renames: returns the
+    /// full path segments when the name was imported, else `None`.
+    pub fn resolve_alias<'a>(&'a self, file: usize, name: &str) -> Option<&'a [String]> {
+        self.files[file].aliases.get(name).map(Vec::as_slice)
+    }
+}
+
+/// Coarse crate key for a display path.
+fn crate_key(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    if let Some(pos) = parts.iter().position(|p| *p == "crates") {
+        if let Some(name) = parts.get(pos + 1) {
+            return (*name).to_string();
+        }
+    }
+    match parts.len() {
+        0 | 1 => "root".to_string(),
+        n => parts[..n - 1].join("/"),
+    }
+}
+
+/// Parses every `use` declaration in the token stream into rename entries.
+fn parse_uses(lx: &Lexed) -> BTreeMap<String, Vec<String>> {
+    let t = &lx.tokens;
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if t[i].text == "use" {
+            let mut j = i + 1;
+            let mut prefix: Vec<String> = Vec::new();
+            parse_use_tree(t, &mut j, &mut prefix, &mut out);
+            // Skip to the terminating `;` even if the tree parse bailed.
+            while j < t.len() && t[j].text != ";" {
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Recursive-descent over one use-tree: `a::b`, `a::{b, c as d}`, `a::*`.
+fn parse_use_tree(
+    t: &[crate::lexer::Tok],
+    i: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut BTreeMap<String, Vec<String>>,
+) {
+    let start_len = prefix.len();
+    while let Some(tok) = t.get(*i) {
+        match tok.text.as_str() {
+            "{" => {
+                *i += 1;
+                loop {
+                    parse_use_tree(t, i, prefix, out);
+                    if t.get(*i).is_some_and(|x| x.text == ",") {
+                        *i += 1;
+                        continue;
+                    }
+                    break;
+                }
+                if t.get(*i).is_some_and(|x| x.text == "}") {
+                    *i += 1;
+                }
+                break;
+            }
+            "*" => {
+                *i += 1;
+                break;
+            }
+            ";" | "," | "}" => break,
+            seg => {
+                prefix.push(seg.to_string());
+                *i += 1;
+                if t.get(*i).is_some_and(|x| x.text == "::") {
+                    *i += 1;
+                    continue;
+                }
+                if t.get(*i).is_some_and(|x| x.text == "as") {
+                    if let Some(alias) = t.get(*i + 1) {
+                        out.insert(alias.text.clone(), prefix.clone());
+                        *i += 2;
+                    }
+                } else if seg != "self" {
+                    out.insert(seg.to_string(), prefix.clone());
+                } else if let Some(last) = prefix.iter().rev().nth(1) {
+                    // `use a::b::self` — visible as `b`.
+                    out.insert(last.clone(), prefix[..prefix.len() - 1].to_vec());
+                }
+                break;
+            }
+        }
+    }
+    prefix.truncate(start_len);
+}
+
+/// Finds every fn definition (with a body) and its impl/trait context.
+fn parse_fns(lx: &Lexed, file: usize, out: &mut Vec<FnDef>) {
+    let t = &lx.tokens;
+    let mut depth: i32 = 0;
+    // (type name, brace depth the block opened at)
+    let mut ctx: Vec<(String, i32)> = Vec::new();
+    let mut pending_ctx: Option<String> = None;
+    for i in 0..t.len() {
+        match t[i].text.as_str() {
+            "{" => {
+                depth += 1;
+                if let Some(name) = pending_ctx.take() {
+                    ctx.push((name, depth));
+                }
+            }
+            "}" => {
+                ctx.retain(|(_, d)| *d < depth);
+                depth -= 1;
+            }
+            ";" => {
+                // `impl Trait for Type;` never parses; a pending context at
+                // a `;` was a false positive (e.g. `-> impl Trait;`).
+                pending_ctx = None;
+            }
+            "impl" | "trait" if is_item_position(t, i) => {
+                pending_ctx = impl_type_name(t, i);
+            }
+            "fn" => {
+                let Some(name_tok) = t.get(i + 1) else {
+                    continue;
+                };
+                let name = &name_tok.text;
+                if !name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    continue; // `fn(` pointer type
+                }
+                if let Some((open, close)) = fn_body_span(t, i + 2) {
+                    out.push(FnDef {
+                        name: name.clone(),
+                        impl_type: ctx.last().map(|(n, _)| n.clone()),
+                        file,
+                        line: t[i].line,
+                        body: (open + 1)..close,
+                        body_lines: (t[open].line, t[close].line),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when the `impl`/`trait` token at `i` opens an item (not `-> impl
+/// Trait` / `&impl` / generic-bound positions).
+fn is_item_position(t: &[crate::lexer::Tok], i: usize) -> bool {
+    matches!(
+        i.checked_sub(1)
+            .and_then(|j| t.get(j))
+            .map(|x| x.text.as_str()),
+        None | Some(";" | "}" | "{" | "]" | "unsafe" | "pub" | ")")
+    )
+}
+
+/// Extracts the type name an `impl`/`trait` block attaches to: the last path
+/// segment of the type after `for` (trait impls) or of the first path
+/// (inherent impls / traits), skipping leading generics.
+fn impl_type_name(t: &[crate::lexer::Tok], impl_idx: usize) -> Option<String> {
+    let mut i = impl_idx + 1;
+    // Skip `<...>` generic parameters right after the keyword.
+    if t.get(i).is_some_and(|x| x.text == "<") {
+        let mut angle = 0i32;
+        while i < t.len() {
+            match t[i].text.as_str() {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Collect tokens up to the opening brace, splitting on `for`.
+    let mut before_for: Vec<&str> = Vec::new();
+    let mut after_for: Vec<&str> = Vec::new();
+    let mut saw_for = false;
+    let mut angle = 0i32;
+    while i < t.len() {
+        match t[i].text.as_str() {
+            "{" | ";" | "=>" if angle == 0 => break,
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "for" if angle == 0 => saw_for = true,
+            tok if angle == 0 => {
+                if saw_for {
+                    after_for.push(tok);
+                } else {
+                    before_for.push(tok);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let path = if saw_for { after_for } else { before_for };
+    // Last identifier of the leading path: `a::b::C` → `C`.
+    path.iter()
+        .take_while(|s| **s == "::" || is_ident(s))
+        .filter(|s| is_ident(s))
+        .last()
+        .map(|s| s.to_string())
+}
+
+/// True for identifier-shaped tokens.
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// From the token after the fn name, finds the body's brace span (token
+/// indices of `{` and its matching `}`). Returns `None` for bodyless
+/// declarations.
+fn fn_body_span(t: &[crate::lexer::Tok], mut i: usize) -> Option<(usize, usize)> {
+    let mut paren = 0i32;
+    while i < t.len() {
+        match t[i].text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            "{" if paren == 0 => {
+                let open = i;
+                let mut brace = 1i32;
+                i += 1;
+                while i < t.len() {
+                    match t[i].text.as_str() {
+                        "{" => brace += 1,
+                        "}" => {
+                            brace -= 1;
+                            if brace == 0 {
+                                return Some((open, i));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return None;
+            }
+            ";" if paren == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(src: &str) -> Workspace {
+        Workspace::build(vec![(
+            "crates/x/src/a.rs".into(),
+            Severity::Deny,
+            src.into(),
+        )])
+    }
+
+    #[test]
+    fn use_renames_and_groups() {
+        let ws = ws_of(
+            "use std::time::Instant as Clock;\n\
+             use std::collections::{BTreeMap, HashMap as Map};\n\
+             use crate::util::helper;\n",
+        );
+        let f = &ws.files[0];
+        assert_eq!(f.aliases["Clock"], ["std", "time", "Instant"]);
+        assert_eq!(f.aliases["Map"], ["std", "collections", "HashMap"]);
+        assert_eq!(f.aliases["BTreeMap"], ["std", "collections", "BTreeMap"]);
+        assert_eq!(f.aliases["helper"], ["crate", "util", "helper"]);
+    }
+
+    #[test]
+    fn fn_defs_free_and_methods() {
+        let ws = ws_of(
+            "fn free(x: u32) -> u32 { x + 1 }\n\
+             struct S;\n\
+             impl S {\n    fn method(&self) { free(2); }\n}\n\
+             impl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n\
+             trait T {\n    fn provided(&self) {}\n    fn required(&self);\n}\n",
+        );
+        let names: Vec<String> = ws.fns.iter().map(FnDef::display).collect();
+        assert_eq!(names, ["free", "S::method", "S::fmt", "T::provided"]);
+    }
+
+    #[test]
+    fn return_position_impl_is_not_a_context() {
+        let ws = ws_of(
+            "fn make() -> impl Iterator<Item = u32> {\n    std::iter::empty()\n}\n\
+             fn after() {}\n",
+        );
+        let names: Vec<String> = ws.fns.iter().map(FnDef::display).collect();
+        assert_eq!(names, ["make", "after"]);
+        assert!(ws.fns.iter().all(|f| f.impl_type.is_none()));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let ws = ws_of("fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\n");
+        let inner = ws.enclosing_fn(0, 3).unwrap();
+        assert_eq!(ws.fns[inner].name, "inner");
+        let outer = ws.enclosing_fn(0, 5).unwrap();
+        assert_eq!(ws.fns[outer].name, "outer");
+    }
+
+    #[test]
+    fn crate_keys_group_files() {
+        assert_eq!(crate_key("crates/des/src/executor.rs"), "des");
+        assert_eq!(crate_key("crates/core/src/reduce/vanilla.rs"), "core");
+        assert_eq!(crate_key("tests/determinism.rs"), "tests");
+        assert_eq!(crate_key("a.rs"), "root");
+    }
+}

@@ -1,0 +1,483 @@
+//! A dependency-free, multi-line-aware Rust lexer.
+//!
+//! The old simcheck stripped comments and strings *per line*, which meant a
+//! raw string spanning lines, a nested block comment, or a multi-line string
+//! literal could desynchronise the scanner and hide (or invent) hazards.
+//! This lexer walks the whole file once and produces a flat token stream
+//! where every token knows its 1-based source line:
+//!
+//! * line comments (`//`) and nested block comments (`/* /* */ */`) are
+//!   dropped, but `simcheck: allow(...)` directives in *line* comments are
+//!   harvested with their line number;
+//! * string literals (`"..."`, `b"..."`), raw strings with any number of
+//!   `#`s (`r#"..."#`, `br##"..."##`), and char/byte-char literals collapse
+//!   to a single `""` / `''` placeholder token so their contents can never
+//!   match a rule;
+//! * lifetimes (`'a`, `'static`) are consumed silently — the old scanner's
+//!   char-vs-lifetime confusion is handled by looking for a closing quote;
+//! * raw identifiers (`r#match`) lex as their identifier text;
+//! * `::`, `->`, and `=>` are single tokens (rules match on them), all other
+//!   punctuation is one token per character.
+
+/// One lexed token: its text and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (identifier, `::`, single punctuation char, or a `""` /
+    /// `''` literal placeholder).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// A `// simcheck: allow(<rule>)` directive found in a line comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the directive sits on.
+    pub line: u32,
+    /// The rule name inside the parentheses (not yet validated).
+    pub rule: String,
+}
+
+/// A lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// Every suppression directive, in source order.
+    pub allows: Vec<AllowDirective>,
+    /// `code_lines[i]` is true when 0-based line `i` carries at least one
+    /// token (i.e. it is not blank/comment-only).
+    pub code_lines: Vec<bool>,
+    /// Total number of source lines.
+    pub n_lines: usize,
+}
+
+impl Lexed {
+    /// True when the 1-based `line` holds no code (blank or comment-only).
+    pub fn comment_only(&self, line: usize) -> bool {
+        line >= 1 && !self.code_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// True when an `allow(rule)` directive sits on the 1-based `line`.
+    pub fn allowed_on(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.line as usize == line && a.rule == rule)
+    }
+
+    /// Suppression check for a finding of `rule` on the 1-based `line`: a
+    /// directive on the line itself, or alone on the comment-only line above.
+    pub fn suppressed(&self, line: usize, rule: &str) -> Option<usize> {
+        if self.allowed_on(line, rule) {
+            return Some(line);
+        }
+        if line >= 2 && self.comment_only(line - 1) && self.allowed_on(line - 1, rule) {
+            return Some(line - 1);
+        }
+        None
+    }
+}
+
+/// Lexes a whole source file.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let n_lines = source.lines().count().max(1);
+    let mut lx = Lexed {
+        tokens: Vec::new(),
+        allows: Vec::new(),
+        code_lines: vec![false; n_lines],
+        n_lines,
+    };
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut word = String::new();
+    let mut word_line: u32 = 1;
+
+    macro_rules! flush_word {
+        () => {
+            if !word.is_empty() {
+                mark_code(&mut lx, word_line);
+                lx.tokens.push(Tok {
+                    text: std::mem::take(&mut word),
+                    line: word_line,
+                });
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Identifier/number characters accumulate into one word token.
+        if c.is_alphanumeric() || c == '_' {
+            // Prefixed literal forms that *start* like identifiers.
+            if word.is_empty() {
+                if let Some(skip) = try_raw_or_byte_literal(&chars, i, &mut line, &mut lx) {
+                    i = skip;
+                    continue;
+                }
+            }
+            if word.is_empty() {
+                word_line = line;
+            }
+            word.push(c);
+            i += 1;
+            continue;
+        }
+        flush_word!();
+
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if next == Some('/') => {
+                // Line comment: harvest directives, consume to end of line.
+                let mut j = i;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                harvest_allows(&text, line, &mut lx.allows);
+                i = j;
+            }
+            '/' if next == Some('*') => {
+                // Nested block comment, possibly spanning lines.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    match (chars[i], chars.get(i + 1).copied()) {
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        ('\n', _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '"' => {
+                push_placeholder(&mut lx, line, "\"\"");
+                i = consume_string(&chars, i + 1, &mut line);
+            }
+            '\'' => {
+                // Char literal ('x', '\n') vs lifetime ('a, 'static): a char
+                // literal closes with a quote; a lifetime never does.
+                let is_char = next == Some('\\')
+                    || (chars.get(i + 2) == Some(&'\'') && next != Some('\''))
+                    || next == Some('\'');
+                if is_char {
+                    push_placeholder(&mut lx, line, "''");
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        i += 2;
+                    }
+                    while i < chars.len() && chars[i] != '\'' {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    // Lifetime: consume the quote and the identifier.
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            ':' if next == Some(':') => {
+                push_placeholder(&mut lx, line, "::");
+                i += 2;
+            }
+            '-' if next == Some('>') => {
+                push_placeholder(&mut lx, line, "->");
+                i += 2;
+            }
+            '=' if next == Some('>') => {
+                push_placeholder(&mut lx, line, "=>");
+                i += 2;
+            }
+            c => {
+                push_placeholder(&mut lx, line, &c.to_string());
+                i += 1;
+            }
+        }
+    }
+    flush_word!();
+    lx
+}
+
+/// Marks the 1-based `line` as carrying code.
+fn mark_code(lx: &mut Lexed, line: u32) {
+    let idx = line as usize - 1;
+    if idx >= lx.code_lines.len() {
+        lx.code_lines.resize(idx + 1, false);
+        lx.n_lines = idx + 1;
+    }
+    lx.code_lines[idx] = true;
+}
+
+/// Pushes a non-word token at `line`.
+fn push_placeholder(lx: &mut Lexed, line: u32, text: &str) {
+    mark_code(lx, line);
+    lx.tokens.push(Tok {
+        text: text.to_string(),
+        line,
+    });
+}
+
+/// Handles the literal forms that start with an identifier character:
+/// `r"..."`, `r#"..."#` (any `#` count), `b"..."`, `b'..'`, `br#"..."#`,
+/// and raw identifiers `r#ident`. Returns the index to resume at when one
+/// was consumed.
+fn try_raw_or_byte_literal(
+    chars: &[char],
+    i: usize,
+    line: &mut u32,
+    lx: &mut Lexed,
+) -> Option<usize> {
+    let c = chars[i];
+    let next = chars.get(i + 1).copied();
+    // b'x' byte char.
+    if c == 'b' && next == Some('\'') {
+        push_placeholder(lx, *line, "''");
+        let mut j = i + 2;
+        if chars.get(j) == Some(&'\\') {
+            j += 2;
+        }
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        return Some(j + 1);
+    }
+    // b"..." byte string.
+    if c == 'b' && next == Some('"') {
+        push_placeholder(lx, *line, "\"\"");
+        return Some(consume_string(chars, i + 2, line));
+    }
+    // r..., br... raw strings; r#ident raw identifiers.
+    let raw_start = match (c, next) {
+        ('r', _) => i + 1,
+        ('b', Some('r')) => i + 2,
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    while chars.get(raw_start + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    match chars.get(raw_start + hashes) {
+        Some('"') => {
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            push_placeholder(lx, *line, "\"\"");
+            let mut j = raw_start + hashes + 1;
+            while j < chars.len() {
+                if chars[j] == '\n' {
+                    *line += 1;
+                    j += 1;
+                } else if chars[j] == '"'
+                    && chars[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|c| **c == '#')
+                        .count()
+                        == hashes
+                {
+                    return Some(j + 1 + hashes);
+                } else {
+                    j += 1;
+                }
+            }
+            Some(j)
+        }
+        Some(ch) if c == 'r' && hashes == 1 && (ch.is_alphabetic() || *ch == '_') => {
+            // Raw identifier r#ident: lex as the plain identifier.
+            let mut j = raw_start + 1;
+            let start = j;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let text: String = chars[start..j].iter().collect();
+            push_placeholder(lx, *line, &text);
+            Some(j)
+        }
+        _ => None,
+    }
+}
+
+/// Consumes a (possibly multi-line) string body starting after the opening
+/// quote; returns the index after the closing quote.
+fn consume_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // An escaped character still counts newlines: `\` before a
+                // line break is the line-continuation escape, and skipping
+                // it blind would desynchronise every later token's line.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Extracts `simcheck: allow(<rule>)` directives from a line-comment's text.
+/// Only kebab-case rule names are treated as directives; placeholders like
+/// `allow(<rule>)` in prose are ignored, while typo'd names are kept so the
+/// stale-allow rule can report them.
+fn harvest_allows(text: &str, line: u32, out: &mut Vec<AllowDirective>) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("simcheck: allow(") {
+        let after = &rest[pos + "simcheck: allow(".len()..];
+        let Some(end) = after.find(')') else { break };
+        for rule in after[..end].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty()
+                && rule
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+            {
+                out.push(AllowDirective {
+                    line,
+                    rule: rule.to_string(),
+                });
+            }
+        }
+        rest = &after[end..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn words_puncts_and_paths() {
+        assert_eq!(
+            texts("let t = std::time::Instant::now();"),
+            ["let", "t", "=", "std", "::", "time", "::", "Instant", "::", "now", "(", ")", ";"]
+        );
+        assert_eq!(texts("a -> b => c"), ["a", "->", "b", "=>", "c"]);
+    }
+
+    #[test]
+    fn strings_collapse_even_across_lines() {
+        assert_eq!(
+            texts("let s = \"Instant::now()\";"),
+            ["let", "s", "=", "\"\"", ";"]
+        );
+        let multi = "let s = \"line one\nInstant::now()\nline three\";\nlet t = 1;";
+        let lx = lex(multi);
+        // The string is one placeholder; `let t` lands on line 4.
+        assert!(lx.tokens.iter().all(|t| t.text != "Instant"));
+        let t_tok = lx.tokens.iter().find(|t| t.text == "t").unwrap();
+        assert_eq!(t_tok.line, 4);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        assert_eq!(
+            texts(r####"let s = r#"Instant::now()"#;"####),
+            ["let", "s", "=", "\"\"", ";"]
+        );
+        assert_eq!(
+            texts("let s = r##\"quote \"# inside\"##;"),
+            ["let", "s", "=", "\"\"", ";"]
+        );
+        let multi = "let s = r#\"a\nHashMap\nb\"#; let x = 2;";
+        assert!(lex(multi).tokens.iter().all(|t| t.text != "HashMap"));
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        assert_eq!(texts("let b = b\"OsRng\";"), ["let", "b", "=", "\"\"", ";"]);
+        assert_eq!(texts("let c = b'x';"), ["let", "c", "=", "''", ";"]);
+        assert_eq!(texts("let r#match = 1;"), ["let", "match", "=", "1", ";"]);
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let src = "a /* one /* two\nthread_rng() */ still */ b";
+        assert_eq!(texts(src), ["a", "b"]);
+        let lx = lex(src);
+        assert_eq!(lx.tokens[1].line, 2);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(texts("let c = 'x';"), ["let", "c", "=", "''", ";"]);
+        assert_eq!(texts("let c = '\\n';"), ["let", "c", "=", "''", ";"]);
+        assert_eq!(
+            texts("fn f<'a>(x: &'a str) {}"),
+            ["fn", "f", "<", ">", "(", "x", ":", "&", "str", ")", "{", "}"]
+        );
+        assert_eq!(texts("let q = '\\'';"), ["let", "q", "=", "''", ";"]);
+    }
+
+    #[test]
+    fn allow_directives_are_harvested_with_lines() {
+        let src = "let a = 1; // simcheck: allow(wall-clock)\n\
+                   // simcheck: allow(float-ord, unordered-map)\n\
+                   let b = 2;\n";
+        let lx = lex(src);
+        let got: Vec<(u32, &str)> = lx
+            .allows
+            .iter()
+            .map(|a| (a.line, a.rule.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            [(1, "wall-clock"), (2, "float-ord"), (2, "unordered-map")]
+        );
+        assert!(lx.comment_only(2));
+        assert!(!lx.comment_only(3));
+    }
+
+    #[test]
+    fn placeholder_directives_in_prose_are_ignored() {
+        let lx = lex("// suppress with simcheck: allow(<rule>) on the line\n");
+        assert!(lx.allows.is_empty());
+        // ...but a typo'd concrete name is kept for stale-allow to report.
+        let lx = lex("// simcheck: allow(wall_clock)\n");
+        assert_eq!(lx.allows.len(), 1);
+    }
+
+    #[test]
+    fn directives_inside_strings_are_not_harvested() {
+        let lx = lex("let s = \"// simcheck: allow(wall-clock)\";\n");
+        assert!(lx.allows.is_empty());
+    }
+
+    #[test]
+    fn line_continuation_escapes_count_lines() {
+        // `\` before a newline inside a string is the continuation escape;
+        // the newline must still advance the line counter.
+        let src = "let s = \"a \\\n   b \\\n   c\";\nlet after = 1;\n";
+        let lx = lex(src);
+        let after = lx.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+}

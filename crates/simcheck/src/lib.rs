@@ -1,419 +1,245 @@
-//! Static determinism lints for the simulation workspace.
+//! Workspace-aware static determinism analyzer for the simulation tree.
 //!
 //! The DES promises bit-identical replays from a seed. That promise is easy
-//! to break from anywhere in the tree: one `Instant::now()` in a hot path,
-//! one `HashMap` iteration feeding task scheduling, one OS thread racing the
-//! virtual clock. `simcheck` walks the sim-visible crates token-by-token
-//! (line-oriented scanner, no parser dependencies — the build container is
-//! offline) and reports constructs that let wall-clock time, OS entropy, or
-//! unordered iteration leak into simulation results:
+//! to break from anywhere: one `Instant::now()` behind a helper function,
+//! one `HashMap` iteration feeding task scheduling, one float `sort_by`
+//! collapsing NaN to `Equal` on the way into the event schedule. `simcheck`
+//! is the static half of the defense (the DES's trace hash and quiescence
+//! reports are the runtime half): a multi-pass analyzer built from
 //!
-//! | rule            | flags                                              |
-//! |-----------------|----------------------------------------------------|
-//! | `wall-clock`    | `std::time::Instant` / `SystemTime` (incl. `::now`)|
-//! | `os-entropy`    | `thread_rng`, `OsRng`, `from_entropy`              |
-//! | `thread-spawn`  | `thread::spawn` / `thread::scope` / `thread::Builder` |
-//! | `unordered-map` | `HashMap` / `HashSet` in sim-visible modules       |
-//! | `refcell-await` | `RefCell` borrow guards held across an `.await`    |
+//! 1. a dependency-free, multi-line-aware lexer ([`lexer`]) — raw strings,
+//!    nested block comments, char/lifetime disambiguation;
+//! 2. a workspace symbol index ([`index`]) — per-crate module map, fn
+//!    definitions with impl context, `use` renames;
+//! 3. a call-graph taint pass ([`taint`]) — wall-clock / OS-entropy /
+//!    thread-spawn sources propagate transitively, so a wrapper around
+//!    `SystemTime::now()` taints every sim-visible caller, and findings
+//!    carry the full call chain;
+//! 4. the rule families ([`rules`]): `wall-clock`, `os-entropy`,
+//!    `thread-spawn`, `unordered-map`, `yield-borrow`, `float-ord`,
+//!    `stale-allow`, `match-leak`.
 //!
-//! A finding on line N is suppressed by `// simcheck: allow(<rule>)` either
-//! on line N itself or alone on line N-1. Suppressions are per-line and
-//! per-rule on purpose: a blanket opt-out would rot.
-//!
-//! The scanner strips comments and string/char literals before matching, so
-//! prose about `HashMap` never trips the lint; the `refcell-await` rule is a
-//! brace-depth heuristic (a `let` whose initializer *ends* in `borrow()` /
-//! `borrow_mut()` is treated as a live guard until its block closes, `drop`
-//! of the binding, or end of scan).
+//! Findings carry a severity tier from the root they came from (sim-visible
+//! crate sources are `deny`, host-side and test code `warn`), a stable
+//! fingerprint for `--baseline` ratcheting, and — for taint findings — the
+//! call chain down to the concrete source line. A finding on line N is
+//! suppressed by a `simcheck: allow` line comment naming the rule, on line
+//! N itself or alone on line N-1; suppressions that suppress nothing are
+//! themselves findings (`stale-allow`).
 
-use std::fmt;
+pub mod index;
+pub mod lexer;
+pub mod rules;
+pub mod taint;
+
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-/// One lint rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Rule {
-    /// Wall-clock time reached from simulation code.
-    WallClock,
-    /// OS entropy reached from simulation code.
-    OsEntropy,
-    /// OS threads spawned from simulation code.
-    ThreadSpawn,
-    /// Iteration-order-unstable containers in sim-visible modules.
-    UnorderedMap,
-    /// `RefCell` borrow guard held across an `.await`.
-    RefcellAwait,
-}
+use index::Workspace;
+use rules::stale_allow::DirectiveKey;
+use rules::RawFinding;
+pub use rules::{Rule, Severity};
 
-impl Rule {
-    /// All rules, in reporting order.
-    pub const ALL: [Rule; 5] = [
-        Rule::WallClock,
-        Rule::OsEntropy,
-        Rule::ThreadSpawn,
-        Rule::UnorderedMap,
-        Rule::RefcellAwait,
-    ];
-
-    /// The kebab-case name used in reports and `allow(..)` directives.
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::WallClock => "wall-clock",
-            Rule::OsEntropy => "os-entropy",
-            Rule::ThreadSpawn => "thread-spawn",
-            Rule::UnorderedMap => "unordered-map",
-            Rule::RefcellAwait => "refcell-await",
-        }
-    }
-
-    /// Why the construct is hazardous in this workspace.
-    pub fn why(self) -> &'static str {
-        match self {
-            Rule::WallClock => {
-                "wall-clock time varies run to run; use the virtual clock (sim.now())"
-            }
-            Rule::OsEntropy => {
-                "OS entropy breaks seeded replay; use SmallRng::seed_from_u64 via the Sim"
-            }
-            Rule::ThreadSpawn => {
-                "OS threads race the single-threaded executor; use sim.spawn_named(..)"
-            }
-            Rule::UnorderedMap => {
-                "HashMap/HashSet iteration order is unstable; use BTreeMap/BTreeSet"
-            }
-            Rule::RefcellAwait => {
-                "a RefCell guard held across .await panics when another task borrows"
-            }
-        }
-    }
-}
-
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
+/// One source file handed to the analyzer.
+pub struct SourceSpec {
+    /// Display path (used in reports, crate grouping, and fingerprints).
+    pub path: String,
+    /// Severity tier for findings in this file.
+    pub tier: Severity,
+    /// File contents.
+    pub source: String,
 }
 
 /// One reported hazard.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Path as given to the scanner.
+    /// Display path of the file.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
     /// Which rule fired.
     pub rule: Rule,
-    /// Specifics (what matched, and where it started for multi-line rules).
+    /// Severity tier (from the scanned root).
+    pub severity: Severity,
+    /// Specifics (what matched; for taint findings, what is reached).
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// Call chain for taint findings (empty otherwise): call site →
+    /// intermediate calls → concrete source line.
+    pub chain: Vec<String>,
+    /// Stable fingerprint (`f-<16 hex>`): rule + file + normalized snippet
+    /// + occurrence index — survives unrelated line drift, for baselines.
+    pub fingerprint: String,
 }
 
-/// A source line after comment/string stripping.
-struct ScannedLine {
-    /// Identifier / punctuation tokens of the code portion.
-    tokens: Vec<String>,
-    /// Rules allowed by `// simcheck: allow(..)` in this line's comments.
-    allows: Vec<String>,
-    /// True when the line held no code at all (comment/blank only).
-    comment_only: bool,
+/// The result of one analysis run.
+pub struct Analysis {
+    /// All unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
 }
 
-/// Splits source into per-line token streams, stripping comments and
-/// string/char literals but harvesting `simcheck: allow(..)` directives.
-fn scan_lines(source: &str) -> Vec<ScannedLine> {
-    let mut out = Vec::new();
-    let mut in_block_comment = 0usize; // nesting depth of /* */
-    for raw in source.lines() {
-        let mut tokens: Vec<String> = Vec::new();
-        let mut allows = Vec::new();
-        let mut ident = String::new();
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut i = 0usize;
-        let flush = |ident: &mut String, tokens: &mut Vec<String>| {
-            if !ident.is_empty() {
-                tokens.push(std::mem::take(ident));
-            }
-        };
-        while i < bytes.len() {
-            let c = bytes[i];
-            if in_block_comment > 0 {
-                if c == '*' && bytes.get(i + 1) == Some(&'/') {
-                    in_block_comment -= 1;
-                    i += 2;
-                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
-                    in_block_comment += 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match c {
-                '/' if bytes.get(i + 1) == Some(&'/') => {
-                    let comment: String = bytes[i..].iter().collect();
-                    harvest_allows(&comment, &mut allows);
-                    break;
-                }
-                '/' if bytes.get(i + 1) == Some(&'*') => {
-                    flush(&mut ident, &mut tokens);
-                    in_block_comment += 1;
-                    i += 2;
-                }
-                '"' => {
-                    flush(&mut ident, &mut tokens);
-                    tokens.push("\"\"".to_string());
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            '\\' => i += 2,
-                            '"' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                }
-                'r' if bytes.get(i + 1) == Some(&'"') || bytes.get(i + 1) == Some(&'#') => {
-                    // Raw string: r"..." or r#"..."# (single # level is
-                    // enough for this workspace).
-                    flush(&mut ident, &mut tokens);
-                    let hashed = bytes.get(i + 1) == Some(&'#');
-                    let close: &[char] = if hashed { &['"', '#'] } else { &['"'] };
-                    i += if hashed { 3 } else { 2 };
-                    while i < bytes.len() {
-                        if bytes[i..].starts_with(close) {
-                            i += close.len();
-                            break;
-                        }
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal ('x', '\n') vs lifetime ('a). A literal
-                    // has a closing quote within a few chars.
-                    let rest: String = bytes[i + 1..].iter().take(4).collect();
-                    let is_char = rest.starts_with('\\')
-                        || rest.chars().nth(1) == Some('\'')
-                        || rest.starts_with('\'');
-                    if is_char {
-                        flush(&mut ident, &mut tokens);
-                        i += 1;
-                        if bytes.get(i) == Some(&'\\') {
-                            i += 1;
-                        }
-                        while i < bytes.len() && bytes[i] != '\'' {
-                            i += 1;
-                        }
-                        i += 1;
-                    } else {
-                        // Lifetime: skip the quote, keep the identifier out
-                        // of the token stream by consuming it here.
-                        i += 1;
-                        while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
-                            i += 1;
-                        }
-                    }
-                }
-                c if c.is_alphanumeric() || c == '_' => {
-                    ident.push(c);
-                    i += 1;
-                }
-                ':' if bytes.get(i + 1) == Some(&':') => {
-                    flush(&mut ident, &mut tokens);
-                    tokens.push("::".to_string());
-                    i += 2;
-                }
-                c if c.is_whitespace() => {
-                    flush(&mut ident, &mut tokens);
-                    i += 1;
-                }
-                c => {
-                    flush(&mut ident, &mut tokens);
-                    tokens.push(c.to_string());
-                    i += 1;
-                }
-            }
-        }
-        if !ident.is_empty() {
-            tokens.push(ident);
-        }
-        let comment_only = tokens.is_empty();
-        out.push(ScannedLine {
-            tokens,
-            allows,
-            comment_only,
-        });
-    }
-    out
-}
-
-/// Extracts rule names from `simcheck: allow(rule)` occurrences in `text`.
-fn harvest_allows(text: &str, allows: &mut Vec<String>) {
-    let mut rest = text;
-    while let Some(pos) = rest.find("simcheck: allow(") {
-        let after = &rest[pos + "simcheck: allow(".len()..];
-        if let Some(end) = after.find(')') {
-            for rule in after[..end].split(',') {
-                allows.push(rule.trim().to_string());
-            }
-            rest = &after[end..];
-        } else {
-            break;
-        }
+impl Analysis {
+    /// Findings that are not in `baseline`, i.e. would fail a gated run.
+    pub fn new_deny<'a>(&'a self, baseline: &BTreeSet<String>) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny && !baseline.contains(&f.fingerprint))
+            .collect()
     }
 }
 
-/// A `let` binding whose initializer ended in `borrow()` / `borrow_mut()`.
-struct OpenBorrow {
-    name: String,
-    depth: i32,
-    line: usize,
-    mutable_borrow: bool,
-}
+/// Runs the full pipeline over in-memory sources.
+pub fn analyze_sources(specs: Vec<SourceSpec>) -> Analysis {
+    let files_scanned = specs.len();
+    let ws = Workspace::build(
+        specs
+            .into_iter()
+            .map(|s| (s.path, s.tier, s.source))
+            .collect(),
+    );
 
-/// Scans one file's source and returns its findings (suppressions applied).
-pub fn scan_source(file: &str, source: &str) -> Vec<Finding> {
-    let lines = scan_lines(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut depth: i32 = 0;
-    let mut open_borrows: Vec<OpenBorrow> = Vec::new();
-
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let t = &line.tokens;
-        let mut emit = |rule: Rule, message: String| {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                rule,
-                message,
-                snippet: raw_lines.get(idx).map_or("", |s| s.trim()).to_string(),
-            });
-        };
-
-        // --- single-line token rules ------------------------------------
-        for (i, tok) in t.iter().enumerate() {
-            let prev2 = i.checked_sub(2).map(|j| (t[j].as_str(), t[i - 1].as_str()));
-            let next2 = (
-                t.get(i + 1).map(String::as_str),
-                t.get(i + 2).map(String::as_str),
-            );
-            match tok.as_str() {
-                "Instant" | "SystemTime" => {
-                    let in_std_time = prev2 == Some(("time", "::"));
-                    let called_now = next2 == (Some("::"), Some("now"));
-                    if in_std_time || called_now {
-                        emit(Rule::WallClock, format!("`{tok}` reads the OS clock"));
-                    }
-                }
-                "thread_rng" | "OsRng" | "from_entropy" => {
-                    emit(Rule::OsEntropy, format!("`{tok}` draws OS entropy"));
-                }
-                "spawn" | "scope" | "Builder" if prev2 == Some(("thread", "::")) => {
-                    emit(
-                        Rule::ThreadSpawn,
-                        format!("`thread::{tok}` starts an OS thread"),
-                    );
-                }
-                "HashMap" | "HashSet" => {
-                    emit(
-                        Rule::UnorderedMap,
-                        format!("`{tok}` has unstable iteration order"),
-                    );
-                }
-                _ => {}
-            }
-        }
-
-        // --- refcell-await: track guards across lines -------------------
-        // (a) `let [mut] NAME = ... borrow[_mut]();` with nothing chained
-        //     after the call → NAME is a live guard.
-        if t.first().map(String::as_str) == Some("let") {
-            let mut j = 1;
-            if t.get(j).map(String::as_str) == Some("mut") {
-                j += 1;
-            }
-            if let Some(name) = t.get(j) {
-                if let Some(bpos) = t.iter().rposition(|x| x == "borrow" || x == "borrow_mut") {
-                    // `borrow ( )` then `;` (or nothing else on the line):
-                    // a chained `.` means the guard is a dropped temporary.
-                    let after: Vec<&str> = t[bpos + 1..].iter().map(String::as_str).collect();
-                    let guard_binding = matches!(after.as_slice(), ["(", ")", ";"] | ["(", ")"]);
-                    if guard_binding {
-                        open_borrows.push(OpenBorrow {
-                            name: name.clone(),
-                            depth,
-                            line: lineno,
-                            mutable_borrow: t[bpos] == "borrow_mut",
-                        });
-                    }
-                }
-            }
-        } else if let Some(bpos) = t.iter().position(|x| x == "borrow" || x == "borrow_mut") {
-            // (b) a temporary guard and an `.await` in the same statement.
-            let has_await_after = t[bpos..].windows(2).any(|w| w[0] == "." && w[1] == "await");
-            if has_await_after {
-                emit(
-                    Rule::RefcellAwait,
-                    format!("`{}()` temporary is live across `.await`", t[bpos]),
-                );
-            }
-        }
-
-        // (c) `.await` while a guard from (a) is still in scope.
-        let awaits_here = t.windows(2).any(|w| w[0] == "." && w[1] == "await");
-        if awaits_here {
-            for b in &open_borrows {
-                let call = if b.mutable_borrow {
-                    "borrow_mut"
-                } else {
-                    "borrow"
-                };
-                emit(
-                    Rule::RefcellAwait,
-                    format!(
-                        "guard `{}` ({}() on line {}) is held across this `.await`",
-                        b.name, call, b.line
-                    ),
-                );
-            }
-        }
-
-        // (d) scope/drop bookkeeping.
-        for tok in t {
-            match tok.as_str() {
-                "{" => depth += 1,
-                "}" => {
-                    depth -= 1;
-                    open_borrows.retain(|b| b.depth <= depth);
-                }
-                _ => {}
-            }
-        }
-        for w in t.windows(3) {
-            if w[0] == "drop" && w[1] == "(" {
-                open_borrows.retain(|b| b.name != w[2]);
-            }
-        }
+    // Per-file rule passes (pre-suppression).
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for fi in 0..ws.files.len() {
+        rules::tokens::scan(&ws, fi, &mut raw);
+        rules::float_ord::scan(&ws, fi, &mut raw);
+        rules::yield_borrow::scan(&ws, fi, &mut raw);
+        rules::match_leak::scan(&ws, fi, &mut raw);
     }
 
-    // --- apply suppressions ---------------------------------------------
-    findings.retain(|f| {
-        let here = &lines[f.line - 1];
-        if here.allows.iter().any(|a| a == f.rule.name()) {
-            return false;
-        }
-        if f.line >= 2 {
-            let above = &lines[f.line - 2];
-            if above.comment_only && above.allows.iter().any(|a| a == f.rule.name()) {
-                return false;
+    // Suppression pass 1: drop allowed findings, remembering which
+    // directives earned their keep.
+    let mut used: BTreeSet<DirectiveKey> = BTreeSet::new();
+    let mut kept = apply_suppressions(&ws, raw, &mut used);
+
+    // Taint pass: unsuppressed direct sources seed the call-graph walk.
+    let seeds: Vec<(usize, u32, Rule, String)> = kept
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.rule,
+                Rule::WallClock | Rule::OsEntropy | Rule::ThreadSpawn
+            )
+        })
+        .map(|f| (f.file, f.line, f.rule, f.message.clone()))
+        .collect();
+    let edges = taint::call_edges(&ws);
+    let taint_raw: Vec<RawFinding> = taint::propagate(&ws, &edges, &seeds)
+        .into_iter()
+        .map(|t| RawFinding {
+            file: t.file,
+            line: t.line,
+            rule: t.rule,
+            message: t.message,
+            chain: t.chain,
+        })
+        .collect();
+    kept.extend(apply_suppressions(&ws, taint_raw, &mut used));
+
+    // Stale-allow pass: every directive that suppressed nothing.
+    let mut stale: Vec<RawFinding> = Vec::new();
+    rules::stale_allow::scan(&ws, &used, &mut stale);
+    kept.extend(apply_suppressions(&ws, stale, &mut used));
+
+    // Finalize: display paths, severity, snippets, sort, fingerprints.
+    let mut findings: Vec<Finding> = kept
+        .into_iter()
+        .map(|f| {
+            let entry = &ws.files[f.file];
+            Finding {
+                file: entry.path.clone(),
+                line: f.line as usize,
+                rule: f.rule,
+                severity: entry.tier,
+                message: f.message,
+                snippet: entry
+                    .raw_lines
+                    .get(f.line as usize - 1)
+                    .map_or("", |s| s.trim())
+                    .to_string(),
+                chain: f.chain,
+                fingerprint: String::new(),
             }
-        }
-        true
+        })
+        .collect();
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.name(), &a.message).cmp(&(
+            &b.file,
+            b.line,
+            b.rule.name(),
+            &b.message,
+        ))
     });
-    findings
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for f in &mut findings {
+        let norm: String = f.snippet.split_whitespace().collect::<Vec<_>>().join(" ");
+        let mut occurrence = 0usize;
+        loop {
+            let fp = format!(
+                "f-{:016x}",
+                fnv1a64(&format!(
+                    "{}|{}|{}|{}",
+                    f.rule.name(),
+                    f.file,
+                    norm,
+                    occurrence
+                ))
+            );
+            if seen.insert(fp.clone()) {
+                f.fingerprint = fp;
+                break;
+            }
+            occurrence += 1;
+        }
+    }
+    Analysis {
+        findings,
+        files_scanned,
+    }
+}
+
+/// Drops findings covered by an allow directive, recording directive usage.
+fn apply_suppressions(
+    ws: &Workspace,
+    raw: Vec<RawFinding>,
+    used: &mut BTreeSet<DirectiveKey>,
+) -> Vec<RawFinding> {
+    let mut kept = Vec::new();
+    for f in raw {
+        match ws.files[f.file]
+            .lexed
+            .suppressed(f.line as usize, f.rule.name())
+        {
+            Some(dir_line) => {
+                used.insert((f.file, dir_line as u32, f.rule.name().to_string()));
+            }
+            None => kept.push(f),
+        }
+    }
+    kept
+}
+
+/// FNV-1a over a string.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Scans a single in-memory file at deny tier (per-file rules + intra-file
+/// taint). Unit-test convenience; the CLI always goes through [`analyze`].
+pub fn scan_source(file: &str, source: &str) -> Vec<Finding> {
+    analyze_sources(vec![SourceSpec {
+        path: file.to_string(),
+        tier: Severity::Deny,
+        source: source.to_string(),
+    }])
+    .findings
 }
 
 /// Recursively collects `.rs` files under `root`, sorted for determinism.
@@ -438,25 +264,44 @@ fn rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scans every `.rs` file under the given roots (files or directories).
-pub fn scan_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    for root in roots {
+/// Scans every `.rs` file under the tiered roots. Display paths are made
+/// relative to `strip_prefix` when given (keeps fingerprints machine-
+/// independent for baselines).
+pub fn analyze(
+    roots: &[(PathBuf, Severity)],
+    strip_prefix: Option<&Path>,
+) -> std::io::Result<Analysis> {
+    let mut specs = Vec::new();
+    for (root, tier) in roots {
+        let mut files = Vec::new();
         rs_files(root, &mut files)?;
+        for file in files {
+            let display = strip_prefix
+                .and_then(|p| file.strip_prefix(p).ok())
+                .unwrap_or(&file)
+                .display()
+                .to_string()
+                .replace('\\', "/");
+            specs.push(SourceSpec {
+                path: display,
+                tier: *tier,
+                source: std::fs::read_to_string(&file)?,
+            });
+        }
     }
-    let mut findings = Vec::new();
-    for file in files {
-        let source = std::fs::read_to_string(&file)?;
-        findings.extend(scan_source(&file.display().to_string(), &source));
-    }
-    Ok(findings)
+    Ok(analyze_sources(specs))
 }
 
-/// The sim-visible source roots scanned by default, relative to the
-/// workspace root. `cluster` and `bench` are deliberately absent: they
-/// parallelize whole (single-threaded) `Sim`s across OS threads and time
-/// real benchmarks, which is exactly what the lints forbid *inside* a sim.
-pub const DEFAULT_ROOTS: [&str; 7] = [
+/// Back-compat helper: scans paths at deny tier.
+pub fn scan_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let tiered: Vec<(PathBuf, Severity)> =
+        roots.iter().map(|r| (r.clone(), Severity::Deny)).collect();
+    Ok(analyze(&tiered, None)?.findings)
+}
+
+/// Sim-visible source roots: findings here are `deny` severity — they can
+/// put nondeterminism directly into an event schedule or a result record.
+pub const DENY_ROOTS: [&str; 7] = [
     "crates/des/src",
     "crates/net/src",
     "crates/store/src",
@@ -466,19 +311,55 @@ pub const DEFAULT_ROOTS: [&str; 7] = [
     "crates/workloads/src",
 ];
 
+/// Host-side and test roots: scanned, but findings are `warn` severity.
+/// `cluster` and `bench` legitimately parallelise whole (single-threaded)
+/// `Sim`s across OS threads and time real benchmarks — intentional sites
+/// carry inline justifications instead of being exempt from scanning.
+/// `crates/simcheck/tests` is excluded: its fixture corpus is hazardous on
+/// purpose.
+pub const WARN_ROOTS: [&str; 11] = [
+    "crates/bench/benches",
+    "crates/bench/src",
+    "crates/cluster/src",
+    "crates/core/tests",
+    "crates/des/tests",
+    "crates/hdfs/tests",
+    "crates/simcheck/src",
+    "crates/store/tests",
+    "examples",
+    "src",
+    "tests",
+];
+
+/// The default tiered scan roots, joined onto `workspace` and filtered to
+/// the ones that exist.
+pub fn default_roots(workspace: &Path) -> Vec<(PathBuf, Severity)> {
+    DENY_ROOTS
+        .iter()
+        .map(|r| (r, Severity::Deny))
+        .chain(WARN_ROOTS.iter().map(|r| (r, Severity::Warn)))
+        .map(|(r, s)| (workspace.join(r), s))
+        .filter(|(p, _)| p.exists())
+        .collect()
+}
+
 /// Renders findings as human-readable text, one block per finding.
 pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
         out.push_str(&format!(
-            "{}:{}: [{}] {}\n    {}\n    note: {}\n",
+            "{}:{}: {} [{}] {}\n    {}\n",
             f.file,
             f.line,
+            f.severity.name(),
             f.rule.name(),
             f.message,
             f.snippet,
-            f.rule.why(),
         ));
+        for (i, hop) in f.chain.iter().enumerate() {
+            out.push_str(&format!("    {}{}\n", "  ".repeat(i), hop));
+        }
+        out.push_str(&format!("    note: {}\n", f.rule.why()));
     }
     let per_rule: Vec<String> = Rule::ALL
         .iter()
@@ -489,9 +370,15 @@ pub fn render_text(findings: &[Finding]) -> String {
     if findings.is_empty() {
         out.push_str("simcheck: no determinism hazards found\n");
     } else {
+        let deny = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count();
         out.push_str(&format!(
-            "simcheck: {} finding(s): {}\n",
+            "simcheck: {} finding(s) ({} deny, {} warn): {}\n",
             findings.len(),
+            deny,
+            findings.len() - deny,
             per_rule.join(", ")
         ));
     }
@@ -514,26 +401,93 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders findings as a machine-readable JSON report (hand-rolled, matching
-/// the workspace's serde-free convention).
-pub fn render_json(findings: &[Finding]) -> String {
-    let items: Vec<String> = findings
+/// Renders the analysis as a SARIF-style JSON report: rule metadata under
+/// `tool.rules`, findings with severity / chain / fingerprint, and a
+/// summary block. Hand-rolled, matching the workspace's serde-free
+/// convention.
+pub fn render_json(analysis: &Analysis, baseline: &BTreeSet<String>) -> String {
+    let rules_meta: Vec<String> = Rule::ALL
         .iter()
-        .map(|f| {
+        .map(|r| {
             format!(
-                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"}}",
-                json_escape(&f.file),
-                f.line,
-                f.rule.name(),
-                json_escape(&f.message),
-                json_escape(&f.snippet),
+                "{{\"id\":\"{}\",\"summary\":\"{}\",\"why\":\"{}\",\"remedy\":\"{}\"}}",
+                r.name(),
+                json_escape(r.summary()),
+                json_escape(r.why()),
+                json_escape(r.remedy()),
             )
         })
         .collect();
+    let items: Vec<String> = analysis
+        .findings
+        .iter()
+        .map(|f| {
+            let chain: Vec<String> = f
+                .chain
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect();
+            format!(
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"baselined\":{},\"file\":\"{}\",\
+                 \"line\":{},\"message\":\"{}\",\"snippet\":\"{}\",\"chain\":[{}],\
+                 \"fingerprint\":\"{}\"}}",
+                f.rule.name(),
+                f.severity.name(),
+                baseline.contains(&f.fingerprint),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message),
+                json_escape(&f.snippet),
+                chain.join(","),
+                f.fingerprint,
+            )
+        })
+        .collect();
+    let deny = analysis
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let baselined = analysis
+        .findings
+        .iter()
+        .filter(|f| baseline.contains(&f.fingerprint))
+        .count();
     format!(
-        "{{\"findings\":[{}],\"count\":{}}}\n",
+        "{{\"schema\":\"simcheck/2\",\"tool\":{{\"name\":\"simcheck\",\"rules\":[{}]}},\
+         \"findings\":[{}],\"summary\":{{\"total\":{},\"deny\":{},\"warn\":{},\
+         \"baselined\":{},\"new_deny\":{},\"files\":{}}}}}\n",
+        rules_meta.join(","),
         items.join(","),
-        findings.len()
+        analysis.findings.len(),
+        deny,
+        analysis.findings.len() - deny,
+        baselined,
+        analysis.new_deny(baseline).len(),
+        analysis.files_scanned,
+    )
+}
+
+/// Loads a baseline file: the set of grandfathered fingerprints.
+pub fn load_baseline(path: &Path) -> std::io::Result<BTreeSet<String>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .split('"')
+        .filter(|s| s.starts_with("f-") && s.len() == 18)
+        .map(str::to_string)
+        .collect())
+}
+
+/// Serializes a baseline for `--update-baseline`.
+pub fn render_baseline(analysis: &Analysis) -> String {
+    let fps: Vec<String> = analysis
+        .findings
+        .iter()
+        .map(|f| format!("\"{}\"", f.fingerprint))
+        .collect();
+    format!(
+        "{{\"schema\":\"simcheck-baseline/1\",\"fingerprints\":[{}]}}\n",
+        fps.join(",")
     )
 }
 
@@ -542,91 +496,14 @@ mod tests {
     use super::*;
 
     fn rules_of(src: &str) -> Vec<Rule> {
-        scan_source("t.rs", src)
+        scan_source("crates/x/src/t.rs", src)
             .into_iter()
             .map(|f| f.rule)
             .collect()
     }
 
     #[test]
-    fn wall_clock_flags_now_and_paths() {
-        assert_eq!(rules_of("let t = Instant::now();"), vec![Rule::WallClock]);
-        assert_eq!(
-            rules_of("use std::time::SystemTime;"),
-            vec![Rule::WallClock]
-        );
-        // A sim-local type named SimInstant must not trip the rule.
-        assert!(rules_of("let t: SimInstant = sim.now();").is_empty());
-    }
-
-    #[test]
-    fn os_entropy_and_thread_spawn_flag() {
-        assert_eq!(
-            rules_of("let mut r = rand::thread_rng();"),
-            vec![Rule::OsEntropy]
-        );
-        assert_eq!(
-            rules_of("std::thread::spawn(move || work());"),
-            vec![Rule::ThreadSpawn]
-        );
-        // A sim spawn is fine.
-        assert!(rules_of("sim.spawn(async move {});").is_empty());
-    }
-
-    #[test]
-    fn unordered_map_flags_types_not_strings() {
-        assert_eq!(
-            rules_of("let m: HashMap<u32, u32> = HashMap::new();"),
-            vec![Rule::UnorderedMap, Rule::UnorderedMap]
-        );
-        assert!(rules_of("println!(\"HashMap is unordered\");").is_empty());
-        assert!(rules_of("// HashMap would be wrong here").is_empty());
-    }
-
-    #[test]
-    fn refcell_guard_across_await_flags() {
-        let src = "async fn f(x: &RefCell<u32>) {\n\
-                   let g = x.borrow_mut();\n\
-                   tick().await;\n\
-                   }\n";
-        assert_eq!(rules_of(src), vec![Rule::RefcellAwait]);
-    }
-
-    #[test]
-    fn refcell_guard_dropped_before_await_is_clean() {
-        let src = "async fn f(x: &RefCell<u32>) {\n\
-                   let g = x.borrow_mut();\n\
-                   drop(g);\n\
-                   tick().await;\n\
-                   }\n";
-        assert!(rules_of(src).is_empty());
-        let scoped = "async fn f(x: &RefCell<u32>) {\n\
-                      {\n let g = x.borrow_mut();\n }\n\
-                      tick().await;\n\
-                      }\n";
-        assert!(rules_of(scoped).is_empty());
-    }
-
-    #[test]
-    fn refcell_temporary_copy_is_clean() {
-        // `.clone()` / field reads drop the guard at statement end.
-        let src = "async fn f(x: &RefCell<Vec<u32>>) {\n\
-                   let v = x.borrow().clone();\n\
-                   tick().await;\n\
-                   }\n";
-        assert!(rules_of(src).is_empty());
-    }
-
-    #[test]
-    fn refcell_same_statement_await_flags() {
-        assert_eq!(
-            rules_of("ch.borrow_mut().send(v).await;"),
-            vec![Rule::RefcellAwait]
-        );
-    }
-
-    #[test]
-    fn same_line_suppression_applies() {
+    fn same_line_suppression_applies_and_is_not_stale() {
         assert!(rules_of("let m = HashMap::new(); // simcheck: allow(unordered-map)").is_empty());
     }
 
@@ -635,9 +512,10 @@ mod tests {
         let src = "// not iterated, key order irrelevant: simcheck: allow(unordered-map)\n\
                    let m = HashMap::new();\n";
         assert!(rules_of(src).is_empty());
-        // ...but only for the named rule.
-        let wrong = "// simcheck: allow(wall-clock)\nlet m = HashMap::new();\n";
-        assert_eq!(rules_of(wrong), vec![Rule::UnorderedMap]);
+        // ...but only for the named rule — and the mismatched directive is
+        // itself reported as stale.
+        let wrong = "// simcheck: allow(float-ord)\nlet m = HashMap::new();\n";
+        assert_eq!(rules_of(wrong), vec![Rule::StaleAllow, Rule::UnorderedMap]);
     }
 
     #[test]
@@ -645,7 +523,9 @@ mod tests {
         let src = "// simcheck: allow(unordered-map)\n\
                    let a = 1;\n\
                    let m = HashMap::new();\n";
-        assert_eq!(rules_of(src), vec![Rule::UnorderedMap]);
+        let got = rules_of(src);
+        assert!(got.contains(&Rule::UnorderedMap), "{got:?}");
+        assert!(got.contains(&Rule::StaleAllow), "{got:?}");
     }
 
     #[test]
@@ -655,10 +535,92 @@ mod tests {
     }
 
     #[test]
+    fn suppressed_source_does_not_taint_callers() {
+        let src = "fn host_timer() -> u64 {\n\
+                   let t = Instant::now(); // simcheck: allow(wall-clock) bench-only ETA\n\
+                   t.elapsed().as_nanos() as u64\n\
+                   }\n\
+                   fn caller() -> u64 { host_timer() }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn unsuppressed_source_taints_callers_with_chain() {
+        let src = "fn stamp() -> u64 {\n\
+                   let t = Instant::now();\n\
+                   0\n\
+                   }\n\
+                   fn caller() -> u64 { stamp() }\n";
+        let findings = scan_source("crates/x/src/t.rs", src);
+        let taint = findings
+            .iter()
+            .find(|f| f.line == 5)
+            .expect("call site flagged");
+        assert_eq!(taint.rule, Rule::WallClock);
+        assert_eq!(taint.chain.len(), 2, "{:?}", taint.chain);
+    }
+
+    #[test]
+    fn severity_tracks_tier() {
+        let warn = analyze_sources(vec![SourceSpec {
+            path: "tests/t.rs".into(),
+            tier: Severity::Warn,
+            source: "let m = HashMap::new();".into(),
+        }]);
+        assert_eq!(warn.findings[0].severity, Severity::Warn);
+        assert!(warn.new_deny(&BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let src = "let a = HashMap::new();\nlet b = 1;\nlet a = HashMap::new();\n";
+        let f1 = scan_source("crates/x/src/t.rs", src);
+        let f2 = scan_source("crates/x/src/t.rs", src);
+        let fp1: Vec<&String> = f1.iter().map(|f| &f.fingerprint).collect();
+        let fp2: Vec<&String> = f2.iter().map(|f| &f.fingerprint).collect();
+        assert_eq!(fp1, fp2);
+        let set: BTreeSet<&String> = fp1.iter().copied().collect();
+        assert_eq!(set.len(), fp1.len(), "duplicate fingerprints");
+    }
+
+    #[test]
+    fn baseline_gates_only_new_deny_findings() {
+        let src = "let m = HashMap::new();\n";
+        let analysis = analyze_sources(vec![SourceSpec {
+            path: "crates/x/src/t.rs".into(),
+            tier: Severity::Deny,
+            source: src.into(),
+        }]);
+        assert_eq!(analysis.new_deny(&BTreeSet::new()).len(), 1);
+        let baseline: BTreeSet<String> = analysis
+            .findings
+            .iter()
+            .map(|f| f.fingerprint.clone())
+            .collect();
+        assert!(analysis.new_deny(&baseline).is_empty());
+        // Round-trip through the serialized form.
+        let text = render_baseline(&analysis);
+        let parsed: BTreeSet<String> = text
+            .split('"')
+            .filter(|s| s.starts_with("f-") && s.len() == 18)
+            .map(str::to_string)
+            .collect();
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
-        let findings = scan_source("a.rs", "let t = Instant::now();\n");
-        let json = render_json(&findings);
+        let analysis = analyze_sources(vec![SourceSpec {
+            path: "a.rs".into(),
+            tier: Severity::Deny,
+            source: "let t = Instant::now();\n".into(),
+        }]);
+        let json = render_json(&analysis, &BTreeSet::new());
+        assert!(json.contains("\"schema\":\"simcheck/2\""));
         assert!(json.contains("\"rule\":\"wall-clock\""));
-        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"new_deny\":1"));
+        assert!(json.contains("\"fingerprint\":\"f-"));
+        // Rule metadata rides along for report consumers.
+        assert!(json.contains("\"id\":\"match-leak\""));
     }
 }

@@ -1,56 +1,161 @@
-//! CLI for the workspace determinism lints.
+//! CLI for the workspace determinism analyzer.
 //!
 //! ```text
-//! cargo run -p simcheck                # scan the sim-visible crates
-//! cargo run -p simcheck -- --json      # machine-readable report
-//! cargo run -p simcheck -- path1 ...   # scan specific files/dirs
+//! cargo run -p simcheck                          # tiered default roots
+//! cargo run -p simcheck -- --json                # machine-readable report
+//! cargo run -p simcheck -- --baseline FILE       # hide grandfathered findings
+//! cargo run -p simcheck -- --update-baseline F   # ratchet: write current set
+//! cargo run -p simcheck -- --explain RULE        # what a rule means and why
+//! cargo run -p simcheck -- path1 ...             # scan specific files/dirs
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//! With no paths, scans the tiered default roots (sim-visible crate sources
+//! at deny severity; host-side and test roots at warn). Explicit paths scan
+//! at deny severity. Exit codes: `0` no deny findings outside the baseline,
+//! `1` at least one new deny finding, `2` usage or I/O error.
 
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-fn main() {
+use simcheck::{Rule, Severity};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simcheck [--json] [--baseline FILE] [--update-baseline FILE] [PATH..]\n\
+         \x20      simcheck --explain RULE\n\
+         rules: {}",
+        Rule::ALL
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
     let mut json = false;
-    let mut roots: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--baseline" => match argv.next() {
+                Some(f) => baseline_path = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--update-baseline" => match argv.next() {
+                Some(f) => update_baseline = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--explain" => match argv.next() {
+                Some(r) => explain = Some(r),
+                None => return usage(),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: simcheck [--json] [paths...]");
-                return;
+                usage();
+                return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
                 eprintln!("simcheck: unknown flag {flag}");
-                std::process::exit(2);
+                return usage();
             }
-            path => roots.push(PathBuf::from(path)),
+            path => paths.push(PathBuf::from(path)),
         }
     }
-    if roots.is_empty() {
-        // Resolve the workspace root relative to this crate's manifest so
-        // `cargo run -p simcheck` works from any working directory.
-        let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .and_then(|p| p.parent())
-            .expect("simcheck crate lives two levels under the workspace root")
-            .to_path_buf();
-        roots = simcheck::DEFAULT_ROOTS
-            .iter()
-            .map(|r| workspace.join(r))
-            .collect();
+
+    if let Some(name) = explain {
+        return match Rule::parse(&name) {
+            Some(rule) => {
+                print!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("simcheck: unknown rule `{name}`");
+                usage()
+            }
+        };
     }
-    let findings = match simcheck::scan_paths(&roots) {
-        Ok(f) => f,
+
+    // Resolve the workspace root relative to this crate's manifest so
+    // `cargo run -p simcheck` works from any working directory. Display
+    // paths (and so fingerprints) are workspace-relative.
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("simcheck crate lives two levels under the workspace root")
+        .to_path_buf();
+
+    let roots: Vec<(PathBuf, Severity)> = if paths.is_empty() {
+        simcheck::default_roots(&workspace)
+    } else {
+        paths.into_iter().map(|p| (p, Severity::Deny)).collect()
+    };
+    if roots.is_empty() {
+        eprintln!("simcheck: no scan roots found");
+        return ExitCode::from(2);
+    }
+
+    let analysis = match simcheck::analyze(&roots, Some(&workspace)) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("simcheck: {e}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
-    if json {
-        print!("{}", simcheck::render_json(&findings));
-    } else {
-        print!("{}", simcheck::render_text(&findings));
+
+    let baseline: BTreeSet<String> = match &baseline_path {
+        Some(p) => match simcheck::load_baseline(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("simcheck: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => BTreeSet::new(),
+    };
+
+    if let Some(p) = &update_baseline {
+        if let Err(e) = std::fs::write(p, simcheck::render_baseline(&analysis)) {
+            eprintln!("simcheck: cannot write baseline {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "simcheck: wrote {} fingerprint(s) to {}",
+            analysis.findings.len(),
+            p.display()
+        );
     }
-    std::process::exit(if findings.is_empty() { 0 } else { 1 });
+
+    if json {
+        print!("{}", simcheck::render_json(&analysis, &baseline));
+    } else {
+        let (baselined, fresh): (Vec<_>, Vec<_>) = analysis
+            .findings
+            .iter()
+            .cloned()
+            .partition(|f| baseline.contains(&f.fingerprint));
+        print!("{}", simcheck::render_text(&fresh));
+        if !baselined.is_empty() {
+            println!(
+                "simcheck: {} baselined finding(s) hidden (see {})",
+                baselined.len(),
+                baseline_path
+                    .as_deref()
+                    .unwrap_or(Path::new("baseline"))
+                    .display()
+            );
+        }
+    }
+
+    if analysis.new_deny(&baseline).is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,152 @@
+//! `float-ord`: float comparisons feeding an ordering.
+//!
+//! `f64::partial_cmp` returns `None` for NaN, and the ubiquitous
+//! `partial_cmp(..).unwrap_or(Equal)` patch makes the sort order depend on
+//! the *input order* of the data the moment a NaN (or a -0.0/0.0 pair under
+//! later key changes) appears. When such a sort feeds the event schedule or
+//! jsonl/trace output, replay breaks silently. Two shapes are flagged:
+//!
+//! 1. a sort-family call (`sort_by`, `sort_unstable_by`, `max_by`,
+//!    `min_by`, `binary_search_by`) whose comparator mentions
+//!    `partial_cmp`;
+//! 2. a float type parameter (`f32`/`f64`) inside an ordered container's
+//!    generics (`BinaryHeap<..>`, `BTreeMap<..>`, `BTreeSet<..>`).
+//!
+//! Defining `fn partial_cmp` (a `PartialOrd` impl that delegates to a total
+//! `cmp`) is *not* flagged — only uses inside comparator closures are.
+
+use crate::index::Workspace;
+use crate::rules::{RawFinding, Rule};
+
+/// Sort-family methods whose comparator closure is inspected.
+const SORT_FAMILY: [&str; 5] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+/// Ordered containers whose key types are inspected.
+const ORDERED_CONTAINERS: [&str; 3] = ["BinaryHeap", "BTreeMap", "BTreeSet"];
+
+/// Scans one indexed file; appends raw findings.
+pub fn scan(ws: &Workspace, file: usize, out: &mut Vec<RawFinding>) {
+    let t = &ws.files[file].lexed.tokens;
+    for i in 0..t.len() {
+        let tok = t[i].text.as_str();
+        if SORT_FAMILY.contains(&tok) && t.get(i + 1).is_some_and(|x| x.text == "(") {
+            // Walk the call's parentheses looking for `partial_cmp`.
+            let mut depth = 0i32;
+            for j in i + 1..t.len() {
+                match t[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "partial_cmp" => {
+                        out.push(RawFinding::new(
+                            file,
+                            t[i].line,
+                            Rule::FloatOrd,
+                            format!("`{tok}` comparator uses `partial_cmp` (NaN-unordered)"),
+                        ));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if ORDERED_CONTAINERS.contains(&tok) && t.get(i + 1).is_some_and(|x| x.text == "<") {
+            // Walk the *key* type's generics looking for a float: for
+            // `BTreeMap<K, V>` only K orders the container, so stop at the
+            // first top-level comma; heap/set key types span all arguments.
+            let key_only = tok == "BTreeMap";
+            let mut depth = 0i32;
+            for j in i + 1..t.len() {
+                match t[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "," if key_only && depth == 1 => break,
+                    ";" | "{" => break, // bailed out of a non-generic `<`
+                    "f64" | "f32" => {
+                        out.push(RawFinding::new(
+                            file,
+                            t[i].line,
+                            Rule::FloatOrd,
+                            format!("float key inside `{tok}<..>` ordering"),
+                        ));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        let ws = Workspace::build(vec![(
+            "crates/x/src/t.rs".into(),
+            Severity::Deny,
+            src.into(),
+        )]);
+        let mut out = Vec::new();
+        scan(&ws, 0, &mut out);
+        out.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn sort_by_partial_cmp_flags_even_multiline() {
+        let src = "fn f(v: &mut Vec<f64>) {\n\
+                   v.sort_by(|a, b| {\n\
+                       a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)\n\
+                   });\n\
+                   }\n";
+        assert_eq!(rules_of(src), vec![Rule::FloatOrd]);
+    }
+
+    #[test]
+    fn total_cmp_sort_is_clean() {
+        assert!(rules_of("v.sort_by(|a, b| a.total_cmp(b));").is_empty());
+        assert!(rules_of("v.sort_by_key(|a| a.len());").is_empty());
+    }
+
+    #[test]
+    fn float_container_keys_flag() {
+        assert_eq!(
+            rules_of("let h: BinaryHeap<f64> = BinaryHeap::new();"),
+            vec![Rule::FloatOrd]
+        );
+        assert_eq!(
+            rules_of("let s: BTreeSet<(u64, f32)> = BTreeSet::new();"),
+            vec![Rule::FloatOrd]
+        );
+        assert!(rules_of("let h: BinaryHeap<Reverse<Item>> = BinaryHeap::new();").is_empty());
+        // Float *values* don't order a BTreeMap — only keys do.
+        assert!(rules_of("let m: BTreeMap<u64, Vec<f32>> = BTreeMap::new();").is_empty());
+    }
+
+    #[test]
+    fn defining_partial_cmp_is_clean() {
+        let src = "impl PartialOrd for Item {\n\
+                   fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n\
+                       Some(self.cmp(other))\n\
+                   }\n\
+                   }\n";
+        assert!(rules_of(src).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! `stale-allow`: suppression directives that no longer suppress anything.
+//!
+//! Every inline `allow` is a debt note: "this hazard is justified, here's
+//! why". When the hazardous line is later refactored away, the directive
+//! survives as a blanket pre-approval for whatever lands on that line next.
+//! This rule fires on any directive that (a) names a rule simcheck does not
+//! know, or (b) suppressed zero findings in this scan — so the allow corpus
+//! can only shrink to match reality, never rot.
+//!
+//! The orchestrator feeds this pass the set of directives that were
+//! actually used while filtering findings; everything else is stale.
+
+use std::collections::BTreeSet;
+
+use crate::index::Workspace;
+use crate::rules::{RawFinding, Rule};
+
+/// A directive's identity: (file index, 1-based line, rule name).
+pub type DirectiveKey = (usize, u32, String);
+
+/// Scans every directive in the workspace against the `used` set.
+pub fn scan(ws: &Workspace, used: &BTreeSet<DirectiveKey>, out: &mut Vec<RawFinding>) {
+    for (fi, entry) in ws.files.iter().enumerate() {
+        for a in &entry.lexed.allows {
+            match Rule::parse(&a.rule) {
+                None => out.push(RawFinding::new(
+                    fi,
+                    a.line,
+                    Rule::StaleAllow,
+                    format!("allow names unknown rule `{}`", a.rule),
+                )),
+                Some(_) => {
+                    if !used.contains(&(fi, a.line, a.rule.clone())) {
+                        out.push(RawFinding::new(
+                            fi,
+                            a.line,
+                            Rule::StaleAllow,
+                            format!("allow(`{}`) suppresses nothing", a.rule),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    #[test]
+    fn unused_and_unknown_directives_flag() {
+        let src = "// simcheck: allow(wall-clock)\n\
+                   let x = 1;\n\
+                   // simcheck: allow(wall_clock)\n\
+                   let y = 2;\n";
+        let ws = Workspace::build(vec![(
+            "crates/x/src/t.rs".into(),
+            Severity::Deny,
+            src.into(),
+        )]);
+        let mut out = Vec::new();
+        scan(&ws, &BTreeSet::new(), &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("suppresses nothing"));
+        assert!(out[1].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn used_directives_are_silent() {
+        let src = "let t = 1; // simcheck: allow(wall-clock)\n";
+        let ws = Workspace::build(vec![(
+            "crates/x/src/t.rs".into(),
+            Severity::Deny,
+            src.into(),
+        )]);
+        let mut used = BTreeSet::new();
+        used.insert((0usize, 1u32, "wall-clock".to_string()));
+        let mut out = Vec::new();
+        scan(&ws, &used, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,162 @@
+//! The four direct token rules: wall-clock, os-entropy, thread-spawn, and
+//! unordered-map. These fire where the hazardous construct is *written*;
+//! the taint pass ([`crate::taint`]) extends the first three through the
+//! call graph. All four see through `use` renames: importing
+//! `std::time::Instant as Clock` does not launder a clock read.
+
+use crate::index::Workspace;
+use crate::rules::{RawFinding, Rule};
+
+/// Scans one indexed file; appends raw findings.
+pub fn scan(ws: &Workspace, file: usize, out: &mut Vec<RawFinding>) {
+    let entry = &ws.files[file];
+    let t = &entry.lexed.tokens;
+    for (i, tok) in t.iter().enumerate() {
+        let prev = i.checked_sub(1).map(|j| t[j].text.as_str());
+        let prev2 = i
+            .checked_sub(2)
+            .map(|j| (t[j].text.as_str(), t[i - 1].text.as_str()));
+        let next2 = (
+            t.get(i + 1).map(|x| x.text.as_str()),
+            t.get(i + 2).map(|x| x.text.as_str()),
+        );
+        // Method names (`x.spawn()`) never resolve through `use` renames;
+        // neither does the binder in `use path::X as Y` (the path's own
+        // tokens already flag that line once).
+        let effective: &str = if prev == Some(".") || prev == Some("as") {
+            tok.text.as_str()
+        } else {
+            ws.resolve_alias(file, &tok.text)
+                .and_then(|p| p.last())
+                .map(String::as_str)
+                .unwrap_or(tok.text.as_str())
+        };
+        let mut emit = |rule: Rule, message: String| {
+            out.push(RawFinding::new(file, tok.line, rule, message));
+        };
+        match effective {
+            "Instant" | "SystemTime" => {
+                let in_std_time = prev2 == Some(("time", "::"));
+                let called_now = next2 == (Some("::"), Some("now"));
+                let via_alias = effective != tok.text
+                    && ws
+                        .resolve_alias(file, &tok.text)
+                        .is_some_and(|p| p.iter().any(|s| s == "time"));
+                if in_std_time || called_now || via_alias {
+                    emit(
+                        Rule::WallClock,
+                        format!("`{}` reads the OS clock", tok.text),
+                    );
+                }
+            }
+            "thread_rng" | "OsRng" | "from_entropy" => {
+                emit(Rule::OsEntropy, format!("`{}` draws OS entropy", tok.text));
+            }
+            "spawn" | "scope" | "Builder" if prev2 == Some(("thread", "::")) => {
+                emit(
+                    Rule::ThreadSpawn,
+                    format!("`thread::{}` starts an OS thread", tok.text),
+                );
+            }
+            "HashMap" | "HashSet" => {
+                emit(
+                    Rule::UnorderedMap,
+                    format!("`{}` has unstable iteration order", tok.text),
+                );
+            }
+            _ => {}
+        }
+        // `std::thread::{spawn,scope,Builder}` imported (possibly renamed)
+        // and used bare — the qualified-path arm above can't see it.
+        if matches!(effective, "spawn" | "scope" | "Builder")
+            && prev2 != Some(("thread", "::"))
+            && prev != Some(".")
+            && prev != Some("as")
+        {
+            if let Some(path) = ws.resolve_alias(file, &tok.text) {
+                if path.iter().any(|s| s == "thread") {
+                    out.push(RawFinding::new(
+                        file,
+                        tok.line,
+                        Rule::ThreadSpawn,
+                        format!("`{}` starts an OS thread (std::thread import)", tok.text),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        let ws = Workspace::build(vec![(
+            "crates/x/src/t.rs".into(),
+            Severity::Deny,
+            src.into(),
+        )]);
+        let mut out = Vec::new();
+        scan(&ws, 0, &mut out);
+        out.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_flags_now_and_paths() {
+        assert_eq!(rules_of("let t = Instant::now();"), vec![Rule::WallClock]);
+        assert_eq!(
+            rules_of("use std::time::SystemTime;"),
+            vec![Rule::WallClock]
+        );
+        // A sim-local type named SimInstant must not trip the rule.
+        assert!(rules_of("let t: SimInstant = sim.now();").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_sees_through_use_renames() {
+        let src = "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }\n";
+        let got = rules_of(src);
+        // The import line and the aliased call site both fire.
+        assert_eq!(got, vec![Rule::WallClock, Rule::WallClock]);
+    }
+
+    #[test]
+    fn os_entropy_and_thread_spawn_flag() {
+        assert_eq!(
+            rules_of("let mut r = rand::thread_rng();"),
+            vec![Rule::OsEntropy]
+        );
+        assert_eq!(
+            rules_of("std::thread::spawn(move || work());"),
+            vec![Rule::ThreadSpawn]
+        );
+        assert!(rules_of("sim.spawn(async move {});").is_empty());
+    }
+
+    #[test]
+    fn renamed_thread_spawn_flags() {
+        let src = "use std::thread::spawn as go;\nfn f() { go(|| {}); }\n";
+        let got = rules_of(src);
+        assert!(got.contains(&Rule::ThreadSpawn), "{got:?}");
+    }
+
+    #[test]
+    fn method_named_spawn_is_not_resolved_through_uses() {
+        let src = "use std::thread::spawn;\nfn f(sim: &Sim) { sim.spawn(async {}); }\n";
+        // The import itself flags; the `sim.spawn` method call must not.
+        let got = rules_of(src);
+        assert_eq!(got, vec![Rule::ThreadSpawn]);
+    }
+
+    #[test]
+    fn unordered_map_flags_types_not_strings() {
+        assert_eq!(
+            rules_of("let m: HashMap<u32, u32> = HashMap::new();"),
+            vec![Rule::UnorderedMap, Rule::UnorderedMap]
+        );
+        assert!(rules_of("println!(\"HashMap is unordered\");").is_empty());
+        assert!(rules_of("// HashMap would be wrong here").is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! `yield-borrow`: RefCell borrow guards held across yield points.
+//!
+//! Generalizes the old `refcell-await` rule. In this workspace a task can
+//! lose control not only at `.await` but at any of the DES's yield-shaped
+//! calls (`yield_now`, `sleep`, `wait*`, `recv`, `notified`, `acquire`) —
+//! including the hand-rolled poll loops that call them without a literal
+//! `.await` on the same line. A `RefCell` guard that is live across such a
+//! point panics the moment another task touches the same cell, and the
+//! panic timing depends on the schedule.
+//!
+//! Heuristic (brace-depth, per-line over the lexed token stream): a `let`
+//! whose initializer *ends* in `borrow()` / `borrow_mut()` opens a guard;
+//! the guard closes at its block's `}`, at `drop(name)`, or at end of file.
+//! Any yield point while a guard is open fires. A temporary
+//! (`x.borrow_mut().send(v).await`) fires on its own line.
+
+use crate::index::Workspace;
+use crate::lexer::Tok;
+use crate::rules::{RawFinding, Rule};
+
+/// Method/function names that can yield control to another task.
+const YIELD_CALLS: [&str; 8] = [
+    "yield_now",
+    "sleep",
+    "sleep_until",
+    "wait",
+    "wait_for",
+    "wait_until",
+    "recv",
+    "notified",
+];
+
+/// A live `let`-bound borrow guard.
+struct OpenBorrow {
+    name: String,
+    depth: i32,
+    line: u32,
+    mutable_borrow: bool,
+}
+
+/// Scans one indexed file; appends raw findings.
+pub fn scan(ws: &Workspace, file: usize, out: &mut Vec<RawFinding>) {
+    let lexed = &ws.files[file].lexed;
+    // Group tokens by line, preserving order.
+    let mut lines: Vec<Vec<&Tok>> = vec![Vec::new(); lexed.n_lines];
+    for tok in &lexed.tokens {
+        let idx = tok.line as usize - 1;
+        if idx < lines.len() {
+            lines[idx].push(tok);
+        }
+    }
+
+    let mut depth: i32 = 0;
+    let mut open_borrows: Vec<OpenBorrow> = Vec::new();
+    for (idx, line_toks) in lines.iter().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let t: Vec<&str> = line_toks.iter().map(|x| x.text.as_str()).collect();
+
+        // (a) `let [mut] NAME = ... borrow[_mut]();` → NAME is a live guard
+        //     (anything chained after the call makes it a dropped temporary).
+        let mut is_guard_binding = false;
+        if t.first() == Some(&"let") {
+            let mut j = 1;
+            if t.get(j) == Some(&"mut") {
+                j += 1;
+            }
+            if let Some(name) = t.get(j) {
+                if let Some(bpos) = t.iter().rposition(|x| *x == "borrow" || *x == "borrow_mut") {
+                    let after = &t[bpos + 1..];
+                    if matches!(after, ["(", ")", ";"] | ["(", ")"]) {
+                        open_borrows.push(OpenBorrow {
+                            name: (*name).to_string(),
+                            depth,
+                            line: lineno,
+                            mutable_borrow: t[bpos] == "borrow_mut",
+                        });
+                        is_guard_binding = true;
+                    }
+                }
+            }
+        }
+
+        // (b) a temporary guard and a yield point in the same statement.
+        if !is_guard_binding {
+            if let Some(bpos) = t.iter().position(|x| *x == "borrow" || *x == "borrow_mut") {
+                if let Some(what) = yield_point(&t[bpos..]) {
+                    out.push(RawFinding::new(
+                        file,
+                        lineno,
+                        Rule::YieldBorrow,
+                        format!("`{}()` temporary is live across `{}`", t[bpos], what),
+                    ));
+                }
+            }
+        }
+
+        // (c) a yield point while a let-bound guard is in scope (skip the
+        //     binding line itself: the guard opens after its initializer).
+        if !is_guard_binding {
+            if let Some(what) = yield_point(&t) {
+                for b in &open_borrows {
+                    let call = if b.mutable_borrow {
+                        "borrow_mut"
+                    } else {
+                        "borrow"
+                    };
+                    out.push(RawFinding::new(
+                        file,
+                        lineno,
+                        Rule::YieldBorrow,
+                        format!(
+                            "guard `{}` ({}() on line {}) is held across `{}`",
+                            b.name, call, b.line, what
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // (d) scope/drop bookkeeping.
+        for tok in &t {
+            match *tok {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    open_borrows.retain(|b| b.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+        for w in t.windows(3) {
+            if w[0] == "drop" && w[1] == "(" {
+                open_borrows.retain(|b| b.name != w[2]);
+            }
+        }
+    }
+}
+
+/// Returns what made this token slice a yield point, if anything: a
+/// `.await`, or a call to one of the DES yield-shaped names.
+fn yield_point(t: &[&str]) -> Option<String> {
+    if t.windows(2).any(|w| w[0] == "." && w[1] == "await") {
+        return Some(".await".to_string());
+    }
+    for w in t.windows(2) {
+        if YIELD_CALLS.contains(&w[0]) && w[1] == "(" {
+            return Some(format!("{}(..)", w[0]));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        let ws = Workspace::build(vec![(
+            "crates/x/src/t.rs".into(),
+            Severity::Deny,
+            src.into(),
+        )]);
+        let mut out = Vec::new();
+        scan(&ws, 0, &mut out);
+        out.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn guard_across_await_flags() {
+        let src = "async fn f(x: &RefCell<u32>) {\n\
+                   let g = x.borrow_mut();\n\
+                   tick().await;\n\
+                   }\n";
+        assert_eq!(rules_of(src), vec![Rule::YieldBorrow]);
+    }
+
+    #[test]
+    fn guard_across_sim_wait_flags_without_await() {
+        let src = "fn poll_step(&self, sim: &Sim) {\n\
+                   let st = self.state.borrow_mut();\n\
+                   sim.wait_until(st.deadline);\n\
+                   }\n";
+        assert_eq!(rules_of(src), vec![Rule::YieldBorrow]);
+    }
+
+    #[test]
+    fn guard_dropped_or_scoped_before_yield_is_clean() {
+        let src = "async fn f(x: &RefCell<u32>) {\n\
+                   let g = x.borrow_mut();\n\
+                   drop(g);\n\
+                   tick().await;\n\
+                   }\n";
+        assert!(rules_of(src).is_empty());
+        let scoped = "async fn f(x: &RefCell<u32>) {\n\
+                      {\n let g = x.borrow_mut();\n }\n\
+                      tick().await;\n\
+                      }\n";
+        assert!(rules_of(scoped).is_empty());
+    }
+
+    #[test]
+    fn temporary_copy_is_clean() {
+        let src = "async fn f(x: &RefCell<Vec<u32>>) {\n\
+                   let v = x.borrow().clone();\n\
+                   tick().await;\n\
+                   }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn same_statement_temporary_flags() {
+        assert_eq!(
+            rules_of("ch.borrow_mut().send(v).await;"),
+            vec![Rule::YieldBorrow]
+        );
+        assert_eq!(rules_of("q.borrow_mut().recv();"), vec![Rule::YieldBorrow]);
+    }
+
+    #[test]
+    fn yield_calls_without_guard_are_clean() {
+        assert!(rules_of("sim.wait_until(t);\nrx.recv().await;\n").is_empty());
+    }
+}

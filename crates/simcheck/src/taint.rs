@@ -1,0 +1,410 @@
+//! Call-graph taint propagation for nondeterminism sources.
+//!
+//! Per-file token rules catch `Instant::now()` where it is written — but not
+//! a helper that wraps it. This pass closes that hole: every *unsuppressed*
+//! wall-clock / os-entropy / thread-spawn finding seeds taint on its
+//! enclosing function, taint propagates backwards over the call graph to a
+//! fixed point, and each call site into a tainted function becomes a finding
+//! that carries the full call chain down to the concrete source line.
+//!
+//! Call resolution is name-resolution-lite (see [`crate::index`]):
+//!
+//! * `self.helper(..)` / `Self::helper(..)` → methods of the enclosing
+//!   `impl` type;
+//! * `Type::helper(..)` → methods of any indexed `impl Type`;
+//! * `helper(..)` (bare or `use`-imported) → free functions, same file
+//!   first, then same crate, then a workspace-unique match;
+//! * `x.helper(..)` → only when exactly one indexed method has that name
+//!   (no type inference — ambiguous names are skipped, not guessed).
+//!
+//! Suppressed sources do not seed taint: an `allow(wall-clock)` on a
+//! justified host-side timer keeps its callers clean too.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::index::Workspace;
+use crate::rules::Rule;
+
+/// One resolved call edge.
+pub struct CallEdge {
+    /// Caller fn (index into [`Workspace::fns`]).
+    pub caller: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// Callee fn (index into [`Workspace::fns`]).
+    pub callee: usize,
+    /// What the call site looked like (e.g. `helper` or `Store::read`).
+    pub display: String,
+}
+
+/// Why a function is tainted.
+enum Origin {
+    /// The fn body contains the hazard itself.
+    Direct { line: u32, what: String },
+    /// The fn calls a tainted fn.
+    Via { line: u32, callee: usize },
+}
+
+/// A taint finding at a call site.
+pub struct TaintFinding {
+    /// File index of the call site.
+    pub file: usize,
+    /// 1-based call-site line.
+    pub line: u32,
+    /// The propagated rule (wall-clock / os-entropy / thread-spawn).
+    pub rule: Rule,
+    /// Human message naming the callee and the ultimate source.
+    pub message: String,
+    /// Full call chain: call site → intermediate calls → concrete source.
+    pub chain: Vec<String>,
+}
+
+/// Extracts every resolvable call edge in the workspace.
+pub fn call_edges(ws: &Workspace) -> Vec<CallEdge> {
+    let mut edges = Vec::new();
+    for (caller_idx, f) in ws.fns.iter().enumerate() {
+        let file = &ws.files[f.file];
+        let t = &file.lexed.tokens;
+        for i in f.body.clone() {
+            // Identifier followed by `(` — a call or a definition head.
+            if !is_ident(&t[i].text) || t.get(i + 1).map(|x| x.text.as_str()) != Some("(") {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|j| t[j].text.as_str());
+            if prev == Some("fn") {
+                continue; // nested definition
+            }
+            let name = t[i].text.as_str();
+            let line = t[i].line;
+            let (candidates, display) = match prev {
+                Some(".") => {
+                    let recv = i.checked_sub(2).map(|j| t[j].text.as_str());
+                    resolve_method(ws, f.impl_type.as_deref(), recv, name)
+                }
+                Some("::") => {
+                    let qual = i.checked_sub(2).map(|j| t[j].text.as_str());
+                    resolve_qualified(ws, f.file, f.impl_type.as_deref(), qual, name)
+                }
+                _ => (resolve_bare(ws, f.file, name), name.to_string()),
+            };
+            for callee in candidates {
+                if callee != caller_idx {
+                    edges.push(CallEdge {
+                        caller: caller_idx,
+                        line,
+                        callee,
+                        display: display.clone(),
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// `x.name(..)` — resolve `self.name` within the impl type, otherwise only
+/// a workspace-unique method name.
+fn resolve_method(
+    ws: &Workspace,
+    impl_type: Option<&str>,
+    recv: Option<&str>,
+    name: &str,
+) -> (Vec<usize>, String) {
+    let all = ws.by_name.get(name).cloned().unwrap_or_default();
+    if recv == Some("self") {
+        if let Some(ty) = impl_type {
+            let same: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| ws.fns[i].impl_type.as_deref() == Some(ty))
+                .collect();
+            if !same.is_empty() {
+                return (same, format!("{ty}::{name}"));
+            }
+        }
+        return (Vec::new(), name.to_string());
+    }
+    let methods: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| ws.fns[i].impl_type.is_some())
+        .collect();
+    if methods.len() == 1 {
+        let d = ws.fns[methods[0]].display();
+        (methods, d)
+    } else {
+        (Vec::new(), name.to_string())
+    }
+}
+
+/// `Qual::name(..)` — resolve through `Self`, `use` renames, and impl types.
+fn resolve_qualified(
+    ws: &Workspace,
+    file: usize,
+    impl_type: Option<&str>,
+    qual: Option<&str>,
+    name: &str,
+) -> (Vec<usize>, String) {
+    let all = ws.by_name.get(name).cloned().unwrap_or_default();
+    let Some(mut qual) = qual else {
+        return (Vec::new(), name.to_string());
+    };
+    if qual == "Self" {
+        qual = impl_type.unwrap_or("Self");
+    }
+    // A renamed import: `use a::Store as S; S::read()` → qualify by `Store`.
+    let resolved = ws
+        .resolve_alias(file, qual)
+        .and_then(|p| p.last())
+        .map(String::as_str)
+        .unwrap_or(qual);
+    let typed: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| ws.fns[i].impl_type.as_deref() == Some(resolved))
+        .collect();
+    if !typed.is_empty() {
+        return (typed, format!("{resolved}::{name}"));
+    }
+    // `module::helper()` — fall back to free fns in the same crate.
+    let crate_key = &ws.files[file].crate_key;
+    let free: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| {
+            ws.fns[i].impl_type.is_none() && &ws.files[ws.fns[i].file].crate_key == crate_key
+        })
+        .collect();
+    (free, format!("{qual}::{name}"))
+}
+
+/// Bare `name(..)` — same file, then same crate, then workspace-unique.
+fn resolve_bare(ws: &Workspace, file: usize, name: &str) -> Vec<usize> {
+    let all = ws.by_name.get(name).cloned().unwrap_or_default();
+    let free: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| ws.fns[i].impl_type.is_none())
+        .collect();
+    let same_file: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&i| ws.fns[i].file == file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let crate_key = &ws.files[file].crate_key;
+    let same_crate: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&i| &ws.files[ws.fns[i].file].crate_key == crate_key)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    if free.len() == 1 {
+        return free;
+    }
+    Vec::new()
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Propagates taint from `seeds` — `(file, line, rule, description)` of the
+/// unsuppressed direct findings — and returns one finding per call site
+/// that reaches a tainted function.
+pub fn propagate(
+    ws: &Workspace,
+    edges: &[CallEdge],
+    seeds: &[(usize, u32, Rule, String)],
+) -> Vec<TaintFinding> {
+    // fn → taint origin, per rule.
+    let mut taint: BTreeMap<(usize, Rule), Origin> = BTreeMap::new();
+    let mut work: Vec<(usize, Rule)> = Vec::new();
+    for (file, line, rule, what) in seeds {
+        if let Some(f) = ws.enclosing_fn(*file, *line) {
+            taint.entry((f, *rule)).or_insert_with(|| {
+                work.push((f, *rule));
+                Origin::Direct {
+                    line: *line,
+                    what: what.clone(),
+                }
+            });
+        }
+    }
+    // Reverse adjacency: callee → incoming edge indices.
+    let mut into: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        into.entry(e.callee).or_default().push(i);
+    }
+    while let Some((f, rule)) = work.pop() {
+        for &ei in into.get(&f).into_iter().flatten() {
+            let e = &edges[ei];
+            taint.entry((e.caller, rule)).or_insert_with(|| {
+                work.push((e.caller, rule));
+                Origin::Via {
+                    line: e.line,
+                    callee: e.callee,
+                }
+            });
+        }
+    }
+    // Emit one finding per (call site → tainted callee) pair.
+    let mut seen: BTreeSet<(usize, u32, Rule, usize)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for e in edges {
+        for rule in [Rule::WallClock, Rule::OsEntropy, Rule::ThreadSpawn] {
+            if !taint.contains_key(&(e.callee, rule)) {
+                continue;
+            }
+            let caller_file = ws.fns[e.caller].file;
+            if !seen.insert((caller_file, e.line, rule, e.callee)) {
+                continue;
+            }
+            let (chain, source) = build_chain(ws, &taint, e, rule);
+            out.push(TaintFinding {
+                file: caller_file,
+                line: e.line,
+                rule,
+                message: format!(
+                    "call to `{}` reaches {} ({} hop{})",
+                    e.display,
+                    source,
+                    chain.len() - 1,
+                    if chain.len() == 2 { "" } else { "s" },
+                ),
+                chain,
+            });
+        }
+    }
+    out
+}
+
+/// Builds the printable call chain from a call edge down to the concrete
+/// source, returning `(chain lines, source description)`.
+fn build_chain(
+    ws: &Workspace,
+    taint: &BTreeMap<(usize, Rule), Origin>,
+    edge: &CallEdge,
+    rule: Rule,
+) -> (Vec<String>, String) {
+    let loc = |f: usize, line: u32| format!("{}:{}", ws.files[ws.fns[f].file].path, line);
+    let mut chain = vec![format!(
+        "{}: calls `{}`",
+        loc(edge.caller, edge.line),
+        ws.fns[edge.callee].display()
+    )];
+    let mut cur = edge.callee;
+    let mut source = String::new();
+    // Origin pointers are set exactly once per fn, so this walk terminates
+    // even on cyclic call graphs.
+    for _ in 0..64 {
+        match taint.get(&(cur, rule)) {
+            Some(Origin::Via { line, callee }) => {
+                chain.push(format!(
+                    "{}: calls `{}`",
+                    loc(cur, *line),
+                    ws.fns[*callee].display()
+                ));
+                cur = *callee;
+            }
+            Some(Origin::Direct { line, what }) => {
+                chain.push(format!("{}: {}", loc(cur, *line), what));
+                source = what.clone();
+                break;
+            }
+            None => break,
+        }
+    }
+    (chain, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), Severity::Deny, s.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn two_layer_wrapper_chain_is_reported() {
+        let ws = ws_of(&[
+            (
+                "crates/x/src/helpers.rs",
+                "pub fn stamp() -> u64 {\n    let t = Instant::now();\n    t.elapsed().as_nanos() as u64\n}\n\
+                 pub fn mid() -> u64 {\n    stamp()\n}\n",
+            ),
+            (
+                "crates/x/src/caller.rs",
+                "pub fn sim_visible() -> u64 {\n    mid()\n}\n",
+            ),
+        ]);
+        let edges = call_edges(&ws);
+        let seeds = vec![(
+            0usize,
+            2u32,
+            Rule::WallClock,
+            "`Instant` reads the OS clock".to_string(),
+        )];
+        let findings = propagate(&ws, &edges, &seeds);
+        let top = findings
+            .iter()
+            .find(|f| ws.files[f.file].path.ends_with("caller.rs"))
+            .expect("caller.rs call site flagged");
+        assert_eq!(top.rule, Rule::WallClock);
+        assert_eq!(top.line, 2);
+        assert_eq!(top.chain.len(), 3, "{:?}", top.chain);
+        assert!(top.chain[2].contains("OS clock"), "{:?}", top.chain);
+    }
+
+    #[test]
+    fn method_chains_resolve_through_self() {
+        let ws = ws_of(&[(
+            "crates/x/src/s.rs",
+            "struct S;\n\
+             impl S {\n\
+                 fn now_ms(&self) -> u64 { Instant::now().elapsed().as_millis() as u64 }\n\
+                 fn tick(&self) -> u64 { self.now_ms() }\n\
+             }\n",
+        )]);
+        let edges = call_edges(&ws);
+        let seeds = vec![(0usize, 3u32, Rule::WallClock, "clock".to_string())];
+        let findings = propagate(&ws, &edges, &seeds);
+        assert!(findings.iter().any(|f| f.line == 4), "tick() flagged");
+    }
+
+    #[test]
+    fn suppressed_sources_do_not_seed() {
+        let ws = ws_of(&[(
+            "crates/x/src/a.rs",
+            "fn justified() -> u64 { 0 }\nfn caller() -> u64 { justified() }\n",
+        )]);
+        let edges = call_edges(&ws);
+        // No seeds at all (the direct finding was suppressed upstream).
+        assert!(propagate(&ws, &edges, &[]).is_empty());
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let ws = ws_of(&[(
+            "crates/x/src/a.rs",
+            "fn a() { b(); let t = Instant::now(); }\nfn b() { a(); }\n",
+        )]);
+        let edges = call_edges(&ws);
+        let seeds = vec![(0usize, 1u32, Rule::WallClock, "clock".to_string())];
+        let findings = propagate(&ws, &edges, &seeds);
+        assert!(!findings.is_empty());
+    }
+}

@@ -1,11 +1,13 @@
-//! End-to-end checks of the simcheck scanner and binary over the fixture
-//! files in `tests/fixtures/` (one positive file per rule, one fully
-//! suppressed file, one clean file).
+//! End-to-end checks of the simcheck analyzer and binary over the fixture
+//! corpus in `tests/fixtures/`: one positive+negative file per rule family,
+//! a fully suppressed file, a clean file, and the two-file `taint/` pair
+//! whose hazard is invisible to per-file token rules.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::Command;
 
-use simcheck::{scan_paths, scan_source, Rule};
+use simcheck::{analyze_sources, scan_source, Rule, Severity, SourceSpec};
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -13,10 +15,13 @@ fn fixture(name: &str) -> PathBuf {
         .join(name)
 }
 
+fn read(name: &str) -> String {
+    std::fs::read_to_string(fixture(name)).unwrap()
+}
+
+/// Scans one fixture in isolation (deny tier) and returns the rules fired.
 fn rules_in(name: &str) -> Vec<Rule> {
-    let path = fixture(name);
-    let src = std::fs::read_to_string(&path).unwrap();
-    scan_source(&path.display().to_string(), &src)
+    scan_source(&format!("crates/x/src/{name}"), &read(name))
         .into_iter()
         .map(|f| f.rule)
         .collect()
@@ -39,8 +44,6 @@ fn os_entropy_fixture_fires() {
 #[test]
 fn thread_spawn_fixture_fires() {
     let rules = rules_in("thread_spawn.rs");
-    // spawn, scope, and the nested scoped-spawn inside `thread::scope` —
-    // at least the two `std::thread::` entry points must fire.
     assert!(rules.len() >= 2);
     assert!(rules.iter().all(|r| *r == Rule::ThreadSpawn), "{rules:?}");
 }
@@ -53,13 +56,45 @@ fn unordered_map_fixture_fires() {
 }
 
 #[test]
-fn refcell_await_fixture_fires() {
-    let rules = rules_in("refcell_await.rs");
-    assert_eq!(rules, vec![Rule::RefcellAwait, Rule::RefcellAwait]);
+fn yield_borrow_fixture_fires_only_on_positives() {
+    let rules = rules_in("yield_borrow.rs");
+    // guard across .await, temporary across .await, guard across sim wait —
+    // and none of the three negative shapes below them.
+    assert_eq!(rules, vec![Rule::YieldBorrow; 3], "{rules:?}");
 }
 
 #[test]
-fn suppressed_fixture_is_silent() {
+fn float_ord_fixture_fires_only_on_positives() {
+    let rules = rules_in("float_ord.rs");
+    // multi-line sort_by, max_by, BinaryHeap<f64>, BTreeSet<(u64, f32)> —
+    // and neither total_cmp, float map *values*, nor the PartialOrd impl.
+    assert_eq!(rules, vec![Rule::FloatOrd; 4], "{rules:?}");
+}
+
+#[test]
+fn match_leak_fixture_fires_only_on_positives() {
+    let rules = rules_in("match_leak.rs");
+    // match arm, if-let, matches! — construction stays clean.
+    assert_eq!(rules, vec![Rule::MatchLeak; 3], "{rules:?}");
+}
+
+#[test]
+fn stale_allow_fixture_fires_only_on_dead_directives() {
+    let findings = scan_source("crates/x/src/stale_allow.rs", &read("stale_allow.rs"));
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(findings.len(), 2, "{msgs:?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::StaleAllow));
+    assert!(
+        msgs.iter().any(|m| m.contains("suppresses nothing")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("unknown rule")), "{msgs:?}");
+}
+
+#[test]
+fn suppressed_fixture_is_silent_including_stale_allow() {
+    // Every directive suppresses a real finding, so neither the original
+    // rules nor stale-allow fire — and suppressed sources don't taint.
     assert!(rules_in("suppressed.rs").is_empty());
 }
 
@@ -68,11 +103,62 @@ fn clean_fixture_is_silent() {
     assert!(rules_in("clean.rs").is_empty());
 }
 
+/// The PR's acceptance fixture: a wall-clock read reached only through two
+/// helper layers in another file. Token rules alone must NOT flag the call
+/// site; the call-graph taint pass must, with the full chain attached.
 #[test]
-fn scan_paths_walks_directories() {
-    let findings = scan_paths(&[fixture("")]).unwrap();
-    // Everything except the suppressed and clean fixtures contributes.
-    assert!(findings.len() >= 8, "found {}", findings.len());
+fn taint_crosses_files_where_token_rules_see_nothing() {
+    let caller = read("taint/caller.rs");
+    // Legacy-style per-file scan of the caller alone: provably blind.
+    assert!(
+        scan_source("crates/x/src/caller.rs", &caller).is_empty(),
+        "token rules alone must not flag caller.rs"
+    );
+
+    // Whole-corpus analysis: the call site is flagged with the chain.
+    let analysis = analyze_sources(vec![
+        SourceSpec {
+            path: "crates/x/src/caller.rs".into(),
+            tier: Severity::Deny,
+            source: caller,
+        },
+        SourceSpec {
+            path: "crates/x/src/helpers.rs".into(),
+            tier: Severity::Deny,
+            source: read("taint/helpers.rs"),
+        },
+    ]);
+    let call_site = analysis
+        .findings
+        .iter()
+        .find(|f| f.file.ends_with("caller.rs"))
+        .expect("taint must reach the caller file");
+    assert_eq!(call_site.rule, Rule::WallClock);
+    assert!(
+        call_site.message.contains("current_millis"),
+        "{}",
+        call_site.message
+    );
+    // Full chain: call site -> current_millis -> raw_clock -> Instant::now.
+    assert_eq!(call_site.chain.len(), 3, "{:#?}", call_site.chain);
+    assert!(
+        call_site.chain[1].contains("raw_clock"),
+        "{:?}",
+        call_site.chain
+    );
+    assert!(
+        call_site.chain[2].contains("Instant"),
+        "{:?}",
+        call_site.chain
+    );
+
+    // The intermediate wrapper is flagged too, one hop shorter.
+    let mid = analysis
+        .findings
+        .iter()
+        .find(|f| f.file.ends_with("helpers.rs") && !f.chain.is_empty())
+        .expect("wrapper call site flagged");
+    assert_eq!(mid.chain.len(), 2, "{:#?}", mid.chain);
 }
 
 #[test]
@@ -84,6 +170,7 @@ fn binary_exits_nonzero_on_violations() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("wall-clock"), "{stdout}");
+    assert!(stdout.contains("deny"), "{stdout}");
 }
 
 #[test]
@@ -96,7 +183,7 @@ fn binary_exits_zero_on_clean_input() {
 }
 
 #[test]
-fn binary_json_mode_emits_report() {
+fn binary_json_mode_emits_report_with_rule_metadata() {
     let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
         .arg("--json")
         .arg(fixture("os_entropy.rs"))
@@ -104,27 +191,97 @@ fn binary_json_mode_emits_report() {
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.starts_with("{\"findings\":["), "{stdout}");
+    assert!(stdout.starts_with("{\"schema\":\"simcheck/2\""), "{stdout}");
     assert!(stdout.contains("\"rule\":\"os-entropy\""), "{stdout}");
+    assert!(stdout.contains("\"fingerprint\":\"f-"), "{stdout}");
+    // Every rule's metadata rides along for report consumers.
+    for rule in Rule::ALL {
+        assert!(
+            stdout.contains(&format!("\"id\":\"{}\"", rule.name())),
+            "{stdout}"
+        );
+    }
+}
+
+#[test]
+fn binary_explain_describes_rules() {
+    for rule in Rule::ALL {
+        let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
+            .args(["--explain", rule.name()])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{}", rule.name());
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains(rule.name()), "{stdout}");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
+        .args(["--explain", "no-such-rule"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn baseline_roundtrip_gates_and_ungates() {
+    let dir = std::env::temp_dir().join(format!("simcheck-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("base.json");
+
+    // Without a baseline the fixture fails the gate; ratchet it...
+    let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
+        .arg("--update-baseline")
+        .arg(&baseline)
+        .arg(fixture("wall_clock.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // ...and the same scan against the written baseline passes.
+    let out = Command::new(env!("CARGO_BIN_EXE_simcheck"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(fixture("wall_clock.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{:?}",
+        String::from_utf8(out.stdout)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("baselined finding(s) hidden"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repo_baseline_file_is_empty() {
+    // The CI baseline must stay empty: the workspace carries no
+    // grandfathered findings, and new deny findings fail the gate outright.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .unwrap()
+        .join("simcheck-baseline.json");
+    let baseline = simcheck::load_baseline(&path).unwrap();
+    assert!(baseline.is_empty(), "{baseline:?}");
 }
 
 #[test]
 fn default_roots_of_the_workspace_are_clean() {
-    // The acceptance bar for the whole PR: the sim-visible crates carry no
-    // unsuppressed determinism hazards.
+    // The acceptance bar for the whole PR: zero unsuppressed findings at
+    // any tier across the workspace's tiered default roots.
     let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
         .unwrap()
         .to_path_buf();
-    let roots: Vec<PathBuf> = simcheck::DEFAULT_ROOTS
-        .iter()
-        .map(|r| workspace.join(r))
-        .collect();
-    let findings = scan_paths(&roots).unwrap();
+    let analysis =
+        simcheck::analyze(&simcheck::default_roots(&workspace), Some(&workspace)).unwrap();
     assert!(
-        findings.is_empty(),
+        analysis.findings.is_empty(),
         "workspace has determinism hazards:\n{}",
-        simcheck::render_text(&findings)
+        simcheck::render_text(&analysis.findings)
     );
+    assert!(analysis.new_deny(&BTreeSet::new()).is_empty());
 }

@@ -13,3 +13,38 @@ pub fn seeded(seed: u64) -> u64 {
     let mut rng = SmallRng::seed_from_u64(seed);
     rng.gen()
 }
+
+// Floats sorted with a total order, and float values (not keys) in an
+// ordered map — neither trips `float-ord`.
+pub fn percentiles(v: &mut Vec<f64>) -> BTreeMap<u64, f64> {
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mut out = BTreeMap::new();
+    out.insert(50, v[v.len() / 2]);
+    out
+}
+
+// Constructing shuffle kinds is allowed anywhere — only branching on them
+// outside the seam trips `match-leak`.
+pub fn preset() -> ShuffleKind {
+    ShuffleKind::OsuIb
+}
+
+// Virtual time through helpers stays clean: taint only flows from real
+// clock reads, and `sim.now()` is the remedy, not a hazard.
+pub fn stamp(sim: &Sim) -> u64 {
+    virtual_nanos(sim)
+}
+
+fn virtual_nanos(sim: &Sim) -> u64 {
+    sim.now().as_nanos()
+}
+
+// Hazard-shaped text inside literals and comments must never match:
+// the lexer collapses strings and drops comments before rules run.
+pub fn docs() -> (&'static str, String) {
+    /* Instant::now() inside a /* nested */ block comment */
+    let raw = r#"thread::spawn(|| HashMap::new())"#;
+    let multi = "line one \
+                 Instant::now() continued".to_string();
+    (raw, multi)
+}

@@ -1,0 +1,40 @@
+// Fixture: float comparisons feeding an ordering — positives for the
+// `float-ord` rule, plus the shapes it must NOT flag.
+
+// Positive: the classic NaN-collapsing comparator, split across lines the
+// way rustfmt writes it (the old per-line scanner could not see this).
+pub fn sort_times(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+// Positive: sort-family variants.
+pub fn pick(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+// Positive: float keys in ordered containers.
+pub struct Queues {
+    pub heap: std::collections::BinaryHeap<f64>,
+    pub set: std::collections::BTreeSet<(u64, f32)>,
+}
+
+// Negative: total_cmp is the remedy, not a hazard.
+pub fn sort_times_total(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+// Negative: float *values* never order a BTreeMap — only keys do.
+pub struct Gauges {
+    pub by_node: std::collections::BTreeMap<u64, f64>,
+}
+
+// Negative: defining partial_cmp (a PartialOrd impl delegating to a total
+// order) is how the workspace's key types are built.
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}

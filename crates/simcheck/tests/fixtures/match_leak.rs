@@ -1,0 +1,30 @@
+// Fixture: `ShuffleKind` dispatch outside the construction seam — the
+// `match-leak` rule. Constructing kinds is fine; branching on them is not.
+
+// Positive: a match arm.
+pub fn port_for(kind: ShuffleKind) -> u16 {
+    match kind {
+        ShuffleKind::OsuIb => 18515,
+        _ => 13562,
+    }
+}
+
+// Positive: an `if let` refutable pattern.
+pub fn is_rdma(kind: ShuffleKind) -> bool {
+    if let ShuffleKind::OsuIb = kind {
+        return true;
+    }
+    false
+}
+
+// Positive: a `matches!` test.
+pub fn skip_merge(kind: ShuffleKind) -> bool {
+    matches!(kind, ShuffleKind::OsuIb)
+}
+
+// Negative: constructing and comparing kinds as values is allowed anywhere.
+pub fn defaults() -> Vec<ShuffleKind> {
+    let preferred = ShuffleKind::OsuIb;
+    assert_eq!(preferred, ShuffleKind::OsuIb);
+    vec![preferred, ShuffleKind::Vanilla, ShuffleKind::HadoopA]
+}

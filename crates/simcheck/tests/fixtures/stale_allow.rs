@@ -1,0 +1,19 @@
+// Fixture: suppression directives that suppress nothing — `stale-allow`.
+
+// Positive: the hazard this allow justified was refactored away.
+pub fn no_longer_hazardous() -> u64 {
+    // simcheck: allow(wall-clock)
+    42
+}
+
+// Positive: a typo'd rule name can never match a finding.
+pub fn typo() {
+    let m = BTreeMap::new(); // simcheck: allow(unordered_map)
+    drop(m);
+}
+
+// Negative: a directive that actually suppresses a finding is not stale.
+pub fn justified() {
+    let m = HashMap::new(); // simcheck: allow(unordered-map)
+    drop(m);
+}

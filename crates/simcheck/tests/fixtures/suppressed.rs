@@ -1,10 +1,17 @@
 // Fixture: every rule violated once, every violation suppressed with a
-// `simcheck: allow(..)` directive — the scanner must report nothing.
+// `simcheck: allow(..)` directive — the analyzer must report nothing, and
+// every directive must count as used (no stale-allow findings either).
 use std::time::Instant; // simcheck: allow(wall-clock)
 
-pub fn timed() -> Instant {
+pub fn timed() -> u64 {
     // harness-only timing, never inside a sim: simcheck: allow(wall-clock)
-    Instant::now()
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+// A suppressed source must not taint its callers either.
+pub fn wraps_timed() -> u64 {
+    timed() + 1
 }
 
 pub fn entropy() -> u64 {
@@ -18,13 +25,23 @@ pub fn threads() {
 }
 
 pub fn map() {
-    // never iterated: simcheck: allow(unordered-map)
+    // key order is irrelevant: the map is only probed by key, never iterated
     let _m: HashMap<u32, u32> = HashMap::new(); // simcheck: allow(unordered-map)
 }
 
 pub async fn guarded(state: &RefCell<u64>) {
-    let st = state.borrow(); // simcheck: allow(refcell-await)
-    // single-task sim, no concurrent borrowers: simcheck: allow(refcell-await)
+    let st = state.borrow();
+    // single-task sim, no concurrent borrowers: simcheck: allow(yield-borrow)
     tick().await;
     drop(st);
+}
+
+pub fn sorted(v: &mut Vec<f64>) {
+    // inputs are clamped finite upstream: simcheck: allow(float-ord)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn legacy_dispatch(kind: ShuffleKind) -> bool {
+    // pre-trait probe kept for comparison plots: simcheck: allow(match-leak)
+    matches!(kind, ShuffleKind::OsuIb)
 }

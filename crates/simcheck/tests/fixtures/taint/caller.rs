@@ -1,0 +1,15 @@
+// Fixture (taint): this file alone is clean under every token rule — no
+// clock type, no `now()`, nothing to match. The hazard only appears when
+// the analyzer follows `current_millis` into `helpers.rs`.
+
+pub struct JobRecord {
+    pub id: u64,
+    pub stamped_at: u64,
+}
+
+pub fn stamp_job(id: u64) -> JobRecord {
+    JobRecord {
+        id,
+        stamped_at: current_millis(),
+    }
+}

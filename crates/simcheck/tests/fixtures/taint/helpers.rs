@@ -1,0 +1,13 @@
+// Fixture (taint): two wrapper layers between an innocent-looking call
+// site and the wall clock. The old token scanner saw nothing wrong with
+// `caller.rs`; the call-graph taint pass must walk
+// `stamp_job -> current_millis -> raw_clock -> Instant::now()`.
+
+pub fn current_millis() -> u64 {
+    raw_clock() / 1_000_000
+}
+
+fn raw_clock() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,45 @@
+// Fixture: RefCell guards live across yield points — all must trip the
+// `yield-borrow` rule. The rule generalizes the old `refcell-await`: a
+// task can lose control at `.await` and at the DES's yield-shaped calls
+// (`wait_until`, `recv`, ...), including poll loops with no literal await.
+use std::cell::RefCell;
+
+pub async fn guard_across_await(state: &RefCell<u64>) {
+    let mut st = state.borrow_mut();
+    tick().await;
+    *st += 1;
+}
+
+pub async fn temporary_across_await(ch: &RefCell<Chan>) {
+    ch.borrow_mut().send(1).await;
+}
+
+pub fn guard_across_sim_wait(state: &RefCell<Phase>, sim: &Sim) {
+    let st = state.borrow();
+    sim.wait_until(st.deadline);
+}
+
+// Negative: the guard is dropped before the yield.
+pub async fn dropped_before_await(state: &RefCell<u64>) {
+    let st = state.borrow_mut();
+    drop(st);
+    tick().await;
+}
+
+// Negative: the guard dies with its block before the yield.
+pub async fn scoped_before_await(state: &RefCell<u64>) {
+    {
+        let mut st = state.borrow_mut();
+        *st += 1;
+    }
+    tick().await;
+}
+
+// Negative: only a copy escapes the borrow; no guard is live.
+pub async fn copy_before_await(state: &RefCell<Vec<u64>>) {
+    let v = state.borrow().clone();
+    tick().await;
+    consume(v);
+}
+
+async fn tick() {}
