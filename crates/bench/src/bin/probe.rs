@@ -13,6 +13,15 @@
 //!                scenario; diff the output across two builds to compare
 //!                solver implementations (see DESIGN.md §8 on schedule
 //!                sensitivity)
+//!   probe scale  <nodes> <jobs> <gb> [seed] [--budget-s S]
+//!                [--min-attempts N] [--out PATH]
+//!                — weak-scaling hot-path probe: the same concurrent job mix
+//!                at 64, 256, and <nodes> workers (points ≤ <nodes>), run in
+//!                parallel through the sweep pool. Prints fluid_work/events
+//!                and polls/events per point and their drift vs the smallest
+//!                point, and appends labeled rows (nodes/attempts columns)
+//!                to BENCH_wallclock.json. With --budget-s, exits non-zero
+//!                if any point's wall time exceeds the budget (CI smoke).
 //!   probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]
 //!                — a concurrent multi-job OSU-IB mix with the observability
 //!                recorder on; writes every rmr_obs artifact (events.jsonl,
@@ -47,11 +56,14 @@ fn parse_system(name: &str) -> System {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: probe <grid|one|phases> [args]");
+    eprintln!("usage: probe <grid|one|phases|fluidcmp|scale|obs> [args]");
     eprintln!("  probe grid   [gb] [nodes] [disks] [sort]");
     eprintln!("  probe one    [gb] [system] [nodes] [disks] [sort] [seed]");
     eprintln!("  probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]");
     eprintln!("  probe fluidcmp                               — solver differential dump");
+    eprintln!(
+        "  probe scale  <nodes> <jobs> <gb> [seed] [--budget-s S] [--min-attempts N] [--out PATH]"
+    );
     eprintln!("  probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]");
     std::process::exit(2);
 }
@@ -64,6 +76,7 @@ fn main() {
         Some("phases") => phases(&args[2..]),
         Some("fluidcmp") => fluidcmp(),
         Some("obs") => obs(&args[2..]),
+        Some("scale") => scale(&args[2..]),
         _ => usage(),
     }
 }
@@ -132,6 +145,203 @@ fn grid(args: &[String]) {
             r.shuffled_bytes as f64 / 1e9,
             r.cache_hit_rate * 100.0
         );
+    }
+}
+
+/// One weak-scaling point: `jobs` concurrent TeraSort jobs through a
+/// persistent OSU-IB runtime on `nodes` workers, total dataset scaled so
+/// per-node load matches the target point.
+fn scale_point(nodes: usize, jobs: usize, gb_total: f64, seed: u64) -> rmr_bench::trajectory::Run {
+    use rmr_des::resource::fluid::FLUID_ADVANCE_WORK;
+    let system = System::OsuIb;
+    let testbed = Testbed::compute(nodes, 1);
+    let sim = rmr_des::Sim::new(seed);
+    let cluster = Cluster::build(
+        &sim,
+        system.fabric(),
+        &testbed.node_specs(),
+        HdfsConfig {
+            // Small blocks so map attempt counts (not bytes) stress the
+            // control plane: gb/jobs GB per job in 8 MB splits.
+            block_size: 8 << 20,
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let mut conf = tuned_conf(system, Bench::TeraSort, &testbed);
+    // tuned_conf sizes reduces for figure fidelity (nodes x slots); at 1k
+    // nodes that would make the map-fetch matrix quadratic in the cluster
+    // size. Cap it so shuffle volume stays proportional to the data.
+    conf.num_reduces = nodes.min(64);
+    let bytes_per_job = ((gb_total / jobs as f64) * (1u64 << 30) as f64) as u64;
+    let results: Rc<RefCell<Vec<rmr_core::JobResult>>> = Rc::new(RefCell::new(Vec::new()));
+    let r2 = Rc::clone(&results);
+    let c2 = cluster.clone();
+    let conf2 = conf.clone();
+    sim.spawn_named("scale-driver", async move {
+        for i in 0..jobs {
+            teragen(&c2, &format!("/scale/in{i}"), bytes_per_job, false).await;
+        }
+        let rt = Runtime::with_policy(&c2, conf2.clone(), SchedulePolicy::Fifo);
+        let ids: Vec<_> = (0..jobs)
+            .map(|i| {
+                rt.submit(
+                    conf2.clone(),
+                    terasort_spec(&format!("/scale/in{i}"), &format!("/scale/out{i}")),
+                )
+            })
+            .collect();
+        for id in ids {
+            let res = rt.join(id).await;
+            r2.borrow_mut().push(res);
+        }
+        let fp = rt.state_footprint();
+        assert_eq!(fp.total(), 0, "job-keyed state leaked: {fp:?}");
+    })
+    .detach();
+    let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
+    // simcheck: allow(wall-clock) -- host-side timing of the sim itself
+    let t0 = std::time::Instant::now();
+    sim.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
+    let results = results.borrow();
+    assert_eq!(results.len(), jobs, "scale point n{nodes} hung");
+    let attempts: usize = results
+        .iter()
+        .map(|r| r.maps + r.reduces + r.failed_map_attempts + r.failed_reduce_attempts)
+        .sum();
+    let (m, rd, fm, fr) = results.iter().fold((0, 0, 0, 0), |a, r| {
+        (
+            a.0 + r.maps,
+            a.1 + r.reduces,
+            a.2 + r.failed_map_attempts,
+            a.3 + r.failed_reduce_attempts,
+        )
+    });
+    eprintln!(
+        "  [scale n{nodes}] jobs={jobs} maps={m} reduces={rd} \
+         failed_maps={fm} failed_reduces={fr}"
+    );
+    let mut run = rmr_bench::trajectory::Run::blank("scale", format!("n{nodes}_j{jobs}"));
+    run.wall_s = wall_s;
+    run.sim_s = results.iter().map(|r| r.end_s).fold(0.0, f64::max);
+    run.events = sim.events_fired();
+    run.polls = sim.polls();
+    run.fluid_work = fluid_work;
+    run.items = jobs as u64;
+    run.nodes = nodes as u64;
+    run.attempts = attempts as u64;
+    run
+}
+
+/// Weak-scaling sweep: see module docs.
+fn scale(args: &[String]) {
+    let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let jobs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let gb: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut budget_s: Option<f64> = None;
+    let mut min_attempts: Option<u64> = None;
+    let mut out_path = "BENCH_wallclock.json".to_string();
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget-s" => {
+                i += 1;
+                budget_s = Some(args.get(i).expect("--budget-s value").parse().unwrap());
+            }
+            "--min-attempts" => {
+                i += 1;
+                min_attempts = Some(args.get(i).expect("--min-attempts value").parse().unwrap());
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out value").clone();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Reference points below the target, so the ratios have a baseline.
+    let mut points: Vec<usize> = [64usize, 256, nodes]
+        .into_iter()
+        .filter(|&n| n <= nodes)
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+
+    // Weak scaling: per-node data is fixed at the target's gb/nodes and the
+    // job count stays constant, so every point runs the same blocks-per-node
+    // load (the per-node split rounding is identical across points). Per-job
+    // reduce fan-in still grows with the cluster — reduces are capped while
+    // maps scale — which shifts the event mix toward fluid merge work and
+    // can only *lower* the per-event ratios. The gate is therefore
+    // one-sided: only ratio growth (super-linear control-plane cost per
+    // event) fails the probe.
+    // One worker per point, capped at the host's parallelism: on a small
+    // host, oversubscribing a single core with multiple whole-sim threads
+    // thrashes (scheduler + cache pressure) and corrupts the wall numbers.
+    let threads = rmr_bench::default_threads().min(points.len());
+    let runs = rmr_bench::sweep::sweep_map(&points, threads, |&n, _| {
+        let gb_point = gb * n as f64 / nodes as f64;
+        scale_point(n, jobs, gb_point, seed)
+    });
+
+    println!(
+        "\n{:>6} {:>9} {:>10} {:>12} {:>8} {:>14} {:>12}",
+        "nodes", "attempts", "events", "fluid_work", "wall_s", "fluid/events", "polls/events"
+    );
+    let base = &runs[0];
+    let base_fpe = base.fluid_work as f64 / base.events as f64;
+    let base_ppe = base.polls as f64 / base.events as f64;
+    let mut over_budget = false;
+    let mut max_drift = 1.0f64;
+    for r in &runs {
+        let fpe = r.fluid_work as f64 / r.events as f64;
+        let ppe = r.polls as f64 / r.events as f64;
+        println!(
+            "{:>6} {:>9} {:>10} {:>12} {:>8.2} {:>8.3} ({:>4.2}x) {:>6.3} ({:>4.2}x)",
+            r.nodes,
+            r.attempts,
+            r.events,
+            r.fluid_work,
+            r.wall_s,
+            fpe,
+            fpe / base_fpe,
+            ppe,
+            ppe / base_ppe
+        );
+        for ratio in [fpe / base_fpe, ppe / base_ppe] {
+            max_drift = max_drift.max(ratio);
+        }
+        if let Some(b) = budget_s {
+            if r.wall_s > b {
+                eprintln!(
+                    "BUDGET EXCEEDED: n{} took {:.1}s > {:.1}s",
+                    r.nodes, r.wall_s, b
+                );
+                over_budget = true;
+            }
+        }
+    }
+    println!(
+        "max upward hot-path ratio drift vs n{}: {:.3}x (gate: 1.20x)",
+        base.nodes, max_drift
+    );
+    rmr_bench::trajectory::write_results(&out_path, "scale", false, &runs);
+    println!("appended {} scale rows to {out_path}", runs.len());
+    let mut too_small = false;
+    if let Some(min) = min_attempts {
+        let got = runs.last().map_or(0, |r| r.attempts);
+        if got < min {
+            eprintln!("SMOKE TOO SMALL: target point ran {got} attempts < {min}");
+            too_small = true;
+        }
+    }
+    if over_budget || too_small || max_drift > 1.2 {
+        std::process::exit(1);
     }
 }
 

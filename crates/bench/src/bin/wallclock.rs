@@ -3,7 +3,7 @@
 //! trajectory across PRs.
 //!
 //! Usage:
-//!   wallclock [--quick] [--label NAME] [--out PATH]
+//!   wallclock [--quick] [--label NAME] [--out PATH] [--threads N]
 //!
 //! Scenarios (full mode):
 //!   fig4a_30gb   — TeraSort 30 GB, 4 nodes × 1 HDD, all four Fig 4(a) systems
@@ -33,6 +33,8 @@ use std::rc::Rc;
 // wall-clock reads are its whole point and never feed sim state.
 use std::time::Instant; // simcheck: allow(wall-clock)
 
+use rmr_bench::sweep::sweep;
+use rmr_bench::trajectory::{write_results, Run};
 use rmr_cluster::{
     run_multijob, tuned_block_size, tuned_conf, Bench, MultiJobExperiment, System, Testbed,
 };
@@ -46,26 +48,12 @@ use rmr_des::{Sim, SimDuration};
 use rmr_hdfs::HdfsConfig;
 use rmr_workloads::{teragen, terasort_spec};
 
-/// One benchmark run, serialised as a flat JSON object.
-struct Run {
-    scenario: &'static str,
-    case: String,
-    wall_s: f64,
-    /// Simulated job duration (macro runs; 0 for micro kernels).
-    sim_s: f64,
-    events: u64,
-    polls: u64,
-    fluid_work: u64,
-    /// Work items processed by the kernel under test (micro runs; for the
-    /// macro runs, the record count is not the interesting denominator).
-    items: u64,
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut quick = false;
     let mut label = "current".to_string();
     let mut out_path = "BENCH_wallclock.json".to_string();
+    let mut threads = 1usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -78,9 +66,18 @@ fn main() {
                 i += 1;
                 out_path = args.get(i).expect("--out needs a value").clone();
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
             other => {
                 eprintln!(
-                    "unknown arg {other}; usage: wallclock [--quick] [--label NAME] [--out PATH]"
+                    "unknown arg {other}; usage: wallclock [--quick] [--label NAME] \
+                     [--out PATH] [--threads N]"
                 );
                 std::process::exit(2);
             }
@@ -88,10 +85,15 @@ fn main() {
         i += 1;
     }
 
-    let mut runs: Vec<Run> = Vec::new();
+    // Scenario list, in trajectory-file order. Each task runs entirely on
+    // one worker thread of the sweep pool, so per-run wall times and the
+    // thread-local fluid counter stay clean; more than one thread trades
+    // wall-time comparability (host contention) for turnaround, so the
+    // default stays sequential.
+    type Task = Box<dyn Fn() -> Run + Send + Sync>;
+    let mut tasks: Vec<Task> = Vec::new();
 
-    // -- Macro scenarios: the paper's headline figure points. Sequential on
-    // one thread so wall times and the thread-local fluid counter are clean.
+    // -- Macro scenarios: the paper's headline figure points.
     let (gb_a, gb_b, nodes_a, nodes_b) = if quick {
         (2.0, 2.0, 2, 2)
     } else {
@@ -105,16 +107,20 @@ fn main() {
     ];
     let fig4b = [System::GigE1, System::IpoIb, System::HadoopA, System::OsuIb];
     for sys in fig4a {
-        runs.push(run_macro("fig4a_30gb", sys, gb_a, nodes_a));
+        tasks.push(Box::new(move || {
+            run_macro("fig4a_30gb", sys, gb_a, nodes_a)
+        }));
     }
     for sys in fig4b {
-        runs.push(run_macro("fig4b_100gb", sys, gb_b, nodes_b));
+        tasks.push(Box::new(move || {
+            run_macro("fig4b_100gb", sys, gb_b, nodes_b)
+        }));
     }
 
     // -- Multi-job runtime: the same job mix joined one at a time vs
     // submitted concurrently onto shared slots.
     for concurrent in [false, true] {
-        runs.push(run_multijob_case(quick, concurrent));
+        tasks.push(Box::new(move || run_multijob_case(quick, concurrent)));
     }
 
     // -- Micro kernels.
@@ -124,16 +130,20 @@ fn main() {
         &[500, 1000, 2000]
     };
     for &n in churn_sizes {
-        runs.push(micro_fluid_churn(n));
+        tasks.push(Box::new(move || micro_fluid_churn(n)));
     }
-    runs.push(if quick {
-        micro_event_heap(200, 20)
-    } else {
-        micro_event_heap(2000, 100)
-    });
+    tasks.push(Box::new(move || {
+        if quick {
+            micro_event_heap(200, 20)
+        } else {
+            micro_event_heap(2000, 100)
+        }
+    }));
     let (k, per) = if quick { (32, 2_000) } else { (128, 20_000) };
-    runs.push(micro_merge_pq(k, per, true));
-    runs.push(micro_merge_pq(k, per, false));
+    tasks.push(Box::new(move || micro_merge_pq(k, per, true)));
+    tasks.push(Box::new(move || micro_merge_pq(k, per, false)));
+
+    let runs = sweep(tasks.len(), threads, |i| tasks[i]());
 
     write_results(&out_path, &label, quick, &runs);
     println!(
@@ -187,6 +197,9 @@ fn run_macro(scenario: &'static str, system: System, gb: f64, nodes: usize) -> R
         polls: sim.polls(),
         fluid_work,
         items: 0,
+        nodes: nodes as u64,
+        attempts: (res.maps + res.reduces + res.failed_map_attempts + res.failed_reduce_attempts)
+            as u64,
     };
     eprintln!(
         "  {scenario:12} {:12} sim {:6.0}s  wall {:6.2}s  events {:.2e}  fluid_work {:.2e}",
@@ -220,6 +233,10 @@ fn run_multijob_case(quick: bool, concurrent: bool) -> Run {
     } else {
         recs.iter().map(|r| r.duration_s).sum()
     };
+    let attempts: usize = recs
+        .iter()
+        .map(|r| r.maps + r.reduces + r.failed_maps + r.failed_reduces)
+        .sum();
     let run = Run {
         scenario: "multijob",
         case: format!(
@@ -234,6 +251,8 @@ fn run_multijob_case(quick: bool, concurrent: bool) -> Run {
         polls: 0,
         fluid_work,
         items: jobs as u64,
+        nodes: nodes as u64,
+        attempts: attempts as u64,
     };
     eprintln!(
         "  {:12} {:16} sim {:6.0}s  wall {:6.2}s  jobs {}",
@@ -275,6 +294,8 @@ fn micro_fluid_churn(n: usize) -> Run {
         polls: sim.polls(),
         fluid_work,
         items: (n * ROUNDS) as u64,
+        nodes: 0,
+        attempts: 0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  completions {}  fluid_work {}  (work/completion {:.1})",
@@ -313,6 +334,8 @@ fn micro_event_heap(tasks: usize, rounds: usize) -> Run {
         polls: sim.polls(),
         fluid_work: 0,
         items: (tasks * rounds) as u64,
+        nodes: 0,
+        attempts: 0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  events {}  polls {}",
@@ -360,6 +383,8 @@ fn micro_merge_pq(k: usize, per_source: u64, real: bool) -> Run {
         polls: 0,
         fluid_work: 0,
         items: emitted,
+        nodes: 0,
+        attempts: 0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  records {}",
@@ -412,116 +437,6 @@ impl VecPackets {
         } else {
             self.next_j += n;
             Some(Segment::synthetic(n, n * 100))
-        }
-    }
-}
-
-// --- JSON output ---------------------------------------------------------
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn run_line(label: &str, quick: bool, r: &Run) -> String {
-    format!(
-        "{{\"label\":\"{}\",\"scenario\":\"{}\",\"case\":\"{}\",\"quick\":{},\
-         \"wall_s\":{:.4},\"sim_s\":{:.2},\"events\":{},\"polls\":{},\
-         \"fluid_work\":{},\"items\":{}}}",
-        json_escape(label),
-        json_escape(r.scenario),
-        json_escape(&r.case),
-        quick,
-        r.wall_s,
-        r.sim_s,
-        r.events,
-        r.polls,
-        r.fluid_work,
-        r.items,
-    )
-}
-
-/// Pulls a numeric field out of a flat run line (good enough for our own
-/// serialisation format).
-fn field_f64(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let at = line.find(&pat)? + pat.len();
-    let rest = &line[at..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":\"");
-    let at = line.find(&pat)? + pat.len();
-    let rest = &line[at..];
-    Some(&rest[..rest.find('"')?])
-}
-
-/// Writes the trajectory file: keeps run lines from other labels, replaces
-/// this label's, and prints a speedup table against "before" if present.
-fn write_results(path: &str, label: &str, quick: bool, runs: &[Run]) {
-    let kept: Vec<String> = std::fs::read_to_string(path)
-        .map(|text| {
-            text.lines()
-                .map(str::trim)
-                .filter(|l| l.starts_with("{\"label\""))
-                .map(|l| l.trim_end_matches(',').to_string())
-                .filter(|l| field_str(l, "label") != Some(label))
-                .collect()
-        })
-        .unwrap_or_default();
-
-    let mut lines = kept.clone();
-    for r in runs {
-        lines.push(run_line(label, quick, r));
-    }
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
-    out.push_str("  \"generated_by\": \"rmr-bench wallclock\",\n");
-    out.push_str("  \"runs\": [\n");
-    for (i, l) in lines.iter().enumerate() {
-        out.push_str("    ");
-        out.push_str(l);
-        if i + 1 < lines.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write trajectory file");
-
-    // Speedup table vs "before" (same scenario/case, same machine assumed).
-    if label != "before" {
-        let mut printed_header = false;
-        for r in runs {
-            let before = kept.iter().find(|l| {
-                field_str(l, "label") == Some("before")
-                    && field_str(l, "scenario") == Some(r.scenario)
-                    && field_str(l, "case").map(str::to_string) == Some(r.case.clone())
-            });
-            if let Some(b) = before {
-                let (Some(bw), w) = (field_f64(b, "wall_s"), r.wall_s) else {
-                    continue;
-                };
-                if !printed_header {
-                    println!(
-                        "\n{:12} {:16} {:>9} {:>9} {:>8}",
-                        "scenario", "case", "before", label, "speedup"
-                    );
-                    printed_header = true;
-                }
-                println!(
-                    "{:12} {:16} {:8.2}s {:8.2}s {:7.2}x",
-                    r.scenario,
-                    r.case,
-                    bw,
-                    w,
-                    bw / w.max(1e-9)
-                );
-            }
         }
     }
 }

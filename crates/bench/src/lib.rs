@@ -9,7 +9,12 @@
 
 use std::io::Write as _;
 
-use rmr_cluster::{format_table, run_all, Bench, Experiment, RunRecord, System, Testbed};
+use rmr_cluster::{
+    format_table, run_experiment_traced, Bench, Experiment, RunRecord, System, Testbed,
+};
+
+pub mod sweep;
+pub mod trajectory;
 
 /// A quantified claim from the paper's text, checked against measurements.
 #[derive(Debug, Clone)]
@@ -385,7 +390,7 @@ pub fn run_figure(fig: &Figure, threads: usize) -> Vec<RunRecord> {
         fig.title,
         fig.experiments.len()
     );
-    let records = run_all(&fig.experiments, threads);
+    let records = run_grid(&fig.experiments, threads);
     println!("\n{} — {}", fig.id, fig.title);
     println!("{}", format_table(&records));
     if !fig.claims.is_empty() {
@@ -405,6 +410,28 @@ pub fn run_figure(fig: &Figure, threads: usize) -> Vec<RunRecord> {
     }
     write_results(fig.id, &records);
     records
+}
+
+/// Runs an experiment grid through the [`sweep`] worker pool, preserving
+/// grid order in the output regardless of thread count.
+pub fn run_grid(experiments: &[Experiment], threads: usize) -> Vec<RunRecord> {
+    run_grid_traced(experiments, threads)
+        .into_iter()
+        .map(|(rec, _)| rec)
+        .collect()
+}
+
+/// [`run_grid`] plus each run's replay-identity trace hash — what the
+/// determinism gates compare across thread counts.
+pub fn run_grid_traced(experiments: &[Experiment], threads: usize) -> Vec<(RunRecord, u64)> {
+    sweep::sweep_map(experiments, threads, |exp, _| {
+        let (rec, hash) = run_experiment_traced(exp);
+        eprintln!(
+            "  [{}] {} {} {}GB n{} d{} → {:.0}s",
+            exp.id, rec.bench, rec.system, rec.data_gb, rec.nodes, rec.disks, rec.duration_s
+        );
+        (rec, hash)
+    })
 }
 
 /// Writes records as JSON lines under `results/`.

@@ -1,0 +1,212 @@
+//! The `BENCH_wallclock.json` trajectory file: flat JSON run lines keyed by
+//! label, shared by the `wallclock` harness and `probe scale`.
+//!
+//! One [`Run`] per line. Re-writing with a label replaces that label's rows
+//! and keeps every other label's, so before/after pairs (and the scale
+//! probe's node-count series) accumulate in one committed file.
+
+/// One benchmark run, serialised as a flat JSON object.
+pub struct Run {
+    /// Scenario family ("fig4a_30gb", "micro", "scale", ...).
+    pub scenario: &'static str,
+    /// Case within the scenario ("OSU-IB (32Gbps)", "n1024_j8", ...).
+    pub case: String,
+    /// Host wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// Simulated job duration (macro runs; 0 for micro kernels).
+    pub sim_s: f64,
+    /// Executor events fired.
+    pub events: u64,
+    /// Task polls.
+    pub polls: u64,
+    /// Fluid-solver advance work (thread-local counter delta).
+    pub fluid_work: u64,
+    /// Work items processed by the kernel under test (micro runs; for the
+    /// macro runs, the record count is not the interesting denominator).
+    pub items: u64,
+    /// Worker node count (scale runs; 0 where the cluster size is implied
+    /// by the scenario).
+    pub nodes: u64,
+    /// Task attempts launched (scale runs; 0 elsewhere).
+    pub attempts: u64,
+}
+
+impl Run {
+    /// A run with every counter zeroed — fill in what the scenario measures.
+    pub fn blank(scenario: &'static str, case: String) -> Run {
+        Run {
+            scenario,
+            case,
+            wall_s: 0.0,
+            sim_s: 0.0,
+            events: 0,
+            polls: 0,
+            fluid_work: 0,
+            items: 0,
+            nodes: 0,
+            attempts: 0,
+        }
+    }
+}
+
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialises one run line. Field order is part of the file format: the
+/// determinism gates byte-compare these lines across thread counts.
+pub fn run_line(label: &str, quick: bool, r: &Run) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"scenario\":\"{}\",\"case\":\"{}\",\"quick\":{},\
+         \"wall_s\":{:.4},\"sim_s\":{:.2},\"events\":{},\"polls\":{},\
+         \"fluid_work\":{},\"items\":{},\"nodes\":{},\"attempts\":{}}}",
+        json_escape(label),
+        json_escape(r.scenario),
+        json_escape(&r.case),
+        quick,
+        r.wall_s,
+        r.sim_s,
+        r.events,
+        r.polls,
+        r.fluid_work,
+        r.items,
+        r.nodes,
+        r.attempts,
+    )
+}
+
+/// Pulls a numeric field out of a flat run line (good enough for our own
+/// serialisation format).
+pub fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Writes the trajectory file: keeps run lines from other labels, replaces
+/// this label's, and prints a speedup table against "before" if present.
+pub fn write_results(path: &str, label: &str, quick: bool, runs: &[Run]) {
+    let kept: Vec<String> = std::fs::read_to_string(path)
+        .map(|text| {
+            text.lines()
+                .map(str::trim)
+                .filter(|l| l.starts_with("{\"label\""))
+                .map(|l| l.trim_end_matches(',').to_string())
+                .filter(|l| field_str(l, "label") != Some(label))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut lines = kept.clone();
+    for r in runs {
+        lines.push(run_line(label, quick, r));
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"generated_by\": \"rmr-bench wallclock\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(l);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write trajectory file");
+
+    // Speedup table vs "before" (same scenario/case, same machine assumed).
+    if label != "before" {
+        let mut printed_header = false;
+        for r in runs {
+            let before = kept.iter().find(|l| {
+                field_str(l, "label") == Some("before")
+                    && field_str(l, "scenario") == Some(r.scenario)
+                    && field_str(l, "case").map(str::to_string) == Some(r.case.clone())
+            });
+            if let Some(b) = before {
+                let (Some(bw), w) = (field_f64(b, "wall_s"), r.wall_s) else {
+                    continue;
+                };
+                if !printed_header {
+                    println!(
+                        "\n{:12} {:16} {:>9} {:>9} {:>8}",
+                        "scenario", "case", "before", label, "speedup"
+                    );
+                    printed_header = true;
+                }
+                println!(
+                    "{:12} {:16} {:8.2}s {:8.2}s {:7.2}x",
+                    r.scenario,
+                    r.case,
+                    bw,
+                    w,
+                    bw / w.max(1e-9)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_line_has_the_full_column_set_in_order() {
+        let mut r = Run::blank("scale", "n64_j2".to_string());
+        r.wall_s = 1.5;
+        r.nodes = 64;
+        r.attempts = 1234;
+        let line = run_line("lbl", false, &r);
+        let keys: Vec<&str> = [
+            "label",
+            "scenario",
+            "case",
+            "quick",
+            "wall_s",
+            "sim_s",
+            "events",
+            "polls",
+            "fluid_work",
+            "items",
+            "nodes",
+            "attempts",
+        ]
+        .to_vec();
+        let mut at = 0;
+        for k in keys {
+            let pat = format!("\"{k}\":");
+            let pos = line[at..].find(&pat).unwrap_or_else(|| {
+                panic!("missing or out-of-order key {k} in {line}");
+            });
+            at += pos + pat.len();
+        }
+        assert!(line.contains("\"nodes\":64"));
+        assert!(line.contains("\"attempts\":1234"));
+    }
+
+    #[test]
+    fn field_parsers_round_trip() {
+        let mut r = Run::blank("micro", "kernel".to_string());
+        r.wall_s = 0.25;
+        r.events = 42;
+        let line = run_line("x", true, &r);
+        assert_eq!(field_str(&line, "scenario"), Some("micro"));
+        assert_eq!(field_f64(&line, "wall_s"), Some(0.25));
+        assert_eq!(field_f64(&line, "events"), Some(42.0));
+    }
+}

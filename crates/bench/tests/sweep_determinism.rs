@@ -1,0 +1,56 @@
+//! Thread-count invariance gate for the parallel sweep runner: the same
+//! grid must produce byte-identical serialised results — and identical
+//! per-run replay trace hashes — at 1, 4, and 8 worker threads. The pool
+//! may schedule items onto threads however it likes; nothing observable is
+//! allowed to depend on that.
+
+use rmr_bench::run_grid_traced;
+use rmr_cluster::{Bench, Experiment, System, Testbed};
+
+fn tiny_grid() -> Vec<Experiment> {
+    let mut exps = Vec::new();
+    for system in [System::IpoIb, System::HadoopA, System::OsuIb] {
+        for gb in [0.25, 0.5] {
+            exps.push(Experiment::new(
+                "gate",
+                Bench::TeraSort,
+                system,
+                Testbed::compute(2, 1),
+                gb,
+                42,
+            ));
+        }
+    }
+    exps
+}
+
+#[test]
+fn grid_is_byte_identical_at_any_thread_count() {
+    let grid = tiny_grid();
+    let runs: Vec<(String, Vec<u64>)> = [1usize, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let out = run_grid_traced(&grid, threads);
+            let jsonl: String = out
+                .iter()
+                .map(|(rec, _)| format!("{}\n", rec.to_json()))
+                .collect();
+            let hashes: Vec<u64> = out.iter().map(|(_, h)| *h).collect();
+            (jsonl, hashes)
+        })
+        .collect();
+    assert!(!runs[0].0.is_empty());
+    assert_eq!(runs[0].1.len(), grid.len());
+    for (i, threads) in [4usize, 8].into_iter().enumerate() {
+        assert_eq!(
+            runs[0].0,
+            runs[i + 1].0,
+            "jsonl differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            runs[0].1,
+            runs[i + 1].1,
+            "trace hashes differ between 1 and {threads} threads"
+        );
+    }
+}

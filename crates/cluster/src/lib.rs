@@ -8,6 +8,7 @@ pub mod runner;
 pub mod testbed;
 
 pub use runner::{
-    format_table, run_all, run_experiment, run_multijob, Experiment, MultiJobExperiment, RunRecord,
+    format_table, run_all, run_experiment, run_experiment_traced, run_multijob, Experiment,
+    MultiJobExperiment, RunRecord,
 };
 pub use testbed::{tuned_block_size, tuned_conf, Bench, System, Testbed};

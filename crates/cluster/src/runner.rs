@@ -348,13 +348,21 @@ fn json_fields(json: &str) -> Result<Vec<(String, JsonValue)>, String> {
 /// Runs one experiment point (synthetic data plane) to completion inside
 /// its own simulation.
 pub fn run_experiment(exp: &Experiment) -> RunRecord {
+    run_experiment_traced(exp).0
+}
+
+/// [`run_experiment`] plus the simulation's replay-identity trace hash —
+/// the determinism fingerprint the sweep gates compare across thread
+/// counts and topologies.
+pub fn run_experiment_traced(exp: &Experiment) -> (RunRecord, u64) {
     let sim = rmr_des::Sim::new(exp.seed);
     let block_size = exp
         .block_size_override
         .unwrap_or_else(|| tuned_block_size(exp.system, exp.bench));
-    let cluster = Cluster::build(
+    let cluster = Cluster::build_with_topology(
         &sim,
         exp.system.fabric(),
+        exp.testbed.topology,
         &exp.testbed.node_specs(),
         HdfsConfig {
             block_size,
@@ -391,7 +399,7 @@ pub fn run_experiment(exp: &Experiment) -> RunRecord {
         .borrow_mut()
         .take()
         .unwrap_or_else(|| panic!("experiment {} hung", exp.id));
-    RunRecord::from_result(exp, &res)
+    (RunRecord::from_result(exp, &res), sim.trace_hash())
 }
 
 /// A multi-job experiment point: `jobs` identical TeraSort jobs through one
@@ -421,9 +429,10 @@ pub struct MultiJobExperiment {
 /// order, with per-job queue wait and slot occupancy filled in.
 pub fn run_multijob(exp: &MultiJobExperiment) -> Vec<RunRecord> {
     let sim = rmr_des::Sim::new(exp.seed);
-    let cluster = Cluster::build(
+    let cluster = Cluster::build_with_topology(
         &sim,
         exp.system.fabric(),
+        exp.testbed.topology,
         &exp.testbed.node_specs(),
         HdfsConfig {
             block_size: tuned_block_size(exp.system, Bench::TeraSort),

@@ -10,7 +10,7 @@
 //! * 4 concurrent map and 4 concurrent reduce tasks per TaskTracker.
 
 use rmr_core::{JobConf, NodeSpec, ShuffleKind};
-use rmr_net::FabricParams;
+use rmr_net::{FabricParams, Topology};
 use rmr_store::DiskParams;
 
 /// The systems compared in the paper's figures.
@@ -114,6 +114,9 @@ pub struct Testbed {
     pub ssd: bool,
     /// Storage-class nodes (24 GB RAM) instead of compute-class (12 GB).
     pub storage_class: bool,
+    /// Rack structure of the fabric. The paper's testbed is a single QDR
+    /// switch, so every preset defaults to [`Topology::flat`].
+    pub topology: Topology,
 }
 
 impl Testbed {
@@ -124,6 +127,7 @@ impl Testbed {
             disks,
             ssd: false,
             storage_class: false,
+            topology: Topology::flat(),
         }
     }
 
@@ -134,6 +138,7 @@ impl Testbed {
             disks,
             ssd: false,
             storage_class: true,
+            topology: Topology::flat(),
         }
     }
 
@@ -144,7 +149,16 @@ impl Testbed {
             disks: 1,
             ssd: true,
             storage_class: false,
+            topology: Topology::flat(),
         }
+    }
+
+    /// Same testbed behind racks of `rack_size` hosts with core uplinks
+    /// oversubscribed by `oversub`. At `oversub` 1.0 this replays
+    /// bit-identically to the flat default (see [`Topology::constrains`]).
+    pub fn with_racks(mut self, rack_size: usize, oversub: f64) -> Self {
+        self.topology = Topology::racks(rack_size, oversub);
+        self
     }
 
     /// Expands into per-node specs.

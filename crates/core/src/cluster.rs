@@ -8,7 +8,7 @@
 
 use rmr_des::prelude::*;
 use rmr_hdfs::{HdfsCluster, HdfsConfig};
-use rmr_net::{FabricParams, Network, NodeId};
+use rmr_net::{FabricParams, Network, NodeId, Topology};
 use rmr_store::{DiskParams, LocalFs};
 
 /// Hardware description of one worker node.
@@ -91,14 +91,27 @@ pub struct Cluster {
 
 impl Cluster {
     /// Builds a cluster of `workers` identical nodes plus a master, on the
-    /// given fabric, with HDFS configured by `hdfs_cfg`.
+    /// given fabric, with HDFS configured by `hdfs_cfg`, on a flat (single
+    /// non-blocking switch) topology.
     pub fn build(
         sim: &Sim,
         fabric: FabricParams,
         worker_specs: &[NodeSpec],
         hdfs_cfg: HdfsConfig,
     ) -> Cluster {
-        let net = Network::new(sim, fabric);
+        Cluster::build_with_topology(sim, fabric, Topology::flat(), worker_specs, hdfs_cfg)
+    }
+
+    /// [`Cluster::build`] with an explicit rack topology. The master sits
+    /// in rack 0 (it is NodeId 0); workers fill racks contiguously.
+    pub fn build_with_topology(
+        sim: &Sim,
+        fabric: FabricParams,
+        topology: Topology,
+        worker_specs: &[NodeSpec],
+        hdfs_cfg: HdfsConfig,
+    ) -> Cluster {
+        let net = Network::with_topology(sim, fabric, topology);
         // Master first: NameNode + JobTracker (no TaskTracker/DataNode).
         let master_cpu = Fluid::with_entry_cap(sim, 8.0, 1.0);
         let master = net.add_node(Some(master_cpu));
@@ -138,9 +151,13 @@ impl Cluster {
         self.workers.len()
     }
 
-    /// The worker index hosting `node`, if any.
+    /// The worker index hosting `node`, if any. O(1): the master is added
+    /// first (NodeId 0), so worker `i` always has NodeId `i + 1`.
     pub fn worker_of(&self, node: NodeId) -> Option<usize> {
-        self.workers.iter().position(|w| w.id == node)
+        let idx = (node.0 as usize).checked_sub(1)?;
+        let w = self.workers.get(idx)?;
+        debug_assert_eq!(w.id, node, "workers must be dense after the master");
+        Some(idx)
     }
 }
 

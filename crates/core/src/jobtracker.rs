@@ -28,8 +28,24 @@ pub struct MapTaskDesc {
 pub type CompletionEvent = (usize, usize);
 
 /// The job's scheduling state.
+///
+/// Pending maps live in a key-ordered map (`pending`) whose ascending key
+/// order *is* the old scheduling deque's front-to-back order: initial tasks
+/// get keys `0..n`, re-queued failures take ever-smaller keys (push-front),
+/// so "first pending task" = "smallest key". A per-node locality index
+/// (`local`) holds, for each replica host, the pending keys of its local
+/// splits in the same ascending order, with lazy deletion: a task assigned
+/// elsewhere leaves stale keys behind that are skipped (and dropped) when
+/// popped. This makes a heartbeat's locality pass amortized O(assigned)
+/// instead of O(pending) — the difference between flat and quadratic
+/// heartbeat cost at 1k nodes.
 pub struct JobTracker {
-    maps_pending: VecDeque<MapTaskDesc>,
+    /// Pending maps in scheduling order (ascending key).
+    pending: BTreeMap<i64, MapTaskDesc>,
+    /// Per-node queues of pending keys local to that node (lazy-deleted).
+    local: BTreeMap<NodeId, VecDeque<i64>>,
+    /// Next key for a front re-queue (monotonically decreasing).
+    front_key: i64,
     maps_running: usize,
     maps_completed: usize,
     total_maps: usize,
@@ -65,8 +81,21 @@ impl JobTracker {
         fail_map_once: Option<usize>,
     ) -> Self {
         let total_maps = maps.len();
+        let mut local: BTreeMap<NodeId, VecDeque<i64>> = BTreeMap::new();
+        let pending: BTreeMap<i64, MapTaskDesc> = maps
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| (i as i64, m))
+            .collect();
+        for (key, m) in &pending {
+            for loc in &m.locations {
+                local.entry(*loc).or_default().push_back(*key);
+            }
+        }
         JobTracker {
-            maps_pending: maps.into(),
+            pending,
+            local,
+            front_key: -1,
             maps_running: 0,
             maps_completed: 0,
             total_maps,
@@ -126,7 +155,21 @@ impl JobTracker {
 
     /// Map tasks waiting to be assigned.
     pub fn pending_maps(&self) -> usize {
-        self.maps_pending.len()
+        self.pending.len()
+    }
+
+    /// Would a heartbeat advertising free slots get *any* assignment right
+    /// now? O(1); lets the runtime skip whole jobs during its per-node
+    /// walk instead of paying a full (no-op) heartbeat per idle job.
+    /// Conservative on speculation: running tasks *may* have stragglers.
+    pub fn has_assignable_work(&self) -> bool {
+        if !self.pending.is_empty() {
+            return true;
+        }
+        if !self.reduces_pending.is_empty() && self.reduce_phase_open() {
+            return true;
+        }
+        self.speculative && !self.running.is_empty()
     }
 
     /// Map attempts currently running (speculative duplicates included).
@@ -155,21 +198,27 @@ impl JobTracker {
         free_reduce_slots: usize,
     ) -> (Vec<MapTaskDesc>, Vec<usize>) {
         let mut maps = Vec::new();
-        // Pass 1: data-local.
-        while maps.len() < free_map_slots {
-            let pos = self
-                .maps_pending
-                .iter()
-                .position(|m| m.locations.contains(&node));
-            match pos {
-                Some(p) => maps.push(self.maps_pending.remove(p).unwrap()),
-                None => break,
+        // Pass 1: data-local — pop this node's locality queue, skipping
+        // (and discarding) stale keys of tasks already assigned elsewhere.
+        if let Some(queue) = self.local.get_mut(&node) {
+            while maps.len() < free_map_slots {
+                match queue.pop_front() {
+                    Some(key) => {
+                        if let Some(m) = self.pending.remove(&key) {
+                            maps.push(m);
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if queue.is_empty() {
+                self.local.remove(&node);
             }
         }
-        // Pass 2: any.
+        // Pass 2: any — first pending task in scheduling order.
         while maps.len() < free_map_slots {
-            match self.maps_pending.pop_front() {
-                Some(m) => maps.push(m),
+            match self.pending.pop_first() {
+                Some((_, m)) => maps.push(m),
                 None => break,
             }
         }
@@ -179,7 +228,7 @@ impl JobTracker {
         }
         // Pass 3: speculation — pending queue drained, idle slots re-run the
         // oldest single-attempt stragglers.
-        if self.speculative && self.maps_pending.is_empty() {
+        if self.speculative && self.pending.is_empty() {
             let mut stragglers: Vec<(u64, usize)> = self
                 .running
                 .iter()
@@ -273,7 +322,15 @@ impl JobTracker {
             }
             self.running.remove(&desc.idx);
         }
-        self.maps_pending.push_front(desc);
+        // Re-queue at the front (re-execute soon): an ever-smaller key sorts
+        // before everything pending, and front-pushing the locality queues
+        // keeps them ascending (every new front key is the global minimum).
+        let key = self.front_key;
+        self.front_key -= 1;
+        for loc in &desc.locations {
+            self.local.entry(*loc).or_default().push_front(key);
+        }
+        self.pending.insert(key, desc);
     }
 
     /// Should this reduce attempt fail? (Consumes the injection.)

@@ -46,5 +46,5 @@ pub use record::{
     decode_records, encode_records, HashPartitioner, Partitioner, Record, Segment,
     TotalOrderPartitioner,
 };
-pub use runtime::{JobId, Runtime, SchedulePolicy};
+pub use runtime::{JobId, Runtime, SchedulePolicy, StateFootprint};
 pub use spec::JobSpec;

@@ -236,7 +236,8 @@ impl PrefetchCache {
     }
 
     /// Drops every entry of `job` (job cleanup at commit). The job's
-    /// hit/miss counters are kept so late stat reads stay correct.
+    /// hit/miss counters are kept so late stat reads stay correct; drop
+    /// them separately with [`PrefetchCache::forget_job_stats`].
     pub fn remove_job(&self, job: JobId) {
         let mut i = self.inner.borrow_mut();
         let mut freed = 0;
@@ -249,6 +250,19 @@ impl PrefetchCache {
             }
         });
         i.used -= freed;
+    }
+
+    /// Drops `job`'s per-job hit/miss counters (after the final stat read
+    /// at job commit); without this the `by_job` map grows one entry per
+    /// job ever run. Cluster-wide totals ([`PrefetchCache::stats`]) are
+    /// unaffected.
+    pub fn forget_job_stats(&self, job: JobId) {
+        self.inner.borrow_mut().by_job.remove(&job);
+    }
+
+    /// Number of jobs with live per-job stat counters (leak test hook).
+    pub fn tracked_jobs(&self) -> usize {
+        self.inner.borrow().by_job.len()
     }
 }
 

@@ -40,6 +40,36 @@ const HEARTBEAT_BYTES: u64 = 1024;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u32);
 
+/// Snapshot of the runtime's job-keyed state sizes (see
+/// [`Runtime::state_footprint`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StateFootprint {
+    /// Jobs still running (in the `jobs` map).
+    pub in_flight_jobs: usize,
+    /// Finished jobs whose results nobody has joined yet.
+    pub unjoined_finished: usize,
+    /// Map outputs retained across all TaskTracker stores.
+    pub tt_outputs: usize,
+    /// Jobs the PrefetchCaches still track admission stats for.
+    pub tt_cache_jobs: usize,
+    /// Open shuffle-serving segment cursors across TaskTrackers.
+    pub tt_serve_cursors: usize,
+    /// Open shuffle-serving disk readers across TaskTrackers.
+    pub tt_serve_readers: usize,
+}
+
+impl StateFootprint {
+    /// Total job-keyed entries held anywhere.
+    pub fn total(&self) -> usize {
+        self.in_flight_jobs
+            + self.unjoined_finished
+            + self.tt_outputs
+            + self.tt_cache_jobs
+            + self.tt_serve_cursors
+            + self.tt_serve_readers
+    }
+}
+
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "j{}", self.0)
@@ -135,8 +165,13 @@ struct RtInner {
     tts: Vec<Rc<TaskTracker>>,
     servers: Rc<Vec<TtServerHandle>>,
     outputs: MapOutputStore,
-    /// Every job ever submitted (results stay retrievable after finish).
+    /// Jobs still in the system. A finished job's scheduling state is
+    /// dropped at completion: the entry moves to [`RtInner::finished`] as a
+    /// bare result, so map sizes stay bounded across long job sequences.
     jobs: RefCell<BTreeMap<u32, Rc<ActiveJob>>>,
+    /// Results of finished jobs, awaiting pickup. [`Runtime::join`]
+    /// *consumes* the entry; [`Runtime::poll`] peeks.
+    finished: RefCell<BTreeMap<u32, JobResult>>,
     /// Submission-ordered queue of unfinished jobs.
     active: RefCell<VecDeque<u32>>,
     next_id: Cell<u32>,
@@ -207,6 +242,7 @@ impl Runtime {
             servers: Rc::new(servers),
             outputs,
             jobs: RefCell::new(BTreeMap::new()),
+            finished: RefCell::new(BTreeMap::new()),
             active: RefCell::new(VecDeque::new()),
             next_id: Cell::new(0),
             rr: Cell::new(0),
@@ -312,33 +348,73 @@ impl Runtime {
         id
     }
 
-    /// Returns `id`'s result if the job has finished.
+    /// Returns `id`'s result if the job has finished (non-consuming peek).
     pub fn poll(&self, id: JobId) -> Option<JobResult> {
-        let jobs = self.inner.jobs.borrow();
-        let job = jobs.get(&id.0).expect("unknown job id");
-        let res = job.result.borrow().clone();
-        res
+        if let Some(job) = self.inner.jobs.borrow().get(&id.0) {
+            return job.result.borrow().clone();
+        }
+        Some(
+            self.inner
+                .finished
+                .borrow()
+                .get(&id.0)
+                .expect("unknown or already-joined job id")
+                .clone(),
+        )
     }
 
-    /// Waits until `id` finishes and returns its result.
+    /// Waits until `id` finishes and returns its result, *consuming* the
+    /// runtime's stored copy — each job is joined once, and the runtime
+    /// holds no per-job state afterwards.
     pub async fn join(&self, id: JobId) -> JobResult {
         let job = {
+            if let Some(res) = self.inner.finished.borrow_mut().remove(&id.0) {
+                return res;
+            }
             let jobs = self.inner.jobs.borrow();
-            Rc::clone(jobs.get(&id.0).expect("unknown job id"))
+            Rc::clone(jobs.get(&id.0).expect("unknown or already-joined job id"))
         };
         loop {
             // Arm before checking: `Notify` is edge-triggered.
             let waiter = job.done.notified();
-            if let Some(res) = job.result.borrow().as_ref() {
-                return res.clone();
+            if job.result.borrow().is_some() {
+                break;
             }
             waiter.await;
         }
+        // A concurrent joiner may have consumed the stored copy already;
+        // the `ActiveJob` we hold keeps a fallback.
+        self.inner
+            .finished
+            .borrow_mut()
+            .remove(&id.0)
+            .unwrap_or_else(|| job.result.borrow().clone().expect("done without result"))
     }
 
     /// Jobs submitted but not yet finished.
     pub fn active_jobs(&self) -> usize {
         self.inner.active.borrow().len()
+    }
+
+    /// Sizes of the runtime's job-keyed state — a leak canary for long job
+    /// sequences. Every field must return to zero once all jobs are joined;
+    /// a long-lived runtime whose footprint grows with jobs-ever-run cannot
+    /// survive a 1k-node sweep.
+    pub fn state_footprint(&self) -> StateFootprint {
+        let inner = &self.inner;
+        let mut fp = StateFootprint {
+            in_flight_jobs: inner.jobs.borrow().len(),
+            unjoined_finished: inner.finished.borrow().len(),
+            ..StateFootprint::default()
+        };
+        for tt in &inner.tts {
+            fp.tt_outputs += tt.outputs.len();
+            fp.tt_cache_jobs += tt.cache.tracked_jobs();
+            let (cursors, readers) = tt.serve_state_counts();
+            fp.tt_serve_cursors += cursors;
+            fp.tt_serve_readers += readers;
+        }
+        fp
     }
 
     /// The observability bus this runtime emits to ([`Recorder::off`] unless
@@ -450,6 +526,13 @@ impl RtInner {
                     None => continue,
                 }
             };
+            // O(1) skip for jobs with nothing assignable (all maps running,
+            // reducers gated or launched): a full heartbeat would mutate
+            // nothing and return empty, so eliding it is behavior-identical
+            // and keeps the walk O(jobs-with-work) instead of O(jobs).
+            if !job.jt.borrow().has_assignable_work() {
+                continue;
+            }
             let (maps, reduces) = job.jt.borrow_mut().heartbeat(node, *free_m, *free_r);
             *free_m = free_m.saturating_sub(maps.len());
             *free_r = free_r.saturating_sub(reduces.len());
@@ -470,6 +553,7 @@ impl RtInner {
             hits += h;
             misses += m;
             tt.cleanup_job(job.id);
+            tt.cache.forget_job_stats(job.id);
         }
         self.outputs.remove_job(job.id);
         self.active.borrow_mut().retain(|&j| j != job.id.0);
@@ -520,7 +604,13 @@ impl RtInner {
             reduce_stats,
             timeline: job.timeline.events(),
         };
-        *job.result.borrow_mut() = Some(result);
+        *job.result.borrow_mut() = Some(result.clone());
+        // Drop the job's scheduling state (its `ActiveJob` — JobTracker
+        // event log, locality index, timeline) from the runtime; the bare
+        // result parks in `finished` until joined. In-flight speculative
+        // losers still hold their own `Rc<ActiveJob>` and report in safely.
+        self.finished.borrow_mut().insert(job.id.0, result);
+        self.jobs.borrow_mut().remove(&job.id.0);
         self.obs.emit(|| Ev::JobState {
             job: job.id.0,
             state: JobState::Finished,

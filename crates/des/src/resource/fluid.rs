@@ -115,7 +115,13 @@ struct Inner {
     /// The virtual clock: per-unit-weight service since the last idle period.
     vt: f64,
     last: SimTime,
-    next_event: Option<EventId>,
+    /// The scheduled next-completion kernel event and its firing time.
+    /// Tracking the time lets [`Fluid::reschedule`] keep the event in place
+    /// when a membership change didn't move the earliest completion
+    /// (cap-bound regimes), skipping a cancel+push pair of heap churn.
+    next_event: Option<(EventId, SimTime)>,
+    /// Reused wake-batch buffer for [`Inner::complete_finished`].
+    wake_batch: Vec<usize>,
     served: f64,
     busy: f64,
     metrics_key: Option<String>,
@@ -165,7 +171,11 @@ impl Inner {
     /// per-entry scan's wake order exactly — downstream models (spill
     /// thresholds, disk stream interleaving) are sensitive to it.
     fn complete_finished(&mut self) -> bool {
-        let mut batch: Vec<usize> = Vec::new();
+        // Reuse the wake-batch buffer across calls: at 1k-node churn this
+        // path runs once per completion batch and the per-call Vec alloc
+        // shows up in profiles. Host-side only — wake order is unchanged.
+        let mut batch = std::mem::take(&mut self.wake_batch);
+        batch.clear();
         while let Some(Reverse(top)) = self.heap.peek() {
             if self.is_stale(top) {
                 FLUID_ADVANCE_WORK.with(|w| w.set(w.get() + 1));
@@ -192,12 +202,13 @@ impl Inner {
         }
         let changed = !batch.is_empty();
         batch.sort_unstable();
-        for idx in batch {
+        for idx in batch.drain(..) {
             let e = self.entries[idx].as_mut().unwrap();
             if let Some(w) = e.waker.take() {
                 w.wake();
             }
         }
+        self.wake_batch = batch;
         if self.active == 0 {
             self.reset_clock();
         }
@@ -267,6 +278,7 @@ impl Fluid {
                 vt: 0.0,
                 last: sim.now(),
                 next_event: None,
+                wake_batch: Vec::new(),
                 served: 0.0,
                 busy: 0.0,
                 metrics_key: None,
@@ -381,9 +393,14 @@ impl Fluid {
     }
 
     /// Recomputes and reschedules the next-completion event.
+    ///
+    /// Always cancel + schedule fresh: an in-place "keep the event when the
+    /// time is unchanged" variant was measured to reorder same-instant event
+    /// seqs against other schedulers, which perturbs verbs-engine results —
+    /// the replay-identity gates forbid it. The cancel is O(1) (lazy).
     fn reschedule(&self) {
         let mut inner = self.inner.borrow_mut();
-        if let Some(ev) = inner.next_event.take() {
+        if let Some((ev, _)) = inner.next_event.take() {
             drop(inner);
             self.sim.cancel(ev);
             inner = self.inner.borrow_mut();
@@ -393,7 +410,7 @@ impl Fluid {
             let handle = self.clone();
             drop(inner);
             let ev = self.sim.schedule_fn(at, move |_| handle.tick());
-            self.inner.borrow_mut().next_event = Some(ev);
+            self.inner.borrow_mut().next_event = Some((ev, at));
         }
     }
 

@@ -11,11 +11,19 @@
 //! latency. This fluid approximation captures the contention that drives
 //! the paper's results (many reducers pulling from one TaskTracker, shuffle
 //! competing with HDFS replication traffic) without per-packet events.
+//!
+//! With a hierarchical [`Topology`], cross-rack transfers additionally
+//! contend on the source rack's core uplink and the destination rack's
+//! downlink — two more fluid legs, sized at
+//! `rack_size * link_bw / oversubscription`. A fully-provisioned core
+//! (oversubscription 1.0) adds no legs at all and replays bit-identically
+//! against the flat network (see [`Topology::constrains`]).
 
 use rmr_des::prelude::*;
 use rmr_des::sync::join_all;
 
 use crate::fabric::FabricParams;
+use crate::topology::Topology;
 
 /// Identifies a simulated host. Dense indices, assigned by
 /// [`Network::add_node`].
@@ -36,25 +44,47 @@ struct NodeNet {
     cpu: Option<Fluid>,
 }
 
+/// One rack's core connection (only materialised when the topology
+/// constrains, i.e. oversubscription > 1.0).
+struct RackNet {
+    up: Fluid,
+    down: Fluid,
+}
+
 /// The shared network of one simulated cluster.
 #[derive(Clone)]
 pub struct Network {
     sim: Sim,
     fabric: std::rc::Rc<FabricParams>,
+    topology: Topology,
     nodes: std::rc::Rc<std::cell::RefCell<Vec<NodeNet>>>,
+    /// Per-rack uplink/downlink fluids, indexed by rack; grown lazily as
+    /// nodes are added. Empty on flat or fully-provisioned topologies.
+    racks: std::rc::Rc<std::cell::RefCell<Vec<RackNet>>>,
     /// Cached `net.bytes_transferred` handle; transfers are the hottest
     /// metric site in a shuffle-bound run.
     c_transferred: rmr_des::Counter,
+    /// Cached `net.cross_rack_bytes` handle (0 on flat topologies).
+    c_cross_rack: rmr_des::Counter,
 }
 
 impl Network {
-    /// Creates an empty network over the given fabric.
+    /// Creates an empty network over the given fabric with a flat (single
+    /// non-blocking switch) topology.
     pub fn new(sim: &Sim, fabric: FabricParams) -> Self {
+        Network::with_topology(sim, fabric, Topology::flat())
+    }
+
+    /// Creates an empty network over the given fabric and rack topology.
+    pub fn with_topology(sim: &Sim, fabric: FabricParams, topology: Topology) -> Self {
         Network {
             sim: sim.clone(),
             fabric: std::rc::Rc::new(fabric),
+            topology,
             nodes: std::rc::Rc::new(std::cell::RefCell::new(Vec::new())),
+            racks: std::rc::Rc::new(std::cell::RefCell::new(Vec::new())),
             c_transferred: sim.metrics().counter("net.bytes_transferred"),
+            c_cross_rack: sim.metrics().counter("net.cross_rack_bytes"),
         }
     }
 
@@ -68,12 +98,34 @@ impl Network {
             rx: Fluid::new(&self.sim, self.fabric.link_bw).with_metrics_key(format!("net.{id}.rx")),
             cpu,
         });
+        if self.topology.constrains() {
+            let rack = self.topology.rack_of(id);
+            let mut racks = self.racks.borrow_mut();
+            while racks.len() <= rack {
+                let bw = self.topology.core_bw(self.fabric.link_bw);
+                let r = racks.len();
+                racks.push(RackNet {
+                    up: Fluid::new(&self.sim, bw).with_metrics_key(format!("net.rack{r}.up")),
+                    down: Fluid::new(&self.sim, bw).with_metrics_key(format!("net.rack{r}.down")),
+                });
+            }
+        }
         id
     }
 
     /// The fabric this network runs on.
     pub fn fabric(&self) -> &FabricParams {
         &self.fabric
+    }
+
+    /// The rack topology this network runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Bytes that crossed rack boundaries so far (0 on flat topologies).
+    pub fn cross_rack_bytes(&self) -> f64 {
+        self.c_cross_rack.get()
     }
 
     /// The simulation handle.
@@ -104,6 +156,16 @@ impl Network {
         if src != dst {
             legs.push(s.tx.consume(bytes as f64));
             legs.push(d.rx.consume(bytes as f64));
+            // Cross-rack messages also queue on the source rack's core
+            // uplink and the destination rack's downlink — but only when
+            // the core can actually bind (oversubscription > 1.0); a
+            // fully-provisioned core is mathematically never the
+            // bottleneck, and omitting its legs keeps flat replay exact.
+            if self.topology.constrains() && self.topology.cross_rack(src, dst) {
+                let racks = self.racks.borrow();
+                legs.push(racks[self.topology.rack_of(src)].up.consume(bytes as f64));
+                legs.push(racks[self.topology.rack_of(dst)].down.consume(bytes as f64));
+            }
         }
         let send_cpu = self.fabric.send_cpu(bytes);
         let recv_cpu = self.fabric.recv_cpu(bytes);
@@ -133,6 +195,9 @@ impl Network {
             self.sim.sleep(self.fabric.latency).await;
         }
         self.c_transferred.add(bytes as f64);
+        if self.topology.cross_rack(src, dst) {
+            self.c_cross_rack.add(bytes as f64);
+        }
     }
 
     /// Connection-establishment delay between two hosts (handshake RTT plus
@@ -306,5 +371,55 @@ mod tests {
         // Each fluid leg rounds up to a whole nanosecond, so allow that.
         let got = done.get();
         assert!((3 * 7_000..3 * 7_000 + 10).contains(&got), "got {got}");
+    }
+
+    /// Runs one cross-rack transfer per sender on a 2-per-rack topology and
+    /// returns (finish time, cross_rack_bytes).
+    fn run_cross_rack(oversub: f64) -> (SimTime, f64) {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::with_topology(&sim, f, Topology::racks(2, oversub));
+        // Rack 0: two senders. Rack 1: two receivers (distinct rx ports, so
+        // only the rack legs can couple the flows).
+        let s1 = net.add_node(None);
+        let s2 = net.add_node(None);
+        let r1 = net.add_node(None);
+        let r2 = net.add_node(None);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        for (s, r) in [(s1, r1), (s2, r2)] {
+            let net = net.clone();
+            let sim2 = sim.clone();
+            let d = Rc::clone(&done);
+            sim.spawn(async move {
+                net.transfer(s, r, 100).await;
+                d.set(sim2.now());
+            })
+            .detach();
+        }
+        sim.run();
+        (done.get(), net.cross_rack_bytes())
+    }
+
+    #[test]
+    fn oversubscribed_core_throttles_cross_rack_aggregate() {
+        // Core uplink = 2 * 100 / 4 = 50 B/s shared by two 100 B flows:
+        // aggregate cross-rack throughput is pinned at core capacity, so
+        // both finish at t = 200/50 = 4 s instead of 1 s.
+        let (t, bytes) = run_cross_rack(4.0);
+        assert_eq!(t, secs(4.0));
+        assert_eq!(bytes, 200.0);
+    }
+
+    #[test]
+    fn fully_provisioned_racks_match_flat_timing() {
+        // At oversub 1.0 no rack legs exist: each flow runs at the link
+        // rate exactly as on the flat switch, but cross-rack accounting
+        // still sees the traffic.
+        let (t, bytes) = run_cross_rack(1.0);
+        assert_eq!(t, secs(1.0));
+        assert_eq!(bytes, 200.0);
     }
 }

@@ -1,0 +1,151 @@
+//! Hierarchical (rack / top-of-rack / core) topology description.
+//!
+//! Real clusters past one rack are not a single non-blocking switch: nodes
+//! connect to a top-of-rack (ToR) switch at the link rate, and ToR uplinks
+//! into the core carry the rack's aggregate cross-rack traffic at
+//! `rack_size * link_bw / oversubscription`. A [`Topology`] describes that
+//! structure; [`crate::Network`] turns each rack's uplink and downlink into
+//! shared [`rmr_des::resource::fluid::Fluid`] legs on cross-rack transfers.
+//!
+//! # Flat equivalence
+//!
+//! At `oversubscription <= 1.0` a rack's core link capacity is at least the
+//! rack's aggregate NIC rate, so the uplink can never be the binding
+//! constraint: every cross-rack flow is already limited to its share of the
+//! sender's tx port, and a rack's flows sum to at most `rack_size *
+//! link_bw <= core_bw`. The uplink/downlink legs are therefore *omitted*
+//! entirely in that regime (see [`Topology::constrains`]) — not just sized
+//! generously — which makes the hierarchical model replay **bit-identically**
+//! against the flat network: the set of fluid legs, their event schedules,
+//! and every float accumulation are exactly the ones the flat topology
+//! produces. Oversubscribed cores (`> 1.0`) add the two rack legs and model
+//! genuine cross-rack contention.
+
+use crate::network::NodeId;
+
+/// Rack structure of a cluster network. `Topology::default()` is flat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Topology {
+    /// Hosts per rack (node ids are dense, racks are contiguous id blocks:
+    /// rack of node `i` is `i / rack_size`). `usize::MAX` means flat.
+    rack_size: usize,
+    /// Ratio of a rack's aggregate NIC rate to its core uplink capacity.
+    /// 1.0 = fully provisioned (rearrangeably non-blocking), 4.0 = a rack
+    /// can inject only a quarter of its aggregate rate into the core.
+    oversubscription: f64,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::flat()
+    }
+}
+
+impl Topology {
+    /// A single non-blocking switch: no racks, no core bottleneck. This is
+    /// the paper's testbed (§IV-A, one Mellanox QDR switch).
+    pub fn flat() -> Self {
+        Topology {
+            rack_size: usize::MAX,
+            oversubscription: 1.0,
+        }
+    }
+
+    /// Racks of `rack_size` hosts behind ToR switches whose core uplinks
+    /// are oversubscribed by `oversubscription`.
+    pub fn racks(rack_size: usize, oversubscription: f64) -> Self {
+        assert!(rack_size > 0, "rack size must be positive");
+        assert!(
+            oversubscription >= 1.0 && oversubscription.is_finite(),
+            "oversubscription must be >= 1.0, got {oversubscription}"
+        );
+        Topology {
+            rack_size,
+            oversubscription,
+        }
+    }
+
+    /// True for the single-switch special case.
+    pub fn is_flat(&self) -> bool {
+        self.rack_size == usize::MAX
+    }
+
+    /// Hosts per rack.
+    pub fn rack_size(&self) -> usize {
+        self.rack_size
+    }
+
+    /// Core oversubscription ratio.
+    pub fn oversubscription(&self) -> f64 {
+        self.oversubscription
+    }
+
+    /// The rack a node lives in (0 for everything on a flat topology).
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        if self.is_flat() {
+            0
+        } else {
+            node.0 as usize / self.rack_size
+        }
+    }
+
+    /// Do `a` and `b` sit in different racks?
+    pub fn cross_rack(&self, a: NodeId, b: NodeId) -> bool {
+        !self.is_flat() && self.rack_of(a) != self.rack_of(b)
+    }
+
+    /// A rack's core uplink/downlink capacity in bytes/s for the given
+    /// per-node link rate.
+    pub fn core_bw(&self, link_bw: f64) -> f64 {
+        self.rack_size as f64 * link_bw / self.oversubscription
+    }
+
+    /// Whether the core can actually bind (and rack legs must be modelled):
+    /// only when racks exist *and* the core is oversubscribed. At 1.0 the
+    /// uplink capacity equals the rack's aggregate NIC rate, so omitting the
+    /// legs is mathematically exact (see module docs) and keeps flat replay
+    /// bit-identical.
+    pub fn constrains(&self) -> bool {
+        !self.is_flat() && self.oversubscription > 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one_rack_everywhere() {
+        let t = Topology::flat();
+        assert!(t.is_flat());
+        assert!(!t.constrains());
+        assert_eq!(t.rack_of(NodeId(0)), 0);
+        assert_eq!(t.rack_of(NodeId(4_000_000)), 0);
+        assert!(!t.cross_rack(NodeId(1), NodeId(4_000_000)));
+    }
+
+    #[test]
+    fn racks_partition_dense_ids_contiguously() {
+        let t = Topology::racks(32, 4.0);
+        assert_eq!(t.rack_of(NodeId(0)), 0);
+        assert_eq!(t.rack_of(NodeId(31)), 0);
+        assert_eq!(t.rack_of(NodeId(32)), 1);
+        assert!(t.cross_rack(NodeId(31), NodeId(32)));
+        assert!(!t.cross_rack(NodeId(0), NodeId(31)));
+        assert!(t.constrains());
+    }
+
+    #[test]
+    fn fully_provisioned_racks_do_not_constrain() {
+        let t = Topology::racks(32, 1.0);
+        assert!(!t.is_flat());
+        assert!(!t.constrains(), "oversub 1.0 must add no legs");
+        assert_eq!(t.core_bw(100.0), 3200.0);
+    }
+
+    #[test]
+    fn core_bw_scales_inversely_with_oversubscription() {
+        let t = Topology::racks(16, 4.0);
+        assert_eq!(t.core_bw(100.0), 400.0);
+    }
+}

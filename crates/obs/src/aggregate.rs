@@ -10,13 +10,22 @@ use rmr_des::Histogram;
 use crate::event::{Ev, ObsEvent};
 use crate::span::Span;
 
-/// Slot-occupancy heatmap: rows are nodes, columns are time buckets, cells
-/// are mean occupied slots (map + reduce) during the bucket.
+/// Row cap for [`slot_heatmap`]: past this many nodes, adjacent nodes are
+/// folded together so the output stays `O(rows x buckets)` instead of
+/// growing with the cluster (a 1k-node sweep would otherwise emit 4x the
+/// cells of the figures it rides along with).
+pub const MAX_HEATMAP_ROWS: usize = 256;
+
+/// Slot-occupancy heatmap: rows are node groups (`node_stride` physical
+/// nodes each, 1 for small clusters), columns are time buckets, cells are
+/// mean occupied slots (map + reduce) per node during the bucket.
 #[derive(Debug, Clone)]
 pub struct Heatmap {
     pub t0_s: f64,
     pub bucket_s: f64,
-    /// `rows[node][bucket]` = mean occupied slots.
+    /// Physical nodes folded into each row (1 = one row per node).
+    pub node_stride: usize,
+    /// `rows[node / node_stride][bucket]` = mean occupied slots per node.
     pub rows: Vec<Vec<f64>>,
 }
 
@@ -38,7 +47,8 @@ impl Heatmap {
             self.bucket_s,
             max
         ));
-        for (node, row) in self.rows.iter().enumerate() {
+        for (group, row) in self.rows.iter().enumerate() {
+            let node = group * self.node_stride;
             out.push_str(&format!("node{node:>3} |"));
             for &v in row {
                 let shade = if max > 0.0 {
@@ -63,9 +73,10 @@ impl Heatmap {
             })
             .collect();
         format!(
-            "{{\"t0_s\":{:.6},\"bucket_s\":{:.6},\"nodes\":{},\"buckets\":{},\"rows\":[{}]}}",
+            "{{\"t0_s\":{:.6},\"bucket_s\":{:.6},\"node_stride\":{},\"nodes\":{},\"buckets\":{},\"rows\":[{}]}}",
             self.t0_s,
             self.bucket_s,
+            self.node_stride,
             self.rows.len(),
             self.n_buckets(),
             rows.join(",")
@@ -77,6 +88,8 @@ impl Heatmap {
 /// count so idle nodes still show). `n_buckets` caps resolution; bucket width
 /// stretches to cover the span envelope.
 pub fn slot_heatmap(spans: &[Span], n_nodes: usize, n_buckets: usize) -> Heatmap {
+    let node_stride = n_nodes.div_ceil(MAX_HEATMAP_ROWS).max(1);
+    let n_rows = n_nodes.div_ceil(node_stride);
     let (lo, hi) = spans.iter().fold((f64::MAX, f64::MIN), |(lo, hi), s| {
         (lo.min(s.start_s), hi.max(s.end_s))
     });
@@ -84,28 +97,33 @@ pub fn slot_heatmap(spans: &[Span], n_nodes: usize, n_buckets: usize) -> Heatmap
         return Heatmap {
             t0_s: 0.0,
             bucket_s: 1.0,
-            rows: vec![Vec::new(); n_nodes],
+            node_stride,
+            rows: vec![Vec::new(); n_rows],
         };
     }
     let bucket_s = (hi - lo) / n_buckets as f64;
-    let mut rows = vec![vec![0.0f64; n_buckets]; n_nodes];
+    let mut rows = vec![vec![0.0f64; n_buckets]; n_rows];
     for s in spans {
         if s.node >= n_nodes {
             continue;
         }
+        let group = s.node / node_stride;
+        // Nodes actually folded into this row (the last group may be short).
+        let group_nodes = node_stride.min(n_nodes - group * node_stride) as f64;
         // Distribute the span's busy time over the buckets it crosses.
         let b0 = (((s.start_s - lo) / bucket_s) as usize).min(n_buckets - 1);
         let b1 = (((s.end_s - lo) / bucket_s) as usize).min(n_buckets - 1);
-        for (b, cell) in rows[s.node].iter_mut().enumerate().take(b1 + 1).skip(b0) {
+        for (b, cell) in rows[group].iter_mut().enumerate().take(b1 + 1).skip(b0) {
             let bl = lo + b as f64 * bucket_s;
             let bh = bl + bucket_s;
             let overlap = (s.end_s.min(bh) - s.start_s.max(bl)).max(0.0);
-            *cell += overlap / bucket_s;
+            *cell += overlap / bucket_s / group_nodes;
         }
     }
     Heatmap {
         t0_s: lo,
         bucket_s,
+        node_stride,
         rows,
     }
 }
@@ -414,9 +432,34 @@ mod tests {
     fn empty_heatmap_is_harmless() {
         let hm = slot_heatmap(&[], 3, 10);
         assert_eq!(hm.rows.len(), 3);
+        assert_eq!(hm.node_stride, 1);
         assert_eq!(hm.n_buckets(), 0);
         assert!(!hm.to_ascii().is_empty());
         assert!(hm.to_json().starts_with('{'));
+    }
+
+    #[test]
+    fn heatmap_node_axis_is_capped_at_scale() {
+        // 1024 nodes fold 4-to-a-row: output stays O(256 x buckets), and a
+        // row's cell is the *per-node* mean over its group so shading stays
+        // comparable with small clusters.
+        let spans: Vec<Span> = (0..1024).map(|n| span(n, 0.0, 10.0)).collect();
+        let hm = slot_heatmap(&spans, 1024, 8);
+        assert_eq!(hm.node_stride, 4);
+        assert_eq!(hm.rows.len(), 256);
+        for row in &hm.rows {
+            for &v in row {
+                assert!((v - 1.0).abs() < 1e-9);
+            }
+        }
+        assert!(hm.to_json().contains("\"node_stride\":4"));
+
+        // A short last group still averages over its real size.
+        let spans: Vec<Span> = (0..257).map(|n| span(n, 0.0, 2.0)).collect();
+        let hm = slot_heatmap(&spans, 257, 2);
+        assert_eq!(hm.node_stride, 2);
+        assert_eq!(hm.rows.len(), 129);
+        assert!((hm.rows[128][0] - 1.0).abs() < 1e-9);
     }
 
     #[test]

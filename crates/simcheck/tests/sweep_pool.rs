@@ -1,0 +1,91 @@
+//! Acceptance tests for the harness worker-pool carve-out: the bench sweep
+//! pool's `// simcheck: allow(thread-spawn)` is scoped and justified, and an
+//! *unjustified* spawn inside the deterministic sim crates still gets
+//! flagged at deny tier.
+
+use std::path::PathBuf;
+
+use simcheck::{scan_source, Rule};
+
+/// A spawn with no allow comment, as it would appear inside a sim crate.
+const UNJUSTIFIED: &str = r#"
+pub fn run_parallel(n: usize) {
+    std::thread::scope(|scope| {
+        for _ in 0..n {
+            scope.spawn(|| {});
+        }
+    });
+}
+"#;
+
+#[test]
+fn unjustified_spawn_in_a_sim_crate_is_flagged() {
+    let findings = scan_source("crates/des/src/pool.rs", UNJUSTIFIED);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::ThreadSpawn),
+        "deny-tier scan must flag a bare thread spawn: {findings:?}"
+    );
+}
+
+#[test]
+fn allow_comment_must_name_the_thread_spawn_rule() {
+    // An allow for a *different* rule does not excuse the spawn.
+    let src = UNJUSTIFIED.replace(
+        "std::thread::scope(|scope| {",
+        "// simcheck: allow(wall-clock)\n    std::thread::scope(|scope| {",
+    );
+    let findings = scan_source("crates/des/src/pool.rs", &src);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::ThreadSpawn),
+        "allow(wall-clock) must not suppress thread-spawn: {findings:?}"
+    );
+}
+
+#[test]
+fn scoped_allow_suppresses_only_the_annotated_spawn() {
+    let src = r#"
+pub fn pool(n: usize) {
+    // Host-side parallelism over whole single-threaded sims.
+    // simcheck: allow(thread-spawn)
+    std::thread::scope(|scope| {
+        for _ in 0..n {
+            scope.spawn(|| {});
+        }
+    });
+}
+
+pub fn rogue() {
+    std::thread::spawn(|| {});
+}
+"#;
+    let findings = scan_source("crates/des/src/pool.rs", src);
+    let spawns: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ThreadSpawn)
+        .collect();
+    assert!(
+        !spawns.is_empty(),
+        "the un-annotated spawn in rogue() must still fire"
+    );
+    assert!(
+        spawns.iter().all(|f| f.line > 10),
+        "the annotated scope must be suppressed, rogue() flagged: {spawns:?}"
+    );
+}
+
+#[test]
+fn the_real_sweep_pool_passes_deny_tier() {
+    // The shipped pool carries a justified allow; even under the *strictest*
+    // tier it must scan clean of thread-spawn findings.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../bench/src/sweep.rs");
+    let src = std::fs::read_to_string(&path).expect("read crates/bench/src/sweep.rs");
+    assert!(
+        src.contains("// simcheck: allow(thread-spawn)"),
+        "sweep.rs must justify its spawn with a scoped allow"
+    );
+    let findings = scan_source("crates/bench/src/sweep.rs", &src);
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::ThreadSpawn),
+        "justified pool spawn must not fire: {findings:?}"
+    );
+}

@@ -1,0 +1,109 @@
+//! Leak gate for the persistent runtime: a long job sequence must not grow
+//! any job-keyed state. Before the completion-time cleanup pass, finished
+//! jobs stayed in the scheduler's job map forever and the PrefetchCache
+//! kept per-job admission stats for every job ever run — both scale-out
+//! killers for a sweep that pushes hundreds of jobs through one runtime.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rmr_core::cluster::{Cluster, NodeSpec};
+use rmr_core::{JobConf, Runtime, ShuffleKind, StateFootprint};
+use rmr_des::Sim;
+use rmr_hdfs::HdfsConfig;
+use rmr_net::FabricParams;
+use rmr_workloads::{teragen, terasort_spec};
+
+fn tiny_cluster(sim: &Sim, workers: usize) -> Cluster {
+    let mut spec = NodeSpec::westmere_compute();
+    spec.page_cache = 64 << 20;
+    Cluster::build(
+        sim,
+        FabricParams::ib_verbs_qdr(),
+        &vec![spec; workers],
+        HdfsConfig {
+            block_size: 4 << 20,
+            replication: 1,
+            packet_size: 1 << 20,
+        },
+    )
+}
+
+fn tiny_conf() -> JobConf {
+    let mut conf = JobConf::for_kind(ShuffleKind::OsuIb);
+    conf.num_reduces = 2;
+    conf.map_slots = 2;
+    conf.reduce_slots = 2;
+    conf.shuffle_buffer = 16 << 20;
+    conf.io_sort_buffer = 8 << 20;
+    conf.prefetch_cache_bytes = 32 << 20;
+    conf.osu_packet_bytes = 256 << 10;
+    conf
+}
+
+#[test]
+fn hundred_job_sequence_leaves_no_job_keyed_state() {
+    const JOBS: usize = 100;
+    let sim = Sim::new(0xB0B);
+    let cluster = tiny_cluster(&sim, 2);
+    let conf = tiny_conf();
+    let peak: Rc<RefCell<Option<StateFootprint>>> = Rc::new(RefCell::new(None));
+    let final_fp: Rc<RefCell<Option<StateFootprint>>> = Rc::new(RefCell::new(None));
+    let peak2 = Rc::clone(&peak);
+    let final2 = Rc::clone(&final_fp);
+    sim.spawn_named("bounded-driver", async move {
+        teragen(&cluster, "/in", 8 << 20, false).await;
+        let rt = Runtime::start(&cluster, conf.clone());
+        for i in 0..JOBS {
+            let id = rt.submit(conf.clone(), terasort_spec("/in", &format!("/out{i}")));
+            let res = rt.join(id).await;
+            assert!(res.duration_s > 0.0, "job {i} produced no work");
+            let fp = rt.state_footprint();
+            // Between jobs everything is joined: the footprint must be a
+            // small per-cluster constant, never a function of `i`.
+            assert!(fp.total() <= 4, "job-keyed state grew by job {i}: {fp:?}");
+            let mut p = peak2.borrow_mut();
+            if p.is_none_or(|prev| fp.total() > prev.total()) {
+                *p = Some(fp);
+            }
+        }
+        *final2.borrow_mut() = Some(rt.state_footprint());
+    })
+    .detach();
+    sim.run();
+    let fp = final_fp.borrow().expect("driver hung");
+    assert_eq!(
+        fp,
+        StateFootprint::default(),
+        "state left after {JOBS} jobs"
+    );
+    // The assertion above is the gate; the peak is diagnostic context.
+    eprintln!("peak between-job footprint: {:?}", peak.borrow());
+}
+
+#[test]
+fn concurrent_batch_drains_to_zero_footprint() {
+    // Same gate under concurrent submission: 10 jobs at once, joined after.
+    let sim = Sim::new(7);
+    let cluster = tiny_cluster(&sim, 3);
+    let conf = tiny_conf();
+    let final_fp: Rc<RefCell<Option<StateFootprint>>> = Rc::new(RefCell::new(None));
+    let final2 = Rc::clone(&final_fp);
+    sim.spawn_named("batch-driver", async move {
+        teragen(&cluster, "/in", 8 << 20, false).await;
+        let rt = Runtime::start(&cluster, conf.clone());
+        let ids: Vec<_> = (0..10)
+            .map(|i| rt.submit(conf.clone(), terasort_spec("/in", &format!("/b{i}"))))
+            .collect();
+        // In-flight state is naturally non-zero while jobs run; the gate is
+        // that joining everything returns it all.
+        for id in ids {
+            rt.join(id).await;
+        }
+        *final2.borrow_mut() = Some(rt.state_footprint());
+    })
+    .detach();
+    sim.run();
+    let fp = final_fp.borrow().expect("driver hung");
+    assert_eq!(fp, StateFootprint::default(), "batch left state: {fp:?}");
+}

@@ -1,0 +1,107 @@
+//! Hierarchical-fabric gates (DESIGN.md §13): a fully provisioned rack
+//! topology must replay **bit-identically** against the flat single-switch
+//! network the paper's figures use, and an oversubscribed core must actually
+//! bound cross-rack throughput.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rmr_cluster::{run_experiment_traced, Bench, Experiment, System, Testbed};
+use rmr_des::{Sim, SimTime};
+use rmr_net::{FabricParams, Network, NodeId, Topology};
+
+/// Runs one fig4a-shaped point (4 compute nodes, 1 HDD, TeraSort) on the
+/// given testbed and returns (record JSON, trace hash).
+fn fig4a_point(system: System, testbed: Testbed) -> (String, u64) {
+    let exp = Experiment::new("topo", Bench::TeraSort, system, testbed, 20.0, 42);
+    let (rec, hash) = run_experiment_traced(&exp);
+    (rec.to_json(), hash)
+}
+
+#[test]
+fn fully_provisioned_racks_replay_flat_bit_identically() {
+    // Oversubscription 1.0 adds no fluid legs (the core cannot bind), so
+    // the whole event schedule — not just the results — must match flat.
+    // Checked across a socket engine and both RDMA engines, since they
+    // schedule the network differently.
+    for system in [System::IpoIb, System::HadoopA, System::OsuIb] {
+        let (flat_rec, flat_hash) = fig4a_point(system, Testbed::compute(4, 1));
+        let (rack_rec, rack_hash) = fig4a_point(system, Testbed::compute(4, 1).with_racks(2, 1.0));
+        assert_eq!(
+            flat_hash, rack_hash,
+            "{system:?}: oversub-1.0 racks must not perturb the trace"
+        );
+        assert_eq!(flat_rec, rack_rec, "{system:?}: records must match");
+    }
+}
+
+#[test]
+fn single_rack_oversubscription_replays_flat_bit_identically() {
+    // With every node in one rack there is no cross-rack traffic, so even a
+    // heavily oversubscribed core must change nothing.
+    let (flat_rec, flat_hash) = fig4a_point(System::OsuIb, Testbed::compute(4, 1));
+    let (rack_rec, rack_hash) =
+        fig4a_point(System::OsuIb, Testbed::compute(4, 1).with_racks(64, 4.0));
+    assert_eq!(flat_hash, rack_hash, "one-rack topology must replay flat");
+    assert_eq!(flat_rec, rack_rec);
+}
+
+/// Drives `flows` simultaneous rack-0 → rack-1 transfers and returns
+/// (last finish time in seconds, total bytes, core capacity in B/s).
+fn cross_rack_storm(
+    rack_size: usize,
+    oversub: f64,
+    flows: &[(usize, usize, u64)],
+) -> (f64, u64, f64) {
+    let sim = Sim::new(9);
+    let mut f = FabricParams::ib_verbs_qdr();
+    f.link_bw = 1000.0;
+    f.latency = rmr_des::SimDuration::ZERO;
+    f.cpu_per_message = 0.0;
+    let core_bw = Topology::racks(rack_size, oversub).core_bw(f.link_bw);
+    let net = Network::with_topology(&sim, f, Topology::racks(rack_size, oversub));
+    let nodes: Vec<NodeId> = (0..rack_size * 2).map(|_| net.add_node(None)).collect();
+    let last = Rc::new(Cell::new(SimTime::ZERO));
+    let mut total = 0u64;
+    for &(s, d, bytes) in flows {
+        total += bytes;
+        let src = nodes[s % rack_size];
+        let dst = nodes[rack_size + d % rack_size];
+        let net = net.clone();
+        let sim2 = sim.clone();
+        let l = Rc::clone(&last);
+        sim.spawn(async move {
+            net.transfer(src, dst, bytes).await;
+            l.set(l.get().max(sim2.now()));
+        })
+        .detach();
+    }
+    sim.run();
+    assert_eq!(net.cross_rack_bytes(), total as f64);
+    (last.get().as_secs_f64(), total, core_bw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// However the flows are spread over the racks' hosts, the aggregate
+    /// cross-rack rate can never beat the core uplink: the storm cannot
+    /// finish before `total_bytes / core_bw`.
+    #[test]
+    fn cross_rack_rate_is_bounded_by_core_capacity(
+        rack_size in 2usize..5,
+        oversub_tenths in 15u32..80,
+        flows in proptest::collection::vec(
+            (0usize..8, 0usize..8, 10_000u64..500_000), 2usize..10),
+    ) {
+        let oversub = oversub_tenths as f64 / 10.0;
+        let (t_last, total, core_bw) = cross_rack_storm(rack_size, oversub, &flows);
+        let floor = total as f64 / core_bw;
+        prop_assert!(
+            t_last >= floor * (1.0 - 1e-9),
+            "storm finished at {t_last}s, beating the core floor {floor}s \
+             (total {total} B over {core_bw} B/s)"
+        );
+    }
+}
