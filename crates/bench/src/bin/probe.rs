@@ -22,6 +22,15 @@
 //!                point, and appends labeled rows (nodes/attempts columns)
 //!                to BENCH_wallclock.json. With --budget-s, exits non-zero
 //!                if any point's wall time exceeds the budget (CI smoke).
+//!   probe chaos  [nodes] [jobs] [gb] [seed] [--plans N] [--budget-s S]
+//!                — deterministic chaos campaign: N seed-derived fault
+//!                plans (plan 0 is always the mid-map-wave kill storm)
+//!                against a concurrent TeraSort mix. Every plan must pass
+//!                three gates: quiescence (all jobs finish, runtime state
+//!                footprint drains to zero), determinism (a second run of
+//!                the same faulted sim is trace-hash identical), and
+//!                no-lost-work (per-reducer output byte counts match the
+//!                fault-free twin exactly). Non-zero exit on any failure.
 //!   probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]
 //!                — a concurrent multi-job OSU-IB mix with the observability
 //!                recorder on; writes every rmr_obs artifact (events.jsonl,
@@ -56,7 +65,7 @@ fn parse_system(name: &str) -> System {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: probe <grid|one|phases|fluidcmp|scale|obs> [args]");
+    eprintln!("usage: probe <grid|one|phases|fluidcmp|scale|chaos|obs> [args]");
     eprintln!("  probe grid   [gb] [nodes] [disks] [sort]");
     eprintln!("  probe one    [gb] [system] [nodes] [disks] [sort] [seed]");
     eprintln!("  probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]");
@@ -64,6 +73,7 @@ fn usage() -> ! {
     eprintln!(
         "  probe scale  <nodes> <jobs> <gb> [seed] [--budget-s S] [--min-attempts N] [--out PATH]"
     );
+    eprintln!("  probe chaos  [nodes] [jobs] [gb] [seed] [--plans N] [--budget-s S]");
     eprintln!("  probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]");
     std::process::exit(2);
 }
@@ -77,6 +87,7 @@ fn main() {
         Some("fluidcmp") => fluidcmp(),
         Some("obs") => obs(&args[2..]),
         Some("scale") => scale(&args[2..]),
+        Some("chaos") => chaos(&args[2..]),
         _ => usage(),
     }
 }
@@ -343,6 +354,248 @@ fn scale(args: &[String]) {
     if over_budget || too_small || max_drift > 1.2 {
         std::process::exit(1);
     }
+}
+
+/// One faulted (or fault-free) run of the chaos workload: `jobs` concurrent
+/// TeraSort jobs on `nodes` OSU-IB workers with `plan` armed before
+/// submission.
+struct ChaosRun {
+    results: Vec<rmr_core::JobResult>,
+    trace_hash: u64,
+    footprint_total: usize,
+    wall_s: f64,
+}
+
+fn chaos_run(
+    nodes: usize,
+    jobs: usize,
+    gb_total: f64,
+    seed: u64,
+    plan: &rmr_core::FaultPlan,
+) -> ChaosRun {
+    let system = System::OsuIb;
+    let testbed = Testbed::compute(nodes, 1);
+    let sim = rmr_des::Sim::new(seed);
+    let cluster = Cluster::build(
+        &sim,
+        system.fabric(),
+        &testbed.node_specs(),
+        HdfsConfig {
+            block_size: 8 << 20,
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let mut conf = tuned_conf(system, Bench::TeraSort, &testbed);
+    conf.num_reduces = nodes.min(32);
+    let bytes_per_job = ((gb_total / jobs as f64) * (1u64 << 30) as f64) as u64;
+    let results: Rc<RefCell<Vec<rmr_core::JobResult>>> = Rc::new(RefCell::new(Vec::new()));
+    let rt_slot: Rc<RefCell<Option<Runtime>>> = Rc::new(RefCell::new(None));
+    let r2 = Rc::clone(&results);
+    let rt2 = Rc::clone(&rt_slot);
+    let c2 = cluster.clone();
+    let conf2 = conf.clone();
+    let plan2 = plan.clone();
+    sim.spawn_named("chaos-driver", async move {
+        for i in 0..jobs {
+            teragen(&c2, &format!("/chaos/in{i}"), bytes_per_job, false).await;
+        }
+        let rt = Runtime::with_policy(&c2, conf2.clone(), SchedulePolicy::Fifo);
+        rt.apply_fault_plan(&plan2);
+        *rt2.borrow_mut() = Some(rt.clone());
+        let ids: Vec<_> = (0..jobs)
+            .map(|i| {
+                rt.submit(
+                    conf2.clone(),
+                    terasort_spec(&format!("/chaos/in{i}"), &format!("/chaos/out{i}")),
+                )
+            })
+            .collect();
+        for id in ids {
+            let res = rt.join(id).await;
+            r2.borrow_mut().push(res);
+        }
+    })
+    .detach();
+    // simcheck: allow(wall-clock) -- host-side timing of the sim itself
+    let t0 = std::time::Instant::now();
+    // RMR_LIMIT=<sim-seconds> bounds a hung faulted run and dumps the
+    // runtime snapshot instead of spinning forever (debug aid, like
+    // `probe phases`).
+    match std::env::var("RMR_LIMIT")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(secs) => {
+            sim.run_until(rmr_des::SimTime::from_nanos(secs * 1_000_000_000));
+            if results.borrow().len() < jobs {
+                eprintln!(
+                    "CHAOS RUN HUNG at limit {secs}s ({}/{} jobs done):",
+                    results.borrow().len(),
+                    jobs
+                );
+                if let Some(rt) = rt_slot.borrow().as_ref() {
+                    eprintln!("{}", rt.dump().render());
+                }
+                eprintln!("plan: {}", rmr_bench::chaos::render_plan(plan));
+                for (k, v) in sim.metrics().snapshot() {
+                    if v.abs() > 0.0 {
+                        eprintln!("  {k} = {v:.3e}");
+                    }
+                }
+                std::process::exit(2);
+            }
+        }
+        None => {
+            sim.run();
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    // Footprint is read after quiescence, not after the last join: a crash
+    // task whose restart lands beyond the jobs' lifetime must still have
+    // fired (sim.run drains it), so `down_nodes` is 0 for all-restart plans.
+    let footprint_total = rt_slot
+        .borrow()
+        .as_ref()
+        .map_or(usize::MAX, |rt| rt.state_footprint().total());
+    ChaosRun {
+        results: results.take(),
+        trace_hash: sim.trace_hash(),
+        footprint_total,
+        wall_s,
+    }
+}
+
+/// Deterministic chaos campaign: see module docs. Gates are per plan;
+/// any failure exits non-zero after the whole table prints.
+fn chaos(args: &[String]) {
+    use rmr_bench::chaos::{derive_plan, render_plan, storm_plan, TwinTiming};
+
+    let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let jobs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let gb: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut plans: usize = 8;
+    let mut budget_s: Option<f64> = None;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--plans" => {
+                i += 1;
+                plans = args.get(i).expect("--plans value").parse().unwrap();
+            }
+            "--budget-s" => {
+                i += 1;
+                budget_s = Some(args.get(i).expect("--budget-s value").parse().unwrap());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // One campaign point per plan index; each point runs its fault-free
+    // twin, the faulted sim, and a determinism re-run of the faulted sim,
+    // all on the same sim seed. Points are independent whole sims, so they
+    // sweep in parallel like every other probe.
+    let points: Vec<usize> = (0..plans).collect();
+    let threads = rmr_bench::default_threads().min(points.len().max(1));
+    let rows = rmr_bench::sweep::sweep_map(&points, threads, |&p, _| {
+        let sim_seed = seed + p as u64;
+        let twin = chaos_run(nodes, jobs, gb, sim_seed, &rmr_core::FaultPlan::none());
+        assert_eq!(twin.results.len(), jobs, "plan {p}: fault-free twin hung");
+        let timing = TwinTiming {
+            submit_s: twin
+                .results
+                .iter()
+                .map(|r| r.start_s)
+                .fold(f64::INFINITY, f64::min),
+            map_end_s: twin
+                .results
+                .iter()
+                .map(|r| r.map_phase_end_s)
+                .fold(0.0, f64::max),
+            end_s: twin.results.iter().map(|r| r.end_s).fold(0.0, f64::max),
+        };
+        // Plan 0 is always the acceptance storm: 2 of `nodes` killed
+        // mid-map-wave. Later plans are seed-derived mixes.
+        let plan = if p == 0 {
+            storm_plan(nodes, 2, &timing)
+        } else {
+            derive_plan(sim_seed, nodes, &timing)
+        };
+        let faulted = chaos_run(nodes, jobs, gb, sim_seed, &plan);
+        let rerun = chaos_run(nodes, jobs, gb, sim_seed, &plan);
+        (p, twin, timing, plan, faulted, rerun)
+    });
+
+    println!(
+        "\n{:>4} {:>6} {:>7} {:>10} {:>10} {:>7}  gates",
+        "plan", "seed", "events", "twin_s", "fault_s", "wall_s"
+    );
+    let mut failed = false;
+    let mut over_budget = false;
+    for (p, twin, _timing, plan, faulted, rerun) in &rows {
+        let quiesced = faulted.results.len() == jobs && faulted.footprint_total == 0;
+        let deterministic = faulted.trace_hash == rerun.trace_hash;
+        // No lost work: every job's per-reducer output byte counts (and so
+        // the concatenated output files) match the fault-free twin exactly.
+        let lossless = faulted.results.len() == twin.results.len()
+            && twin.results.iter().zip(&faulted.results).all(|(a, b)| {
+                a.output_bytes == b.output_bytes
+                    && a.maps == b.maps
+                    && a.reduce_stats.len() == b.reduce_stats.len()
+                    && a.reduce_stats
+                        .iter()
+                        .zip(&b.reduce_stats)
+                        .all(|(x, y)| x.output_bytes == y.output_bytes)
+            });
+        let twin_d = twin.results.iter().map(|r| r.end_s).fold(0.0, f64::max);
+        let fault_d = faulted.results.iter().map(|r| r.end_s).fold(0.0, f64::max);
+        let wall = twin.wall_s + faulted.wall_s + rerun.wall_s;
+        println!(
+            "{:>4} {:>6} {:>7} {:>9.0}s {:>9.0}s {:>6.1}s  {} {} {}   [{}]",
+            p,
+            seed + *p as u64,
+            plan.events.len(),
+            twin_d,
+            fault_d,
+            wall,
+            gate("quiesce", quiesced),
+            gate("determinism", deterministic),
+            gate("no-lost-work", lossless),
+            render_plan(plan),
+        );
+        if !(quiesced && deterministic && lossless) {
+            failed = true;
+        }
+        if let Some(b) = budget_s {
+            if wall > b {
+                eprintln!("BUDGET EXCEEDED: plan {p} took {wall:.1}s > {b:.1}s");
+                over_budget = true;
+            }
+        }
+    }
+    let storms = rows
+        .iter()
+        .filter(|(p, ..)| *p == 0)
+        .map(|(_, _, _, plan, ..)| plan.crashes())
+        .next()
+        .unwrap_or(0);
+    println!(
+        "{} plans swept ({} jobs x {:.2} GB on {} nodes; storm kills {} nodes mid-map-wave)",
+        rows.len(),
+        jobs,
+        gb,
+        nodes,
+        storms
+    );
+    if failed || over_budget {
+        std::process::exit(1);
+    }
+}
+
+fn gate(name: &str, ok: bool) -> String {
+    format!("{}:{}", name, if ok { "PASS" } else { "FAIL" })
 }
 
 /// A single point; prints sim duration and wall time.

@@ -13,6 +13,7 @@ use rmr_cluster::{
     format_table, run_experiment_traced, Bench, Experiment, RunRecord, System, Testbed,
 };
 
+pub mod chaos;
 pub mod sweep;
 pub mod trajectory;
 

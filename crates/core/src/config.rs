@@ -155,12 +155,6 @@ pub struct JobConf {
     /// CPU cost model.
     pub costs: CpuCosts,
 
-    /// Fault injection: kill the i-th map task once at 50% progress
-    /// (re-executed by the JobTracker — the paper's future-work recovery).
-    pub fail_map_once: Option<usize>,
-    /// Fault injection: kill the i-th reduce attempt once before it starts
-    /// shuffling (re-scheduled by the JobTracker).
-    pub fail_reduce_once: Option<usize>,
     /// `mapred.map.tasks.speculative.execution`: when the pending queue is
     /// empty, idle slots re-run the oldest still-running map; the first
     /// attempt to finish wins, the loser is discarded.
@@ -194,8 +188,6 @@ impl Default for JobConf {
             output_replication: 1,
             task_launch_overhead: SimDuration::from_millis(1_200),
             costs: CpuCosts::default(),
-            fail_map_once: None,
-            fail_reduce_once: None,
             speculative_maps: false,
         }
     }

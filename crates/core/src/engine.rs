@@ -19,7 +19,7 @@ use std::rc::Rc;
 use rmr_net::Network;
 
 use crate::config::ShuffleKind;
-use crate::reduce::common::{ReduceCtx, ReduceStats};
+use crate::reduce::common::{ReduceCtx, ReduceError, ReduceStats};
 use crate::reduce::rdma::{run_reduce_rdma, RdmaVariant};
 use crate::reduce::vanilla::run_reduce_vanilla;
 use crate::tasktracker::{start_http_server, start_rdma_server, TaskTracker, TtServerHandle};
@@ -43,8 +43,9 @@ pub trait ShuffleEngine {
     /// its address.
     fn start_server(&self, tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle;
 
-    /// Runs one ReduceTask's shuffle/merge/reduce pipeline.
-    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<ReduceStats>;
+    /// Runs one ReduceTask's shuffle/merge/reduce pipeline. `Err` means a
+    /// shuffle source died under the attempt; the runtime re-queues it.
+    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<Result<ReduceStats, ReduceError>>;
 }
 
 /// Stock Hadoop 0.20: HTTP servlets + copier pool + two-level disk merge.
@@ -59,7 +60,7 @@ impl ShuffleEngine for VanillaEngine {
         start_http_server(tt, net)
     }
 
-    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<ReduceStats> {
+    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<Result<ReduceStats, ReduceError>> {
         Box::pin(run_reduce_vanilla(ctx))
     }
 }
@@ -77,7 +78,7 @@ impl ShuffleEngine for HadoopAEngine {
         start_rdma_server(tt, net)
     }
 
-    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<ReduceStats> {
+    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<Result<ReduceStats, ReduceError>> {
         Box::pin(run_reduce_rdma(ctx, RdmaVariant::hadoop_a()))
     }
 }
@@ -99,7 +100,7 @@ impl ShuffleEngine for OsuIbEngine {
         start_rdma_server(tt, net)
     }
 
-    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<ReduceStats> {
+    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<Result<ReduceStats, ReduceError>> {
         Box::pin(run_reduce_rdma(ctx, RdmaVariant::osu_ib()))
     }
 }

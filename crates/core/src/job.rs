@@ -7,6 +7,7 @@
 
 use crate::cluster::Cluster;
 use crate::config::JobConf;
+use crate::faults::FaultPlan;
 use crate::runtime::Runtime;
 use crate::spec::JobSpec;
 
@@ -14,7 +15,19 @@ pub use crate::runtime::JobResult;
 
 /// Runs `spec` on `cluster` under `conf`, returning when the job commits.
 pub async fn run_job(cluster: &Cluster, conf: JobConf, spec: JobSpec) -> JobResult {
+    run_job_with_faults(cluster, conf, spec, &FaultPlan::none()).await
+}
+
+/// [`run_job`] with a [`FaultPlan`] armed before submission (the job is
+/// ordinal 0). An empty plan is exactly `run_job`.
+pub async fn run_job_with_faults(
+    cluster: &Cluster,
+    conf: JobConf,
+    spec: JobSpec,
+    plan: &FaultPlan,
+) -> JobResult {
     let rt = Runtime::start(cluster, conf.clone());
+    rt.apply_fault_plan(plan);
     let id = rt.submit(conf, spec);
     rt.join(id).await
 }

@@ -7,6 +7,12 @@
 //! fraction passes `mapred.reduce.slowstart.completed.maps`; reducers learn
 //! about completed maps through an append-only event log they poll with a
 //! cursor.
+//!
+//! Node death ([`JobTracker::node_lost`]) follows Hadoop's TaskTracker-
+//! expiry semantics: running attempts on the dead node are lost and their
+//! tasks re-queued, *completed* maps whose output lived on the dead node
+//! are re-executed (their intermediate data is unreachable), and running
+//! reducers restart from scratch (partial shuffles are not checkpointed).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -25,7 +31,41 @@ pub struct MapTaskDesc {
 }
 
 /// A map-completion event: (map index, TaskTracker index that ran it).
+///
+/// The log is append-only; a map re-executed after node loss appends a
+/// *second* event for the same index, and readers resolve the serving
+/// location latest-wins.
 pub type CompletionEvent = (usize, usize);
+
+/// What one node's death cost a job (for re-queueing and observability).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NodeLossReport {
+    /// One entry per running map attempt that died (task re-queued when it
+    /// was the last attempt).
+    pub lost_running_maps: Vec<usize>,
+    /// Completed maps whose output became unreachable; re-queued.
+    pub lost_completed_maps: Vec<usize>,
+    /// Running reduce attempts that died; re-queued.
+    pub lost_reduces: Vec<usize>,
+}
+
+impl NodeLossReport {
+    /// Nothing lost?
+    pub fn is_empty(&self) -> bool {
+        self.lost_running_maps.is_empty()
+            && self.lost_completed_maps.is_empty()
+            && self.lost_reduces.is_empty()
+    }
+}
+
+/// A map task's in-flight attempts.
+struct RunningMap {
+    /// TaskTracker index of each attempt (duplicates = speculation).
+    attempt_tts: Vec<usize>,
+    desc: MapTaskDesc,
+    /// Launch sequence for oldest-first speculation.
+    seq: u64,
+}
 
 /// The job's scheduling state.
 ///
@@ -40,6 +80,9 @@ pub type CompletionEvent = (usize, usize);
 /// instead of O(pending) — the difference between flat and quadratic
 /// heartbeat cost at 1k nodes.
 pub struct JobTracker {
+    /// Every map descriptor, kept for re-queueing completed maps whose
+    /// output died with a node.
+    descs: BTreeMap<usize, MapTaskDesc>,
     /// Pending maps in scheduling order (ascending key).
     pending: BTreeMap<i64, MapTaskDesc>,
     /// Per-node queues of pending keys local to that node (lazy-deleted).
@@ -54,32 +97,35 @@ pub struct JobTracker {
     reduces_done: usize,
     total_reduces: usize,
     slowstart: f64,
-    /// Fault injection: this map index fails once, on its first attempt.
-    fail_map_once: Option<usize>,
-    /// Fault injection: this reduce index fails once.
-    fail_reduce_once: Option<usize>,
+    /// Fault injection: these map indices fail their next attempt.
+    fail_maps: BTreeSet<usize>,
+    /// Fault injection: these reduce indices fail their next attempt.
+    fail_reduces: BTreeSet<usize>,
     map_failures: usize,
     reduce_failures: usize,
     /// Speculative execution enabled?
     speculative: bool,
-    /// Maps currently running: idx → (attempts in flight, descriptor,
-    /// start sequence for oldest-first speculation).
-    running: BTreeMap<usize, (usize, MapTaskDesc, u64)>,
+    /// Maps currently running, by task index.
+    running: BTreeMap<usize, RunningMap>,
     launch_seq: u64,
     /// Maps already completed (deduplicates speculative double-finishes).
     completed_set: BTreeSet<usize>,
+    /// Which TaskTracker holds each completed map's output (the winning
+    /// attempt); consulted when a node dies.
+    completed_on: BTreeMap<usize, usize>,
+    /// Attempts still in flight for tasks that already completed (losing
+    /// speculative duplicates). Their eventual result is discarded, but the
+    /// attempt accounting must survive a node death.
+    orphans: BTreeMap<usize, Vec<usize>>,
+    /// Which TaskTracker each running reduce attempt sits on.
+    running_reduces: BTreeMap<usize, usize>,
     speculative_launched: usize,
     speculative_wasted: usize,
 }
 
 impl JobTracker {
     /// Creates a tracker for `maps` and `reduces` tasks.
-    pub fn new(
-        maps: Vec<MapTaskDesc>,
-        reduces: usize,
-        slowstart: f64,
-        fail_map_once: Option<usize>,
-    ) -> Self {
+    pub fn new(maps: Vec<MapTaskDesc>, reduces: usize, slowstart: f64) -> Self {
         let total_maps = maps.len();
         let mut local: BTreeMap<NodeId, VecDeque<i64>> = BTreeMap::new();
         let pending: BTreeMap<i64, MapTaskDesc> = maps
@@ -92,7 +138,9 @@ impl JobTracker {
                 local.entry(*loc).or_default().push_back(*key);
             }
         }
+        let descs = pending.values().map(|m| (m.idx, m.clone())).collect();
         JobTracker {
+            descs,
             pending,
             local,
             front_key: -1,
@@ -104,14 +152,17 @@ impl JobTracker {
             reduces_done: 0,
             total_reduces: reduces,
             slowstart,
-            fail_map_once,
-            fail_reduce_once: None,
+            fail_maps: BTreeSet::new(),
+            fail_reduces: BTreeSet::new(),
             map_failures: 0,
             reduce_failures: 0,
             speculative: false,
             running: BTreeMap::new(),
             launch_seq: 0,
             completed_set: BTreeSet::new(),
+            completed_on: BTreeMap::new(),
+            orphans: BTreeMap::new(),
+            running_reduces: BTreeMap::new(),
             speculative_launched: 0,
             speculative_wasted: 0,
         }
@@ -122,9 +173,14 @@ impl JobTracker {
         self.speculative = on;
     }
 
-    /// Arms the one-shot reduce failure injection.
-    pub fn set_fail_reduce_once(&mut self, r: Option<usize>) {
-        self.fail_reduce_once = r;
+    /// Arms a one-shot map failure: `map_idx`'s next attempt aborts.
+    pub fn inject_map_failure(&mut self, map_idx: usize) {
+        self.fail_maps.insert(map_idx);
+    }
+
+    /// Arms a one-shot reduce failure: `reduce_idx`'s next attempt aborts.
+    pub fn inject_reduce_failure(&mut self, reduce_idx: usize) {
+        self.fail_reduces.insert(reduce_idx);
     }
 
     /// Attempts launched purely speculatively.
@@ -187,13 +243,14 @@ impl JobTracker {
         self.reduces_done
     }
 
-    /// Heartbeat from TaskTracker `tt` on `node` advertising free slots;
-    /// returns assignments. Data-local maps are preferred; remaining slots
-    /// take arbitrary pending maps (single-rack cluster: everything else is
-    /// equally remote).
+    /// Heartbeat from TaskTracker `tt_idx` on `node` advertising free
+    /// slots; returns assignments. Data-local maps are preferred; remaining
+    /// slots take arbitrary pending maps (single-rack cluster: everything
+    /// else is equally remote).
     pub fn heartbeat(
         &mut self,
         node: NodeId,
+        tt_idx: usize,
         free_map_slots: usize,
         free_reduce_slots: usize,
     ) -> (Vec<MapTaskDesc>, Vec<usize>) {
@@ -224,7 +281,14 @@ impl JobTracker {
         }
         for m in &maps {
             self.launch_seq += 1;
-            self.running.insert(m.idx, (1, m.clone(), self.launch_seq));
+            self.running.insert(
+                m.idx,
+                RunningMap {
+                    attempt_tts: vec![tt_idx],
+                    desc: m.clone(),
+                    seq: self.launch_seq,
+                },
+            );
         }
         // Pass 3: speculation — pending queue drained, idle slots re-run the
         // oldest single-attempt stragglers.
@@ -232,12 +296,12 @@ impl JobTracker {
             let mut stragglers: Vec<(u64, usize)> = self
                 .running
                 .iter()
-                .filter(|(idx, (attempts, _, _))| {
-                    *attempts == 1
+                .filter(|(idx, rm)| {
+                    rm.attempt_tts.len() == 1
                         && !self.completed_set.contains(*idx)
                         && !maps.iter().any(|m| m.idx == **idx)
                 })
-                .map(|(idx, (_, _, seq))| (*seq, *idx))
+                .map(|(idx, rm)| (rm.seq, *idx))
                 .collect();
             stragglers.sort();
             for (_, idx) in stragglers {
@@ -245,9 +309,9 @@ impl JobTracker {
                     break;
                 }
                 let entry = self.running.get_mut(&idx).unwrap();
-                entry.0 += 1;
+                entry.attempt_tts.push(tt_idx);
                 self.speculative_launched += 1;
-                maps.push(entry.1.clone());
+                maps.push(entry.desc.clone());
             }
         }
         self.maps_running += maps.len();
@@ -256,7 +320,10 @@ impl JobTracker {
         if self.reduce_phase_open() {
             for _ in 0..free_reduce_slots {
                 match self.reduces_pending.pop_front() {
-                    Some(r) => reduces.push(r),
+                    Some(r) => {
+                        self.running_reduces.insert(r, tt_idx);
+                        reduces.push(r);
+                    }
                     None => break,
                 }
             }
@@ -273,8 +340,7 @@ impl JobTracker {
 
     /// Should this attempt of `map_idx` fail? (Consumes the injection.)
     pub fn should_fail(&mut self, map_idx: usize) -> bool {
-        if self.fail_map_once == Some(map_idx) {
-            self.fail_map_once = None;
+        if self.fail_maps.remove(&map_idx) {
             self.map_failures += 1;
             true
         } else {
@@ -300,31 +366,72 @@ impl JobTracker {
             // A duplicate attempt finishing after the task is already done.
             self.maps_running -= 1;
             self.speculative_wasted += 1;
+            self.drop_orphan(map_idx, tt_idx);
             return false;
         }
-        // Remaining in-flight duplicates report in later and are counted as
-        // wasted then; the task itself leaves the running table now (the
-        // completed_set guard keeps it out of future speculation).
-        self.running.remove(&map_idx);
+        if let Some(mut rm) = self.running.remove(&map_idx) {
+            // The winner leaves the attempt table; in-flight duplicates are
+            // orphaned (their results will be discarded, but the attempts
+            // still occupy slots and must survive node-death accounting).
+            if let Some(p) = rm.attempt_tts.iter().position(|t| *t == tt_idx) {
+                rm.attempt_tts.remove(p);
+            }
+            if !rm.attempt_tts.is_empty() {
+                self.orphans
+                    .entry(map_idx)
+                    .or_default()
+                    .extend(rm.attempt_tts);
+            }
+        } else {
+            // Re-completion by an orphaned duplicate after node loss
+            // un-completed the task.
+            self.drop_orphan(map_idx, tt_idx);
+        }
         self.maps_running -= 1;
         self.maps_completed += 1;
+        self.completed_on.insert(map_idx, tt_idx);
         self.events.push((map_idx, tt_idx));
         true
     }
 
-    /// A map attempt failed; the task is re-queued (front: re-execute soon).
-    pub fn map_failed(&mut self, desc: MapTaskDesc) {
+    fn drop_orphan(&mut self, map_idx: usize, tt_idx: usize) {
+        if let Some(v) = self.orphans.get_mut(&map_idx) {
+            if let Some(p) = v.iter().position(|t| *t == tt_idx) {
+                v.remove(p);
+            }
+            if v.is_empty() {
+                self.orphans.remove(&map_idx);
+            }
+        }
+    }
+
+    /// A map attempt on `tt_idx` failed; the task is re-queued (front:
+    /// re-execute soon) once its last attempt is gone.
+    pub fn map_failed(&mut self, desc: MapTaskDesc, tt_idx: usize) {
         self.maps_running -= 1;
-        if let Some(entry) = self.running.get_mut(&desc.idx) {
-            if entry.0 > 1 {
-                entry.0 -= 1;
+        if self.completed_set.contains(&desc.idx) {
+            // A speculative sibling already won; this late failure is just
+            // a wasted duplicate, not a reschedule.
+            self.speculative_wasted += 1;
+            self.drop_orphan(desc.idx, tt_idx);
+            return;
+        }
+        if let Some(rm) = self.running.get_mut(&desc.idx) {
+            if let Some(p) = rm.attempt_tts.iter().position(|t| *t == tt_idx) {
+                rm.attempt_tts.remove(p);
+            }
+            if !rm.attempt_tts.is_empty() {
                 return; // another attempt is still running
             }
             self.running.remove(&desc.idx);
         }
-        // Re-queue at the front (re-execute soon): an ever-smaller key sorts
-        // before everything pending, and front-pushing the locality queues
-        // keeps them ascending (every new front key is the global minimum).
+        self.requeue_map(desc);
+    }
+
+    /// Re-queue at the front (re-execute soon): an ever-smaller key sorts
+    /// before everything pending, and front-pushing the locality queues
+    /// keeps them ascending (every new front key is the global minimum).
+    fn requeue_map(&mut self, desc: MapTaskDesc) {
         let key = self.front_key;
         self.front_key -= 1;
         for loc in &desc.locations {
@@ -335,8 +442,7 @@ impl JobTracker {
 
     /// Should this reduce attempt fail? (Consumes the injection.)
     pub fn should_fail_reduce(&mut self, reduce_idx: usize) -> bool {
-        if self.fail_reduce_once == Some(reduce_idx) {
-            self.fail_reduce_once = None;
+        if self.fail_reduces.remove(&reduce_idx) {
             self.reduce_failures += 1;
             true
         } else {
@@ -346,7 +452,87 @@ impl JobTracker {
 
     /// A reduce attempt failed; re-queue it.
     pub fn reduce_failed(&mut self, reduce_idx: usize) {
+        self.running_reduces.remove(&reduce_idx);
         self.reduces_pending.push_front(reduce_idx);
+    }
+
+    /// A reduce attempt died mid-shuffle (its sources vanished, or its own
+    /// node did while the runtime re-queues on its behalf). Counts as a
+    /// failure and re-queues.
+    pub fn reduce_attempt_lost(&mut self, reduce_idx: usize) {
+        self.reduce_failures += 1;
+        self.reduce_failed(reduce_idx);
+    }
+
+    /// TaskTracker `tt_idx` died. Re-queues everything it was running and
+    /// every completed map whose output it held; returns what was lost so
+    /// the runtime can invalidate stores and emit events.
+    pub fn node_lost(&mut self, tt_idx: usize) -> NodeLossReport {
+        let mut report = NodeLossReport::default();
+        // Running map attempts on the dead node: each lost attempt is a
+        // failure; the task re-queues once no attempt survives.
+        let idxs: Vec<usize> = self.running.keys().copied().collect();
+        for idx in idxs {
+            let rm = self.running.get_mut(&idx).unwrap();
+            let before = rm.attempt_tts.len();
+            rm.attempt_tts.retain(|t| *t != tt_idx);
+            let lost = before - rm.attempt_tts.len();
+            if lost == 0 {
+                continue;
+            }
+            self.maps_running -= lost;
+            self.map_failures += lost;
+            report
+                .lost_running_maps
+                .extend(std::iter::repeat_n(idx, lost));
+            if rm.attempt_tts.is_empty() {
+                let desc = self.running.remove(&idx).unwrap().desc;
+                self.requeue_map(desc);
+            }
+        }
+        // Orphaned duplicates on the dead node vanish silently (their
+        // results were going to be discarded anyway).
+        for tts in self.orphans.values_mut() {
+            let before = tts.len();
+            tts.retain(|t| *t != tt_idx);
+            let lost = before - tts.len();
+            self.maps_running -= lost;
+            self.speculative_wasted += lost;
+        }
+        self.orphans.retain(|_, v| !v.is_empty());
+        // Completed maps whose output lived on the dead node: unreachable
+        // intermediate data, so the map re-executes (not counted as a
+        // failure — the attempt itself succeeded). Once every reduce has
+        // committed, the intermediate data has no remaining consumer and
+        // the re-execution would be pure waste — skip it.
+        let shuffle_live = self.total_reduces == 0 || self.reduces_done < self.total_reduces;
+        if shuffle_live {
+            let lost_completed: Vec<usize> = self
+                .completed_on
+                .iter()
+                .filter(|(_, t)| **t == tt_idx)
+                .map(|(m, _)| *m)
+                .collect();
+            for idx in lost_completed {
+                self.completed_on.remove(&idx);
+                self.completed_set.remove(&idx);
+                self.maps_completed -= 1;
+                self.requeue_map(self.descs[&idx].clone());
+                report.lost_completed_maps.push(idx);
+            }
+        }
+        // Running reduce attempts on the dead node restart from scratch.
+        let lost_reduces: Vec<usize> = self
+            .running_reduces
+            .iter()
+            .filter(|(_, t)| **t == tt_idx)
+            .map(|(r, _)| *r)
+            .collect();
+        for r in lost_reduces {
+            self.reduce_attempt_lost(r);
+            report.lost_reduces.push(r);
+        }
+        report
     }
 
     /// All maps completed?
@@ -359,8 +545,9 @@ impl JobTracker {
         (self.events[cursor..].to_vec(), self.events.len())
     }
 
-    /// A reducer finished.
-    pub fn reduce_completed(&mut self) {
+    /// Reducer `reduce_idx` finished.
+    pub fn reduce_completed(&mut self, reduce_idx: usize) {
+        self.running_reduces.remove(&reduce_idx);
         self.reduces_done += 1;
     }
 
@@ -397,32 +584,32 @@ mod tests {
 
     #[test]
     fn locality_preferred() {
-        let mut jt = JobTracker::new(vec![desc(0, 1), desc(1, 2), desc(2, 1)], 0, 0.05, None);
-        let (maps, _) = jt.heartbeat(NodeId(1), 2, 0);
+        let mut jt = JobTracker::new(vec![desc(0, 1), desc(1, 2), desc(2, 1)], 0, 0.05);
+        let (maps, _) = jt.heartbeat(NodeId(1), 0, 2, 0);
         assert_eq!(maps.iter().map(|m| m.idx).collect::<Vec<_>>(), vec![0, 2]);
         // Node 3 has no local splits → takes any.
-        let (maps, _) = jt.heartbeat(NodeId(3), 2, 0);
+        let (maps, _) = jt.heartbeat(NodeId(3), 2, 2, 0);
         assert_eq!(maps.iter().map(|m| m.idx).collect::<Vec<_>>(), vec![1]);
     }
 
     #[test]
     fn slowstart_gates_reducers() {
         let maps: Vec<_> = (0..10).map(|i| desc(i, 0)).collect();
-        let mut jt = JobTracker::new(maps, 2, 0.5, None);
-        let (m, r) = jt.heartbeat(NodeId(0), 10, 2);
+        let mut jt = JobTracker::new(maps, 2, 0.5);
+        let (m, r) = jt.heartbeat(NodeId(0), 0, 10, 2);
         assert_eq!(m.len(), 10);
         assert!(r.is_empty(), "no reducers before slowstart");
         for i in 0..5 {
             jt.map_completed(i, 0);
         }
-        let (_, r) = jt.heartbeat(NodeId(0), 0, 2);
+        let (_, r) = jt.heartbeat(NodeId(0), 0, 0, 2);
         assert_eq!(r, vec![0, 1]);
     }
 
     #[test]
     fn events_cursor_protocol() {
-        let mut jt = JobTracker::new(vec![desc(0, 0), desc(1, 0)], 1, 0.0, None);
-        let _ = jt.heartbeat(NodeId(0), 2, 0);
+        let mut jt = JobTracker::new(vec![desc(0, 0), desc(1, 0)], 1, 0.0);
+        let _ = jt.heartbeat(NodeId(0), 0, 2, 0);
         assert!(jt.map_completed(0, 3));
         let (ev, cur) = jt.events_since(0);
         assert_eq!(ev, vec![(0, 3)]);
@@ -435,14 +622,15 @@ mod tests {
 
     #[test]
     fn failed_map_is_rescheduled() {
-        let mut jt = JobTracker::new(vec![desc(0, 0)], 0, 0.0, Some(0));
-        let (maps, _) = jt.heartbeat(NodeId(0), 1, 0);
+        let mut jt = JobTracker::new(vec![desc(0, 0)], 0, 0.0);
+        jt.inject_map_failure(0);
+        let (maps, _) = jt.heartbeat(NodeId(0), 0, 1, 0);
         assert!(jt.should_fail(0));
         assert!(!jt.should_fail(0), "only fails once");
-        jt.map_failed(maps.into_iter().next().unwrap());
-        let (maps, _) = jt.heartbeat(NodeId(5), 1, 0);
+        jt.map_failed(maps.into_iter().next().unwrap(), 0);
+        let (maps, _) = jt.heartbeat(NodeId(5), 4, 1, 0);
         assert_eq!(maps.len(), 1);
-        jt.map_completed(0, 1);
+        jt.map_completed(0, 4);
         assert!(jt.maps_done());
         assert_eq!(jt.map_failures_seen(), 1);
         assert_eq!(jt.reduce_failures_seen(), 0);
@@ -450,12 +638,12 @@ mod tests {
 
     #[test]
     fn speculation_duplicates_stragglers_when_queue_drains() {
-        let mut jt = JobTracker::new(vec![desc(0, 0), desc(1, 0)], 0, 0.0, None);
+        let mut jt = JobTracker::new(vec![desc(0, 0), desc(1, 0)], 0, 0.0);
         jt.set_speculative(true);
-        let (m, _) = jt.heartbeat(NodeId(0), 2, 0);
+        let (m, _) = jt.heartbeat(NodeId(0), 0, 2, 0);
         assert_eq!(m.len(), 2);
         // Queue empty; a second TT's free slots re-run the oldest straggler.
-        let (m2, _) = jt.heartbeat(NodeId(1), 1, 0);
+        let (m2, _) = jt.heartbeat(NodeId(1), 1, 1, 0);
         assert_eq!(m2.len(), 1);
         assert_eq!(m2[0].idx, 0, "oldest straggler first");
         assert_eq!(jt.speculative_launched(), 1);
@@ -466,31 +654,31 @@ mod tests {
         assert!(jt.map_completed(1, 0));
         assert!(jt.maps_done());
         // A completed task is never speculated again.
-        let (m3, _) = jt.heartbeat(NodeId(2), 4, 0);
+        let (m3, _) = jt.heartbeat(NodeId(2), 2, 4, 0);
         assert!(m3.is_empty());
     }
 
     #[test]
     fn speculation_disabled_by_default() {
-        let mut jt = JobTracker::new(vec![desc(0, 0)], 0, 0.0, None);
-        let _ = jt.heartbeat(NodeId(0), 1, 0);
-        let (m, _) = jt.heartbeat(NodeId(1), 4, 0);
+        let mut jt = JobTracker::new(vec![desc(0, 0)], 0, 0.0);
+        let _ = jt.heartbeat(NodeId(0), 0, 1, 0);
+        let (m, _) = jt.heartbeat(NodeId(1), 1, 4, 0);
         assert!(m.is_empty(), "no duplicates without speculation");
     }
 
     #[test]
     fn failed_reduce_is_rescheduled() {
-        let mut jt = JobTracker::new(vec![], 2, 0.0, None);
-        jt.set_fail_reduce_once(Some(1));
-        let (_, r) = jt.heartbeat(NodeId(0), 0, 2);
+        let mut jt = JobTracker::new(vec![], 2, 0.0);
+        jt.inject_reduce_failure(1);
+        let (_, r) = jt.heartbeat(NodeId(0), 0, 0, 2);
         assert_eq!(r, vec![0, 1]);
         assert!(jt.should_fail_reduce(1));
         assert!(!jt.should_fail_reduce(1), "fails only once");
         jt.reduce_failed(1);
-        let (_, r) = jt.heartbeat(NodeId(1), 0, 2);
+        let (_, r) = jt.heartbeat(NodeId(1), 1, 0, 2);
         assert_eq!(r, vec![1]);
-        jt.reduce_completed();
-        jt.reduce_completed();
+        jt.reduce_completed(0);
+        jt.reduce_completed(1);
         assert!(jt.job_done());
         assert_eq!(jt.reduce_failures_seen(), 1);
         assert_eq!(
@@ -502,12 +690,91 @@ mod tests {
 
     #[test]
     fn job_done_requires_all_phases() {
-        let mut jt = JobTracker::new(vec![desc(0, 0)], 1, 0.0, None);
-        let _ = jt.heartbeat(NodeId(0), 1, 1);
+        let mut jt = JobTracker::new(vec![desc(0, 0)], 1, 0.0);
+        let _ = jt.heartbeat(NodeId(0), 0, 1, 1);
         assert!(!jt.job_done());
         jt.map_completed(0, 0);
         assert!(!jt.job_done());
-        jt.reduce_completed();
+        jt.reduce_completed(0);
         assert!(jt.job_done());
+    }
+
+    #[test]
+    fn node_loss_requeues_running_and_completed_work() {
+        // 3 maps, 1 reduce, all on tt0 (NodeId 1); tt1 = NodeId 2.
+        let maps: Vec<_> = (0..3).map(|i| desc(i, 1)).collect();
+        let mut jt = JobTracker::new(maps, 1, 0.0);
+        let (m, r) = jt.heartbeat(NodeId(1), 0, 2, 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(r, vec![0]);
+        assert!(jt.map_completed(0, 0)); // map 0 completed ON tt0
+        let (m2, _) = jt.heartbeat(NodeId(2), 1, 1, 0);
+        assert_eq!(m2.len(), 1, "map 2 goes to tt1");
+
+        let report = jt.node_lost(0);
+        // Running map 1 (on tt0) lost; completed map 0's output lost; the
+        // reduce on tt0 lost. Map 2 on tt1 untouched.
+        assert_eq!(report.lost_running_maps, vec![1]);
+        assert_eq!(report.lost_completed_maps, vec![0]);
+        assert_eq!(report.lost_reduces, vec![0]);
+        assert_eq!(jt.maps_completed(), 0);
+        assert_eq!(jt.running_maps(), 1);
+        assert_eq!(jt.pending_maps(), 2, "maps 0 and 1 re-queued");
+        assert_eq!(
+            jt.map_failures_seen(),
+            1,
+            "lost attempt counts, lost output does not"
+        );
+        assert_eq!(jt.reduce_failures_seen(), 1);
+
+        // The surviving node picks everything back up and the job finishes.
+        let (m3, r3) = jt.heartbeat(NodeId(2), 1, 2, 1);
+        assert_eq!(m3.len(), 2);
+        assert_eq!(r3, vec![0]);
+        assert!(jt.map_completed(2, 1));
+        assert!(jt.map_completed(0, 1), "re-execution completes again");
+        assert!(jt.map_completed(1, 1));
+        assert!(jt.maps_done());
+        // The event log holds both completions of map 0; latest wins.
+        let (ev, _) = jt.events_since(0);
+        assert_eq!(ev.iter().filter(|(m, _)| *m == 0).count(), 2);
+        jt.reduce_completed(0);
+        assert!(jt.job_done());
+    }
+
+    #[test]
+    fn node_loss_with_speculative_duplicate_keeps_counts_sane() {
+        let mut jt = JobTracker::new(vec![desc(0, 1)], 0, 0.0);
+        jt.set_speculative(true);
+        let _ = jt.heartbeat(NodeId(1), 0, 1, 0);
+        let (dup, _) = jt.heartbeat(NodeId(2), 1, 1, 0);
+        assert_eq!(dup.len(), 1, "speculative duplicate launched");
+        assert_eq!(jt.running_maps(), 2);
+        // tt0 dies: one attempt lost, the duplicate on tt1 survives and the
+        // task is NOT re-queued.
+        let report = jt.node_lost(0);
+        assert_eq!(report.lost_running_maps, vec![0]);
+        assert_eq!(jt.running_maps(), 1);
+        assert_eq!(jt.pending_maps(), 0);
+        assert!(jt.map_completed(0, 1));
+        assert!(jt.maps_done());
+    }
+
+    #[test]
+    fn node_loss_drops_orphaned_duplicates() {
+        let mut jt = JobTracker::new(vec![desc(0, 1)], 0, 0.0);
+        jt.set_speculative(true);
+        let _ = jt.heartbeat(NodeId(1), 0, 1, 0);
+        let _ = jt.heartbeat(NodeId(2), 1, 1, 0);
+        // tt1's duplicate wins; tt0's original is now an orphan in flight.
+        assert!(jt.map_completed(0, 1));
+        assert_eq!(jt.running_maps(), 1);
+        // tt0 dies; the orphan vanishes without un-completing the task.
+        let report = jt.node_lost(0);
+        assert!(report.lost_running_maps.is_empty());
+        assert!(report.lost_completed_maps.is_empty());
+        assert_eq!(jt.running_maps(), 0);
+        assert!(jt.maps_done());
+        assert_eq!(jt.speculative_wasted(), 1);
     }
 }

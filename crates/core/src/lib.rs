@@ -24,6 +24,7 @@
 pub mod cluster;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod job;
 pub mod jobtracker;
 pub mod mapoutput;
@@ -41,7 +42,8 @@ pub mod timeline;
 pub use cluster::{Cluster, NodeHandle, NodeSpec};
 pub use config::{CpuCosts, JobConf, ShuffleKind};
 pub use engine::ShuffleEngine;
-pub use job::{run_job, JobResult};
+pub use faults::{FaultEvent, FaultPlan, NodeLiveness};
+pub use job::{run_job, run_job_with_faults, JobResult};
 pub use record::{
     decode_records, encode_records, HashPartitioner, Partitioner, Record, Segment,
     TotalOrderPartitioner,

@@ -74,6 +74,22 @@ impl MapOutputStore {
         self.inner.borrow_mut().retain(|(j, _), _| *j != job);
     }
 
+    /// Drops every output held by TaskTracker `tt_idx` (node death: the
+    /// files are unreachable until the maps re-execute elsewhere). Returns
+    /// the removed entries so the caller can re-queue their tasks.
+    pub fn remove_node(&self, tt_idx: usize) -> Vec<Rc<MapOutputInfo>> {
+        let mut lost = Vec::new();
+        self.inner.borrow_mut().retain(|_, info| {
+            if info.tt_idx == tt_idx {
+                lost.push(Rc::clone(info));
+                false
+            } else {
+                true
+            }
+        });
+        lost
+    }
+
     /// Number of registered outputs (all jobs).
     pub fn len(&self) -> usize {
         self.inner.borrow().len()
@@ -118,6 +134,20 @@ mod tests {
         assert!(s.remove(JobId(0), 3).is_some());
         assert!(s.get(JobId(0), 3).is_none());
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_node_returns_the_lost_outputs() {
+        let s = MapOutputStore::new();
+        s.insert(info(0, 1, 100));
+        let mut other = info(0, 2, 200);
+        other.tt_idx = 1;
+        s.insert(other);
+        let lost = s.remove_node(0);
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].map_idx, 1);
+        assert!(s.get(JobId(0), 1).is_none());
+        assert!(s.get(JobId(0), 2).is_some(), "other node's output survives");
     }
 
     #[test]

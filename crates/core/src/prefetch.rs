@@ -252,6 +252,14 @@ impl PrefetchCache {
         i.used -= freed;
     }
 
+    /// Drops every entry (node death: the cached heap dies with the JVM).
+    /// Hit/miss counters survive — they describe history, not residency.
+    pub fn clear(&self) {
+        let mut i = self.inner.borrow_mut();
+        i.entries.clear();
+        i.used = 0;
+    }
+
     /// Drops `job`'s per-job hit/miss counters (after the final stat read
     /// at job commit); without this the `by_job` map grows one entry per
     /// job ever run. Cluster-wide totals ([`PrefetchCache::stats`]) are
@@ -295,9 +303,41 @@ pub struct Prefetcher {
     queued: Rc<RefCell<std::collections::BTreeSet<CacheKey>>>,
 }
 
+/// A boxed staging-daemon body, so one spawn loop can target either the
+/// global executor or a node's [`TaskGroup`].
+type DaemonBody = std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>;
+
 impl Prefetcher {
     /// Spawns `threads` staging daemons reading from `fs` into `cache`.
     pub fn spawn(sim: &Sim, fs: &LocalFs, cache: &PrefetchCache, threads: usize) -> Self {
+        let sim2 = sim.clone();
+        Self::spawn_with(sim, fs, cache, threads, &|name, body| {
+            sim2.spawn_daemon(name, body).detach()
+        })
+    }
+
+    /// Like [`Prefetcher::spawn`], but the daemons join `group` so a node
+    /// kill ([`crate::runtime::Runtime::kill_node`]) aborts them with the
+    /// rest of the TaskTracker.
+    pub fn spawn_in(
+        sim: &Sim,
+        group: &TaskGroup,
+        fs: &LocalFs,
+        cache: &PrefetchCache,
+        threads: usize,
+    ) -> Self {
+        Self::spawn_with(sim, fs, cache, threads, &|name, body| {
+            group.spawn_daemon(name, body).detach()
+        })
+    }
+
+    fn spawn_with(
+        sim: &Sim,
+        fs: &LocalFs,
+        cache: &PrefetchCache,
+        threads: usize,
+        spawn: &dyn Fn(String, DaemonBody),
+    ) -> Self {
         let (tx, rx): (Sender<PrefetchRequest>, Receiver<PrefetchRequest>) = channel();
         let queued: Rc<RefCell<std::collections::BTreeSet<CacheKey>>> =
             Rc::new(RefCell::new(std::collections::BTreeSet::new()));
@@ -307,7 +347,7 @@ impl Prefetcher {
             let cache = cache.clone();
             let sim2 = sim.clone();
             let queued = Rc::clone(&queued);
-            sim.spawn_daemon(format!("prefetch-daemon-{i}"), async move {
+            let body = async move {
                 while let Some(req) = rx.recv().await {
                     queued.borrow_mut().remove(&req.key());
                     if cache.contains(req.key()) {
@@ -332,8 +372,8 @@ impl Prefetcher {
                         }
                     }
                 }
-            })
-            .detach();
+            };
+            spawn(format!("prefetch-daemon-{i}"), Box::pin(body));
         }
         Prefetcher {
             tx,

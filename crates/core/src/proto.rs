@@ -38,6 +38,11 @@ pub enum ShufMsg {
         map_idx: usize,
         /// Which reduce partition.
         reduce: usize,
+        /// The reducer's attempt number (monotone per partition). A retried
+        /// reducer re-fetches every segment from the head, so the server
+        /// rewinds its serve cursor when it sees a newer attempt; requests
+        /// from an older (dead) attempt are answered empty.
+        attempt: u32,
         /// How much.
         budget: PacketBudget,
     },
@@ -79,6 +84,7 @@ mod tests {
             job: JobId(0),
             map_idx: 0,
             reduce: 0,
+            attempt: 0,
             budget: PacketBudget::Full,
         };
         assert_eq!(req.wire_size(), MSG_HEADER_BYTES);

@@ -10,11 +10,23 @@ use rmr_hdfs::Blob;
 
 use crate::cluster::{Cluster, NodeHandle};
 use crate::config::JobConf;
+use crate::faults::NodeLiveness;
 use crate::jobtracker::{CompletionEvent, JobTracker};
 use crate::record::{encode_records, Record, Segment};
 use crate::runtime::JobId;
 use crate::spec::JobSpec;
 use crate::tasktracker::{TaskTracker, TtServerHandle};
+
+/// Why a reduce attempt could not finish; the runtime re-queues it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceError {
+    /// A shuffle source died and its map must re-execute; the attempt
+    /// restarts from scratch (partial shuffles are not checkpointed).
+    SourceLost {
+        /// The TaskTracker whose outputs vanished.
+        tt_idx: usize,
+    },
+}
 
 /// Everything a reduce engine needs to run one ReduceTask.
 #[derive(Clone)]
@@ -27,14 +39,22 @@ pub struct ReduceCtx {
     pub spec: JobSpec,
     /// Scheduling state (for event polls).
     pub jt: Rc<RefCell<JobTracker>>,
-    /// Shuffle server addresses, by TaskTracker index.
-    pub servers: Rc<Vec<TtServerHandle>>,
+    /// Shuffle server addresses, by TaskTracker index. Behind a `RefCell`
+    /// because a node restart installs a fresh server handle in place.
+    pub servers: Rc<RefCell<Vec<TtServerHandle>>>,
+    /// Per-TaskTracker liveness signals (out-of-band death detection for
+    /// the RDMA paths, whose completion queues never close on peer death).
+    pub liveness: Rc<Vec<Rc<NodeLiveness>>>,
     /// The TaskTracker this reducer runs on.
     pub tt: Rc<TaskTracker>,
     /// The job this reducer belongs to.
     pub job: JobId,
     /// This reducer's partition index.
     pub reduce_idx: usize,
+    /// This attempt's launch number (monotone per partition, counting node
+    /// deaths as well as fetch-failure retries). Stamped into every shuffle
+    /// request so servers rewind their per-attempt serve cursors.
+    pub attempt: u32,
     /// Total maps in the job.
     pub total_maps: usize,
 }
@@ -102,6 +122,17 @@ impl ReduceSink {
         reduce_idx: usize,
     ) -> ReduceSink {
         let path = format!("{}/part-{reduce_idx:05}", spec.output);
+        // A previous attempt of this reducer may have died mid-write (node
+        // kill or lost shuffle source); its partial part file is replaced.
+        // Fault-free runs never take this branch — `exists` is a host-side
+        // check, so their event streams are untouched.
+        if cluster.hdfs.exists(&path) {
+            cluster
+                .hdfs
+                .delete(&path, node.id)
+                .await
+                .expect("stale output delete");
+        }
         let writer = cluster
             .hdfs
             .create_with_replication(&path, node.id, conf.output_replication)
@@ -341,7 +372,7 @@ mod tests {
     #[test]
     fn poll_events_advances_cursor() {
         let (sim, cluster) = mk();
-        let jt = Rc::new(RefCell::new(JobTracker::new(vec![], 1, 0.0, None)));
+        let jt = Rc::new(RefCell::new(JobTracker::new(vec![], 1, 0.0)));
         jt.borrow_mut().map_completed_raw_for_test();
         let c2 = cluster.clone();
         let jt2 = Rc::clone(&jt);

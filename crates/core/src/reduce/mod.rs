@@ -5,4 +5,4 @@ pub mod common;
 pub mod rdma;
 pub mod vanilla;
 
-pub use common::{ReduceCtx, ReduceSink, ReduceStats};
+pub use common::{ReduceCtx, ReduceError, ReduceSink, ReduceStats};

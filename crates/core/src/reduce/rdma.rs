@@ -17,9 +17,26 @@
 //!   reads from disk per request. With large kv-pairs (the Sort benchmark)
 //!   those packets are enormous, exhausting the shuffle buffer and
 //!   serialising fetches — the §IV-C pathology.
+//!
+//! # Fault handling
+//!
+//! A verbs CQ never closes on peer death, so a dead TaskTracker cannot be
+//! detected in-band the way vanilla's socket copiers detect it. Each copier
+//! therefore watches its server's [`NodeLiveness`] signal out of band and
+//! reports the death to the merge loop. Because the server-side
+//! `SegmentCursor` for a partially-pulled segment dies with the node (the
+//! re-executed map's server starts from offset zero), a source that already
+//! delivered bytes cannot be resumed: the whole attempt returns
+//! [`ReduceError::SourceLost`] and the runtime re-queues it. Sources that
+//! were fully delivered before the death, and sources that had delivered
+//! nothing yet (which are transparently re-homed onto the re-executed map's
+//! TaskTracker), survive within the attempt.
+//!
+//! [`NodeLiveness`]: crate::faults::NodeLiveness
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
@@ -29,7 +46,7 @@ use rmr_obs::Ev;
 use crate::merge::{Emit, StreamingMerge};
 use crate::proto::{PacketBudget, ShufMsg};
 use crate::record::Segment;
-use crate::reduce::common::{poll_events, ReduceCtx, ReduceSink, ReduceStats};
+use crate::reduce::common::{poll_events, ReduceCtx, ReduceError, ReduceSink, ReduceStats};
 use crate::tasktracker::TtServerHandle;
 
 /// Records per emitted merge batch.
@@ -137,25 +154,57 @@ impl MemBudget {
     }
 }
 
+/// Finds an unrecoverable source: one that is not fully delivered and whose
+/// partial bytes came from an endpoint that no longer serves them (the node
+/// died, or it restarted and lost its MapOutputStore, or the map has already
+/// been re-homed away from a lost incarnation — `poisoned`).
+fn lost_source(
+    state: &RefCell<ShufState>,
+    poisoned: &BTreeSet<usize>,
+    ep_dead: &dyn Fn(usize) -> bool,
+) -> Option<usize> {
+    let st = state.borrow();
+    st.sources.iter().find_map(|(m, s)| {
+        if s.fully_delivered {
+            return None;
+        }
+        if poisoned.contains(m) {
+            return Some(s.tt_idx);
+        }
+        if (s.delivered_records > 0 || s.delivered_bytes > 0) && ep_dead(s.tt_idx) {
+            return Some(s.tt_idx);
+        }
+        None
+    })
+}
+
 /// Runs one Hadoop-A or OSU-IB ReduceTask to completion, branching on
-/// `variant`'s capabilities.
-pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStats {
+/// `variant`'s capabilities. `Err` means a shuffle source with partial
+/// deliveries died under the attempt; the caller re-queues the whole task.
+pub async fn run_reduce_rdma(
+    ctx: ReduceCtx,
+    variant: RdmaVariant,
+) -> Result<ReduceStats, ReduceError> {
     let sim = ctx.cluster.sim.clone();
     let conf = Rc::clone(&ctx.conf);
     let node = ctx.tt.node.clone();
     let obs = ctx.tt.obs().clone();
     let my_idx = ctx.tt.idx;
 
-    // Connect an endpoint to every TaskTracker up front (§III-B-1: "one
-    // RDMACopier sends such information to all available TaskTrackers").
-    let mut eps: Vec<Rc<EndPoint<ShufMsg>>> = Vec::with_capacity(ctx.servers.len());
-    for server in ctx.servers.iter() {
-        let TtServerHandle::Rdma(connector) = server else {
-            panic!("RDMA reducer needs RDMA servers");
-        };
-        eps.push(Rc::new(connector.connect(node.id).await));
-    }
-    let eps = Rc::new(eps);
+    // Endpoints keyed by TaskTracker index. Unlike the fault-free design a
+    // plain vector no longer works: a dead server has no endpoint, and a
+    // restarted one needs a fresh connection (tracked by liveness epoch).
+    let eps: Rc<RefCell<BTreeMap<usize, Rc<EndPoint<ShufMsg>>>>> =
+        Rc::new(RefCell::new(BTreeMap::new()));
+    let ep_epochs: Rc<RefCell<BTreeMap<usize, u64>>> = Rc::new(RefCell::new(BTreeMap::new()));
+    let ep_dead = {
+        let ep_epochs = Rc::clone(&ep_epochs);
+        let liveness = Rc::clone(&ctx.liveness);
+        move |tt: usize| -> bool {
+            let l = &liveness[tt];
+            !l.alive() || ep_epochs.borrow().get(&tt).is_none_or(|e| *e != l.epoch())
+        }
+    };
 
     let state = Rc::new(RefCell::new(ShufState {
         sources: BTreeMap::new(),
@@ -168,93 +217,179 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
     let arrived = Notify::new_named(&format!("r{}-packet-arrived", ctx.reduce_idx));
     let mem = Rc::new(MemBudget::new(conf.shuffle_buffer));
 
+    // Attempt-scoped shutdown for the copier daemons (they live in the
+    // TaskTracker's task group, so the node's death also reaps them), and a
+    // counter the copiers bump when they see their server die.
+    let stop_flag = Rc::new(Cell::new(false));
+    let stop_note = Notify::new_named(&format!("r{}-attempt-shutdown", ctx.reduce_idx));
+    let deaths_seen = Rc::new(Cell::new(0u64));
+    // Set when a request could not be sent because the source's TaskTracker
+    // has no endpoint — e.g. a map re-executed on a node that was down when
+    // this attempt connected up front (so no death was ever *seen* here).
+    // Arms the same reconnect sweep a death does.
+    let no_ep = Rc::new(Cell::new(false));
+    let stop_copiers = {
+        let flag = Rc::clone(&stop_flag);
+        let note = stop_note.clone();
+        move || {
+            flag.set(true);
+            note.notify_all();
+        }
+    };
+
     // Receiver: one task per endpoint, buffering packets. A packet that
     // lands when the shuffle buffer is already full cannot stay in memory:
     // it is spilled to the reducer's local disk and read back when the
     // merge consumes it — this is what breaks Hadoop-A's stage overlap when
-    // its fixed-count packets are huge (§IV-C).
-    for (tt_i, ep) in eps.iter().enumerate() {
-        let ep = Rc::clone(ep);
+    // its fixed-count packets are huge (§IV-C). Each copier also watches its
+    // server's liveness: the CQ never closes, so death is out of band.
+    let spawn_copier = {
         let state = Rc::clone(&state);
         let arrived = arrived.clone();
-        let sim2 = sim.clone();
+        let sim = sim.clone();
         let mem = Rc::clone(&mem);
-        let node2 = node.clone();
+        let node = node.clone();
         let conf = Rc::clone(&conf);
-        let obs2 = obs.clone();
+        let obs = obs.clone();
+        let group = ctx.tt.group.clone();
+        let liveness = Rc::clone(&ctx.liveness);
+        let stop_flag = Rc::clone(&stop_flag);
+        let stop_note = stop_note.clone();
+        let deaths_seen = Rc::clone(&deaths_seen);
         let (job_id, reduce_idx) = (ctx.job, ctx.reduce_idx);
         let spill_file = format!("{}_r{}_shufspill", ctx.job, ctx.reduce_idx);
-        let copier_name = format!("r{}-rdma-copier-tt{tt_i}", ctx.reduce_idx);
-        sim.spawn_daemon(copier_name, async move {
-            while let Some(msg) = ep.recv().await {
-                let ShufMsg::Response {
-                    map_idx,
-                    packet,
-                    remaining_records,
-                    total_records,
-                    total_bytes,
-                    ..
-                } = msg
-                else {
-                    continue;
-                };
-                let spill = {
-                    let mut st = state.borrow_mut();
-                    st.shuffled_bytes += packet.bytes;
-                    st.last_arrival_s = sim2.now().as_secs_f64();
-                    let src = st.sources.get_mut(&map_idx).expect("unknown source");
-                    src.total_records = Some(total_records);
-                    src.total_bytes = Some(total_bytes);
-                    src.delivered_records += packet.records;
-                    src.delivered_bytes += packet.bytes;
-                    src.fully_delivered = remaining_records == 0;
-                    // Reserved packets always fit (the budget was held for
-                    // them); only overdraft packets can overflow and spill.
-                    let covered = src.reserved >= packet.bytes;
-                    // Balance the reservation against what actually came.
-                    if src.reserved > packet.bytes {
-                        mem.release(src.reserved - packet.bytes);
-                    }
-                    src.reserved = 0;
-                    src.inflight = false;
-                    let over = !covered && st.resident_bytes + packet.bytes > conf.shuffle_buffer;
-                    if packet.records > 0 {
-                        st.resident_bytes += packet.bytes;
-                        if over {
-                            st.spilled_bytes += packet.bytes;
+        move |tt_i: usize, ep: Rc<EndPoint<ShufMsg>>, ep_epoch: u64| {
+            let state = Rc::clone(&state);
+            let arrived = arrived.clone();
+            let sim2 = sim.clone();
+            let mem = Rc::clone(&mem);
+            let node2 = node.clone();
+            let conf = Rc::clone(&conf);
+            let obs2 = obs.clone();
+            let live = Rc::clone(&liveness[tt_i]);
+            let stop_flag = Rc::clone(&stop_flag);
+            let stop_note = stop_note.clone();
+            let deaths_seen = Rc::clone(&deaths_seen);
+            let spill_file = spill_file.clone();
+            let copier_name = format!("r{reduce_idx}-rdma-copier-tt{tt_i}");
+            group
+                .spawn_daemon(copier_name, async move {
+                    loop {
+                        if stop_flag.get() {
+                            break;
                         }
-                        let src = st.sources.get_mut(&map_idx).unwrap();
-                        src.buffered_bytes += packet.bytes;
-                        let bytes = packet.bytes;
-                        st.pending.push_back((map_idx, packet, over));
-                        over.then_some(bytes)
-                    } else {
-                        None
+                        let stopped = stop_note.notified();
+                        let death = live.changed.notified();
+                        let msg = match select2(ep.recv(), select2(death, stopped)).await {
+                            Either::Left(Some(msg)) => msg,
+                            Either::Left(None) => break,
+                            Either::Right(Either::Left(())) => {
+                                if live.alive() && live.epoch() == ep_epoch {
+                                    continue; // not our death (e.g. a later restart's kill)
+                                }
+                                deaths_seen.set(deaths_seen.get() + 1);
+                                arrived.notify_all();
+                                break;
+                            }
+                            Either::Right(Either::Right(())) => break,
+                        };
+                        let ShufMsg::Response {
+                            map_idx,
+                            packet,
+                            remaining_records,
+                            total_records,
+                            total_bytes,
+                            ..
+                        } = msg
+                        else {
+                            continue;
+                        };
+                        let spill = {
+                            let mut st = state.borrow_mut();
+                            st.shuffled_bytes += packet.bytes;
+                            st.last_arrival_s = sim2.now().as_secs_f64();
+                            let src = st.sources.get_mut(&map_idx).expect("unknown source");
+                            src.total_records = Some(total_records);
+                            src.total_bytes = Some(total_bytes);
+                            src.delivered_records += packet.records;
+                            src.delivered_bytes += packet.bytes;
+                            src.fully_delivered = remaining_records == 0;
+                            // Reserved packets always fit (the budget was held for
+                            // them); only overdraft packets can overflow and spill.
+                            let covered = src.reserved >= packet.bytes;
+                            // Balance the reservation against what actually came.
+                            if src.reserved > packet.bytes {
+                                mem.release(src.reserved - packet.bytes);
+                            }
+                            src.reserved = 0;
+                            src.inflight = false;
+                            let over =
+                                !covered && st.resident_bytes + packet.bytes > conf.shuffle_buffer;
+                            if packet.records > 0 {
+                                st.resident_bytes += packet.bytes;
+                                if over {
+                                    st.spilled_bytes += packet.bytes;
+                                }
+                                let src = st.sources.get_mut(&map_idx).unwrap();
+                                src.buffered_bytes += packet.bytes;
+                                let bytes = packet.bytes;
+                                st.pending.push_back((map_idx, packet, over));
+                                over.then_some(bytes)
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some(bytes) = spill {
+                            sim2.metrics()
+                                .add("reduce.shuffle_spill_bytes", bytes as f64);
+                            obs2.emit(|| Ev::Spill {
+                                node: my_idx,
+                                job: job_id.0,
+                                reduce: reduce_idx,
+                                bytes,
+                            });
+                            if variant.local_spill {
+                                // OSU-IB reuses Hadoop's local spill machinery
+                                // (§III-C-2: minimal changes to the existing merge).
+                                let w = node2.fs.writer(&spill_file).expect("shuffle spill file");
+                                w.append(bytes).await.expect("shuffle spill write");
+                            }
+                            // Hadoop-A's native-C merge has no reduce-side spill
+                            // path: the overflowing packet is dropped and later
+                            // refetched from the TaskTracker (charged at drain).
+                        }
+                        arrived.notify_all();
                     }
-                };
-                if let Some(bytes) = spill {
-                    sim2.metrics()
-                        .add("reduce.shuffle_spill_bytes", bytes as f64);
-                    obs2.emit(|| Ev::Spill {
-                        node: my_idx,
-                        job: job_id.0,
-                        reduce: reduce_idx,
-                        bytes,
-                    });
-                    if variant.local_spill {
-                        // OSU-IB reuses Hadoop's local spill machinery
-                        // (§III-C-2: minimal changes to the existing merge).
-                        let w = node2.fs.writer(&spill_file).expect("shuffle spill file");
-                        w.append(bytes).await.expect("shuffle spill write");
-                    }
-                    // Hadoop-A's native-C merge has no reduce-side spill
-                    // path: the overflowing packet is dropped and later
-                    // refetched from the TaskTracker (charged at drain).
-                }
-                arrived.notify_all();
+                })
+                .detach();
+        }
+    };
+
+    // Connect an endpoint to every live TaskTracker up front (§III-B-1: "one
+    // RDMACopier sends such information to all available TaskTrackers").
+    // Dead servers are skipped; if a source later lands on one (restart or
+    // re-execution), the Phase A reconnect pass picks it up.
+    {
+        let n_servers = ctx.servers.borrow().len();
+        let mut connected: Vec<(usize, Rc<EndPoint<ShufMsg>>, u64)> = Vec::new();
+        for tt_i in 0..n_servers {
+            if !ctx.liveness[tt_i].alive() {
+                continue;
             }
-        })
-        .detach();
+            let epoch = ctx.liveness[tt_i].epoch();
+            let connector = match &ctx.servers.borrow()[tt_i] {
+                TtServerHandle::Rdma(c) => c.clone(),
+                _ => panic!("RDMA reducer needs RDMA servers"),
+            };
+            if let Some(ep) = connector.try_connect(node.id).await {
+                connected.push((tt_i, Rc::new(ep), epoch));
+            }
+        }
+        for (tt_i, ep, epoch) in connected {
+            eps.borrow_mut().insert(tt_i, Rc::clone(&ep));
+            ep_epochs.borrow_mut().insert(tt_i, epoch);
+            spawn_copier(tt_i, ep, epoch);
+        }
     }
 
     let packet_budget = || {
@@ -272,20 +407,30 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
 
     // Sends the next packet request for `map_idx`. `forced` bypasses the
     // memory budget (stall recovery); otherwise the request is skipped when
-    // the buffer has no room.
+    // the buffer has no room. Returns false (no request) when the source's
+    // TaskTracker has no live endpoint.
     let send_request = {
         let state = Rc::clone(&state);
         let eps = Rc::clone(&eps);
         let mem = Rc::clone(&mem);
         let obs = obs.clone();
+        let no_ep = Rc::clone(&no_ep);
         let job = ctx.job;
         let reduce_idx = ctx.reduce_idx;
+        let attempt = ctx.attempt;
         move |map_idx: usize, budget: PacketBudget, est: u64, forced: bool| -> bool {
             let mut st = state.borrow_mut();
             let src = st.sources.get_mut(&map_idx).expect("unknown source");
             if src.inflight || src.fully_delivered {
                 return false;
             }
+            let ep = match eps.borrow().get(&src.tt_idx) {
+                Some(e) => Rc::clone(e),
+                None => {
+                    no_ep.set(true);
+                    return false;
+                }
+            };
             // Refine the estimate with what the server already told us.
             let est = match src.total_bytes {
                 Some(t) => est.min(t.saturating_sub(src.delivered_bytes)).max(1),
@@ -301,7 +446,6 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
             src.reserved = reserved;
             src.inflight = true;
             let server = src.tt_idx;
-            let ep = Rc::clone(&eps[server]);
             drop(st);
             obs.emit(|| Ev::ShuffleRequest {
                 node: my_idx,
@@ -314,6 +458,7 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
                 job,
                 map_idx,
                 reduce: reduce_idx,
+                attempt,
                 budget,
             });
             true
@@ -324,33 +469,112 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
     // with the map wave, Hadoop-A only pulls headers. ----
     let mut cursor = 0usize;
     let mut discovered = 0usize;
+    let mut phase_a_iters = 0u64;
+    // Maps whose partial deliveries came from a since-lost incarnation.
+    let mut poisoned: BTreeSet<usize> = BTreeSet::new();
     loop {
         for (map_idx, tt_idx) in poll_events(&ctx.cluster, &ctx.jt, &node, &mut cursor).await {
-            discovered += 1;
-            state.borrow_mut().sources.insert(
-                map_idx,
-                SourceState {
-                    tt_idx,
-                    total_records: None,
-                    total_bytes: None,
-                    buffered_bytes: 0,
-                    delivered_records: 0,
-                    delivered_bytes: 0,
-                    fully_delivered: false,
-                    inflight: false,
-                    reserved: 0,
-                },
-            );
-            if variant.eager_fetch {
-                send_request(map_idx, packet_budget(), est_packet_bytes, false);
-            } else {
-                // Header only: first kv pair + segment metadata.
-                send_request(
-                    map_idx,
-                    PacketBudget::Records(1),
-                    ctx.spec.avg_record_bytes,
-                    true,
-                );
+            // A repeated completion event for the same map means it was
+            // re-executed after a node loss: dedup via the entry API so
+            // `discovered` counts unique maps.
+            let (is_new, want_request) = {
+                let mut st = state.borrow_mut();
+                match st.sources.entry(map_idx) {
+                    Entry::Vacant(v) => {
+                        v.insert(SourceState {
+                            tt_idx,
+                            total_records: None,
+                            total_bytes: None,
+                            buffered_bytes: 0,
+                            delivered_records: 0,
+                            delivered_bytes: 0,
+                            fully_delivered: false,
+                            inflight: false,
+                            reserved: 0,
+                        });
+                        (true, true)
+                    }
+                    Entry::Occupied(mut e) => {
+                        let s = e.get_mut();
+                        if s.fully_delivered {
+                            // Already fully pulled from the old incarnation;
+                            // the re-execution serves other reducers.
+                            (false, false)
+                        } else if s.delivered_records > 0 || s.delivered_bytes > 0 {
+                            // Partial data from a lost incarnation cannot be
+                            // resumed (the new server's cursor starts over):
+                            // the attempt must restart.
+                            poisoned.insert(map_idx);
+                            (false, false)
+                        } else {
+                            // Nothing delivered yet: re-home cleanly, dropping
+                            // any request that was in flight to the dead node.
+                            if s.reserved > 0 {
+                                mem.release(s.reserved);
+                                s.reserved = 0;
+                            }
+                            s.inflight = false;
+                            s.tt_idx = tt_idx;
+                            (false, true)
+                        }
+                    }
+                }
+            };
+            if is_new {
+                discovered += 1;
+            }
+            if want_request {
+                if variant.eager_fetch {
+                    send_request(map_idx, packet_budget(), est_packet_bytes, false);
+                } else {
+                    // Header only: first kv pair + segment metadata.
+                    send_request(
+                        map_idx,
+                        PacketBudget::Records(1),
+                        ctx.spec.avg_record_bytes,
+                        true,
+                    );
+                }
+            }
+        }
+        // Fault sweep — skipped entirely on the fault-free path. `no_ep`
+        // also arms it: a source can live on a TaskTracker this attempt has
+        // no endpoint for without ever witnessing a death (the node was down
+        // at connect time and a re-executed map landed on it post-restart).
+        if deaths_seen.get() > 0 || !poisoned.is_empty() || no_ep.replace(false) {
+            if let Some(tt_idx) = lost_source(&state, &poisoned, &ep_dead) {
+                stop_copiers();
+                return Err(ReduceError::SourceLost { tt_idx });
+            }
+            // Reconnect to the (live) homes of still-pending sources whose
+            // endpoint died — a restarted node, or a re-execution landing on
+            // a TaskTracker that was down when we connected up front.
+            let need: Vec<usize> = {
+                let st = state.borrow();
+                let mut v: Vec<usize> = st
+                    .sources
+                    .values()
+                    .filter(|s| {
+                        !s.fully_delivered && ep_dead(s.tt_idx) && ctx.liveness[s.tt_idx].alive()
+                    })
+                    .map(|s| s.tt_idx)
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            for tt in need {
+                let epoch = ctx.liveness[tt].epoch();
+                let connector = match &ctx.servers.borrow()[tt] {
+                    TtServerHandle::Rdma(c) => c.clone(),
+                    _ => panic!("RDMA reducer needs RDMA servers"),
+                };
+                if let Some(ep) = connector.try_connect(node.id).await {
+                    let ep = Rc::new(ep);
+                    eps.borrow_mut().insert(tt, Rc::clone(&ep));
+                    ep_epochs.borrow_mut().insert(tt, epoch);
+                    spawn_copier(tt, ep, epoch);
+                }
             }
         }
         // Keep the pipeline fed while maps are still finishing (OSU): pull
@@ -388,12 +612,39 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
                 send_request(m, packet_budget(), est_packet_bytes, true);
             }
         }
-        // Wake on the next poll tick or on any packet arrival.
+        // Wake on the next poll tick or on any packet arrival (copiers also
+        // fire the arrival notify when they observe a server death).
+        phase_a_iters += 1;
+        if phase_a_iters.is_multiple_of(512) && std::env::var("RMR_RDMA_DEBUG").is_ok() {
+            let st = state.borrow();
+            let no_totals: Vec<(usize, usize, bool, bool)> = st
+                .sources
+                .iter()
+                .filter(|(_, s)| s.total_records.is_none())
+                .map(|(m, s)| (*m, s.tt_idx, s.inflight, ep_dead(s.tt_idx)))
+                .collect();
+            eprintln!(
+                "[rdma r{} tt{}] PHASE-A iter={} discovered={}/{} deaths={} poisoned={:?} \
+                 no-totals(map,tt,inflight,ep_dead)={:?}",
+                ctx.reduce_idx,
+                my_idx,
+                phase_a_iters,
+                discovered,
+                ctx.total_maps,
+                deaths_seen.get(),
+                poisoned,
+                no_totals
+            );
+        }
         let n = arrived.notified();
         rmr_des::sync::select2(sim.sleep(conf.event_poll), n).await;
     }
 
     // ---- Phase B: priority-queue merge pipelined with reduce. ----
+    // No new sources appear past this point, and every non-fully-delivered
+    // source has delivered at least a header — so a server death in Phase B
+    // either touches only fully-delivered sources (harmless) or fails the
+    // attempt; there is no Phase B re-home/reconnect path.
     let order: Vec<usize> = state.borrow().sources.keys().copied().collect();
     let dense: BTreeMap<usize, usize> = order.iter().enumerate().map(|(i, m)| (*m, i)).collect();
     let expected: Vec<u64> = {
@@ -411,6 +662,8 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
     };
 
     // DataToReduceQueue + reduce consumer (overlap of merge and reduce).
+    // The consumer lives in the TaskTracker's group so the node's own death
+    // tears it down with the attempt.
     let (out_tx, out_rx) = bounded_named::<Segment>(
         &format!("r{}-data-to-reduce-queue", ctx.reduce_idx),
         REDUCE_QUEUE_DEPTH,
@@ -419,14 +672,18 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
         let ctx2 = ctx.clone();
         let node2 = node.clone();
         let conf2 = Rc::clone(&conf);
-        sim.spawn_named(format!("r{}-reduce-consumer", ctx.reduce_idx), async move {
-            let mut sink =
-                ReduceSink::open(&ctx2.cluster, &conf2, &ctx2.spec, &node2, ctx2.reduce_idx).await;
-            while let Some(seg) = out_rx.recv().await {
-                sink.consume(seg).await;
-            }
-            sink.finish().await
-        })
+        ctx.tt.group.clone().spawn_named(
+            format!("r{}-reduce-consumer", ctx.reduce_idx),
+            async move {
+                let mut sink =
+                    ReduceSink::open(&ctx2.cluster, &conf2, &ctx2.spec, &node2, ctx2.reduce_idx)
+                        .await;
+                while let Some(seg) = out_rx.recv().await {
+                    sink.consume(seg).await;
+                }
+                sink.finish().await
+            },
+        )
     };
 
     // Moves pending packets into the merge in arrival order (per-source
@@ -461,8 +718,15 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
     let c_emits = metrics.counter("rdma.emits");
     let c_emit_records = metrics.counter("rdma.emit_records");
     let c_stalls = metrics.counter("rdma.stalls");
+    let mut lost_tt: Option<usize> = None;
     loop {
         c_loop_iters.incr();
+        if deaths_seen.get() > 0 || !poisoned.is_empty() {
+            if let Some(tt) = lost_source(&state, &poisoned, &ep_dead) {
+                lost_tt = Some(tt);
+                break;
+            }
+        }
         let (spilled, refetch) = spill_readback(&mut merge);
         if spilled > 0 {
             if variant.local_spill {
@@ -482,7 +746,9 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
                 // it is fully consumed (evict → refetch thrash): the
                 // amplification is the ratio of the resident set the
                 // priority queue needs (one packet per live source) to
-                // the memory that can hold it.
+                // the memory that can hold it. (Map output files persist on
+                // the simulated disk across a kill, so this stays a pure
+                // timing charge even when the source node has since died.)
                 let live = merge.source_count() as u64;
                 let amp = ((live * est_packet_bytes.min(4 << 20)) / conf.shuffle_buffer.max(1))
                     .clamp(1, 5);
@@ -534,9 +800,45 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
                 // edge-triggered notification created after the arrival
                 // would never fire (lost wakeup ⇒ deadlock).
                 let waiter = arrived.notified();
+                // Same ordering for deaths: the fatal sweep must run after
+                // arming so a death signalled during the awaits above either
+                // shows up here or wakes the waiter.
+                if deaths_seen.get() > 0 || !poisoned.is_empty() {
+                    if let Some(tt) = lost_source(&state, &poisoned, &ep_dead) {
+                        lost_tt = Some(tt);
+                        break;
+                    }
+                }
                 let has_undrained = !state.borrow().pending.is_empty();
                 if has_undrained {
                     continue; // drain them and retry
+                }
+                if std::env::var("RMR_RDMA_DEBUG").is_ok() {
+                    let st = state.borrow();
+                    eprintln!(
+                        "[{:.1}s] r{} STALL dry={:?} deaths={}",
+                        sim.now().as_secs_f64(),
+                        ctx.reduce_idx,
+                        dry.iter().map(|d| order[*d]).collect::<Vec<_>>(),
+                        deaths_seen.get(),
+                    );
+                    for (m, s) in st.sources.iter().filter(|(_, s)| !s.fully_delivered) {
+                        eprintln!(
+                            "  map{} tt{} {}/{:?}B inflight={} resv={} ep={} dead={} \
+                             alive={} epoch {:?}/{}",
+                            m,
+                            s.tt_idx,
+                            s.delivered_bytes,
+                            s.total_bytes,
+                            s.inflight,
+                            s.reserved,
+                            eps.borrow().contains_key(&s.tt_idx),
+                            ep_dead(s.tt_idx),
+                            ctx.liveness[s.tt_idx].alive(),
+                            ep_epochs.borrow().get(&s.tt_idx),
+                            ctx.liveness[s.tt_idx].epoch()
+                        );
+                    }
                 }
                 for di in dry {
                     // Forced: a stalled merge must not deadlock on buffer
@@ -550,15 +852,21 @@ pub async fn run_reduce_rdma(ctx: ReduceCtx, variant: RdmaVariant) -> ReduceStat
     }
     drop(out_tx);
     let merge_end_s = sim.now().as_secs_f64();
+    // Always join the consumer so the sink closes cleanly; on failure its
+    // partial part-file is deleted by the next attempt's ReduceSink::open.
     let (in_records, _in_bytes, out_bytes) = consumer.await;
+    stop_copiers();
+    if let Some(tt_idx) = lost_tt {
+        return Err(ReduceError::SourceLost { tt_idx });
+    }
 
     let st = state.borrow();
-    ReduceStats {
+    Ok(ReduceStats {
         shuffle_end_s: st.last_arrival_s,
         merge_end_s,
         reduce_end_s: sim.now().as_secs_f64(),
         shuffled_bytes: st.shuffled_bytes,
         reduced_records: in_records,
         output_bytes: out_bytes,
-    }
+    })
 }

@@ -8,16 +8,25 @@
 //! keeps the number of on-disk runs bounded by `io.sort.factor`. Only after
 //! every map output has been fetched and merged down does the reduce
 //! function start — the implicit barrier the paper's design removes.
+//!
+//! Fault handling is *in-band*, like real 0.20: a dead server shows up as a
+//! refused connection or a closed socket, the copier backs off and re-polls
+//! the JobTracker, and the fetch retries wherever the map re-executed
+//! (latest completion event wins). Already-fetched segments survive — they
+//! live in the reducer's own memory and local disk.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use rmr_des::prelude::*;
+use rmr_des::SimDuration;
 use rmr_obs::Ev;
 
+use crate::cluster::NodeHandle;
 use crate::proto::{PacketBudget, ShufMsg};
 use crate::record::Segment;
-use crate::reduce::common::{poll_events, ReduceCtx, ReduceSink, ReduceStats};
+use crate::reduce::common::{poll_events, ReduceCtx, ReduceError, ReduceSink, ReduceStats};
 use crate::tasktracker::TtServerHandle;
 
 struct VanillaState {
@@ -31,8 +40,34 @@ struct VanillaState {
     shuffled_bytes: u64,
 }
 
-/// Runs one vanilla ReduceTask to completion.
-pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
+/// Latest-wins serving location per map, shared between the event fetcher
+/// (writer) and the copiers (readers, and writers again on retry polls).
+type Locations = Rc<RefCell<BTreeMap<usize, usize>>>;
+
+/// Polls the JobTracker through a cursor shared by the event fetcher and
+/// every retrying copier, folding new events into `locations` latest-wins.
+async fn poll_shared(
+    ctx: &ReduceCtx,
+    node: &NodeHandle,
+    cursor: &Rc<Cell<usize>>,
+    locations: &Locations,
+) -> Vec<(usize, usize)> {
+    let mut c = cursor.get();
+    let events = poll_events(&ctx.cluster, &ctx.jt, node, &mut c).await;
+    // A concurrent poller may have advanced further while this RPC was on
+    // the wire; never move the shared cursor backwards.
+    if c > cursor.get() {
+        cursor.set(c);
+    }
+    for (m, t) in &events {
+        locations.borrow_mut().insert(*m, *t);
+    }
+    events
+}
+
+/// Runs one vanilla ReduceTask to completion. Always `Ok`: fetch failures
+/// are absorbed in-band by copier retries, never surfaced as attempt death.
+pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> Result<ReduceStats, ReduceError> {
     let sim = ctx.cluster.sim.clone();
     let conf = Rc::clone(&ctx.conf);
     let node = ctx.tt.node.clone();
@@ -47,19 +82,26 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
         shuffled_bytes: 0,
     }));
 
+    let locations: Locations = Rc::new(RefCell::new(BTreeMap::new()));
+    let cursor = Rc::new(Cell::new(0usize));
+
     // Map Completion Fetcher: poll the JobTracker and feed the copiers.
-    let (map_tx, map_rx) = channel_named::<(usize, usize)>(&format!("r{r_idx}-map-events"));
+    // Each map is enqueued once, on its *first* completion event; a
+    // re-execution event only refreshes the serving location.
+    let (map_tx, map_rx) = channel_named::<usize>(&format!("r{r_idx}-map-events"));
     {
         let ctx = ctx.clone();
         let node = node.clone();
         let sim2 = sim.clone();
+        let locations = Rc::clone(&locations);
+        let cursor = Rc::clone(&cursor);
         sim.spawn_named(format!("r{r_idx}-event-fetcher"), async move {
-            let mut cursor = 0;
-            let mut seen = 0;
-            while seen < ctx.total_maps {
-                for ev in poll_events(&ctx.cluster, &ctx.jt, &node, &mut cursor).await {
-                    seen += 1;
-                    let _ = map_tx.send_now(ev);
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            while seen.len() < ctx.total_maps {
+                for (m, _) in poll_shared(&ctx, &node, &cursor, &locations).await {
+                    if seen.insert(m) {
+                        let _ = map_tx.send_now(m);
+                    }
                 }
                 sim2.sleep(ctx.conf.event_poll).await;
             }
@@ -74,9 +116,11 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
         let state = Rc::clone(&state);
         let mem = mem.clone();
         let map_rx = map_rx.clone();
+        let locations = Rc::clone(&locations);
+        let cursor = Rc::clone(&cursor);
         copiers.push(sim.spawn_named(format!("r{r_idx}-copier-{i}"), async move {
-            while let Some((map_idx, tt_idx)) = map_rx.recv().await {
-                fetch_one(&ctx, &state, &mem, map_idx, tt_idx).await;
+            while let Some(map_idx) = map_rx.recv().await {
+                fetch_with_retry(&ctx, &state, &mem, &locations, &cursor, map_idx).await;
             }
         }));
     }
@@ -176,29 +220,64 @@ pub async fn run_reduce_vanilla(ctx: ReduceCtx) -> ReduceStats {
     }
 
     let st = state.borrow();
-    ReduceStats {
+    Ok(ReduceStats {
         shuffle_end_s,
         merge_end_s,
         reduce_end_s: sim.now().as_secs_f64(),
         shuffled_bytes: st.shuffled_bytes,
         reduced_records: in_records,
         output_bytes: out_bytes,
+    })
+}
+
+/// Fetches one map's partition, retrying in-band on server death: back off
+/// exponentially, re-poll the event log for the map's new home (it
+/// re-executes elsewhere after node loss), and fetch again.
+async fn fetch_with_retry(
+    ctx: &ReduceCtx,
+    state: &Rc<RefCell<VanillaState>>,
+    mem: &Semaphore,
+    locations: &Locations,
+    cursor: &Rc<Cell<usize>>,
+    map_idx: usize,
+) {
+    let sim = &ctx.cluster.sim;
+    let mut backoff = ctx.conf.event_poll;
+    let cap = SimDuration::from_secs_f64(30.0);
+    loop {
+        let tt_idx = *locations
+            .borrow()
+            .get(&map_idx)
+            .expect("map enqueued before its completion event");
+        if fetch_one(ctx, state, mem, map_idx, tt_idx).await.is_ok() {
+            return;
+        }
+        sim.metrics().incr("reduce.fetch_failures");
+        sim.sleep(backoff).await;
+        backoff = (backoff * 2).min(cap);
+        // The re-executed map's completion event carries its new location.
+        let _ = poll_shared(ctx, &ctx.tt.node, cursor, locations).await;
     }
 }
 
 /// Fetches one whole map-output partition over HTTP and routes it to memory
-/// or disk, running the mergers as thresholds trip.
+/// or disk, running the mergers as thresholds trip. `Err` = the server died
+/// (refused or dropped the connection); nothing was committed.
 async fn fetch_one(
     ctx: &ReduceCtx,
     state: &Rc<RefCell<VanillaState>>,
     mem: &Semaphore,
     map_idx: usize,
     tt_idx: usize,
-) {
+) -> Result<(), ()> {
     let conf = &ctx.conf;
     let node = &ctx.tt.node;
-    let TtServerHandle::Http(server) = &ctx.servers[tt_idx] else {
-        panic!("vanilla reducer needs HTTP servers");
+    let server = {
+        let servers = ctx.servers.borrow();
+        let TtServerHandle::Http(server) = &servers[tt_idx] else {
+            panic!("vanilla reducer needs HTTP servers");
+        };
+        server.clone()
     };
     ctx.tt.obs().emit(|| Ev::ShuffleRequest {
         node: ctx.tt.idx,
@@ -207,16 +286,24 @@ async fn fetch_one(
         map_idx,
         reduce: ctx.reduce_idx,
     });
-    // One HTTP connection per fetch (0.20 behaviour).
-    let conn = server.connect(node.id).await;
-    conn.send(ShufMsg::Request {
-        job: ctx.job,
-        map_idx,
-        reduce: ctx.reduce_idx,
-        budget: PacketBudget::Full,
-    })
-    .await
-    .expect("server gone");
+    // One HTTP connection per fetch (0.20 behaviour). A dead TaskTracker
+    // refuses the connection (its listener died with it).
+    let Some(conn) = server.try_connect(node.id).await else {
+        return Err(());
+    };
+    if conn
+        .send(ShufMsg::Request {
+            job: ctx.job,
+            map_idx,
+            reduce: ctx.reduce_idx,
+            attempt: ctx.attempt,
+            budget: PacketBudget::Full,
+        })
+        .await
+        .is_err()
+    {
+        return Err(());
+    }
     let mut packets = Vec::new();
     let mut bytes = 0u64;
     loop {
@@ -226,7 +313,7 @@ async fn fetch_one(
             ..
         }) = conn.recv().await
         else {
-            panic!("connection closed mid-fetch");
+            return Err(()); // server died mid-stream; retry from scratch
         };
         bytes += packet.bytes;
         if packet.records > 0 {
@@ -293,6 +380,7 @@ async fn fetch_one(
             }
         }
     }
+    Ok(())
 }
 
 /// The In-Memory Merger: merges every in-memory segment into one on-disk

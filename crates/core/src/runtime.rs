@@ -25,10 +25,11 @@ use rmr_obs::{
 use crate::cluster::Cluster;
 use crate::config::{JobConf, ShuffleKind};
 use crate::engine::ShuffleEngine;
+use crate::faults::{FaultEvent, FaultPlan, NodeLiveness};
 use crate::jobtracker::{JobTracker, MapTaskDesc};
 use crate::mapoutput::MapOutputStore;
 use crate::maptask::run_map;
-use crate::reduce::common::{ReduceCtx, ReduceStats};
+use crate::reduce::common::{ReduceCtx, ReduceError, ReduceStats};
 use crate::spec::JobSpec;
 use crate::tasktracker::{TaskTracker, TtServerHandle};
 use crate::timeline::{Outcome, TaskEvent, TaskKind, Timeline};
@@ -56,10 +57,13 @@ pub struct StateFootprint {
     pub tt_serve_cursors: usize,
     /// Open shuffle-serving disk readers across TaskTrackers.
     pub tt_serve_readers: usize,
+    /// TaskTrackers currently killed (blacklisted until restart).
+    pub down_nodes: usize,
 }
 
 impl StateFootprint {
-    /// Total job-keyed entries held anywhere.
+    /// Total job-keyed entries held anywhere (plus down nodes: a drained
+    /// cluster has everything back up).
     pub fn total(&self) -> usize {
         self.in_flight_jobs
             + self.unjoined_finished
@@ -67,6 +71,7 @@ impl StateFootprint {
             + self.tt_cache_jobs
             + self.tt_serve_cursors
             + self.tt_serve_readers
+            + self.down_nodes
     }
 }
 
@@ -150,6 +155,12 @@ struct ActiveJob {
     /// speculative ones).
     slot_secs: Cell<f64>,
     reduce_stats: RefCell<Vec<Option<ReduceStats>>>,
+    /// Failed-attempt count per reduce index (drives retry backoff).
+    reduce_retries: RefCell<BTreeMap<usize, u32>>,
+    /// Launch count per reduce index — unlike `reduce_retries` it also
+    /// counts relaunches after node death, so it is the attempt number the
+    /// shuffle servers key their serve cursors by.
+    reduce_launches: RefCell<BTreeMap<usize, u32>>,
     done: Notify,
     result: RefCell<Option<JobResult>>,
 }
@@ -163,7 +174,11 @@ struct RtInner {
     engine: Rc<dyn ShuffleEngine>,
     policy: SchedulePolicy,
     tts: Vec<Rc<TaskTracker>>,
-    servers: Rc<Vec<TtServerHandle>>,
+    /// Per-TaskTracker shuffle-server handles. `RefCell`: a node restart
+    /// installs a fresh server in the dead one's slot.
+    servers: Rc<RefCell<Vec<TtServerHandle>>>,
+    /// Per-TaskTracker liveness signals, shared with every ReduceCtx.
+    liveness: Rc<Vec<Rc<NodeLiveness>>>,
     outputs: MapOutputStore,
     /// Jobs still in the system. A finished job's scheduling state is
     /// dropped at completion: the entry moves to [`RtInner::finished`] as a
@@ -175,6 +190,9 @@ struct RtInner {
     /// Submission-ordered queue of unfinished jobs.
     active: RefCell<VecDeque<u32>>,
     next_id: Cell<u32>,
+    /// Injected task failures from a [`FaultPlan`] whose job ordinal has not
+    /// been submitted yet; consumed by [`Runtime::submit`].
+    injected: RefCell<BTreeMap<u32, Vec<FaultEvent>>>,
     /// Fair policy's rotating walk offset.
     rr: Cell<usize>,
     /// Wakes parked heartbeat daemons when work arrives.
@@ -232,6 +250,8 @@ impl Runtime {
             servers.push(engine.start_server(&tt, &cluster.net));
             tts.push(tt);
         }
+        let liveness: Rc<Vec<Rc<NodeLiveness>>> =
+            Rc::new(tts.iter().map(|tt| Rc::clone(&tt.liveness)).collect());
         let inner = Rc::new(RtInner {
             sim: sim.clone(),
             cluster: cluster.clone(),
@@ -239,12 +259,14 @@ impl Runtime {
             engine,
             policy,
             tts,
-            servers: Rc::new(servers),
+            servers: Rc::new(RefCell::new(servers)),
+            liveness,
             outputs,
             jobs: RefCell::new(BTreeMap::new()),
             finished: RefCell::new(BTreeMap::new()),
             active: RefCell::new(VecDeque::new()),
             next_id: Cell::new(0),
+            injected: RefCell::new(BTreeMap::new()),
             rr: Cell::new(0),
             work: Notify::new(),
             obs,
@@ -312,10 +334,21 @@ impl Runtime {
             descs,
             conf.num_reduces,
             conf.reduce_slowstart,
-            conf.fail_map_once,
         )));
         jt.borrow_mut().set_speculative(conf.speculative_maps);
-        jt.borrow_mut().set_fail_reduce_once(conf.fail_reduce_once);
+        // Task failures a FaultPlan queued for this submission ordinal.
+        if let Some(evs) = inner.injected.borrow_mut().remove(&id.0) {
+            let mut jtb = jt.borrow_mut();
+            for ev in evs {
+                match ev {
+                    FaultEvent::FailMapOnce { map_idx, .. } => jtb.inject_map_failure(map_idx),
+                    FaultEvent::FailReduceOnce { reduce_idx, .. } => {
+                        jtb.inject_reduce_failure(reduce_idx)
+                    }
+                    _ => unreachable!("only task-failure events are queued"),
+                }
+            }
+        }
 
         let job = Rc::new(ActiveJob {
             id,
@@ -330,6 +363,8 @@ impl Runtime {
             map_phase_end_s: Cell::new(0.0),
             slot_secs: Cell::new(0.0),
             reduce_stats: RefCell::new(vec![None; conf.num_reduces]),
+            reduce_retries: RefCell::new(BTreeMap::new()),
+            reduce_launches: RefCell::new(BTreeMap::new()),
             done: Notify::new(),
             result: RefCell::new(None),
         });
@@ -396,6 +431,156 @@ impl Runtime {
         self.inner.active.borrow().len()
     }
 
+    /// Kills TaskTracker `tt_idx`: every task on the node (heartbeat daemon,
+    /// shuffle servers, prefetcher, running attempts) is aborted, its served
+    /// state and map outputs are dropped, and every active job re-queues the
+    /// work that died with it. Idempotent. The node stays blacklisted — its
+    /// heartbeat daemon is dead, so no attempt lands on it — until
+    /// [`Runtime::restart_node`].
+    pub fn kill_node(&self, tt_idx: usize) {
+        let inner = &self.inner;
+        let tt = &inner.tts[tt_idx];
+        if !tt.liveness.kill() {
+            return; // already down
+        }
+        // Abort everything running on the node. Slot permits held by the
+        // aborted attempts are dropped with their futures, so the slots
+        // read free again after the restart.
+        tt.group.abort();
+        // The node's disk state is unreachable: serving cursors, cache
+        // contents, and committed map outputs are gone.
+        tt.clear_serve_state();
+        inner.outputs.remove_node(tt_idx);
+        inner.obs.emit(|| Ev::NodeDown { node: tt_idx });
+        // Every active job loses this node's attempts and completed maps.
+        let jobs: Vec<Rc<ActiveJob>> = inner.jobs.borrow().values().cloned().collect();
+        for job in jobs {
+            let report = job.jt.borrow_mut().node_lost(tt_idx);
+            for &idx in &report.lost_running_maps {
+                inner.obs.emit(|| Ev::AttemptLost {
+                    node: tt_idx,
+                    job: job.id.0,
+                    kind: TaskFlavor::Map,
+                    idx,
+                });
+            }
+            for &idx in &report.lost_reduces {
+                inner.obs.emit(|| Ev::AttemptLost {
+                    node: tt_idx,
+                    job: job.id.0,
+                    kind: TaskFlavor::Reduce,
+                    idx,
+                });
+            }
+            for &idx in &report.lost_completed_maps {
+                inner.obs.emit(|| Ev::MapReExecute {
+                    node: tt_idx,
+                    job: job.id.0,
+                    idx,
+                });
+            }
+        }
+        // Surviving nodes' heartbeats pick up the re-queued work.
+        inner.work.notify_all();
+    }
+
+    /// Restarts a killed TaskTracker under a new liveness epoch: fresh
+    /// shuffle server (installed in the old one's slot), fresh prefetcher,
+    /// fresh heartbeat daemon. The node rejoins scheduling at its next
+    /// heartbeat with a cold cache and an empty map-output store.
+    pub fn restart_node(&self, tt_idx: usize) {
+        let inner = &self.inner;
+        let tt = &inner.tts[tt_idx];
+        if tt.liveness.alive() {
+            return; // never killed, or already back
+        }
+        let epoch = tt.liveness.restart();
+        let server = inner.engine.start_server(tt, &inner.cluster.net);
+        inner.servers.borrow_mut()[tt_idx] = server;
+        tt.respawn_prefetcher();
+        spawn_heartbeat(inner, tt);
+        inner.obs.emit(|| Ev::NodeUp {
+            node: tt_idx,
+            epoch,
+        });
+        inner.work.notify_all();
+    }
+
+    /// Arms a [`FaultPlan`]: network windows are installed immediately,
+    /// crashes get a chaos timer task each, and task-failure injections
+    /// apply to their job ordinal at submission. An empty plan performs no
+    /// simulation operations at all (the determinism contract: fault-free
+    /// runs stay bit-identical).
+    pub fn apply_fault_plan(&self, plan: &FaultPlan) {
+        for ev in &plan.events {
+            match ev.clone() {
+                FaultEvent::Crash {
+                    tt_idx,
+                    at,
+                    restart_after,
+                } => {
+                    let rt = self.clone();
+                    let sim = self.inner.sim.clone();
+                    self.inner
+                        .sim
+                        .clone()
+                        .spawn_named(format!("chaos-crash-tt{tt_idx}"), async move {
+                            sim.sleep(at.saturating_since(sim.now())).await;
+                            rt.kill_node(tt_idx);
+                            if let Some(after) = restart_after {
+                                sim.sleep(after).await;
+                                rt.restart_node(tt_idx);
+                            }
+                        })
+                        .detach();
+                }
+                FaultEvent::Degrade {
+                    tt_idx,
+                    start,
+                    end,
+                    factor,
+                } => {
+                    let node = self.inner.tts[tt_idx].node.id;
+                    self.inner
+                        .cluster
+                        .net
+                        .inject_degradation(node, start, end, factor);
+                }
+                FaultEvent::Partition { tt_idx, start, end } => {
+                    let node = self.inner.tts[tt_idx].node.id;
+                    self.inner.cluster.net.inject_partition(node, start, end);
+                }
+                FaultEvent::FailMapOnce { job_ord, map_idx } => {
+                    if let Some(job) = self.inner.jobs.borrow().get(&job_ord) {
+                        job.jt.borrow_mut().inject_map_failure(map_idx);
+                    } else {
+                        self.inner
+                            .injected
+                            .borrow_mut()
+                            .entry(job_ord)
+                            .or_default()
+                            .push(ev.clone());
+                    }
+                }
+                FaultEvent::FailReduceOnce {
+                    job_ord,
+                    reduce_idx,
+                } => {
+                    if let Some(job) = self.inner.jobs.borrow().get(&job_ord) {
+                        job.jt.borrow_mut().inject_reduce_failure(reduce_idx);
+                    } else {
+                        self.inner
+                            .injected
+                            .borrow_mut()
+                            .entry(job_ord)
+                            .or_default()
+                            .push(ev.clone());
+                    }
+                }
+            }
+        }
+    }
+
     /// Sizes of the runtime's job-keyed state — a leak canary for long job
     /// sequences. Every field must return to zero once all jobs are joined;
     /// a long-lived runtime whose footprint grows with jobs-ever-run cannot
@@ -413,6 +598,9 @@ impl Runtime {
             let (cursors, readers) = tt.serve_state_counts();
             fp.tt_serve_cursors += cursors;
             fp.tt_serve_readers += readers;
+            if !tt.liveness.alive() {
+                fp.down_nodes += 1;
+            }
         }
         fp
     }
@@ -477,6 +665,8 @@ impl Runtime {
                     cache_misses: misses,
                     serve_cursors: cursors,
                     serve_readers: readers,
+                    alive: tt.liveness.alive(),
+                    epoch: tt.liveness.epoch(),
                 }
             })
             .collect();
@@ -495,6 +685,7 @@ impl RtInner {
     fn schedule(
         &self,
         node: NodeId,
+        tt_idx: usize,
         free_m: &mut usize,
         free_r: &mut usize,
     ) -> Vec<(Rc<ActiveJob>, Vec<MapTaskDesc>, Vec<usize>)> {
@@ -533,7 +724,10 @@ impl RtInner {
             if !job.jt.borrow().has_assignable_work() {
                 continue;
             }
-            let (maps, reduces) = job.jt.borrow_mut().heartbeat(node, *free_m, *free_r);
+            let (maps, reduces) = job
+                .jt
+                .borrow_mut()
+                .heartbeat(node, tt_idx, *free_m, *free_r);
             *free_m = free_m.saturating_sub(maps.len());
             *free_r = free_r.saturating_sub(reduces.len());
             if !maps.is_empty() || !reduces.is_empty() {
@@ -622,11 +816,15 @@ impl RtInner {
 /// The per-TaskTracker heartbeat daemon: parks while the cluster is idle,
 /// otherwise heartbeats the JobTracker every `tasktracker.heartbeat`
 /// interval, launching whatever attempts the schedule hands this node.
+/// Spawned into the TaskTracker's task group: a node kill aborts the daemon
+/// (the node stops heartbeating = blacklisted), and a restart spawns a
+/// fresh one.
 fn spawn_heartbeat(inner: &Rc<RtInner>, tt: &Rc<TaskTracker>) {
     let inner = Rc::clone(inner);
     let tt = Rc::clone(tt);
     let sim = inner.sim.clone();
-    sim.clone()
+    tt.group
+        .clone()
         .spawn_daemon(format!("tt{}-heartbeat", tt.idx), async move {
             loop {
                 // Park until a job is in the system. Arm the waiter before
@@ -647,7 +845,7 @@ fn spawn_heartbeat(inner: &Rc<RtInner>, tt: &Rc<TaskTracker>) {
                     .await;
                 let mut free_m = tt.map_slots.available() as usize;
                 let mut free_r = tt.reduce_slots.available() as usize;
-                let assignments = inner.schedule(tt.node.id, &mut free_m, &mut free_r);
+                let assignments = inner.schedule(tt.node.id, tt.idx, &mut free_m, &mut free_r);
                 inner
                     .cluster
                     .net
@@ -726,7 +924,10 @@ fn spawn_map_attempt(
         kind: TaskFlavor::Map,
         idx: desc.idx,
     });
-    sim.clone()
+    // The attempt runs in the TaskTracker's task group: a node kill aborts
+    // it mid-flight (the JobTracker re-queues the task via `node_lost`).
+    tt.group
+        .clone()
         .spawn_named(format!("{}-map-{}", job.id, desc.idx), async move {
             let attempt_start = sim.now().as_secs_f64();
             inner.obs.emit(|| Ev::AttemptStart {
@@ -792,14 +993,24 @@ fn spawn_map_attempt(
                         // on disk until job cleanup, as in Hadoop).
                         inner.outputs.insert(info);
                         tt.on_map_output(job.id, map_idx);
-                        let jtb = job.jt.borrow();
-                        if jtb.maps_done() {
-                            drop(jtb);
+                        let (maps_done, job_done) = {
+                            let jtb = job.jt.borrow();
+                            (jtb.maps_done(), jtb.job_done())
+                        };
+                        if maps_done {
                             job.map_phase_end_s.set(sim.now().as_secs_f64());
                             inner.obs.emit(|| Ev::JobState {
                                 job: job.id.0,
                                 state: JobState::MapsDone,
                             });
+                        }
+                        if job_done {
+                            // A node death re-queued a completed map whose
+                            // output every reducer had already fetched; this
+                            // re-execution was the job's last outstanding
+                            // work, so the map path must commit the job —
+                            // no further reduce completion will.
+                            inner.finalize(&job);
                         }
                     }
                 }
@@ -819,7 +1030,7 @@ fn spawn_map_attempt(
                         idx,
                         outcome: AttemptOutcome::Failed,
                     });
-                    job.jt.borrow_mut().map_failed(desc);
+                    job.jt.borrow_mut().map_failed(desc, tt.idx);
                 }
             }
             inner.obs.emit(|| Ev::SlotRelease {
@@ -850,19 +1061,29 @@ fn spawn_reduce_attempt(
         kind: TaskFlavor::Reduce,
         idx: reduce_idx,
     });
+    let attempt = {
+        let mut launches = job.reduce_launches.borrow_mut();
+        let n = launches.entry(reduce_idx).or_insert(0);
+        *n += 1;
+        *n
+    };
     let ctx = ReduceCtx {
         cluster: inner.cluster.clone(),
         conf: Rc::clone(&job.conf),
         spec: job.spec.clone(),
         jt: Rc::clone(&job.jt),
         servers: Rc::clone(&inner.servers),
+        liveness: Rc::clone(&inner.liveness),
         tt: Rc::clone(tt),
         job: job.id,
         reduce_idx,
+        attempt,
         total_maps: job.total_maps,
     };
     let tt_idx = tt.idx;
-    sim.clone()
+    // Like maps, the attempt dies with its node (TaskTracker group).
+    tt.group
+        .clone()
         .spawn_named(format!("{}-reduce-{reduce_idx}", job.id), async move {
             let attempt_start = sim.now().as_secs_f64();
             inner.obs.emit(|| Ev::AttemptStart {
@@ -910,8 +1131,8 @@ fn spawn_reduce_attempt(
                 drop(permit);
                 return;
             }
-            let stats = inner.engine.run_reduce(ctx).await;
-            // Commit notification.
+            let outcome = inner.engine.run_reduce(ctx).await;
+            // Commit / status notification.
             inner
                 .cluster
                 .net
@@ -920,37 +1141,82 @@ fn spawn_reduce_attempt(
             let end_s = sim.now().as_secs_f64();
             job.slot_secs
                 .set(job.slot_secs.get() + (end_s - attempt_start));
-            job.timeline.record(TaskEvent {
-                kind: TaskKind::Reduce,
-                idx: reduce_idx,
-                tt: tt_idx,
-                start_s: attempt_start,
-                end_s,
-                outcome: Outcome::Completed,
-            });
-            inner.obs.emit(|| Ev::AttemptFinish {
-                node: tt_idx,
-                job: job.id.0,
-                kind: TaskFlavor::Reduce,
-                idx: reduce_idx,
-                outcome: AttemptOutcome::Completed,
-            });
-            job.reduce_stats.borrow_mut()[reduce_idx] = Some(stats);
-            let finished = {
-                let mut jtb = job.jt.borrow_mut();
-                jtb.reduce_completed();
-                jtb.job_done()
-            };
-            if finished {
-                inner.finalize(&job);
+            match outcome {
+                Ok(stats) => {
+                    job.timeline.record(TaskEvent {
+                        kind: TaskKind::Reduce,
+                        idx: reduce_idx,
+                        tt: tt_idx,
+                        start_s: attempt_start,
+                        end_s,
+                        outcome: Outcome::Completed,
+                    });
+                    inner.obs.emit(|| Ev::AttemptFinish {
+                        node: tt_idx,
+                        job: job.id.0,
+                        kind: TaskFlavor::Reduce,
+                        idx: reduce_idx,
+                        outcome: AttemptOutcome::Completed,
+                    });
+                    job.reduce_stats.borrow_mut()[reduce_idx] = Some(stats);
+                    let finished = {
+                        let mut jtb = job.jt.borrow_mut();
+                        jtb.reduce_completed(reduce_idx);
+                        jtb.job_done()
+                    };
+                    if finished {
+                        inner.finalize(&job);
+                    }
+                    inner.obs.emit(|| Ev::SlotRelease {
+                        node: tt_idx,
+                        job: job.id.0,
+                        kind: TaskFlavor::Reduce,
+                        idx: reduce_idx,
+                    });
+                    drop(permit);
+                }
+                Err(ReduceError::SourceLost { .. }) => {
+                    // A shuffle source died under the attempt. Release the
+                    // slot, back off exponentially on the retry count, then
+                    // re-queue the whole task (partial shuffles are not
+                    // checkpointed — Hadoop restarts the reducer).
+                    let retries = {
+                        let mut r = job.reduce_retries.borrow_mut();
+                        let n = r.entry(reduce_idx).or_insert(0);
+                        *n += 1;
+                        *n
+                    };
+                    job.timeline.record(TaskEvent {
+                        kind: TaskKind::Reduce,
+                        idx: reduce_idx,
+                        tt: tt_idx,
+                        start_s: attempt_start,
+                        end_s,
+                        outcome: Outcome::Failed,
+                    });
+                    inner.obs.emit(|| Ev::AttemptFinish {
+                        node: tt_idx,
+                        job: job.id.0,
+                        kind: TaskFlavor::Reduce,
+                        idx: reduce_idx,
+                        outcome: AttemptOutcome::Failed,
+                    });
+                    inner.obs.emit(|| Ev::SlotRelease {
+                        node: tt_idx,
+                        job: job.id.0,
+                        kind: TaskFlavor::Reduce,
+                        idx: reduce_idx,
+                    });
+                    drop(permit);
+                    // Fetch-failure backoff before the re-queued task is
+                    // offered to heartbeats again: capped exponential in the
+                    // event-poll interval.
+                    let exp = (retries - 1).min(5);
+                    sim.sleep(job.conf.event_poll * (1u64 << exp)).await;
+                    job.jt.borrow_mut().reduce_attempt_lost(reduce_idx);
+                    inner.work.notify_all();
+                }
             }
-            inner.obs.emit(|| Ev::SlotRelease {
-                node: tt_idx,
-                job: job.id.0,
-                kind: TaskFlavor::Reduce,
-                idx: reduce_idx,
-            });
-            drop(permit);
         })
         .detach();
 }

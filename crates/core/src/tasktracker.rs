@@ -31,10 +31,11 @@ use rmr_store::FileReader;
 
 use crate::cluster::NodeHandle;
 use crate::config::JobConf;
+use crate::faults::NodeLiveness;
 use crate::mapoutput::MapOutputStore;
 use crate::prefetch::{PrefetchCache, PrefetchRequest, Prefetcher, Priority};
 use crate::proto::{PacketBudget, ShufMsg};
-use crate::record::SegmentCursor;
+use crate::record::{Segment, SegmentCursor};
 use crate::runtime::JobId;
 
 /// Server address of one TaskTracker's shuffle service.
@@ -45,6 +46,10 @@ pub enum TtServerHandle {
     /// Hadoop-A and OSU-IB: UCR endpoints over verbs.
     Rdma(UcrConnector<ShufMsg>),
 }
+
+/// Serve cursors keyed by (job, map, reduce), each tagged with the reduce
+/// attempt it serves.
+type ServeCursors = BTreeMap<(JobId, usize, usize), (u32, SegmentCursor)>;
 
 /// One TaskTracker.
 pub struct TaskTracker {
@@ -59,19 +64,29 @@ pub struct TaskTracker {
     pub outputs: MapOutputStore,
     /// The PrefetchCache (OSU-IB), shared by every job on the runtime.
     pub cache: PrefetchCache,
-    /// The MapOutputPrefetcher daemon pool.
-    pub prefetcher: Prefetcher,
+    /// The MapOutputPrefetcher daemon pool. In a `RefCell` because a node
+    /// restart replaces the pool (the old daemons died with the group).
+    pub prefetcher: RefCell<Prefetcher>,
     /// Map slots (shared by all concurrent jobs).
     pub map_slots: Semaphore,
     /// Reduce slots (shared by all concurrent jobs).
     pub reduce_slots: Semaphore,
+    /// Every task running *on* this node — the heartbeat daemon, shuffle
+    /// servers, prefetcher pool, and task attempts — joins this group, so
+    /// `kill_node` is one `abort()`.
+    pub group: TaskGroup,
+    /// Out-of-band failure signal (RDMA reducers select on it; verbs CQs
+    /// never close on peer death).
+    pub liveness: Rc<NodeLiveness>,
     sim: Sim,
     /// Observability bus handle (off by default; near-zero cost when off).
     obs: Recorder,
     /// Whether the serve path consults the PrefetchCache (engine decides).
     cache_enabled: bool,
-    /// Per-(job, map, reduce) serve cursors.
-    cursors: RefCell<BTreeMap<(JobId, usize, usize), SegmentCursor>>,
+    /// Per-(job, map, reduce) serve cursors, tagged with the reduce attempt
+    /// they serve. A newer attempt rewinds the cursor (the retried reducer
+    /// re-fetches from the head); an older attempt's request is stale.
+    cursors: RefCell<ServeCursors>,
     /// Per-(job, map, reduce) sequential disk readers.
     readers: RefCell<BTreeMap<(JobId, usize, usize), FileReader>>,
     /// How many reduce partitions of each map have been fully served; at
@@ -100,7 +115,9 @@ impl TaskTracker {
         };
         let cache = PrefetchCache::new(cache_bytes);
         cache.set_obs(&obs, idx);
-        let prefetcher = Prefetcher::spawn(sim, &node.fs, &cache, conf.prefetcher_threads);
+        let group = sim.group();
+        let prefetcher =
+            Prefetcher::spawn_in(sim, &group, &node.fs, &cache, conf.prefetcher_threads);
         Rc::new(TaskTracker {
             idx,
             map_slots: Semaphore::new(conf.map_slots as u64),
@@ -109,7 +126,9 @@ impl TaskTracker {
             conf,
             outputs,
             cache,
-            prefetcher,
+            prefetcher: RefCell::new(prefetcher),
+            group,
+            liveness: NodeLiveness::new(idx),
             sim: sim.clone(),
             obs,
             cache_enabled,
@@ -137,7 +156,7 @@ impl TaskTracker {
     pub fn on_map_output(&self, job: JobId, map_idx: usize) {
         if self.cache_enabled {
             if let Some(info) = self.outputs.get(job, map_idx) {
-                self.prefetcher.request(PrefetchRequest {
+                self.prefetcher.borrow().request(PrefetchRequest {
                     job,
                     map_idx,
                     file: info.file.clone(),
@@ -155,6 +174,7 @@ impl TaskTracker {
         job: JobId,
         map_idx: usize,
         reduce: usize,
+        attempt: u32,
         budget: PacketBudget,
     ) -> ShufMsg {
         let serve_t0_ns = self.obs.now_ns();
@@ -166,21 +186,50 @@ impl TaskTracker {
         let key = (job, map_idx, reduce);
         let total = info.parts[reduce].clone();
         let (total_records, total_bytes) = (total.records, total.bytes);
-        let packet = {
+        let mut rewound = false;
+        let (packet, remaining_records) = {
             let mut cursors = self.cursors.borrow_mut();
-            let cur = cursors
+            let ent = cursors
                 .entry(key)
-                .or_insert_with(|| SegmentCursor::new(total));
-            match budget {
-                PacketBudget::Bytes(b) => cur.take_bytes(b),
-                PacketBudget::Records(n) => cur.take_records(n),
-                PacketBudget::Full => cur.take_bytes(u64::MAX),
+                .or_insert_with(|| (attempt, SegmentCursor::new(total.clone())));
+            if attempt > ent.0 {
+                // A newer reduce attempt re-fetches from the segment head:
+                // rewind the cursor the dead attempt advanced. If the old
+                // attempt had fully drained the partition, undo its
+                // served_parts credit so the cache release stays accurate.
+                if ent.1.remaining_records() == 0 && total.records > 0 {
+                    let mut served = self.served_parts.borrow_mut();
+                    if let Some(e) = served.get_mut(&(job, map_idx)) {
+                        *e = e.saturating_sub(1);
+                    }
+                }
+                *ent = (attempt, SegmentCursor::new(total.clone()));
+                rewound = true;
+            } else if attempt < ent.0 {
+                // Stale request from a superseded (dead) attempt: answer
+                // empty-and-complete without touching the live cursor.
+                return ShufMsg::Response {
+                    map_idx,
+                    reduce,
+                    packet: Segment::synthetic(0, 0),
+                    remaining_records: 0,
+                    total_records,
+                    total_bytes,
+                    from_cache: false,
+                };
             }
+            let packet = match budget {
+                PacketBudget::Bytes(b) => ent.1.take_bytes(b),
+                PacketBudget::Records(n) => ent.1.take_records(n),
+                PacketBudget::Full => ent.1.take_bytes(u64::MAX),
+            };
+            let remaining = ent.1.remaining_records();
+            (packet, remaining)
         };
-        let remaining_records = {
-            let cursors = self.cursors.borrow();
-            cursors[&key].remaining_records()
-        };
+        if rewound {
+            // The old attempt's sequential reader is mid-file; restart it.
+            self.readers.borrow_mut().remove(&key);
+        }
         if remaining_records == 0 && packet.records > 0 {
             // This partition is fully shipped; once every reducer has
             // drained its partition the cached file has no future readers.
@@ -238,7 +287,7 @@ impl TaskTracker {
                 if self.cache_enabled {
                     // Demand miss: stage the whole file at high priority so
                     // successive requests hit (§III-B-3).
-                    self.prefetcher.request(PrefetchRequest {
+                    self.prefetcher.borrow().request(PrefetchRequest {
                         job,
                         map_idx,
                         file: info.file.clone(),
@@ -297,6 +346,28 @@ impl TaskTracker {
         self.served_parts.borrow_mut().retain(|(j, _), _| *j != job);
         self.cache.remove_job(job);
     }
+
+    /// Drops *all* serving state and the whole PrefetchCache — node death.
+    /// The in-heap state dies with the process; per-job hit/miss counters
+    /// survive because `JobResult` reads them at commit.
+    pub fn clear_serve_state(&self) {
+        self.cursors.borrow_mut().clear();
+        self.readers.borrow_mut().clear();
+        self.served_parts.borrow_mut().clear();
+        self.cache.clear();
+    }
+
+    /// Spawns a fresh prefetcher pool into the (restarted) node's group.
+    /// The old pool's daemons were aborted with the previous incarnation.
+    pub fn respawn_prefetcher(&self) {
+        *self.prefetcher.borrow_mut() = Prefetcher::spawn_in(
+            &self.sim,
+            &self.group,
+            &self.node.fs,
+            &self.cache,
+            self.conf.prefetcher_threads,
+        );
+    }
 }
 
 /// Vanilla: HTTP servlets. Each accepted connection is handled by a task;
@@ -306,57 +377,61 @@ impl TaskTracker {
 pub(crate) fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
     let listener = listen::<ShufMsg>(net, tt.node.id);
     let handle = listener.handle();
-    let sim = tt.sim.clone();
     let tt_id = tt.node.id.0;
     let servlets = Semaphore::new_named(
         &format!("tt{tt_id}-http-servlets"),
         tt.conf.http_threads as u64,
     );
     let tt = Rc::clone(tt);
-    sim.clone()
+    let group = tt.group.clone();
+    group
+        .clone()
         .spawn_daemon(format!("tt{tt_id}-http-listener"), async move {
             while let Some(conn) = listener.accept().await {
                 let tt = Rc::clone(&tt);
                 let servlets = servlets.clone();
-                sim.spawn_daemon(format!("tt{tt_id}-http-conn"), async move {
-                    while let Some(msg) = conn.recv().await {
-                        let ShufMsg::Request {
-                            job,
-                            map_idx,
-                            reduce,
-                            ..
-                        } = msg
-                        else {
-                            continue;
-                        };
-                        let _permit = servlets.acquire(1).await;
-                        // Stream the partition in chunks: read, then send.
-                        loop {
-                            let resp = tt
-                                .serve(
-                                    job,
-                                    map_idx,
-                                    reduce,
-                                    PacketBudget::Bytes(tt.conf.stream_chunk),
-                                )
-                                .await;
-                            let last = matches!(
-                                &resp,
-                                ShufMsg::Response {
-                                    remaining_records: 0,
-                                    ..
+                group
+                    .spawn_daemon(format!("tt{tt_id}-http-conn"), async move {
+                        while let Some(msg) = conn.recv().await {
+                            let ShufMsg::Request {
+                                job,
+                                map_idx,
+                                reduce,
+                                attempt,
+                                ..
+                            } = msg
+                            else {
+                                continue;
+                            };
+                            let _permit = servlets.acquire(1).await;
+                            // Stream the partition in chunks: read, then send.
+                            loop {
+                                let resp = tt
+                                    .serve(
+                                        job,
+                                        map_idx,
+                                        reduce,
+                                        attempt,
+                                        PacketBudget::Bytes(tt.conf.stream_chunk),
+                                    )
+                                    .await;
+                                let last = matches!(
+                                    &resp,
+                                    ShufMsg::Response {
+                                        remaining_records: 0,
+                                        ..
+                                    }
+                                );
+                                if conn.send(resp).await.is_err() {
+                                    return; // reducer hung up
                                 }
-                            );
-                            if conn.send(resp).await.is_err() {
-                                return; // reducer hung up
-                            }
-                            if last {
-                                break;
+                                if last {
+                                    break;
+                                }
                             }
                         }
-                    }
-                })
-                .detach();
+                    })
+                    .detach();
             }
         })
         .detach();
@@ -368,49 +443,68 @@ pub(crate) fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServer
 pub(crate) fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
     let listener = ucr_listen::<ShufMsg>(net, tt.node.id);
     let connector = listener.connector();
-    let sim = tt.sim.clone();
     let tt_id = tt.node.id.0;
 
-    // DataRequestQueue: (endpoint, job, map, reduce, budget).
-    type Queued = (Rc<EndPoint<ShufMsg>>, JobId, usize, usize, PacketBudget);
+    // DataRequestQueue: (endpoint, job, map, reduce, attempt, budget).
+    type Queued = (
+        Rc<EndPoint<ShufMsg>>,
+        JobId,
+        usize,
+        usize,
+        u32,
+        PacketBudget,
+    );
     let (req_tx, req_rx) = channel_named::<Queued>(&format!("tt{tt_id}-data-request-queue"));
 
     // RDMAResponder pool.
     for i in 0..tt.conf.responder_threads.max(1) {
         let rx = req_rx.clone();
         let tt = Rc::clone(tt);
-        sim.spawn_daemon(format!("tt{tt_id}-rdma-responder-{i}"), async move {
-            while let Some((ep, job, map_idx, reduce, budget)) = rx.recv().await {
-                let resp = tt.serve(job, map_idx, reduce, budget).await;
-                ep.send(resp).await;
-            }
-        })
-        .detach();
-    }
-
-    // RDMAListener + RDMAReceivers.
-    let sim2 = sim.clone();
-    sim.spawn_daemon(format!("tt{tt_id}-rdma-listener"), async move {
-        while let Some(ep) = listener.accept().await {
-            let ep = Rc::new(ep);
-            let req_tx = req_tx.clone();
-            sim2.spawn_daemon(format!("tt{tt_id}-rdma-receiver"), async move {
-                while let Some(msg) = ep.recv().await {
-                    if let ShufMsg::Request {
-                        job,
-                        map_idx,
-                        reduce,
-                        budget,
-                    } = msg
-                    {
-                        let _ = req_tx.send_now((Rc::clone(&ep), job, map_idx, reduce, budget));
-                    }
+        tt.group
+            .clone()
+            .spawn_daemon(format!("tt{tt_id}-rdma-responder-{i}"), async move {
+                while let Some((ep, job, map_idx, reduce, attempt, budget)) = rx.recv().await {
+                    let resp = tt.serve(job, map_idx, reduce, attempt, budget).await;
+                    ep.send(resp).await;
                 }
             })
             .detach();
-        }
-    })
-    .detach();
+    }
+
+    // RDMAListener + RDMAReceivers.
+    let group = tt.group.clone();
+    let group2 = group.clone();
+    group
+        .spawn_daemon(format!("tt{tt_id}-rdma-listener"), async move {
+            while let Some(ep) = listener.accept().await {
+                let ep = Rc::new(ep);
+                let req_tx = req_tx.clone();
+                group2
+                    .spawn_daemon(format!("tt{tt_id}-rdma-receiver"), async move {
+                        while let Some(msg) = ep.recv().await {
+                            if let ShufMsg::Request {
+                                job,
+                                map_idx,
+                                reduce,
+                                attempt,
+                                budget,
+                            } = msg
+                            {
+                                let _ = req_tx.send_now((
+                                    Rc::clone(&ep),
+                                    job,
+                                    map_idx,
+                                    reduce,
+                                    attempt,
+                                    budget,
+                                ));
+                            }
+                        }
+                    })
+                    .detach();
+            }
+        })
+        .detach();
     TtServerHandle::Rdma(connector)
 }
 
@@ -502,6 +596,7 @@ mod tests {
                 job: J,
                 map_idx: 0,
                 reduce: 1,
+                attempt: 0,
                 budget: PacketBudget::Full,
             })
             .await
@@ -546,6 +641,7 @@ mod tests {
                 job: J,
                 map_idx: 3,
                 reduce: 0,
+                attempt: 0,
                 budget: PacketBudget::Records(1000),
             })
             .await;
@@ -578,6 +674,7 @@ mod tests {
                 job: J,
                 map_idx: 0,
                 reduce: 0,
+                attempt: 0,
                 budget: PacketBudget::Bytes(256 << 10),
             })
             .await;
@@ -608,6 +705,7 @@ mod tests {
                 job: J,
                 map_idx: 0,
                 reduce: 0,
+                attempt: 0,
                 budget: PacketBudget::Bytes(64 << 10),
             })
             .await;

@@ -46,11 +46,13 @@ proptest! {
         let slowstart = slowstart_pct as f64 / 100.0;
         let descs: Vec<MapTaskDesc> =
             (0..total_maps).map(|i| desc(i, (i % 4) as u32)).collect();
-        let mut jt = JobTracker::new(descs, total_reduces, slowstart, None);
+        let mut jt = JobTracker::new(descs, total_reduces, slowstart);
 
-        // Shadow model of the scheduler's visible state.
+        // Shadow model of the scheduler's visible state. Each running
+        // attempt remembers the tracker it launched on — failure reporting
+        // is per-tracker now.
         let mut pending: BTreeSet<usize> = (0..total_maps).collect();
-        let mut running: Vec<MapTaskDesc> = Vec::new();
+        let mut running: Vec<(MapTaskDesc, usize)> = Vec::new();
         let mut completed: BTreeSet<usize> = BTreeSet::new();
         let mut reduces_launched: BTreeSet<usize> = BTreeSet::new();
 
@@ -59,7 +61,8 @@ proptest! {
                 0 => {
                     let gate_open = jt.maps_completed() as f64
                         >= slowstart * total_maps as f64;
-                    let (maps, reduces) = jt.heartbeat(NodeId(node), mslots, rslots);
+                    let (maps, reduces) =
+                        jt.heartbeat(NodeId(node), node as usize, mslots, rslots);
                     prop_assert!(maps.len() <= mslots, "over-assignment");
                     prop_assert!(reduces.len() <= rslots, "over-assignment");
                     // Pass 1 drains data-local maps before pass 2 touches the
@@ -80,7 +83,7 @@ proptest! {
                             pending.remove(&m.idx),
                             "map {} launched while not pending", m.idx
                         );
-                        running.push(m.clone());
+                        running.push((m.clone(), node as usize));
                     }
                     if maps.len() < mslots {
                         prop_assert!(
@@ -108,10 +111,10 @@ proptest! {
                     if running.is_empty() {
                         continue;
                     }
-                    let d = running.remove(pick as usize % running.len());
+                    let (d, tt) = running.remove(pick as usize % running.len());
                     let before = jt.maps_completed();
                     prop_assert!(
-                        jt.map_completed(d.idx, node as usize),
+                        jt.map_completed(d.idx, tt),
                         "without speculation every completion is the first"
                     );
                     prop_assert!(completed.insert(d.idx), "double completion");
@@ -121,9 +124,9 @@ proptest! {
                     if running.is_empty() {
                         continue;
                     }
-                    let d = running.remove(pick as usize % running.len());
+                    let (d, tt) = running.remove(pick as usize % running.len());
                     pending.insert(d.idx);
-                    jt.map_failed(d);
+                    jt.map_failed(d, tt);
                 }
             }
             prop_assert!(jt.maps_completed() <= total_maps);
@@ -141,30 +144,30 @@ proptest! {
     ) {
         let descs: Vec<MapTaskDesc> =
             (0..total_maps).map(|i| desc(i, (i % 4) as u32)).collect();
-        let mut jt = JobTracker::new(descs, 0, 0.05, None);
+        let mut jt = JobTracker::new(descs, 0, 0.05);
         jt.set_speculative(true);
 
-        let mut attempts: Vec<usize> = Vec::new();
+        let mut attempts: Vec<(usize, usize)> = Vec::new();
         let mut completed: BTreeSet<usize> = BTreeSet::new();
 
         for (node, mslots, _, action, pick) in steps {
             if action % 2 == 0 {
-                let (maps, _) = jt.heartbeat(NodeId(node), mslots, 0);
+                let (maps, _) = jt.heartbeat(NodeId(node), node as usize, mslots, 0);
                 prop_assert!(maps.len() <= mslots);
                 for m in maps {
                     prop_assert!(
                         !completed.contains(&m.idx),
                         "completed map {} speculated again", m.idx
                     );
-                    attempts.push(m.idx);
+                    attempts.push((m.idx, node as usize));
                 }
             } else {
                 if attempts.is_empty() {
                     continue;
                 }
-                let idx = attempts.remove(pick as usize % attempts.len());
+                let (idx, tt) = attempts.remove(pick as usize % attempts.len());
                 let before = jt.maps_completed();
-                let first = jt.map_completed(idx, node as usize);
+                let first = jt.map_completed(idx, tt);
                 prop_assert_eq!(
                     first,
                     completed.insert(idx),
@@ -182,8 +185,8 @@ proptest! {
 
         // Drain: finish every remaining attempt; the tracker must converge
         // to exactly one counted completion per task regardless of losers.
-        while let Some(idx) = attempts.pop() {
-            let first = jt.map_completed(idx, 0);
+        while let Some((idx, tt)) = attempts.pop() {
+            let first = jt.map_completed(idx, tt);
             prop_assert_eq!(first, completed.insert(idx));
         }
         prop_assert_eq!(jt.maps_completed(), completed.len());

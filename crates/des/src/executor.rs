@@ -412,13 +412,22 @@ impl Sim {
         daemon: bool,
         fut: impl Future<Output = T> + 'static,
     ) -> JoinHandle<T> {
+        self.spawn_tracked(name, daemon, fut).0
+    }
+
+    fn spawn_tracked<T: 'static>(
+        &self,
+        name: Option<String>,
+        daemon: bool,
+        fut: impl Future<Output = T> + 'static,
+    ) -> (JoinHandle<T>, TaskId) {
         let state = Rc::new(RefCell::new(JoinState {
             result: None,
             waker: None,
             detached: false,
         }));
         let state2 = Rc::clone(&state);
-        self.spawn_unit(name, daemon, async move {
+        let id = self.spawn_unit(name, daemon, async move {
             let out = fut.await;
             let mut st = state2.borrow_mut();
             st.result = Some(out);
@@ -426,7 +435,7 @@ impl Sim {
                 w.wake();
             }
         });
-        JoinHandle { state }
+        (JoinHandle { state }, id)
     }
 
     fn spawn_unit(
@@ -434,7 +443,7 @@ impl Sim {
         name: Option<String>,
         daemon: bool,
         fut: impl Future<Output = ()> + 'static,
-    ) {
+    ) -> TaskId {
         let mut core = self.core.borrow_mut();
         let name: Rc<str> = match name {
             Some(n) => Rc::from(n.as_str()),
@@ -479,6 +488,46 @@ impl Sim {
         };
         core.live_tasks += 1;
         core.ready.lock().unwrap().push_back(id);
+        id
+    }
+
+    /// Creates a [`TaskGroup`]: a cancellable scope for tasks that share a
+    /// lifetime (all the daemons and attempts owned by one simulated node).
+    pub fn group(&self) -> TaskGroup {
+        TaskGroup {
+            sim: self.clone(),
+            members: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Aborts a live task: its future is dropped in place, which cancels any
+    /// pending timers it owns (`Timer::drop`), closes its channel endpoints
+    /// (peers observe `None` / send errors), and releases held semaphore
+    /// permits. Harmless on completed or already-aborted ids (generation
+    /// check). Safe to call from inside the aborted task's own poll: the
+    /// slot is retired immediately and the in-flight poll result discarded.
+    fn abort_task(&self, id: TaskId) {
+        let future = {
+            let mut core = self.core.borrow_mut();
+            let slot = match core.tasks.get_mut(id.index as usize) {
+                Some(s) if s.gen == id.gen && s.live => s,
+                _ => return,
+            };
+            // `future` is `None` when the task is currently being polled;
+            // retiring the slot here makes `poll_task`'s post-poll
+            // generation re-check discard the future instead of restoring
+            // it into the recycled slot.
+            let future = slot.future.take();
+            slot.live = false;
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.blocked_on = None;
+            core.free_tasks.push(id.index);
+            core.live_tasks -= 1;
+            future
+        };
+        // Drop outside the core borrow: destructors re-enter the Sim handle
+        // (timer cancellation, channel close wakes, permit release).
+        drop(future);
     }
 
     /// Sleeps for `d` of virtual time.
@@ -537,6 +586,15 @@ impl Sim {
         CURRENT_TASK.with(|c| *c.borrow_mut() = prev);
         let mut core = self.core.borrow_mut();
         let slot = &mut core.tasks[id.index as usize];
+        if slot.gen != id.gen || !slot.live {
+            // Aborted while its own poll was on the stack: the slot is
+            // already retired (possibly reused). Discard the future without
+            // touching the slot — and without holding the core borrow, since
+            // its destructors re-enter the Sim handle.
+            drop(core);
+            drop(future);
+            return;
+        }
         match poll {
             Poll::Ready(()) => {
                 slot.live = false;
@@ -667,6 +725,69 @@ impl Sim {
             daemons: core.tasks.iter().filter(|t| t.live && t.daemon).count(),
             trace_hash: core.trace_hash,
         }
+    }
+}
+
+/// A cancellable scope of tasks sharing one lifetime — the supervision unit
+/// for everything a simulated node owns (server loops, responder pools,
+/// heartbeat daemons, running attempts).
+///
+/// Tasks spawned through the group behave exactly like [`Sim::spawn_named`] /
+/// [`Sim::spawn_daemon`] until [`TaskGroup::abort`] is called, which drops
+/// every member's future in place: pending timers are cancelled, channel
+/// endpoints close (peers observe `None` / send errors rather than hanging),
+/// and held semaphore permits are released. Aborted tasks leave the live set,
+/// so deadlock reports stay accurate. The group is reusable after an abort —
+/// a restarted node spawns its fresh daemons into the same group.
+///
+/// The `JoinHandle` of an aborted task never resolves; group members that
+/// await each other must live (and die) together in the same group.
+#[derive(Clone)]
+pub struct TaskGroup {
+    sim: Sim,
+    members: Rc<RefCell<Vec<TaskId>>>,
+}
+
+impl TaskGroup {
+    /// [`Sim::spawn_named`], scoped to this group.
+    pub fn spawn_named<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        let (handle, id) = self.sim.spawn_tracked(Some(name.into()), false, fut);
+        self.members.borrow_mut().push(id);
+        handle
+    }
+
+    /// [`Sim::spawn_daemon`], scoped to this group.
+    pub fn spawn_daemon<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        let (handle, id) = self.sim.spawn_tracked(Some(name.into()), true, fut);
+        self.members.borrow_mut().push(id);
+        handle
+    }
+
+    /// Aborts every member task (see [`TaskGroup::abort`] docs on the type).
+    /// Members that already completed are skipped via the generation check.
+    /// Abort order is spawn order, so cascaded destructor effects replay
+    /// deterministically.
+    pub fn abort(&self) {
+        // Drain first: a destructor running during an abort may re-enter the
+        // group (e.g. a task spawning a replacement into it on teardown).
+        let members: Vec<TaskId> = self.members.borrow_mut().drain(..).collect();
+        for id in members {
+            self.sim.abort_task(id);
+        }
+    }
+
+    /// Number of tasks ever spawned into the group since the last abort
+    /// (completed members are still counted until then).
+    pub fn spawned(&self) -> usize {
+        self.members.borrow().len()
     }
 }
 
@@ -1139,6 +1260,155 @@ mod tests {
                 .detach();
             }
         });
+    }
+
+    #[test]
+    fn group_abort_drops_futures_and_cancels_their_timers() {
+        let sim = Sim::new(1);
+        let group = sim.group();
+        let sim2 = sim.clone();
+        let resumed = Rc::new(Cell::new(false));
+        let resumed2 = Rc::clone(&resumed);
+        group
+            .spawn_named("long-sleeper", async move {
+                sim2.sleep(SimDuration::from_secs(100)).await;
+                resumed2.set(true);
+            })
+            .detach();
+        let g2 = group.clone();
+        sim.schedule_fn(SimTime::from_nanos(1_000_000_000), move |_| g2.abort());
+        let end = sim.run();
+        // The aborted task's 100 s timer must not hold the clock hostage.
+        assert_eq!(end.as_nanos(), 1_000_000_000);
+        assert!(!resumed.get());
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn group_abort_closes_channel_endpoints_for_peers() {
+        // A peer outside the group blocked on recv must observe `None`
+        // when the group member holding the sender is aborted — not hang.
+        let sim = Sim::new(1);
+        let group = sim.group();
+        let (tx, rx) = crate::sync::channel_named::<u32>("group-to-peer");
+        let sim2 = sim.clone();
+        group
+            .spawn_named("holder", async move {
+                let _keep = tx;
+                sim2.sleep(SimDuration::from_secs(100)).await;
+            })
+            .detach();
+        let saw = Rc::new(Cell::new(Some(0u32)));
+        let saw2 = Rc::clone(&saw);
+        sim.spawn_named("peer", async move {
+            saw2.set(rx.recv().await);
+        })
+        .detach();
+        let g2 = group.clone();
+        sim.schedule_fn(SimTime::from_nanos(5), move |_| g2.abort());
+        let report = sim.step_until_no_events();
+        report.assert_clean();
+        assert_eq!(saw.get(), None);
+    }
+
+    #[test]
+    fn group_abort_keeps_deadlock_report_accurate() {
+        // A task that would otherwise be reported as stalled disappears
+        // from the report once aborted: it is no longer live.
+        let sim = Sim::new(1);
+        let group = sim.group();
+        let (_tx, rx) = crate::sync::channel::<u32>();
+        group
+            .spawn_named("stuck", async move {
+                rx.recv().await;
+            })
+            .detach();
+        let g2 = group.clone();
+        sim.schedule_fn(SimTime::from_nanos(10), move |_| g2.abort());
+        let report = sim.step_until_no_events();
+        report.assert_clean();
+        assert_eq!(report.daemons, 0);
+    }
+
+    #[test]
+    fn group_abort_from_inside_own_poll_is_safe() {
+        // A member aborting its own group mid-poll: the current poll runs to
+        // its next suspension, then the future is discarded — it never
+        // resumes, and the executor must not corrupt the (recycled) slot.
+        let sim = Sim::new(1);
+        let group = sim.group();
+        let g2 = group.clone();
+        let sim2 = sim.clone();
+        let after = Rc::new(Cell::new(false));
+        let after2 = Rc::clone(&after);
+        group
+            .spawn_named("self-slayer", async move {
+                g2.abort();
+                sim2.sleep(SimDuration::from_secs(1)).await;
+                after2.set(true);
+            })
+            .detach();
+        let end = sim.run();
+        assert_eq!(end, SimTime::ZERO);
+        assert!(!after.get());
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn group_is_reusable_after_abort_and_slots_recycle() {
+        let sim = Sim::new(1);
+        let group = sim.group();
+        let sim2 = sim.clone();
+        group
+            .spawn_named("first-gen", async move {
+                sim2.sleep(SimDuration::from_secs(100)).await;
+            })
+            .detach();
+        group.abort();
+        assert_eq!(group.spawned(), 0);
+        let sim3 = sim.clone();
+        let ran = Rc::new(Cell::new(false));
+        let ran2 = Rc::clone(&ran);
+        // Reuses the aborted task's slot; the stale generation must not leak.
+        group
+            .spawn_named("second-gen", async move {
+                sim3.sleep(SimDuration::from_secs(2)).await;
+                ran2.set(true);
+            })
+            .detach();
+        assert_eq!(group.spawned(), 1);
+        let report = sim.step_until_no_events();
+        report.assert_clean();
+        assert!(ran.get());
+        assert_eq!(report.time.as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn group_abort_releases_semaphore_permits() {
+        let sim = Sim::new(1);
+        let group = sim.group();
+        let sem = crate::sync::Semaphore::new_named("slots", 1);
+        let sem2 = sem.clone();
+        let sim2 = sim.clone();
+        group
+            .spawn_named("permit-holder", async move {
+                let _permit = sem2.acquire(1).await;
+                sim2.sleep(SimDuration::from_secs(100)).await;
+            })
+            .detach();
+        let got = Rc::new(Cell::new(false));
+        let got2 = Rc::clone(&got);
+        let sem3 = sem.clone();
+        sim.spawn_named("waiter", async move {
+            let _permit = sem3.acquire(1).await;
+            got2.set(true);
+        })
+        .detach();
+        let g2 = group.clone();
+        sim.schedule_fn(SimTime::from_nanos(10), move |_| g2.abort());
+        let report = sim.step_until_no_events();
+        report.assert_clean();
+        assert!(got.get(), "abort must release the held permit");
     }
 
     #[test]

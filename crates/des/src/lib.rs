@@ -40,14 +40,14 @@ pub mod time;
 
 pub use executor::{
     assert_deterministic, note_current_blocked, BlockedLabel, EventId, JoinHandle,
-    QuiescenceReport, Sim, StalledTask, TaskId, Timer,
+    QuiescenceReport, Sim, StalledTask, TaskGroup, TaskId, Timer,
 };
 pub use metrics::{Counter, Histogram, Metrics};
 pub use time::{SimDuration, SimTime};
 
 /// One-stop imports for simulation code.
 pub mod prelude {
-    pub use crate::executor::{assert_deterministic, JoinHandle, QuiescenceReport, Sim};
+    pub use crate::executor::{assert_deterministic, JoinHandle, QuiescenceReport, Sim, TaskGroup};
     pub use crate::metrics::{Histogram, Metrics};
     pub use crate::resource::Fluid;
     pub use crate::sync::{

@@ -154,12 +154,22 @@ impl<M: Wire> ListenerHandle<M> {
     /// Establishes a connection from `from`, paying the fabric's handshake
     /// cost. Returns the client end.
     pub async fn connect(&self, from: NodeId) -> Conn<M> {
+        self.try_connect(from)
+            .await
+            .expect("listener dropped while connecting")
+    }
+
+    /// [`ListenerHandle::connect`], but observing server death instead of
+    /// panicking: returns `None` when the listener is gone (the node was
+    /// killed). The handshake cost is paid either way — a client discovers
+    /// the refusal only after the round trip, like a real RST.
+    pub async fn try_connect(&self, from: NodeId) -> Option<Conn<M>> {
         self.net.connect_delay(from, self.node).await;
         let (client, server) = pair::<M>(&self.net, from, self.node);
         if self.tx.send_now(server).is_err() {
-            panic!("listener dropped while connecting");
+            return None;
         }
-        client
+        Some(client)
     }
 
     /// The node the listener runs on.

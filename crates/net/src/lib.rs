@@ -24,7 +24,7 @@ pub mod verbs;
 
 pub use chan::{listen, pair, Conn, Listener, ListenerHandle, Wire};
 pub use fabric::{FabricKind, FabricParams};
-pub use network::{Network, NodeId};
+pub use network::{FaultWindow, Network, NodeId};
 pub use topology::Topology;
 pub use ucr::{ucr_listen, EndPoint, UcrConnector, UcrListener};
 pub use verbs::{connect_qp, Completion, Cq, Op, Qp};

@@ -51,6 +51,20 @@ struct RackNet {
     down: Fluid,
 }
 
+/// A scheduled impairment window on one node's links, injected by a fault
+/// plan. `factor` is the fraction of nominal bandwidth available during the
+/// window; `0.0` is a full partition — transfers and connects touching the
+/// node wait out the window instead of moving bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Window start (inclusive).
+    pub start: rmr_des::SimTime,
+    /// Window end (exclusive).
+    pub end: rmr_des::SimTime,
+    /// Available bandwidth fraction in `(0, 1]`, or `0.0` for a partition.
+    pub factor: f64,
+}
+
 /// The shared network of one simulated cluster.
 #[derive(Clone)]
 pub struct Network {
@@ -66,6 +80,10 @@ pub struct Network {
     c_transferred: rmr_des::Counter,
     /// Cached `net.cross_rack_bytes` handle (0 on flat topologies).
     c_cross_rack: rmr_des::Counter,
+    /// Per-node impairment windows keyed by node index. Empty on healthy
+    /// runs: the only cost then is one host-side `is_empty` check per
+    /// transfer, so fault-free runs replay bit-identically by construction.
+    faults: std::rc::Rc<std::cell::RefCell<std::collections::BTreeMap<u32, Vec<FaultWindow>>>>,
 }
 
 impl Network {
@@ -85,6 +103,81 @@ impl Network {
             racks: std::rc::Rc::new(std::cell::RefCell::new(Vec::new())),
             c_transferred: sim.metrics().counter("net.bytes_transferred"),
             c_cross_rack: sim.metrics().counter("net.cross_rack_bytes"),
+            faults: std::rc::Rc::new(std::cell::RefCell::new(std::collections::BTreeMap::new())),
+        }
+    }
+
+    /// Schedules a link-degradation window on `node`: transfers touching the
+    /// node that start inside `[start, end)` see only `factor` of nominal
+    /// bandwidth on their wire legs (protocol CPU cost is unchanged).
+    pub fn inject_degradation(
+        &self,
+        node: NodeId,
+        start: rmr_des::SimTime,
+        end: rmr_des::SimTime,
+        factor: f64,
+    ) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1], got {factor}"
+        );
+        self.faults
+            .borrow_mut()
+            .entry(node.0)
+            .or_default()
+            .push(FaultWindow { start, end, factor });
+    }
+
+    /// Schedules a partition window on `node`: transfers and connection
+    /// attempts touching the node inside `[start, end)` stall until the
+    /// window closes, then proceed (the fabric heals; nothing is lost).
+    pub fn inject_partition(&self, node: NodeId, start: rmr_des::SimTime, end: rmr_des::SimTime) {
+        self.faults
+            .borrow_mut()
+            .entry(node.0)
+            .or_default()
+            .push(FaultWindow {
+                start,
+                end,
+                factor: 0.0,
+            });
+    }
+
+    /// End of the latest partition window covering `node` at `now`, if any.
+    fn partition_end(&self, node: NodeId, now: rmr_des::SimTime) -> Option<rmr_des::SimTime> {
+        let faults = self.faults.borrow();
+        faults.get(&node.0).and_then(|ws| {
+            ws.iter()
+                .filter(|w| w.factor == 0.0 && w.start <= now && now < w.end)
+                .map(|w| w.end)
+                .max()
+        })
+    }
+
+    /// Worst active degradation factor for `node` at `now` (1.0 = healthy).
+    fn degradation_factor(&self, node: NodeId, now: rmr_des::SimTime) -> f64 {
+        let faults = self.faults.borrow();
+        faults
+            .get(&node.0)
+            .map(|ws| {
+                ws.iter()
+                    .filter(|w| w.factor > 0.0 && w.start <= now && now < w.end)
+                    .map(|w| w.factor)
+                    .fold(1.0, f64::min)
+            })
+            .unwrap_or(1.0)
+    }
+
+    /// Sleeps until neither endpoint is inside a partition window. Loops:
+    /// the instant one window closes, a later one may already be open.
+    async fn wait_out_partitions(&self, src: NodeId, dst: NodeId) {
+        loop {
+            let now = self.sim.now();
+            let until = match (self.partition_end(src, now), self.partition_end(dst, now)) {
+                (None, None) => return,
+                (a, b) => a.max(b).unwrap(),
+            };
+            self.sim.sleep_until(until).await;
         }
     }
 
@@ -148,14 +241,18 @@ impl Network {
         src: NodeId,
         dst: NodeId,
         bytes: u64,
+        wire_scale: f64,
     ) -> Vec<rmr_des::resource::fluid::ConsumeFuture> {
         let nodes = self.nodes.borrow();
         let s = &nodes[src.0 as usize];
         let d = &nodes[dst.0 as usize];
+        // Degraded links stretch the wire legs only; `wire_scale` is exactly
+        // 1.0 on healthy paths, leaving the consumed amount bit-identical.
+        let wire = bytes as f64 * wire_scale;
         let mut legs = Vec::with_capacity(4);
         if src != dst {
-            legs.push(s.tx.consume(bytes as f64));
-            legs.push(d.rx.consume(bytes as f64));
+            legs.push(s.tx.consume(wire));
+            legs.push(d.rx.consume(wire));
             // Cross-rack messages also queue on the source rack's core
             // uplink and the destination rack's downlink — but only when
             // the core can actually bind (oversubscription > 1.0); a
@@ -163,8 +260,8 @@ impl Network {
             // bottleneck, and omitting its legs keeps flat replay exact.
             if self.topology.constrains() && self.topology.cross_rack(src, dst) {
                 let racks = self.racks.borrow();
-                legs.push(racks[self.topology.rack_of(src)].up.consume(bytes as f64));
-                legs.push(racks[self.topology.rack_of(dst)].down.consume(bytes as f64));
+                legs.push(racks[self.topology.rack_of(src)].up.consume(wire));
+                legs.push(racks[self.topology.rack_of(dst)].down.consume(wire));
             }
         }
         let send_cpu = self.fabric.send_cpu(bytes);
@@ -189,7 +286,16 @@ impl Network {
     /// pays the protocol CPU cost on socket fabrics (local HTTP fetches in
     /// vanilla Hadoop are real socket traffic through loopback).
     pub async fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
-        let legs = self.leg_futures(src, dst, bytes);
+        let mut wire_scale = 1.0;
+        if !self.faults.borrow().is_empty() {
+            if src != dst {
+                self.wait_out_partitions(src, dst).await;
+            }
+            let now = self.sim.now();
+            wire_scale =
+                1.0 / (self.degradation_factor(src, now) * self.degradation_factor(dst, now));
+        }
+        let legs = self.leg_futures(src, dst, bytes, wire_scale);
         join_all(legs).await;
         if src != dst {
             self.sim.sleep(self.fabric.latency).await;
@@ -204,6 +310,9 @@ impl Network {
     /// fabric-specific setup).
     pub async fn connect_delay(&self, src: NodeId, dst: NodeId) {
         if src != dst {
+            if !self.faults.borrow().is_empty() {
+                self.wait_out_partitions(src, dst).await;
+            }
             let rtt = self.fabric.latency * 2;
             self.sim.sleep(rtt).await;
         }
@@ -411,6 +520,82 @@ mod tests {
         let (t, bytes) = run_cross_rack(4.0);
         assert_eq!(t, secs(4.0));
         assert_eq!(bytes, 200.0);
+    }
+
+    #[test]
+    fn degradation_window_stretches_wire_legs() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        // Half bandwidth on the receiver for the first 10 s: the 100 B
+        // message takes 2 s instead of 1 s.
+        net.inject_degradation(b, SimTime::ZERO, secs(10.0), 0.5);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer(a, b, 100).await;
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(2.0));
+    }
+
+    #[test]
+    fn partition_window_stalls_transfers_until_heal() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        net.inject_partition(b, SimTime::ZERO, secs(3.0));
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer(a, b, 100).await; // waits to 3 s, then 1 s wire
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(4.0));
+    }
+
+    #[test]
+    fn expired_windows_cost_nothing() {
+        // A window entirely in the past must not perturb a later transfer.
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        net.inject_degradation(a, SimTime::ZERO, secs(1.0), 0.1);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            sim2.sleep(rmr_des::SimDuration::from_secs(5)).await;
+            net2.transfer(a, b, 100).await;
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(6.0));
     }
 
     #[test]

@@ -173,6 +173,16 @@ impl<M: Wire> UcrConnector<M> {
     /// Pays QP connection cost (heavier than a TCP handshake; paid once per
     /// ReduceTask × TaskTracker pair, exactly as in the paper's design).
     pub async fn connect(&self, from: NodeId) -> EndPoint<M> {
+        self.try_connect(from)
+            .await
+            .expect("UCR listener dropped while connecting")
+    }
+
+    /// [`UcrConnector::connect`], but observing server death instead of
+    /// panicking: returns `None` when the listener is gone (the node was
+    /// killed). The QP setup cost is still paid — connection management
+    /// discovers the dead peer only after the exchange times out.
+    pub async fn try_connect(&self, from: NodeId) -> Option<EndPoint<M>> {
         let client_send_cq = Cq::new();
         let server_send_cq = Cq::new();
         let (qp_client, qp_server) =
@@ -180,9 +190,9 @@ impl<M: Wire> UcrConnector<M> {
         let client = EndPoint::new(qp_client, client_send_cq);
         let server = EndPoint::new(qp_server, server_send_cq);
         if self.tx.send_now(server).is_err() {
-            panic!("UCR listener dropped while connecting");
+            return None;
         }
-        client
+        Some(client)
     }
 
     /// The node the listener runs on.

@@ -182,6 +182,22 @@ pub enum Ev {
         map_idx: usize,
         bytes: u64,
     },
+    /// TaskTracker `node` was killed: its daemons, running attempts, and
+    /// served map outputs are gone.
+    NodeDown { node: usize },
+    /// TaskTracker `node` came back; `epoch` counts restarts.
+    NodeUp { node: usize, epoch: u64 },
+    /// A running attempt died with its node (never reported its own
+    /// outcome); the task was re-queued.
+    AttemptLost {
+        node: usize,
+        job: u32,
+        kind: TaskFlavor,
+        idx: usize,
+    },
+    /// A map that had already completed on the dead `node` was re-queued for
+    /// re-execution — its served outputs are unrecoverable.
+    MapReExecute { node: usize, job: u32, idx: usize },
 }
 
 impl Ev {
@@ -202,6 +218,10 @@ impl Ev {
             Ev::CacheMiss { .. } => "cache_miss",
             Ev::CacheInsert { .. } => "cache_insert",
             Ev::CacheEvict { .. } => "cache_evict",
+            Ev::NodeDown { .. } => "node_down",
+            Ev::NodeUp { .. } => "node_up",
+            Ev::AttemptLost { .. } => "attempt_lost",
+            Ev::MapReExecute { .. } => "map_re_execute",
         }
     }
 }
@@ -353,6 +373,26 @@ impl ObsEvent {
                 s.push_str(&format!(
                     ",\"node\":{node},\"job\":{job},\"map_idx\":{map_idx},\"bytes\":{bytes},\"demand\":{demand}"
                 ));
+            }
+            Ev::NodeDown { node } => {
+                s.push_str(&format!(",\"node\":{node}"));
+            }
+            Ev::NodeUp { node, epoch } => {
+                s.push_str(&format!(",\"node\":{node},\"epoch\":{epoch}"));
+            }
+            Ev::AttemptLost {
+                node,
+                job,
+                kind,
+                idx,
+            } => {
+                s.push_str(&format!(
+                    ",\"node\":{node},\"job\":{job},\"kind\":\"{}\",\"idx\":{idx}",
+                    kind.as_str()
+                ));
+            }
+            Ev::MapReExecute { node, job, idx } => {
+                s.push_str(&format!(",\"node\":{node},\"job\":{job},\"idx\":{idx}"));
             }
         }
         s.push('}');
@@ -625,6 +665,25 @@ mod tests {
                     bytes: 10,
                 },
                 "cache_evict",
+            ),
+            (Ev::NodeDown { node: 3 }, "node_down"),
+            (Ev::NodeUp { node: 3, epoch: 2 }, "node_up"),
+            (
+                Ev::AttemptLost {
+                    node: 3,
+                    job: 1,
+                    kind: TaskFlavor::Map,
+                    idx: 7,
+                },
+                "attempt_lost",
+            ),
+            (
+                Ev::MapReExecute {
+                    node: 3,
+                    job: 1,
+                    idx: 7,
+                },
+                "map_re_execute",
             ),
         ];
         for (ev, tag) in cases {

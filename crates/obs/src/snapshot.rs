@@ -65,12 +65,17 @@ pub struct NodeSnapshot {
     pub serve_cursors: usize,
     /// Open serving-side disk readers.
     pub serve_readers: usize,
+    /// False while the node is killed (blacklisted: no heartbeats, no
+    /// assignments, outputs unrecoverable until restart).
+    pub alive: bool,
+    /// Restart count (0 = never killed).
+    pub epoch: u64,
 }
 
 impl NodeSnapshot {
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"node\":{},\"free_map_slots\":{},\"total_map_slots\":{},\"free_reduce_slots\":{},\"total_reduce_slots\":{},\"cache_used\":{},\"cache_capacity\":{},\"cache_hits\":{},\"cache_misses\":{},\"serve_cursors\":{},\"serve_readers\":{}}}",
+            "{{\"node\":{},\"free_map_slots\":{},\"total_map_slots\":{},\"free_reduce_slots\":{},\"total_reduce_slots\":{},\"cache_used\":{},\"cache_capacity\":{},\"cache_hits\":{},\"cache_misses\":{},\"serve_cursors\":{},\"serve_readers\":{},\"alive\":{},\"epoch\":{}}}",
             self.node,
             self.free_map_slots,
             self.total_map_slots,
@@ -81,7 +86,9 @@ impl NodeSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.serve_cursors,
-            self.serve_readers
+            self.serve_readers,
+            self.alive,
+            self.epoch
         )
     }
 }
@@ -109,6 +116,15 @@ impl RuntimeSnapshot {
     /// Human-readable rendering for terminals and debug logs.
     pub fn render(&self) -> String {
         let mut out = format!("runtime snapshot @ {:.3}s\n", self.t_s);
+        let down: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.alive)
+            .map(|n| format!("node{}", n.node))
+            .collect();
+        if !down.is_empty() {
+            out.push_str(&format!("  DOWN: {}\n", down.join(", ")));
+        }
         out.push_str(&format!("  jobs ({}):\n", self.jobs.len()));
         for j in &self.jobs {
             let wait = match j.first_launch_s {
@@ -134,8 +150,9 @@ impl RuntimeSnapshot {
         out.push_str(&format!("  nodes ({}):\n", self.nodes.len()));
         for n in &self.nodes {
             out.push_str(&format!(
-                "    node{:<3} slots m {}/{} r {}/{}  cache {}/{} B ({} hit / {} miss)  cursors {} readers {}\n",
+                "    node{:<3}{} slots m {}/{} r {}/{}  cache {}/{} B ({} hit / {} miss)  cursors {} readers {}\n",
                 n.node,
+                if n.alive { "" } else { " [DOWN]" },
                 n.total_map_slots - n.free_map_slots,
                 n.total_map_slots,
                 n.total_reduce_slots - n.free_reduce_slots,
@@ -185,6 +202,8 @@ mod tests {
                 cache_misses: 2,
                 serve_cursors: 1,
                 serve_readers: 0,
+                alive: true,
+                epoch: 0,
             }],
         }
     }

@@ -31,8 +31,11 @@ fn main() {
             let records = teragen(&c, "/in", 24 << 20, true).await;
             let mut conf = JobConf::osu_ib();
             conf.num_reduces = 3;
-            conf.fail_map_once = fail;
-            let res = run_job(&c, conf, terasort_spec("/in", "/out")).await;
+            let plan = match fail {
+                Some(idx) => FaultPlan::fail_map_once(0, idx),
+                None => FaultPlan::none(),
+            };
+            let res = run_job_with_faults(&c, conf, terasort_spec("/in", "/out"), &plan).await;
             let report = teravalidate(&c, "/out", 3, records)
                 .await
                 .expect("output still globally sorted after the failure");

@@ -62,7 +62,10 @@ pub use rmr_workloads as workloads;
 pub mod prelude {
     pub use rmr_cluster::{run_all, run_experiment, Bench, Experiment, RunRecord, System, Testbed};
     pub use rmr_core::cluster::{Cluster, NodeSpec};
-    pub use rmr_core::{run_job, CpuCosts, JobConf, JobResult, JobSpec, Record, ShuffleKind};
+    pub use rmr_core::{
+        run_job, run_job_with_faults, CpuCosts, FaultEvent, FaultPlan, JobConf, JobResult, JobSpec,
+        Record, ShuffleKind,
+    };
     pub use rmr_des::prelude::*;
     pub use rmr_hdfs::{Blob, HdfsConfig};
     pub use rmr_net::FabricParams;

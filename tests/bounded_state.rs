@@ -82,6 +82,66 @@ fn hundred_job_sequence_leaves_no_job_keyed_state() {
 }
 
 #[test]
+fn kill_restart_complete_drains_to_zero_footprint() {
+    // The footprint gate must also hold across a node death: killing a
+    // TaskTracker mid-job re-queues its work (and marks the node down in
+    // the footprint); after a restart and the job's completion, every piece
+    // of job-keyed *and* liveness state must drain back to zero.
+    let sim = Sim::new(0xDEAD);
+    let cluster = tiny_cluster(&sim, 3);
+    let conf = tiny_conf();
+    let final_fp: Rc<RefCell<Option<StateFootprint>>> = Rc::new(RefCell::new(None));
+    let final2 = Rc::clone(&final_fp);
+    let sim2 = sim.clone();
+    sim.spawn_named("kill-restart-driver", async move {
+        teragen(&cluster, "/in", 32 << 20, false).await;
+        let rt = Runtime::start(&cluster, conf.clone());
+        let id = rt.submit(conf.clone(), terasort_spec("/in", "/out"));
+        // Wait until the map wave is under way, then pull a node out.
+        for i in 0..=500 {
+            assert!(i < 500, "map wave never started:\n{}", rt.dump().render());
+            sim2.sleep(rmr_des::SimDuration::from_secs_f64(0.2)).await;
+            let snap = rt.dump();
+            if snap.jobs.first().is_some_and(|j| j.maps_completed >= 1) {
+                break;
+            }
+        }
+        rt.kill_node(1);
+        let mid = rt.state_footprint();
+        assert_eq!(
+            mid.down_nodes, 1,
+            "kill not reflected in footprint: {mid:?}"
+        );
+        assert!(
+            rt.dump().nodes[1].epoch >= 1 || !rt.dump().nodes[1].alive,
+            "snapshot must show the node down"
+        );
+        sim2.sleep(rmr_des::SimDuration::from_secs_f64(3.0)).await;
+        rt.restart_node(1);
+        let mut done = false;
+        for _ in 0..3000 {
+            if rt.poll(id).is_some() {
+                done = true;
+                break;
+            }
+            sim2.sleep(rmr_des::SimDuration::from_secs_f64(0.2)).await;
+        }
+        assert!(done, "job hung after kill/restart:\n{}", rt.dump().render());
+        let res = rt.join(id).await;
+        assert!(res.duration_s > 0.0, "job died with the node");
+        *final2.borrow_mut() = Some(rt.state_footprint());
+    })
+    .detach();
+    sim.run();
+    let fp = final_fp.borrow().expect("driver hung");
+    assert_eq!(
+        fp,
+        StateFootprint::default(),
+        "state left after kill/restart: {fp:?}"
+    );
+}
+
+#[test]
 fn concurrent_batch_drains_to_zero_footprint() {
     // Same gate under concurrent submission: 10 jobs at once, joined after.
     let sim = Sim::new(7);

@@ -2,7 +2,7 @@
 //! planes, with output validation.
 
 use rmr_core::cluster::{Cluster, NodeSpec};
-use rmr_core::{run_job, JobConf, JobResult, ShuffleKind};
+use rmr_core::{run_job, run_job_with_faults, FaultPlan, JobConf, JobResult, ShuffleKind};
 use rmr_des::Sim;
 use rmr_hdfs::HdfsConfig;
 use rmr_net::FabricParams;
@@ -141,14 +141,14 @@ fn failed_map_is_reexecuted_and_job_still_validates() {
     let sim = Sim::new(42);
     let cluster = small_cluster(&sim, 3, FabricParams::ib_verbs_qdr());
     let reduces = 3;
-    let mut conf = small_conf(ShuffleKind::OsuIb, reduces);
-    conf.fail_map_once = Some(1);
+    let conf = small_conf(ShuffleKind::OsuIb, reduces);
     let result = std::rc::Rc::new(std::cell::RefCell::new(None));
     let r2 = std::rc::Rc::clone(&result);
     let c2 = cluster.clone();
     sim.spawn(async move {
         let expected = teragen(&c2, "/in", 12 << 20, true).await;
-        let res = run_job(&c2, conf, terasort_spec("/in", "/out")).await;
+        let plan = FaultPlan::fail_map_once(0, 1);
+        let res = run_job_with_faults(&c2, conf, terasort_spec("/in", "/out"), &plan).await;
         let report = teravalidate(&c2, "/out", reduces, expected).await.unwrap();
         *r2.borrow_mut() = Some((res, report));
     })
@@ -186,14 +186,14 @@ fn failed_reduce_is_reexecuted_and_job_still_validates() {
     let sim = Sim::new(55);
     let cluster = small_cluster(&sim, 3, FabricParams::ib_verbs_qdr());
     let reduces = 3;
-    let mut conf = small_conf(ShuffleKind::OsuIb, reduces);
-    conf.fail_reduce_once = Some(2);
+    let conf = small_conf(ShuffleKind::OsuIb, reduces);
     let result = std::rc::Rc::new(std::cell::RefCell::new(None));
     let r2 = std::rc::Rc::clone(&result);
     let c2 = cluster.clone();
     sim.spawn(async move {
         let expected = teragen(&c2, "/in", 12 << 20, true).await;
-        let res = run_job(&c2, conf, terasort_spec("/in", "/out")).await;
+        let plan = FaultPlan::fail_reduce_once(0, 2);
+        let res = run_job_with_faults(&c2, conf, terasort_spec("/in", "/out"), &plan).await;
         let report = teravalidate(&c2, "/out", reduces, expected).await.unwrap();
         *r2.borrow_mut() = Some((res, report));
     })
