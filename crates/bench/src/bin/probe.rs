@@ -22,6 +22,16 @@
 //!                point, and appends labeled rows (nodes/attempts columns)
 //!                to BENCH_wallclock.json. With --budget-s, exits non-zero
 //!                if any point's wall time exceeds the budget (CI smoke).
+//!   probe service [nodes] [jobs] [seed] [--budget-s S] [--out PATH]
+//!                [--hist-dir DIR]
+//!                — open-arrival multi-tenant service probe: the canonical
+//!                two-tenant mix (interactive Poisson mice + diurnal batch
+//!                elephants) under FIFO and capacity+preemption. Gates:
+//!                every job finishes, state drains, the guaranteed tenant's
+//!                p99 beats FIFO, and a replay run is trace-hash identical.
+//!                Appends per-tenant latency-percentile rows to
+//!                BENCH_wallclock.json; with --hist-dir also writes tenant
+//!                latency jsonl and tenant heatmap artifacts.
 //!   probe chaos  [nodes] [jobs] [gb] [seed] [--plans N] [--budget-s S]
 //!                — deterministic chaos campaign: N seed-derived fault
 //!                plans (plan 0 is always the mid-map-wave kill storm)
@@ -65,7 +75,7 @@ fn parse_system(name: &str) -> System {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: probe <grid|one|phases|fluidcmp|scale|chaos|obs> [args]");
+    eprintln!("usage: probe <grid|one|phases|fluidcmp|scale|service|chaos|obs> [args]");
     eprintln!("  probe grid   [gb] [nodes] [disks] [sort]");
     eprintln!("  probe one    [gb] [system] [nodes] [disks] [sort] [seed]");
     eprintln!("  probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]");
@@ -73,6 +83,7 @@ fn usage() -> ! {
     eprintln!(
         "  probe scale  <nodes> <jobs> <gb> [seed] [--budget-s S] [--min-attempts N] [--out PATH]"
     );
+    eprintln!("  probe service [nodes] [jobs] [seed] [--budget-s S] [--out PATH] [--hist-dir DIR]");
     eprintln!("  probe chaos  [nodes] [jobs] [gb] [seed] [--plans N] [--budget-s S]");
     eprintln!("  probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]");
     std::process::exit(2);
@@ -87,6 +98,7 @@ fn main() {
         Some("fluidcmp") => fluidcmp(),
         Some("obs") => obs(&args[2..]),
         Some("scale") => scale(&args[2..]),
+        Some("service") => service(&args[2..]),
         Some("chaos") => chaos(&args[2..]),
         _ => usage(),
     }
@@ -352,6 +364,177 @@ fn scale(args: &[String]) {
         }
     }
     if over_budget || too_small || max_drift > 1.2 {
+        std::process::exit(1);
+    }
+}
+
+/// Open-arrival service probe: the canonical two-tenant workload (see
+/// `rmr_bench::service`) under FIFO and capacity+preemption, with a replay
+/// run for the determinism gate. Gates (non-zero exit on failure):
+///
+///  1. every submitted job finishes and the runtime state footprint drains
+///     to zero (asserted inside `run_service`),
+///  2. both tenants report non-empty latency tails under both policies,
+///  3. the capacity-guaranteed interactive tenant's latency p99 beats FIFO
+///     and its queue-wait p99 is no worse,
+///  4. a second run of the capacity sim is trace-hash identical,
+///  5. optional wall budget per run (`--budget-s`).
+fn service(args: &[String]) {
+    use rmr_bench::service::{service_rows, service_spec};
+    use rmr_load::{run_service, ServicePolicy};
+
+    let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let jobs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut budget_s: Option<f64> = None;
+    let mut out_path = "BENCH_wallclock.json".to_string();
+    let mut hist_dir: Option<String> = None;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget-s" => {
+                i += 1;
+                budget_s = Some(args.get(i).expect("--budget-s value").parse().unwrap());
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out value").clone();
+            }
+            "--hist-dir" => {
+                i += 1;
+                hist_dir = Some(args.get(i).expect("--hist-dir value").clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // FIFO baseline and the capacity run (events recorded for the heatmap
+    // artifacts — the recorder is perturbation-free, see the load gates)
+    // fan out through the sweep pool; the replay twin runs after, so it
+    // proves same-process determinism rather than racing its twin.
+    let cases = [
+        (ServicePolicy::Fifo, false),
+        (ServicePolicy::Capacity { preempt: true }, true),
+    ];
+    let threads = rmr_bench::default_threads().min(cases.len());
+    // simcheck: allow(wall-clock) -- host-side timing of the sims themselves
+    let t0 = std::time::Instant::now();
+    let mut reports = rmr_bench::sweep::sweep_map(&cases, threads, |&(policy, record), _| {
+        let spec = service_spec(nodes, jobs, seed, policy, record);
+        run_service(&spec)
+    });
+    let wall_s = t0.elapsed().as_secs_f64() / cases.len() as f64;
+    let cap = reports.pop().expect("capacity report");
+    let fifo = reports.pop().expect("fifo report");
+
+    let replay = run_service(&service_spec(
+        nodes,
+        jobs,
+        seed,
+        ServicePolicy::Capacity { preempt: true },
+        false,
+    ));
+
+    println!("{}", fifo.to_ascii());
+    println!("{}", cap.to_ascii());
+
+    let mut failed = false;
+    for rep in [&fifo, &cap] {
+        for t in &rep.tenants {
+            if t.latency.p99() <= 0.0 {
+                eprintln!(
+                    "EMPTY TAIL: {} tenant {} has no p99",
+                    rep.policy_label(),
+                    t.queue
+                );
+                failed = true;
+            }
+        }
+        if rep.footprint_total != 0 {
+            eprintln!(
+                "STATE LEAK: {} footprint {}",
+                rep.policy_label(),
+                rep.footprint_total
+            );
+            failed = true;
+        }
+    }
+    let (f0, c0) = (fifo.tenant(0), cap.tenant(0));
+    println!(
+        "guaranteed-tenant p99: fifo {:.1}s vs capacity {:.1}s ({:.2}x); \
+         wait-p99 {:.1}s vs {:.1}s",
+        f0.latency.p99(),
+        c0.latency.p99(),
+        f0.latency.p99() / c0.latency.p99().max(1e-9),
+        f0.wait.p99(),
+        c0.wait.p99(),
+    );
+    if c0.latency.p99() >= f0.latency.p99() {
+        eprintln!(
+            "ISOLATION FAILED: capacity p99 {:.2}s not below FIFO {:.2}s",
+            c0.latency.p99(),
+            f0.latency.p99()
+        );
+        failed = true;
+    }
+    if c0.wait.p99() > f0.wait.p99() {
+        eprintln!(
+            "ISOLATION FAILED: capacity wait-p99 {:.2}s above FIFO {:.2}s",
+            c0.wait.p99(),
+            f0.wait.p99()
+        );
+        failed = true;
+    }
+    if replay.trace_hash != cap.trace_hash {
+        eprintln!(
+            "REPLAY DIVERGED: {:#x} vs {:#x}",
+            replay.trace_hash, cap.trace_hash
+        );
+        failed = true;
+    } else {
+        println!(
+            "replay gate: trace hash {:#x} identical across runs ({} events)",
+            cap.trace_hash, cap.events_fired
+        );
+    }
+    if let Some(b) = budget_s {
+        if wall_s > b {
+            eprintln!("BUDGET EXCEEDED: {wall_s:.1}s/run > {b:.1}s");
+            failed = true;
+        }
+    }
+
+    if let Some(dir) = hist_dir {
+        std::fs::create_dir_all(&dir).expect("create hist dir");
+        for rep in [&fifo, &cap] {
+            let path = format!("{dir}/service_{}_tenants.jsonl", rep.policy_label());
+            std::fs::write(&path, rep.tenants_jsonl()).expect("write tenant jsonl");
+            println!("wrote {path}");
+        }
+        for (what, hm) in [
+            (
+                "recovery",
+                rmr_obs::tenant_recovery_heatmap(&cap.events, 24),
+            ),
+            ("latency", rmr_obs::tenant_latency_heatmap(&cap.events, 24)),
+        ] {
+            let path = format!("{dir}/service_tenant_{what}.json");
+            std::fs::write(&path, hm.to_json()).expect("write heatmap");
+            println!("wrote {path}\n{}", hm.to_ascii());
+        }
+    }
+
+    let mut rows = service_rows(&fifo);
+    rows.extend(service_rows(&cap));
+    for r in &mut rows {
+        if r.case.ends_with(":all") {
+            r.wall_s = wall_s;
+        }
+    }
+    rmr_bench::trajectory::write_results(&out_path, "service", false, &rows);
+    println!("appended {} service rows to {out_path}", rows.len());
+    if failed {
         std::process::exit(1);
     }
 }

@@ -200,6 +200,9 @@ fn run_macro(scenario: &'static str, system: System, gb: f64, nodes: usize) -> R
         nodes: nodes as u64,
         attempts: (res.maps + res.reduces + res.failed_map_attempts + res.failed_reduce_attempts)
             as u64,
+        p50_s: 0.0,
+        p95_s: 0.0,
+        p99_s: 0.0,
     };
     eprintln!(
         "  {scenario:12} {:12} sim {:6.0}s  wall {:6.2}s  events {:.2e}  fluid_work {:.2e}",
@@ -253,6 +256,9 @@ fn run_multijob_case(quick: bool, concurrent: bool) -> Run {
         items: jobs as u64,
         nodes: nodes as u64,
         attempts: attempts as u64,
+        p50_s: 0.0,
+        p95_s: 0.0,
+        p99_s: 0.0,
     };
     eprintln!(
         "  {:12} {:16} sim {:6.0}s  wall {:6.2}s  jobs {}",
@@ -296,6 +302,9 @@ fn micro_fluid_churn(n: usize) -> Run {
         items: (n * ROUNDS) as u64,
         nodes: 0,
         attempts: 0,
+        p50_s: 0.0,
+        p95_s: 0.0,
+        p99_s: 0.0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  completions {}  fluid_work {}  (work/completion {:.1})",
@@ -336,6 +345,9 @@ fn micro_event_heap(tasks: usize, rounds: usize) -> Run {
         items: (tasks * rounds) as u64,
         nodes: 0,
         attempts: 0,
+        p50_s: 0.0,
+        p95_s: 0.0,
+        p99_s: 0.0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  events {}  polls {}",
@@ -385,6 +397,9 @@ fn micro_merge_pq(k: usize, per_source: u64, real: bool) -> Run {
         items: emitted,
         nodes: 0,
         attempts: 0,
+        p50_s: 0.0,
+        p95_s: 0.0,
+        p99_s: 0.0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  records {}",

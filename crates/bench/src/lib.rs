@@ -14,6 +14,7 @@ use rmr_cluster::{
 };
 
 pub mod chaos;
+pub mod service;
 pub mod sweep;
 pub mod trajectory;
 

@@ -29,6 +29,10 @@ pub struct Run {
     pub nodes: u64,
     /// Task attempts launched (scale runs; 0 elsewhere).
     pub attempts: u64,
+    /// Job-latency percentiles, virtual seconds (service runs; 0 elsewhere).
+    pub p50_s: f64,
+    pub p95_s: f64,
+    pub p99_s: f64,
 }
 
 impl Run {
@@ -45,6 +49,9 @@ impl Run {
             items: 0,
             nodes: 0,
             attempts: 0,
+            p50_s: 0.0,
+            p95_s: 0.0,
+            p99_s: 0.0,
         }
     }
 }
@@ -59,7 +66,8 @@ pub fn run_line(label: &str, quick: bool, r: &Run) -> String {
     format!(
         "{{\"label\":\"{}\",\"scenario\":\"{}\",\"case\":\"{}\",\"quick\":{},\
          \"wall_s\":{:.4},\"sim_s\":{:.2},\"events\":{},\"polls\":{},\
-         \"fluid_work\":{},\"items\":{},\"nodes\":{},\"attempts\":{}}}",
+         \"fluid_work\":{},\"items\":{},\"nodes\":{},\"attempts\":{},\
+         \"p50_s\":{:.4},\"p95_s\":{:.4},\"p99_s\":{:.4}}}",
         json_escape(label),
         json_escape(r.scenario),
         json_escape(&r.case),
@@ -72,6 +80,9 @@ pub fn run_line(label: &str, quick: bool, r: &Run) -> String {
         r.items,
         r.nodes,
         r.attempts,
+        r.p50_s,
+        r.p95_s,
+        r.p99_s,
     )
 }
 
@@ -185,6 +196,9 @@ mod tests {
             "items",
             "nodes",
             "attempts",
+            "p50_s",
+            "p95_s",
+            "p99_s",
         ]
         .to_vec();
         let mut at = 0;

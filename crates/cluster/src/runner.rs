@@ -447,7 +447,7 @@ pub fn run_multijob(exp: &MultiJobExperiment) -> Vec<RunRecord> {
     let c2 = cluster.clone();
     let jobs = exp.jobs;
     let concurrent = exp.concurrent;
-    let policy = exp.policy;
+    let policy = exp.policy.clone();
     sim.spawn_named("multijob-driver", async move {
         for i in 0..jobs {
             teragen(&c2, &format!("/mj/in{i}"), bytes, false).await;

@@ -159,6 +159,17 @@ pub struct JobConf {
     /// empty, idle slots re-run the oldest still-running map; the first
     /// attempt to finish wins, the loser is discarded.
     pub speculative_maps: bool,
+
+    /// `mapred.job.queue.name` analog: the capacity-scheduler queue (tenant)
+    /// this job is submitted to. Only meaningful under
+    /// `SchedulePolicy::Capacity`; other policies ignore it.
+    pub queue: u32,
+
+    /// Delay scheduling for map locality: how many non-local scheduling
+    /// opportunities the job skips, waiting for a data-local slot, before
+    /// accepting a non-local launch. `0` disables the wait (stock Hadoop
+    /// 0.20 behaviour, and the default so existing replays are unchanged).
+    pub locality_delay: u32,
 }
 
 impl Default for JobConf {
@@ -189,6 +200,8 @@ impl Default for JobConf {
             task_launch_overhead: SimDuration::from_millis(1_200),
             costs: CpuCosts::default(),
             speculative_maps: false,
+            queue: 0,
+            locality_delay: 0,
         }
     }
 }

@@ -48,5 +48,5 @@ pub use record::{
     decode_records, encode_records, HashPartitioner, Partitioner, Record, Segment,
     TotalOrderPartitioner,
 };
-pub use runtime::{JobId, Runtime, SchedulePolicy, StateFootprint};
+pub use runtime::{CapacityPlan, JobId, QueueShare, Runtime, SchedulePolicy, StateFootprint};
 pub use spec::JobSpec;

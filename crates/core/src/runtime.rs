@@ -14,7 +14,9 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::future::Future;
 use std::rc::Rc;
+use std::task::Poll;
 
 use rmr_des::prelude::*;
 use rmr_net::NodeId;
@@ -82,7 +84,7 @@ impl fmt::Display for JobId {
 }
 
 /// How heartbeats divide a node's free slots among concurrent jobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum SchedulePolicy {
     /// Oldest job first: a job ahead in the queue takes every slot it can
     /// use before the next job sees any (Hadoop's default JobQueue).
@@ -91,6 +93,62 @@ pub enum SchedulePolicy {
     /// Round-robin over active jobs: each heartbeat starts the walk one
     /// job later, so slots spread across jobs over time.
     Fair,
+    /// Hadoop capacity scheduler: jobs are submitted to queues
+    /// ([`JobConf::queue`]), each with a guaranteed share of the cluster's
+    /// slot pools; slots a queue is not using spill over to queues with
+    /// demand (work conservation), and speculative attempts can be
+    /// preempted when a starved queue has unmet guaranteed demand.
+    Capacity(CapacityPlan),
+}
+
+/// One queue's guaranteed share of the cluster slot pools, in per-mille
+/// (integer math keeps scheduling decisions exactly reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueShare {
+    /// Queue (tenant) id, matched against [`JobConf::queue`].
+    pub queue: u32,
+    /// Guaranteed fraction of each slot pool, per-mille (300 = 30%).
+    pub share_mille: u32,
+}
+
+/// Capacity-scheduler configuration: per-queue guarantees plus knobs.
+/// Queues absent from `shares` have no guarantee — their jobs run purely on
+/// spillover slots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CapacityPlan {
+    /// Guaranteed shares, one entry per queue.
+    pub shares: Vec<QueueShare>,
+    /// Preempt redundant speculative attempts when a queue with unmet
+    /// guaranteed demand finds every slot taken.
+    pub preempt_speculative: bool,
+}
+
+impl CapacityPlan {
+    /// A plan from `(queue, share_mille)` pairs, preemption off.
+    pub fn new(shares: &[(u32, u32)]) -> Self {
+        CapacityPlan {
+            shares: shares
+                .iter()
+                .map(|&(queue, share_mille)| QueueShare { queue, share_mille })
+                .collect(),
+            preempt_speculative: false,
+        }
+    }
+
+    /// Enables speculative-attempt preemption.
+    pub fn with_preemption(mut self) -> Self {
+        self.preempt_speculative = true;
+        self
+    }
+
+    /// `queue`'s guaranteed slot count out of a pool of `pool` slots.
+    pub fn guaranteed(&self, queue: u32, pool: usize) -> usize {
+        self.shares
+            .iter()
+            .find(|s| s.queue == queue)
+            .map(|s| pool * s.share_mille as usize / 1000)
+            .unwrap_or(0)
+    }
 }
 
 /// Results of one job run.
@@ -133,6 +191,10 @@ pub struct JobResult {
     /// while it was in the system (slot-seconds used / (duration × workers ×
     /// slots per worker)).
     pub slot_occupancy: f64,
+    /// Raw slot-seconds all attempts consumed (fairness accounting input).
+    pub slot_secs: f64,
+    /// The capacity queue (tenant) the job was submitted to.
+    pub queue: u32,
     /// Per-reducer phase stats.
     pub reduce_stats: Vec<ReduceStats>,
     /// Every task attempt's lifetime (swimlane data).
@@ -195,10 +257,64 @@ struct RtInner {
     injected: RefCell<BTreeMap<u32, Vec<FaultEvent>>>,
     /// Fair policy's rotating walk offset.
     rr: Cell<usize>,
+    /// Running attempts per queue as `(maps, reduces)`, maintained by
+    /// [`QueueSlotGuard`]s so aborted attempt futures (node kills,
+    /// preemption) release their count on drop. Entries are removed at
+    /// zero, so a drained cluster holds no ledger state.
+    queue_used: Rc<RefCell<BTreeMap<u32, (usize, usize)>>>,
+    /// Preemptible speculative map attempts in flight:
+    /// `(tt_idx, job, map_idx)` → the signal that tells the attempt to
+    /// stand down. Only populated under `Capacity` with preemption on.
+    spec_running: RefCell<BTreeMap<(usize, u32, usize), Notify>>,
     /// Wakes parked heartbeat daemons when work arrives.
     work: Notify,
     /// Observability bus (off unless built via [`Runtime::with_obs`]).
     obs: Recorder,
+}
+
+/// Drop-guard for one running attempt's entry in the per-queue slot ledger:
+/// created when the attempt spawns, releases its count however the attempt
+/// ends — completion, failure, preemption, or a node kill aborting the
+/// future mid-await.
+struct QueueSlotGuard {
+    used: Rc<RefCell<BTreeMap<u32, (usize, usize)>>>,
+    queue: u32,
+    map: bool,
+}
+
+impl QueueSlotGuard {
+    fn acquire(used: &Rc<RefCell<BTreeMap<u32, (usize, usize)>>>, queue: u32, map: bool) -> Self {
+        {
+            let mut u = used.borrow_mut();
+            let e = u.entry(queue).or_insert((0, 0));
+            if map {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        QueueSlotGuard {
+            used: Rc::clone(used),
+            queue,
+            map,
+        }
+    }
+}
+
+impl Drop for QueueSlotGuard {
+    fn drop(&mut self) {
+        let mut u = self.used.borrow_mut();
+        if let Some(e) = u.get_mut(&self.queue) {
+            if self.map {
+                e.0 -= 1;
+            } else {
+                e.1 -= 1;
+            }
+            if *e == (0, 0) {
+                u.remove(&self.queue);
+            }
+        }
+    }
 }
 
 /// The persistent cluster runtime. Cheap to clone (shared handle).
@@ -268,6 +384,8 @@ impl Runtime {
             next_id: Cell::new(0),
             injected: RefCell::new(BTreeMap::new()),
             rr: Cell::new(0),
+            queue_used: Rc::new(RefCell::new(BTreeMap::new())),
+            spec_running: RefCell::new(BTreeMap::new()),
             work: Notify::new(),
             obs,
         });
@@ -336,6 +454,7 @@ impl Runtime {
             conf.reduce_slowstart,
         )));
         jt.borrow_mut().set_speculative(conf.speculative_maps);
+        jt.borrow_mut().set_locality_delay(conf.locality_delay);
         // Task failures a FaultPlan queued for this submission ordinal.
         if let Some(evs) = inner.injected.borrow_mut().remove(&id.0) {
             let mut jtb = jt.borrow_mut();
@@ -370,6 +489,10 @@ impl Runtime {
         });
         inner.jobs.borrow_mut().insert(id.0, Rc::clone(&job));
         inner.active.borrow_mut().push_back(id.0);
+        inner.obs.emit(|| Ev::JobQueued {
+            job: id.0,
+            queue: job.conf.queue,
+        });
         inner.obs.emit(|| Ev::JobState {
             job: id.0,
             state: JobState::Submitted,
@@ -451,6 +574,12 @@ impl Runtime {
         // contents, and committed map outputs are gone.
         tt.clear_serve_state();
         inner.outputs.remove_node(tt_idx);
+        // Aborted speculative attempts can no longer be preempted; their
+        // slot-ledger entries are released by the dropped futures' guards.
+        inner
+            .spec_running
+            .borrow_mut()
+            .retain(|(t, _, _), _| *t != tt_idx);
         inner.obs.emit(|| Ev::NodeDown { node: tt_idx });
         // Every active job loses this node's attempts and completed maps.
         let jobs: Vec<Rc<ActiveJob>> = inner.jobs.borrow().values().cloned().collect();
@@ -678,17 +807,29 @@ impl Runtime {
     }
 }
 
+/// One job's share of a heartbeat's assignments: the maps (with the index
+/// where speculative duplicates begin) and reduces to launch.
+struct Assignment {
+    job: Rc<ActiveJob>,
+    maps: Vec<MapTaskDesc>,
+    /// Index into `maps` where speculative duplicates begin.
+    spec_from: usize,
+    reduces: Vec<usize>,
+}
+
 impl RtInner {
     /// One heartbeat's slot assignment: walks the active-job queue in
     /// policy order, offering each job the node's still-free slots.
-    #[allow(clippy::type_complexity)]
     fn schedule(
         &self,
         node: NodeId,
         tt_idx: usize,
         free_m: &mut usize,
         free_r: &mut usize,
-    ) -> Vec<(Rc<ActiveJob>, Vec<MapTaskDesc>, Vec<usize>)> {
+    ) -> Vec<Assignment> {
+        if let SchedulePolicy::Capacity(plan) = &self.policy {
+            return self.schedule_capacity(plan, node, tt_idx, free_m, free_r);
+        }
         let order: Vec<u32> = {
             let active = self.active.borrow();
             match self.policy {
@@ -703,6 +844,7 @@ impl RtInner {
                         (0..n).map(|i| active[(start + i) % n]).collect()
                     }
                 }
+                SchedulePolicy::Capacity(_) => unreachable!("handled above"),
             }
         };
         let mut out = Vec::new();
@@ -724,17 +866,198 @@ impl RtInner {
             if !job.jt.borrow().has_assignable_work() {
                 continue;
             }
-            let (maps, reduces) = job
+            let (maps, spec_from, reduces) = job
                 .jt
                 .borrow_mut()
                 .heartbeat(node, tt_idx, *free_m, *free_r);
             *free_m = free_m.saturating_sub(maps.len());
             *free_r = free_r.saturating_sub(reduces.len());
             if !maps.is_empty() || !reduces.is_empty() {
-                out.push((job, maps, reduces));
+                out.push(Assignment {
+                    job,
+                    maps,
+                    spec_from,
+                    reduces,
+                });
             }
         }
         out
+    }
+
+    /// Capacity-scheduler heartbeat walk, two phases over the queues:
+    ///
+    /// 1. **Guaranteed**: queues are visited most-starved first (running
+    ///    slots over guarantee, integer cross-multiplied compare — no float
+    ///    ordering), each offered at most its unmet guarantee.
+    /// 2. **Spillover**: remaining free slots go to any queue with demand,
+    ///    same order — capacity is work-conserving, a guarantee is a floor,
+    ///    not a cage.
+    ///
+    /// Within a queue, jobs run FIFO in submission order. The walk tracks
+    /// slots it just assigned (`local_m`/`local_r`) on top of the shared
+    /// ledger so one heartbeat's two phases agree on usage.
+    fn schedule_capacity(
+        &self,
+        plan: &CapacityPlan,
+        node: NodeId,
+        tt_idx: usize,
+        free_m: &mut usize,
+        free_r: &mut usize,
+    ) -> Vec<Assignment> {
+        // Queue id → that queue's active jobs, submission-ordered.
+        let mut queues: BTreeMap<u32, Vec<Rc<ActiveJob>>> = BTreeMap::new();
+        {
+            let active = self.active.borrow();
+            let jobs = self.jobs.borrow();
+            for id in active.iter() {
+                if let Some(j) = jobs.get(id) {
+                    if j.jt.borrow().has_assignable_work() {
+                        queues.entry(j.conf.queue).or_default().push(Rc::clone(j));
+                    }
+                }
+            }
+        }
+        if queues.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.cluster.workers.len();
+        let pool_m = workers * self.conf.map_slots;
+        let pool_r = workers * self.conf.reduce_slots;
+        let used = self.queue_used.borrow().clone();
+        let mut qorder: Vec<u32> = queues.keys().copied().collect();
+        qorder.sort_by(|a, b| {
+            let ua = used.get(a).map(|u| u.0).unwrap_or(0);
+            let ub = used.get(b).map(|u| u.0).unwrap_or(0);
+            let ga = plan.guaranteed(*a, pool_m).max(1);
+            let gb = plan.guaranteed(*b, pool_m).max(1);
+            (ua * gb).cmp(&(ub * ga)).then(a.cmp(b))
+        });
+        let mut local_m: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut local_r: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut out = Vec::new();
+        'phases: for phase in 0..2 {
+            for &q in &qorder {
+                if *free_m == 0 && *free_r == 0 {
+                    break 'phases;
+                }
+                let (cap_m, cap_r) = if phase == 0 {
+                    let um = used.get(&q).map(|u| u.0).unwrap_or(0)
+                        + local_m.get(&q).copied().unwrap_or(0);
+                    let ur = used.get(&q).map(|u| u.1).unwrap_or(0)
+                        + local_r.get(&q).copied().unwrap_or(0);
+                    (
+                        plan.guaranteed(q, pool_m).saturating_sub(um),
+                        plan.guaranteed(q, pool_r).saturating_sub(ur),
+                    )
+                } else {
+                    (usize::MAX, usize::MAX)
+                };
+                let mut cap_m = cap_m;
+                let mut cap_r = cap_r;
+                for job in &queues[&q] {
+                    let offer_m = (*free_m).min(cap_m);
+                    let offer_r = (*free_r).min(cap_r);
+                    if offer_m == 0 && offer_r == 0 {
+                        break;
+                    }
+                    // Re-check: phase 0 may have drained this job already.
+                    if !job.jt.borrow().has_assignable_work() {
+                        continue;
+                    }
+                    let (maps, spec_from, reduces) = job
+                        .jt
+                        .borrow_mut()
+                        .heartbeat(node, tt_idx, offer_m, offer_r);
+                    *free_m = free_m.saturating_sub(maps.len());
+                    *free_r = free_r.saturating_sub(reduces.len());
+                    cap_m = cap_m.saturating_sub(maps.len());
+                    cap_r = cap_r.saturating_sub(reduces.len());
+                    *local_m.entry(q).or_default() += maps.len();
+                    *local_r.entry(q).or_default() += reduces.len();
+                    if !maps.is_empty() || !reduces.is_empty() {
+                        out.push(Assignment {
+                            job: Rc::clone(job),
+                            maps,
+                            spec_from,
+                            reduces,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A heartbeat found the node saturated under the capacity policy:
+    /// if any queue has unmet *guaranteed* map demand, shed redundant
+    /// speculative attempts on this node (from queues that are not
+    /// themselves starved) to free slots for the next heartbeat. Victims
+    /// are chosen in deterministic `(job, map)` order; the JobTracker
+    /// refuses any preemption that would strand a task, so committed work
+    /// is never lost.
+    fn preempt_for_pressure(&self, tt_idx: usize, plan: &CapacityPlan) {
+        if !plan.preempt_speculative {
+            return;
+        }
+        let pool_m = self.cluster.workers.len() * self.conf.map_slots;
+        let used = self.queue_used.borrow().clone();
+        let mut starved: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut demand = 0usize;
+        {
+            let jobs = self.jobs.borrow();
+            let active = self.active.borrow();
+            let mut pending_by_q: BTreeMap<u32, usize> = BTreeMap::new();
+            for id in active.iter() {
+                if let Some(j) = jobs.get(id) {
+                    *pending_by_q.entry(j.conf.queue).or_default() += j.jt.borrow().pending_maps();
+                }
+            }
+            for (q, pend) in pending_by_q {
+                let g = plan.guaranteed(q, pool_m);
+                let um = used.get(&q).map(|u| u.0).unwrap_or(0);
+                if pend > 0 && um < g {
+                    starved.insert(q);
+                    demand += pend.min(g - um);
+                }
+            }
+        }
+        if demand == 0 {
+            return;
+        }
+        let keys: Vec<(usize, u32, usize)> = self
+            .spec_running
+            .borrow()
+            .keys()
+            .filter(|(t, _, _)| *t == tt_idx)
+            .copied()
+            .collect();
+        let mut preempted = 0usize;
+        for key in keys {
+            if preempted >= demand {
+                break;
+            }
+            let (_, job_id, map_idx) = key;
+            let job = match self.jobs.borrow().get(&job_id) {
+                Some(j) => Rc::clone(j),
+                None => {
+                    self.spec_running.borrow_mut().remove(&key);
+                    continue;
+                }
+            };
+            if starved.contains(&job.conf.queue) {
+                continue; // shedding a starved queue's own work helps nobody
+            }
+            if job.jt.borrow_mut().preempt_speculative(map_idx, tt_idx) {
+                if let Some(signal) = self.spec_running.borrow_mut().remove(&key) {
+                    signal.notify_all();
+                }
+                preempted += 1;
+            }
+        }
+        if preempted > 0 {
+            // Freed slots become visible at the next heartbeats.
+            self.work.notify_all();
+        }
     }
 
     /// Commits a finished job: per-job cache stats, cluster-wide cleanup of
@@ -795,9 +1118,16 @@ impl RtInner {
             failed_reduce_attempts,
             queue_wait_s,
             slot_occupancy,
+            slot_secs: job.slot_secs.get(),
+            queue: job.conf.queue,
             reduce_stats,
             timeline: job.timeline.events(),
         };
+        // In-flight speculative losers of a finished job keep running to
+        // completion but drop off the preemption radar with the job.
+        self.spec_running
+            .borrow_mut()
+            .retain(|(_, j, _), _| *j != job.id.0);
         *job.result.borrow_mut() = Some(result.clone());
         // Drop the job's scheduling state (its `ActiveJob` — JobTracker
         // event log, locality index, timeline) from the runtime; the bare
@@ -852,20 +1182,27 @@ fn spawn_heartbeat(inner: &Rc<RtInner>, tt: &Rc<TaskTracker>) {
                     .transfer(inner.cluster.master, tt.node.id, HEARTBEAT_BYTES)
                     .await;
 
-                for (job, maps, reduces) in assignments {
-                    for desc in maps {
+                for a in assignments {
+                    for (i, desc) in a.maps.into_iter().enumerate() {
                         let permit = tt
                             .map_slots
                             .try_acquire(1)
                             .expect("slot advertised but unavailable");
-                        spawn_map_attempt(&inner, &job, &tt, desc, permit);
+                        spawn_map_attempt(&inner, &a.job, &tt, desc, permit, i >= a.spec_from);
                     }
-                    for reduce_idx in reduces {
+                    for reduce_idx in a.reduces {
                         let permit = tt
                             .reduce_slots
                             .try_acquire(1)
                             .expect("slot advertised but unavailable");
-                        spawn_reduce_attempt(&inner, &job, &tt, reduce_idx, permit);
+                        spawn_reduce_attempt(&inner, &a.job, &tt, reduce_idx, permit);
+                    }
+                }
+                // Saturated node + starved guaranteed queue → shed
+                // redundant speculative work (capacity policy only).
+                if let SchedulePolicy::Capacity(plan) = &inner.policy {
+                    if tt.map_slots.available() == 0 {
+                        inner.preempt_for_pressure(tt.idx, plan);
                     }
                 }
                 // Observe the post-assignment picture: remaining free slots
@@ -912,6 +1249,7 @@ fn spawn_map_attempt(
     tt: &Rc<TaskTracker>,
     desc: MapTaskDesc,
     permit: Permit,
+    speculative: bool,
 ) {
     let inner = Rc::clone(inner);
     let job = Rc::clone(job);
@@ -924,6 +1262,22 @@ fn spawn_map_attempt(
         kind: TaskFlavor::Map,
         idx: desc.idx,
     });
+    let qguard = QueueSlotGuard::acquire(&inner.queue_used, job.conf.queue, true);
+    // A speculative attempt under the capacity policy (with preemption on)
+    // registers a stand-down signal the scheduler can fire under queue
+    // pressure. The `Notified` is armed *here*, before the task first
+    // polls, so a preemption decided in the very heartbeat that spawned it
+    // cannot slip through the edge-triggered window.
+    let spec_key = (tt.idx, job.id.0, desc.idx);
+    let stop = match &inner.policy {
+        SchedulePolicy::Capacity(plan) if speculative && plan.preempt_speculative => {
+            let signal = Notify::new_named("preempt");
+            let stop = signal.notified();
+            inner.spec_running.borrow_mut().insert(spec_key, signal);
+            Some(stop)
+        }
+        _ => None,
+    };
     // The attempt runs in the TaskTracker's task group: a node kill aborts
     // it mid-flight (the JobTracker re-queues the task via `node_lost`).
     tt.group
@@ -936,32 +1290,79 @@ fn spawn_map_attempt(
                 kind: TaskFlavor::Map,
                 idx: desc.idx,
             });
-            // JVM spawn + task localisation.
-            sim.sleep(job.conf.task_launch_overhead).await;
-            let fail = job.jt.borrow_mut().should_fail(desc.idx);
-            let abort = fail.then_some(0.5);
-            let out = run_map(
-                &inner.cluster,
-                &job.conf,
-                &job.spec,
-                &tt,
-                job.id,
-                &desc,
-                abort,
-            )
-            .await;
-            // Status notification to the JobTracker.
-            inner
-                .cluster
-                .net
-                .transfer(tt.node.id, inner.cluster.master, 256)
+            let work = async {
+                // JVM spawn + task localisation.
+                sim.sleep(job.conf.task_launch_overhead).await;
+                let fail = job.jt.borrow_mut().should_fail(desc.idx);
+                let abort = fail.then_some(0.5);
+                let out = run_map(
+                    &inner.cluster,
+                    &job.conf,
+                    &job.spec,
+                    &tt,
+                    job.id,
+                    &desc,
+                    abort,
+                )
                 .await;
+                // Status notification to the JobTracker.
+                inner
+                    .cluster
+                    .net
+                    .transfer(tt.node.id, inner.cluster.master, 256)
+                    .await;
+                out
+            };
+            // `None` = preempted mid-flight: the work future is dropped
+            // (cancelling its in-flight transfers exactly like a node-kill
+            // abort would) and the JobTracker books were already fixed by
+            // the preempting scheduler.
+            let outcome = match stop {
+                None => Some(work.await),
+                Some(stop) => {
+                    let mut work = std::pin::pin!(work);
+                    let mut stop = std::pin::pin!(stop);
+                    std::future::poll_fn(|cx| {
+                        // Fixed poll order (work, then stop): deterministic.
+                        if let Poll::Ready(v) = work.as_mut().poll(cx) {
+                            return Poll::Ready(Some(v));
+                        }
+                        if stop.as_mut().poll(cx).is_ready() {
+                            return Poll::Ready(None);
+                        }
+                        Poll::Pending
+                    })
+                    .await
+                }
+            };
+            if speculative {
+                // Off the preemption radar (no-op if the scheduler or a
+                // job finalize already dropped the entry).
+                inner.spec_running.borrow_mut().remove(&spec_key);
+            }
             let idx = desc.idx;
             let end_s = sim.now().as_secs_f64();
             job.slot_secs
                 .set(job.slot_secs.get() + (end_s - attempt_start));
-            match out {
-                Some(info) => {
+            match outcome {
+                None => {
+                    job.timeline.record(TaskEvent {
+                        kind: TaskKind::Map,
+                        idx,
+                        tt: tt.idx,
+                        start_s: attempt_start,
+                        end_s,
+                        outcome: Outcome::Preempted,
+                    });
+                    inner.obs.emit(|| Ev::AttemptFinish {
+                        node: tt.idx,
+                        job: job.id.0,
+                        kind: TaskFlavor::Map,
+                        idx,
+                        outcome: AttemptOutcome::Preempted,
+                    });
+                }
+                Some(Some(info)) => {
                     let map_idx = info.map_idx;
                     let first = job.jt.borrow_mut().map_completed(map_idx, tt.idx);
                     job.timeline.record(TaskEvent {
@@ -1014,7 +1415,7 @@ fn spawn_map_attempt(
                         }
                     }
                 }
-                None => {
+                Some(None) => {
                     job.timeline.record(TaskEvent {
                         kind: TaskKind::Map,
                         idx,
@@ -1040,6 +1441,7 @@ fn spawn_map_attempt(
                 idx,
             });
             drop(permit);
+            drop(qguard);
         })
         .detach();
 }
@@ -1061,6 +1463,7 @@ fn spawn_reduce_attempt(
         kind: TaskFlavor::Reduce,
         idx: reduce_idx,
     });
+    let qguard = QueueSlotGuard::acquire(&inner.queue_used, job.conf.queue, false);
     let attempt = {
         let mut launches = job.reduce_launches.borrow_mut();
         let n = launches.entry(reduce_idx).or_insert(0);
@@ -1129,6 +1532,7 @@ fn spawn_reduce_attempt(
                     idx: reduce_idx,
                 });
                 drop(permit);
+                drop(qguard);
                 return;
             }
             let outcome = inner.engine.run_reduce(ctx).await;
@@ -1174,6 +1578,7 @@ fn spawn_reduce_attempt(
                         idx: reduce_idx,
                     });
                     drop(permit);
+                    drop(qguard);
                 }
                 Err(ReduceError::SourceLost { .. }) => {
                     // A shuffle source died under the attempt. Release the
@@ -1208,6 +1613,7 @@ fn spawn_reduce_attempt(
                         idx: reduce_idx,
                     });
                     drop(permit);
+                    drop(qguard);
                     // Fetch-failure backoff before the re-queued task is
                     // offered to heartbeats again: capped exponential in the
                     // event-poll interval.

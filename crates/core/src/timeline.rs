@@ -27,6 +27,9 @@ pub enum Outcome {
     Failed,
     /// Finished but lost a speculative race; output discarded.
     Discarded,
+    /// Cancelled mid-flight by the capacity scheduler to free its slot for
+    /// a starved queue (only ever a redundant speculative attempt).
+    Preempted,
 }
 
 /// One task attempt's lifetime.
@@ -68,6 +71,7 @@ impl TaskEvent {
                 Outcome::Completed => rmr_obs::AttemptOutcome::Completed,
                 Outcome::Failed => rmr_obs::AttemptOutcome::Failed,
                 Outcome::Discarded => rmr_obs::AttemptOutcome::Discarded,
+                Outcome::Preempted => rmr_obs::AttemptOutcome::Preempted,
             },
         }
     }
@@ -88,6 +92,7 @@ impl TaskEvent {
                 Outcome::Completed => "completed",
                 Outcome::Failed => "failed",
                 Outcome::Discarded => "discarded",
+                Outcome::Preempted => "preempted",
             }
         )
     }

@@ -2,14 +2,24 @@
 //! slowstart gating, and no-double-completion must hold under arbitrary
 //! interleavings of heartbeats, completions, and failures — the interleaving
 //! a multi-job runtime produces when several jobs share the same trackers.
+//!
+//! The capacity-queue invariants ride the same harness: delay scheduling
+//! may defer a job by at most its skip budget, speculative preemption may
+//! never strand a task or lose a committed completion, and a queue with a
+//! slot guarantee must overtake a FIFO backlog whenever it has demand.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 use proptest::prelude::*;
 
+use rmr_core::cluster::{Cluster, NodeSpec};
 use rmr_core::jobtracker::{JobTracker, MapTaskDesc};
-use rmr_hdfs::{BlockId, BlockMeta};
-use rmr_net::NodeId;
+use rmr_core::{CapacityPlan, JobConf, JobResult, JobSpec, Runtime, SchedulePolicy, ShuffleKind};
+use rmr_des::{Sim, SimDuration};
+use rmr_hdfs::{Blob, BlockId, BlockMeta, HdfsConfig};
+use rmr_net::{FabricParams, NodeId};
 
 fn desc(idx: usize, loc: u32) -> MapTaskDesc {
     MapTaskDesc {
@@ -61,7 +71,7 @@ proptest! {
                 0 => {
                     let gate_open = jt.maps_completed() as f64
                         >= slowstart * total_maps as f64;
-                    let (maps, reduces) =
+                    let (maps, _, reduces) =
                         jt.heartbeat(NodeId(node), node as usize, mslots, rslots);
                     prop_assert!(maps.len() <= mslots, "over-assignment");
                     prop_assert!(reduces.len() <= rslots, "over-assignment");
@@ -152,7 +162,7 @@ proptest! {
 
         for (node, mslots, _, action, pick) in steps {
             if action % 2 == 0 {
-                let (maps, _) = jt.heartbeat(NodeId(node), node as usize, mslots, 0);
+                let (maps, _, _) = jt.heartbeat(NodeId(node), node as usize, mslots, 0);
                 prop_assert!(maps.len() <= mslots);
                 for m in maps {
                     prop_assert!(
@@ -190,5 +200,227 @@ proptest! {
             prop_assert_eq!(first, completed.insert(idx));
         }
         prop_assert_eq!(jt.maps_completed(), completed.len());
+    }
+
+    /// Delay scheduling bounds the wait: a job may decline at most
+    /// `locality_delay` consecutive non-local launch opportunities before it
+    /// must accept one, and a granted non-local launch re-arms the budget.
+    #[test]
+    fn delay_scheduling_bounds_nonlocal_wait(
+        total_maps in 2usize..12,
+        delay in 0u32..6,
+        steps in proptest::collection::vec((1u32..4, 1usize..3), 1..120),
+    ) {
+        // Every map is local to node 0; heartbeats only ever come from
+        // nodes 1..4, so each offered slot is a non-local opportunity.
+        let descs: Vec<MapTaskDesc> = (0..total_maps).map(|i| desc(i, 0)).collect();
+        let mut jt = JobTracker::new(descs, 0, 0.05);
+        jt.set_locality_delay(delay);
+
+        let mut pending = total_maps;
+        let mut declines = 0u32;
+        for (node, mslots) in steps {
+            if pending == 0 {
+                break;
+            }
+            let (maps, _, _) = jt.heartbeat(NodeId(node), node as usize, mslots, 0);
+            if maps.is_empty() {
+                declines += 1;
+                prop_assert!(
+                    declines <= delay,
+                    "declined {declines} consecutive non-local offers, budget {delay}"
+                );
+            } else {
+                // The budget had to be exhausted before a non-local grant.
+                prop_assert_eq!(
+                    declines, delay,
+                    "non-local launch granted before the skip budget ran out"
+                );
+                declines = 0;
+                pending -= maps.len();
+            }
+        }
+    }
+
+    /// Preemption under queue pressure never loses committed work: a grant
+    /// requires a second live attempt (or an orphaned loser), the last live
+    /// attempt of an incomplete task is always refused, and the completed
+    /// count is untouched by preemption.
+    #[test]
+    fn preemption_never_strands_or_uncompletes(
+        total_maps in 1usize..8,
+        steps in proptest::collection::vec(arb_step(), 1..120),
+    ) {
+        let descs: Vec<MapTaskDesc> =
+            (0..total_maps).map(|i| desc(i, (i % 4) as u32)).collect();
+        let mut jt = JobTracker::new(descs, 0, 0.05);
+        jt.set_speculative(true);
+
+        // Shadow multiset of in-flight attempts (winners removed on
+        // completion; losers stay until finished or preempted).
+        let mut attempts: Vec<(usize, usize)> = Vec::new();
+        let mut completed: BTreeSet<usize> = BTreeSet::new();
+
+        for (node, mslots, _, action, pick) in steps {
+            match action % 3 {
+                0 => {
+                    let (maps, _, _) = jt.heartbeat(NodeId(node), node as usize, mslots, 0);
+                    for m in maps {
+                        attempts.push((m.idx, node as usize));
+                    }
+                }
+                1 => {
+                    if attempts.is_empty() {
+                        continue;
+                    }
+                    let (idx, tt) = attempts.remove(pick as usize % attempts.len());
+                    let first = jt.map_completed(idx, tt);
+                    prop_assert_eq!(first, completed.insert(idx));
+                }
+                _ => {
+                    if attempts.is_empty() {
+                        continue;
+                    }
+                    let at = pick as usize % attempts.len();
+                    let (idx, tt) = attempts[at];
+                    let live = attempts.iter().filter(|(i, _)| *i == idx).count();
+                    let before = jt.maps_completed();
+                    let granted = jt.preempt_speculative(idx, tt);
+                    prop_assert_eq!(jt.maps_completed(), before,
+                        "preemption moved the completed count");
+                    if completed.contains(&idx) {
+                        // Orphaned loser: always redundant, always sheddable.
+                        prop_assert!(granted, "orphan preemption refused");
+                    } else {
+                        prop_assert_eq!(granted, live >= 2,
+                            "grant iff a second live attempt covers the task");
+                    }
+                    if granted {
+                        attempts.remove(at);
+                        if !completed.contains(&idx) {
+                            prop_assert!(
+                                attempts.iter().any(|(i, _)| *i == idx),
+                                "preemption stranded incomplete map {idx}"
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(jt.maps_completed(), completed.len());
+        }
+
+        // Drain every surviving attempt: each task launched at least once
+        // must still be completable — nothing was lost to preemption.
+        let launched: BTreeSet<usize> =
+            attempts.iter().map(|(i, _)| *i).chain(completed.iter().copied()).collect();
+        while let Some((idx, tt)) = attempts.pop() {
+            let first = jt.map_completed(idx, tt);
+            prop_assert_eq!(first, completed.insert(idx));
+        }
+        prop_assert_eq!(completed, launched);
+        prop_assert_eq!(jt.maps_completed(), jt.maps_completed().min(total_maps));
+    }
+}
+
+/// One two-queue backlog run: `batch_jobs` six-block sort jobs flood queue 1
+/// at t = 0, a one-block queue-0 job arrives at t = 1 s. Returns every
+/// [`JobResult`] (queue field distinguishes tenants); asserts quiescence.
+fn backlog_run(policy: SchedulePolicy, batch_jobs: usize, seed: u64) -> Vec<JobResult> {
+    let sim = Sim::new(seed);
+    let cluster = Cluster::build(
+        &sim,
+        FabricParams::ib_verbs_qdr(),
+        &vec![NodeSpec::westmere_compute(); 2],
+        HdfsConfig {
+            block_size: 4 << 20,
+            replication: 1,
+            packet_size: 1 << 20,
+        },
+    );
+    let mut conf = JobConf::for_kind(ShuffleKind::OsuIb);
+    conf.num_reduces = 1;
+    conf.map_slots = 2;
+    conf.reduce_slots = 1;
+    let results: Rc<RefCell<Vec<JobResult>>> = Rc::new(RefCell::new(Vec::new()));
+    let r2 = Rc::clone(&results);
+    let c2 = cluster.clone();
+    let sim2 = sim.clone();
+    sim.spawn_named("backlog-driver", async move {
+        for (path, blocks) in [("/cap/big", 6u64), ("/cap/small", 1)] {
+            for b in 0..blocks {
+                let node = c2.workers[(b % 2) as usize].id;
+                let mut w = c2
+                    .hdfs
+                    .create(&format!("{path}/part-{b}"), node)
+                    .await
+                    .expect("create backlog input");
+                w.write(Blob::synthetic(4 << 20)).await.expect("write");
+                w.close().await.expect("close");
+            }
+        }
+        let rt = Runtime::with_policy(&c2, conf.clone(), policy);
+        let mut ids = Vec::new();
+        for i in 0..batch_jobs {
+            let mut c = conf.clone();
+            c.queue = 1;
+            ids.push(rt.submit(c, JobSpec::sort("/cap/big", &format!("/cap/outb{i}"), 100)));
+        }
+        sim2.sleep(SimDuration::from_secs_f64(1.0)).await;
+        let mut c = conf.clone();
+        c.queue = 0;
+        ids.push(rt.submit(c, JobSpec::sort("/cap/small", "/cap/outi", 100)));
+        for id in ids {
+            let res = rt.join(id).await;
+            r2.borrow_mut().push(res);
+        }
+        assert_eq!(rt.state_footprint().total(), 0, "job-keyed state leaked");
+    })
+    .detach();
+    sim.run();
+    let out = results.borrow().clone();
+    assert_eq!(out.len(), batch_jobs + 1, "backlog run hung");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Slot guarantees are honoured under demand: with a capacity share, the
+    /// late-arriving queue-0 job must never wait longer than it does under
+    /// FIFO, and with a real backlog it overtakes queue 1's tail entirely
+    /// instead of draining behind it.
+    #[test]
+    fn capacity_guarantee_overtakes_fifo_backlog(
+        batch_jobs in 2usize..5,
+        share0 in 300u32..701,
+        preempt in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let plan = CapacityPlan::new(&[(0, share0), (1, 1000 - share0)]);
+        let plan = if preempt { plan.with_preemption() } else { plan };
+        let cap = backlog_run(SchedulePolicy::Capacity(plan), batch_jobs, seed);
+        let fifo = backlog_run(SchedulePolicy::Fifo, batch_jobs, seed);
+
+        let q0 = |rs: &[JobResult]| {
+            rs.iter().find(|r| r.queue == 0).expect("queue-0 job").clone()
+        };
+        let (cap0, fifo0) = (q0(&cap), q0(&fifo));
+        prop_assert!(
+            cap0.queue_wait_s <= fifo0.queue_wait_s,
+            "guaranteed queue waited {:.2}s under capacity vs {:.2}s under FIFO",
+            cap0.queue_wait_s, fifo0.queue_wait_s
+        );
+        // FIFO drains the backlog first, so queue 0 finishes last; with a
+        // guarantee it must jump the queue and finish inside the backlog.
+        let cap_tail = cap
+            .iter()
+            .filter(|r| r.queue == 1)
+            .map(|r| r.end_s)
+            .fold(0.0, f64::max);
+        prop_assert!(
+            cap0.end_s < cap_tail,
+            "guaranteed job finished at {:.2}s, after the batch tail {:.2}s",
+            cap0.end_s, cap_tail
+        );
     }
 }

@@ -170,7 +170,7 @@ const HIST_MIN: f64 = 1e-9;
 /// Percentile queries return the upper edge of the bucket holding the rank,
 /// clamped into the observed `[min, max]` range. Exact extremes and the sum
 /// are tracked on the side, so `min`/`max`/`mean` are not quantised.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     counts: Vec<u64>,
     count: u64,

@@ -17,6 +17,10 @@ use crate::executor::note_current_blocked;
 struct Inner {
     epoch: u64,
     waiters: Vec<Waker>,
+    /// Recycled buffer for the multi-waiter `notify_all` path so repeated
+    /// fan-outs reuse one allocation instead of re-growing the waiter list
+    /// from empty on every cycle.
+    scratch: Vec<Waker>,
     /// Pre-formatted blocking label ("notified on <name>"), built once at
     /// construction so `Pending` polls record it with an `Rc` clone instead
     /// of a `format!` allocation.
@@ -49,6 +53,7 @@ impl Notify {
             inner: Rc::new(RefCell::new(Inner {
                 epoch: 0,
                 waiters: Vec::new(),
+                scratch: Vec::new(),
                 label: Rc::from(format!("notified on {name}").as_str()),
             })),
         }
@@ -56,13 +61,34 @@ impl Notify {
 
     /// Wakes every waiter whose [`Notified`] future was created before this
     /// call.
+    ///
+    /// The common runtime pattern is a single daemon parked on one notifier
+    /// (per-node heartbeats on `work`, one joiner on `done`), so the hot
+    /// path is exactly one waiter. That case pops the waker directly and
+    /// keeps the waiter buffer; the fan-out case swaps the buffer with a
+    /// recycled scratch vector. Wake *order* is identical to the naive
+    /// drain in both cases, so replay trace hashes are unaffected.
     pub fn notify_all(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.epoch += 1;
-        let waiters = std::mem::take(&mut inner.waiters);
-        drop(inner);
-        for w in waiters {
-            w.wake();
+        match inner.waiters.len() {
+            0 => {}
+            1 => {
+                // Single-waiter fast path: no buffer churn at all.
+                let w = inner.waiters.pop().expect("len checked");
+                drop(inner);
+                w.wake();
+            }
+            _ => {
+                let mut waiters = std::mem::take(&mut inner.scratch);
+                std::mem::swap(&mut inner.waiters, &mut waiters);
+                drop(inner);
+                for w in waiters.drain(..) {
+                    w.wake();
+                }
+                // Hand the (drained, still-allocated) buffer back for reuse.
+                self.inner.borrow_mut().scratch = waiters;
+            }
         }
     }
 
@@ -167,6 +193,39 @@ mod tests {
         .detach();
         sim.run();
         assert!(hit.get());
+    }
+
+    #[test]
+    fn repeated_cycles_hit_both_fast_paths() {
+        // Alternating single-waiter and fan-out rounds through the same
+        // notifier: the scratch-buffer recycling and the pop fast path must
+        // both deliver every wakeup, round after round.
+        let sim = Sim::new(7);
+        let n = Notify::new();
+        let count = Rc::new(Cell::new(0u32));
+        let mut expected = 0u32;
+        for round in 0..6u64 {
+            let waiters = if round % 2 == 0 { 1 } else { 4 };
+            expected += waiters;
+            for _ in 0..waiters {
+                let n2 = n.clone();
+                let c = Rc::clone(&count);
+                sim.spawn(async move {
+                    n2.notified().await;
+                    c.set(c.get() + 1);
+                })
+                .detach();
+            }
+            let n2 = n.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(round + 1)).await;
+                n2.notify_all();
+            })
+            .detach();
+            sim.run();
+        }
+        assert_eq!(count.get(), expected);
     }
 
     #[test]

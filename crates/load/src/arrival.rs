@@ -1,0 +1,175 @@
+//! Seeded arrival processes for the open-loop service driver.
+//!
+//! Every process is sampled *up front* from a tenant-private RNG into a
+//! concrete schedule before the simulation starts, so arrival randomness
+//! never interleaves with simulation randomness: the same `(seed, spec)`
+//! always produces the same submission instants regardless of what the
+//! cluster does in between.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a tenant's jobs arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arrival {
+    /// Open loop, exponential inter-arrivals at a constant `rate_hz`.
+    Poisson { rate_hz: f64 },
+    /// Open loop, time-varying sinusoidal rate ("diurnal" traffic): the
+    /// instantaneous rate swings between `base_hz` and `peak_hz` over
+    /// `period_s`, starting at the trough. Sampled by thinning a Poisson
+    /// process at `peak_hz`.
+    Diurnal {
+        base_hz: f64,
+        peak_hz: f64,
+        period_s: f64,
+    },
+    /// Closed loop for comparison: each job is submitted one exponential
+    /// think time (mean `think_s`) after the previous job *finishes*.
+    Closed { think_s: f64 },
+}
+
+/// A fully-sampled submission plan for one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Absolute submission instants, seconds, non-decreasing.
+    Open(Vec<f64>),
+    /// Think times, seconds: gap between one job's completion and the next
+    /// job's submission.
+    Closed(Vec<f64>),
+}
+
+impl Schedule {
+    pub fn len(&self) -> usize {
+        match self {
+            Schedule::Open(v) | Schedule::Closed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One exponential draw with the given rate (inverse-CDF over `[0,1)`).
+fn exp_draw(rng: &mut SmallRng, rate_hz: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0f64 - u).ln() / rate_hz
+}
+
+impl Arrival {
+    /// Samples `n` arrivals into a concrete [`Schedule`].
+    pub fn sample(&self, n: usize, rng: &mut SmallRng) -> Schedule {
+        match *self {
+            Arrival::Poisson { rate_hz } => {
+                assert!(rate_hz > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                Schedule::Open(
+                    (0..n)
+                        .map(|_| {
+                            t += exp_draw(rng, rate_hz);
+                            t
+                        })
+                        .collect(),
+                )
+            }
+            Arrival::Diurnal {
+                base_hz,
+                peak_hz,
+                period_s,
+            } => {
+                assert!(peak_hz >= base_hz && base_hz >= 0.0 && peak_hz > 0.0);
+                assert!(period_s > 0.0);
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    t += exp_draw(rng, peak_hz);
+                    // Instantaneous rate, trough at t = 0.
+                    let phase = (2.0 * std::f64::consts::PI * t / period_s).cos();
+                    let rate = base_hz + (peak_hz - base_hz) * 0.5 * (1.0 - phase);
+                    let u: f64 = rng.gen();
+                    if u < rate / peak_hz {
+                        out.push(t);
+                    }
+                }
+                Schedule::Open(out)
+            }
+            Arrival::Closed { think_s } => {
+                assert!(think_s > 0.0, "think time must be positive");
+                Schedule::Closed((0..n).map(|_| exp_draw(rng, 1.0 / think_s)).collect())
+            }
+        }
+    }
+}
+
+/// Tenant-private RNG: decorrelates tenants without consuming draws from
+/// each other's streams (adding a tenant never shifts another's schedule).
+pub fn tenant_rng(seed: u64, queue: u32) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(queue as u64 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_sorted_and_deterministic() {
+        let a = Arrival::Poisson { rate_hz: 2.0 };
+        let s1 = a.sample(500, &mut tenant_rng(7, 0));
+        let s2 = a.sample(500, &mut tenant_rng(7, 0));
+        assert_eq!(s1, s2);
+        let Schedule::Open(times) = s1 else {
+            panic!("poisson is open-loop")
+        };
+        assert_eq!(times.len(), 500);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Mean inter-arrival ≈ 1/rate within a loose tolerance.
+        let mean = times.last().unwrap() / 500.0;
+        assert!((0.3..0.8).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn tenants_are_decorrelated() {
+        let a = Arrival::Poisson { rate_hz: 2.0 };
+        let s0 = a.sample(50, &mut tenant_rng(7, 0));
+        let s1 = a.sample(50, &mut tenant_rng(7, 1));
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn diurnal_concentrates_arrivals_at_the_peak() {
+        // Trough at phase 0, peak at period/2: with base ≈ 0 nearly all
+        // arrivals in the first period should land in its middle half.
+        let a = Arrival::Diurnal {
+            base_hz: 0.01,
+            peak_hz: 10.0,
+            period_s: 100.0,
+        };
+        let Schedule::Open(times) = a.sample(400, &mut tenant_rng(3, 1)) else {
+            panic!("diurnal is open-loop")
+        };
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let first_period: Vec<f64> = times.iter().copied().filter(|&t| t < 100.0).collect();
+        let mid = first_period
+            .iter()
+            .filter(|&&t| (25.0..75.0).contains(&t))
+            .count();
+        assert!(
+            mid as f64 > 0.8 * first_period.len() as f64,
+            "{mid} of {} arrivals in the middle half",
+            first_period.len()
+        );
+    }
+
+    #[test]
+    fn closed_schedule_is_think_gaps() {
+        let a = Arrival::Closed { think_s: 4.0 };
+        let s = a.sample(200, &mut tenant_rng(11, 2));
+        let Schedule::Closed(gaps) = s else {
+            panic!("closed-loop")
+        };
+        assert_eq!(gaps.len(), 200);
+        assert!(gaps.iter().all(|&g| g >= 0.0));
+        let mean = gaps.iter().sum::<f64>() / 200.0;
+        assert!((2.0..6.0).contains(&mean), "mean think {mean}");
+    }
+}

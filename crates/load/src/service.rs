@@ -1,0 +1,328 @@
+//! The open-arrival service driver: pre-sampled tenant schedules feeding
+//! `Runtime::submit`, with per-tenant tail-latency accounting.
+//!
+//! Determinism contract: all randomness (arrival instants, job kinds and
+//! sizes) is drawn from tenant-private host-side RNGs *before* the
+//! simulation starts; the catalog of shared inputs is generated before the
+//! first submission; and every submission instant is an absolute virtual
+//! time. Two runs of the same [`ServiceSpec`] therefore replay bit-identical
+//! trace hashes, with the recorder on or off.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rmr_core::{
+    CapacityPlan, Cluster, JobConf, JobResult, JobSpec, NodeSpec, Runtime, SchedulePolicy,
+};
+use rmr_des::prelude::*;
+use rmr_hdfs::{Blob, HdfsConfig};
+use rmr_net::FabricParams;
+use rmr_obs::{ObsEvent, Recorder};
+use rmr_workloads::{sort_spec, terasort_spec, textgen, wordcount_spec};
+
+use crate::arrival::{tenant_rng, Arrival, Schedule};
+use crate::mix::{JobKind, JobMix, JobSample};
+use crate::report::{ServiceReport, TenantReport};
+
+/// HDFS block size for service runs: small enough that the size ladder
+/// changes per-job map counts, big enough to keep attempt counts sane at
+/// thousands of jobs.
+pub const SERVICE_BLOCK: u64 = 32 << 20;
+
+/// Scheduling regime for a service run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicePolicy {
+    /// Strict job-arrival order (head-of-line blocking under heavy tails).
+    Fifo,
+    /// Least-slot-seconds-first fair sharing.
+    Fair,
+    /// Capacity queues built from each tenant's `share_mille`;
+    /// `preempt` enables standing down speculative attempts under pressure.
+    Capacity { preempt: bool },
+}
+
+/// One tenant's submission stream.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Capacity queue id (also the tenant label in reports).
+    pub queue: u32,
+    /// Jobs to submit.
+    pub jobs: usize,
+    pub arrival: Arrival,
+    pub mix: JobMix,
+    /// Per-mille slot guarantee under [`ServicePolicy::Capacity`].
+    pub share_mille: u32,
+}
+
+/// A full service-mode experiment.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    pub nodes: usize,
+    pub seed: u64,
+    pub policy: ServicePolicy,
+    /// Delay-scheduling budget applied to every job (0 = off).
+    pub locality_delay: u32,
+    pub tenants: Vec<TenantSpec>,
+    /// Record the obs event stream (tenant heatmaps, jsonl export).
+    pub record_events: bool,
+}
+
+impl ServiceSpec {
+    fn schedule_policy(&self) -> SchedulePolicy {
+        match self.policy {
+            ServicePolicy::Fifo => SchedulePolicy::Fifo,
+            ServicePolicy::Fair => SchedulePolicy::Fair,
+            ServicePolicy::Capacity { preempt } => {
+                let shares: Vec<(u32, u32)> = self
+                    .tenants
+                    .iter()
+                    .map(|t| (t.queue, t.share_mille))
+                    .collect();
+                let plan = CapacityPlan::new(&shares);
+                SchedulePolicy::Capacity(if preempt {
+                    plan.with_preemption()
+                } else {
+                    plan
+                })
+            }
+        }
+    }
+}
+
+/// Catalog path for one (kind, size) rung.
+fn rung_path(kind: JobKind, bytes: u64) -> String {
+    format!("/svc/in/{}/{bytes}", kind.label())
+}
+
+/// Writes one synthetic input of `bytes` under `path` as block-sized part
+/// files rotated across workers, so the rung's splits carry diverse
+/// locality hints (the delay scheduler needs real choices to make).
+async fn gen_synthetic(cluster: &Cluster, path: &str, bytes: u64, salt: usize) {
+    let workers = cluster.worker_count();
+    let parts = bytes.div_ceil(SERVICE_BLOCK).max(1);
+    for p in 0..parts {
+        let node = cluster.workers[(salt + p as usize) % workers].id;
+        let size = SERVICE_BLOCK.min(bytes - p * SERVICE_BLOCK);
+        let mut w = cluster
+            .hdfs
+            .create(&format!("{path}/part-{p:05}"), node)
+            .await
+            .expect("service datagen create");
+        w.write(Blob::synthetic(size)).await.expect("datagen write");
+        w.close().await.expect("datagen close");
+    }
+}
+
+/// Sizes a job's conf from its sampled input: queue tag, locality-delay
+/// budget, and a reduce count proportional to the map count.
+fn conf_for(base: &JobConf, queue: u32, locality_delay: u32, bytes: u64) -> JobConf {
+    let maps = bytes.div_ceil(SERVICE_BLOCK).max(1) as usize;
+    let mut conf = base.clone();
+    conf.queue = queue;
+    conf.locality_delay = locality_delay;
+    conf.num_reduces = (maps / 2).clamp(1, 8);
+    conf
+}
+
+fn spec_for(job: &JobSample, queue: u32, idx: usize) -> JobSpec {
+    let input = rung_path(job.kind, job.input_bytes);
+    let output = format!("/svc/out/t{queue}/j{idx}");
+    match job.kind {
+        JobKind::TeraSort => terasort_spec(&input, &output),
+        JobKind::Sort => sort_spec(&input, &output),
+        JobKind::WordCount => wordcount_spec(&input, &output),
+    }
+}
+
+/// WordCount rungs carry real records (its mapper tokenises lines), so the
+/// byte ladder maps to a bounded line count.
+fn wordcount_lines(bytes: u64) -> usize {
+    ((bytes / 64) as usize).clamp(200, 20_000)
+}
+
+struct TenantPlan {
+    queue: u32,
+    schedule: Schedule,
+    jobs: Vec<JobSample>,
+}
+
+/// Runs one service-mode experiment to completion and aggregates the
+/// per-tenant report. Panics if any job hangs (the sim drains with jobs
+/// unfinished) or job-keyed runtime state leaks.
+pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
+    assert!(spec.nodes > 0, "need at least one worker");
+    assert!(!spec.tenants.is_empty(), "need at least one tenant");
+
+    // Pre-sample every tenant's plan from its private RNG (host-side).
+    let plans: Vec<TenantPlan> = spec
+        .tenants
+        .iter()
+        .map(|t| {
+            let mut rng = tenant_rng(spec.seed, t.queue);
+            TenantPlan {
+                queue: t.queue,
+                schedule: t.arrival.sample(t.jobs, &mut rng),
+                jobs: (0..t.jobs).map(|_| t.mix.sample(&mut rng)).collect(),
+            }
+        })
+        .collect();
+    let total_jobs: usize = plans.iter().map(|p| p.jobs.len()).sum();
+
+    // The shared input catalog: one dataset per distinct (kind, size) rung.
+    let catalog: BTreeSet<(JobKind, u64)> = plans
+        .iter()
+        .flat_map(|p| p.jobs.iter().map(|j| (j.kind, j.input_bytes)))
+        .collect();
+
+    let sim = Sim::new(spec.seed);
+    let node_specs = vec![NodeSpec::westmere_compute(); spec.nodes];
+    let cluster = Cluster::build(
+        &sim,
+        FabricParams::ib_verbs_qdr(),
+        &node_specs,
+        HdfsConfig {
+            block_size: SERVICE_BLOCK,
+            replication: 1,
+            packet_size: 4 << 20,
+        },
+    );
+    let obs = if spec.record_events {
+        Recorder::on(&sim)
+    } else {
+        Recorder::off()
+    };
+    let base = JobConf::osu_ib();
+    let policy = spec.schedule_policy();
+    let locality_delay = spec.locality_delay;
+
+    let results: Rc<RefCell<Vec<JobResult>>> = Rc::new(RefCell::new(Vec::new()));
+    let footprint = Rc::new(Cell::new(usize::MAX));
+
+    let c2 = cluster.clone();
+    let sim2 = sim.clone();
+    let obs2 = obs.clone();
+    let base2 = base.clone();
+    let results2 = Rc::clone(&results);
+    let footprint2 = Rc::clone(&footprint);
+    sim.spawn_named("service-driver", async move {
+        // Catalog datagen strictly precedes the first submission so input
+        // generation never perturbs arrival timing.
+        for (salt, (kind, bytes)) in catalog.iter().enumerate() {
+            let path = rung_path(*kind, *bytes);
+            match kind {
+                JobKind::TeraSort | JobKind::Sort => {
+                    gen_synthetic(&c2, &path, *bytes, salt).await;
+                }
+                JobKind::WordCount => {
+                    textgen(&c2, &path, wordcount_lines(*bytes), 8).await;
+                }
+            }
+        }
+        let rt = Runtime::with_obs(&c2, base2.clone(), policy, obs2);
+        let mut tenants = Vec::new();
+        for plan in plans {
+            let rt = rt.clone();
+            let sim = sim2.clone();
+            let base = base2.clone();
+            let results = Rc::clone(&results2);
+            tenants.push(
+                sim2.spawn_named(format!("tenant-{}", plan.queue), async move {
+                    match plan.schedule {
+                        Schedule::Open(times) => {
+                            let mut ids = Vec::with_capacity(plan.jobs.len());
+                            for (i, (t, job)) in times.iter().zip(&plan.jobs).enumerate() {
+                                let now = sim.now().as_secs_f64();
+                                if *t > now {
+                                    sim.sleep(SimDuration::from_secs_f64(t - now)).await;
+                                }
+                                let conf =
+                                    conf_for(&base, plan.queue, locality_delay, job.input_bytes);
+                                ids.push(rt.submit(conf, spec_for(job, plan.queue, i)));
+                            }
+                            for id in ids {
+                                let res = rt.join(id).await;
+                                results.borrow_mut().push(res);
+                            }
+                        }
+                        Schedule::Closed(gaps) => {
+                            for (i, (gap, job)) in gaps.iter().zip(&plan.jobs).enumerate() {
+                                let conf =
+                                    conf_for(&base, plan.queue, locality_delay, job.input_bytes);
+                                let id = rt.submit(conf, spec_for(job, plan.queue, i));
+                                let res = rt.join(id).await;
+                                results.borrow_mut().push(res);
+                                sim.sleep(SimDuration::from_secs_f64(*gap)).await;
+                            }
+                        }
+                    }
+                }),
+            );
+        }
+        for t in tenants {
+            t.await;
+        }
+        footprint2.set(rt.state_footprint().total());
+    })
+    .detach();
+    sim.run();
+
+    let results = results.borrow();
+    assert_eq!(
+        results.len(),
+        total_jobs,
+        "service run drained with jobs unfinished"
+    );
+    let footprint_total = footprint.get();
+    assert_ne!(footprint_total, usize::MAX, "driver never completed");
+
+    // Per-tenant rollup, tenants sorted by queue id.
+    let mut queues: Vec<(u32, u32)> = spec
+        .tenants
+        .iter()
+        .map(|t| (t.queue, t.share_mille))
+        .collect();
+    queues.sort_unstable();
+    let total_slot_secs: f64 = results.iter().map(|r| r.slot_secs).sum();
+    let tenants: Vec<TenantReport> = queues
+        .iter()
+        .map(|&(q, share_mille)| {
+            let mut rep = TenantReport::new(q, share_mille);
+            for r in results.iter().filter(|r| r.queue == q) {
+                rep.jobs += 1;
+                rep.latency.record(r.duration_s);
+                rep.wait.record(r.queue_wait_s);
+                rep.exec.record(r.duration_s - r.queue_wait_s);
+                rep.slot_secs += r.slot_secs;
+            }
+            if total_slot_secs > 0.0 {
+                rep.slot_share = rep.slot_secs / total_slot_secs;
+            }
+            rep
+        })
+        .collect();
+
+    let makespan_s = results.iter().map(|r| r.end_s).fold(0.0, f64::max);
+    let slots = (base.map_slots + base.reduce_slots) as f64;
+    let utilization = if makespan_s > 0.0 {
+        total_slot_secs / (makespan_s * spec.nodes as f64 * slots)
+    } else {
+        0.0
+    };
+    let events: Vec<ObsEvent> = obs.events();
+
+    ServiceReport {
+        policy: spec.policy,
+        nodes: spec.nodes,
+        seed: spec.seed,
+        jobs: total_jobs,
+        tenants,
+        makespan_s,
+        utilization,
+        trace_hash: sim.trace_hash(),
+        events_fired: sim.events_fired(),
+        polls: sim.polls(),
+        footprint_total,
+        events,
+    }
+}

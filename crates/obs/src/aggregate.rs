@@ -378,6 +378,253 @@ pub fn shuffle_latencies(events: &[ObsEvent]) -> Histogram {
     h
 }
 
+/// Job → capacity-queue (tenant) mapping from `JobQueued` events. Jobs that
+/// never saw a `JobQueued` (Fifo/Fair runs, or streams from before the
+/// service mode existed) fold into tenant 0 by the callers below.
+pub fn job_tenants(events: &[ObsEvent]) -> BTreeMap<u32, u32> {
+    let mut out = BTreeMap::new();
+    for e in events {
+        if let Ev::JobQueued { job, queue } = &e.ev {
+            out.insert(*job, *queue);
+        }
+    }
+    out
+}
+
+/// Per-tenant job-latency rollup over one event stream.
+#[derive(Debug, Clone, Default)]
+pub struct TenantLatency {
+    /// Jobs that finished (latency samples recorded).
+    pub jobs: u64,
+    /// Queue wait: `Submitted` → `FirstLaunch`, seconds.
+    pub wait: Histogram,
+    /// End-to-end job latency: `Submitted` → `Finished`, seconds.
+    pub latency: Histogram,
+}
+
+/// Fold `JobState` lifecycle events into per-tenant wait/latency histograms.
+/// Tenancy comes from [`job_tenants`]; unmapped jobs land in tenant 0.
+pub fn tenant_latency(events: &[ObsEvent]) -> BTreeMap<u32, TenantLatency> {
+    let tenants = job_tenants(events);
+    let mut submitted: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut launched: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut out: BTreeMap<u32, TenantLatency> = BTreeMap::new();
+    for e in events {
+        if let Ev::JobState { job, state } = &e.ev {
+            match state {
+                crate::event::JobState::Submitted => {
+                    submitted.insert(*job, e.t_s());
+                }
+                crate::event::JobState::FirstLaunch => {
+                    launched.insert(*job, e.t_s());
+                }
+                crate::event::JobState::MapsDone => {}
+                crate::event::JobState::Finished => {
+                    let Some(sub) = submitted.get(job) else {
+                        continue;
+                    };
+                    let tenant = tenants.get(job).copied().unwrap_or(0);
+                    let tl = out.entry(tenant).or_default();
+                    tl.jobs += 1;
+                    tl.latency.record(e.t_s() - sub);
+                    if let Some(fl) = launched.get(job) {
+                        tl.wait.record(fl - sub);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tenant x time heatmap: one row per capacity queue, columns are time
+/// buckets. The same exporter serves the recovery-disruption view (cells
+/// count lost/re-executed attempts) and the latency view (cells are mean
+/// finished-job latency) — only the cell semantics differ.
+#[derive(Debug, Clone)]
+pub struct TenantHeatmap {
+    /// What the cells mean ("lost attempts", "mean latency (s)").
+    pub what: String,
+    pub t0_s: f64,
+    pub bucket_s: f64,
+    /// Row labels: the tenant (queue) ids present, sorted.
+    pub tenants: Vec<u32>,
+    /// `rows[i][bucket]` for tenant `tenants[i]`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl TenantHeatmap {
+    pub fn n_buckets(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// ASCII rendering mirroring [`Heatmap::to_ascii`]: one row per tenant,
+    /// shaded against the hottest cell.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.rows.iter().flatten().fold(0.0f64, |m, &v| m.max(v));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} — {} tenants x {} buckets of {:.2}s (max {:.3})\n",
+            self.what,
+            self.tenants.len(),
+            self.n_buckets(),
+            self.bucket_s,
+            max
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!("tenant{:>3} |", self.tenants[i]));
+            for &v in row {
+                let shade = if max > 0.0 {
+                    ((v / max) * (RAMP.len() - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                out.push(RAMP[shade.min(RAMP.len() - 1)] as char);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let tenants: Vec<String> = self.tenants.iter().map(u32::to_string).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"what\":\"{}\",\"t0_s\":{:.6},\"bucket_s\":{:.6},\"tenants\":[{}],\"buckets\":{},\"rows\":[{}]}}",
+            self.what,
+            self.t0_s,
+            self.bucket_s,
+            tenants.join(","),
+            self.n_buckets(),
+            rows.join(",")
+        )
+    }
+}
+
+/// Envelope of the whole stream, for bucketing tenant heatmaps.
+fn stream_envelope(events: &[ObsEvent]) -> Option<(f64, f64)> {
+    let lo = events.first()?.t_s();
+    let hi = events.last()?.t_s();
+    (hi > lo).then_some((lo, hi))
+}
+
+fn empty_tenant_heatmap(what: &str, tenants: Vec<u32>) -> TenantHeatmap {
+    let n = tenants.len();
+    TenantHeatmap {
+        what: what.to_string(),
+        t0_s: 0.0,
+        bucket_s: 1.0,
+        tenants,
+        rows: vec![Vec::new(); n],
+    }
+}
+
+/// Recovery-disruption heatmap: for each tenant, how many of its running
+/// attempts were lost to node failures (`AttemptLost`) or had completed map
+/// outputs invalidated (`MapReExecute`) per time bucket. Built purely from
+/// events the chaos runs already emit.
+pub fn tenant_recovery_heatmap(events: &[ObsEvent], n_buckets: usize) -> TenantHeatmap {
+    let tenants_of = job_tenants(events);
+    let mut ids: Vec<u32> = tenants_of.values().copied().collect();
+    ids.push(0); // unmapped jobs fold here
+    ids.sort_unstable();
+    ids.dedup();
+    let what = "recovery disruptions (lost + re-executed attempts)";
+    let Some((lo, hi)) = stream_envelope(events) else {
+        return empty_tenant_heatmap(what, ids);
+    };
+    if n_buckets == 0 {
+        return empty_tenant_heatmap(what, ids);
+    }
+    let bucket_s = (hi - lo) / n_buckets as f64;
+    let mut rows = vec![vec![0.0f64; n_buckets]; ids.len()];
+    for e in events {
+        let job = match &e.ev {
+            Ev::AttemptLost { job, .. } => *job,
+            Ev::MapReExecute { job, .. } => *job,
+            _ => continue,
+        };
+        let tenant = tenants_of.get(&job).copied().unwrap_or(0);
+        let row = ids.binary_search(&tenant).expect("tenant id collected");
+        let b = (((e.t_s() - lo) / bucket_s) as usize).min(n_buckets - 1);
+        rows[row][b] += 1.0;
+    }
+    TenantHeatmap {
+        what: what.to_string(),
+        t0_s: lo,
+        bucket_s,
+        tenants: ids,
+        rows,
+    }
+}
+
+/// Latency heatmap: for each tenant, the mean end-to-end latency of jobs
+/// *finishing* in each time bucket — the service-mode view of "who is slow
+/// right now", complementing the scalar histograms from [`tenant_latency`].
+pub fn tenant_latency_heatmap(events: &[ObsEvent], n_buckets: usize) -> TenantHeatmap {
+    let tenants_of = job_tenants(events);
+    let mut ids: Vec<u32> = tenants_of.values().copied().collect();
+    ids.push(0);
+    ids.sort_unstable();
+    ids.dedup();
+    let what = "mean job latency (s) by finish bucket";
+    let Some((lo, hi)) = stream_envelope(events) else {
+        return empty_tenant_heatmap(what, ids);
+    };
+    if n_buckets == 0 {
+        return empty_tenant_heatmap(what, ids);
+    }
+    let bucket_s = (hi - lo) / n_buckets as f64;
+    let mut sums = vec![vec![0.0f64; n_buckets]; ids.len()];
+    let mut counts = vec![vec![0u64; n_buckets]; ids.len()];
+    let mut submitted: BTreeMap<u32, f64> = BTreeMap::new();
+    for e in events {
+        if let Ev::JobState { job, state } = &e.ev {
+            match state {
+                crate::event::JobState::Submitted => {
+                    submitted.insert(*job, e.t_s());
+                }
+                crate::event::JobState::Finished => {
+                    let Some(sub) = submitted.get(job) else {
+                        continue;
+                    };
+                    let tenant = tenants_of.get(job).copied().unwrap_or(0);
+                    let row = ids.binary_search(&tenant).expect("tenant id collected");
+                    let b = (((e.t_s() - lo) / bucket_s) as usize).min(n_buckets - 1);
+                    sums[row][b] += e.t_s() - sub;
+                    counts[row][b] += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    let rows = sums
+        .into_iter()
+        .zip(counts)
+        .map(|(srow, crow)| {
+            srow.into_iter()
+                .zip(crow)
+                .map(|(s, c)| if c == 0 { 0.0 } else { s / c as f64 })
+                .collect()
+        })
+        .collect();
+    TenantHeatmap {
+        what: what.to_string(),
+        t0_s: lo,
+        bucket_s,
+        tenants: ids,
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,5 +855,91 @@ mod tests {
         let lat = shuffle_latencies(&events);
         assert_eq!(lat.count(), 4);
         assert!((lat.mean() - 0.002).abs() < 1e-9);
+    }
+
+    use crate::event::JobState as Js;
+
+    fn job_ev(t_s: f64, job: u32, state: Js) -> ObsEvent {
+        at(t_s, Ev::JobState { job, state })
+    }
+
+    #[test]
+    fn tenant_latency_splits_by_queue() {
+        // Job 0 → tenant 1 (queued), job 1 unmapped → tenant 0.
+        let events = vec![
+            at(0.0, Ev::JobQueued { job: 0, queue: 1 }),
+            job_ev(0.0, 0, Js::Submitted),
+            job_ev(1.0, 1, Js::Submitted),
+            job_ev(2.0, 0, Js::FirstLaunch),
+            job_ev(3.0, 1, Js::FirstLaunch),
+            job_ev(10.0, 0, Js::Finished),
+            job_ev(21.0, 1, Js::Finished),
+        ];
+        let tl = tenant_latency(&events);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[&1].jobs, 1);
+        assert!((tl[&1].latency.mean() - 10.0).abs() < 1e-9);
+        assert!((tl[&1].wait.mean() - 2.0).abs() < 1e-9);
+        assert_eq!(tl[&0].jobs, 1);
+        assert!((tl[&0].latency.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_heatmap_counts_disruptions_per_tenant() {
+        let events = vec![
+            at(0.0, Ev::JobQueued { job: 5, queue: 2 }),
+            at(
+                1.0,
+                Ev::AttemptLost {
+                    node: 0,
+                    job: 5,
+                    kind: TaskFlavor::Map,
+                    idx: 0,
+                },
+            ),
+            at(
+                3.0,
+                Ev::MapReExecute {
+                    node: 0,
+                    job: 9, // unmapped → tenant 0
+                    idx: 1,
+                },
+            ),
+            at(4.0, Ev::NodeDown { node: 0 }),
+        ];
+        let hm = tenant_recovery_heatmap(&events, 2);
+        assert_eq!(hm.tenants, vec![0, 2]);
+        // Envelope [0,4): tenant 2 lost one attempt at t=1 (bucket 0),
+        // tenant 0 re-executed one map at t=3 (bucket 1).
+        assert!((hm.rows[1][0] - 1.0).abs() < 1e-9);
+        assert!((hm.rows[0][1] - 1.0).abs() < 1e-9);
+        assert!(hm.to_ascii().contains("tenant  2"));
+        assert!(hm.to_json().contains("\"tenants\":[0,2]"));
+    }
+
+    #[test]
+    fn latency_heatmap_means_by_finish_bucket() {
+        let events = vec![
+            at(0.0, Ev::JobQueued { job: 0, queue: 1 }),
+            job_ev(0.0, 0, Js::Submitted),
+            job_ev(0.5, 1, Js::Submitted),
+            job_ev(4.0, 0, Js::Finished), // tenant 1, latency 4, bucket 0
+            job_ev(10.0, 1, Js::Finished), // tenant 0, latency 9.5, bucket 1
+        ];
+        let hm = tenant_latency_heatmap(&events, 2);
+        assert_eq!(hm.tenants, vec![0, 1]);
+        assert!((hm.rows[1][0] - 4.0).abs() < 1e-9);
+        assert!((hm.rows[0][1] - 9.5).abs() < 1e-9);
+        assert_eq!(hm.rows[0][0], 0.0);
+    }
+
+    #[test]
+    fn tenant_heatmaps_tolerate_empty_streams() {
+        let hm = tenant_recovery_heatmap(&[], 8);
+        assert_eq!(hm.tenants, vec![0]);
+        assert_eq!(hm.n_buckets(), 0);
+        assert!(!hm.to_ascii().is_empty());
+        assert!(tenant_latency_heatmap(&[], 8).to_json().starts_with('{'));
+        assert!(tenant_latency(&[]).is_empty());
     }
 }

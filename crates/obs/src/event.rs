@@ -35,6 +35,10 @@ pub enum AttemptOutcome {
     Discarded,
     /// Injected or induced failure.
     Failed,
+    /// Speculative attempt stood down by the capacity scheduler to free a
+    /// slot for a queue below its guarantee; the original attempt keeps
+    /// running, so no committed work is lost.
+    Preempted,
 }
 
 impl AttemptOutcome {
@@ -43,6 +47,7 @@ impl AttemptOutcome {
             AttemptOutcome::Completed => "completed",
             AttemptOutcome::Discarded => "discarded",
             AttemptOutcome::Failed => "failed",
+            AttemptOutcome::Preempted => "preempted",
         }
     }
 }
@@ -198,6 +203,10 @@ pub enum Ev {
     /// A map that had already completed on the dead `node` was re-queued for
     /// re-execution — its served outputs are unrecoverable.
     MapReExecute { node: usize, job: u32, idx: usize },
+    /// Job accepted into a capacity-scheduler queue (tenant stream). Emitted
+    /// right before the `Submitted` lifecycle event so aggregators can key
+    /// later job events by tenant.
+    JobQueued { job: u32, queue: u32 },
 }
 
 impl Ev {
@@ -222,6 +231,7 @@ impl Ev {
             Ev::NodeUp { .. } => "node_up",
             Ev::AttemptLost { .. } => "attempt_lost",
             Ev::MapReExecute { .. } => "map_re_execute",
+            Ev::JobQueued { .. } => "job_queued",
         }
     }
 }
@@ -393,6 +403,9 @@ impl ObsEvent {
             }
             Ev::MapReExecute { node, job, idx } => {
                 s.push_str(&format!(",\"node\":{node},\"job\":{job},\"idx\":{idx}"));
+            }
+            Ev::JobQueued { job, queue } => {
+                s.push_str(&format!(",\"job\":{job},\"queue\":{queue}"));
             }
         }
         s.push('}');
@@ -685,6 +698,7 @@ mod tests {
                 },
                 "map_re_execute",
             ),
+            (Ev::JobQueued { job: 12, queue: 1 }, "job_queued"),
         ];
         for (ev, tag) in cases {
             assert_eq!(ev.tag(), tag);

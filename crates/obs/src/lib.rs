@@ -34,8 +34,10 @@ pub mod snapshot;
 pub mod span;
 
 pub use aggregate::{
-    cache_pressure, heartbeat_intervals, queue_depth_traces, shuffle_latencies, shuffle_throughput,
-    slot_heatmap, CachePoint, Heatmap, QueuePoint, ThroughputPoint,
+    cache_pressure, heartbeat_intervals, job_tenants, queue_depth_traces, shuffle_latencies,
+    shuffle_throughput, slot_heatmap, tenant_latency, tenant_latency_heatmap,
+    tenant_recovery_heatmap, CachePoint, Heatmap, QueuePoint, TenantHeatmap, TenantLatency,
+    ThroughputPoint,
 };
 pub use chrome::{chrome_trace, validate_chrome_trace, TraceCheck};
 pub use event::{AttemptOutcome, Ev, JobState, ObsEvent, Recorder, TaskFlavor};
