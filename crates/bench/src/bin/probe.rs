@@ -2,8 +2,13 @@
 //! calibrating the models against the paper's tables.
 //!
 //! Subcommands:
-//!   probe grid   [gb] [nodes] [disks] [sort]            — one Fig 4(a)-style
-//!                point per system (GigE10/IPoIB/HA/OSU), run in parallel
+//!   probe grid   [gb] [nodes] [disks] [sort] [--engines] — one Fig 4(a)-style
+//!                point per system (GigE10/IPoIB/HA/OSU), run in parallel.
+//!                With --engines: all five shuffle engines (IPoIB/HA/OSU +
+//!                in-node combiner + striped multi-rail), gated on the seed
+//!                engines regenerating bit-identically (0.00% delta) and on
+//!                the combiner engine's combiner-less rows replaying OSU-IB
+//!                exactly; non-zero exit on any divergence
 //!   probe one    [gb] [system] [nodes] [disks] [sort] [seed] — a single point,
 //!                printing sim duration and wall time
 //!   probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]
@@ -40,7 +45,13 @@
 //!                footprint drains to zero), determinism (a second run of
 //!                the same faulted sim is trace-hash identical), and
 //!                no-lost-work (per-reducer output byte counts match the
-//!                fault-free twin exactly). Non-zero exit on any failure.
+//!                fault-free twin exactly). The campaign ends with the
+//!                combiner acceptance point: WordCount on the in-node
+//!                combiner engine, one worker killed mid-shuffle and
+//!                restarted, gated on the same three checks plus `folded`
+//!                (combined shuffle volume under an OSU-IB twin) — the
+//!                fold demonstrably re-runs after node loss. Non-zero
+//!                exit on any failure.
 //!   probe obs    [jobs] [nodes] [gb_per_job] [outdir] [seed]
 //!                — a concurrent multi-job OSU-IB mix with the observability
 //!                recorder on; writes every rmr_obs artifact (events.jsonl,
@@ -50,7 +61,7 @@
 //!                schema violation). See DESIGN.md §12 and README
 //!                "Inspecting a run".
 //!
-//! System names: g1, g10, ipoib, ha, osu, osunc.
+//! System names: g1, g10, ipoib, ha, osu, osunc, comb, mr.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -61,7 +72,9 @@ use rmr_cluster::{
 use rmr_core::cluster::Cluster;
 use rmr_core::{run_job, Runtime, SchedulePolicy};
 use rmr_hdfs::HdfsConfig;
-use rmr_workloads::{randomwriter, sort_spec, teragen, terasort_spec};
+use rmr_workloads::{
+    randomwriter, sort_spec, teragen, terasort_spec, textgen_blocks, wordcount_spec,
+};
 
 fn parse_system(name: &str) -> System {
     match name {
@@ -70,13 +83,15 @@ fn parse_system(name: &str) -> System {
         "ipoib" => System::IpoIb,
         "ha" => System::HadoopA,
         "osunc" => System::OsuIbNoCache,
+        "comb" => System::NodeCombiner,
+        "mr" => System::MultiRail,
         _ => System::OsuIb,
     }
 }
 
 fn usage() -> ! {
     eprintln!("usage: probe <grid|one|phases|fluidcmp|scale|service|chaos|obs> [args]");
-    eprintln!("  probe grid   [gb] [nodes] [disks] [sort]");
+    eprintln!("  probe grid   [gb] [nodes] [disks] [sort] [--engines]");
     eprintln!("  probe one    [gb] [system] [nodes] [disks] [sort] [seed]");
     eprintln!("  probe phases [gb] [system] [nodes] [disks] [sort|ssdsort]");
     eprintln!("  probe fluidcmp                               — solver differential dump");
@@ -129,7 +144,12 @@ fn fluidcmp() {
     sim.run();
 }
 
-/// One Fig 4(a)-style point per system, in parallel.
+/// One Fig 4(a)-style point per system, in parallel. With `--engines` the
+/// grid covers all five shuffle engines (Vanilla via IPoIB, Hadoop-A,
+/// OSU-IB, in-node combiner, striped multi-rail) and becomes a gate: the
+/// three seed engines must regenerate bit-identically in a second pass run
+/// without the new engines present (0.00% delta), and the combiner engine's
+/// combiner-less row must replay OSU-IB's exactly.
 fn grid(args: &[String]) {
     let gb: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(30.0);
     let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -139,26 +159,36 @@ fn grid(args: &[String]) {
     } else {
         Bench::TeraSort
     };
-    let systems = [
-        System::GigE10,
-        System::IpoIb,
-        System::HadoopA,
-        System::OsuIb,
-    ];
-    let exps: Vec<Experiment> = systems
-        .iter()
-        .map(|&system| {
-            Experiment::new(
-                "probe",
-                bench,
-                system,
-                Testbed::compute(nodes, disks),
-                gb,
-                42,
-            )
-        })
-        .collect();
-    let recs = run_all(&exps, 4);
+    let engines = args.iter().any(|a| a == "--engines");
+    let seed_systems = [System::IpoIb, System::HadoopA, System::OsuIb];
+    let systems: Vec<System> = if engines {
+        vec![
+            System::IpoIb,
+            System::HadoopA,
+            System::OsuIb,
+            System::NodeCombiner,
+            System::MultiRail,
+        ]
+    } else {
+        vec![
+            System::GigE10,
+            System::IpoIb,
+            System::HadoopA,
+            System::OsuIb,
+        ]
+    };
+    let exp_for = |system: System| {
+        Experiment::new(
+            "probe",
+            bench,
+            system,
+            Testbed::compute(nodes, disks),
+            gb,
+            42,
+        )
+    };
+    let exps: Vec<Experiment> = systems.iter().map(|&s| exp_for(s)).collect();
+    let recs = run_all(&exps, exps.len());
     for r in &recs {
         println!(
             "{:28} {:6.0}s  (map_end {:5.0}s, shuffled {:.1} GB, cache {:.0}%)",
@@ -168,6 +198,49 @@ fn grid(args: &[String]) {
             r.shuffled_bytes as f64 / 1e9,
             r.cache_hit_rate * 100.0
         );
+    }
+    if !engines {
+        return;
+    }
+    // Seed-regeneration gate: the three paper engines, swept again without
+    // the new engines in the mix, must land on the same numbers to the bit.
+    let seed_exps: Vec<Experiment> = seed_systems.iter().map(|&s| exp_for(s)).collect();
+    let again = run_all(&seed_exps, seed_exps.len());
+    let mut failed = false;
+    for b in &again {
+        let a = recs
+            .iter()
+            .find(|r| r.system == b.system)
+            .expect("seed system missing from the engine grid");
+        let delta = (a.duration_s - b.duration_s).abs() / b.duration_s * 100.0;
+        let exact = a.duration_s == b.duration_s && a.shuffled_bytes == b.shuffled_bytes;
+        println!(
+            "regen {:28} {:6.0}s  delta {delta:.2}%  {}",
+            b.system,
+            b.duration_s,
+            gate("bit-identical", exact)
+        );
+        failed |= !exact;
+    }
+    // Pass-through gate: the sort benches carry no combiner fn, so the
+    // in-node combiner engine must replay the OSU-IB data plane exactly.
+    let osu = recs
+        .iter()
+        .find(|r| r.system == System::OsuIb.label())
+        .expect("OSU-IB row");
+    let comb = recs
+        .iter()
+        .find(|r| r.system == System::NodeCombiner.label())
+        .expect("combiner row");
+    let passthrough =
+        osu.duration_s == comb.duration_s && osu.shuffled_bytes == comb.shuffled_bytes;
+    println!(
+        "combiner-less pass-through: {}",
+        gate("matches-osu-ib", passthrough)
+    );
+    failed |= !passthrough;
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -255,6 +328,7 @@ fn scale_point(nodes: usize, jobs: usize, gb_total: f64, seed: u64) -> rmr_bench
     run.items = jobs as u64;
     run.nodes = nodes as u64;
     run.attempts = attempts as u64;
+    run.shuffle_bytes = results.iter().map(|r| r.shuffled_bytes).sum();
     run
 }
 
@@ -540,8 +614,10 @@ fn service(args: &[String]) {
 }
 
 /// One faulted (or fault-free) run of the chaos workload: `jobs` concurrent
-/// TeraSort jobs on `nodes` OSU-IB workers with `plan` armed before
-/// submission.
+/// jobs on `nodes` workers of `system` with `plan` armed before submission.
+/// The workload is TeraSort sized by `gb_total`, or — with `wordcount` —
+/// a fixed-size WordCount whose combiner is its reducer, the job shape the
+/// in-node combiner engine aggregates.
 struct ChaosRun {
     results: Vec<rmr_core::JobResult>,
     trace_hash: u64,
@@ -549,24 +625,55 @@ struct ChaosRun {
     wall_s: f64,
 }
 
+impl ChaosRun {
+    /// Total shuffle bytes actually served across the run's jobs.
+    fn shuffled_bytes(&self) -> u64 {
+        self.results.iter().map(|r| r.shuffled_bytes).sum()
+    }
+}
+
+/// No lost work: every job's per-reducer output byte counts (and so the
+/// concatenated output files) match the fault-free twin exactly.
+fn lossless(twin: &ChaosRun, faulted: &ChaosRun) -> bool {
+    faulted.results.len() == twin.results.len()
+        && twin.results.iter().zip(&faulted.results).all(|(a, b)| {
+            a.output_bytes == b.output_bytes
+                && a.maps == b.maps
+                && a.reduce_stats.len() == b.reduce_stats.len()
+                && a.reduce_stats
+                    .iter()
+                    .zip(&b.reduce_stats)
+                    .all(|(x, y)| x.output_bytes == y.output_bytes)
+        })
+}
+
 fn chaos_run(
+    system: System,
+    wordcount: bool,
     nodes: usize,
     jobs: usize,
     gb_total: f64,
     seed: u64,
     plan: &rmr_core::FaultPlan,
 ) -> ChaosRun {
-    let system = System::OsuIb;
     let testbed = Testbed::compute(nodes, 1);
     let sim = rmr_des::Sim::new(seed);
+    // WordCount blobs below run ~0.9 MB, so a 512 KB block turns every blob
+    // into its own block: each job spans several map splits and the in-node
+    // stage has co-located waves to fold.
+    let (block_size, packet_size) = if wordcount {
+        (512 << 10, 256 << 10)
+    } else {
+        (8 << 20, 4 << 20)
+    };
     let cluster = Cluster::build(
         &sim,
         system.fabric(),
         &testbed.node_specs(),
         HdfsConfig {
-            block_size: 8 << 20,
+            block_size,
             replication: 1,
-            packet_size: 4 << 20,
+            packet_size,
         },
     );
     let mut conf = tuned_conf(system, Bench::TeraSort, &testbed);
@@ -581,17 +688,23 @@ fn chaos_run(
     let plan2 = plan.clone();
     sim.spawn_named("chaos-driver", async move {
         for i in 0..jobs {
-            teragen(&c2, &format!("/chaos/in{i}"), bytes_per_job, false).await;
+            if wordcount {
+                textgen_blocks(&c2, &format!("/chaos/in{i}"), 60_000, 10, 10_000).await;
+            } else {
+                teragen(&c2, &format!("/chaos/in{i}"), bytes_per_job, false).await;
+            }
         }
         let rt = Runtime::with_policy(&c2, conf2.clone(), SchedulePolicy::Fifo);
         rt.apply_fault_plan(&plan2);
         *rt2.borrow_mut() = Some(rt.clone());
         let ids: Vec<_> = (0..jobs)
             .map(|i| {
-                rt.submit(
-                    conf2.clone(),
-                    terasort_spec(&format!("/chaos/in{i}"), &format!("/chaos/out{i}")),
-                )
+                let spec = if wordcount {
+                    wordcount_spec(&format!("/chaos/in{i}"), &format!("/chaos/out{i}"))
+                } else {
+                    terasort_spec(&format!("/chaos/in{i}"), &format!("/chaos/out{i}"))
+                };
+                rt.submit(conf2.clone(), spec)
             })
             .collect();
         for id in ids {
@@ -684,7 +797,15 @@ fn chaos(args: &[String]) {
     let threads = rmr_bench::default_threads().min(points.len().max(1));
     let rows = rmr_bench::sweep::sweep_map(&points, threads, |&p, _| {
         let sim_seed = seed + p as u64;
-        let twin = chaos_run(nodes, jobs, gb, sim_seed, &rmr_core::FaultPlan::none());
+        let twin = chaos_run(
+            System::OsuIb,
+            false,
+            nodes,
+            jobs,
+            gb,
+            sim_seed,
+            &rmr_core::FaultPlan::none(),
+        );
         assert_eq!(twin.results.len(), jobs, "plan {p}: fault-free twin hung");
         let timing = TwinTiming {
             submit_s: twin
@@ -706,8 +827,8 @@ fn chaos(args: &[String]) {
         } else {
             derive_plan(sim_seed, nodes, &timing)
         };
-        let faulted = chaos_run(nodes, jobs, gb, sim_seed, &plan);
-        let rerun = chaos_run(nodes, jobs, gb, sim_seed, &plan);
+        let faulted = chaos_run(System::OsuIb, false, nodes, jobs, gb, sim_seed, &plan);
+        let rerun = chaos_run(System::OsuIb, false, nodes, jobs, gb, sim_seed, &plan);
         (p, twin, timing, plan, faulted, rerun)
     });
 
@@ -720,18 +841,7 @@ fn chaos(args: &[String]) {
     for (p, twin, _timing, plan, faulted, rerun) in &rows {
         let quiesced = faulted.results.len() == jobs && faulted.footprint_total == 0;
         let deterministic = faulted.trace_hash == rerun.trace_hash;
-        // No lost work: every job's per-reducer output byte counts (and so
-        // the concatenated output files) match the fault-free twin exactly.
-        let lossless = faulted.results.len() == twin.results.len()
-            && twin.results.iter().zip(&faulted.results).all(|(a, b)| {
-                a.output_bytes == b.output_bytes
-                    && a.maps == b.maps
-                    && a.reduce_stats.len() == b.reduce_stats.len()
-                    && a.reduce_stats
-                        .iter()
-                        .zip(&b.reduce_stats)
-                        .all(|(x, y)| x.output_bytes == y.output_bytes)
-            });
+        let lossless = lossless(twin, faulted);
         let twin_d = twin.results.iter().map(|r| r.end_s).fold(0.0, f64::max);
         let fault_d = faulted.results.iter().map(|r| r.end_s).fold(0.0, f64::max);
         let wall = twin.wall_s + faulted.wall_s + rerun.wall_s;
@@ -772,6 +882,74 @@ fn chaos(args: &[String]) {
         nodes,
         storms
     );
+
+    // Combiner-engine acceptance point: WordCount (combiner = reducer) on
+    // the in-node combiner engine, one worker killed mid-shuffle and
+    // restarted. The crash drops that node's staged aggregates, so passing
+    // no-lost-work means the fold re-ran after node loss; the folded gate
+    // (shuffle volume under an OSU-IB twin of the same workload) proves
+    // aggregation was actually active, not passed through.
+    let cnodes = nodes.clamp(3, 6);
+    let cjobs = 2;
+    let cseed = seed + 10_000;
+    let none = rmr_core::FaultPlan::none();
+    let osu_twin = chaos_run(System::OsuIb, true, cnodes, cjobs, gb, cseed, &none);
+    let comb_twin = chaos_run(System::NodeCombiner, true, cnodes, cjobs, gb, cseed, &none);
+    assert_eq!(
+        comb_twin.results.len(),
+        cjobs,
+        "combiner fault-free twin hung"
+    );
+    let ctiming = TwinTiming {
+        submit_s: comb_twin
+            .results
+            .iter()
+            .map(|r| r.start_s)
+            .fold(f64::INFINITY, f64::min),
+        map_end_s: comb_twin
+            .results
+            .iter()
+            .map(|r| r.map_phase_end_s)
+            .fold(0.0, f64::max),
+        end_s: comb_twin
+            .results
+            .iter()
+            .map(|r| r.end_s)
+            .fold(0.0, f64::max),
+    };
+    let cplan = rmr_bench::chaos::combiner_plan(&ctiming);
+    let cfaulted = chaos_run(System::NodeCombiner, true, cnodes, cjobs, gb, cseed, &cplan);
+    let crerun = chaos_run(System::NodeCombiner, true, cnodes, cjobs, gb, cseed, &cplan);
+    let quiesced = cfaulted.results.len() == cjobs && cfaulted.footprint_total == 0;
+    let deterministic = cfaulted.trace_hash == crerun.trace_hash;
+    let no_lost_work = lossless(&comb_twin, &cfaulted);
+    let folded = comb_twin.shuffled_bytes() < osu_twin.shuffled_bytes();
+    println!(
+        "comb {:>6} {:>7} {:>9.0}s {:>9.0}s {:>6.1}s  {} {} {} {}   [{}]",
+        cseed,
+        cplan.events.len(),
+        comb_twin
+            .results
+            .iter()
+            .map(|r| r.end_s)
+            .fold(0.0, f64::max),
+        cfaulted.results.iter().map(|r| r.end_s).fold(0.0, f64::max),
+        comb_twin.wall_s + cfaulted.wall_s + crerun.wall_s,
+        gate("quiesce", quiesced),
+        gate("determinism", deterministic),
+        gate("no-lost-work", no_lost_work),
+        gate("folded", folded),
+        render_plan(&cplan),
+    );
+    println!(
+        "combiner point: WordCount x{cjobs} on {cnodes} nodes; shuffle {} B combined vs {} B OSU-IB",
+        comb_twin.shuffled_bytes(),
+        osu_twin.shuffled_bytes()
+    );
+    if !(quiesced && deterministic && no_lost_work && folded) {
+        failed = true;
+    }
+
     if failed || over_budget {
         std::process::exit(1);
     }
@@ -804,7 +982,7 @@ fn one(args: &[String]) {
         seed,
     ));
     println!(
-        "{} {}GB: {:.0}s sim (map_end {:.0}s) in {:.1}s wall",
+        "{} {}GB: {:.3}s sim (map_end {:.3}s) in {:.1}s wall",
         rec.system,
         gb,
         rec.duration_s,

@@ -11,6 +11,13 @@
 //!   multijob     — 4 × 2 GB TeraSorts through one persistent OSU-IB runtime:
 //!                  sequential joins ("seq", the old one-job-at-a-time shape)
 //!                  vs a single concurrent FIFO submission ("fifo")
+//!   engines      — the shuffle-volume engines: WordCount A/B rows (combiner
+//!                  on/off × OSU-IB/in-node-combiner, pinning what each
+//!                  aggregation layer takes off the wire), the in-node
+//!                  combiner at the fig4a shape (TeraSort has no combiner,
+//!                  so its row must match fig4a's OSU-IB bit-for-bit), and
+//!                  striped multi-rail at the fig4b 100 GB shape (vs
+//!                  fig4b's single-rail OSU-IB row)
 //!   micro        — fluid-churn (three sizes, for the sub-quadratic check),
 //!                  event-heap, and merge-PQ (real + synthetic) kernels
 //!
@@ -46,7 +53,9 @@ use rmr_core::SchedulePolicy;
 use rmr_des::resource::fluid::{Fluid, FLUID_ADVANCE_WORK};
 use rmr_des::{Sim, SimDuration};
 use rmr_hdfs::HdfsConfig;
-use rmr_workloads::{teragen, terasort_spec};
+use rmr_workloads::{
+    teragen, terasort_spec, textgen_vocab, wordcount_spec, wordcount_spec_no_combiner,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -122,6 +131,27 @@ fn main() {
     for concurrent in [false, true] {
         tasks.push(Box::new(move || run_multijob_case(quick, concurrent)));
     }
+
+    // -- Shuffle-volume engines: WordCount A/B and the new-engine macro
+    // points at the headline figure shapes.
+    let wc_lines = if quick { 20_000 } else { 120_000 };
+    let wc_nodes = if quick { 3 } else { 4 };
+    for (system, combine) in [
+        (System::OsuIb, false),
+        (System::OsuIb, true),
+        (System::NodeCombiner, false),
+        (System::NodeCombiner, true),
+    ] {
+        tasks.push(Box::new(move || {
+            run_wordcount_ab(system, combine, wc_lines, wc_nodes)
+        }));
+    }
+    tasks.push(Box::new(move || {
+        run_macro("engines", System::NodeCombiner, gb_a, nodes_a)
+    }));
+    tasks.push(Box::new(move || {
+        run_macro("engines", System::MultiRail, gb_b, nodes_b)
+    }));
 
     // -- Micro kernels.
     let churn_sizes: &[usize] = if quick {
@@ -203,6 +233,7 @@ fn run_macro(scenario: &'static str, system: System, gb: f64, nodes: usize) -> R
         p50_s: 0.0,
         p95_s: 0.0,
         p99_s: 0.0,
+        shuffle_bytes: res.shuffled_bytes,
     };
     eprintln!(
         "  {scenario:12} {:12} sim {:6.0}s  wall {:6.2}s  events {:.2e}  fluid_work {:.2e}",
@@ -259,10 +290,89 @@ fn run_multijob_case(quick: bool, concurrent: bool) -> Run {
         p50_s: 0.0,
         p95_s: 0.0,
         p99_s: 0.0,
+        shuffle_bytes: recs.iter().map(|r| r.shuffled_bytes).sum(),
     };
     eprintln!(
         "  {:12} {:16} sim {:6.0}s  wall {:6.2}s  jobs {}",
         "multijob", run.case, run.sim_s, run.wall_s, run.items
+    );
+    run
+}
+
+/// WordCount A/B: `system`'s engine with the job's combiner on or off
+/// (`wordcount_spec` vs `wordcount_spec_no_combiner`). The no-combiner rows
+/// pin the raw map-output volume the engines would otherwise shuffle; the
+/// combined rows show what the per-map combiner and — on the in-node
+/// combiner engine — the cross-map fold leave on the wire.
+fn run_wordcount_ab(system: System, combine: bool, lines: usize, nodes: usize) -> Run {
+    let testbed = Testbed::compute(nodes, 1);
+    let sim = Sim::new(42);
+    // ~0.9 MB textgen blobs over 512 KB blocks: every blob is its own block,
+    // so the input spans several map splits and the in-node stage has
+    // co-located waves to fold.
+    let cluster = Cluster::build(
+        &sim,
+        system.fabric(),
+        &testbed.node_specs(),
+        HdfsConfig {
+            block_size: 512 << 10,
+            replication: 1,
+            packet_size: 256 << 10,
+        },
+    );
+    let mut conf = tuned_conf(system, Bench::TeraSort, &testbed);
+    conf.num_reduces = nodes;
+    let out: Rc<RefCell<Option<rmr_core::JobResult>>> = Rc::new(RefCell::new(None));
+    let o2 = Rc::clone(&out);
+    let c2 = cluster.clone();
+    sim.spawn_named("wallclock-wc", async move {
+        // A 30k-word vocabulary: one map's ~100k tokens cover most of it, so
+        // the map-side combiner leaves ~a-vocabulary of records per map and the
+        // cross-map in-node fold is what actually shrinks the wire volume.
+        textgen_vocab(&c2, "/wc/in", lines, 10, 10_000, 30_000).await;
+        let spec = if combine {
+            wordcount_spec("/wc/in", "/wc/out")
+        } else {
+            wordcount_spec_no_combiner("/wc/in", "/wc/out")
+        };
+        let res = run_job(&c2, conf, spec).await;
+        *o2.borrow_mut() = Some(res);
+    })
+    .detach();
+    let work0 = FLUID_ADVANCE_WORK.with(|w| w.get());
+    let t0 = Instant::now(); // simcheck: allow(wall-clock) host-side timing
+    sim.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let fluid_work = FLUID_ADVANCE_WORK.with(|w| w.get()) - work0;
+    let case = format!(
+        "wc_{}_{}",
+        if combine { "combine" } else { "nocombine" },
+        system.label()
+    );
+    let res = out
+        .borrow_mut()
+        .take()
+        .unwrap_or_else(|| panic!("engines/{case} hung"));
+    let run = Run {
+        scenario: "engines",
+        case,
+        wall_s,
+        sim_s: res.duration_s,
+        events: sim.events_fired(),
+        polls: sim.polls(),
+        fluid_work,
+        items: lines as u64,
+        nodes: nodes as u64,
+        attempts: (res.maps + res.reduces + res.failed_map_attempts + res.failed_reduce_attempts)
+            as u64,
+        p50_s: 0.0,
+        p95_s: 0.0,
+        p99_s: 0.0,
+        shuffle_bytes: res.shuffled_bytes,
+    };
+    eprintln!(
+        "  {:12} {:32} sim {:6.1}s  wall {:6.2}s  shuffle {} B",
+        "engines", run.case, run.sim_s, run.wall_s, run.shuffle_bytes
     );
     run
 }
@@ -305,6 +415,7 @@ fn micro_fluid_churn(n: usize) -> Run {
         p50_s: 0.0,
         p95_s: 0.0,
         p99_s: 0.0,
+        shuffle_bytes: 0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  completions {}  fluid_work {}  (work/completion {:.1})",
@@ -348,6 +459,7 @@ fn micro_event_heap(tasks: usize, rounds: usize) -> Run {
         p50_s: 0.0,
         p95_s: 0.0,
         p99_s: 0.0,
+        shuffle_bytes: 0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  events {}  polls {}",
@@ -400,6 +512,7 @@ fn micro_merge_pq(k: usize, per_source: u64, real: bool) -> Run {
         p50_s: 0.0,
         p95_s: 0.0,
         p99_s: 0.0,
+        shuffle_bytes: 0,
     };
     eprintln!(
         "  {:12} {:16} wall {:6.3}s  records {}",

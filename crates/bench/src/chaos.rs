@@ -66,6 +66,13 @@ impl TwinTiming {
         let s = self.submit_s + frac * (self.map_end_s - self.submit_s);
         SimTime::from_nanos((s.max(0.0) * 1e9) as u64)
     }
+
+    /// A point inside the shuffle/reduce tail (`frac` ∈ [0, 1] from map-wave
+    /// end to job end) — where staged in-node aggregates are at risk.
+    pub fn mid_shuffle(&self, frac: f64) -> SimTime {
+        let s = self.map_end_s + frac * (self.end_s - self.map_end_s);
+        SimTime::from_nanos((s.max(0.0) * 1e9) as u64)
+    }
 }
 
 fn secs(s: f64) -> SimDuration {
@@ -89,6 +96,19 @@ pub fn storm_plan(nodes: usize, victims: usize, twin: &TwinTiming) -> FaultPlan 
         });
     }
     plan
+}
+
+/// The combiner-engine acceptance plan: one worker killed mid-shuffle and
+/// restarted while the job is still running. Against the in-node combiner
+/// engine the crash drops that node's staged per-node aggregates, so a
+/// campaign point passing no-lost-work with this plan proves the fold
+/// re-runs after node loss.
+pub fn combiner_plan(twin: &TwinTiming) -> FaultPlan {
+    FaultPlan::none().with(FaultEvent::Crash {
+        tt_idx: 1,
+        at: twin.mid_shuffle(0.30),
+        restart_after: Some(secs(15.0)),
+    })
 }
 
 /// A seed-derived plan: 1–3 staggered crash+restart cycles placed across
@@ -219,6 +239,25 @@ mod tests {
             }
         }
         assert_eq!(victims.len(), 2, "storm victims are distinct nodes");
+    }
+
+    #[test]
+    fn combiner_plan_kills_one_mid_shuffle_and_restarts() {
+        let plan = combiner_plan(&TWIN);
+        assert_eq!(plan.crashes(), 1);
+        match &plan.events[0] {
+            FaultEvent::Crash {
+                at, restart_after, ..
+            } => {
+                let t = at.as_secs_f64();
+                assert!(
+                    t > TWIN.map_end_s && t < TWIN.end_s,
+                    "crash at {t:.0}s is not inside the shuffle tail"
+                );
+                assert!(restart_after.is_some(), "the victim must come back");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

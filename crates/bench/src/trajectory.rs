@@ -33,6 +33,9 @@ pub struct Run {
     pub p50_s: f64,
     pub p95_s: f64,
     pub p99_s: f64,
+    /// Shuffle bytes actually served to reducers (macro runs; 0 for the
+    /// micro kernels, which move no shuffle traffic).
+    pub shuffle_bytes: u64,
 }
 
 impl Run {
@@ -52,6 +55,7 @@ impl Run {
             p50_s: 0.0,
             p95_s: 0.0,
             p99_s: 0.0,
+            shuffle_bytes: 0,
         }
     }
 }
@@ -67,7 +71,8 @@ pub fn run_line(label: &str, quick: bool, r: &Run) -> String {
         "{{\"label\":\"{}\",\"scenario\":\"{}\",\"case\":\"{}\",\"quick\":{},\
          \"wall_s\":{:.4},\"sim_s\":{:.2},\"events\":{},\"polls\":{},\
          \"fluid_work\":{},\"items\":{},\"nodes\":{},\"attempts\":{},\
-         \"p50_s\":{:.4},\"p95_s\":{:.4},\"p99_s\":{:.4}}}",
+         \"p50_s\":{:.4},\"p95_s\":{:.4},\"p99_s\":{:.4},\
+         \"shuffle_bytes\":{}}}",
         json_escape(label),
         json_escape(r.scenario),
         json_escape(&r.case),
@@ -83,6 +88,7 @@ pub fn run_line(label: &str, quick: bool, r: &Run) -> String {
         r.p50_s,
         r.p95_s,
         r.p99_s,
+        r.shuffle_bytes,
     )
 }
 
@@ -199,6 +205,7 @@ mod tests {
             "p50_s",
             "p95_s",
             "p99_s",
+            "shuffle_bytes",
         ]
         .to_vec();
         let mut at = 0;

@@ -28,6 +28,10 @@ pub enum System {
     OsuIb,
     /// OSU-IB with `mapred.local.caching.enabled = false` (Fig 8).
     OsuIbNoCache,
+    /// OSU-IB plus the per-node combiner aggregation stage.
+    NodeCombiner,
+    /// OSU-IB striped across two QDR rails (dual-port HCAs).
+    MultiRail,
 }
 
 impl System {
@@ -40,6 +44,8 @@ impl System {
             System::HadoopA => "HadoopA-IB (32Gbps)",
             System::OsuIb => "OSU-IB (32Gbps)",
             System::OsuIbNoCache => "OSU-IB (no caching)",
+            System::NodeCombiner => "OSU-IB+Comb (32Gbps)",
+            System::MultiRail => "OSU-IB-MR (2x32Gbps)",
         }
     }
 
@@ -49,7 +55,10 @@ impl System {
             System::GigE1 => FabricParams::gige_1(),
             System::GigE10 => FabricParams::gige_10_toe(),
             System::IpoIb => FabricParams::ipoib_qdr(),
-            System::HadoopA | System::OsuIb | System::OsuIbNoCache => FabricParams::ib_verbs_qdr(),
+            System::HadoopA | System::OsuIb | System::OsuIbNoCache | System::NodeCombiner => {
+                FabricParams::ib_verbs_qdr()
+            }
+            System::MultiRail => FabricParams::ib_verbs_qdr().with_rails(2),
         }
     }
 
@@ -59,10 +68,13 @@ impl System {
             System::GigE1 | System::GigE10 | System::IpoIb => ShuffleKind::Vanilla,
             System::HadoopA => ShuffleKind::HadoopA,
             System::OsuIb | System::OsuIbNoCache => ShuffleKind::OsuIb,
+            System::NodeCombiner => ShuffleKind::NodeCombiner,
+            System::MultiRail => ShuffleKind::MultiRail,
         }
     }
 
-    /// All systems in figure order.
+    /// The systems the paper's figures compare, in figure order. Kept to the
+    /// seed six — the figure grids are shape-pinned against it.
     pub const ALL: [System; 6] = [
         System::GigE1,
         System::GigE10,
@@ -70,6 +82,19 @@ impl System {
         System::HadoopA,
         System::OsuIb,
         System::OsuIbNoCache,
+    ];
+
+    /// [`System::ALL`] plus the shuffle-volume extension systems, for the
+    /// engine-comparison grids.
+    pub const EXTENDED: [System; 8] = [
+        System::GigE1,
+        System::GigE10,
+        System::IpoIb,
+        System::HadoopA,
+        System::OsuIb,
+        System::OsuIbNoCache,
+        System::NodeCombiner,
+        System::MultiRail,
     ];
 }
 
@@ -207,6 +232,7 @@ pub fn tuned_conf(system: System, _bench: Bench, testbed: &Testbed) -> JobConf {
                 JobConf::osu_ib()
             }
         }
+        kind @ (ShuffleKind::NodeCombiner | ShuffleKind::MultiRail) => JobConf::for_kind(kind),
     };
     conf.map_slots = 4;
     conf.reduce_slots = 4;
@@ -247,6 +273,24 @@ mod tests {
         assert_eq!(System::OsuIb.shuffle(), ShuffleKind::OsuIb);
         assert!(System::OsuIb.fabric().is_rdma());
         assert!(!System::GigE10.fabric().is_rdma());
+        assert_eq!(System::NodeCombiner.shuffle(), ShuffleKind::NodeCombiner);
+        assert_eq!(System::MultiRail.shuffle(), ShuffleKind::MultiRail);
+        assert_eq!(System::MultiRail.fabric().rails, 2);
+        assert_eq!(System::NodeCombiner.fabric().rails, 1);
+    }
+
+    #[test]
+    fn extended_list_keeps_figure_order_as_a_prefix() {
+        assert_eq!(System::EXTENDED[..System::ALL.len()], System::ALL);
+        let conf = tuned_conf(
+            System::NodeCombiner,
+            Bench::TeraSort,
+            &Testbed::compute(4, 1),
+        );
+        assert_eq!(conf.shuffle, ShuffleKind::NodeCombiner);
+        assert!(conf.caching_enabled);
+        let conf = tuned_conf(System::MultiRail, Bench::Sort, &Testbed::compute(4, 1));
+        assert_eq!(conf.shuffle, ShuffleKind::MultiRail);
     }
 
     #[test]

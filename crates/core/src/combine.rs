@@ -1,0 +1,381 @@
+//! The in-node combiner engine: OSU-IB's data plane plus a per-node
+//! aggregation stage in front of the shuffle servers.
+//!
+//! Stock Hadoop combines map output *per map attempt* (see
+//! [`crate::maptask`]); records with the same key emitted by different maps
+//! on the same node still cross the fabric separately and meet only in the
+//! reducer's merge. This engine holds each node's finished map outputs back
+//! from registration, folds them through the job's combiner once a node has
+//! a full wave (`map_slots` outputs) — or once every map in the job has
+//! staged — and registers one aggregated output per wave instead. For
+//! WordCount-shaped jobs that cuts both bytes served and reducer merge
+//! fan-in roughly by the co-location factor.
+//!
+//! Jobs without a combiner fn bypass the stage entirely
+//! ([`Staged::Direct`]), so TeraSort/Sort replay bit-identically to OSU-IB.
+//!
+//! Fault model: staged-but-unregistered outputs live only on their node's
+//! disk. When a node dies, [`ShuffleEngine::node_lost`] drops its staging
+//! state, the JobTracker re-queues the affected maps (they were never
+//! reported complete), and the re-executed attempts re-stage cleanly —
+//! including re-running the aggregation. A fold that was already in flight
+//! when its node died is discarded on completion via an ownership re-check.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use rmr_obs::Ev;
+
+use crate::config::ShuffleKind;
+use crate::engine::{LocalBoxFuture, ShuffleEngine, StageCtx, Staged};
+use crate::mapoutput::MapOutputInfo;
+use crate::record::Segment;
+use crate::reduce::common::{ReduceCtx, ReduceError, ReduceStats};
+use crate::reduce::rdma::{run_reduce_rdma, RdmaVariant};
+use crate::runtime::JobId;
+use crate::spec::ReduceFn;
+use crate::tasktracker::{start_rdma_server, TaskTracker, TtServerHandle};
+
+/// Per-job staging state.
+#[derive(Default)]
+struct JobStage {
+    /// Which node first staged each map (`map_idx` → `tt_idx`). Duplicate
+    /// stages (speculative losers) are discarded; `node_lost` removes a dead
+    /// node's entries so re-executed maps re-stage.
+    owner: BTreeMap<usize, usize>,
+    /// Buffered, not-yet-folded outputs per node.
+    pending: BTreeMap<usize, Vec<MapOutputInfo>>,
+    /// Per-node flush counter (names the aggregate files).
+    wave: BTreeMap<usize, u32>,
+}
+
+type StageState = Rc<RefCell<BTreeMap<JobId, JobStage>>>;
+
+/// OSU-IB plus the per-node aggregation stage.
+pub struct NodeCombinerEngine {
+    jobs: StageState,
+}
+
+impl NodeCombinerEngine {
+    /// A fresh engine with empty staging state.
+    pub fn new() -> Self {
+        NodeCombinerEngine {
+            jobs: Rc::new(RefCell::new(BTreeMap::new())),
+        }
+    }
+}
+
+impl Default for NodeCombinerEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShuffleEngine for NodeCombinerEngine {
+    fn kind(&self) -> ShuffleKind {
+        ShuffleKind::NodeCombiner
+    }
+
+    fn server_cache(&self) -> bool {
+        true
+    }
+
+    fn start_server(&self, tt: &Rc<TaskTracker>, net: &rmr_net::Network) -> TtServerHandle {
+        start_rdma_server(tt, net)
+    }
+
+    fn stage_map_output(&self, ctx: StageCtx, info: MapOutputInfo) -> LocalBoxFuture<Staged> {
+        if ctx.spec.combiner.is_none() {
+            // No combiner to fold through: pass-through, bit-identical to
+            // OSU-IB.
+            return Box::pin(async move { Staged::Direct(info) });
+        }
+        let jobs = Rc::clone(&self.jobs);
+        Box::pin(stage(jobs, ctx, info))
+    }
+
+    fn node_lost(&self, tt_idx: usize) {
+        let mut jobs = self.jobs.borrow_mut();
+        for st in jobs.values_mut() {
+            st.owner.retain(|_, t| *t != tt_idx);
+            st.pending.remove(&tt_idx);
+        }
+    }
+
+    fn job_finalized(&self, job: JobId) {
+        self.jobs.borrow_mut().remove(&job);
+    }
+
+    fn run_reduce(&self, ctx: ReduceCtx) -> LocalBoxFuture<Result<ReduceStats, ReduceError>> {
+        Box::pin(run_reduce_rdma(ctx, RdmaVariant::osu_ib()))
+    }
+}
+
+/// Buffers one map output; flushes (folds + registers) a node's wave when
+/// full, or every node's remainder when the job's last map stages.
+async fn stage(jobs: StageState, ctx: StageCtx, info: MapOutputInfo) -> Staged {
+    let t = ctx.tt_idx;
+    // Bookkeeping is synchronous (no await while the state is borrowed).
+    let flush_groups: Vec<(usize, u32, Vec<MapOutputInfo>)> = {
+        let mut jobs = jobs.borrow_mut();
+        let st = jobs.entry(ctx.job).or_default();
+        if st.owner.contains_key(&info.map_idx) {
+            // A speculative duplicate of an already-staged map: discard.
+            return Staged::Deferred {
+                accepted: false,
+                ready: vec![],
+            };
+        }
+        st.owner.insert(info.map_idx, t);
+        st.pending.entry(t).or_default().push(info);
+        let mut groups = Vec::new();
+        if st.owner.len() == ctx.total_maps {
+            // Last map staged: flush every node's remainder, node order.
+            let nodes: Vec<usize> = st.pending.keys().copied().collect();
+            for n in nodes {
+                let buf = st.pending.remove(&n).expect("listed pending node");
+                let w = st.wave.entry(n).or_insert(0);
+                groups.push((n, *w, buf));
+                *w += 1;
+            }
+        } else if st.pending[&t].len() >= ctx.conf.map_slots.max(1) {
+            // One full wave of co-located maps: fold it now.
+            let buf = st.pending.remove(&t).expect("own pending buffer");
+            let w = st.wave.entry(t).or_insert(0);
+            groups.push((t, *w, buf));
+            *w += 1;
+        }
+        groups
+    };
+    let mut ready = Vec::new();
+    for (n, wave, buf) in flush_groups {
+        let folded = fold_group(&ctx, n, wave, &buf).await;
+        // The fold awaited disk and CPU; if node `n` died meanwhile its
+        // staging state was cleared and the JobTracker re-queued these
+        // maps — the stale aggregate must not register.
+        let still_owned = {
+            let jobs = jobs.borrow();
+            jobs.get(&ctx.job)
+                .is_some_and(|st| buf.iter().all(|i| st.owner.get(&i.map_idx) == Some(&n)))
+        };
+        if still_owned {
+            ready.extend(folded);
+        }
+    }
+    Staged::Deferred {
+        accepted: true,
+        ready,
+    }
+}
+
+/// Folds one node's buffered outputs into a single aggregated map output
+/// plus zero-record placeholders for the other folded maps (the
+/// `discovered == total_maps` shuffle protocol needs one entry per map).
+async fn fold_group(
+    ctx: &StageCtx,
+    n: usize,
+    wave: u32,
+    buf: &[MapOutputInfo],
+) -> Vec<MapOutputInfo> {
+    if buf.len() == 1 {
+        // Nothing to fold with; register the lone output as-is.
+        let i = &buf[0];
+        return vec![MapOutputInfo {
+            job: i.job,
+            map_idx: i.map_idx,
+            tt_idx: i.tt_idx,
+            node: i.node,
+            file: i.file.clone(),
+            total_bytes: i.total_bytes,
+            total_records: i.total_records,
+            parts: i.parts.clone(),
+        }];
+    }
+    let node = ctx.cluster.workers[n].clone();
+    let costs = &ctx.conf.costs;
+    let combine = ctx.spec.combiner.clone().expect("stage without combiner");
+    let sum_records: u64 = buf.iter().map(|i| i.total_records).sum();
+    let sum_bytes: u64 = buf.iter().map(|i| i.total_bytes).sum();
+
+    // Read every buffered map-output file back from the node's disk.
+    for i in buf {
+        if i.total_bytes > 0 {
+            let mut r = node.fs.reader(&i.file).expect("staged map output");
+            r.read_exact(i.total_bytes).await.expect("stage readback");
+        }
+    }
+    // One k-way merge pass plus the combiner over every record.
+    let k = buf.len() as f64;
+    node.compute(
+        costs.sort_per_record_level * sum_records as f64 * k.log2().max(1.0)
+            + costs.reduce_per_record * sum_records as f64,
+    )
+    .await;
+
+    // Fold each reduce partition across the wave's maps.
+    let nparts = buf[0].parts.len();
+    let mut parts = Vec::with_capacity(nparts);
+    for r in 0..nparts {
+        let srcs: Vec<Segment> = buf.iter().map(|i| i.parts[r].clone()).collect();
+        let peak = srcs.iter().map(|s| s.records).max().unwrap_or(0);
+        let merged = Segment::merge(&srcs);
+        parts.push(fold_segment(merged, peak, &combine, ctx.spec.combine_ratio));
+    }
+    let total_records: u64 = parts.iter().map(|p| p.records).sum();
+    let total_bytes: u64 = parts.iter().map(|p| p.bytes).sum();
+
+    // Write the aggregate file the shuffle will serve.
+    let file = format!("{}_nodeagg_{n}_{wave}.out", ctx.job);
+    let w = node.fs.writer(&file).expect("aggregate file");
+    if total_bytes > 0 {
+        w.append(total_bytes).await.expect("aggregate write");
+    }
+    node.compute(costs.serde_per_byte * total_bytes as f64)
+        .await;
+
+    ctx.obs.emit(|| Ev::CombineFold {
+        node: n,
+        job: ctx.job.0,
+        maps: buf.len(),
+        bytes_in: sum_bytes,
+        bytes_out: total_bytes,
+    });
+    ctx.cluster
+        .sim
+        .metrics()
+        .add("combine.bytes_saved", (sum_bytes - total_bytes) as f64);
+
+    // The smallest folded map index carries the aggregate; the rest become
+    // zero-record placeholders pointing at the same file (never read:
+    // serving skips disk for empty segments).
+    let rep = buf.iter().map(|i| i.map_idx).min().expect("non-empty wave");
+    let mut out = Vec::with_capacity(buf.len());
+    out.push(MapOutputInfo {
+        job: ctx.job,
+        map_idx: rep,
+        tt_idx: n,
+        node: node.id,
+        file: file.clone(),
+        total_bytes,
+        total_records,
+        parts,
+    });
+    let mut others: Vec<usize> = buf
+        .iter()
+        .map(|i| i.map_idx)
+        .filter(|&m| m != rep)
+        .collect();
+    others.sort_unstable();
+    for m in others {
+        out.push(MapOutputInfo {
+            job: ctx.job,
+            map_idx: m,
+            tt_idx: n,
+            node: node.id,
+            file: file.clone(),
+            total_bytes: 0,
+            total_records: 0,
+            parts: vec![Segment::empty(); nparts],
+        });
+    }
+    out
+}
+
+/// Applies the combiner to one merged partition. Real segments group-fold
+/// through the user fn; synthetic segments shrink to the shared-vocabulary
+/// model: the wave's largest source survives (every map re-emits the same
+/// hot keys), floored by `combine_ratio` of the merged volume.
+fn fold_segment(merged: Segment, peak_records: u64, combine: &ReduceFn, ratio: f64) -> Segment {
+    if merged.records == 0 {
+        return merged;
+    }
+    if merged.is_real() {
+        let recs = merged.to_records().expect("real segment records");
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < recs.len() {
+            let key = recs[i].key.clone();
+            let mut values = Vec::new();
+            while i < recs.len() && recs[i].key == key {
+                values.push(recs[i].value.clone());
+                i += 1;
+            }
+            out.extend(combine(&key, &values));
+        }
+        Segment::from_records(out)
+    } else {
+        let floor = (merged.records as f64 * ratio).ceil() as u64;
+        let records = peak_records.max(floor).clamp(1, merged.records);
+        let bytes = (merged.bytes as f64 * records as f64 / merged.records as f64) as u64;
+        Segment::synthetic(records, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use bytes::Bytes;
+
+    fn sum_combiner() -> ReduceFn {
+        Rc::new(|k: &Bytes, vs: &[Bytes]| {
+            let total: u64 = vs
+                .iter()
+                .map(|v| String::from_utf8_lossy(v).parse::<u64>().unwrap_or(0))
+                .sum();
+            vec![Record::new(k.clone(), Bytes::from(total.to_string()))]
+        })
+    }
+
+    #[test]
+    fn real_fold_collapses_shared_keys() {
+        let a = Segment::from_records(vec![
+            Record::new(&b"x"[..], &b"1"[..]),
+            Record::new(&b"y"[..], &b"2"[..]),
+        ]);
+        let b = Segment::from_records(vec![
+            Record::new(&b"x"[..], &b"3"[..]),
+            Record::new(&b"z"[..], &b"4"[..]),
+        ]);
+        let merged = Segment::merge(&[a, b]);
+        let folded = fold_segment(merged, 2, &sum_combiner(), 0.5);
+        assert_eq!(folded.records, 3, "x collapses, y and z survive");
+        let recs = folded.to_records().unwrap();
+        assert_eq!(recs[0].key, Bytes::from_static(b"x"));
+        assert_eq!(recs[0].value, Bytes::from_static(b"4"));
+    }
+
+    #[test]
+    fn synthetic_fold_keeps_the_peak_source() {
+        let merged = Segment::synthetic(100, 1000);
+        let folded = fold_segment(merged, 40, &sum_combiner(), 0.05);
+        assert_eq!(folded.records, 40, "shared-vocabulary model");
+        assert_eq!(folded.bytes, 400);
+    }
+
+    #[test]
+    fn synthetic_fold_floors_at_combine_ratio() {
+        let merged = Segment::synthetic(100, 1000);
+        let folded = fold_segment(merged, 10, &sum_combiner(), 0.5);
+        assert_eq!(folded.records, 50, "ratio floor dominates a small peak");
+    }
+
+    #[test]
+    fn node_lost_clears_staging_state() {
+        let eng = NodeCombinerEngine::new();
+        {
+            let mut jobs = eng.jobs.borrow_mut();
+            let st = jobs.entry(JobId(0)).or_default();
+            st.owner.insert(0, 1);
+            st.owner.insert(1, 2);
+            st.pending.entry(1).or_default();
+        }
+        eng.node_lost(1);
+        let jobs = eng.jobs.borrow();
+        let st = jobs.get(&JobId(0)).unwrap();
+        assert_eq!(st.owner.len(), 1);
+        assert_eq!(st.owner.get(&1), Some(&2));
+        assert!(st.pending.is_empty());
+    }
+}

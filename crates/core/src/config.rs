@@ -10,9 +10,11 @@ use std::rc::Rc;
 
 use rmr_des::SimDuration;
 
-use crate::engine::{HadoopAEngine, OsuIbEngine, ShuffleEngine, VanillaEngine};
+use crate::combine::NodeCombinerEngine;
+use crate::engine::{HadoopAEngine, MultiRailEngine, OsuIbEngine, ShuffleEngine, VanillaEngine};
 
-/// Which shuffle engine a job runs (the paper's three systems).
+/// Which shuffle engine a job runs (the paper's three systems plus the
+/// shuffle-volume extensions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShuffleKind {
     /// Stock Hadoop: HTTP over sockets, copier threads, two-level disk
@@ -25,6 +27,15 @@ pub enum ShuffleKind {
     /// PrefetchCache on the TaskTracker, byte-budgeted packets,
     /// priority-queue merge overlapped with reduce.
     OsuIb,
+    /// OSU-IB plus a per-node aggregation stage: all co-located maps' sorted
+    /// output is folded through the job's combiner before registration with
+    /// the shuffle servers, cutting bytes served and reducer merge fan-in.
+    /// Jobs without a combiner fall back to plain OSU-IB pass-through.
+    NodeCombiner,
+    /// OSU-IB striped across `k` fabric rails, with responder-pool request
+    /// batching: adjacent segment requests from one reduce attempt coalesce
+    /// into one serve (RDMAbox-style doorbell batching).
+    MultiRail,
 }
 
 impl ShuffleKind {
@@ -41,6 +52,8 @@ impl ShuffleKind {
             ShuffleKind::Vanilla => Rc::new(VanillaEngine),
             ShuffleKind::HadoopA => Rc::new(HadoopAEngine),
             ShuffleKind::OsuIb => Rc::new(OsuIbEngine),
+            ShuffleKind::NodeCombiner => Rc::new(NodeCombinerEngine::new()),
+            ShuffleKind::MultiRail => Rc::new(MultiRailEngine),
         }
     }
 
@@ -50,8 +63,20 @@ impl ShuffleKind {
             ShuffleKind::Vanilla => "Hadoop",
             ShuffleKind::HadoopA => "HadoopA-IB",
             ShuffleKind::OsuIb => "OSU-IB",
+            ShuffleKind::NodeCombiner => "OSU-IB+Comb",
+            ShuffleKind::MultiRail => "OSU-IB-MR",
         }
     }
+
+    /// Every engine the repo hosts, in table order (the paper's three plus
+    /// the shuffle-volume extensions).
+    pub const ALL: [ShuffleKind; 5] = [
+        ShuffleKind::Vanilla,
+        ShuffleKind::HadoopA,
+        ShuffleKind::OsuIb,
+        ShuffleKind::NodeCombiner,
+        ShuffleKind::MultiRail,
+    ];
 }
 
 /// CPU cost coefficients of the data-plane operations, in core-seconds.
@@ -241,11 +266,15 @@ impl JobConf {
     }
 
     /// The paper's preset for `kind` (caching on only where the design
-    /// has a cache).
+    /// has a cache). The shuffle-volume engines extend OSU-IB, so they
+    /// inherit its PrefetchCache.
     pub fn for_kind(kind: ShuffleKind) -> Self {
         JobConf {
             shuffle: kind,
-            caching_enabled: kind == ShuffleKind::OsuIb,
+            caching_enabled: matches!(
+                kind,
+                ShuffleKind::OsuIb | ShuffleKind::NodeCombiner | ShuffleKind::MultiRail
+            ),
             ..Default::default()
         }
     }
@@ -270,16 +299,21 @@ mod tests {
         assert!(!ShuffleKind::Vanilla.uses_rdma());
         assert!(ShuffleKind::HadoopA.uses_rdma());
         assert!(ShuffleKind::OsuIb.uses_rdma());
+        assert!(ShuffleKind::NodeCombiner.uses_rdma());
+        assert!(ShuffleKind::MultiRail.uses_rdma());
     }
 
     #[test]
     fn labels_are_distinct() {
-        let labels = [
-            ShuffleKind::Vanilla.label(),
-            ShuffleKind::HadoopA.label(),
-            ShuffleKind::OsuIb.label(),
-        ];
+        let labels: Vec<_> = ShuffleKind::ALL.iter().map(|k| k.label()).collect();
         let set: std::collections::BTreeSet<_> = labels.iter().collect();
-        assert_eq!(set.len(), 3);
+        assert_eq!(set.len(), ShuffleKind::ALL.len());
+    }
+
+    #[test]
+    fn extension_presets_keep_the_cache() {
+        assert!(JobConf::for_kind(ShuffleKind::NodeCombiner).caching_enabled);
+        assert!(JobConf::for_kind(ShuffleKind::MultiRail).caching_enabled);
+        assert!(!JobConf::for_kind(ShuffleKind::HadoopA).caching_enabled);
     }
 }

@@ -22,6 +22,7 @@
 //! paths with counts only ([`record::RunData`]).
 
 pub mod cluster;
+pub mod combine;
 pub mod config;
 pub mod engine;
 pub mod faults;

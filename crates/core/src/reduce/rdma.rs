@@ -68,6 +68,9 @@ pub struct RdmaVariant {
     /// Overflowing packets spill to the reducer's local disk (vs dropped
     /// and refetched from the TaskTracker).
     pub local_spill: bool,
+    /// Stripe every shuffle message across the fabric's rails (multi-rail
+    /// HCAs). A no-op on single-rail fabrics, so seed variants keep it off.
+    pub striped: bool,
 }
 
 impl RdmaVariant {
@@ -77,6 +80,7 @@ impl RdmaVariant {
             byte_packets: true,
             eager_fetch: true,
             local_spill: true,
+            striped: false,
         }
     }
 
@@ -87,6 +91,16 @@ impl RdmaVariant {
             byte_packets: false,
             eager_fetch: false,
             local_spill: false,
+            striped: false,
+        }
+    }
+
+    /// Multi-rail OSU-IB: the same pipeline, but every reducer↔server QP
+    /// stripes its wire bytes across the fabric's rails.
+    pub fn multi_rail() -> Self {
+        RdmaVariant {
+            striped: true,
+            ..RdmaVariant::osu_ib()
         }
     }
 }
@@ -381,7 +395,10 @@ pub async fn run_reduce_rdma(
                 TtServerHandle::Rdma(c) => c.clone(),
                 _ => panic!("RDMA reducer needs RDMA servers"),
             };
-            if let Some(ep) = connector.try_connect(node.id).await {
+            if let Some(ep) = connector
+                .try_connect_striped(node.id, variant.striped)
+                .await
+            {
                 connected.push((tt_i, Rc::new(ep), epoch));
             }
         }
@@ -569,7 +586,10 @@ pub async fn run_reduce_rdma(
                     TtServerHandle::Rdma(c) => c.clone(),
                     _ => panic!("RDMA reducer needs RDMA servers"),
                 };
-                if let Some(ep) = connector.try_connect(node.id).await {
+                if let Some(ep) = connector
+                    .try_connect_striped(node.id, variant.striped)
+                    .await
+                {
                     let ep = Rc::new(ep);
                     eps.borrow_mut().insert(tt, Rc::clone(&ep));
                     ep_epochs.borrow_mut().insert(tt, epoch);

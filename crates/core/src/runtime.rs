@@ -26,7 +26,7 @@ use rmr_obs::{
 
 use crate::cluster::Cluster;
 use crate::config::{JobConf, ShuffleKind};
-use crate::engine::ShuffleEngine;
+use crate::engine::{ShuffleEngine, StageCtx, Staged};
 use crate::faults::{FaultEvent, FaultPlan, NodeLiveness};
 use crate::jobtracker::{JobTracker, MapTaskDesc};
 use crate::mapoutput::MapOutputStore;
@@ -574,6 +574,9 @@ impl Runtime {
         // contents, and committed map outputs are gone.
         tt.clear_serve_state();
         inner.outputs.remove_node(tt_idx);
+        // Staged-but-unregistered outputs buffered by an aggregating engine
+        // die with the node; their maps re-queue below via `node_lost`.
+        inner.engine.node_lost(tt_idx);
         // Aborted speculative attempts can no longer be preempted; their
         // slot-ledger entries are released by the dropped futures' guards.
         inner
@@ -1073,6 +1076,7 @@ impl RtInner {
             tt.cache.forget_job_stats(job.id);
         }
         self.outputs.remove_job(job.id);
+        self.engine.job_finalized(job.id);
         self.active.borrow_mut().retain(|&j| j != job.id.0);
 
         let (failed_map_attempts, failed_reduce_attempts) = {
@@ -1364,14 +1368,47 @@ fn spawn_map_attempt(
                 }
                 Some(Some(info)) => {
                     let map_idx = info.map_idx;
-                    let first = job.jt.borrow_mut().map_completed(map_idx, tt.idx);
+                    // The engine may register the output immediately (the
+                    // default) or stage it for aggregation and release
+                    // folded outputs — possibly several, possibly none —
+                    // once a wave is full.
+                    let staged = inner
+                        .engine
+                        .stage_map_output(
+                            StageCtx {
+                                cluster: inner.cluster.clone(),
+                                conf: Rc::clone(&job.conf),
+                                spec: job.spec.clone(),
+                                job: job.id,
+                                total_maps: job.total_maps,
+                                tt_idx: tt.idx,
+                                obs: inner.obs.clone(),
+                            },
+                            info,
+                        )
+                        .await;
+                    let (committed, ready) = match staged {
+                        Staged::Direct(info) => {
+                            let first = job.jt.borrow_mut().map_completed(map_idx, tt.idx);
+                            if first {
+                                // Only the winning attempt's output is
+                                // committed; speculative losers are
+                                // discarded (their file stays on disk until
+                                // job cleanup, as in Hadoop).
+                                inner.outputs.insert(info);
+                                tt.on_map_output(job.id, map_idx);
+                            }
+                            (first, Vec::new())
+                        }
+                        Staged::Deferred { accepted, ready } => (accepted, ready),
+                    };
                     job.timeline.record(TaskEvent {
                         kind: TaskKind::Map,
                         idx,
                         tt: tt.idx,
                         start_s: attempt_start,
                         end_s,
-                        outcome: if first {
+                        outcome: if committed {
                             Outcome::Completed
                         } else {
                             Outcome::Discarded
@@ -1382,18 +1419,23 @@ fn spawn_map_attempt(
                         job: job.id.0,
                         kind: TaskFlavor::Map,
                         idx,
-                        outcome: if first {
+                        outcome: if committed {
                             AttemptOutcome::Completed
                         } else {
                             AttemptOutcome::Discarded
                         },
                     });
-                    if first {
-                        // Only the winning attempt's output is committed;
-                        // speculative losers are discarded (their file stays
-                        // on disk until job cleanup, as in Hadoop).
-                        inner.outputs.insert(info);
-                        tt.on_map_output(job.id, map_idx);
+                    // Flushed staged outputs register now, on behalf of the
+                    // nodes that buffered them.
+                    for out in ready {
+                        let out_map = out.map_idx;
+                        let out_tt = out.tt_idx;
+                        if job.jt.borrow_mut().map_completed(out_map, out_tt) {
+                            inner.outputs.insert(out);
+                            inner.tts[out_tt].on_map_output(job.id, out_map);
+                        }
+                    }
+                    if committed {
                         let (maps_done, job_done) = {
                             let jtb = job.jt.borrow();
                             (jtb.maps_done(), jtb.job_done())

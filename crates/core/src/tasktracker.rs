@@ -441,6 +441,19 @@ pub(crate) fn start_http_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServer
 /// Hadoop-A and OSU-IB: `RDMAListener` + per-endpoint `RDMAReceiver`s +
 /// `DataRequestQueue` + `RDMAResponder` pool (§III-B-1).
 pub(crate) fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServerHandle {
+    start_rdma_server_with(tt, net, false)
+}
+
+/// [`start_rdma_server`] with optional RDMAbox-style request batching: a
+/// responder that pops a request also drains the queue and coalesces every
+/// queued request from the same reduce attempt into one serve turn (one
+/// doorbell), served back-to-back in map order. Off (`false`) for the seed
+/// engines so their replays are untouched.
+pub(crate) fn start_rdma_server_with(
+    tt: &Rc<TaskTracker>,
+    net: &Network,
+    batch_requests: bool,
+) -> TtServerHandle {
     let listener = ucr_listen::<ShufMsg>(net, tt.node.id);
     let connector = listener.connector();
     let tt_id = tt.node.id.0;
@@ -459,13 +472,44 @@ pub(crate) fn start_rdma_server(tt: &Rc<TaskTracker>, net: &Network) -> TtServer
     // RDMAResponder pool.
     for i in 0..tt.conf.responder_threads.max(1) {
         let rx = req_rx.clone();
+        let requeue = req_tx.clone();
         let tt = Rc::clone(tt);
         tt.group
             .clone()
             .spawn_daemon(format!("tt{tt_id}-rdma-responder-{i}"), async move {
-                while let Some((ep, job, map_idx, reduce, attempt, budget)) = rx.recv().await {
-                    let resp = tt.serve(job, map_idx, reduce, attempt, budget).await;
-                    ep.send(resp).await;
+                while let Some(head) = rx.recv().await {
+                    let mut batch = vec![head];
+                    if batch_requests {
+                        // Drain once (no re-draining our own re-queues),
+                        // keep same-attempt requests, put the rest back.
+                        let mut rest = Vec::new();
+                        while let Some(q) = rx.try_recv() {
+                            let same = Rc::ptr_eq(&q.0, &batch[0].0)
+                                && q.1 == batch[0].1
+                                && q.3 == batch[0].3
+                                && q.4 == batch[0].4;
+                            if same {
+                                batch.push(q);
+                            } else {
+                                rest.push(q);
+                            }
+                        }
+                        for q in rest {
+                            let _ = requeue.send_now(q);
+                        }
+                        if batch.len() > 1 {
+                            batch.sort_by_key(|q| q.2);
+                            let merged = batch.len();
+                            tt.obs.emit(|| Ev::BatchMerge {
+                                node: tt.idx,
+                                merged,
+                            });
+                        }
+                    }
+                    for (ep, job, map_idx, reduce, attempt, budget) in batch {
+                        let resp = tt.serve(job, map_idx, reduce, attempt, budget).await;
+                        ep.send(resp).await;
+                    }
                 }
             })
             .detach();

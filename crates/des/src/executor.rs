@@ -31,6 +31,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -86,6 +87,11 @@ struct TaskSlot {
     /// (an `Arc` bump) on every poll instead of allocating a fresh
     /// `WakeEntry` per poll.
     waker: Waker,
+    /// Shared with this generation's [`WakeEntry`]: true while the task sits
+    /// in the ready queue, so broadcast wake fan-out (a fluid completion
+    /// batch finishing every leg of one transfer's `join_all` at the same
+    /// instant) collapses to a single queue entry and a single poll.
+    queued: Arc<AtomicBool>,
 }
 
 /// The shared FIFO of tasks made runnable by wakers. `Waker` must be
@@ -96,15 +102,21 @@ type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
 struct WakeEntry {
     task: TaskId,
     ready: ReadyQueue,
+    /// See [`TaskSlot::queued`]. Redundant wakes while the task is already
+    /// queued are dropped; the executor clears the flag when it pops the
+    /// task, so wakes arriving during a poll still re-queue it.
+    queued: Arc<AtomicBool>,
 }
 
 impl Wake for WakeEntry {
     fn wake(self: Arc<Self>) {
-        self.ready.lock().unwrap().push_back(self.task);
+        self.wake_by_ref();
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.lock().unwrap().push_back(self.task);
+        if !self.queued.swap(true, Ordering::Relaxed) {
+            self.ready.lock().unwrap().push_back(self.task);
+        }
     }
 }
 
@@ -457,6 +469,9 @@ impl Sim {
         core.trace_hash = h;
         let future: LocalFuture = Box::pin(fut);
         let ready = Arc::clone(&core.ready);
+        // Spawned tasks are enqueued immediately below, so the flag starts
+        // true: a wake landing before the first poll must not double-queue.
+        let queued = Arc::new(AtomicBool::new(true));
         let id = if let Some(index) = core.free_tasks.pop() {
             let slot = &mut core.tasks[index as usize];
             let id = TaskId {
@@ -470,7 +485,12 @@ impl Sim {
             slot.daemon = daemon;
             // The slot's generation changed since it was last occupied, so
             // the cached waker must be rebuilt for the new id.
-            slot.waker = Waker::from(Arc::new(WakeEntry { task: id, ready }));
+            slot.queued = Arc::clone(&queued);
+            slot.waker = Waker::from(Arc::new(WakeEntry {
+                task: id,
+                ready,
+                queued,
+            }));
             id
         } else {
             let index = core.tasks.len() as u32;
@@ -482,7 +502,12 @@ impl Sim {
                 name,
                 blocked_on: None,
                 daemon,
-                waker: Waker::from(Arc::new(WakeEntry { task: id, ready })),
+                queued: Arc::clone(&queued),
+                waker: Waker::from(Arc::new(WakeEntry {
+                    task: id,
+                    ready,
+                    queued,
+                })),
             });
             id
         };
@@ -569,6 +594,9 @@ impl Sim {
                 Some(s) if s.gen == id.gen && s.live => s,
                 _ => return, // stale waker
             };
+            // Popped out of the ready queue: clear the dedup flag first so a
+            // wake arriving during the poll below re-queues the task.
+            slot.queued.store(false, Ordering::Relaxed);
             // Cleared before every poll; a primitive that suspends the task
             // again will re-record the reason.
             slot.blocked_on = None;
@@ -1094,6 +1122,82 @@ mod tests {
         .detach();
         sim.run();
         assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn redundant_wakes_collapse_to_one_poll() {
+        // Broadcast fan-out (a fluid completion batch waking one task once
+        // per finished leg) must cost one queue entry, not one poll per wake.
+        struct Capture {
+            polls: Rc<Cell<u32>>,
+            waker: Rc<RefCell<Option<Waker>>>,
+        }
+        impl Future for Capture {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                self.polls.set(self.polls.get() + 1);
+                if self.polls.get() >= 2 {
+                    return Poll::Ready(());
+                }
+                *self.waker.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let sim = Sim::new(1);
+        let polls = Rc::new(Cell::new(0u32));
+        let waker: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        sim.spawn_named(
+            "capture",
+            Capture {
+                polls: Rc::clone(&polls),
+                waker: Rc::clone(&waker),
+            },
+        )
+        .detach();
+        let w2 = Rc::clone(&waker);
+        sim.schedule_fn(SimTime::from_nanos(1), move |_| {
+            let w = w2.borrow().as_ref().unwrap().clone();
+            w.wake_by_ref();
+            w.wake_by_ref();
+            w.wake();
+        });
+        sim.run();
+        // First poll at spawn + exactly one re-poll for the wake burst.
+        assert_eq!(polls.get(), 2);
+    }
+
+    #[test]
+    fn wake_during_poll_requeues_the_task() {
+        // A wake landing while the task is being polled (flag already
+        // cleared) must re-queue it — dedup only spans time-in-queue.
+        struct SelfWake {
+            polls: Rc<Cell<u32>>,
+        }
+        impl Future for SelfWake {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                self.polls.set(self.polls.get() + 1);
+                if self.polls.get() >= 3 {
+                    return Poll::Ready(());
+                }
+                // Wake mid-poll, twice: one re-queue, not two.
+                cx.waker().wake_by_ref();
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+        let sim = Sim::new(1);
+        let polls = Rc::new(Cell::new(0u32));
+        sim.spawn_named(
+            "self-wake",
+            SelfWake {
+                polls: Rc::clone(&polls),
+            },
+        )
+        .detach();
+        sim.run();
+        assert_eq!(polls.get(), 3);
+        assert_eq!(sim.live_tasks(), 0);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct FabricParams {
     /// Extra one-time cost of establishing a connection (TCP handshake /
     /// QP transition to RTS).
     pub connect_cost: SimDuration,
+    /// Independent wire rails per node (multi-rail HCAs / dual-port
+    /// bonding). `1` everywhere by default: per-rail fluid legs are only
+    /// created above 1, so single-rail replays are untouched. Transfers use
+    /// the rails only when asked to stripe (see `Network::transfer_striped`).
+    pub rails: usize,
 }
 
 impl FabricParams {
@@ -69,6 +74,7 @@ impl FabricParams {
             cpu_per_packet: 1.6e-6,
             cpu_per_message: 4.0e-6,
             connect_cost: SimDuration::from_micros(250),
+            rails: 1,
         }
     }
 
@@ -87,6 +93,7 @@ impl FabricParams {
             cpu_per_packet: 1.0e-6,
             cpu_per_message: 3.5e-6,
             connect_cost: SimDuration::from_micros(200),
+            rails: 1,
         }
     }
 
@@ -105,6 +112,7 @@ impl FabricParams {
             cpu_per_packet: 0.9e-6,
             cpu_per_message: 3.5e-6,
             connect_cost: SimDuration::from_micros(150),
+            rails: 1,
         }
     }
 
@@ -122,6 +130,7 @@ impl FabricParams {
             cpu_per_packet: 0.0,
             cpu_per_message: 1.0e-6,
             connect_cost: SimDuration::from_micros(500),
+            rails: 1,
         }
     }
 
@@ -141,6 +150,7 @@ impl FabricParams {
             cpu_per_packet: 0.0,
             cpu_per_message: 1.5e-6,
             connect_cost: SimDuration::from_micros(400),
+            rails: 1,
         }
     }
 
@@ -158,7 +168,16 @@ impl FabricParams {
             cpu_per_packet: 0.0,
             cpu_per_message: 1.2e-6,
             connect_cost: SimDuration::from_micros(450),
+            rails: 1,
         }
+    }
+
+    /// Returns the fabric with `k` independent wire rails per node
+    /// (clamped to at least one). Only striped transfers spread load
+    /// across them; plain transfers keep using rail 0.
+    pub fn with_rails(mut self, k: usize) -> Self {
+        self.rails = k.max(1);
+        self
     }
 
     /// True when the fabric bypasses the kernel (RDMA capable).
@@ -236,6 +255,14 @@ mod tests {
             assert!(f.link_bw <= verbs.link_bw);
             assert!(f.latency < g10.latency);
         }
+    }
+
+    #[test]
+    fn presets_are_single_rail_and_with_rails_clamps() {
+        let verbs = FabricParams::ib_verbs_qdr();
+        assert_eq!(verbs.rails, 1);
+        assert_eq!(verbs.clone().with_rails(2).rails, 2);
+        assert_eq!(verbs.with_rails(0).rails, 1);
     }
 
     #[test]

@@ -39,6 +39,10 @@ impl std::fmt::Display for NodeId {
 struct NodeNet {
     tx: Fluid,
     rx: Fluid,
+    /// Extra (tx, rx) fluid pairs for rails 1..k on multi-rail fabrics;
+    /// empty whenever `fabric.rails <= 1`, so single-rail runs never even
+    /// allocate them. Rail 0 is the plain `tx`/`rx` pair above.
+    rails: Vec<(Fluid, Fluid)>,
     /// Host CPU; `None` models an infinitely fast host (useful in unit
     /// tests that isolate wire behaviour).
     cpu: Option<Fluid>,
@@ -186,9 +190,20 @@ impl Network {
     pub fn add_node(&self, cpu: Option<Fluid>) -> NodeId {
         let mut nodes = self.nodes.borrow_mut();
         let id = NodeId(nodes.len() as u32);
+        let rails = (1..self.fabric.rails)
+            .map(|r| {
+                (
+                    Fluid::new(&self.sim, self.fabric.link_bw)
+                        .with_metrics_key(format!("net.{id}.rail{r}.tx")),
+                    Fluid::new(&self.sim, self.fabric.link_bw)
+                        .with_metrics_key(format!("net.{id}.rail{r}.rx")),
+                )
+            })
+            .collect();
         nodes.push(NodeNet {
             tx: Fluid::new(&self.sim, self.fabric.link_bw).with_metrics_key(format!("net.{id}.tx")),
             rx: Fluid::new(&self.sim, self.fabric.link_bw).with_metrics_key(format!("net.{id}.rx")),
+            rails,
             cpu,
         });
         if self.topology.constrains() {
@@ -279,6 +294,79 @@ impl Network {
             }
         }
         legs
+    }
+
+    fn striped_leg_futures(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        wire_scale: f64,
+    ) -> Vec<rmr_des::resource::fluid::ConsumeFuture> {
+        let nodes = self.nodes.borrow();
+        let s = &nodes[src.0 as usize];
+        let d = &nodes[dst.0 as usize];
+        let k = (s.rails.len() + 1) as f64;
+        let wire = bytes as f64 * wire_scale;
+        // Even fluid split: each rail moves 1/k of the wire bytes. Rail 0
+        // is the node's plain tx/rx pair, so a striped message still shares
+        // it fairly with un-striped traffic.
+        let share = wire / k;
+        let mut legs = Vec::with_capacity(2 * (s.rails.len() + 1) + 4);
+        legs.push(s.tx.consume(share));
+        legs.push(d.rx.consume(share));
+        for (stx, _) in &s.rails {
+            legs.push(stx.consume(share));
+        }
+        for (_, drx) in &d.rails {
+            legs.push(drx.consume(share));
+        }
+        // The rack core carries the aggregate regardless of how many HCA
+        // rails fed it, so its legs see the full message.
+        if self.topology.constrains() && self.topology.cross_rack(src, dst) {
+            let racks = self.racks.borrow();
+            legs.push(racks[self.topology.rack_of(src)].up.consume(wire));
+            legs.push(racks[self.topology.rack_of(dst)].down.consume(wire));
+        }
+        // Protocol CPU is charged once for the whole message: striping
+        // splits the wire, not the work-request posting.
+        let send_cpu = self.fabric.send_cpu(bytes);
+        if let Some(cpu) = &s.cpu {
+            if send_cpu > 0.0 {
+                legs.push(cpu.consume(send_cpu));
+            }
+        }
+        let recv_cpu = self.fabric.recv_cpu(bytes);
+        if let Some(cpu) = &d.cpu {
+            if recv_cpu > 0.0 {
+                legs.push(cpu.consume(recv_cpu));
+            }
+        }
+        legs
+    }
+
+    /// Like [`Network::transfer`], but stripes the wire bytes evenly across
+    /// the fabric's rails. On single-rail fabrics and loopback this *is*
+    /// `transfer` — same legs, same ordering — so engines can call it
+    /// unconditionally without perturbing single-rail replays.
+    pub async fn transfer_striped(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        if self.fabric.rails <= 1 || src == dst {
+            return self.transfer(src, dst, bytes).await;
+        }
+        let mut wire_scale = 1.0;
+        if !self.faults.borrow().is_empty() {
+            self.wait_out_partitions(src, dst).await;
+            let now = self.sim.now();
+            wire_scale =
+                1.0 / (self.degradation_factor(src, now) * self.degradation_factor(dst, now));
+        }
+        let legs = self.striped_leg_futures(src, dst, bytes, wire_scale);
+        join_all(legs).await;
+        self.sim.sleep(self.fabric.latency).await;
+        self.c_transferred.add(bytes as f64);
+        if self.topology.cross_rack(src, dst) {
+            self.c_cross_rack.add(bytes as f64);
+        }
     }
 
     /// Moves one `bytes`-sized message from `src` to `dst`, resolving when
@@ -596,6 +684,85 @@ mod tests {
         .detach();
         sim.run();
         assert_eq!(done.get(), secs(6.0));
+    }
+
+    #[test]
+    fn striping_splits_the_wire_across_rails() {
+        // 200 B at 100 B/s per rail: one rail takes 2 s, two rails 1 s.
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr().with_rails(2);
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer_striped(a, b, 200).await;
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(1.0));
+    }
+
+    #[test]
+    fn striped_on_one_rail_is_plain_transfer() {
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr();
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer_striped(a, b, 200).await;
+            d.set(sim2.now());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(done.get(), secs(2.0));
+    }
+
+    #[test]
+    fn striped_transfers_share_rail_zero_with_plain_traffic() {
+        // A plain 100 B transfer and a striped 200 B transfer from the same
+        // sender: rail 0 carries 100 + 100 (striped half), rail 1 carries
+        // the other 100. Rail 0 is the bottleneck at 200 B / 100 B/s = 2 s.
+        let sim = Sim::new(1);
+        let mut f = FabricParams::ib_verbs_qdr().with_rails(2);
+        f.link_bw = 100.0;
+        f.latency = rmr_des::SimDuration::ZERO;
+        f.cpu_per_message = 0.0;
+        let net = Network::new(&sim, f);
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        let t = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for striped in [false, true] {
+            let net = net.clone();
+            let sim2 = sim.clone();
+            let t2 = Rc::clone(&t);
+            sim.spawn(async move {
+                if striped {
+                    net.transfer_striped(a, b, 200).await;
+                } else {
+                    net.transfer(a, b, 100).await;
+                }
+                t2.borrow_mut().push(sim2.now());
+            })
+            .detach();
+        }
+        sim.run();
+        assert_eq!(*t.borrow().iter().max().unwrap(), secs(2.0));
     }
 
     #[test]

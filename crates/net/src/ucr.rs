@@ -15,7 +15,7 @@ use rmr_des::sync::{channel, Receiver, Semaphore, Sender};
 
 use crate::chan::Wire;
 use crate::network::{Network, NodeId};
-use crate::verbs::{connect_qp, Completion, Cq, Op, Qp};
+use crate::verbs::{connect_qp_striped, Completion, Cq, Op, Qp};
 
 /// Receive-window credits each endpoint keeps pre-posted.
 const RECV_WINDOW: u64 = 64;
@@ -183,10 +183,24 @@ impl<M: Wire> UcrConnector<M> {
     /// killed). The QP setup cost is still paid — connection management
     /// discovers the dead peer only after the exchange times out.
     pub async fn try_connect(&self, from: NodeId) -> Option<EndPoint<M>> {
+        self.try_connect_striped(from, false).await
+    }
+
+    /// [`UcrConnector::try_connect`] over a striped QP: every message on the
+    /// endpoint pair spreads its wire bytes across the fabric's rails. A
+    /// no-op on single-rail fabrics.
+    pub async fn try_connect_striped(&self, from: NodeId, striped: bool) -> Option<EndPoint<M>> {
         let client_send_cq = Cq::new();
         let server_send_cq = Cq::new();
-        let (qp_client, qp_server) =
-            connect_qp(&self.net, from, self.node, &client_send_cq, &server_send_cq).await;
+        let (qp_client, qp_server) = connect_qp_striped(
+            &self.net,
+            from,
+            self.node,
+            &client_send_cq,
+            &server_send_cq,
+            striped,
+        )
+        .await;
         let client = EndPoint::new(qp_client, client_send_cq);
         let server = EndPoint::new(qp_server, server_send_cq);
         if self.tx.send_now(server).is_err() {

@@ -123,6 +123,21 @@ pub async fn connect_qp<P: 'static>(
     send_cq_a: &Cq<P>,
     send_cq_b: &Cq<P>,
 ) -> (Qp<P>, Qp<P>) {
+    connect_qp_striped(net, a, b, send_cq_a, send_cq_b, false).await
+}
+
+/// [`connect_qp`] with an explicit striping mode: a striped QP spreads the
+/// wire bytes of every work request across the fabric's rails (no-op on
+/// single-rail fabrics). Real multi-rail verbs stacks do this below the QP
+/// abstraction, so the API surface is otherwise identical.
+pub async fn connect_qp_striped<P: 'static>(
+    net: &Network,
+    a: NodeId,
+    b: NodeId,
+    send_cq_a: &Cq<P>,
+    send_cq_b: &Cq<P>,
+    striped: bool,
+) -> (Qp<P>, Qp<P>) {
     net.connect_delay(a, b).await;
     let shared_a = Rc::new(QpShared {
         recv_credits: Semaphore::new(0),
@@ -134,8 +149,8 @@ pub async fn connect_qp<P: 'static>(
         recv_wr_ids: RefCell::new(Default::default()),
         recv_cq_tx: RefCell::new(None),
     });
-    let qp_a = build_qp(net, a, b, send_cq_a.sender(), &shared_a, &shared_b);
-    let qp_b = build_qp(net, b, a, send_cq_b.sender(), &shared_b, &shared_a);
+    let qp_a = build_qp(net, a, b, send_cq_a.sender(), &shared_a, &shared_b, striped);
+    let qp_b = build_qp(net, b, a, send_cq_b.sender(), &shared_b, &shared_a, striped);
     (qp_a, qp_b)
 }
 
@@ -146,6 +161,7 @@ fn build_qp<P: 'static>(
     send_cq: Sender<Completion<P>>,
     local_shared: &Rc<QpShared<P>>,
     peer_shared: &Rc<QpShared<P>>,
+    striped: bool,
 ) -> Qp<P> {
     let (wq_tx, wq_rx) = channel::<WorkRequest<P>>();
     let net2 = net.clone();
@@ -164,7 +180,11 @@ fn build_qp<P: 'static>(
                         // RNR: wait for the peer to post a receive.
                         let permit = peer_shared.recv_credits.acquire(1).await;
                         permit.forget();
-                        net2.transfer(local, peer, bytes).await;
+                        if striped {
+                            net2.transfer_striped(local, peer, bytes).await;
+                        } else {
+                            net2.transfer(local, peer, bytes).await;
+                        }
                         let recv_wr_id = peer_shared
                             .recv_wr_ids
                             .borrow_mut()
@@ -187,7 +207,11 @@ fn build_qp<P: 'static>(
                         }
                     }
                     WorkRequest::Write { wr_id, bytes } => {
-                        net2.transfer(local, peer, bytes).await;
+                        if striped {
+                            net2.transfer_striped(local, peer, bytes).await;
+                        } else {
+                            net2.transfer(local, peer, bytes).await;
+                        }
                         let _ = send_cq.send_now(Completion {
                             wr_id,
                             op: Op::RdmaWrite,
@@ -198,7 +222,11 @@ fn build_qp<P: 'static>(
                     WorkRequest::Read { wr_id, bytes } => {
                         // Data flows peer → local; no remote CPU involved
                         // (the remote HCA serves it).
-                        net2.transfer(peer, local, bytes).await;
+                        if striped {
+                            net2.transfer_striped(peer, local, bytes).await;
+                        } else {
+                            net2.transfer(peer, local, bytes).await;
+                        }
                         let _ = send_cq.send_now(Completion {
                             wr_id,
                             op: Op::RdmaRead,
@@ -390,6 +418,32 @@ mod tests {
         .detach();
         sim.run();
         assert_eq!(t.get(), 2_000_000_000);
+    }
+
+    #[test]
+    fn striped_qp_reads_across_rails() {
+        // Same pull as `rdma_read_pulls_from_peer`, but over two rails: the
+        // 200 B read finishes in 1 s instead of 2 s.
+        let sim = Sim::new(1);
+        let net = Network::new(&sim, fabric(100.0).with_rails(2));
+        let a = net.add_node(None);
+        let b = net.add_node(None);
+        let t = Rc::new(Cell::new(0u64));
+        let t2 = Rc::clone(&t);
+        let net2 = net.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let cq_a = Cq::<()>::new();
+            let cq_b = Cq::<()>::new();
+            let (qa, _qb) = connect_qp_striped(&net2, a, b, &cq_a, &cq_b, true).await;
+            qa.post_rdma_read(9, 200);
+            let c = cq_a.next().await.unwrap();
+            assert_eq!(c.op, Op::RdmaRead);
+            t2.set(sim2.now().as_nanos());
+        })
+        .detach();
+        sim.run();
+        assert_eq!(t.get(), 1_000_000_000);
     }
 
     #[test]

@@ -207,6 +207,19 @@ pub enum Ev {
     /// right before the `Submitted` lifecycle event so aggregators can key
     /// later job events by tenant.
     JobQueued { job: u32, queue: u32 },
+    /// The in-node combiner engine folded one wave of co-located map
+    /// outputs: `maps` outputs totalling `bytes_in` became one aggregate of
+    /// `bytes_out` — the shuffle serves `bytes_in - bytes_out` fewer bytes.
+    CombineFold {
+        node: usize,
+        job: u32,
+        maps: usize,
+        bytes_in: u64,
+        bytes_out: u64,
+    },
+    /// An RDMA responder coalesced `merged` queued requests from one reduce
+    /// attempt into a single serve turn (RDMAbox-style doorbell batching).
+    BatchMerge { node: usize, merged: usize },
 }
 
 impl Ev {
@@ -232,6 +245,8 @@ impl Ev {
             Ev::AttemptLost { .. } => "attempt_lost",
             Ev::MapReExecute { .. } => "map_re_execute",
             Ev::JobQueued { .. } => "job_queued",
+            Ev::CombineFold { .. } => "combine_fold",
+            Ev::BatchMerge { .. } => "batch_merge",
         }
     }
 }
@@ -406,6 +421,20 @@ impl ObsEvent {
             }
             Ev::JobQueued { job, queue } => {
                 s.push_str(&format!(",\"job\":{job},\"queue\":{queue}"));
+            }
+            Ev::CombineFold {
+                node,
+                job,
+                maps,
+                bytes_in,
+                bytes_out,
+            } => {
+                s.push_str(&format!(
+                    ",\"node\":{node},\"job\":{job},\"maps\":{maps},\"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out}"
+                ));
+            }
+            Ev::BatchMerge { node, merged } => {
+                s.push_str(&format!(",\"node\":{node},\"merged\":{merged}"));
             }
         }
         s.push('}');
@@ -699,6 +728,17 @@ mod tests {
                 "map_re_execute",
             ),
             (Ev::JobQueued { job: 12, queue: 1 }, "job_queued"),
+            (
+                Ev::CombineFold {
+                    node: 2,
+                    job: 0,
+                    maps: 4,
+                    bytes_in: 4000,
+                    bytes_out: 1000,
+                },
+                "combine_fold",
+            ),
+            (Ev::BatchMerge { node: 2, merged: 3 }, "batch_merge"),
         ];
         for (ev, tag) in cases {
             assert_eq!(ev.tag(), tag);

@@ -12,4 +12,6 @@ pub mod wordcount;
 
 pub use randomwriter::{randomwriter, sort_spec, validate_sort, AVG_RECORD_BYTES};
 pub use tera::{teragen, terasort_spec, teravalidate, ValidateReport, RECORD_BYTES};
-pub use wordcount::{read_counts, textgen, wordcount_spec, wordcount_spec_no_combiner};
+pub use wordcount::{
+    read_counts, textgen, textgen_blocks, textgen_vocab, wordcount_spec, wordcount_spec_no_combiner,
+};

@@ -29,8 +29,64 @@ const WORDS: &[&str] = &[
 ];
 
 /// Generates text-like input: each record is one "line" of `words_per_line`
-/// space-separated words.
+/// space-separated words. Written as a single blob — one HDFS block, one map
+/// split; use [`textgen_blocks`] when the job should fan out over many maps.
 pub async fn textgen(cluster: &Cluster, path: &str, lines: usize, words_per_line: usize) {
+    textgen_blocks(cluster, path, lines, words_per_line, lines).await;
+}
+
+/// [`textgen`], but writing `lines_per_block` lines per blob. Real blobs are
+/// kept whole within one HDFS block, so this is what controls how many map
+/// splits the input spans — per-node aggregation only has something to fold
+/// when several co-located maps run.
+pub async fn textgen_blocks(
+    cluster: &Cluster,
+    path: &str,
+    lines: usize,
+    words_per_line: usize,
+    lines_per_block: usize,
+) {
+    textgen_write(cluster, path, lines, lines_per_block, |rng| {
+        let line: Vec<&str> = (0..words_per_line)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+            .collect();
+        line.join(" ")
+    })
+    .await;
+}
+
+/// [`textgen_blocks`] over a synthetic `vocab`-word vocabulary (`w000000` …)
+/// instead of the built-in fourteen words. With a vocabulary much larger than
+/// one map's token count, per-map combining barely shrinks the shuffle — the
+/// cross-map in-node fold is what collapses duplicate keys, which makes this
+/// the generator of choice for benchmarking the combiner *engine* rather than
+/// the map-side combiner.
+pub async fn textgen_vocab(
+    cluster: &Cluster,
+    path: &str,
+    lines: usize,
+    words_per_line: usize,
+    lines_per_block: usize,
+    vocab: usize,
+) {
+    assert!(vocab > 0, "need a non-empty vocabulary");
+    textgen_write(cluster, path, lines, lines_per_block, |rng| {
+        let line: Vec<String> = (0..words_per_line)
+            .map(|_| format!("w{:06}", rng.gen_range(0..vocab)))
+            .collect();
+        line.join(" ")
+    })
+    .await;
+}
+
+async fn textgen_write(
+    cluster: &Cluster,
+    path: &str,
+    lines: usize,
+    lines_per_block: usize,
+    mut line_of: impl FnMut(&mut rand::rngs::SmallRng) -> String,
+) {
+    assert!(lines_per_block > 0, "need at least one line per block");
     let node = cluster.workers[0].id;
     let sim = cluster.sim.clone();
     let mut w = cluster
@@ -41,19 +97,18 @@ pub async fn textgen(cluster: &Cluster, path: &str, lines: usize, words_per_line
     let records: Vec<Record> = sim.with_rng(|rng| {
         (0..lines)
             .map(|i| {
-                let line: Vec<&str> = (0..words_per_line)
-                    .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
-                    .collect();
                 Record::new(
                     format!("line{i:08}").into_bytes(),
-                    Bytes::from(line.join(" ")),
+                    Bytes::from(line_of(rng)),
                 )
             })
             .collect()
     });
-    w.write(Blob::real(encode_records(&records)))
-        .await
-        .expect("textgen write");
+    for chunk in records.chunks(lines_per_block) {
+        w.write(Blob::real(encode_records(chunk)))
+            .await
+            .expect("textgen write");
+    }
     w.close().await.expect("textgen close");
 }
 

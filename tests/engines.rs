@@ -1,0 +1,192 @@
+//! Shuffle-volume engine gates: the in-node combiner and striped multi-rail
+//! engines behind the `ShuffleEngine` seam.
+//!
+//! * Correctness: WordCount counts are identical on Vanilla and NodeCombiner
+//!   (aggregation must be invisible in the output), and the combiner engine
+//!   cuts shuffled bytes against plain OSU-IB.
+//! * Fallback: a combiner-less job (TeraSort) on NodeCombiner replays the
+//!   OSU-IB data plane exactly — same duration, same shuffle volume.
+//! * Replay: both new engines pass the double-run trace-hash gate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rmr_core::cluster::{Cluster, NodeSpec};
+use rmr_core::{run_job, JobConf, ShuffleKind};
+use rmr_des::{assert_deterministic, Sim};
+use rmr_hdfs::HdfsConfig;
+use rmr_net::FabricParams;
+use rmr_workloads::{
+    read_counts, teragen, terasort_spec, teravalidate, textgen_blocks, wordcount_spec,
+};
+
+fn cluster(sim: &Sim, workers: usize, fabric: FabricParams, block: u64) -> Cluster {
+    let mut spec = NodeSpec::westmere_compute();
+    spec.page_cache = 256 << 20;
+    Cluster::build(
+        sim,
+        fabric,
+        &vec![spec; workers],
+        HdfsConfig {
+            block_size: block,
+            replication: 1,
+            packet_size: 256 << 10,
+        },
+    )
+}
+
+fn fabric_for(kind: ShuffleKind) -> FabricParams {
+    // Fabric choice, not engine dispatch: sockets ride IPoIB, verbs engines
+    // ride the QDR HCA, and the striped engine gets a second rail.
+    if kind == ShuffleKind::Vanilla {
+        FabricParams::ipoib_qdr()
+    } else if kind == ShuffleKind::MultiRail {
+        FabricParams::ib_verbs_qdr().with_rails(2)
+    } else {
+        FabricParams::ib_verbs_qdr()
+    }
+}
+
+fn conf_for(kind: ShuffleKind, reduces: usize) -> JobConf {
+    let mut conf = JobConf::for_kind(kind);
+    conf.num_reduces = reduces;
+    conf.map_slots = 2;
+    conf.reduce_slots = 2;
+    conf.shuffle_buffer = 16 << 20;
+    conf.io_sort_buffer = 8 << 20;
+    conf.prefetch_cache_bytes = 32 << 20;
+    conf
+}
+
+/// Runs one WordCount on `kind` and returns (counts, shuffled bytes).
+fn wordcount_on(kind: ShuffleKind) -> (std::collections::BTreeMap<String, u64>, u64) {
+    let sim = Sim::new(61);
+    // Small blocks so the input spans several maps per node — the in-node
+    // stage only folds when co-located maps share a wave.
+    let c = cluster(&sim, 3, fabric_for(kind), 256 << 10);
+    let conf = conf_for(kind, 2);
+    let done = Rc::new(RefCell::new(None));
+    let d = Rc::clone(&done);
+    let c2 = c.clone();
+    sim.spawn_named("wc-driver", async move {
+        textgen_blocks(&c2, "/wc/in", 20_000, 10, 2_500).await;
+        let res = run_job(&c2, conf, wordcount_spec("/wc/in", "/wc/out")).await;
+        let counts = read_counts(&c2, "/wc/out", 2).await.unwrap();
+        *d.borrow_mut() = Some((counts, res.shuffled_bytes));
+    })
+    .detach();
+    sim.run();
+    let out = done.borrow_mut().take();
+    out.unwrap_or_else(|| panic!("{kind:?}: WordCount hung"))
+}
+
+#[test]
+fn wordcount_counts_identical_on_vanilla_and_node_combiner() {
+    let (vanilla, _) = wordcount_on(ShuffleKind::Vanilla);
+    let (combined, _) = wordcount_on(ShuffleKind::NodeCombiner);
+    let total: u64 = vanilla.values().sum();
+    assert_eq!(total, 20_000 * 10, "oracle word total");
+    assert_eq!(
+        vanilla, combined,
+        "per-node aggregation must be invisible in the output"
+    );
+}
+
+#[test]
+fn node_combiner_cuts_shuffle_volume_vs_osu_ib() {
+    let (osu_counts, osu_bytes) = wordcount_on(ShuffleKind::OsuIb);
+    let (comb_counts, comb_bytes) = wordcount_on(ShuffleKind::NodeCombiner);
+    assert_eq!(osu_counts, comb_counts);
+    assert!(
+        comb_bytes < osu_bytes,
+        "in-node aggregation must shrink the shuffle: {comb_bytes} vs {osu_bytes}"
+    );
+}
+
+/// Runs one TeraSort on `kind` over `fabric` and returns (duration,
+/// shuffled bytes).
+fn terasort_on_fabric(kind: ShuffleKind, fabric: FabricParams) -> (f64, u64) {
+    let sim = Sim::new(62);
+    let c = cluster(&sim, 3, fabric, 2 << 20);
+    let conf = conf_for(kind, 3);
+    let done = Rc::new(RefCell::new(None));
+    let d = Rc::clone(&done);
+    let c2 = c.clone();
+    sim.spawn_named("ts-driver", async move {
+        let records = teragen(&c2, "/ts/in", 12 << 20, true).await;
+        let res = run_job(&c2, conf, terasort_spec("/ts/in", "/ts/out")).await;
+        let rep = teravalidate(&c2, "/ts/out", 3, records).await.unwrap();
+        assert!(rep.records > 10_000);
+        *d.borrow_mut() = Some((res.duration_s, res.shuffled_bytes));
+    })
+    .detach();
+    sim.run();
+    let out = done.borrow_mut().take();
+    out.unwrap_or_else(|| panic!("{kind:?}: TeraSort hung"))
+}
+
+#[test]
+fn combiner_less_jobs_fall_back_to_the_osu_ib_data_plane() {
+    // TeraSort has no combiner fn, so NodeCombiner's staging hook is
+    // pass-through: the job must replay OSU-IB's timings exactly.
+    let (osu_s, osu_bytes) = terasort_on_fabric(ShuffleKind::OsuIb, fabric_for(ShuffleKind::OsuIb));
+    let (comb_s, comb_bytes) = terasort_on_fabric(
+        ShuffleKind::NodeCombiner,
+        fabric_for(ShuffleKind::NodeCombiner),
+    );
+    assert_eq!(osu_s, comb_s, "pass-through must be bit-identical");
+    assert_eq!(osu_bytes, comb_bytes);
+}
+
+#[test]
+fn multi_rail_beats_single_rail_when_the_wire_binds() {
+    // Throttle the link so the shuffle dominates the job: a second rail
+    // then has to show up as wall-clock, not noise.
+    let mut slow = FabricParams::ib_verbs_qdr();
+    slow.link_bw /= 500.0;
+    let striped = slow.clone().with_rails(2);
+    let (osu_s, osu_bytes) = terasort_on_fabric(ShuffleKind::OsuIb, slow);
+    let (mr_s, mr_bytes) = terasort_on_fabric(ShuffleKind::MultiRail, striped);
+    assert_eq!(osu_bytes, mr_bytes, "striping moves the same bytes");
+    assert!(
+        mr_s < osu_s,
+        "two rails must beat one on a wire-bound shuffle: {mr_s} vs {osu_s}"
+    );
+}
+
+#[test]
+fn new_engines_replay_identically() {
+    for kind in [ShuffleKind::NodeCombiner, ShuffleKind::MultiRail] {
+        assert_deterministic(63, move |sim| {
+            let c = cluster(sim, 3, fabric_for(kind), 256 << 10);
+            let conf = conf_for(kind, 2);
+            sim.spawn_named("replay-driver", async move {
+                textgen_blocks(&c, "/r/in", 2_000, 8, 500).await;
+                let res = run_job(&c, conf, wordcount_spec("/r/in", "/r/out")).await;
+                assert!(res.duration_s > 0.0);
+            })
+            .detach();
+        });
+    }
+}
+
+#[test]
+fn new_engine_trace_hashes_are_stable_across_runs() {
+    // Beyond assert_deterministic's end-state checks: pin the full event
+    // trace (events and polls) for each new engine across two fresh runs.
+    let hash_of = |kind: ShuffleKind| {
+        let sim = Sim::new(64);
+        let c = cluster(&sim, 3, fabric_for(kind), 2 << 20);
+        let conf = conf_for(kind, 2);
+        sim.spawn_named("hash-driver", async move {
+            teragen(&c, "/h/in", 8 << 20, false).await;
+            run_job(&c, conf, terasort_spec("/h/in", "/h/out")).await;
+        })
+        .detach();
+        sim.run();
+        sim.trace_hash()
+    };
+    for kind in [ShuffleKind::NodeCombiner, ShuffleKind::MultiRail] {
+        assert_eq!(hash_of(kind), hash_of(kind), "{kind:?} trace must replay");
+    }
+}
